@@ -1,0 +1,126 @@
+//! Figure 1: the model validity matrix — four candidate motifs checked
+//! against the four models, each failing (or passing) for a different
+//! reason.
+
+use crate::report::Table;
+use serde::{Deserialize, Serialize};
+use tnm_datasets::figures::{figure1, FIGURE1_DELTA_C, FIGURE1_DELTA_W};
+use tnm_motifs::prelude::*;
+
+/// One motif row: the verdicts of the four models plus explanations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1Row {
+    /// Row number (1-based, as in the figure).
+    pub motif: usize,
+    /// The motif's canonical signature.
+    pub signature: String,
+    /// Verdicts for Kovanen, Song, Hulovatyy, Paranjape, in order.
+    pub verdicts: Vec<Verdict>,
+}
+
+/// The Figure 1 reproduction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1 {
+    /// One row per candidate motif.
+    pub rows: Vec<Fig1Row>,
+    /// Whether every verdict matches the figure's expected matrix.
+    pub matches_expected: bool,
+}
+
+/// Runs the validity-matrix experiment on the Figure 1 reconstruction.
+pub fn run() -> Fig1 {
+    let fig = figure1();
+    let models = MotifModel::all_four(FIGURE1_DELTA_C, FIGURE1_DELTA_W);
+    let mut rows = Vec::new();
+    let mut matches_expected = true;
+    for (i, motif) in fig.motifs.iter().enumerate() {
+        let verdicts = check_against_all(&fig.graph, motif, &models);
+        for (j, v) in verdicts.iter().enumerate() {
+            if v.is_valid() != fig.expected[i][j] {
+                matches_expected = false;
+            }
+        }
+        let events: Vec<tnm_graph::Event> =
+            motif.iter().map(|&idx| *fig.graph.event(idx)).collect();
+        rows.push(Fig1Row {
+            motif: i + 1,
+            signature: MotifSignature::from_events(&events).to_string(),
+            verdicts,
+        });
+    }
+    Fig1 { rows, matches_expected }
+}
+
+impl Fig1 {
+    /// Renders the validity matrix with per-cell reasons.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            format!(
+                "Figure 1: motif validity per model (dC={FIGURE1_DELTA_C}s, dW={FIGURE1_DELTA_W}s)"
+            ),
+            &["Motif", "Signature", "Kovanen[11]", "Song[12]", "Hulovatyy[13]", "Paranjape[14]"],
+        );
+        for r in &self.rows {
+            let cell = |v: &Verdict| if v.is_valid() { "valid".to_string() } else { "NO".to_string() };
+            t.row(vec![
+                format!("#{}", r.motif),
+                r.signature.clone(),
+                cell(&r.verdicts[0]),
+                cell(&r.verdicts[1]),
+                cell(&r.verdicts[2]),
+                cell(&r.verdicts[3]),
+            ]);
+        }
+        let mut out = t.render();
+        out.push('\n');
+        for r in &self.rows {
+            for v in &r.verdicts {
+                if !v.is_valid() {
+                    out.push_str(&format!("  motif #{}: {v}\n", r.motif));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "\n  matrix matches the paper's Figure 1: {}\n",
+            if self.matches_expected { "yes" } else { "NO" }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_matches_paper() {
+        let f = run();
+        assert!(f.matches_expected, "{}", f.render());
+        assert_eq!(f.rows.len(), 4);
+    }
+
+    #[test]
+    fn row_reasons_are_the_papers() {
+        let f = run();
+        // Row 1: ΔC violation in Kovanen and Hulovatyy.
+        assert!(f.rows[0].verdicts[0]
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DeltaCExceeded { .. })));
+        // Row 2: inducedness violation in Paranjape.
+        assert!(f.rows[1].verdicts[3].violations.contains(&Violation::NotStaticInduced));
+        // Row 3: consecutive-events violation in Kovanen only.
+        assert!(f.rows[2].verdicts[0].violations.contains(&Violation::ConsecutiveEvents));
+        assert!(f.rows[2].verdicts[2].is_valid());
+        // Row 4: valid everywhere.
+        assert!(f.rows[3].verdicts.iter().all(|v| v.is_valid()));
+    }
+
+    #[test]
+    fn render_mentions_all_models() {
+        let text = run().render();
+        for m in ["Kovanen", "Song", "Hulovatyy", "Paranjape"] {
+            assert!(text.contains(m), "{text}");
+        }
+    }
+}

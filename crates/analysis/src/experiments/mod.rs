@@ -1,0 +1,153 @@
+//! Experiment runners: one module per table/figure of the paper.
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`table2`] | Table 2 — dataset statistics |
+//! | [`table3`] | Table 3 + appendix Table 6 — consecutive events restriction |
+//! | [`table4`] | Table 4 + appendix Table 7 — constrained dynamic graphlets |
+//! | [`table5`] | Table 5 — event-pair counts vs timing configuration |
+//! | [`fig1`] | Figure 1 — model validity matrix |
+//! | [`fig2`] | Figure 2 — notation and the event-pair alphabet |
+//! | [`fig3`] | Figure 3 + appendix Figures 7–8 — event-pair ratios |
+//! | [`fig4`] | Figure 4 + appendix Figure 9 — intermediate event behaviour |
+//! | [`fig5`] | Figure 5 + appendix Figure 10 — motif timespan distributions |
+//! | [`fig6`] | Figure 6 + appendix Figure 11 — pair-sequence heat maps |
+//!
+//! All experiments run on a shared [`Corpus`] of synthetic datasets so a
+//! full reproduction generates each network exactly once.
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+use tnm_datasets::{generate, DatasetSpec};
+use tnm_graph::TemporalGraph;
+
+/// Default seed for the experiment corpus (all tables/figures).
+pub const CORPUS_SEED: u64 = 0x0DA7_A5E7;
+
+/// The ΔC used by the temporal-inducedness experiments (paper: 1500 s).
+pub const DELTA_C_INDUCEDNESS: i64 = 1500;
+
+/// The ΔW anchor of the timing-constraint experiments (paper: 3000 s).
+pub const DELTA_W: i64 = 3000;
+
+/// Snapshot resolution for the constrained-dynamic-graphlet experiment
+/// (paper: 300 s).
+pub const DEGRADED_RESOLUTION: i64 = 300;
+
+/// ΔC/ΔW ratios swept for 3-event motifs (paper Section 5.2).
+pub const RATIOS_3E: [f64; 3] = [0.5, 0.66, 1.0];
+
+/// ΔC/ΔW ratios swept for 4-event motifs (paper Section 5.2).
+pub const RATIOS_4E: [f64; 4] = [0.33, 0.5, 0.66, 1.0];
+
+/// One generated dataset with its spec.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The dataset specification (including paper statistics).
+    pub spec: DatasetSpec,
+    /// The generated temporal network.
+    pub graph: TemporalGraph,
+}
+
+/// The collection of datasets shared by every experiment.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Generated datasets in Table 2 order.
+    pub entries: Vec<CorpusEntry>,
+}
+
+impl Corpus {
+    /// Generates all nine datasets with the standard seed.
+    pub fn standard() -> Self {
+        Self::with_seed(CORPUS_SEED)
+    }
+
+    /// Generates all nine datasets with a custom seed.
+    pub fn with_seed(seed: u64) -> Self {
+        let entries = DatasetSpec::all()
+            .into_iter()
+            .map(|spec| {
+                let graph = generate(&spec, seed);
+                CorpusEntry { spec, graph }
+            })
+            .collect();
+        Corpus { entries }
+    }
+
+    /// Generates a reduced corpus: event budgets scaled by `factor`
+    /// (clamped to at least 500 events). Used by benches and smoke tests.
+    pub fn scaled(factor: f64, seed: u64) -> Self {
+        let entries = DatasetSpec::all()
+            .into_iter()
+            .map(|mut spec| {
+                spec.num_events = ((spec.num_events as f64 * factor) as usize).max(500);
+                let graph = generate(&spec, seed);
+                CorpusEntry { spec, graph }
+            })
+            .collect();
+        Corpus { entries }
+    }
+
+    /// A corpus restricted to the named datasets (order preserved).
+    pub fn only(&self, names: &[&str]) -> Corpus {
+        let entries = self
+            .entries
+            .iter()
+            .filter(|e| names.iter().any(|n| n.eq_ignore_ascii_case(&e.spec.name)))
+            .cloned()
+            .collect();
+        Corpus { entries }
+    }
+
+    /// Finds one dataset by name.
+    pub fn get(&self, name: &str) -> Option<&CorpusEntry> {
+        self.entries.iter().find(|e| e.spec.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Number of datasets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Number of worker threads used by the counting-heavy experiments.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_corpus_is_small() {
+        let c = Corpus::scaled(0.05, 1);
+        assert_eq!(c.len(), 9);
+        for e in &c.entries {
+            assert!(e.graph.num_events() <= 2_000, "{}", e.spec.name);
+        }
+    }
+
+    #[test]
+    fn subsetting() {
+        let c = Corpus::scaled(0.05, 1);
+        let sub = c.only(&["email", "SMS-A"]);
+        assert_eq!(sub.len(), 2);
+        assert!(c.get("Email").is_some());
+        assert!(c.get("missing").is_none());
+    }
+}

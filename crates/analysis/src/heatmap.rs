@@ -1,0 +1,152 @@
+//! 6×6 event-pair sequence heat maps — the text equivalent of the
+//! paper's Figure 6 (and appendix Figure 11).
+//!
+//! Rows are the first event pair of a 3-event motif, columns the second;
+//! cells are motif counts, colour-coded in the paper and rendered here as
+//! a log-scaled intensity ramp.
+
+use tnm_motifs::event_pair::ALL_PAIR_TYPES;
+
+/// Intensity ramp from empty to max (log scale).
+const RAMP: [char; 6] = ['.', '1', '2', '3', '4', '#'];
+
+/// Renders the 6×6 matrix with single-character log-scaled intensities
+/// plus a count legend.
+pub fn render_heatmap(title: &str, matrix: &[[u64; 6]; 6]) -> String {
+    let max = matrix.iter().flatten().copied().max().unwrap_or(0);
+    let min_nonzero =
+        matrix.iter().flatten().copied().filter(|&c| c > 0).min().unwrap_or(1);
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str("    (rows: first pair, cols: second pair; log-scaled . < 1 < 2 < 3 < 4 < #)\n");
+    out.push_str("      ");
+    for t in ALL_PAIR_TYPES {
+        out.push_str(&format!("{} ", t.letter()));
+    }
+    out.push('\n');
+    for (i, t) in ALL_PAIR_TYPES.iter().enumerate() {
+        out.push_str(&format!("    {} ", t.letter()));
+        for &cell in &matrix[i] {
+            out.push(intensity(cell, min_nonzero, max));
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("    max cell = {max}, min non-zero = {min_nonzero}\n"));
+    out
+}
+
+/// Log-scaled intensity character for a count.
+fn intensity(count: u64, min_nonzero: u64, max: u64) -> char {
+    if count == 0 {
+        return RAMP[0];
+    }
+    if max <= min_nonzero {
+        return RAMP[RAMP.len() - 1];
+    }
+    let lo = (min_nonzero as f64).ln();
+    let hi = (max as f64).ln();
+    let frac = ((count as f64).ln() - lo) / (hi - lo);
+    let idx = 1 + (frac * (RAMP.len() - 2) as f64).round() as usize;
+    RAMP[idx.min(RAMP.len() - 1)]
+}
+
+/// The matrix as CSV (row label, then one column per second-pair type).
+pub fn heatmap_csv(matrix: &[[u64; 6]; 6]) -> String {
+    let mut out = String::from("first\\second,R,P,I,O,C,W\n");
+    for (i, t) in ALL_PAIR_TYPES.iter().enumerate() {
+        out.push(t.letter());
+        for &cell in &matrix[i] {
+            out.push_str(&format!(",{cell}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Row/column marginals, useful for asymmetry analysis (e.g. the paper's
+/// "conveys are often followed by out-bursts but not the reverse").
+pub fn marginals(matrix: &[[u64; 6]; 6]) -> ([u64; 6], [u64; 6]) {
+    let mut rows = [0u64; 6];
+    let mut cols = [0u64; 6];
+    for i in 0..6 {
+        for j in 0..6 {
+            rows[i] += matrix[i][j];
+            cols[j] += matrix[i][j];
+        }
+    }
+    (rows, cols)
+}
+
+/// Asymmetry of a pair of cells `(a→b, b→a)` as a signed ratio in
+/// `[-1, 1]`: +1 = all mass on `a→b`, 0 = symmetric.
+pub fn asymmetry(matrix: &[[u64; 6]; 6], a: usize, b: usize) -> f64 {
+    let ab = matrix[a][b] as f64;
+    let ba = matrix[b][a] as f64;
+    if ab + ba == 0.0 {
+        0.0
+    } else {
+        (ab - ba) / (ab + ba)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> [[u64; 6]; 6] {
+        let mut m = [[0u64; 6]; 6];
+        m[0][0] = 1000; // R -> R
+        m[0][1] = 100; // R -> P
+        m[4][3] = 50; // C -> O
+        m[3][4] = 5; // O -> C
+        m[5][5] = 1; // W -> W
+        m
+    }
+
+    #[test]
+    fn render_contains_labels_and_scale() {
+        let s = render_heatmap("demo", &sample());
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("R P I O C W"));
+        assert!(s.contains("max cell = 1000"));
+        // The largest cell renders as '#', empty cells as '.'.
+        let r_row: &str = s.lines().nth(3).unwrap();
+        assert!(r_row.trim_start().starts_with("R #"));
+    }
+
+    #[test]
+    fn csv_round_numbers() {
+        let csv = heatmap_csv(&sample());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 7);
+        assert!(lines[1].starts_with("R,1000,100,0,0,0,0"));
+    }
+
+    #[test]
+    fn marginals_sum() {
+        let (rows, cols) = marginals(&sample());
+        assert_eq!(rows.iter().sum::<u64>(), 1156);
+        assert_eq!(cols.iter().sum::<u64>(), 1156);
+        assert_eq!(rows[0], 1100);
+        assert_eq!(cols[0], 1000);
+    }
+
+    #[test]
+    fn asymmetry_measure() {
+        let m = sample();
+        // C->O = 50 vs O->C = 5: strong positive asymmetry.
+        let a = asymmetry(&m, 4, 3);
+        assert!(a > 0.8, "{a}");
+        assert_eq!(asymmetry(&m, 1, 2), 0.0);
+        // Symmetric diagonal cell compares with itself:
+        assert_eq!(asymmetry(&m, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn intensity_extremes() {
+        assert_eq!(intensity(0, 1, 100), '.');
+        assert_eq!(intensity(100, 1, 100), '#');
+        assert_eq!(intensity(5, 5, 5), '#');
+    }
+}

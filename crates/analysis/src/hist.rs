@@ -1,0 +1,200 @@
+//! Histogram utilities with ASCII rendering — the text equivalent of the
+//! paper's Figure 4/5 frequency plots.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-bin histogram over a numeric range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Samples below `lo` or above `hi`.
+    outliers: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or the range is empty/invalid.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo && lo.is_finite() && hi.is_finite(), "invalid range");
+        Histogram { lo, hi, counts: vec![0; bins], outliers: 0 }
+    }
+
+    /// Adds one sample. The top edge is inclusive (a sample exactly at
+    /// `hi` lands in the last bin), matching the paper's 0–100 % axes.
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() || x < self.lo || x > self.hi {
+            self.outliers += 1;
+            return;
+        }
+        let bins = self.counts.len();
+        let frac = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * bins as f64) as usize).min(bins - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples outside the range.
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// Total in-range samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Midpoint value of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+
+    /// Mean of the binned distribution (bin centers weighted by counts).
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| self.bin_center(i) * c as f64)
+            .sum();
+        sum / total as f64
+    }
+
+    /// Standard deviation of the binned distribution.
+    pub fn std_dev(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let d = self.bin_center(i) - mean;
+                d * d * c as f64
+            })
+            .sum::<f64>()
+            / total as f64;
+        var.sqrt()
+    }
+
+    /// A skew measure tailored to the Figure 4 analysis: the mean of the
+    /// distribution normalized to `[-1, 1]` across the range
+    /// (0 = centered, -1 = piled at `lo`, +1 = piled at `hi`).
+    pub fn skew_position(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        let mid = (self.lo + self.hi) / 2.0;
+        let half = (self.hi - self.lo) / 2.0;
+        (self.mean() - mid) / half
+    }
+
+    /// Renders as horizontal ASCII bars, one line per bin.
+    pub fn render(&self, label: &str, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        out.push_str(label);
+        out.push('\n');
+        let bins = self.counts.len();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let lo = self.lo + (self.hi - self.lo) * i as f64 / bins as f64;
+            let hi = self.lo + (self.hi - self.lo) * (i + 1) as f64 / bins as f64;
+            let bar_len = ((c as f64 / max as f64) * width as f64).round() as usize;
+            out.push_str(&format!(
+                "  [{lo:>8.1}, {hi:>8.1})  {:<w$}  {c}\n",
+                "#".repeat(bar_len),
+                w = width
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_and_edges() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for x in [0.0, 0.1, 0.3, 0.5, 0.74, 0.75, 1.0] {
+            h.add(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 2, 2]);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.outliers(), 0);
+        h.add(-0.1);
+        h.add(1.5);
+        h.add(f64::NAN);
+        assert_eq!(h.outliers(), 3);
+    }
+
+    #[test]
+    fn moments() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for _ in 0..10 {
+            h.add(0.5); // bin 0, center 0.5
+        }
+        assert!((h.mean() - 0.5).abs() < 1e-12);
+        assert!(h.std_dev() < 1e-12);
+        h.add(9.5);
+        assert!(h.mean() > 0.5);
+    }
+
+    #[test]
+    fn skew_position_signs() {
+        let mut low = Histogram::new(0.0, 1.0, 10);
+        for _ in 0..100 {
+            low.add(0.05);
+        }
+        assert!(low.skew_position() < -0.8);
+        let mut high = Histogram::new(0.0, 1.0, 10);
+        for _ in 0..100 {
+            high.add(0.95);
+        }
+        assert!(high.skew_position() > 0.8);
+        let mut mid = Histogram::new(0.0, 1.0, 10);
+        for _ in 0..100 {
+            mid.add(0.45);
+            mid.add(0.55);
+        }
+        assert!(mid.skew_position().abs() < 0.05);
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.add(0.5);
+        h.add(1.5);
+        h.add(1.6);
+        let s = h.render("demo", 10);
+        assert!(s.starts_with("demo\n"));
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains("##########  2"));
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new(0.0, 1.0, 5);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.std_dev(), 0.0);
+        assert_eq!(h.skew_position(), 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # tnm-analysis — the experiment harness
+//!
+//! Regenerates every table and figure of *Temporal Network Motifs:
+//! Models, Limitations, Evaluation* on the synthetic corpus:
+//!
+//! * [`experiments::table2`] … [`experiments::table5`] — the paper's
+//!   tables (plus appendix Tables 6–7);
+//! * [`experiments::fig1`] … [`experiments::fig6`] — the figures (plus
+//!   appendix Figures 7–11);
+//! * [`report`], [`hist`], [`heatmap`] — deterministic ASCII/CSV
+//!   rendering of tables, histograms, and heat maps.
+//!
+//! ```no_run
+//! use tnm_analysis::experiments::{self, Corpus};
+//!
+//! let corpus = Corpus::standard();
+//! println!("{}", experiments::table3::run(&corpus).render());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod heatmap;
+pub mod hist;
+pub mod report;
+
+pub use experiments::{Corpus, CorpusEntry};

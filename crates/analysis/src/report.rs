@@ -1,0 +1,197 @@
+//! ASCII table rendering and CSV serialization for experiment reports.
+//!
+//! The paper's artifacts are tables and matplotlib figures; we render
+//! deterministic text tables (inspectable in a terminal, diffable in
+//! tests) and CSV series (re-plottable with any tool).
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (names, labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple monospace table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers; columns default to
+    /// right alignment except the first.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        let header: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+        let mut aligns = vec![Align::Right; header.len()];
+        if !aligns.is_empty() {
+            aligns[0] = Align::Left;
+        }
+        Table { title: title.into(), header, aligns, rows: Vec::new() }
+    }
+
+    /// Overrides column alignments.
+    pub fn aligns(mut self, aligns: &[Align]) -> Self {
+        assert_eq!(aligns.len(), self.header.len(), "alignment per column");
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as ASCII text.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize], aligns: &[Align]| -> String {
+            let mut line = String::new();
+            for i in 0..ncol {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let w = widths[i];
+                let c = &cells[i];
+                let pad = w.saturating_sub(c.chars().count());
+                match aligns[i] {
+                    Align::Left => {
+                        line.push_str(c);
+                        line.extend(std::iter::repeat_n(' ', pad));
+                    }
+                    Align::Right => {
+                        line.extend(std::iter::repeat_n(' ', pad));
+                        line.push_str(c);
+                    }
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths, &self.aligns));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncol - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths, &self.aligns));
+        }
+        out
+    }
+
+    /// Serializes the table as CSV (header + rows, comma-separated,
+    /// quoting cells that contain commas or quotes).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| csv_escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+fn csv_escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Formats a count the way the paper does (`1.02M`, `58.3K`, `904`).
+pub fn fmt_count(n: u64) -> String {
+    tnm_graph::stats::humanize(n as f64)
+}
+
+/// Formats a ratio as a percentage with one decimal (`82.6%`).
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a signed percentage-point change (`+3.31%`, `-0.78%`).
+pub fn fmt_pp(x: f64) -> String {
+    format!("{:+.2}%", x)
+}
+
+/// Formats a signed rank change (`+18`, `-9`, `0`).
+pub fn fmt_rank_change(d: i64) -> String {
+    if d == 0 {
+        "0".to_string()
+    } else {
+        format!("{d:+}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("Demo", &["Name", "Count"]);
+        t.row(vec!["alpha".into(), "5".into()]);
+        t.row(vec!["b".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("Name"));
+        assert!(lines[3].ends_with("    5"));
+        assert!(lines[4].ends_with("12345"));
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new("x", &["A", "B"]);
+        t.row(vec!["v,1".into(), "plain".into()]);
+        t.row(vec!["q\"q".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().next().unwrap(), "A,B");
+        assert!(csv.contains("\"v,1\""));
+        assert!(csv.contains("\"q\"\"q\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        Table::new("x", &["A", "B"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_count(1_020_000), "1.02M");
+        assert_eq!(fmt_count(904), "904");
+        assert_eq!(fmt_pct(0.826), "82.6%");
+        assert_eq!(fmt_pp(3.312), "+3.31%");
+        assert_eq!(fmt_pp(-0.78), "-0.78%");
+        assert_eq!(fmt_rank_change(18), "+18");
+        assert_eq!(fmt_rank_change(-9), "-9");
+        assert_eq!(fmt_rank_change(0), "0");
+    }
+}

@@ -1,0 +1,89 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! the cost of each model restriction, exact vs sampled counting, motif
+//! size scaling, and the timing-regime sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tnm_datasets::{generate, DatasetSpec};
+use tnm_graph::TemporalGraph;
+use tnm_motifs::prelude::*;
+use tnm_motifs::sampling::{estimate_motif_counts, SamplingConfig};
+
+fn graph() -> TemporalGraph {
+    let mut spec = DatasetSpec::college_msg();
+    spec.num_events = 8_000;
+    generate(&spec, 2)
+}
+
+/// Cost of each restriction on top of vanilla ΔC counting.
+fn bench_restrictions(c: &mut Criterion) {
+    let g = graph();
+    let base = EnumConfig::new(3, 3).exact_nodes(3).with_timing(Timing::only_c(1500));
+    let mut group = c.benchmark_group("restriction_ablation");
+    group.sample_size(10);
+    group.bench_function("vanilla", |b| b.iter(|| black_box(count_motifs(&g, &base))));
+    group.bench_function("consecutive_events", |b| {
+        let cfg = base.clone().with_consecutive(true);
+        b.iter(|| black_box(count_motifs(&g, &cfg)))
+    });
+    group.bench_function("static_induced", |b| {
+        let cfg = base.clone().with_static_induced(true);
+        b.iter(|| black_box(count_motifs(&g, &cfg)))
+    });
+    group.bench_function("constrained_dynamic", |b| {
+        let cfg = base.clone().with_constrained(true);
+        b.iter(|| black_box(count_motifs(&g, &cfg)))
+    });
+    group.finish();
+}
+
+/// Exact vs interval-sampled counting (the Liu–Benson–Charikar line).
+fn bench_sampling(c: &mut Criterion) {
+    let g = graph();
+    let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(3000));
+    let mut group = c.benchmark_group("sampling_vs_exact");
+    group.sample_size(10);
+    group.bench_function("exact", |b| b.iter(|| black_box(count_motifs(&g, &cfg))));
+    for samples in [50usize, 200] {
+        group.bench_with_input(BenchmarkId::new("sampled", samples), &samples, |b, &n| {
+            let sampling = SamplingConfig { window_len: 6_000, num_samples: n, seed: 7 };
+            b.iter(|| black_box(estimate_motif_counts(&g, &cfg, &sampling)))
+        });
+    }
+    group.finish();
+}
+
+/// Enumeration cost vs motif size (2e/3e/4e) under the same window.
+fn bench_motif_size(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("motif_size_scaling");
+    group.sample_size(10);
+    for k in [2usize, 3, 4] {
+        let cfg = EnumConfig::new(k, k.min(4)).with_timing(Timing::only_w(3000));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &cfg, |b, cfg| {
+            b.iter(|| black_box(count_motifs(&g, cfg)))
+        });
+    }
+    group.finish();
+}
+
+/// Timing-regime cost: only-ΔC vs both vs only-ΔW at fixed ΔW.
+fn bench_timing_regimes(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("timing_regimes_3e");
+    group.sample_size(10);
+    for (label, ratio) in [("only_dC", 0.5), ("both", 0.66), ("only_dW", 1.0)] {
+        let cfg = EnumConfig::new(3, 3).with_timing(Timing::from_ratio(3000, ratio));
+        group.bench_function(label, |b| b.iter(|| black_box(count_motifs(&g, &cfg))));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_restrictions,
+    bench_sampling,
+    bench_motif_size,
+    bench_timing_regimes
+);
+criterion_main!(benches);

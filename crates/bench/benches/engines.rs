@@ -1,0 +1,97 @@
+//! Counting-engine benchmarks: enumeration throughput across datasets,
+//! serial vs parallel scaling, signature-targeted counting, streaming
+//! matching, and dataset generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tnm_datasets::{generate, DatasetSpec};
+use tnm_graph::TemporalGraph;
+use tnm_motifs::pattern::{matcher::StreamingMatcher, EventPattern};
+use tnm_motifs::prelude::*;
+
+fn dataset(name: &str, events: usize) -> TemporalGraph {
+    let mut spec = DatasetSpec::by_name(name).expect("known dataset");
+    spec.num_events = events;
+    generate(&spec, 1)
+}
+
+fn bench_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_3n3e_dC1500");
+    group.sample_size(10);
+    for name in ["CollegeMsg", "Email", "StackOverflow", "Bitcoin-otc"] {
+        let g = dataset(name, 8_000);
+        group.throughput(Throughput::Elements(g.num_events() as u64));
+        let cfg = EnumConfig::new(3, 3).exact_nodes(3).with_timing(Timing::only_c(1500));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| black_box(count_motifs(g, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let g = dataset("SMS-A", 12_000);
+    let cfg = EnumConfig::new(3, 3).with_timing(Timing::both(1500, 3000));
+    let mut group = c.benchmark_group("parallel_scaling_3e");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(count_motifs_parallel(&g, &cfg, t)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_signature_targeting(c: &mut Criterion) {
+    let g = dataset("CollegeMsg", 8_000);
+    let timing = Timing::only_w(3000);
+    let mut group = c.benchmark_group("signature_targeting");
+    group.sample_size(10);
+    group.bench_function("full_spectrum_3e", |b| {
+        b.iter(|| black_box(count_motifs(&g, &EnumConfig::new(3, 3).with_timing(timing))))
+    });
+    group.bench_function("targeted_010102", |b| {
+        b.iter(|| black_box(count_signature(&g, sig("010102"), timing)))
+    });
+    group.bench_function("targeted_011202", |b| {
+        b.iter(|| black_box(count_signature(&g, sig("011202"), timing)))
+    });
+    group.finish();
+}
+
+fn bench_streaming_matcher(c: &mut Criterion) {
+    let g = dataset("Calls-Copenhagen", 3_600);
+    let mut group = c.benchmark_group("streaming_matcher");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.num_events() as u64));
+    group.bench_function("triangle_pattern", |b| {
+        b.iter(|| {
+            let pattern = EventPattern::from_signature(sig("011202"), 3000);
+            black_box(StreamingMatcher::match_graph(pattern, &g).len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_generation");
+    group.sample_size(10);
+    for name in ["SMS-Copenhagen", "Email", "StackOverflow"] {
+        let spec = DatasetSpec::by_name(name).unwrap();
+        group.throughput(Throughput::Elements(spec.num_events as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            b.iter(|| black_box(generate(spec, 42)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_counting,
+    bench_parallel_scaling,
+    bench_signature_targeting,
+    bench_streaming_matcher,
+    bench_generation
+);
+criterion_main!(benches);

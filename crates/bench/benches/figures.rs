@@ -1,0 +1,45 @@
+//! One bench per paper figure: regenerating Figures 1–6 on a reduced
+//! corpus (appendix variants included where they differ).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tnm_analysis::experiments::{self, Corpus};
+
+fn bench_corpus() -> Corpus {
+    Corpus::scaled(0.1, experiments::CORPUS_SEED)
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig1_validity_matrix", |b| {
+        b.iter(|| black_box(experiments::fig1::run()))
+    });
+    group.bench_function("fig2_notation_catalogs", |b| {
+        b.iter(|| black_box(experiments::fig2::run()))
+    });
+    group.bench_function("fig3_event_pair_ratios_3e", |b| {
+        b.iter(|| black_box(experiments::fig3::run(&corpus, false)))
+    });
+    group.bench_function("fig3_event_pair_ratios_3e_4e", |b| {
+        b.iter(|| black_box(experiments::fig3::run(&corpus, true)))
+    });
+    group.bench_function("fig4_intermediate_events", |b| {
+        b.iter(|| black_box(experiments::fig4::run(&corpus, false)))
+    });
+    group.bench_function("fig4_intermediate_events_appendix", |b| {
+        b.iter(|| black_box(experiments::fig4::run(&corpus, true)))
+    });
+    group.bench_function("fig5_timespan_distributions", |b| {
+        b.iter(|| black_box(experiments::fig5::run(&corpus, true)))
+    });
+    group.bench_function("fig6_pair_sequence_heatmaps", |b| {
+        b.iter(|| black_box(experiments::fig6::run(&corpus)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

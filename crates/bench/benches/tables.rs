@@ -1,0 +1,35 @@
+//! One bench per paper table: regenerating Table 2–5 end to end on a
+//! reduced corpus. `cargo bench -p tnm-bench --bench tables` measures the
+//! harness; the `tnm` CLI regenerates the full-scale rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tnm_analysis::experiments::{self, Corpus};
+
+/// Reduced corpus: benches measure the harness, not laptop patience.
+fn bench_corpus() -> Corpus {
+    Corpus::scaled(0.1, experiments::CORPUS_SEED)
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+
+    group.bench_function("table2_dataset_statistics", |b| {
+        b.iter(|| black_box(experiments::table2::run(&corpus)))
+    });
+    group.bench_function("table3_consecutive_restriction", |b| {
+        b.iter(|| black_box(experiments::table3::run(&corpus)))
+    });
+    group.bench_function("table4_constrained_dynamic_graphlets", |b| {
+        b.iter(|| black_box(experiments::table4::run(&corpus)))
+    });
+    group.bench_function("table5_timing_constraints", |b| {
+        b.iter(|| black_box(experiments::table5::run(&corpus)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

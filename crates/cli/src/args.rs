@@ -1,0 +1,161 @@
+//! Minimal argument parsing (no external dependencies).
+//!
+//! Supports `--flag`, `--key value`, and positional arguments. Unknown
+//! flags are reported with the list of valid ones.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+/// Errors from argument parsing or lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A `--key` flag was not followed by a value.
+    MissingValue(String),
+    /// A flag value failed to parse.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// Raw value.
+        value: String,
+    },
+    /// An unrecognized flag was supplied.
+    Unknown(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingValue(k) => write!(f, "flag --{k} needs a value"),
+            ArgError::BadValue { flag, value } => {
+                write!(f, "invalid value `{value}` for --{flag}")
+            }
+            ArgError::Unknown(k) => write!(f, "unknown flag --{k}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Flags that never take a value.
+const BOOLEAN_FLAGS: &[&str] = &[
+    "full",
+    "all",
+    "csv",
+    "consecutive",
+    "induced",
+    "constrained",
+    "include-4e",
+    "help",
+];
+
+impl Args {
+    /// Parses raw arguments (excluding the program/subcommand names).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let name = name.to_string();
+                if BOOLEAN_FLAGS.contains(&name.as_str()) {
+                    out.flags.insert(name, "true".to_string());
+                } else {
+                    let value =
+                        iter.next().ok_or_else(|| ArgError::MissingValue(name.clone()))?;
+                    out.flags.insert(name, value);
+                }
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional argument `i`.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// True if a boolean flag is present.
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.contains_key(flag)
+    }
+
+    /// String flag value.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// Typed flag value with default.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse::<T>().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.clone(),
+            }),
+        }
+    }
+
+    /// Rejects flags outside the allowed set (boolean and valued alike).
+    pub fn ensure_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for k in self.flags.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ArgError::Unknown(k.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn mixed_args() {
+        let a = parse(&["--seed", "7", "pos0", "--csv", "--scale", "0.5"]);
+        assert_eq!(a.positional(0), Some("pos0"));
+        assert!(a.has("csv"));
+        assert_eq!(a.get("seed"), Some("7"));
+        assert_eq!(a.get_parsed::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(a.get_parsed::<f64>("scale", 1.0).unwrap(), 0.5);
+        assert_eq!(a.get_parsed::<u64>("missing", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn missing_value_error() {
+        let err = Args::parse(vec!["--seed".to_string()]).unwrap_err();
+        assert_eq!(err, ArgError::MissingValue("seed".to_string()));
+    }
+
+    #[test]
+    fn bad_value_error() {
+        let a = parse(&["--seed", "xyz"]);
+        assert!(matches!(
+            a.get_parsed::<u64>("seed", 0),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let a = parse(&["--bogus", "1"]);
+        assert_eq!(a.ensure_known(&["seed"]), Err(ArgError::Unknown("bogus".to_string())));
+        let b = parse(&["--seed", "1"]);
+        assert!(b.ensure_known(&["seed"]).is_ok());
+    }
+}

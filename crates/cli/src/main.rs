@@ -1,0 +1,318 @@
+//! `tnm` — the temporal-network-motifs experiment driver.
+//!
+//! Regenerates every table and figure of the paper on the synthetic
+//! corpus, and exposes ad-hoc counting/generation utilities. Run
+//! `tnm help` for the command list.
+
+mod args;
+
+use args::Args;
+use std::process::ExitCode;
+use tnm_analysis::experiments::{self, Corpus};
+use tnm_datasets::DatasetSpec;
+use tnm_graph::stats::GraphStats;
+use tnm_motifs::cycles::{count_temporal_cycles, CycleConfig};
+use tnm_motifs::prelude::*;
+
+const HELP: &str = "\
+tnm — Temporal Network Motifs: Models, Limitations, Evaluation (reproduction)
+
+USAGE: tnm <command> [flags]
+
+Experiment commands (all accept --scale F, --seed N, --csv):
+  table2            Dataset statistics (paper Table 2)
+  table3 [--full]   Consecutive events restriction (Table 3; --full = Table 6)
+  table4 [--full]   Constrained dynamic graphlets (Table 4; --full = Table 7)
+  table5            Event-pair counts vs timing constraints (Table 5)
+  fig1              Model validity matrix (Figure 1)
+  fig2              Notation & event-pair alphabet (Figure 2)
+  fig3 [--include-4e] Event-pair ratios only-dW vs only-dC (Figure 3)
+  fig4 [--all]      Intermediate event behaviour (Figure 4; --all = Figure 9)
+  fig5 [--all]      Motif timespan distributions (Figure 5; --all = Figure 10)
+  fig6              Event-pair sequence heat maps (Figure 6)
+  all               Run every table and figure
+
+Utility commands:
+  list              List the nine datasets
+  stats --dataset NAME [--seed N]        Statistics of one synthetic dataset
+  generate --dataset NAME --out FILE     Write a synthetic dataset as an edge list
+  count --dataset NAME [--events K] [--nodes N] [--dc X] [--dw Y]
+        [--consecutive] [--induced] [--constrained] [--top K]
+                                         Count motifs under a custom model
+  cycles --dataset NAME [--dw X] [--max-len L]
+                                         Enumerate simple temporal cycles
+  help              This message
+
+Flags:
+  --scale F     Scale dataset event budgets by F (default 1.0)
+  --seed N      Corpus seed (default the standard experiment seed)
+  --csv         Emit CSV instead of a rendered table (where supported)
+";
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let command = match argv.next() {
+        Some(c) => c,
+        None => {
+            eprint!("{HELP}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&command, &args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn corpus_from(args: &Args) -> Result<Corpus, Box<dyn std::error::Error>> {
+    let scale: f64 = args.get_parsed("scale", 1.0)?;
+    let seed: u64 = args.get_parsed("seed", experiments::CORPUS_SEED)?;
+    let corpus = if (scale - 1.0).abs() < f64::EPSILON {
+        Corpus::with_seed(seed)
+    } else {
+        Corpus::scaled(scale, seed)
+    };
+    // The dataset may be named via --dataset or as a positional argument.
+    Ok(match args.get("dataset").or_else(|| args.positional(0)) {
+        Some(name) => {
+            let only = corpus.only(&[name]);
+            if only.is_empty() {
+                return Err(format!("unknown dataset `{name}` (see `tnm list`)").into());
+            }
+            only
+        }
+        None => corpus,
+    })
+}
+
+fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let common = ["scale", "seed", "csv", "dataset"];
+    match command {
+        "help" | "--help" | "-h" => print!("{HELP}"),
+        "list" => {
+            args.ensure_known(&common)?;
+            for spec in DatasetSpec::all() {
+                println!(
+                    "{:<18} {:>7} nodes {:>7} events  median gap {:>5.0}s  ({:?})",
+                    spec.name, spec.num_nodes, spec.num_events, spec.median_gap, spec.domain
+                );
+            }
+        }
+        "stats" => {
+            args.ensure_known(&common)?;
+            for e in &corpus_from(args)?.entries {
+                let s = GraphStats::compute(&e.graph);
+                println!(
+                    "{}: {} nodes, {} events, {} edges, {} timestamps, \
+                     unique {:.1}%, median gap {:.0}s, timespan {}s",
+                    e.spec.name,
+                    s.nodes,
+                    s.events,
+                    s.static_edges,
+                    s.unique_timestamps,
+                    s.unique_timestamp_fraction * 100.0,
+                    s.median_inter_event_time,
+                    s.timespan
+                );
+            }
+        }
+        "generate" => {
+            args.ensure_known(&["scale", "seed", "dataset", "out"])?;
+            let corpus = corpus_from(args)?;
+            let out = args.get("out").ok_or("generate requires --out FILE")?;
+            let entry = corpus.entries.first().ok_or("generate requires --dataset NAME")?;
+            tnm_graph::io::write_edge_list_file(&entry.graph, out)?;
+            println!("wrote {} events to {out}", entry.graph.num_events());
+        }
+        "count" => {
+            args.ensure_known(&[
+                "scale",
+                "seed",
+                "dataset",
+                "events",
+                "nodes",
+                "dc",
+                "dw",
+                "consecutive",
+                "induced",
+                "constrained",
+                "top",
+            ])?;
+            let corpus = corpus_from(args)?;
+            let entry = corpus.entries.first().ok_or("count requires --dataset NAME")?;
+            let events: usize = args.get_parsed("events", 3)?;
+            let nodes: usize = args.get_parsed("nodes", 3)?;
+            let dc: i64 = args.get_parsed("dc", 0)?;
+            let dw: i64 = args.get_parsed("dw", 0)?;
+            let timing = match (dc > 0, dw > 0) {
+                (true, true) => Timing::both(dc, dw),
+                (true, false) => Timing::only_c(dc),
+                (false, true) => Timing::only_w(dw),
+                (false, false) => return Err("count requires --dc and/or --dw".into()),
+            };
+            let cfg = EnumConfig::new(events, nodes)
+                .with_timing(timing)
+                .with_consecutive(args.has("consecutive"))
+                .with_static_induced(args.has("induced"))
+                .with_constrained(args.has("constrained"));
+            let counts =
+                count_motifs_parallel(&entry.graph, &cfg, experiments::default_threads());
+            let top: usize = args.get_parsed("top", 20)?;
+            println!(
+                "{}: {} instances across {} motif types ({timing})",
+                entry.spec.name,
+                counts.total(),
+                counts.num_signatures()
+            );
+            for (sig, n) in counts.top_k(top) {
+                let pairs: String = sig
+                    .event_pair_sequence()
+                    .into_iter()
+                    .map(|p| p.map_or('-', |t| t.letter()))
+                    .collect();
+                println!("  {sig:<12} {n:>10}  pairs {pairs}");
+            }
+        }
+        "cycles" => {
+            args.ensure_known(&["scale", "seed", "dataset", "dw", "max-len"])?;
+            let corpus = corpus_from(args)?;
+            let entry = corpus.entries.first().ok_or("cycles requires --dataset NAME")?;
+            let dw: i64 = args.get_parsed("dw", 3600)?;
+            let max_len: usize = args.get_parsed("max-len", 4)?;
+            let counts = count_temporal_cycles(&entry.graph, &CycleConfig::new(max_len, dw));
+            let mut lens: Vec<_> = counts.iter().collect();
+            lens.sort();
+            println!("{}: temporal cycles within dW={dw}s:", entry.spec.name);
+            for (len, n) in lens {
+                println!("  length {len}: {n}");
+            }
+        }
+        "table2" => {
+            args.ensure_known(&common)?;
+            let t = experiments::table2::run(&corpus_from(args)?);
+            if args.has("csv") {
+                print!("{}", t.to_csv());
+            } else {
+                print!("{}", t.render());
+            }
+        }
+        "table3" => {
+            args.ensure_known(&["scale", "seed", "csv", "dataset", "full"])?;
+            let t = experiments::table3::run(&corpus_from(args)?);
+            if args.has("csv") {
+                print!("{}", t.to_csv());
+            } else {
+                print!("{}", t.render());
+                if args.has("full") {
+                    println!();
+                    print!("{}", t.render_full());
+                }
+            }
+        }
+        "table4" => {
+            args.ensure_known(&["scale", "seed", "csv", "dataset", "full"])?;
+            let t = experiments::table4::run(&corpus_from(args)?);
+            if args.has("csv") {
+                print!("{}", t.to_csv());
+            } else {
+                print!("{}", t.render());
+                if args.has("full") {
+                    println!();
+                    print!("{}", t.render_full());
+                }
+            }
+        }
+        "table5" => {
+            args.ensure_known(&common)?;
+            let t = experiments::table5::run(&corpus_from(args)?);
+            if args.has("csv") {
+                print!("{}", t.to_csv());
+            } else {
+                print!("{}", t.render());
+            }
+        }
+        "fig1" => {
+            args.ensure_known(&common)?;
+            print!("{}", experiments::fig1::run().render());
+        }
+        "fig2" => {
+            args.ensure_known(&common)?;
+            print!("{}", experiments::fig2::run().render());
+        }
+        "fig3" => {
+            args.ensure_known(&["scale", "seed", "csv", "dataset", "include-4e"])?;
+            let f = experiments::fig3::run(&corpus_from(args)?, args.has("include-4e"));
+            if args.has("csv") {
+                print!("{}", f.to_csv());
+            } else {
+                print!("{}", f.render());
+            }
+        }
+        "fig4" => {
+            args.ensure_known(&["scale", "seed", "csv", "dataset", "all"])?;
+            let f = experiments::fig4::run(&corpus_from(args)?, args.has("all"));
+            if args.has("csv") {
+                print!("{}", f.to_csv());
+            } else {
+                print!("{}", f.render());
+            }
+        }
+        "fig5" => {
+            args.ensure_known(&["scale", "seed", "csv", "dataset", "all"])?;
+            let f = experiments::fig5::run(&corpus_from(args)?, args.has("all"));
+            if args.has("csv") {
+                print!("{}", f.to_csv());
+            } else {
+                print!("{}", f.render());
+            }
+        }
+        "fig6" => {
+            args.ensure_known(&common)?;
+            let f = experiments::fig6::run(&corpus_from(args)?);
+            if args.has("csv") {
+                print!("{}", f.to_csv());
+            } else {
+                print!("{}", f.render());
+            }
+        }
+        "all" => {
+            args.ensure_known(&common)?;
+            let corpus = corpus_from(args)?;
+            print!("{}", experiments::table2::run(&corpus).render());
+            println!();
+            print!("{}", experiments::fig1::run().render());
+            println!();
+            print!("{}", experiments::fig2::run().render());
+            println!();
+            print!("{}", experiments::table3::run(&corpus).render());
+            println!();
+            print!("{}", experiments::table4::run(&corpus).render());
+            println!();
+            print!("{}", experiments::table5::run(&corpus).render());
+            println!();
+            print!("{}", experiments::fig3::run(&corpus, true).render());
+            println!();
+            print!("{}", experiments::fig4::run(&corpus, true).render());
+            println!();
+            print!("{}", experiments::fig5::run(&corpus, true).render());
+            println!();
+            print!("{}", experiments::fig6::run(&corpus).render());
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n");
+            eprint!("{HELP}");
+            return Err("unknown command".into());
+        }
+    }
+    Ok(())
+}

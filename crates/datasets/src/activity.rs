@@ -1,0 +1,101 @@
+//! Node activity sampling: who initiates events.
+//!
+//! Real communication networks have heavy-tailed activity: a few nodes
+//! send most messages. We use a Zipf-like sampler (weight `rank^-α`) with
+//! a cumulative table + binary search, which is deterministic, O(log n)
+//! per draw, and needs no extra crates.
+
+use rand::Rng;
+
+/// Weighted node sampler with Zipf weights `((i+1))^-alpha`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` nodes with exponent `alpha >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` or `alpha` is negative/non-finite.
+    pub fn new(n: u32, alpha: f64) -> Self {
+        assert!(n > 0, "need at least one node");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be finite and non-negative");
+        let mut cumulative = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += (f64::from(i) + 1.0).powf(-alpha);
+            cumulative.push(acc);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> u32 {
+        self.cumulative.len() as u32
+    }
+
+    /// True if the sampler covers no nodes (cannot occur post-new).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws one node id in `0..n`, lower ids more likely.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x: f64 = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= x) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_alpha_zero() {
+        let s = ZipfSampler::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[s.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts {counts:?} not uniform");
+        }
+    }
+
+    #[test]
+    fn skewed_when_alpha_positive() {
+        let s = ZipfSampler::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut first_decile = 0u32;
+        const DRAWS: u32 = 20_000;
+        for _ in 0..DRAWS {
+            if s.sample(&mut rng) < 10 {
+                first_decile += 1;
+            }
+        }
+        // With α=1.2, the top 10 of 100 nodes carry well over half the mass.
+        assert!(first_decile > DRAWS / 2, "only {first_decile}/{DRAWS} in top decile");
+    }
+
+    #[test]
+    fn all_ids_in_range() {
+        let s = ZipfSampler::new(7, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(s.sample(&mut rng) < 7);
+        }
+        assert_eq!(s.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        ZipfSampler::new(0, 1.0);
+    }
+}

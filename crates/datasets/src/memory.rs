@@ -1,0 +1,178 @@
+//! Recency memory: the substrate of behavioural event generation.
+//!
+//! Replies, repetitions, bursts, and forwards all reference a *recent*
+//! event. [`RecentMemory`] keeps a ring buffer of the last `K` events and
+//! samples from it with geometric recency bias, which is what produces
+//! the short inter-event correlations that the ΔC-based experiments
+//! (Section 5.2) rely on.
+
+use rand::Rng;
+use tnm_graph::Event;
+
+/// Ring buffer over recent events with geometrically biased sampling.
+#[derive(Debug, Clone)]
+pub struct RecentMemory {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Index of the oldest element (only meaningful once full).
+    head: usize,
+    /// Geometric parameter: probability of stopping at each step while
+    /// walking backwards from the most recent event.
+    recency: f64,
+}
+
+impl RecentMemory {
+    /// Creates a memory of capacity `cap` with recency bias `recency`
+    /// (`0 < recency < 1`; higher = more recent picks).
+    pub fn new(cap: usize, recency: f64) -> Self {
+        assert!(cap > 0, "memory needs capacity");
+        assert!(recency > 0.0 && recency < 1.0, "recency must be in (0,1)");
+        RecentMemory { buf: Vec::with_capacity(cap), cap, head: 0, recency }
+    }
+
+    /// Number of remembered events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True before any event is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Records an event, evicting the oldest when full.
+    pub fn push(&mut self, e: Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push(e);
+        } else {
+            self.buf[self.head] = e;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// The event `back` steps behind the most recent one (0 = newest).
+    fn nth_back(&self, back: usize) -> Event {
+        debug_assert!(back < self.buf.len());
+        if self.buf.len() < self.cap {
+            self.buf[self.buf.len() - 1 - back]
+        } else {
+            // Newest element sits just before `head` (circularly).
+            let idx = (self.head + self.cap - 1 - back) % self.cap;
+            self.buf[idx]
+        }
+    }
+
+    /// Samples a recent event, most recent most likely; `None` when empty.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Option<Event> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        // Geometric back-offset: 0 = most recent.
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        let back = ((1.0 - u).ln() / (1.0 - self.recency).ln()).floor() as usize;
+        Some(self.nth_back(back.min(self.buf.len() - 1)))
+    }
+
+    /// Samples uniformly over the whole memory — the *delayed* recall used
+    /// for habitual repetitions, whose long gap tail is what lets ΔC prune
+    /// repetition pairs harder than convey pairs (paper Figure 3).
+    pub fn sample_uniform<R: Rng>(&self, rng: &mut R) -> Option<Event> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let back = rng.gen_range(0..self.buf.len());
+        Some(self.nth_back(back))
+    }
+
+    /// The most recent event, if any.
+    pub fn last(&self) -> Option<Event> {
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some(self.nth_back(0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ev(t: i64) -> Event {
+        Event::new(t as u32, t as u32 + 1, t)
+    }
+
+    #[test]
+    fn push_and_last() {
+        let mut m = RecentMemory::new(3, 0.5);
+        assert!(m.is_empty());
+        m.push(ev(1));
+        m.push(ev(2));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.last().unwrap().time, 2);
+    }
+
+    #[test]
+    fn eviction_keeps_most_recent() {
+        let mut m = RecentMemory::new(3, 0.5);
+        for t in 1..=5 {
+            m.push(ev(t));
+        }
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.last().unwrap().time, 5);
+        // All sampled events must be among the 3 most recent.
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let t = m.sample(&mut rng).unwrap().time;
+            assert!((3..=5).contains(&t), "sampled evicted event at t={t}");
+        }
+    }
+
+    #[test]
+    fn long_runs_wrap_correctly() {
+        let mut m = RecentMemory::new(7, 0.5);
+        for t in 0..1000 {
+            m.push(ev(t));
+            assert_eq!(m.last().unwrap().time, t);
+        }
+        assert_eq!(m.len(), 7);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let t = m.sample(&mut rng).unwrap().time;
+            assert!((993..=999).contains(&t));
+        }
+    }
+
+    #[test]
+    fn sampling_biased_to_recent() {
+        let mut m = RecentMemory::new(100, 0.5);
+        for t in 0..100 {
+            m.push(ev(t));
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut newest = 0u32;
+        for _ in 0..10_000 {
+            if m.sample(&mut rng).unwrap().time >= 97 {
+                newest += 1;
+            }
+        }
+        // P(back <= 2) with p=0.5 is 87.5 %.
+        assert!(newest > 8_000, "only {newest}/10000 from the 3 newest");
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        let m = RecentMemory::new(4, 0.3);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(m.sample(&mut rng).is_none());
+        assert!(m.last().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "recency must be in (0,1)")]
+    fn bad_recency_rejected() {
+        RecentMemory::new(4, 1.5);
+    }
+}

@@ -1,0 +1,219 @@
+//! Randomized reference models (null models) for temporal networks.
+//!
+//! The paper's *Comparison criteria* section explains why its evaluation
+//! uses raw counts instead of significance against a null model: the
+//! authors "tried several link-shuffling and time-shuffling models from
+//! [Gauvin et al. 2018]; some are too restrictive where the motif counts
+//! barely change, and some others are too loose where all the motifs are
+//! reported as significant". This module implements the standard members
+//! of that family so the claim is reproducible:
+//!
+//! * [`shuffle_timestamps`] — permute timestamps across events (preserves
+//!   the static multigraph and the timestamp multiset; destroys all
+//!   temporal correlations). The *loose* end of the family.
+//! * [`shuffle_inter_event_gaps`] — permute the gaps of the global event
+//!   sequence (preserves event order and burstiness statistics; shifts
+//!   which events are close). A *restrictive* shuffle.
+//! * [`rewire_links`] — degree-preserving double-edge swaps on the static
+//!   projection, keeping each event's timestamp (destroys structural
+//!   correlation, preserves activity timelines).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tnm_graph::{Event, TemporalGraph, TemporalGraphBuilder, Time};
+
+/// Permutes timestamps uniformly across events.
+///
+/// Preserves: node pairs (the static multigraph), the multiset of
+/// timestamps. Destroys: inter-event correlations, causal ordering.
+pub fn shuffle_timestamps(graph: &TemporalGraph, seed: u64) -> TemporalGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut times: Vec<Time> = graph.events().iter().map(|e| e.time).collect();
+    fisher_yates(&mut times, &mut rng);
+    let events: Vec<Event> = graph
+        .events()
+        .iter()
+        .zip(times)
+        .map(|(e, t)| Event { time: t, ..*e })
+        .collect();
+    TemporalGraphBuilder::from_events(events).build().expect("shuffle preserves validity")
+}
+
+/// Permutes the inter-event gaps of the global timeline, keeping the
+/// event sequence (who interacts with whom, in which order) fixed.
+///
+/// Preserves: event order, the gap multiset (hence burstiness marginals
+/// and the median inter-event time). Destroys: which *specific* events
+/// sit close together.
+pub fn shuffle_inter_event_gaps(graph: &TemporalGraph, seed: u64) -> TemporalGraph {
+    let events = graph.events();
+    if events.len() < 3 {
+        return graph.clone();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gaps: Vec<Time> = events.windows(2).map(|w| w[1].time - w[0].time).collect();
+    fisher_yates(&mut gaps, &mut rng);
+    let mut t = events[0].time;
+    let mut out = Vec::with_capacity(events.len());
+    out.push(events[0]);
+    for (e, gap) in events[1..].iter().zip(gaps) {
+        t += gap;
+        out.push(Event { time: t, ..*e });
+    }
+    TemporalGraphBuilder::from_events(out).build().expect("gap shuffle preserves validity")
+}
+
+/// Degree-preserving link rewiring: repeated double-edge swaps on the
+/// event list — two events `(a,b,t1)`, `(c,d,t2)` become `(a,d,t1)`,
+/// `(c,b,t2)` when that introduces no self-loop.
+///
+/// Preserves: every node's out-event and in-event timelines (hence
+/// activity), all timestamps. Destroys: which pairs interact (community
+/// and reciprocity structure).
+pub fn rewire_links(graph: &TemporalGraph, seed: u64, swaps_per_event: usize) -> TemporalGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events: Vec<Event> = graph.events().to_vec();
+    let m = events.len();
+    if m >= 2 {
+        for _ in 0..m * swaps_per_event {
+            let i = rng.gen_range(0..m);
+            let j = rng.gen_range(0..m);
+            if i == j {
+                continue;
+            }
+            let (a, b) = (events[i].src, events[i].dst);
+            let (c, d) = (events[j].src, events[j].dst);
+            // Swap targets; reject if a self-loop would appear.
+            if a != d && c != b {
+                events[i].dst = d;
+                events[j].dst = b;
+            }
+        }
+    }
+    TemporalGraphBuilder::from_events(events).build().expect("rewire preserves validity")
+}
+
+fn fisher_yates<T>(xs: &mut [T], rng: &mut StdRng) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DatasetSpec;
+    use std::collections::HashMap;
+
+    fn graph() -> TemporalGraph {
+        let mut spec = DatasetSpec::sms_copenhagen();
+        spec.num_events = 2_000;
+        crate::generator::generate(&spec, 5)
+    }
+
+    fn timestamp_multiset(g: &TemporalGraph) -> HashMap<i64, usize> {
+        let mut m = HashMap::new();
+        for e in g.events() {
+            *m.entry(e.time).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn timestamp_shuffle_preserves_structure_and_times() {
+        let g = graph();
+        let s = shuffle_timestamps(&g, 1);
+        assert_eq!(s.num_events(), g.num_events());
+        assert_eq!(s.num_static_edges(), g.num_static_edges());
+        assert_eq!(timestamp_multiset(&s), timestamp_multiset(&g));
+        // Per-edge event counts unchanged.
+        for edge in g.static_edges() {
+            assert_eq!(g.edge_events(edge).len(), s.edge_events(edge).len());
+        }
+    }
+
+    #[test]
+    fn gap_shuffle_preserves_order_and_gap_multiset() {
+        let g = graph();
+        let s = shuffle_inter_event_gaps(&g, 2);
+        assert_eq!(s.num_events(), g.num_events());
+        // Same sequence of node pairs... up to reordering of equal
+        // timestamps; compare multisets of pairs instead.
+        let pairs = |g: &TemporalGraph| {
+            let mut v: Vec<(u32, u32)> =
+                g.events().iter().map(|e| (e.src.0, e.dst.0)).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(pairs(&g), pairs(&s));
+        // Gap multiset preserved.
+        let gaps = |g: &TemporalGraph| {
+            let mut v: Vec<i64> =
+                g.events().windows(2).map(|w| (w[1].time - w[0].time)).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(gaps(&g), gaps(&s));
+    }
+
+    #[test]
+    fn rewire_preserves_timelines_no_self_loops() {
+        let g = graph();
+        let s = rewire_links(&g, 3, 4);
+        assert_eq!(s.num_events(), g.num_events());
+        assert!(s.events().iter().all(|e| !e.is_self_loop()));
+        assert_eq!(timestamp_multiset(&s), timestamp_multiset(&g));
+        // Out-degrees (event counts per source) are preserved.
+        let out_counts = |g: &TemporalGraph| {
+            let mut m = HashMap::new();
+            for e in g.events() {
+                *m.entry(e.src).or_insert(0usize) += 1;
+            }
+            m
+        };
+        assert_eq!(out_counts(&g), out_counts(&s));
+    }
+
+    #[test]
+    fn shuffles_are_deterministic() {
+        let g = graph();
+        assert_eq!(shuffle_timestamps(&g, 7).events(), shuffle_timestamps(&g, 7).events());
+        assert_ne!(shuffle_timestamps(&g, 7).events(), shuffle_timestamps(&g, 8).events());
+    }
+
+    /// The paper's observation: time shuffling is "too loose" — it
+    /// destroys the temporal correlations, so correlated motifs crash
+    /// relative to the real network.
+    #[test]
+    fn timestamp_shuffle_destroys_temporal_motifs() {
+        use tnm_motifs::prelude::*;
+        let g = graph();
+        let cfg = EnumConfig::new(3, 3).with_timing(Timing::both(300, 600));
+        let real = count_motifs(&g, &cfg).total();
+        let null = count_motifs(&shuffle_timestamps(&g, 4), &cfg).total();
+        assert!(
+            (null as f64) < (real as f64) * 0.5,
+            "shuffled count {null} should crash below real {real}"
+        );
+    }
+
+    /// The paper's other observation: gap shuffling is "too restrictive" —
+    /// motif counts barely change because local order survives.
+    #[test]
+    fn gap_shuffle_changes_counts_much_less() {
+        use tnm_motifs::prelude::*;
+        let g = graph();
+        let cfg = EnumConfig::new(3, 3).with_timing(Timing::both(300, 600));
+        let real = count_motifs(&g, &cfg).total() as f64;
+        let loose = count_motifs(&shuffle_timestamps(&g, 4), &cfg).total() as f64;
+        let strict = count_motifs(&shuffle_inter_event_gaps(&g, 4), &cfg).total() as f64;
+        let loose_drop = (real - loose).abs() / real;
+        let strict_drop = (real - strict).abs() / real;
+        assert!(
+            strict_drop < loose_drop,
+            "gap shuffle (drop {strict_drop:.3}) must disturb counts less than \
+             timestamp shuffle (drop {loose_drop:.3})"
+        );
+    }
+}

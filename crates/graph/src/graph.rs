@@ -1,0 +1,389 @@
+//! The time-ordered temporal graph store with node and edge time indexes.
+//!
+//! [`TemporalGraph`] keeps the event list sorted by `(time, src, dst)` and
+//! maintains two auxiliary indexes that the motif models need:
+//!
+//! * a **node index** (CSR layout): for every node, the time-ordered list of
+//!   events it participates in. Kovanen et al.'s *consecutive events
+//!   restriction* is a per-node range count on this index.
+//! * an **edge index**: for every directed static edge, the time-ordered
+//!   list of events on it. Hulovatyy et al.'s *constrained dynamic
+//!   graphlet* restriction is a per-edge range count on this index.
+//!
+//! Both indexes store event indices rather than copies of the events, so a
+//! graph with `m` events costs `O(m)` extra words.
+
+use crate::error::{GraphError, Result};
+use crate::event::Event;
+use crate::ids::{Edge, EventIdx, NodeId, Time};
+use std::collections::HashMap;
+
+/// An immutable temporal network: a time-ordered multiset of directed
+/// events plus node/edge time indexes.
+///
+/// Construct one with [`crate::TemporalGraphBuilder`] or
+/// [`TemporalGraph::from_events`].
+#[derive(Debug, Clone)]
+pub struct TemporalGraph {
+    events: Vec<Event>,
+    num_nodes: u32,
+    node_offsets: Vec<u32>,
+    node_events: Vec<EventIdx>,
+    edge_spans: HashMap<Edge, (u32, u32)>,
+    edge_events: Vec<EventIdx>,
+}
+
+impl TemporalGraph {
+    /// Builds a graph from an unsorted batch of events.
+    ///
+    /// Events are sorted by `(time, src, dst)`; self-loops are rejected.
+    pub fn from_events(events: Vec<Event>) -> Result<Self> {
+        crate::builder::TemporalGraphBuilder::from_events(events).build()
+    }
+
+    pub(crate) fn from_sorted_events(events: Vec<Event>, num_nodes: u32) -> Self {
+        debug_assert!(events.windows(2).all(|w| w[0] <= w[1]), "events must be sorted");
+        let (node_offsets, node_events) = build_node_index(&events, num_nodes);
+        let (edge_spans, edge_events) = build_edge_index(&events);
+        TemporalGraph { events, num_nodes, node_offsets, node_events, edge_spans, edge_events }
+    }
+
+    /// The full time-ordered event list.
+    #[inline]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The event at index `idx`.
+    #[inline]
+    pub fn event(&self, idx: EventIdx) -> &Event {
+        &self.events[idx as usize]
+    }
+
+    /// Number of events (`|E|` in the paper's Table 2).
+    #[inline]
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the graph holds no events.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of nodes (`|V|`). Nodes are `0..num_nodes`.
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Number of distinct directed static edges ("Edges" in Table 2).
+    #[inline]
+    pub fn num_static_edges(&self) -> usize {
+        self.edge_spans.len()
+    }
+
+    /// Time of the earliest event; `None` if empty.
+    #[inline]
+    pub fn first_time(&self) -> Option<Time> {
+        self.events.first().map(|e| e.time)
+    }
+
+    /// Time of the latest event; `None` if empty.
+    #[inline]
+    pub fn last_time(&self) -> Option<Time> {
+        self.events.last().map(|e| e.time)
+    }
+
+    /// `last_time - first_time`, or 0 for graphs with under two events.
+    #[inline]
+    pub fn timespan(&self) -> Time {
+        match (self.first_time(), self.last_time()) {
+            (Some(a), Some(b)) => b - a,
+            _ => 0,
+        }
+    }
+
+    /// Time-ordered event indices adjacent to `node`.
+    #[inline]
+    pub fn node_events(&self, node: NodeId) -> &[EventIdx] {
+        let lo = self.node_offsets[node.index()] as usize;
+        let hi = self.node_offsets[node.index() + 1] as usize;
+        &self.node_events[lo..hi]
+    }
+
+    /// Number of events adjacent to `node`.
+    #[inline]
+    pub fn node_degree(&self, node: NodeId) -> usize {
+        self.node_events(node).len()
+    }
+
+    /// Time-ordered event indices on the directed edge `edge`
+    /// (empty slice if the edge never occurs).
+    #[inline]
+    pub fn edge_events(&self, edge: Edge) -> &[EventIdx] {
+        match self.edge_spans.get(&edge) {
+            Some(&(start, len)) => {
+                &self.edge_events[start as usize..(start + len) as usize]
+            }
+            None => &[],
+        }
+    }
+
+    /// True if the directed edge occurs at least once (static projection
+    /// membership). Used by the static-inducedness checks of Hulovatyy and
+    /// Paranjape models.
+    #[inline]
+    pub fn has_edge(&self, edge: Edge) -> bool {
+        self.edge_spans.contains_key(&edge)
+    }
+
+    /// Iterates over the distinct directed static edges.
+    pub fn static_edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.edge_spans.keys().copied()
+    }
+
+    /// Counts events adjacent to `node` with time in the **inclusive**
+    /// window `[t0, t1]`.
+    ///
+    /// This is the primitive behind Kovanen et al.'s consecutive events
+    /// restriction: a motif node `x` engaged in `k` motif events spanning
+    /// `[first_x, last_x]` is valid iff
+    /// `count_node_events_between(x, first_x, last_x) == k`.
+    pub fn count_node_events_between(&self, node: NodeId, t0: Time, t1: Time) -> usize {
+        count_in_window(&self.events, self.node_events(node), t0, t1)
+    }
+
+    /// Counts events on `edge` with time in the inclusive window `[t0, t1]`.
+    ///
+    /// Primitive behind Hulovatyy et al.'s constrained dynamic graphlets.
+    pub fn count_edge_events_between(&self, edge: Edge, t0: Time, t1: Time) -> usize {
+        count_in_window(&self.events, self.edge_events(edge), t0, t1)
+    }
+
+    /// The contiguous slice of events with `t0 <= time <= t1` together with
+    /// the index of its first element.
+    pub fn events_in_window(&self, t0: Time, t1: Time) -> (EventIdx, &[Event]) {
+        let lo = self.events.partition_point(|e| e.time < t0);
+        let hi = self.events.partition_point(|e| e.time <= t1);
+        (lo as EventIdx, &self.events[lo..hi])
+    }
+
+    /// Index of the first event with `time >= t`.
+    pub fn first_event_at_or_after(&self, t: Time) -> EventIdx {
+        self.events.partition_point(|e| e.time < t) as EventIdx
+    }
+
+    /// Returns all directed static edges both of whose endpoints lie in
+    /// `nodes`. `nodes` is expected to be tiny (motif node sets, ≤ 4).
+    pub fn static_edges_within(&self, nodes: &[NodeId]) -> Vec<Edge> {
+        let mut out = Vec::new();
+        for &a in nodes {
+            for &b in nodes {
+                if a != b && self.has_edge(Edge { src: a, dst: b }) {
+                    out.push(Edge { src: a, dst: b });
+                }
+            }
+        }
+        out
+    }
+
+    /// Validates internal invariants; used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<()> {
+        if self.events.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        for e in &self.events {
+            if e.src.0 >= self.num_nodes {
+                return Err(GraphError::NodeOutOfRange { node: e.src.0, num_nodes: self.num_nodes });
+            }
+            if e.dst.0 >= self.num_nodes {
+                return Err(GraphError::NodeOutOfRange { node: e.dst.0, num_nodes: self.num_nodes });
+            }
+            if e.is_self_loop() {
+                return Err(GraphError::SelfLoop { node: e.src.0, time: e.time });
+            }
+        }
+        assert!(self.events.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(self.node_events.len(), self.events.len() * 2);
+        assert_eq!(self.edge_events.len(), self.events.len());
+        Ok(())
+    }
+}
+
+/// Counts how many event indices in the time-sorted `index` slice fall in
+/// the inclusive window `[t0, t1]`, by binary search on event times.
+fn count_in_window(events: &[Event], index: &[EventIdx], t0: Time, t1: Time) -> usize {
+    if t1 < t0 {
+        return 0;
+    }
+    let lo = index.partition_point(|&i| events[i as usize].time < t0);
+    let hi = index.partition_point(|&i| events[i as usize].time <= t1);
+    hi - lo
+}
+
+fn build_node_index(events: &[Event], num_nodes: u32) -> (Vec<u32>, Vec<EventIdx>) {
+    let n = num_nodes as usize;
+    let mut counts = vec![0u32; n + 1];
+    for e in events {
+        counts[e.src.index() + 1] += 1;
+        counts[e.dst.index() + 1] += 1;
+    }
+    for i in 0..n {
+        counts[i + 1] += counts[i];
+    }
+    let offsets = counts.clone();
+    let mut cursor = counts;
+    let mut lists = vec![0 as EventIdx; events.len() * 2];
+    for (i, e) in events.iter().enumerate() {
+        // Events are visited in time order, so each per-node list ends up
+        // time-sorted without a separate sort pass.
+        lists[cursor[e.src.index()] as usize] = i as EventIdx;
+        cursor[e.src.index()] += 1;
+        lists[cursor[e.dst.index()] as usize] = i as EventIdx;
+        cursor[e.dst.index()] += 1;
+    }
+    (offsets, lists)
+}
+
+fn build_edge_index(events: &[Event]) -> (HashMap<Edge, (u32, u32)>, Vec<EventIdx>) {
+    let mut by_edge: HashMap<Edge, u32> = HashMap::new();
+    for e in events {
+        *by_edge.entry(e.edge()).or_insert(0) += 1;
+    }
+    let mut spans: HashMap<Edge, (u32, u32)> = HashMap::with_capacity(by_edge.len());
+    let mut cursor: HashMap<Edge, u32> = HashMap::with_capacity(by_edge.len());
+    let mut start = 0u32;
+    // Deterministic span layout: iterate events in time order and assign
+    // spans on first sight of each edge.
+    for e in events {
+        let edge = e.edge();
+        if let std::collections::hash_map::Entry::Vacant(e) = spans.entry(edge) {
+            let len = by_edge[&edge];
+            e.insert((start, len));
+            cursor.insert(edge, start);
+            start += len;
+        }
+    }
+    let mut lists = vec![0 as EventIdx; events.len()];
+    for (i, e) in events.iter().enumerate() {
+        let c = cursor.get_mut(&e.edge()).expect("edge seen above");
+        lists[*c as usize] = i as EventIdx;
+        *c += 1;
+    }
+    (spans, lists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TemporalGraph {
+        // The six-event network of the paper's Figure 1 (approximately):
+        // events at 3,7,8,9,11,15 seconds.
+        TemporalGraph::from_events(vec![
+            Event::new(0u32, 1u32, 3),
+            Event::new(1u32, 2u32, 7),
+            Event::new(1u32, 3u32, 8),
+            Event::new(2u32, 0u32, 9),
+            Event::new(0u32, 2u32, 11),
+            Event::new(2u32, 3u32, 15),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = sample();
+        assert_eq!(g.num_events(), 6);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_static_edges(), 6);
+        assert_eq!(g.first_time(), Some(3));
+        assert_eq!(g.last_time(), Some(15));
+        assert_eq!(g.timespan(), 12);
+    }
+
+    #[test]
+    fn node_index_is_time_sorted() {
+        let g = sample();
+        for n in 0..g.num_nodes() {
+            let evs = g.node_events(NodeId(n));
+            let times: Vec<_> = evs.iter().map(|&i| g.event(i).time).collect();
+            let mut sorted = times.clone();
+            sorted.sort();
+            assert_eq!(times, sorted, "node {n} index not time-sorted");
+        }
+        assert_eq!(g.node_degree(NodeId(0)), 3);
+        assert_eq!(g.node_degree(NodeId(1)), 3);
+        assert_eq!(g.node_degree(NodeId(2)), 4);
+        assert_eq!(g.node_degree(NodeId(3)), 2);
+    }
+
+    #[test]
+    fn edge_index_lookup() {
+        let g = sample();
+        let e01 = g.edge_events(Edge::new(0u32, 1u32));
+        assert_eq!(e01.len(), 1);
+        assert_eq!(g.event(e01[0]).time, 3);
+        assert!(g.has_edge(Edge::new(2u32, 3u32)));
+        assert!(!g.has_edge(Edge::new(3u32, 2u32)));
+        assert!(g.edge_events(Edge::new(3u32, 2u32)).is_empty());
+    }
+
+    #[test]
+    fn window_counting() {
+        let g = sample();
+        // Node 1 events at 3, 7, 8.
+        assert_eq!(g.count_node_events_between(NodeId(1), 3, 8), 3);
+        assert_eq!(g.count_node_events_between(NodeId(1), 4, 8), 2);
+        assert_eq!(g.count_node_events_between(NodeId(1), 9, 20), 0);
+        assert_eq!(g.count_node_events_between(NodeId(1), 8, 3), 0);
+        assert_eq!(g.count_edge_events_between(Edge::new(1u32, 2u32), 0, 100), 1);
+    }
+
+    #[test]
+    fn events_in_window_slice() {
+        let g = sample();
+        let (start, evs) = g.events_in_window(7, 9);
+        assert_eq!(start, 1);
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].time, 7);
+        assert_eq!(evs[2].time, 9);
+        let (_, all) = g.events_in_window(i64::MIN, i64::MAX);
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn static_edges_within_node_set() {
+        let g = sample();
+        let edges = g.static_edges_within(&[NodeId(0), NodeId(1), NodeId(2)]);
+        // 0->1, 1->2, 2->0, 0->2 all exist among {0,1,2}.
+        assert_eq!(edges.len(), 4);
+    }
+
+    #[test]
+    fn invariants_hold() {
+        sample().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_events_are_kept() {
+        let g = TemporalGraph::from_events(vec![
+            Event::new(0u32, 1u32, 5),
+            Event::new(0u32, 1u32, 5),
+        ])
+        .unwrap();
+        assert_eq!(g.num_events(), 2);
+        assert_eq!(g.edge_events(Edge::new(0u32, 1u32)).len(), 2);
+    }
+
+    #[test]
+    fn first_event_at_or_after_boundaries() {
+        let g = sample();
+        assert_eq!(g.first_event_at_or_after(0), 0);
+        assert_eq!(g.first_event_at_or_after(7), 1);
+        assert_eq!(g.first_event_at_or_after(10), 4);
+        assert_eq!(g.first_event_at_or_after(100), 6);
+    }
+}

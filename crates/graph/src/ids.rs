@@ -1,0 +1,113 @@
+//! Identifier newtypes used throughout the workspace.
+//!
+//! Nodes are dense `u32` identifiers (`0..num_nodes`), timestamps are
+//! `i64` seconds (the paper's datasets all have 1-second resolution), and
+//! events are referred to by their index in the time-ordered event list.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node identifier. Nodes are dense integers in `0..num_nodes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the raw index as `usize` for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    #[inline]
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Timestamp in seconds. All paper datasets use 1-second resolution;
+/// [`crate::transform::degrade_resolution`] coarsens this to snapshots.
+pub type Time = i64;
+
+/// Index of an event inside a [`crate::TemporalGraph`]'s time-ordered list.
+pub type EventIdx = u32;
+
+/// A directed static edge: the static projection of one or more events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node.
+    pub src: NodeId,
+    /// Target node.
+    pub dst: NodeId,
+}
+
+impl Edge {
+    /// Creates a directed edge.
+    #[inline]
+    pub fn new(src: impl Into<NodeId>, dst: impl Into<NodeId>) -> Self {
+        Edge { src: src.into(), dst: dst.into() }
+    }
+
+    /// The edge with source and target swapped.
+    #[inline]
+    pub fn reversed(self) -> Self {
+        Edge { src: self.dst, dst: self.src }
+    }
+
+    /// Canonical undirected representation (smaller node first).
+    #[inline]
+    pub fn undirected(self) -> (NodeId, NodeId) {
+        if self.src.0 <= self.dst.0 {
+            (self.src, self.dst)
+        } else {
+            (self.dst, self.src)
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.src, self.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId::from(7u32);
+        assert_eq!(u32::from(n), 7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(n.to_string(), "7");
+    }
+
+    #[test]
+    fn edge_reversed_and_undirected() {
+        let e = Edge::new(3u32, 1u32);
+        assert_eq!(e.reversed(), Edge::new(1u32, 3u32));
+        assert_eq!(e.undirected(), (NodeId(1), NodeId(3)));
+        assert_eq!(Edge::new(1u32, 3u32).undirected(), (NodeId(1), NodeId(3)));
+    }
+
+    #[test]
+    fn edge_display() {
+        assert_eq!(Edge::new(0u32, 9u32).to_string(), "0->9");
+    }
+}

@@ -1,0 +1,50 @@
+//! # tnm-graph — temporal network substrate
+//!
+//! Data model and indexes for temporal networks as defined in Section 2 of
+//! *Temporal Network Motifs: Models, Limitations, Evaluation* (Liu,
+//! Guarrasi, Sarıyüce; ICDE 2022 / arXiv:2005.11817):
+//!
+//! * a temporal network `G(V, E)` is a time-ordered list of **events**
+//!   `(u, v, t, Δt)` over directed node pairs;
+//! * an **edge** `(u, v)` is the static projection of an event;
+//! * event durations exist in the model but are ignored by most motif
+//!   definitions (they matter only for dynamic graphlets).
+//!
+//! The crate provides the event store ([`TemporalGraph`]) with per-node and
+//! per-edge time indexes, Table 2 statistics ([`stats::GraphStats`]),
+//! transformations used by the paper's protocol (resolution degrading,
+//! slicing), SNAP-style I/O, and the static projection.
+//!
+//! ```
+//! use tnm_graph::{TemporalGraphBuilder, stats::GraphStats};
+//!
+//! let g = TemporalGraphBuilder::new()
+//!     .event(0, 1, 10)
+//!     .event(1, 2, 15)
+//!     .event(2, 0, 18)
+//!     .build()
+//!     .unwrap();
+//! let s = GraphStats::compute(&g);
+//! assert_eq!(s.events, 3);
+//! assert_eq!(s.nodes, 3);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod error;
+pub mod event;
+pub mod graph;
+pub mod ids;
+pub mod io;
+pub mod static_proj;
+pub mod stats;
+pub mod transform;
+
+pub use builder::TemporalGraphBuilder;
+pub use error::{GraphError, Result};
+pub use event::Event;
+pub use graph::TemporalGraph;
+pub use ids::{Edge, EventIdx, NodeId, Time};
+pub use static_proj::StaticProjection;

@@ -1,0 +1,135 @@
+//! Static projection of a temporal network.
+//!
+//! The paper distinguishes *edges* (static projections, unique node pairs)
+//! from *events* (timestamped interactions). Inducedness for Hulovatyy and
+//! Paranjape models is defined against this projection, and the dataset
+//! generators use its degree distributions for preferential attachment.
+
+use crate::graph::TemporalGraph;
+use crate::ids::{Edge, NodeId};
+use std::collections::HashMap;
+
+/// The static directed graph underlying a temporal network, with
+/// multiplicity (events-per-edge) information.
+#[derive(Debug, Clone)]
+pub struct StaticProjection {
+    out_neighbors: Vec<Vec<NodeId>>,
+    in_neighbors: Vec<Vec<NodeId>>,
+    multiplicity: HashMap<Edge, u32>,
+}
+
+impl StaticProjection {
+    /// Builds the projection from a temporal graph.
+    pub fn from_graph(graph: &TemporalGraph) -> Self {
+        let n = graph.num_nodes() as usize;
+        let mut multiplicity: HashMap<Edge, u32> = HashMap::new();
+        for e in graph.events() {
+            *multiplicity.entry(e.edge()).or_insert(0) += 1;
+        }
+        let mut out_neighbors = vec![Vec::new(); n];
+        let mut in_neighbors = vec![Vec::new(); n];
+        for edge in multiplicity.keys() {
+            out_neighbors[edge.src.index()].push(edge.dst);
+            in_neighbors[edge.dst.index()].push(edge.src);
+        }
+        for list in out_neighbors.iter_mut().chain(in_neighbors.iter_mut()) {
+            list.sort_unstable();
+        }
+        StaticProjection { out_neighbors, in_neighbors, multiplicity }
+    }
+
+    /// Distinct out-neighbors of `node`.
+    pub fn out_neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.out_neighbors[node.index()]
+    }
+
+    /// Distinct in-neighbors of `node`.
+    pub fn in_neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.in_neighbors[node.index()]
+    }
+
+    /// Static out-degree.
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.out_neighbors[node.index()].len()
+    }
+
+    /// Static in-degree.
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.in_neighbors[node.index()].len()
+    }
+
+    /// Number of events projected onto `edge` (0 if absent).
+    pub fn multiplicity(&self, edge: Edge) -> u32 {
+        self.multiplicity.get(&edge).copied().unwrap_or(0)
+    }
+
+    /// True if the directed edge exists.
+    pub fn has_edge(&self, edge: Edge) -> bool {
+        self.multiplicity.contains_key(&edge)
+    }
+
+    /// Number of distinct directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.multiplicity.len()
+    }
+
+    /// Fraction of directed edges whose reverse edge also exists
+    /// (a reciprocity measure: message networks are highly reciprocal,
+    /// stack-exchange networks much less so).
+    pub fn reciprocity(&self) -> f64 {
+        if self.multiplicity.is_empty() {
+            return 0.0;
+        }
+        let reciprocated = self
+            .multiplicity
+            .keys()
+            .filter(|e| self.multiplicity.contains_key(&e.reversed()))
+            .count();
+        reciprocated as f64 / self.multiplicity.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TemporalGraphBuilder;
+
+    fn sample() -> StaticProjection {
+        let g = TemporalGraphBuilder::new()
+            .event(0, 1, 1)
+            .event(0, 1, 5)
+            .event(1, 0, 7)
+            .event(1, 2, 9)
+            .event(2, 0, 11)
+            .build()
+            .unwrap();
+        StaticProjection::from_graph(&g)
+    }
+
+    #[test]
+    fn neighbors_and_degrees() {
+        let p = sample();
+        assert_eq!(p.out_neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(p.out_neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+        assert_eq!(p.in_neighbors(NodeId(0)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(p.out_degree(NodeId(1)), 2);
+        assert_eq!(p.in_degree(NodeId(2)), 1);
+    }
+
+    #[test]
+    fn multiplicity_counts_events() {
+        let p = sample();
+        assert_eq!(p.multiplicity(Edge::new(0u32, 1u32)), 2);
+        assert_eq!(p.multiplicity(Edge::new(1u32, 0u32)), 1);
+        assert_eq!(p.multiplicity(Edge::new(2u32, 1u32)), 0);
+        assert_eq!(p.num_edges(), 4);
+    }
+
+    #[test]
+    fn reciprocity_ratio() {
+        let p = sample();
+        // Edges: 0->1, 1->0 (reciprocated pair), 1->2, 2->0.
+        // Reciprocated directed edges: 0->1 and 1->0 => 2 of 4.
+        assert!((p.reciprocity() - 0.5).abs() < 1e-12);
+    }
+}

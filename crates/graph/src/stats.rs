@@ -1,0 +1,177 @@
+//! Dataset statistics — the columns of the paper's Table 2.
+//!
+//! For each network the paper reports: nodes, events, edges (distinct
+//! directed node pairs), `#T` (distinct timestamps), `|Eu|/|E|` (fraction
+//! of events whose timestamp is unique), and `m(Δt)` (median inter-event
+//! time over consecutive events of the global time-ordered stream).
+
+use crate::graph::TemporalGraph;
+use crate::ids::Time;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics for a temporal network (Table 2 row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// `|V|`: number of nodes.
+    pub nodes: u32,
+    /// `|E|`: number of events.
+    pub events: usize,
+    /// Number of distinct directed static edges.
+    pub static_edges: usize,
+    /// `#T`: number of distinct timestamps.
+    pub unique_timestamps: usize,
+    /// `|Eu|/|E|`: fraction of events whose timestamp is shared with no
+    /// other event.
+    pub unique_timestamp_fraction: f64,
+    /// `m(Δt)`: median of `t_{i+1} - t_i` over the global event stream,
+    /// in seconds. Zero gaps (simultaneous events) are included.
+    pub median_inter_event_time: f64,
+    /// Mean of the same gaps.
+    pub mean_inter_event_time: f64,
+    /// `t_max - t_min`.
+    pub timespan: Time,
+}
+
+impl GraphStats {
+    /// Computes all statistics in one pass over the event list.
+    pub fn compute(graph: &TemporalGraph) -> Self {
+        let events = graph.events();
+        let m = events.len();
+        let mut unique_timestamps = 0usize;
+        let mut unique_events = 0usize;
+        let mut gaps: Vec<Time> = Vec::with_capacity(m.saturating_sub(1));
+        let mut i = 0usize;
+        while i < m {
+            let mut j = i + 1;
+            while j < m && events[j].time == events[i].time {
+                j += 1;
+            }
+            unique_timestamps += 1;
+            if j - i == 1 {
+                unique_events += 1;
+            }
+            i = j;
+        }
+        for w in events.windows(2) {
+            gaps.push(w[1].time - w[0].time);
+        }
+        let median = median_i64(&mut gaps);
+        let mean = if gaps.is_empty() {
+            0.0
+        } else {
+            gaps.iter().map(|&g| g as f64).sum::<f64>() / gaps.len() as f64
+        };
+        GraphStats {
+            nodes: graph.num_nodes(),
+            events: m,
+            static_edges: graph.num_static_edges(),
+            unique_timestamps,
+            unique_timestamp_fraction: if m == 0 { 0.0 } else { unique_events as f64 / m as f64 },
+            median_inter_event_time: median,
+            mean_inter_event_time: mean,
+            timespan: graph.timespan(),
+        }
+    }
+}
+
+/// Median of an i64 sample (averaging the two middle elements for even
+/// lengths). Sorts in place.
+fn median_i64(xs: &mut [Time]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_unstable();
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2] as f64
+    } else {
+        (xs[n / 2 - 1] as f64 + xs[n / 2] as f64) / 2.0
+    }
+}
+
+/// Human-readable quantity formatting matching the paper's Table 2 style:
+/// `5.88K`, `35.6K`, `6.35M`, `536`.
+pub fn humanize(n: f64) -> String {
+    let (value, suffix) = if n >= 1e6 {
+        (n / 1e6, "M")
+    } else if n >= 1e3 {
+        (n / 1e3, "K")
+    } else {
+        return format!("{}", n.round() as i64);
+    };
+    if value >= 100.0 {
+        format!("{:.0}{}", value, suffix)
+    } else if value >= 10.0 {
+        format!("{:.1}{}", value, suffix)
+    } else {
+        format!("{:.2}{}", value, suffix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn graph(times: &[Time]) -> TemporalGraph {
+        let events: Vec<Event> =
+            times.iter().enumerate().map(|(i, &t)| Event::new(i as u32, (i + 1) as u32, t)).collect();
+        TemporalGraph::from_events(events).unwrap()
+    }
+
+    #[test]
+    fn unique_timestamp_fraction() {
+        // times: 1, 2, 2, 5 -> unique timestamps {1,2,5} = 3; unique events: t=1, t=5 -> 2/4.
+        let g = graph(&[1, 2, 2, 5]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.unique_timestamps, 3);
+        assert!((s.unique_timestamp_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_inter_event() {
+        // gaps: 1, 0, 3 -> sorted 0,1,3 -> median 1.
+        let g = graph(&[1, 2, 2, 5]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.median_inter_event_time, 1.0);
+        assert!((s.mean_inter_event_time - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_length_median_averages() {
+        let mut xs = vec![4, 1, 3, 2];
+        assert_eq!(median_i64(&mut xs), 2.5);
+        let mut one = vec![7];
+        assert_eq!(median_i64(&mut one), 7.0);
+        assert_eq!(median_i64(&mut []), 0.0);
+    }
+
+    #[test]
+    fn counts_match_graph() {
+        let g = graph(&[1, 2, 3]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.events, 3);
+        assert_eq!(s.nodes, g.num_nodes());
+        assert_eq!(s.static_edges, 3);
+        assert_eq!(s.timespan, 2);
+    }
+
+    #[test]
+    fn humanize_matches_paper_style() {
+        assert_eq!(humanize(536.0), "536");
+        assert_eq!(humanize(5_880.0), "5.88K");
+        assert_eq!(humanize(35_600.0), "35.6K");
+        assert_eq!(humanize(260_000.0), "260K");
+        assert_eq!(humanize(6_350_000.0), "6.35M");
+        assert_eq!(humanize(0.0), "0");
+    }
+
+    #[test]
+    fn single_event_stats() {
+        let g = graph(&[42]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.median_inter_event_time, 0.0);
+        assert_eq!(s.unique_timestamp_fraction, 1.0);
+        assert_eq!(s.timespan, 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Graph transformations used by the paper's experimental protocol.
+//!
+//! * **Resolution degrading** (Section 5.1.2): timestamps are floored to a
+//!   bucket size (300 s in the paper) to emulate snapshot-based data and
+//!   surface the constrained-dynamic-graphlet behaviour.
+//! * **Slicing** (Section 5, Datasets): the paper keeps only the earliest
+//!   10 % of StackOverflow events "for efficiency purposes".
+//! * **Node compaction**: drops unused node ids after filtering.
+
+use crate::builder::TemporalGraphBuilder;
+use crate::event::Event;
+use crate::graph::TemporalGraph;
+use crate::ids::Time;
+
+/// Floors every timestamp to a multiple of `bucket` seconds, emulating a
+/// snapshot representation (paper Section 5.1.2 uses `bucket = 300`).
+///
+/// Durations are preserved. Events keep their identity, so counts per edge
+/// do not change — only timestamp collisions increase.
+///
+/// # Panics
+///
+/// Panics if `bucket <= 0`.
+pub fn degrade_resolution(graph: &TemporalGraph, bucket: Time) -> TemporalGraph {
+    assert!(bucket > 0, "bucket size must be positive");
+    let events: Vec<Event> = graph
+        .events()
+        .iter()
+        .map(|e| Event { time: e.time.div_euclid(bucket) * bucket, ..*e })
+        .collect();
+    TemporalGraphBuilder::from_events(events)
+        .build()
+        .expect("degrading a valid graph cannot fail")
+}
+
+/// Keeps the earliest `fraction` of events (by position in the
+/// time-ordered stream), as the paper does for StackOverflow (10 %).
+///
+/// `fraction` is clamped to `[0, 1]`; the slice always keeps at least one
+/// event so the result stays a valid graph.
+pub fn slice_earliest_fraction(graph: &TemporalGraph, fraction: f64) -> TemporalGraph {
+    let m = graph.num_events();
+    let keep = ((m as f64 * fraction.clamp(0.0, 1.0)).round() as usize).clamp(1, m);
+    let events: Vec<Event> = graph.events()[..keep].to_vec();
+    TemporalGraphBuilder::from_events(events).build().expect("non-empty slice of a valid graph")
+}
+
+/// Keeps only events within the inclusive time window `[t0, t1]`.
+/// Returns `None` if the window is empty.
+pub fn slice_time_window(graph: &TemporalGraph, t0: Time, t1: Time) -> Option<TemporalGraph> {
+    let (_, evs) = graph.events_in_window(t0, t1);
+    if evs.is_empty() {
+        return None;
+    }
+    Some(
+        TemporalGraphBuilder::from_events(evs.to_vec())
+            .build()
+            .expect("non-empty window of a valid graph"),
+    )
+}
+
+/// Retains events satisfying `keep`, returning `None` when nothing
+/// survives the filter.
+pub fn filter_events<F>(graph: &TemporalGraph, mut keep: F) -> Option<TemporalGraph>
+where
+    F: FnMut(&Event) -> bool,
+{
+    let events: Vec<Event> = graph.events().iter().filter(|e| keep(e)).copied().collect();
+    if events.is_empty() {
+        None
+    } else {
+        Some(TemporalGraphBuilder::from_events(events).build().expect("non-empty filter result"))
+    }
+}
+
+/// Shifts all timestamps so the earliest event starts at `origin`.
+pub fn rebase_time(graph: &TemporalGraph, origin: Time) -> TemporalGraph {
+    let offset = origin - graph.first_time().unwrap_or(0);
+    let events: Vec<Event> =
+        graph.events().iter().map(|e| Event { time: e.time + offset, ..*e }).collect();
+    TemporalGraphBuilder::from_events(events).build().expect("rebasing a valid graph")
+}
+
+/// Renumbers nodes densely by first appearance, dropping unused ids.
+/// Useful after [`filter_events`] or [`slice_time_window`].
+pub fn compact_nodes(graph: &TemporalGraph) -> TemporalGraph {
+    let raw: Vec<(u64, u64, Time)> =
+        graph.events().iter().map(|e| (e.src.0 as u64, e.dst.0 as u64, e.time)).collect();
+    let (mut events, _names) = crate::builder::compact_node_ids(&raw);
+    // compact_node_ids drops durations; restore them positionally.
+    for (ev, orig) in events.iter_mut().zip(graph.events()) {
+        ev.duration = orig.duration;
+    }
+    TemporalGraphBuilder::from_events(events).build().expect("compacting a valid graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    fn sample() -> TemporalGraph {
+        TemporalGraphBuilder::new()
+            .event(0, 1, 3)
+            .event(1, 2, 307)
+            .event(2, 0, 432)
+            .event(0, 2, 650)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn degrade_floors_to_bucket() {
+        let g = degrade_resolution(&sample(), 300);
+        let times: Vec<_> = g.events().iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![0, 300, 300, 600]);
+        assert_eq!(g.num_events(), 4);
+    }
+
+    #[test]
+    fn degrade_handles_negative_times() {
+        let g = TemporalGraphBuilder::new().event(0, 1, -10).event(1, 2, 10).build().unwrap();
+        let d = degrade_resolution(&g, 300);
+        assert_eq!(d.events()[0].time, -300);
+        assert_eq!(d.events()[1].time, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket size must be positive")]
+    fn degrade_rejects_zero_bucket() {
+        degrade_resolution(&sample(), 0);
+    }
+
+    #[test]
+    fn slice_fraction_keeps_prefix() {
+        let g = slice_earliest_fraction(&sample(), 0.5);
+        assert_eq!(g.num_events(), 2);
+        assert_eq!(g.last_time(), Some(307));
+        // Never empty:
+        assert_eq!(slice_earliest_fraction(&sample(), 0.0).num_events(), 1);
+        assert_eq!(slice_earliest_fraction(&sample(), 2.0).num_events(), 4);
+    }
+
+    #[test]
+    fn window_slice() {
+        let g = slice_time_window(&sample(), 300, 500).unwrap();
+        assert_eq!(g.num_events(), 2);
+        assert!(slice_time_window(&sample(), 1000, 2000).is_none());
+    }
+
+    #[test]
+    fn filtering() {
+        let g = filter_events(&sample(), |e| e.src == NodeId(0)).unwrap();
+        assert_eq!(g.num_events(), 2);
+        assert!(filter_events(&sample(), |_| false).is_none());
+    }
+
+    #[test]
+    fn rebase_shifts_all() {
+        let g = rebase_time(&sample(), 0);
+        assert_eq!(g.first_time(), Some(0));
+        assert_eq!(g.last_time(), Some(647));
+    }
+
+    #[test]
+    fn compaction_renumbers() {
+        let g = TemporalGraphBuilder::new().event(10, 20, 1).event(20, 30, 2).build().unwrap();
+        assert_eq!(g.num_nodes(), 31);
+        let c = compact_nodes(&g);
+        assert_eq!(c.num_nodes(), 3);
+        assert_eq!(c.events()[0].src, NodeId(0));
+        assert_eq!(c.events()[0].dst, NodeId(1));
+    }
+
+    #[test]
+    fn compaction_preserves_durations() {
+        let g = TemporalGraphBuilder::new()
+            .event_with_duration(5, 9, 1, 60)
+            .event(9, 5, 2)
+            .build()
+            .unwrap();
+        let c = compact_nodes(&g);
+        assert_eq!(c.events()[0].duration, 60);
+        assert_eq!(c.events()[1].duration, 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Exhaustive catalogs of canonical motif types.
+//!
+//! The paper explores "all three-event two-/three-nodes (36 in total) and
+//! four-event two-/three-/four-nodes (696 in total) motifs", always
+//! restricted to motifs that *grow as a single component* (each event
+//! shares a node with an earlier one). This module generates those
+//! catalogs so experiments can report complete spectra and rankings.
+
+use crate::notation::{MotifSignature, MAX_EVENTS};
+
+/// Generates every canonical motif with exactly `num_events` events and at
+/// most `max_nodes` nodes that grows as a single component, in
+/// lexicographic signature order.
+///
+/// # Panics
+///
+/// Panics if `num_events` is 0 or exceeds [`MAX_EVENTS`], or if
+/// `max_nodes < 2`.
+pub fn all_motifs(num_events: usize, max_nodes: usize) -> Vec<MotifSignature> {
+    assert!((1..=MAX_EVENTS).contains(&num_events), "unsupported motif size");
+    assert!(max_nodes >= 2, "motifs need at least two nodes");
+    let mut out = Vec::new();
+    let mut pairs: Vec<(u8, u8)> = vec![(0, 1)];
+    extend(&mut pairs, 2, num_events, max_nodes, &mut out);
+    out.sort();
+    out
+}
+
+fn extend(
+    pairs: &mut Vec<(u8, u8)>,
+    used_nodes: u8,
+    target: usize,
+    max_nodes: usize,
+    out: &mut Vec<MotifSignature>,
+) {
+    if pairs.len() == target {
+        out.push(MotifSignature::from_pairs(pairs).expect("generator emits canonical pairs"));
+        return;
+    }
+    // Existing-node pairs: any ordered pair of distinct used nodes.
+    for a in 0..used_nodes {
+        for b in 0..used_nodes {
+            if a != b {
+                pairs.push((a, b));
+                extend(pairs, used_nodes, target, max_nodes, out);
+                pairs.pop();
+            }
+        }
+    }
+    // Introduce one fresh node (labelled `used_nodes`), attached to any
+    // existing node in either direction. Introducing two fresh nodes at
+    // once would break single-component growth.
+    if (used_nodes as usize) < max_nodes {
+        let fresh = used_nodes;
+        for old in 0..used_nodes {
+            for pair in [(old, fresh), (fresh, old)] {
+                pairs.push(pair);
+                extend(pairs, used_nodes + 1, target, max_nodes, out);
+                pairs.pop();
+            }
+        }
+    }
+}
+
+/// Motifs with exactly `num_events` events and exactly `num_nodes` nodes.
+pub fn motifs_with_exact_nodes(num_events: usize, num_nodes: usize) -> Vec<MotifSignature> {
+    all_motifs(num_events, num_nodes)
+        .into_iter()
+        .filter(|s| s.num_nodes() == num_nodes)
+        .collect()
+}
+
+/// The 32 three-node three-event motifs of Tables 3, 6, and 7.
+pub fn all_3n3e() -> Vec<MotifSignature> {
+    motifs_with_exact_nodes(3, 3)
+}
+
+/// The 4 two-node three-event motifs.
+pub fn all_2n3e() -> Vec<MotifSignature> {
+    motifs_with_exact_nodes(3, 2)
+}
+
+/// All 36 three-event motifs (two or three nodes).
+pub fn all_3e() -> Vec<MotifSignature> {
+    all_motifs(3, 3)
+}
+
+/// All 216 four-event motifs on two or three nodes.
+pub fn all_4e_up_to_3n() -> Vec<MotifSignature> {
+    all_motifs(4, 3)
+}
+
+/// All 696 four-event motifs on two, three, or four nodes.
+pub fn all_4e() -> Vec<MotifSignature> {
+    all_motifs(4, 4)
+}
+
+/// The 480 four-node four-event motifs.
+pub fn all_4n4e() -> Vec<MotifSignature> {
+    motifs_with_exact_nodes(4, 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::notation::sig;
+    use std::collections::HashSet;
+
+    #[test]
+    fn paper_catalog_sizes() {
+        // Section 1: 36 three-event and 696 four-event motifs.
+        assert_eq!(all_3e().len(), 36);
+        assert_eq!(all_4e().len(), 696);
+        // Section 5: "all 32 3n3e motifs"; event pairs exactly represent
+        // 216 (6^3) 2n4e/3n4e motifs; 480 4n4e motifs.
+        assert_eq!(all_2n3e().len(), 4);
+        assert_eq!(all_3n3e().len(), 32);
+        assert_eq!(all_4e_up_to_3n().len(), 216);
+        assert_eq!(all_4n4e().len(), 480);
+    }
+
+    #[test]
+    fn catalogs_are_sorted_and_unique() {
+        let m = all_4e();
+        let set: HashSet<_> = m.iter().collect();
+        assert_eq!(set.len(), m.len());
+        let mut sorted = m.clone();
+        sorted.sort();
+        assert_eq!(m, sorted);
+    }
+
+    #[test]
+    fn all_generated_motifs_are_single_component() {
+        assert!(all_4e().iter().all(|s| s.is_single_component_growth()));
+    }
+
+    #[test]
+    fn known_motifs_present() {
+        let m3 = all_3n3e();
+        for s in ["010210", "011210", "012010", "012110", "011202", "012020"] {
+            assert!(m3.contains(&sig(s)), "missing {s}");
+        }
+        let m2 = all_2n3e();
+        assert_eq!(
+            m2,
+            vec![sig("010101"), sig("010110"), sig("011001"), sig("011010")]
+        );
+    }
+
+    #[test]
+    fn two_event_catalog_matches_event_pairs() {
+        // With <= 3 nodes, 2-event motifs are exactly the 6 event pairs.
+        assert_eq!(all_motifs(2, 3).len(), 6);
+        // With <= 4 nodes there is no extra 2-event motif (two fresh nodes
+        // would be disconnected).
+        assert_eq!(all_motifs(2, 4).len(), 6);
+    }
+
+    #[test]
+    fn event_pair_sequences_are_exact_for_3e() {
+        // The 36 3e motifs map bijectively onto the 36 pair sequences.
+        let seqs: HashSet<Vec<_>> = all_3e()
+            .iter()
+            .map(|s| s.event_pair_sequence().into_iter().map(Option::unwrap).collect::<Vec<_>>())
+            .collect();
+        assert_eq!(seqs.len(), 36);
+    }
+
+    #[test]
+    fn event_pair_sequences_are_exact_for_4e_up_to_3n() {
+        let seqs: HashSet<Vec<_>> = all_4e_up_to_3n()
+            .iter()
+            .map(|s| s.event_pair_sequence().into_iter().map(Option::unwrap).collect::<Vec<_>>())
+            .collect();
+        assert_eq!(seqs.len(), 216);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported motif size")]
+    fn zero_events_rejected() {
+        all_motifs(0, 3);
+    }
+}

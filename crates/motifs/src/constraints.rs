@@ -1,0 +1,242 @@
+//! Timing constraints ΔC and ΔW (paper Sections 4.5 and 5.2).
+//!
+//! * **ΔC** bounds the gap between every pair of *consecutive* events in a
+//!   motif: it captures temporal correlation but only bounds the whole
+//!   motif loosely by `(m−1)·ΔC`.
+//! * **ΔW** bounds the gap between the *first and last* events: it gives
+//!   a holistic view but says nothing about intermediate events.
+//!
+//! Section 4.5 derives when each constraint is actually binding for an
+//! `m`-event motif: with `r = ΔC/ΔW`, only ΔC binds when `r ≤ 1/(m−1)`,
+//! only ΔW binds when `r ≥ 1`, and both bind in between. The experiments
+//! of Section 5.2 sweep exactly this ratio.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tnm_graph::Time;
+
+/// A ΔC/ΔW timing configuration. `None` disables a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Timing {
+    /// Maximum allowed gap between consecutive motif events (seconds).
+    pub delta_c: Option<Time>,
+    /// Maximum allowed gap between first and last motif events (seconds).
+    pub delta_w: Option<Time>,
+}
+
+impl Timing {
+    /// Neither constraint (useful for tiny toy graphs only).
+    pub const UNBOUNDED: Timing = Timing { delta_c: None, delta_w: None };
+
+    /// Only-ΔC configuration (Kovanen, Hulovatyy style).
+    pub fn only_c(delta_c: Time) -> Self {
+        assert!(delta_c >= 0, "ΔC must be non-negative");
+        Timing { delta_c: Some(delta_c), delta_w: None }
+    }
+
+    /// Only-ΔW configuration (Song, Paranjape style).
+    pub fn only_w(delta_w: Time) -> Self {
+        assert!(delta_w >= 0, "ΔW must be non-negative");
+        Timing { delta_c: None, delta_w: Some(delta_w) }
+    }
+
+    /// Both constraints (the trade-off configuration of Section 5.2).
+    pub fn both(delta_c: Time, delta_w: Time) -> Self {
+        assert!(delta_c >= 0 && delta_w >= 0, "timing bounds must be non-negative");
+        Timing { delta_c: Some(delta_c), delta_w: Some(delta_w) }
+    }
+
+    /// Builds the configuration the paper writes as `ΔC/ΔW = r` for a fixed
+    /// ΔW: `r >= 1` degenerates to only-ΔW, otherwise both constraints are
+    /// kept (callers picking `r ≤ 1/(m−1)` get an effectively-only-ΔC
+    /// configuration, as the paper notes).
+    pub fn from_ratio(delta_w: Time, ratio: f64) -> Self {
+        assert!(ratio > 0.0, "ΔC/ΔW ratio must be positive");
+        if ratio >= 1.0 {
+            Timing::only_w(delta_w)
+        } else {
+            Timing::both((delta_w as f64 * ratio).round() as Time, delta_w)
+        }
+    }
+
+    /// The ΔC/ΔW ratio, when both are present.
+    pub fn ratio(&self) -> Option<f64> {
+        match (self.delta_c, self.delta_w) {
+            (Some(c), Some(w)) if w > 0 => Some(c as f64 / w as f64),
+            _ => None,
+        }
+    }
+
+    /// True if a consecutive-event gap is admissible.
+    #[inline]
+    pub fn pair_ok(&self, gap: Time) -> bool {
+        match self.delta_c {
+            Some(c) => gap <= c,
+            None => true,
+        }
+    }
+
+    /// True if a whole-motif span is admissible.
+    #[inline]
+    pub fn span_ok(&self, span: Time) -> bool {
+        match self.delta_w {
+            Some(w) => span <= w,
+            None => true,
+        }
+    }
+
+    /// Latest admissible timestamp for the next event of a motif whose
+    /// first event is at `t_first` and whose current last event is at
+    /// `t_last`. `None` means unbounded.
+    #[inline]
+    pub fn latest_next(&self, t_first: Time, t_last: Time) -> Option<Time> {
+        match (self.delta_c, self.delta_w) {
+            (Some(c), Some(w)) => Some((t_last + c).min(t_first + w)),
+            (Some(c), None) => Some(t_last + c),
+            (None, Some(w)) => Some(t_first + w),
+            (None, None) => None,
+        }
+    }
+
+    /// Which constraints are *binding* for an `m`-event motif
+    /// (Section 4.5's case analysis).
+    pub fn regime(&self, num_events: usize) -> ConstraintRegime {
+        match (self.delta_c, self.delta_w) {
+            (None, None) => ConstraintRegime::Unbounded,
+            (Some(_), None) => ConstraintRegime::OnlyDeltaC,
+            (None, Some(_)) => ConstraintRegime::OnlyDeltaW,
+            (Some(c), Some(w)) => {
+                let m = num_events.max(2) as f64;
+                let r = c as f64 / w as f64;
+                if r >= 1.0 {
+                    // ΔC never binds: ΔW alone already enforces it.
+                    ConstraintRegime::OnlyDeltaW
+                } else if r <= 1.0 / (m - 1.0) {
+                    // ΔW never binds: (m−1)·ΔC ≤ ΔW.
+                    ConstraintRegime::OnlyDeltaC
+                } else {
+                    ConstraintRegime::Both
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Timing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.delta_c, self.delta_w) {
+            (None, None) => write!(f, "unbounded"),
+            (Some(c), None) => write!(f, "ΔC={c}s"),
+            (None, Some(w)) => write!(f, "ΔW={w}s"),
+            (Some(c), Some(w)) => write!(f, "ΔC={c}s, ΔW={w}s"),
+        }
+    }
+}
+
+/// The binding-constraint regimes of Section 4.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConstraintRegime {
+    /// Only ΔC effectively constrains the motif.
+    OnlyDeltaC,
+    /// Both constraints bind (`1/(m−1) < ΔC/ΔW < 1`).
+    Both,
+    /// Only ΔW effectively constrains the motif.
+    OnlyDeltaW,
+    /// No timing constraint at all.
+    Unbounded,
+}
+
+impl fmt::Display for ConstraintRegime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConstraintRegime::OnlyDeltaC => "only-ΔC",
+            ConstraintRegime::Both => "ΔW-and-ΔC",
+            ConstraintRegime::OnlyDeltaW => "only-ΔW",
+            ConstraintRegime::Unbounded => "unbounded",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let c = Timing::only_c(1500);
+        assert_eq!(c.delta_c, Some(1500));
+        assert_eq!(c.delta_w, None);
+        let w = Timing::only_w(3000);
+        assert_eq!(w.delta_c, None);
+        assert_eq!(w.delta_w, Some(3000));
+        let b = Timing::both(2000, 3000);
+        assert_eq!(b.ratio(), Some(2000.0 / 3000.0));
+    }
+
+    #[test]
+    fn from_ratio_matches_paper_configs() {
+        // Section 5.2: ΔW = 3000s, ratios 0.5 / 0.66 / 1.0 for 3-event motifs.
+        let half = Timing::from_ratio(3000, 0.5);
+        assert_eq!(half, Timing::both(1500, 3000));
+        let two_thirds = Timing::from_ratio(3000, 0.66);
+        assert_eq!(two_thirds, Timing::both(1980, 3000));
+        let one = Timing::from_ratio(3000, 1.0);
+        assert_eq!(one, Timing::only_w(3000));
+    }
+
+    #[test]
+    fn pair_and_span_checks() {
+        let t = Timing::both(5, 10);
+        assert!(t.pair_ok(5));
+        assert!(!t.pair_ok(6));
+        assert!(t.span_ok(10));
+        assert!(!t.span_ok(11));
+        assert!(Timing::UNBOUNDED.pair_ok(1_000_000));
+        assert!(Timing::UNBOUNDED.span_ok(1_000_000));
+    }
+
+    #[test]
+    fn latest_next_combines_bounds() {
+        let t = Timing::both(5, 10);
+        // first at 0, last at 7: ΔC allows 12, ΔW allows 10.
+        assert_eq!(t.latest_next(0, 7), Some(10));
+        // first at 0, last at 2: ΔC allows 7, ΔW allows 10.
+        assert_eq!(t.latest_next(0, 2), Some(7));
+        assert_eq!(Timing::only_c(5).latest_next(0, 2), Some(7));
+        assert_eq!(Timing::only_w(10).latest_next(0, 2), Some(10));
+        assert_eq!(Timing::UNBOUNDED.latest_next(0, 2), None);
+    }
+
+    #[test]
+    fn regimes_follow_section_4_5() {
+        // m = 3 events: boundary at ratio 1/2 and 1.
+        let m = 3;
+        assert_eq!(Timing::both(1500, 3000).regime(m), ConstraintRegime::OnlyDeltaC);
+        assert_eq!(Timing::both(1000, 3000).regime(m), ConstraintRegime::OnlyDeltaC);
+        assert_eq!(Timing::both(2000, 3000).regime(m), ConstraintRegime::Both);
+        assert_eq!(Timing::both(3000, 3000).regime(m), ConstraintRegime::OnlyDeltaW);
+        assert_eq!(Timing::both(4000, 3000).regime(m), ConstraintRegime::OnlyDeltaW);
+        // m = 4 events: boundary at ratio 1/3.
+        assert_eq!(Timing::both(1000, 3000).regime(4), ConstraintRegime::OnlyDeltaC);
+        assert_eq!(Timing::both(1500, 3000).regime(4), ConstraintRegime::Both);
+        assert_eq!(Timing::only_c(5).regime(3), ConstraintRegime::OnlyDeltaC);
+        assert_eq!(Timing::only_w(5).regime(3), ConstraintRegime::OnlyDeltaW);
+        assert_eq!(Timing::UNBOUNDED.regime(3), ConstraintRegime::Unbounded);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(Timing::both(5, 10).to_string(), "ΔC=5s, ΔW=10s");
+        assert_eq!(Timing::only_c(5).to_string(), "ΔC=5s");
+        assert_eq!(Timing::only_w(10).to_string(), "ΔW=10s");
+        assert_eq!(Timing::UNBOUNDED.to_string(), "unbounded");
+        assert_eq!(ConstraintRegime::Both.to_string(), "ΔW-and-ΔC");
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be positive")]
+    fn zero_ratio_rejected() {
+        Timing::from_ratio(3000, 0.0);
+    }
+}

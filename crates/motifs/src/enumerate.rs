@@ -1,0 +1,581 @@
+//! The motif enumeration engine.
+//!
+//! A single backtracking walker covers every configuration in the paper:
+//! it enumerates time-ordered, single-component event sequences of an
+//! exact size under ΔC/ΔW pruning, then applies the per-model
+//! restrictions (consecutive events, static inducedness, constrained
+//! dynamic graphlets) as emission filters.
+//!
+//! Correctness relies on three facts:
+//!
+//! * instances are *sets* of events visited in strictly increasing time
+//!   order, so each set is enumerated exactly once;
+//! * events with equal timestamps never co-occur in a motif (the paper's
+//!   total-ordering rule), enforced by strict `>` on timestamps;
+//! * candidate events are drawn from the node index of the current node
+//!   set, which is exactly the "grows as a single component" rule.
+
+use crate::consecutive::{consecutive_ok, ConsecutiveScratch};
+use crate::constrained::constrained_ok;
+use crate::constraints::Timing;
+use crate::count::MotifCounts;
+use crate::induced::static_induced_ok;
+use crate::models::MotifModel;
+use crate::notation::MotifSignature;
+use parking_lot::Mutex;
+use tnm_graph::{EventIdx, NodeId, TemporalGraph, Time};
+
+/// Configuration for one enumeration run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumConfig {
+    /// Exact number of events per motif (`e` in `XnYe`).
+    pub num_events: usize,
+    /// Maximum number of distinct nodes.
+    pub max_nodes: usize,
+    /// Minimum number of distinct nodes (filter at emission).
+    pub min_nodes: usize,
+    /// ΔC / ΔW configuration.
+    pub timing: Timing,
+    /// Apply Kovanen's consecutive events restriction.
+    pub consecutive_events: bool,
+    /// Apply static-projection inducedness.
+    pub static_induced: bool,
+    /// Apply the constrained dynamic graphlet restriction.
+    pub constrained_dynamic: bool,
+    /// Measure ΔC gaps from the previous event's end time.
+    pub duration_aware: bool,
+    /// Only enumerate instances of this exact signature (prefix-pruned,
+    /// so targeted runs are much faster than full spectra).
+    pub signature_filter: Option<MotifSignature>,
+}
+
+impl EnumConfig {
+    /// A permissive configuration: `num_events` events on at most
+    /// `max_nodes` nodes, unbounded timing, no restrictions.
+    pub fn new(num_events: usize, max_nodes: usize) -> Self {
+        assert!(num_events >= 1, "motifs need at least one event");
+        assert!(max_nodes >= 2, "motifs need at least two nodes");
+        EnumConfig {
+            num_events,
+            max_nodes,
+            min_nodes: 2,
+            timing: Timing::UNBOUNDED,
+            consecutive_events: false,
+            static_induced: false,
+            constrained_dynamic: false,
+            duration_aware: false,
+            signature_filter: None,
+        }
+    }
+
+    /// Derives the engine configuration from a [`MotifModel`].
+    pub fn for_model(model: &MotifModel, num_events: usize, max_nodes: usize) -> Self {
+        EnumConfig {
+            timing: model.timing,
+            consecutive_events: model.consecutive_events,
+            static_induced: model.static_induced,
+            constrained_dynamic: model.constrained_dynamic,
+            duration_aware: model.duration_aware,
+            ..EnumConfig::new(num_events, max_nodes)
+        }
+    }
+
+    /// Targets a single signature: size/node bounds are derived from it.
+    pub fn for_signature(sig: MotifSignature) -> Self {
+        EnumConfig {
+            min_nodes: sig.num_nodes(),
+            max_nodes: sig.num_nodes(),
+            signature_filter: Some(sig),
+            ..EnumConfig::new(sig.num_events(), sig.num_nodes().max(2))
+        }
+    }
+
+    /// Sets the timing configuration (chainable).
+    pub fn with_timing(mut self, timing: Timing) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Requires exactly `n` nodes (chainable), e.g. 3 for the 3n3e tables.
+    pub fn exact_nodes(mut self, n: usize) -> Self {
+        self.min_nodes = n;
+        self.max_nodes = n;
+        self
+    }
+
+    /// Toggles the consecutive events restriction (chainable).
+    pub fn with_consecutive(mut self, yes: bool) -> Self {
+        self.consecutive_events = yes;
+        self
+    }
+
+    /// Toggles the constrained dynamic graphlet restriction (chainable).
+    pub fn with_constrained(mut self, yes: bool) -> Self {
+        self.constrained_dynamic = yes;
+        self
+    }
+
+    /// Toggles static inducedness (chainable).
+    pub fn with_static_induced(mut self, yes: bool) -> Self {
+        self.static_induced = yes;
+        self
+    }
+}
+
+/// A concrete motif occurrence handed to enumeration callbacks.
+#[derive(Debug, Clone, Copy)]
+pub struct MotifInstance<'a> {
+    /// Time-ordered event indices into the graph.
+    pub events: &'a [EventIdx],
+    /// The instance's canonical signature.
+    pub signature: MotifSignature,
+}
+
+impl MotifInstance<'_> {
+    /// Timestamps of the instance's events, in order.
+    pub fn times(&self, graph: &TemporalGraph) -> Vec<Time> {
+        self.events.iter().map(|&i| graph.event(i).time).collect()
+    }
+
+    /// `t_last − t_first` for this instance.
+    pub fn timespan(&self, graph: &TemporalGraph) -> Time {
+        let first = graph.event(self.events[0]).time;
+        let last = graph.event(*self.events.last().expect("non-empty motif")).time;
+        last - first
+    }
+}
+
+struct Walker<'g> {
+    graph: &'g TemporalGraph,
+    cfg: &'g EnumConfig,
+    seq: Vec<EventIdx>,
+    digits: Vec<NodeId>,
+    pairs: Vec<(u8, u8)>,
+    cand_bufs: Vec<Vec<EventIdx>>,
+    scratch: ConsecutiveScratch,
+}
+
+impl<'g> Walker<'g> {
+    fn new(graph: &'g TemporalGraph, cfg: &'g EnumConfig) -> Self {
+        let k = cfg.num_events;
+        Walker {
+            graph,
+            cfg,
+            seq: Vec::with_capacity(k),
+            digits: Vec::with_capacity(cfg.max_nodes),
+            pairs: Vec::with_capacity(k),
+            cand_bufs: (0..k).map(|_| Vec::new()).collect(),
+            scratch: ConsecutiveScratch::new(),
+        }
+    }
+
+    /// Maps a node to its digit, appending a fresh digit when new.
+    /// Returns `(digit, was_new)`.
+    #[inline]
+    fn digit_of(&mut self, node: NodeId) -> (u8, bool) {
+        match self.digits.iter().position(|&n| n == node) {
+            Some(i) => (i as u8, false),
+            None => {
+                self.digits.push(node);
+                ((self.digits.len() - 1) as u8, true)
+            }
+        }
+    }
+
+    /// Attempts to push `idx`; returns how many fresh digits were added
+    /// (`None` if rejected by node budget or the signature filter).
+    fn try_push(&mut self, idx: EventIdx) -> Option<usize> {
+        let e = self.graph.event(idx);
+        let new_needed = [e.src, e.dst]
+            .iter()
+            .filter(|&&n| !self.digits.contains(&n))
+            .count();
+        if self.digits.len() + new_needed > self.cfg.max_nodes {
+            return None;
+        }
+        let depth = self.seq.len();
+        let (a, a_new) = self.digit_of(e.src);
+        let (b, b_new) = self.digit_of(e.dst);
+        let added = a_new as usize + b_new as usize;
+        if let Some(target) = &self.cfg.signature_filter {
+            if target.pairs()[depth] != (a, b) {
+                self.digits.truncate(self.digits.len() - added);
+                return None;
+            }
+        }
+        self.pairs.push((a, b));
+        self.seq.push(idx);
+        Some(added)
+    }
+
+    fn pop(&mut self, added: usize) {
+        self.seq.pop();
+        self.pairs.pop();
+        self.digits.truncate(self.digits.len() - added);
+    }
+
+    fn descend<F: FnMut(&MotifInstance<'_>)>(&mut self, emit: &mut F) {
+        if self.seq.len() == self.cfg.num_events {
+            self.try_emit(emit);
+            return;
+        }
+        let first = self.graph.event(self.seq[0]);
+        let last = self.graph.event(*self.seq.last().expect("non-empty seq"));
+        let t_last = last.time;
+        let c_base = if self.cfg.duration_aware { last.end_time() } else { last.time };
+        let bound: Option<Time> = match (self.cfg.timing.delta_c, self.cfg.timing.delta_w) {
+            (Some(c), Some(w)) => Some((c_base + c).min(first.time + w)),
+            (Some(c), None) => Some(c_base + c),
+            (None, Some(w)) => Some(first.time + w),
+            (None, None) => None,
+        };
+        if let Some(b) = bound {
+            if b <= t_last {
+                return; // no strictly-later event can qualify
+            }
+        }
+        // Gather candidate events adjacent to the current node set with
+        // time in (t_last, bound].
+        let depth = self.seq.len();
+        let mut cands = std::mem::take(&mut self.cand_bufs[depth]);
+        cands.clear();
+        for &node in &self.digits {
+            let list = self.graph.node_events(node);
+            let start = list
+                .partition_point(|&i| self.graph.event(i).time <= t_last);
+            for &i in &list[start..] {
+                let t = self.graph.event(i).time;
+                if let Some(b) = bound {
+                    if t > b {
+                        break;
+                    }
+                }
+                cands.push(i);
+            }
+        }
+        cands.sort_unstable();
+        cands.dedup();
+        let mut pos = 0;
+        while pos < cands.len() {
+            let idx = cands[pos];
+            if let Some(added) = self.try_push(idx) {
+                self.descend(emit);
+                self.pop(added);
+            }
+            pos += 1;
+        }
+        self.cand_bufs[depth] = cands;
+    }
+
+    fn try_emit<F: FnMut(&MotifInstance<'_>)>(&mut self, emit: &mut F) {
+        if self.digits.len() < self.cfg.min_nodes {
+            return;
+        }
+        if self.cfg.consecutive_events
+            && !consecutive_ok(self.graph, &self.seq, &mut self.scratch)
+        {
+            return;
+        }
+        if self.cfg.constrained_dynamic && !constrained_ok(self.graph, &self.seq) {
+            return;
+        }
+        if self.cfg.static_induced && !static_induced_ok(self.graph, &self.seq) {
+            return;
+        }
+        let signature =
+            MotifSignature::from_pairs(&self.pairs).expect("walker builds canonical pairs");
+        let inst = MotifInstance { events: &self.seq, signature };
+        emit(&inst);
+    }
+
+    fn run_range<F: FnMut(&MotifInstance<'_>)>(
+        &mut self,
+        start_range: std::ops::Range<usize>,
+        mut emit: F,
+    ) {
+        for start in start_range {
+            debug_assert!(self.seq.is_empty() && self.digits.is_empty());
+            if let Some(added) = self.try_push(start as EventIdx) {
+                self.descend(&mut emit);
+                self.pop(added);
+            }
+        }
+    }
+}
+
+/// Enumerates every motif instance admitted by `cfg`, invoking `callback`
+/// once per instance (events in time order).
+pub fn enumerate_instances<F: FnMut(&MotifInstance<'_>)>(
+    graph: &TemporalGraph,
+    cfg: &EnumConfig,
+    callback: F,
+) {
+    let mut walker = Walker::new(graph, cfg);
+    walker.run_range(0..graph.num_events(), callback);
+}
+
+/// Counts instances per canonical signature.
+pub fn count_motifs(graph: &TemporalGraph, cfg: &EnumConfig) -> MotifCounts {
+    let mut counts = MotifCounts::new();
+    enumerate_instances(graph, cfg, |inst| counts.add(inst.signature, 1));
+    counts
+}
+
+/// Parallel variant of [`count_motifs`]: start events are partitioned
+/// across `threads` workers (crossbeam scoped threads), each counting
+/// into a local table merged at the end. Results are identical to the
+/// serial version.
+pub fn count_motifs_parallel(
+    graph: &TemporalGraph,
+    cfg: &EnumConfig,
+    threads: usize,
+) -> MotifCounts {
+    let threads = threads.max(1);
+    let m = graph.num_events();
+    if threads == 1 || m < 1024 {
+        return count_motifs(graph, cfg);
+    }
+    let global = Mutex::new(MotifCounts::new());
+    let chunk = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(m);
+            if lo >= hi {
+                continue;
+            }
+            let global = &global;
+            scope.spawn(move || {
+                let mut local = MotifCounts::new();
+                let mut walker = Walker::new(graph, cfg);
+                walker.run_range(lo..hi, |inst| local.add(inst.signature, 1));
+                global.lock().merge(&local);
+            });
+        }
+    });
+    global.into_inner()
+}
+
+/// Counts instances of one specific signature (prefix-pruned fast path
+/// used by the Figure 4/5 experiments).
+pub fn count_signature(
+    graph: &TemporalGraph,
+    sig: MotifSignature,
+    timing: Timing,
+) -> u64 {
+    let cfg = EnumConfig::for_signature(sig).with_timing(timing);
+    let mut n = 0u64;
+    enumerate_instances(graph, &cfg, |_| n += 1);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::notation::sig;
+    use tnm_graph::TemporalGraphBuilder;
+
+    fn chain_graph() -> TemporalGraph {
+        // 0->1 @10, 1->2 @20, 2->3 @30.
+        TemporalGraphBuilder::new()
+            .event(0, 1, 10)
+            .event(1, 2, 20)
+            .event(2, 3, 30)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn counts_simple_chain() {
+        let g = chain_graph();
+        let counts = count_motifs(&g, &EnumConfig::new(2, 4));
+        // Two 2-event motifs: (e1,e2) convey and (e2,e3) convey. (e1,e3)
+        // is disconnected (no shared node) so never enumerated... except
+        // e1=0->1 and e3=2->3 share nothing. Correct total: 2.
+        assert_eq!(counts.total(), 2);
+        assert_eq!(counts.get(sig("0112")), 2);
+        let three = count_motifs(&g, &EnumConfig::new(3, 4));
+        assert_eq!(three.total(), 1);
+        assert_eq!(three.get(sig("011223")), 1);
+    }
+
+    #[test]
+    fn timing_pruning_delta_c() {
+        let g = chain_graph();
+        // Gaps are 10 and 10. ΔC=10 admits everything; ΔC=9 admits nothing.
+        let ok = count_motifs(&g, &EnumConfig::new(3, 4).with_timing(Timing::only_c(10)));
+        assert_eq!(ok.total(), 1);
+        let none = count_motifs(&g, &EnumConfig::new(3, 4).with_timing(Timing::only_c(9)));
+        assert_eq!(none.total(), 0);
+    }
+
+    #[test]
+    fn timing_pruning_delta_w() {
+        let g = chain_graph();
+        // Span is 20. ΔW=20 admits the 3-event chain; ΔW=19 does not.
+        let ok = count_motifs(&g, &EnumConfig::new(3, 4).with_timing(Timing::only_w(20)));
+        assert_eq!(ok.total(), 1);
+        let none = count_motifs(&g, &EnumConfig::new(3, 4).with_timing(Timing::only_w(19)));
+        assert_eq!(none.total(), 0);
+    }
+
+    #[test]
+    fn section_4_5_example() {
+        // Events at times 1, 9, 10 sharing nodes: valid under ΔW=10,
+        // invalid under ΔC=5 (gap 8 > 5).
+        let g = TemporalGraphBuilder::new()
+            .event(0, 1, 1)
+            .event(1, 2, 9)
+            .event(2, 0, 10)
+            .build()
+            .unwrap();
+        let w = count_motifs(&g, &EnumConfig::new(3, 3).with_timing(Timing::only_w(10)));
+        assert_eq!(w.total(), 1);
+        let c = count_motifs(&g, &EnumConfig::new(3, 3).with_timing(Timing::only_c(5)));
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn equal_timestamps_never_share_a_motif() {
+        let g = TemporalGraphBuilder::new()
+            .event(0, 1, 10)
+            .event(1, 2, 10)
+            .event(2, 0, 20)
+            .build()
+            .unwrap();
+        let counts = count_motifs(&g, &EnumConfig::new(2, 3));
+        // Valid 2-event motifs: (0,1,10)->(2,0,20), (1,2,10)->(2,0,20).
+        assert_eq!(counts.total(), 2);
+    }
+
+    #[test]
+    fn node_budget_respected() {
+        let g = chain_graph();
+        let counts = count_motifs(&g, &EnumConfig::new(3, 3));
+        assert_eq!(counts.total(), 0, "chain needs 4 nodes");
+        let exact = count_motifs(&g, &EnumConfig::new(2, 4).exact_nodes(3));
+        assert_eq!(exact.total(), 2);
+    }
+
+    #[test]
+    fn star_burst_counts() {
+        // Out-burst star: 0->1, 0->2, 0->3 at 10, 20, 30.
+        let g = TemporalGraphBuilder::new()
+            .event(0, 1, 10)
+            .event(0, 2, 20)
+            .event(0, 3, 30)
+            .build()
+            .unwrap();
+        let counts = count_motifs(&g, &EnumConfig::new(3, 4));
+        assert_eq!(counts.get(sig("010203")), 1);
+        assert_eq!(counts.total(), 1);
+        // With the consecutive events restriction the star still passes:
+        // node 0 has no events outside the motif.
+        let cons = count_motifs(&g, &EnumConfig::new(3, 4).with_consecutive(true));
+        assert_eq!(cons.total(), 1);
+    }
+
+    #[test]
+    fn consecutive_restriction_filters() {
+        // Ask-reply 0->1, 1->2, 1->0 plus a distraction event touching
+        // node 0 in the middle.
+        let g = TemporalGraphBuilder::new()
+            .event(0, 1, 10)
+            .event(3, 0, 15)
+            .event(1, 2, 20)
+            .event(1, 0, 30)
+            .build()
+            .unwrap();
+        let free = count_motifs(
+            &g,
+            &EnumConfig::new(3, 3).exact_nodes(3).with_timing(Timing::only_c(100)),
+        );
+        // 010 210 exists among {0,1,2}: events 0,2,3.
+        assert!(free.get(sig("011210")) >= 1);
+        let cons = count_motifs(
+            &g,
+            &EnumConfig::new(3, 3)
+                .exact_nodes(3)
+                .with_timing(Timing::only_c(100))
+                .with_consecutive(true),
+        );
+        // Node 0 is engaged by (3,0,15) during [10,30]: filtered out.
+        assert_eq!(cons.get(sig("011210")), 0);
+    }
+
+    #[test]
+    fn signature_filter_matches_full_enumeration() {
+        let g = TemporalGraphBuilder::new()
+            .event(0, 1, 1)
+            .event(0, 1, 3)
+            .event(0, 2, 5)
+            .event(1, 0, 6)
+            .event(0, 1, 8)
+            .event(2, 0, 9)
+            .build()
+            .unwrap();
+        let full = count_motifs(&g, &EnumConfig::new(3, 3).with_timing(Timing::only_w(10)));
+        for (s, n) in full.iter() {
+            let targeted = count_signature(&g, s, Timing::only_w(10));
+            assert_eq!(targeted, n, "signature {s}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        // Deterministic medium-size graph.
+        let mut b = TemporalGraphBuilder::new();
+        let mut x = 12345u64;
+        for t in 0..2000i64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = (x >> 33) % 50;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let mut v = (x >> 33) % 50;
+            if v == u {
+                v = (v + 1) % 50;
+            }
+            b.push(tnm_graph::Event::new(u as u32, v as u32, t * 3));
+        }
+        let g = b.build().unwrap();
+        let cfg = EnumConfig::new(3, 3).with_timing(Timing::both(30, 60));
+        let serial = count_motifs(&g, &cfg);
+        let par = count_motifs_parallel(&g, &cfg, 4);
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn duration_aware_gap_measurement() {
+        // Event 1 lasts 10s (ends at 20); event 2 at t=24.
+        // Plain ΔC=5: gap 14 > 5 -> rejected.
+        // Duration-aware ΔC=5: gap from end = 4 <= 5 -> accepted.
+        let g = TemporalGraphBuilder::new()
+            .event_with_duration(0, 1, 10, 10)
+            .event(1, 2, 24)
+            .build()
+            .unwrap();
+        let plain = count_motifs(&g, &EnumConfig::new(2, 3).with_timing(Timing::only_c(5)));
+        assert_eq!(plain.total(), 0);
+        let mut cfg = EnumConfig::new(2, 3).with_timing(Timing::only_c(5));
+        cfg.duration_aware = true;
+        let aware = count_motifs(&g, &cfg);
+        assert_eq!(aware.total(), 1);
+    }
+
+    #[test]
+    fn model_config_roundtrip() {
+        let m = MotifModel::paranjape(3000);
+        let cfg = EnumConfig::for_model(&m, 3, 3);
+        assert!(cfg.static_induced);
+        assert_eq!(cfg.timing, Timing::only_w(3000));
+    }
+
+    #[test]
+    fn instance_times_and_timespan() {
+        let g = chain_graph();
+        let mut spans = Vec::new();
+        enumerate_instances(&g, &EnumConfig::new(3, 4), |inst| {
+            spans.push((inst.times(&g), inst.timespan(&g)));
+        });
+        assert_eq!(spans, vec![(vec![10, 20, 30], 20)]);
+    }
+}

@@ -1,0 +1,259 @@
+//! The event-pair lens (paper Section 5, Figure 2 right panel).
+//!
+//! Given two consecutive events that share a node, `(u1, v1, t1)` and
+//! `(u2, v2, t2)` with `t1 < t2`, there are exactly six possible
+//! relationships — a "6-letter alphabet" that is expressive enough to
+//! exactly represent every 2-/3-node motif and to broadly describe 4-node
+//! motifs, while exposing temporal correlations (Section 5.3).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The six event-pair types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EventPairType {
+    /// `R`: both events on the same edge (`u1=u2, v1=v2`).
+    Repetition,
+    /// `P`: second event reverses the first (`u1=v2, v1=u2`).
+    PingPong,
+    /// `I`: same target, different sources (`u1≠u2, v1=v2`).
+    InBurst,
+    /// `O`: same source, different targets (`u1=u2, v1≠v2`).
+    OutBurst,
+    /// `C`: second source is first target (`v1=u2, u1≠v2`).
+    Convey,
+    /// `W`: second target is first source (`u1=v2, v1≠u2`).
+    WeaklyConnected,
+}
+
+pub use EventPairType::*;
+
+/// All six types in the paper's presentation order (R, P, I, O, C, W).
+pub const ALL_PAIR_TYPES: [EventPairType; 6] =
+    [Repetition, PingPong, InBurst, OutBurst, Convey, WeaklyConnected];
+
+impl EventPairType {
+    /// Classifies the ordered pair of events `(a, b)` given as `(src, dst)`
+    /// node pairs. Returns `None` when the events share no node.
+    ///
+    /// The conditions are mutually exclusive: exactly one type applies to
+    /// any two node-sharing events (given no self-loops).
+    pub fn classify<N: Copy + Eq>(a: (N, N), b: (N, N)) -> Option<EventPairType> {
+        let (u1, v1) = a;
+        let (u2, v2) = b;
+        if u1 == u2 && v1 == v2 {
+            Some(Repetition)
+        } else if u1 == v2 && v1 == u2 {
+            Some(PingPong)
+        } else if v1 == v2 {
+            Some(InBurst)
+        } else if u1 == u2 {
+            Some(OutBurst)
+        } else if v1 == u2 {
+            Some(Convey)
+        } else if u1 == v2 {
+            Some(WeaklyConnected)
+        } else {
+            None
+        }
+    }
+
+    /// One-letter code used across the paper's tables and our reports.
+    pub fn letter(self) -> char {
+        match self {
+            Repetition => 'R',
+            PingPong => 'P',
+            InBurst => 'I',
+            OutBurst => 'O',
+            Convey => 'C',
+            WeaklyConnected => 'W',
+        }
+    }
+
+    /// Parses the one-letter code (case-insensitive).
+    pub fn from_letter(c: char) -> Option<EventPairType> {
+        match c.to_ascii_uppercase() {
+            'R' => Some(Repetition),
+            'P' => Some(PingPong),
+            'I' => Some(InBurst),
+            'O' => Some(OutBurst),
+            'C' => Some(Convey),
+            'W' => Some(WeaklyConnected),
+            _ => None,
+        }
+    }
+
+    /// Full name as printed in the paper's Figure 2.
+    pub fn name(self) -> &'static str {
+        match self {
+            Repetition => "Repetition",
+            PingPong => "Ping-pong",
+            InBurst => "In-burst",
+            OutBurst => "Out-burst",
+            Convey => "Convey",
+            WeaklyConnected => "Weakly-connected",
+        }
+    }
+
+    /// Dense index `0..6` in R, P, I, O, C, W order (for array-backed
+    /// counters and the Figure 6 heat maps).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Repetition => 0,
+            PingPong => 1,
+            InBurst => 2,
+            OutBurst => 3,
+            Convey => 4,
+            WeaklyConnected => 5,
+        }
+    }
+
+    /// Inverse of [`Self::index`].
+    pub fn from_index(i: usize) -> Option<EventPairType> {
+        ALL_PAIR_TYPES.get(i).copied()
+    }
+
+    /// True for the `{R, P, I, O}` group that Table 5 shows is amplified
+    /// by only-ΔW configurations (the `{C, W}` group is the complement).
+    pub fn is_rpio(self) -> bool {
+        !matches!(self, Convey | WeaklyConnected)
+    }
+}
+
+impl fmt::Display for EventPairType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// A fixed-size counter over the six event-pair types.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventPairCounts {
+    counts: [u64; 6],
+}
+
+impl EventPairCounts {
+    /// An all-zero counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` observations of `ty`.
+    #[inline]
+    pub fn add(&mut self, ty: EventPairType, n: u64) {
+        self.counts[ty.index()] += n;
+    }
+
+    /// Count for one type.
+    #[inline]
+    pub fn get(&self, ty: EventPairType) -> u64 {
+        self.counts[ty.index()]
+    }
+
+    /// Sum over all six types.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum over the `{R, P, I, O}` group (Table 5 rows).
+    pub fn rpio_total(&self) -> u64 {
+        ALL_PAIR_TYPES.iter().filter(|t| t.is_rpio()).map(|&t| self.get(t)).sum()
+    }
+
+    /// Sum over the `{C, W}` group (Table 5 rows).
+    pub fn cw_total(&self) -> u64 {
+        self.get(Convey) + self.get(WeaklyConnected)
+    }
+
+    /// Proportion of each type (zeros if empty), in R,P,I,O,C,W order.
+    pub fn ratios(&self) -> [f64; 6] {
+        let total = self.total();
+        if total == 0 {
+            return [0.0; 6];
+        }
+        let mut out = [0.0; 6];
+        for (o, &c) in out.iter_mut().zip(&self.counts) {
+            *o = c as f64 / total as f64;
+        }
+        out
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &EventPairCounts) {
+        for i in 0..6 {
+            self.counts[i] += other.counts[i];
+        }
+    }
+
+    /// Iterates `(type, count)` in R,P,I,O,C,W order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventPairType, u64)> + '_ {
+        ALL_PAIR_TYPES.iter().map(move |&t| (t, self.get(t)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_all_six() {
+        assert_eq!(EventPairType::classify((0, 1), (0, 1)), Some(Repetition));
+        assert_eq!(EventPairType::classify((0, 1), (1, 0)), Some(PingPong));
+        assert_eq!(EventPairType::classify((0, 1), (2, 1)), Some(InBurst));
+        assert_eq!(EventPairType::classify((0, 1), (0, 2)), Some(OutBurst));
+        assert_eq!(EventPairType::classify((0, 1), (1, 2)), Some(Convey));
+        assert_eq!(EventPairType::classify((0, 1), (2, 0)), Some(WeaklyConnected));
+        assert_eq!(EventPairType::classify((0, 1), (2, 3)), None);
+    }
+
+    #[test]
+    fn letters_roundtrip() {
+        for ty in ALL_PAIR_TYPES {
+            assert_eq!(EventPairType::from_letter(ty.letter()), Some(ty));
+            assert_eq!(EventPairType::from_index(ty.index()), Some(ty));
+        }
+        assert_eq!(EventPairType::from_letter('x'), None);
+        assert_eq!(EventPairType::from_index(6), None);
+    }
+
+    #[test]
+    fn group_membership() {
+        assert!(Repetition.is_rpio());
+        assert!(PingPong.is_rpio());
+        assert!(InBurst.is_rpio());
+        assert!(OutBurst.is_rpio());
+        assert!(!Convey.is_rpio());
+        assert!(!WeaklyConnected.is_rpio());
+    }
+
+    #[test]
+    fn counts_accumulate_and_merge() {
+        let mut c = EventPairCounts::new();
+        c.add(Repetition, 5);
+        c.add(Convey, 2);
+        assert_eq!(c.total(), 7);
+        assert_eq!(c.rpio_total(), 5);
+        assert_eq!(c.cw_total(), 2);
+        let mut d = EventPairCounts::new();
+        d.add(Repetition, 1);
+        d.add(WeaklyConnected, 1);
+        c.merge(&d);
+        assert_eq!(c.get(Repetition), 6);
+        assert_eq!(c.total(), 9);
+        let r = c.ratios();
+        assert!((r[0] - 6.0 / 9.0).abs() < 1e-12);
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ratios_are_zero() {
+        assert_eq!(EventPairCounts::new().ratios(), [0.0; 6]);
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(Repetition.name(), "Repetition");
+        assert_eq!(WeaklyConnected.to_string(), "W");
+    }
+}

@@ -1,0 +1,92 @@
+//! # tnm-motifs — temporal network motif models and counting engines
+//!
+//! The core library of the reproduction of *Temporal Network Motifs:
+//! Models, Limitations, Evaluation* (Liu, Guarrasi, Sarıyüce; ICDE 2022 /
+//! arXiv:2005.11817). It implements:
+//!
+//! * the paper's **digit-pair motif notation** and canonical signatures
+//!   ([`notation`]), with exhaustive catalogs (36 three-event and 696
+//!   four-event motifs, [`catalog`]);
+//! * the **event-pair lens** — the 6-letter alphabet {R, P, I, O, C, W}
+//!   over consecutive events ([`event_pair`]);
+//! * the **four surveyed models** — Kovanen [11], Song [12], Hulovatyy
+//!   [13], Paranjape [14] — unified as a configuration space ([`models`]);
+//! * the **timing constraints** ΔC and ΔW with the Section 4.5 regime
+//!   analysis ([`constraints`]);
+//! * the three inducedness/freshness restrictions: consecutive events
+//!   ([`consecutive`]), static inducedness ([`induced`]), constrained
+//!   dynamic graphlets ([`constrained`]);
+//! * a single backtracking **enumeration engine** covering every
+//!   configuration, with serial, parallel, and signature-targeted entry
+//!   points ([`enumerate`]) and spectrum analytics ([`count`]);
+//! * per-instance **validity checking** for Figure 1-style model
+//!   comparisons ([`validity`]);
+//! * **partial orders** and Song et al.'s **streaming event-pattern
+//!   matcher** ([`partial_order`], [`pattern`]);
+//! * extensions from the related-work program: **interval-sampling
+//!   approximate counting** ([`sampling`]) and **temporal cycle
+//!   enumeration** ([`cycles`]).
+//!
+//! ```
+//! use tnm_graph::TemporalGraphBuilder;
+//! use tnm_motifs::prelude::*;
+//!
+//! let g = TemporalGraphBuilder::new()
+//!     .event(0, 1, 7)
+//!     .event(1, 2, 9)
+//!     .event(0, 2, 11)
+//!     .build()
+//!     .unwrap();
+//!
+//! // Count all 3-event motifs within a 10-second window:
+//! let counts = count_motifs(&g, &EnumConfig::new(3, 3).with_timing(Timing::only_w(10)));
+//! assert_eq!(counts.get(sig("011202")), 1);
+//!
+//! // And check the instance against all four models (Figure 1 style):
+//! for verdict in check_against_all(&g, &[0, 1, 2], &MotifModel::all_four(5, 10)) {
+//!     assert!(verdict.is_valid());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod consecutive;
+pub mod constrained;
+pub mod constraints;
+pub mod count;
+pub mod cycles;
+pub mod enumerate;
+pub mod event_pair;
+pub mod induced;
+pub mod models;
+pub mod notation;
+pub mod partial_order;
+pub mod pattern;
+pub mod sampling;
+pub mod validity;
+
+/// Commonly used items, importable with `use tnm_motifs::prelude::*`.
+pub mod prelude {
+    pub use crate::catalog::{all_2n3e, all_3e, all_3n3e, all_4e, all_4e_up_to_3n, all_4n4e};
+    pub use crate::constraints::{ConstraintRegime, Timing};
+    pub use crate::count::{
+        pair_type_ratios, proportion_changes, ranking_changes, MotifCounts, PairGroupCounts,
+    };
+    pub use crate::enumerate::{
+        count_motifs, count_motifs_parallel, count_signature, enumerate_instances, EnumConfig,
+        MotifInstance,
+    };
+    pub use crate::event_pair::{EventPairCounts, EventPairType, ALL_PAIR_TYPES};
+    pub use crate::models::{EventOrdering, MotifModel};
+    pub use crate::notation::{sig, MotifSignature};
+    pub use crate::validity::{check_against_all, check_instance, Verdict, Violation};
+}
+
+pub use constraints::Timing;
+pub use count::MotifCounts;
+pub use enumerate::{count_motifs, count_motifs_parallel, EnumConfig};
+pub use event_pair::EventPairType;
+pub use models::MotifModel;
+pub use notation::MotifSignature;

@@ -1,0 +1,229 @@
+//! Partial orderings among motif events (paper Section 4.3).
+//!
+//! Kovanen et al. and Song et al. allow motifs whose events are only
+//! *partially* ordered. A partially-ordered motif is semantically the
+//! union of its linear extensions — each a totally-ordered motif — so the
+//! counting engine only ever needs total orders. This module represents
+//! partial-order patterns and enumerates their linear extensions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A strict partial order over `n` motif events, given as a set of
+/// `before ≺ after` constraints.
+///
+/// The relation must be irreflexive and acyclic; transitivity is implied
+/// (we operate on the closure).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialOrder {
+    n: usize,
+    /// `edges[i]` holds the events that must come after event `i`.
+    succ: Vec<Vec<usize>>,
+}
+
+/// Errors building a [`PartialOrder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderError {
+    /// A constraint references an event index `>= n`.
+    OutOfRange {
+        /// The offending index.
+        index: usize,
+    },
+    /// A constraint `i ≺ i` or a cycle was introduced.
+    Cyclic,
+}
+
+impl fmt::Display for OrderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrderError::OutOfRange { index } => write!(f, "event index {index} out of range"),
+            OrderError::Cyclic => write!(f, "ordering constraints contain a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for OrderError {}
+
+impl PartialOrder {
+    /// The empty order over `n` events (every permutation is a linear
+    /// extension).
+    pub fn unordered(n: usize) -> Self {
+        PartialOrder { n, succ: vec![Vec::new(); n] }
+    }
+
+    /// The unique total order `0 ≺ 1 ≺ ... ≺ n-1`.
+    pub fn total(n: usize) -> Self {
+        let mut po = Self::unordered(n);
+        for i in 1..n {
+            po.succ[i - 1].push(i);
+        }
+        po
+    }
+
+    /// Builds from explicit `(before, after)` constraints.
+    pub fn from_constraints(
+        n: usize,
+        constraints: &[(usize, usize)],
+    ) -> Result<Self, OrderError> {
+        let mut po = Self::unordered(n);
+        for &(a, b) in constraints {
+            if a >= n {
+                return Err(OrderError::OutOfRange { index: a });
+            }
+            if b >= n {
+                return Err(OrderError::OutOfRange { index: b });
+            }
+            if a == b {
+                return Err(OrderError::Cyclic);
+            }
+            po.succ[a].push(b);
+        }
+        if po.has_cycle() {
+            return Err(OrderError::Cyclic);
+        }
+        Ok(po)
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when there are no events.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// True if `a ≺ b` in the transitive closure.
+    pub fn precedes(&self, a: usize, b: usize) -> bool {
+        let mut stack = vec![a];
+        let mut seen = vec![false; self.n];
+        while let Some(x) = stack.pop() {
+            for &y in &self.succ[x] {
+                if y == b {
+                    return true;
+                }
+                if !seen[y] {
+                    seen[y] = true;
+                    stack.push(y);
+                }
+            }
+        }
+        false
+    }
+
+    fn has_cycle(&self) -> bool {
+        (0..self.n).any(|i| self.precedes(i, i))
+    }
+
+    /// Enumerates every linear extension (each a permutation of `0..n`
+    /// respecting all constraints), in lexicographic order.
+    ///
+    /// The paper's example: an acyclic triangle where `B→C` precedes both
+    /// `A→B` and `A→C` is the union of two totally-ordered motifs.
+    pub fn linear_extensions(&self) -> Vec<Vec<usize>> {
+        let mut indegree = vec![0usize; self.n];
+        for succs in &self.succ {
+            for &s in succs {
+                indegree[s] += 1;
+            }
+        }
+        let mut out = Vec::new();
+        let mut current = Vec::with_capacity(self.n);
+        let mut used = vec![false; self.n];
+        self.extend_recursive(&mut indegree, &mut used, &mut current, &mut out);
+        out
+    }
+
+    fn extend_recursive(
+        &self,
+        indegree: &mut Vec<usize>,
+        used: &mut Vec<bool>,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if current.len() == self.n {
+            out.push(current.clone());
+            return;
+        }
+        for i in 0..self.n {
+            if used[i] || indegree[i] != 0 {
+                continue;
+            }
+            used[i] = true;
+            current.push(i);
+            for &s in &self.succ[i] {
+                indegree[s] -= 1;
+            }
+            self.extend_recursive(indegree, used, current, out);
+            for &s in &self.succ[i] {
+                indegree[s] += 1;
+            }
+            current.pop();
+            used[i] = false;
+        }
+    }
+
+    /// Number of linear extensions without materializing them.
+    pub fn count_linear_extensions(&self) -> usize {
+        self.linear_extensions().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_has_single_extension() {
+        let po = PartialOrder::total(4);
+        let exts = po.linear_extensions();
+        assert_eq!(exts, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn unordered_has_factorial_extensions() {
+        assert_eq!(PartialOrder::unordered(3).count_linear_extensions(), 6);
+        assert_eq!(PartialOrder::unordered(4).count_linear_extensions(), 24);
+    }
+
+    #[test]
+    fn paper_triangle_example() {
+        // Events: 0 = A->B, 1 = A->C, 2 = B->C; constraint: 2 before 0 and 1.
+        let po = PartialOrder::from_constraints(3, &[(2, 0), (2, 1)]).unwrap();
+        let exts = po.linear_extensions();
+        // (B→C)≺(A→B)≺(A→C) and (B→C)≺(A→C)≺(A→B).
+        assert_eq!(exts, vec![vec![2, 0, 1], vec![2, 1, 0]]);
+    }
+
+    #[test]
+    fn precedes_is_transitive() {
+        let po = PartialOrder::from_constraints(3, &[(0, 1), (1, 2)]).unwrap();
+        assert!(po.precedes(0, 2));
+        assert!(!po.precedes(2, 0));
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        assert_eq!(
+            PartialOrder::from_constraints(2, &[(0, 1), (1, 0)]),
+            Err(OrderError::Cyclic)
+        );
+        assert_eq!(PartialOrder::from_constraints(2, &[(0, 0)]), Err(OrderError::Cyclic));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert_eq!(
+            PartialOrder::from_constraints(2, &[(0, 5)]),
+            Err(OrderError::OutOfRange { index: 5 })
+        );
+    }
+
+    #[test]
+    fn extension_count_matches_hook_length_known_case() {
+        // A "V" order: 0 before 1 and 2 (3 events): extensions = 2.
+        let po = PartialOrder::from_constraints(3, &[(0, 1), (0, 2)]).unwrap();
+        assert_eq!(po.count_linear_extensions(), 2);
+    }
+}

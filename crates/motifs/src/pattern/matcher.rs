@@ -1,0 +1,389 @@
+//! The streaming matcher for [`super::EventPattern`].
+//!
+//! Events are fed in non-decreasing time order (the natural stream
+//! order). The matcher maintains partial matches; each arriving event may
+//! extend a partial match by binding any *enabled* pattern edge — one
+//! whose predecessors in the partial order are already bound. Partial
+//! matches older than ΔW are evicted before each step, so state stays
+//! proportional to the traffic inside one window.
+
+use super::{EventPattern, PatternEdge};
+use tnm_graph::{Event, EventIdx, NodeId, TemporalGraph, Time};
+
+/// A completed pattern match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternMatch {
+    /// For each pattern edge (in declaration order), the matched event.
+    pub events: Vec<EventIdx>,
+    /// For each variable, the bound node.
+    pub bindings: Vec<NodeId>,
+    /// Time of the earliest matched event.
+    pub t_first: Time,
+    /// Time of the latest matched event.
+    pub t_last: Time,
+}
+
+#[derive(Debug, Clone)]
+struct Partial {
+    /// Event index per pattern edge; `EventIdx::MAX` = unbound.
+    assigned: Vec<EventIdx>,
+    /// Node per variable; `None` = unbound.
+    bindings: Vec<Option<NodeId>>,
+    /// Bitmask of bound pattern edges.
+    mask: u32,
+    t_first: Time,
+}
+
+/// Streaming matcher state. Feed events with [`Self::process`]; completed
+/// matches are returned as they close.
+#[derive(Debug)]
+pub struct StreamingMatcher {
+    pattern: EventPattern,
+    partials: Vec<Partial>,
+    /// Soft cap on live partial matches; oldest are evicted beyond it.
+    max_partials: usize,
+    /// Count of partial matches dropped by the cap (for diagnostics).
+    pub dropped_partials: u64,
+    last_time: Option<Time>,
+}
+
+impl StreamingMatcher {
+    /// Creates a matcher with the default state cap (65 536 partials).
+    pub fn new(pattern: EventPattern) -> Self {
+        Self::with_capacity(pattern, 1 << 16)
+    }
+
+    /// Creates a matcher with an explicit partial-match cap.
+    pub fn with_capacity(pattern: EventPattern, max_partials: usize) -> Self {
+        StreamingMatcher {
+            pattern,
+            partials: Vec::new(),
+            max_partials: max_partials.max(1),
+            dropped_partials: 0,
+            last_time: None,
+        }
+    }
+
+    /// The pattern being matched.
+    pub fn pattern(&self) -> &EventPattern {
+        &self.pattern
+    }
+
+    /// Number of live partial matches (diagnostics / tests).
+    pub fn live_partials(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// Feeds one event (with its stream index); returns matches completed
+    /// by this event. Events must arrive in non-decreasing time order.
+    ///
+    /// `node_labels`, when provided, gives each node's label for the
+    /// pattern's label predicates; unlabelled matching passes `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events arrive out of time order.
+    pub fn process(
+        &mut self,
+        idx: EventIdx,
+        event: &Event,
+        node_labels: Option<&[u32]>,
+    ) -> Vec<PatternMatch> {
+        if let Some(last) = self.last_time {
+            assert!(event.time >= last, "events must stream in time order");
+        }
+        self.last_time = Some(event.time);
+
+        // Evict expired partials: nothing starting before this horizon
+        // can still complete within ΔW.
+        let horizon = event.time - self.pattern.delta_w;
+        self.partials.retain(|p| p.t_first >= horizon);
+
+        let mut completed = Vec::new();
+        let mut spawned: Vec<Partial> = Vec::new();
+
+        // Try to extend every live partial (and the implicit empty one).
+        for pi in 0..self.partials.len() {
+            let extensions = self.extensions_of(&self.partials[pi], idx, event, node_labels);
+            for ext in extensions {
+                if ext.mask.count_ones() as usize == self.pattern.len() {
+                    completed.push(self.finish(ext));
+                } else {
+                    spawned.push(ext);
+                }
+            }
+        }
+        let empty = Partial {
+            assigned: vec![EventIdx::MAX; self.pattern.len()],
+            bindings: vec![None; self.pattern.num_vars],
+            mask: 0,
+            t_first: event.time,
+        };
+        for ext in self.extensions_of(&empty, idx, event, node_labels) {
+            if ext.mask.count_ones() as usize == self.pattern.len() {
+                completed.push(self.finish(ext));
+            } else {
+                spawned.push(ext);
+            }
+        }
+
+        self.partials.extend(spawned);
+        if self.partials.len() > self.max_partials {
+            let excess = self.partials.len() - self.max_partials;
+            // Oldest first: earlier t_first sorts first; drain them.
+            self.partials.sort_by_key(|p| std::cmp::Reverse(p.t_first));
+            self.partials.truncate(self.max_partials);
+            self.dropped_partials += excess as u64;
+        }
+        completed
+    }
+
+    /// All single-edge extensions of `partial` by `event`.
+    fn extensions_of(
+        &self,
+        partial: &Partial,
+        idx: EventIdx,
+        event: &Event,
+        node_labels: Option<&[u32]>,
+    ) -> Vec<Partial> {
+        if event.time - partial.t_first > self.pattern.delta_w {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (ei, pe) in self.pattern.edges.iter().enumerate() {
+            if partial.mask & (1 << ei) != 0 {
+                continue; // already bound
+            }
+            // All predecessors must be bound (time order then follows
+            // from stream order).
+            let enabled = (0..self.pattern.len()).all(|pj| {
+                !self.pattern.order.precedes(pj, ei) || partial.mask & (1 << pj) != 0
+            });
+            if !enabled {
+                continue;
+            }
+            if !edge_predicates_ok(pe, event, node_labels) {
+                continue;
+            }
+            if let Some(ext) = self.bind(partial, ei, idx, event) {
+                out.push(ext);
+            }
+        }
+        out
+    }
+
+    fn bind(
+        &self,
+        partial: &Partial,
+        edge_index: usize,
+        idx: EventIdx,
+        event: &Event,
+    ) -> Option<Partial> {
+        let pe = &self.pattern.edges[edge_index];
+        let mut bindings = partial.bindings.clone();
+        for (var, node) in [(pe.src_var, event.src), (pe.dst_var, event.dst)] {
+            match bindings[var] {
+                Some(bound) if bound != node => return None,
+                Some(_) => {}
+                None => {
+                    if self.pattern.injective && bindings.contains(&Some(node)) {
+                        return None;
+                    }
+                    bindings[var] = Some(node);
+                }
+            }
+        }
+        let mut assigned = partial.assigned.clone();
+        assigned[edge_index] = idx;
+        Some(Partial {
+            assigned,
+            bindings,
+            mask: partial.mask | (1 << edge_index),
+            t_first: partial.t_first.min(event.time),
+        })
+    }
+
+    fn finish(&self, partial: Partial) -> PatternMatch {
+        let bindings: Vec<NodeId> =
+            partial.bindings.into_iter().map(|b| b.expect("complete match binds all vars")).collect();
+        PatternMatch {
+            events: partial.assigned,
+            bindings,
+            t_first: partial.t_first,
+            t_last: self.last_time.expect("process ran"),
+        }
+    }
+
+    /// Runs the matcher over a whole graph, returning all matches.
+    pub fn match_graph(pattern: EventPattern, graph: &TemporalGraph) -> Vec<PatternMatch> {
+        let mut matcher = StreamingMatcher::new(pattern);
+        let mut out = Vec::new();
+        for (i, e) in graph.events().iter().enumerate() {
+            out.extend(matcher.process(i as EventIdx, e, None));
+        }
+        out
+    }
+}
+
+fn edge_predicates_ok(pe: &PatternEdge, event: &Event, node_labels: Option<&[u32]>) -> bool {
+    if let Some(maxd) = pe.max_duration {
+        if event.duration > maxd {
+            return false;
+        }
+    }
+    if let Some(labels) = node_labels {
+        if let Some(want) = pe.src_label {
+            if labels.get(event.src.index()).copied() != Some(want) {
+                return false;
+            }
+        }
+        if let Some(want) = pe.dst_label {
+            if labels.get(event.dst.index()).copied() != Some(want) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partial_order::PartialOrder;
+    use tnm_graph::TemporalGraphBuilder;
+
+    fn triangle_graph() -> TemporalGraph {
+        TemporalGraphBuilder::new()
+            .event(0, 1, 10)
+            .event(1, 2, 20)
+            .event(0, 2, 30)
+            .event(5, 6, 40)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn totally_ordered_triangle_matches_once() {
+        let p = EventPattern::totally_ordered(&[(0, 1), (1, 2), (0, 2)], 100).unwrap();
+        let matches = StreamingMatcher::match_graph(p, &triangle_graph());
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].events, vec![0, 1, 2]);
+        assert_eq!(matches[0].bindings, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(matches[0].t_first, 10);
+        assert_eq!(matches[0].t_last, 30);
+    }
+
+    #[test]
+    fn window_excludes_slow_matches() {
+        let p = EventPattern::totally_ordered(&[(0, 1), (1, 2), (0, 2)], 15).unwrap();
+        let matches = StreamingMatcher::match_graph(p, &triangle_graph());
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn partial_order_matches_both_orders() {
+        // Pattern: edges e0 = 0->1, e1 = 1->2, unordered.
+        let p = EventPattern::new(
+            vec![PatternEdge::new(0, 1), PatternEdge::new(1, 2)],
+            3,
+            PartialOrder::unordered(2),
+            100,
+        )
+        .unwrap();
+        // Stream where the convey happens "backwards" in time:
+        // (1,2) at t=10 then (0,1) at t=20.
+        let g = TemporalGraphBuilder::new().event(1, 2, 10).event(0, 1, 20).build().unwrap();
+        let matches = StreamingMatcher::match_graph(p.clone(), &g);
+        assert_eq!(matches.len(), 1, "unordered pattern must match reversed arrival");
+        // A totally ordered version must not match.
+        let total = EventPattern::totally_ordered(&[(0, 1), (1, 2)], 100).unwrap();
+        assert!(StreamingMatcher::match_graph(total, &g).is_empty());
+    }
+
+    #[test]
+    fn injectivity_blocks_variable_aliasing() {
+        // Pattern square 0->1->2->3 requires 4 distinct nodes.
+        let p = EventPattern::totally_ordered(&[(0, 1), (1, 2), (2, 3)], 100).unwrap();
+        // Chain that folds back onto node 0: 0->1->2->0.
+        let g = TemporalGraphBuilder::new()
+            .event(0, 1, 1)
+            .event(1, 2, 2)
+            .event(2, 0, 3)
+            .build()
+            .unwrap();
+        assert!(StreamingMatcher::match_graph(p.clone(), &g).is_empty());
+        let mut homo = p;
+        homo.injective = false;
+        assert_eq!(StreamingMatcher::match_graph(homo, &g).len(), 1);
+    }
+
+    #[test]
+    fn label_predicates() {
+        let mut edge = PatternEdge::new(0, 1);
+        edge.src_label = Some(7);
+        let p = EventPattern::new(vec![edge], 2, PartialOrder::total(1), 100).unwrap();
+        let labels = vec![7u32, 0, 0];
+        let g = TemporalGraphBuilder::new().event(0, 1, 1).event(1, 2, 2).build().unwrap();
+        let mut matcher = StreamingMatcher::new(p);
+        let m0 = matcher.process(0, &g.events()[0], Some(&labels));
+        assert_eq!(m0.len(), 1, "node 0 has label 7");
+        let m1 = matcher.process(1, &g.events()[1], Some(&labels));
+        assert!(m1.is_empty(), "node 1 lacks label 7");
+    }
+
+    #[test]
+    fn duration_predicate() {
+        let mut edge = PatternEdge::new(0, 1);
+        edge.max_duration = Some(30);
+        let p = EventPattern::new(vec![edge], 2, PartialOrder::total(1), 100).unwrap();
+        let g = TemporalGraphBuilder::new()
+            .event_with_duration(0, 1, 1, 10)
+            .event_with_duration(0, 1, 2, 60)
+            .build()
+            .unwrap();
+        let matches = StreamingMatcher::match_graph(p, &g);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].events, vec![0]);
+    }
+
+    #[test]
+    fn expired_partials_are_evicted() {
+        let p = EventPattern::totally_ordered(&[(0, 1), (1, 2)], 10).unwrap();
+        let g = TemporalGraphBuilder::new()
+            .event(0, 1, 0)
+            .event(3, 4, 100)
+            .build()
+            .unwrap();
+        let mut matcher = StreamingMatcher::new(p);
+        matcher.process(0, &g.events()[0], None);
+        assert_eq!(matcher.live_partials(), 1);
+        matcher.process(1, &g.events()[1], None);
+        // The t=0 partial is long expired at t=100.
+        assert_eq!(matcher.live_partials(), 1, "only the new partial remains");
+    }
+
+    #[test]
+    fn state_cap_drops_oldest() {
+        let p = EventPattern::totally_ordered(&[(0, 1), (1, 2)], 1_000_000).unwrap();
+        let mut matcher = StreamingMatcher::with_capacity(p, 4);
+        let mut b = TemporalGraphBuilder::new();
+        for t in 0..20 {
+            b.push(Event::new(t as u32 * 2, t as u32 * 2 + 1, t));
+        }
+        let g = b.build().unwrap();
+        for (i, e) in g.events().iter().enumerate() {
+            matcher.process(i as EventIdx, e, None);
+        }
+        assert_eq!(matcher.live_partials(), 4);
+        assert!(matcher.dropped_partials > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_stream_panics() {
+        let p = EventPattern::totally_ordered(&[(0, 1)], 10).unwrap();
+        let mut matcher = StreamingMatcher::new(p);
+        matcher.process(0, &Event::new(0u32, 1u32, 10), None);
+        matcher.process(1, &Event::new(0u32, 1u32, 5), None);
+    }
+}

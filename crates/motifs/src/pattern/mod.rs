@@ -1,0 +1,191 @@
+//! Event pattern matching over graph streams — Song et al.'s actual
+//! problem setting (PVLDB 2014), which their motif model serves.
+//!
+//! An [`EventPattern`] is a small directed multigraph of *pattern edges*
+//! over node *variables*, a [`crate::partial_order::PartialOrder`] over
+//! those edges, a ΔW window, and optional node-label / duration
+//! predicates. The [`matcher::StreamingMatcher`] finds all matches
+//! on-the-fly as events stream in time order — no precomputed indexes,
+//! bounded state, expired partial matches evicted.
+
+pub mod matcher;
+
+use crate::partial_order::PartialOrder;
+use serde::{Deserialize, Serialize};
+use tnm_graph::Time;
+
+/// One edge of a pattern: `src_var → dst_var` with optional predicates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternEdge {
+    /// Source node variable (dense, `0..num_vars`).
+    pub src_var: usize,
+    /// Target node variable.
+    pub dst_var: usize,
+    /// If set, the concrete source node must carry this label.
+    pub src_label: Option<u32>,
+    /// If set, the concrete target node must carry this label.
+    pub dst_label: Option<u32>,
+    /// If set, the matched event's duration must not exceed this bound
+    /// (Song et al. treat durations as edge labels, Section 4.2).
+    pub max_duration: Option<u32>,
+}
+
+impl PatternEdge {
+    /// An unlabelled pattern edge.
+    pub fn new(src_var: usize, dst_var: usize) -> Self {
+        PatternEdge { src_var, dst_var, src_label: None, dst_label: None, max_duration: None }
+    }
+}
+
+/// A partially-ordered, windowed event pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventPattern {
+    /// The pattern edges, in declaration order.
+    pub edges: Vec<PatternEdge>,
+    /// Number of node variables.
+    pub num_vars: usize,
+    /// Precedence constraints among pattern edges.
+    pub order: PartialOrder,
+    /// Whole-match window ΔW.
+    pub delta_w: Time,
+    /// Require distinct variables to bind distinct nodes (isomorphic
+    /// matching). Song's event patterns are injective; set `false` for
+    /// homomorphic matching.
+    pub injective: bool,
+}
+
+/// Errors constructing an [`EventPattern`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// A pattern edge references a variable `>= num_vars`.
+    VarOutOfRange,
+    /// A pattern edge is a self-loop.
+    SelfLoop,
+    /// The order's length differs from the edge count.
+    OrderMismatch,
+    /// The pattern has no edges.
+    Empty,
+}
+
+impl std::fmt::Display for PatternError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatternError::VarOutOfRange => write!(f, "pattern edge variable out of range"),
+            PatternError::SelfLoop => write!(f, "pattern edges may not be self-loops"),
+            PatternError::OrderMismatch => {
+                write!(f, "partial order size must equal the number of pattern edges")
+            }
+            PatternError::Empty => write!(f, "pattern has no edges"),
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+impl EventPattern {
+    /// Validates and builds a pattern.
+    pub fn new(
+        edges: Vec<PatternEdge>,
+        num_vars: usize,
+        order: PartialOrder,
+        delta_w: Time,
+    ) -> Result<Self, PatternError> {
+        if edges.is_empty() {
+            return Err(PatternError::Empty);
+        }
+        if order.len() != edges.len() {
+            return Err(PatternError::OrderMismatch);
+        }
+        for e in &edges {
+            if e.src_var >= num_vars || e.dst_var >= num_vars {
+                return Err(PatternError::VarOutOfRange);
+            }
+            if e.src_var == e.dst_var {
+                return Err(PatternError::SelfLoop);
+            }
+        }
+        Ok(EventPattern { edges, num_vars, order, delta_w, injective: true })
+    }
+
+    /// A totally-ordered pattern from `(src_var, dst_var)` pairs — the
+    /// common case, equivalent to a motif signature with a ΔW window.
+    pub fn totally_ordered(
+        pairs: &[(usize, usize)],
+        delta_w: Time,
+    ) -> Result<Self, PatternError> {
+        let num_vars = pairs
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .max()
+            .map_or(0, |m| m + 1);
+        let edges = pairs.iter().map(|&(a, b)| PatternEdge::new(a, b)).collect::<Vec<_>>();
+        let order = PartialOrder::total(edges.len());
+        Self::new(edges, num_vars, order, delta_w)
+    }
+
+    /// Builds a pattern from a motif signature (total order, ΔW window).
+    pub fn from_signature(
+        sig: crate::notation::MotifSignature,
+        delta_w: Time,
+    ) -> Self {
+        let pairs: Vec<(usize, usize)> =
+            sig.pairs().iter().map(|&(a, b)| (a as usize, b as usize)).collect();
+        Self::totally_ordered(&pairs, delta_w).expect("signatures are valid patterns")
+    }
+
+    /// Number of pattern edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the pattern has no edges (cannot occur post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::notation::sig;
+
+    #[test]
+    fn totally_ordered_construction() {
+        let p = EventPattern::totally_ordered(&[(0, 1), (1, 2), (0, 2)], 100).unwrap();
+        assert_eq!(p.num_vars, 3);
+        assert_eq!(p.len(), 3);
+        assert!(p.injective);
+        assert_eq!(p.order.count_linear_extensions(), 1);
+    }
+
+    #[test]
+    fn from_signature_roundtrip() {
+        let p = EventPattern::from_signature(sig("011202"), 50);
+        assert_eq!(p.num_vars, 3);
+        assert_eq!(p.edges[2], PatternEdge::new(0, 2));
+        assert_eq!(p.delta_w, 50);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            EventPattern::totally_ordered(&[], 10).unwrap_err(),
+            PatternError::Empty
+        );
+        let self_loop = vec![PatternEdge::new(0, 0)];
+        assert_eq!(
+            EventPattern::new(self_loop, 1, PartialOrder::total(1), 10).unwrap_err(),
+            PatternError::SelfLoop
+        );
+        let bad_var = vec![PatternEdge::new(0, 9)];
+        assert_eq!(
+            EventPattern::new(bad_var, 2, PartialOrder::total(1), 10).unwrap_err(),
+            PatternError::VarOutOfRange
+        );
+        let mismatch = vec![PatternEdge::new(0, 1)];
+        assert_eq!(
+            EventPattern::new(mismatch, 2, PartialOrder::total(2), 10).unwrap_err(),
+            PatternError::OrderMismatch
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Communication-network analysis with the event-pair lens — the paper's
+//! Section 5.3 workflow on a synthetic message network: which behaviours
+//! dominate, how ask-reply patterns surface under the consecutive events
+//! restriction, and what the pair-sequence heat map reveals.
+//!
+//! Run with: `cargo run --release --example communication_analysis`
+
+use temporal_motifs::analysis::heatmap::render_heatmap;
+use temporal_motifs::datasets::{generate, DatasetSpec};
+use temporal_motifs::prelude::*;
+
+fn main() {
+    let mut spec = DatasetSpec::college_msg();
+    spec.num_events = 8_000;
+    let graph = generate(&spec, 11);
+    println!(
+        "synthetic {}: {} nodes, {} events over {} hours",
+        spec.name,
+        graph.num_nodes(),
+        graph.num_events(),
+        graph.timespan() / 3600
+    );
+
+    // --- Event-pair composition under the two timing extremes ---------
+    let configs =
+        [("only-ΔW", Timing::only_w(3000)), ("only-ΔC", Timing::both(1500, 3000))];
+    println!("\nevent-pair mix of 3-event motifs:");
+    for (label, timing) in configs {
+        let counts = count_motifs(&graph, &EnumConfig::new(3, 3).with_timing(timing));
+        let pairs = counts.event_pair_counts();
+        print!("  {label:>9}: ");
+        for (ty, share) in pair_type_ratios(&pairs) {
+            print!("{}={:>5.1}%  ", ty.letter(), share * 100.0);
+        }
+        println!("(total {} pairs)", pairs.total());
+    }
+
+    // --- Ask-reply amplification (paper Table 3) ----------------------
+    let base = EnumConfig::new(3, 3).exact_nodes(3).with_timing(Timing::only_c(1500));
+    let vanilla = count_motifs(&graph, &base);
+    let restricted = count_motifs(&graph, &base.clone().with_consecutive(true));
+    println!(
+        "\nconsecutive events restriction keeps {}/{} 3n3e motifs ({:.1}% removed)",
+        restricted.total(),
+        vanilla.total(),
+        (1.0 - restricted.total() as f64 / vanilla.total().max(1) as f64) * 100.0
+    );
+    let universe = temporal_motifs::motifs::catalog::all_3n3e();
+    println!("rank movement of the ask-reply motifs:");
+    for s in ["010210", "011210", "012010", "012110"] {
+        let m = sig(s);
+        let before = vanilla.rank_within(m, &universe).expect("in universe");
+        let after = restricted.rank_within(m, &universe).expect("in universe");
+        println!(
+            "  {s}: #{:>2} -> #{:>2} ({:+})",
+            before + 1,
+            after + 1,
+            before as i64 - after as i64
+        );
+    }
+
+    // --- Pair-sequence heat map (paper Figure 6) -----------------------
+    let counts =
+        count_motifs(&graph, &EnumConfig::new(3, 3).with_timing(Timing::both(2000, 3000)));
+    let matrix = counts.pair_sequence_matrix();
+    println!();
+    print!("{}", render_heatmap(&format!("{} pair sequences", spec.name), &matrix));
+
+    // Message networks should be dominated by repetition/ping-pong
+    // sequences (one-to-one conversations) with rare weakly-connected
+    // pairs — the paper's Section 5.3 reading.
+    use temporal_motifs::motifs::event_pair::EventPairType::*;
+    let rp: u64 = [Repetition, PingPong]
+        .iter()
+        .flat_map(|a| [Repetition, PingPong].iter().map(move |b| matrix[a.index()][b.index()]))
+        .sum();
+    let total: u64 = matrix.iter().flatten().sum();
+    println!(
+        "\nR/P-only sequences: {:.1}% of motifs (local one-to-one conversations)",
+        rp as f64 / total.max(1) as f64 * 100.0
+    );
+}

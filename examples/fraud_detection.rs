@@ -1,0 +1,105 @@
+//! Fraud detection on a transaction network — the motivating scenario of
+//! Song et al. [12] and the temporal-cycle line of work (Kumar & Calders
+//! [34]) from the paper's Section 4.1: *non-induced* temporal motifs
+//! (squares, cycles) in financial networks are fraud indicators, and the
+//! strictly induced models would miss them when fraudsters camouflage
+//! behind repetitive legitimate transactions.
+//!
+//! Run with: `cargo run --release --example fraud_detection`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use temporal_motifs::motifs::cycles::{count_temporal_cycles, CycleConfig};
+use temporal_motifs::prelude::*;
+
+/// Builds a synthetic payment network: heavy legitimate traffic plus a
+/// few injected money-laundering rings (temporal cycles completing within
+/// an hour).
+fn build_payments(seed: u64) -> (TemporalGraph, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = TemporalGraphBuilder::new();
+    let n = 400u32;
+    let mut t = 0i64;
+    // Legitimate traffic: random payments, plus repetitive salary-like
+    // transfers that fraudsters hide behind.
+    for _ in 0..12_000 {
+        t += rng.gen_range(5..60);
+        let u = rng.gen_range(0..n);
+        let v = if rng.gen_bool(0.3) { (u + 1) % n } else { rng.gen_range(0..n) };
+        if u != v {
+            builder.push(Event::new(u, v, t));
+        }
+    }
+    // Injected laundering rings: money hops A -> B -> C -> A within ~30 min.
+    let mut injected = 0usize;
+    for ring in 0..12 {
+        let a = 400 + ring * 3;
+        let start = 3_000 + ring as i64 * 20_000;
+        builder.push(Event::new(a as u32, (a + 1) as u32, start));
+        builder.push(Event::new((a + 1) as u32, (a + 2) as u32, start + 600));
+        builder.push(Event::new((a + 2) as u32, a as u32, start + 1500));
+        injected += 1;
+    }
+    (builder.build().expect("valid payments"), injected)
+}
+
+fn main() {
+    let (graph, injected) = build_payments(99);
+    println!(
+        "payment network: {} accounts, {} transactions, {} injected rings",
+        graph.num_nodes(),
+        graph.num_events(),
+        injected
+    );
+
+    // --- Temporal cycles: the laundering signature --------------------
+    let cfg = CycleConfig::new(3, 3_600);
+    let cycles = count_temporal_cycles(&graph, &cfg);
+    let three_cycles = cycles.get(&3).copied().unwrap_or(0);
+    println!("\nsimple temporal 3-cycles within 1h: {three_cycles}");
+    assert!(three_cycles >= injected as u64, "must recover the injected rings");
+
+    // --- Streaming pattern matching (Song et al.'s setting) -----------
+    // Watch for the cycle pattern A->B, B->C, C->A on-the-fly.
+    use temporal_motifs::motifs::pattern::{matcher::StreamingMatcher, EventPattern};
+    let pattern =
+        EventPattern::totally_ordered(&[(0, 1), (1, 2), (2, 0)], 3_600).expect("valid pattern");
+    let mut matcher = StreamingMatcher::new(pattern);
+    let mut alerts = 0usize;
+    for (i, e) in graph.events().iter().enumerate() {
+        let matches = matcher.process(i as u32, e, None);
+        for m in &matches {
+            alerts += 1;
+            if alerts <= 3 {
+                println!(
+                    "  ALERT: ring {:?} closed at t={} (window {}s)",
+                    m.bindings,
+                    m.t_last,
+                    m.t_last - m.t_first
+                );
+            }
+        }
+    }
+    println!("streaming matcher raised {alerts} alerts (first 3 shown)");
+
+    // --- Why inducedness matters here (paper Section 4.1) -------------
+    // Count temporal triangles with and without static inducedness: the
+    // induced count misses rings whose members also transact legally.
+    let timing = Timing::only_w(3_600);
+    let non_induced = count_motifs(
+        &graph,
+        &EnumConfig::new(3, 3).exact_nodes(3).with_timing(timing),
+    );
+    let induced = count_motifs(
+        &graph,
+        &EnumConfig::new(3, 3).exact_nodes(3).with_timing(timing).with_static_induced(true),
+    );
+    let cycle_sig = sig("011220");
+    println!(
+        "\ntemporal cycle motif {cycle_sig}: non-induced={}  induced={}",
+        non_induced.get(cycle_sig),
+        induced.get(cycle_sig)
+    );
+    println!("(Song's non-induced semantics keeps every ring visible;");
+    println!(" strict inducedness can drop camouflaged ones — Section 4.1.)");
+}

@@ -1,0 +1,54 @@
+//! # temporal-motifs
+//!
+//! A full reproduction of *Temporal Network Motifs: Models, Limitations,
+//! Evaluation* (Liu, Guarrasi, Sarıyüce; ICDE 2022 / arXiv:2005.11817) as
+//! a reusable Rust workspace:
+//!
+//! * [`graph`] — the temporal network substrate (events, time indexes,
+//!   statistics, transforms, SNAP-style I/O);
+//! * [`motifs`] — the four surveyed motif models (Kovanen, Song,
+//!   Hulovatyy, Paranjape), the digit-pair notation, the event-pair lens,
+//!   counting engines, validity checking, streaming pattern matching,
+//!   sampling, and temporal cycles;
+//! * [`datasets`] — seeded synthetic networks calibrated to the paper's
+//!   nine datasets, plus the Figure 1/2 toy graphs;
+//! * [`analysis`] — experiment runners regenerating every table and
+//!   figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use temporal_motifs::graph::TemporalGraphBuilder;
+//! use temporal_motifs::motifs::prelude::*;
+//!
+//! // A tiny temporal network: a triangle closed within 4 seconds.
+//! let g = TemporalGraphBuilder::new()
+//!     .event(0, 1, 7)
+//!     .event(1, 2, 9)
+//!     .event(0, 2, 11)
+//!     .build()
+//!     .unwrap();
+//!
+//! // Count 3-event motifs under Paranjape et al.'s model (ΔW = 10 s):
+//! let model = MotifModel::paranjape(10);
+//! let cfg = EnumConfig::for_model(&model, 3, 3);
+//! let counts = count_motifs(&g, &cfg);
+//! assert_eq!(counts.get(sig("011202")), 1);
+//! ```
+//!
+//! See `examples/` for realistic scenarios and `tnm --help` (the
+//! `tnm-cli` crate) for the experiment driver.
+
+pub use tnm_analysis as analysis;
+pub use tnm_datasets as datasets;
+pub use tnm_graph as graph;
+pub use tnm_motifs as motifs;
+
+/// Everything most programs need, re-exported flat.
+pub mod prelude {
+    pub use tnm_datasets::{generate, generate_default, DatasetSpec};
+    pub use tnm_graph::{
+        Edge, Event, EventIdx, NodeId, TemporalGraph, TemporalGraphBuilder, Time,
+    };
+    pub use tnm_motifs::prelude::*;
+}

@@ -1,0 +1,218 @@
+//! End-to-end reproduction checks: the paper's headline qualitative
+//! claims must hold on the synthetic corpus. These are the same
+//! assertions EXPERIMENTS.md reports, run at reduced scale for CI speed.
+
+use temporal_motifs::analysis::experiments::{self, Corpus};
+
+fn corpus() -> Corpus {
+    // Quarter-scale corpus: fast, still large enough for stable shapes.
+    Corpus::scaled(0.25, experiments::CORPUS_SEED)
+}
+
+#[test]
+fn figure1_validity_matrix_matches_paper() {
+    let fig = experiments::fig1::run();
+    assert!(fig.matches_expected, "{}", fig.render());
+    // Row semantics: [Kovanen, Song, Hulovatyy, Paranjape].
+    let valid: Vec<Vec<bool>> = fig
+        .rows
+        .iter()
+        .map(|r| r.verdicts.iter().map(|v| v.is_valid()).collect())
+        .collect();
+    assert_eq!(valid[0], vec![false, true, false, true], "row 1: ΔC violation");
+    assert_eq!(valid[1], vec![false, true, false, false], "row 2: not induced");
+    assert_eq!(valid[2], vec![false, true, true, true], "row 3: consecutive events");
+    assert_eq!(valid[3], vec![true, true, true, true], "row 4: valid everywhere");
+}
+
+#[test]
+fn figure2_catalog_sizes_match_paper() {
+    let f2 = experiments::fig2::run();
+    let get = |name: &str| f2.catalog_sizes.iter().find(|(n, _)| n == name).unwrap().1;
+    assert_eq!(get("3e total"), 36, "Section 1: 36 three-event motifs");
+    assert_eq!(get("4e total"), 696, "Section 1: 696 four-event motifs");
+    assert_eq!(get("4n4e"), 480, "Section 5: 480 4n4e single-component motifs");
+    assert_eq!(get("2n4e+3n4e"), 216, "Section 5: 216 = 6^3 exactly representable");
+}
+
+#[test]
+fn table3_consecutive_restriction_claims() {
+    let corpus = corpus();
+    let t3 = experiments::table3::run(&corpus);
+    // Claim 1: the restriction removes the vast majority of motifs in
+    // every dataset except the Bitcoin-like one.
+    for row in &t3.rows {
+        if row.name == "Bitcoin-otc" {
+            assert!(
+                row.removal_fraction() < 0.60,
+                "Bitcoin should be least affected, removed {:.2}",
+                row.removal_fraction()
+            );
+        } else {
+            assert!(
+                row.removal_fraction() > 0.60,
+                "{}: removal {:.2} too small",
+                row.name,
+                row.removal_fraction()
+            );
+        }
+    }
+    // Claim 2: ask-reply motifs are amplified on message networks
+    // (mean positive rank change across the four motifs).
+    let mean = t3.mean_ask_reply_change(&["CollegeMsg", "SMS-Copenhagen", "SMS-A"]);
+    assert!(mean > 0.0, "ask-reply mean rank change {mean:+.2} should be positive");
+}
+
+#[test]
+fn table4_constrained_dynamic_graphlet_claims() {
+    let corpus = corpus();
+    let t4 = experiments::table4::run(&corpus);
+    let get = |name: &str| t4.rows.iter().find(|r| r.name == name).unwrap();
+    // Bitcoin: exactly zero difference (no repeated edges at all).
+    let bitcoin = get("Bitcoin-otc");
+    assert_eq!(bitcoin.vanilla_total, bitcoin.constrained_total);
+    assert_eq!(bitcoin.variance, 0.0);
+    // The restriction can only remove instances.
+    for row in &t4.rows {
+        assert!(row.constrained_total <= row.vanilla_total, "{}", row.name);
+    }
+    // Stack-exchange networks barely move compared to message networks.
+    let so = get("StackOverflow").variance;
+    let su = get("SuperUser").variance;
+    let sms = get("SMS-Copenhagen").variance;
+    assert!(
+        so < sms && su < sms,
+        "stack-exchange variance ({so:.3}, {su:.3}) should undercut SMS ({sms:.3})"
+    );
+}
+
+#[test]
+fn table5_timing_constraint_claims() {
+    // Datasets where the differential-reduction claim is robust at this
+    // scale; Calls/SMS-Copenhagen/SuperUser sit within noise of zero on
+    // the synthetic corpus (see EXPERIMENTS.md).
+    let corpus = corpus().only(&["CollegeMsg", "Email", "FBWall", "SMS-A"]);
+    let t5 = experiments::table5::run(&corpus);
+    for row in &t5.rows {
+        let base = row.baseline().groups;
+        // Counts shrink monotonically from only-ΔW to only-ΔC.
+        for w in row.cells.windows(2) {
+            assert!(w[1].groups.rpio <= w[0].groups.rpio, "{}", row.name);
+            assert!(w[1].groups.cw <= w[0].groups.cw, "{}", row.name);
+        }
+        // {R,P,I,O} shrinks faster than {C,W}.
+        let tight = row.cells.last().unwrap().groups;
+        let (rpio_ratio, cw_ratio) = tight.ratio_vs(&base);
+        assert!(
+            rpio_ratio < cw_ratio,
+            "{}: RPIO ratio {rpio_ratio:.3} !< CW ratio {cw_ratio:.3}",
+            row.name
+        );
+        // {R,P,I,O} dominates {C,W}. (The paper reports ~10x on the real
+        // data; our denser synthetic networks show ~3x — see
+        // EXPERIMENTS.md for the deviation note.)
+        assert!(base.rpio > 2 * base.cw, "{}: RPIO should dominate", row.name);
+    }
+}
+
+#[test]
+fn figure3_repetition_ratio_decreases() {
+    let corpus = corpus().only(&["SMS-Copenhagen", "Email", "StackOverflow", "SuperUser"]);
+    let f3 = experiments::fig3::run(&corpus, false);
+    for name in ["SMS-Copenhagen", "Email", "StackOverflow", "SuperUser"] {
+        let d = f3.repetition_change(name, 3).unwrap();
+        assert!(d < 0.0, "{name}: repetition ratio changed by {d:+.4}, expected a decrease");
+    }
+}
+
+#[test]
+fn figure4_delta_c_regularizes_intermediate_events() {
+    let corpus = Corpus::scaled(0.4, experiments::CORPUS_SEED).only(&["SMS-Copenhagen"]);
+    let t = experiments::fig4::run_target(&corpus, "010102", "SMS-Copenhagen").unwrap();
+    let only_w = &t.cells[0];
+    let only_c = t.cells.last().unwrap();
+    assert_eq!(only_w.label, "only-ΔW");
+    assert!(only_w.instances > 100, "need instances for a stable shape");
+    // The second event is skewed toward the first under only-ΔW...
+    assert!(
+        only_w.skew(0) < -0.15,
+        "only-ΔW skew {:.3} should be strongly negative",
+        only_w.skew(0)
+    );
+    // ...and ΔC regularizes (reduces) the skew.
+    assert!(
+        only_c.max_abs_skew() < only_w.max_abs_skew(),
+        "ΔC should regularize: {:.3} !< {:.3}",
+        only_c.max_abs_skew(),
+        only_w.max_abs_skew()
+    );
+}
+
+#[test]
+fn figure5_delta_w_caps_timespans() {
+    let corpus = Corpus::scaled(0.4, experiments::CORPUS_SEED).only(&["CollegeMsg"]);
+    let t = experiments::fig5::run_target(&corpus, "010102", "CollegeMsg").unwrap();
+    let only_c = &t.cells[0];
+    let only_w = t.cells.last().unwrap();
+    assert_eq!(only_c.label, "only-ΔC");
+    assert_eq!(only_w.label, "only-ΔW");
+    // ΔW is a hard cap; ΔC admits longer spans (up to (m−1)·ΔC).
+    assert!(only_w.max_span <= experiments::DELTA_W);
+    assert!(only_c.instances > 0 && only_w.instances > 0);
+    // The subset property: instances grow with the ratio.
+    for w in t.cells.windows(2) {
+        assert!(w[0].instances <= w[1].instances);
+    }
+}
+
+#[test]
+fn figure6_domain_structure() {
+    let corpus = corpus().only(&["SMS-Copenhagen", "CollegeMsg", "StackOverflow", "Email"]);
+    let f6 = experiments::fig6::run(&corpus);
+    let get = |name: &str| f6.maps.iter().find(|m| m.name == name).unwrap();
+    // Message networks are R/P-dominated relative to Q&A networks.
+    assert!(get("SMS-Copenhagen").rp_share() > get("StackOverflow").rp_share());
+    assert!(get("CollegeMsg").rp_share() > get("StackOverflow").rp_share());
+    // Weakly-connected pairs are rare everywhere.
+    for m in &f6.maps {
+        assert!(m.w_share() < 0.40, "{}: W share {:.3}", m.name, m.w_share());
+    }
+}
+
+#[test]
+fn table2_statistics_track_paper_regimes() {
+    let corpus = Corpus::with_seed(experiments::CORPUS_SEED);
+    let t2 = experiments::table2::run(&corpus);
+    let get = |name: &str| t2.rows.iter().find(|r| r.name == name).unwrap();
+    // Email has by far the lowest unique-timestamp fraction (cc bursts).
+    let email = get("Email").synthetic.unique_timestamp_fraction;
+    for row in &t2.rows {
+        if row.name != "Email" {
+            assert!(
+                row.synthetic.unique_timestamp_fraction > email,
+                "{} should have more unique timestamps than Email",
+                row.name
+            );
+        }
+    }
+    // Bitcoin: events == static edges (every rating unique).
+    let bitcoin = get("Bitcoin-otc");
+    assert_eq!(bitcoin.synthetic.events, bitcoin.synthetic.static_edges);
+    // Median inter-event times follow the paper's ordering coarsely:
+    // SMS-A (3 s) is the fastest network, Bitcoin (707 s) the slowest.
+    let medians: Vec<(String, f64)> = t2
+        .rows
+        .iter()
+        .map(|r| (r.name.clone(), r.synthetic.median_inter_event_time))
+        .collect();
+    let sms_a = medians.iter().find(|(n, _)| n == "SMS-A").unwrap().1;
+    let bitcoin_m = medians.iter().find(|(n, _)| n == "Bitcoin-otc").unwrap().1;
+    for (name, m) in &medians {
+        if name != "SMS-A" {
+            assert!(*m >= sms_a, "{name} median {m} below SMS-A {sms_a}");
+        }
+        if name != "Bitcoin-otc" {
+            assert!(*m <= bitcoin_m, "{name} median {m} above Bitcoin {bitcoin_m}");
+        }
+    }
+}
