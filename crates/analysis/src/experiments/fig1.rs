@@ -61,7 +61,8 @@ impl Fig1 {
             &["Motif", "Signature", "Kovanen[11]", "Song[12]", "Hulovatyy[13]", "Paranjape[14]"],
         );
         for r in &self.rows {
-            let cell = |v: &Verdict| if v.is_valid() { "valid".to_string() } else { "NO".to_string() };
+            let cell =
+                |v: &Verdict| if v.is_valid() { "valid".to_string() } else { "NO".to_string() };
             t.row(vec![
                 format!("#{}", r.motif),
                 r.signature.clone(),

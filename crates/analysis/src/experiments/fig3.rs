@@ -7,7 +7,7 @@
 //! * what increases instead varies by domain: in-bursts for the
 //!   stack-exchange networks, ping-pongs/conveys for CDR-like networks.
 
-use super::{default_threads, Corpus, DELTA_W};
+use super::{Corpus, RunConfig, DELTA_W};
 use crate::report::{fmt_pct, Table};
 use serde::{Deserialize, Serialize};
 use tnm_motifs::prelude::*;
@@ -46,14 +46,18 @@ pub fn extreme_timings(num_events: usize) -> [(String, Timing); 2] {
 /// Runs the event-pair ratio sweep. `include_4e` adds the (much heavier)
 /// four-event motif pass.
 pub fn run(corpus: &Corpus, include_4e: bool) -> Fig3 {
-    let threads = default_threads();
+    run_with(corpus, include_4e, &RunConfig::default())
+}
+
+/// Runs the sweep with an explicit engine/thread configuration.
+pub fn run_with(corpus: &Corpus, include_4e: bool, rc: &RunConfig) -> Fig3 {
     let sizes: &[usize] = if include_4e { &[3, 4] } else { &[3] };
     let mut cells = Vec::new();
     for e in &corpus.entries {
         for &m in sizes {
             for (label, timing) in extreme_timings(m) {
                 let cfg = EnumConfig::new(m, m).with_timing(timing);
-                let counts = count_motifs_parallel(&e.graph, &cfg, threads);
+                let counts = rc.engine.count(&e.graph, &cfg, rc.threads);
                 let pairs = counts.event_pair_counts();
                 cells.push(Fig3Cell {
                     name: e.spec.name.clone(),
@@ -111,9 +115,7 @@ impl Fig3 {
     pub fn repetition_change(&self, name: &str, num_events: usize) -> Option<f64> {
         let find = |label: &str| {
             self.cells.iter().find(|c| {
-                c.name.eq_ignore_ascii_case(name)
-                    && c.num_events == num_events
-                    && c.label == label
+                c.name.eq_ignore_ascii_case(name) && c.num_events == num_events && c.label == label
             })
         };
         let w = find("only-ΔW")?;

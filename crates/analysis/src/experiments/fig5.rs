@@ -102,8 +102,7 @@ pub fn run(corpus: &Corpus, appendix: bool) -> Fig5 {
     if appendix {
         wanted.extend(APPENDIX_TARGETS);
     }
-    let targets =
-        wanted.iter().filter_map(|(m, d)| run_target(corpus, m, d)).collect();
+    let targets = wanted.iter().filter_map(|(m, d)| run_target(corpus, m, d)).collect();
     Fig5 { targets }
 }
 

@@ -9,7 +9,7 @@
 //! asymmetries (C→O common, O→C rare; I→C common, C→I rare) reflect how
 //! information flows.
 
-use super::{default_threads, Corpus, DELTA_W};
+use super::{Corpus, RunConfig, DELTA_W};
 use crate::heatmap::{asymmetry, heatmap_csv, render_heatmap};
 use serde::{Deserialize, Serialize};
 use tnm_motifs::event_pair::EventPairType;
@@ -83,16 +83,21 @@ pub struct Fig6 {
 }
 
 /// Runs the heat-map experiment over all 3-event (2n/3n) motifs with
-/// both constraints, as the paper does.
+/// both constraints, as the paper does, using the default engine
+/// selection.
 pub fn run(corpus: &Corpus) -> Fig6 {
-    let threads = default_threads();
+    run_with(corpus, &RunConfig::default())
+}
+
+/// Runs the experiment with an explicit engine/thread configuration.
+pub fn run_with(corpus: &Corpus, rc: &RunConfig) -> Fig6 {
     let timing = Timing::both(DELTA_C, DELTA_W);
     let maps = corpus
         .entries
         .iter()
         .map(|e| {
             let cfg = EnumConfig::new(3, 3).with_timing(timing);
-            let counts = count_motifs_parallel(&e.graph, &cfg, threads);
+            let counts = rc.engine.count(&e.graph, &cfg, rc.threads);
             let matrix = counts.pair_sequence_matrix();
             let total: u64 = matrix.iter().flatten().sum();
             Fig6Map { name: e.spec.name.clone(), matrix, total }

@@ -29,6 +29,7 @@ pub mod table5;
 
 use tnm_datasets::{generate, DatasetSpec};
 use tnm_graph::TemporalGraph;
+use tnm_motifs::engine::EngineKind;
 
 /// Default seed for the experiment corpus (all tables/figures).
 pub const CORPUS_SEED: u64 = 0x0DA7_A5E7;
@@ -127,6 +128,24 @@ impl Corpus {
 /// Number of worker threads used by the counting-heavy experiments.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+}
+
+/// How the counting-heavy experiments execute: which
+/// [`EngineKind`] drives the enumeration and with how many threads.
+/// Threaded from the CLI's `--engine`/`--threads` flags down to every
+/// table/figure driver via the `run_with` variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Counting engine (defaults to [`EngineKind::Auto`]).
+    pub engine: EngineKind,
+    /// Thread budget for engines that can go parallel.
+    pub threads: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { engine: EngineKind::Auto, threads: default_threads() }
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //!   whose last event answers the first — are consistently *amplified*
 //!   (rise in the count ranking), most strongly in message networks.
 
-use super::{default_threads, Corpus, DELTA_C_INDUCEDNESS};
+use super::{Corpus, RunConfig, DELTA_C_INDUCEDNESS};
 use crate::report::{fmt_count, fmt_rank_change, Table};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -54,19 +54,24 @@ pub struct Table3 {
     pub delta_c: i64,
 }
 
-/// Runs the consecutive-events-restriction experiment.
+/// Runs the consecutive-events-restriction experiment with the default
+/// engine selection.
 pub fn run(corpus: &Corpus) -> Table3 {
+    run_with(corpus, &RunConfig::default())
+}
+
+/// Runs the experiment with an explicit engine/thread configuration.
+pub fn run_with(corpus: &Corpus, rc: &RunConfig) -> Table3 {
     let universe = all_3n3e();
-    let threads = default_threads();
     let timing = Timing::only_c(DELTA_C_INDUCEDNESS);
     let rows = corpus
         .entries
         .iter()
         .map(|e| {
             let base = EnumConfig::new(3, 3).exact_nodes(3).with_timing(timing);
-            let non_cons = count_motifs_parallel(&e.graph, &base, threads);
+            let non_cons = rc.engine.count(&e.graph, &base, rc.threads);
             let cons_cfg = base.clone().with_consecutive(true);
-            let cons = count_motifs_parallel(&e.graph, &cons_cfg, threads);
+            let cons = rc.engine.count(&e.graph, &cons_cfg, rc.threads);
             let changes = ranking_changes(&non_cons, &cons, &universe);
             let mut ask_reply = [0i64; 4];
             for (i, s) in ASK_REPLY.iter().enumerate() {

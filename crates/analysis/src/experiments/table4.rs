@@ -10,7 +10,7 @@
 //!   timestamps) and has the largest variance;
 //! * stack-exchange networks barely move (variance < 0.1).
 
-use super::{default_threads, Corpus, DEGRADED_RESOLUTION, DELTA_C_INDUCEDNESS};
+use super::{Corpus, RunConfig, DEGRADED_RESOLUTION, DELTA_C_INDUCEDNESS};
 use crate::report::{fmt_pp, Table};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -50,10 +50,15 @@ pub struct Table4 {
     pub delta_c: i64,
 }
 
-/// Runs the constrained-dynamic-graphlet experiment.
+/// Runs the constrained-dynamic-graphlet experiment with the default
+/// engine selection.
 pub fn run(corpus: &Corpus) -> Table4 {
+    run_with(corpus, &RunConfig::default())
+}
+
+/// Runs the experiment with an explicit engine/thread configuration.
+pub fn run_with(corpus: &Corpus, rc: &RunConfig) -> Table4 {
     let universe = all_3n3e();
-    let threads = default_threads();
     let timing = Timing::only_c(DELTA_C_INDUCEDNESS);
     let rows = corpus
         .entries
@@ -61,9 +66,9 @@ pub fn run(corpus: &Corpus) -> Table4 {
         .map(|e| {
             let degraded = degrade_resolution(&e.graph, DEGRADED_RESOLUTION);
             let base = EnumConfig::new(3, 3).exact_nodes(3).with_timing(timing);
-            let vanilla = count_motifs_parallel(&degraded, &base, threads);
+            let vanilla = rc.engine.count(&degraded, &base, rc.threads);
             let constrained_cfg = base.clone().with_constrained(true);
-            let constrained = count_motifs_parallel(&degraded, &constrained_cfg, threads);
+            let constrained = rc.engine.count(&degraded, &constrained_cfg, rc.threads);
             let (changes, variance) = proportion_changes(&vanilla, &constrained, &universe);
             let mut highlight = [0.0f64; 4];
             for (i, s) in HIGHLIGHT.iter().enumerate() {

@@ -9,7 +9,7 @@
 //!   amplifies bursty/reciprocal pairs;
 //! * {R, P, I, O} outnumbers {C, W} by roughly an order of magnitude.
 
-use super::{default_threads, Corpus, DELTA_W, RATIOS_3E};
+use super::{Corpus, RunConfig, DELTA_W, RATIOS_3E};
 use crate::report::{fmt_count, fmt_pct, Table};
 use serde::{Deserialize, Serialize};
 use tnm_motifs::count::PairGroupCounts;
@@ -56,9 +56,14 @@ fn config_label(ratio: f64, num_events: usize) -> String {
     timing.regime(num_events).to_string()
 }
 
-/// Runs the Table 5 sweep on 3n3e motifs.
+/// Runs the Table 5 sweep on 3n3e motifs with the default engine
+/// selection.
 pub fn run(corpus: &Corpus) -> Table5 {
-    let threads = default_threads();
+    run_with(corpus, &RunConfig::default())
+}
+
+/// Runs the sweep with an explicit engine/thread configuration.
+pub fn run_with(corpus: &Corpus, rc: &RunConfig) -> Table5 {
     // Descending ratio = only-ΔW first, as in the paper's columns.
     let mut ratios = RATIOS_3E.to_vec();
     ratios.sort_by(|a, b| b.partial_cmp(a).expect("finite ratios"));
@@ -71,7 +76,7 @@ pub fn run(corpus: &Corpus) -> Table5 {
                 .map(|&ratio| {
                     let timing = Timing::from_ratio(DELTA_W, ratio);
                     let cfg = EnumConfig::new(3, 3).exact_nodes(3).with_timing(timing);
-                    let counts = count_motifs_parallel(&e.graph, &cfg, threads);
+                    let counts = rc.engine.count(&e.graph, &cfg, rc.threads);
                     let pairs = counts.event_pair_counts();
                     Table5Cell {
                         ratio,

@@ -14,8 +14,7 @@ const RAMP: [char; 6] = ['.', '1', '2', '3', '4', '#'];
 /// plus a count legend.
 pub fn render_heatmap(title: &str, matrix: &[[u64; 6]; 6]) -> String {
     let max = matrix.iter().flatten().copied().max().unwrap_or(0);
-    let min_nonzero =
-        matrix.iter().flatten().copied().filter(|&c| c > 0).min().unwrap_or(1);
+    let min_nonzero = matrix.iter().flatten().copied().filter(|&c| c > 0).min().unwrap_or(1);
     let mut out = String::new();
     out.push_str(&format!("== {title} ==\n"));
     out.push_str("    (rows: first pair, cols: second pair; log-scaled . < 1 < 2 < 3 < 4 < #)\n");

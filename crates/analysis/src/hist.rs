@@ -65,12 +65,8 @@ impl Histogram {
         if total == 0 {
             return 0.0;
         }
-        let sum: f64 = self
-            .counts
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| self.bin_center(i) * c as f64)
-            .sum();
+        let sum: f64 =
+            self.counts.iter().enumerate().map(|(i, &c)| self.bin_center(i) * c as f64).sum();
         sum / total as f64
     }
 

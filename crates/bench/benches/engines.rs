@@ -1,11 +1,22 @@
-//! Counting-engine benchmarks: enumeration throughput across datasets,
-//! serial vs parallel scaling, signature-targeted counting, streaming
-//! matching, and dataset generation.
+//! Counting-engine benchmarks.
+//!
+//! The headline group, `engine_comparison`, races the three
+//! [`CountEngine`] implementations (backtrack, windowed, work-stealing
+//! parallel) on the synthetic generator corpora under a bounded-ΔW
+//! configuration — the regime the windowed index is built for. Further
+//! groups cover ΔW tightness sweeps (how pruning scales with the window),
+//! parallel scaling, signature-targeted counting, streaming matching,
+//! and dataset generation.
+//!
+//! The harness prints a machine-readable JSON summary on exit (one
+//! object per benchmark; set `TNM_BENCH_JSON=path` to also write it to a
+//! file) — this feeds the repo's `BENCH_*.json` trajectory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use tnm_datasets::{generate, DatasetSpec};
 use tnm_graph::TemporalGraph;
+use tnm_motifs::engine::{BacktrackEngine, CountEngine, ParallelEngine, WindowedEngine};
 use tnm_motifs::pattern::{matcher::StreamingMatcher, EventPattern};
 use tnm_motifs::prelude::*;
 
@@ -15,20 +26,92 @@ fn dataset(name: &str, events: usize) -> TemporalGraph {
     generate(&spec, 1)
 }
 
-fn bench_counting(c: &mut Criterion) {
-    let mut group = c.benchmark_group("count_3n3e_dC1500");
+fn engines() -> Vec<Box<dyn CountEngine>> {
+    vec![
+        Box::new(BacktrackEngine),
+        Box::new(WindowedEngine),
+        Box::new(ParallelEngine::new(
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8),
+        )),
+    ]
+}
+
+/// Backtrack vs windowed vs work-stealing parallel on the generator
+/// corpora, bounded ΔW (3n3e, the paper's flagship configuration).
+fn bench_engine_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_comparison_3n3e_dW3000");
     group.sample_size(10);
     for name in ["CollegeMsg", "Email", "StackOverflow", "Bitcoin-otc"] {
         let g = dataset(name, 8_000);
+        let cfg = EnumConfig::new(3, 3).exact_nodes(3).with_timing(Timing::only_w(3000));
         group.throughput(Throughput::Elements(g.num_events() as u64));
-        let cfg = EnumConfig::new(3, 3).exact_nodes(3).with_timing(Timing::only_c(1500));
-        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
-            b.iter(|| black_box(count_motifs(g, &cfg)))
+        for engine in engines() {
+            group.bench_with_input(BenchmarkId::new(engine.name(), name), &g, |b, g| {
+                b.iter(|| black_box(engine.count(g, &cfg)))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Hub-heavy workload under tight ΔW: few nodes → long per-node event
+/// lists; a tight window → small candidate sets. Candidate generation
+/// dominates the walk here, which is exactly where the windowed index
+/// wins — dense binary searches over inline timestamps plus a sorted-run
+/// merge, versus the node-list strategy's indirect time lookups plus a
+/// per-descend sort.
+fn bench_hub_tight_window(c: &mut Criterion) {
+    // Deterministic LCG graph: 24 nodes, 40k events → ~3.3k events per
+    // node list; timestamps dense enough that ΔW=40 admits a handful of
+    // candidates per step.
+    let mut b = tnm_graph::TemporalGraphBuilder::new();
+    let mut x = 0x2545F4914F6CDD1Du64;
+    for t in 0..40_000i64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let u = ((x >> 33) % 24) as u32;
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut v = ((x >> 33) % 24) as u32;
+        if v == u {
+            v = (v + 1) % 24;
+        }
+        b.push(tnm_graph::Event::new(u, v, t));
+    }
+    let g = b.build().unwrap();
+    let mut group = c.benchmark_group("hub_tight_window_3n3e");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.num_events() as u64));
+    for dw in [20i64, 40] {
+        let cfg = EnumConfig::new(3, 3).exact_nodes(3).with_timing(Timing::only_w(dw));
+        group.bench_with_input(BenchmarkId::new("backtrack", dw), &g, |b, g| {
+            b.iter(|| black_box(BacktrackEngine.count(g, &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("windowed", dw), &g, |b, g| {
+            b.iter(|| black_box(WindowedEngine.count(g, &cfg)))
         });
     }
     group.finish();
 }
 
+/// How windowed pruning pays off as ΔW tightens: the backtrack walker's
+/// candidate scan is O(remaining events per node) regardless of the
+/// bound, while the windowed walker touches only admissible events.
+fn bench_window_tightness(c: &mut Criterion) {
+    let g = dataset("SMS-A", 10_000);
+    let mut group = c.benchmark_group("window_tightness_3e");
+    group.sample_size(10);
+    for dw in [300i64, 1500, 6000] {
+        let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(dw));
+        group.bench_with_input(BenchmarkId::new("backtrack", dw), &g, |b, g| {
+            b.iter(|| black_box(BacktrackEngine.count(g, &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("windowed", dw), &g, |b, g| {
+            b.iter(|| black_box(WindowedEngine.count(g, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+/// Work-stealing scaling across thread counts (windowed workers).
 fn bench_parallel_scaling(c: &mut Criterion) {
     let g = dataset("SMS-A", 12_000);
     let cfg = EnumConfig::new(3, 3).with_timing(Timing::both(1500, 3000));
@@ -36,7 +119,7 @@ fn bench_parallel_scaling(c: &mut Criterion) {
     group.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            b.iter(|| black_box(count_motifs_parallel(&g, &cfg, t)))
+            b.iter(|| black_box(ParallelEngine::new(t).count(&g, &cfg)))
         });
     }
     group.finish();
@@ -88,7 +171,9 @@ fn bench_generation(c: &mut Criterion) {
 
 criterion_group!(
     benches,
-    bench_counting,
+    bench_engine_comparison,
+    bench_hub_tight_window,
+    bench_window_tightness,
     bench_parallel_scaling,
     bench_signature_targeting,
     bench_streaming_matcher,

@@ -14,9 +14,8 @@ fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
 
-    group.bench_function("fig1_validity_matrix", |b| {
-        b.iter(|| black_box(experiments::fig1::run()))
-    });
+    group
+        .bench_function("fig1_validity_matrix", |b| b.iter(|| black_box(experiments::fig1::run())));
     group.bench_function("fig2_notation_catalogs", |b| {
         b.iter(|| black_box(experiments::fig2::run()))
     });

@@ -43,16 +43,8 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Flags that never take a value.
-const BOOLEAN_FLAGS: &[&str] = &[
-    "full",
-    "all",
-    "csv",
-    "consecutive",
-    "induced",
-    "constrained",
-    "include-4e",
-    "help",
-];
+const BOOLEAN_FLAGS: &[&str] =
+    &["full", "all", "csv", "consecutive", "induced", "constrained", "include-4e", "help"];
 
 impl Args {
     /// Parses raw arguments (excluding the program/subcommand names).
@@ -65,8 +57,7 @@ impl Args {
                 if BOOLEAN_FLAGS.contains(&name.as_str()) {
                     out.flags.insert(name, "true".to_string());
                 } else {
-                    let value =
-                        iter.next().ok_or_else(|| ArgError::MissingValue(name.clone()))?;
+                    let value = iter.next().ok_or_else(|| ArgError::MissingValue(name.clone()))?;
                     out.flags.insert(name, value);
                 }
             } else {
@@ -92,17 +83,12 @@ impl Args {
     }
 
     /// Typed flag value with default.
-    pub fn get_parsed<T: std::str::FromStr>(
-        &self,
-        flag: &str,
-        default: T,
-    ) -> Result<T, ArgError> {
+    pub fn get_parsed<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
         match self.flags.get(flag) {
             None => Ok(default),
-            Some(v) => v.parse::<T>().map_err(|_| ArgError::BadValue {
-                flag: flag.to_string(),
-                value: v.clone(),
-            }),
+            Some(v) => v
+                .parse::<T>()
+                .map_err(|_| ArgError::BadValue { flag: flag.to_string(), value: v.clone() }),
         }
     }
 
@@ -145,10 +131,7 @@ mod tests {
     #[test]
     fn bad_value_error() {
         let a = parse(&["--seed", "xyz"]);
-        assert!(matches!(
-            a.get_parsed::<u64>("seed", 0),
-            Err(ArgError::BadValue { .. })
-        ));
+        assert!(matches!(a.get_parsed::<u64>("seed", 0), Err(ArgError::BadValue { .. })));
     }
 
     #[test]

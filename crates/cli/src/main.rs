@@ -8,7 +8,7 @@ mod args;
 
 use args::Args;
 use std::process::ExitCode;
-use tnm_analysis::experiments::{self, Corpus};
+use tnm_analysis::experiments::{self, Corpus, RunConfig};
 use tnm_datasets::DatasetSpec;
 use tnm_graph::stats::GraphStats;
 use tnm_motifs::cycles::{count_temporal_cycles, CycleConfig};
@@ -19,7 +19,8 @@ tnm — Temporal Network Motifs: Models, Limitations, Evaluation (reproduction)
 
 USAGE: tnm <command> [flags]
 
-Experiment commands (all accept --scale F, --seed N, --csv):
+Experiment commands (all accept --scale F, --seed N, --csv, --engine E,
+--threads N):
   table2            Dataset statistics (paper Table 2)
   table3 [--full]   Consecutive events restriction (Table 3; --full = Table 6)
   table4 [--full]   Constrained dynamic graphlets (Table 4; --full = Table 7)
@@ -38,7 +39,7 @@ Utility commands:
   generate --dataset NAME --out FILE     Write a synthetic dataset as an edge list
   count --dataset NAME [--events K] [--nodes N] [--dc X] [--dw Y]
         [--consecutive] [--induced] [--constrained] [--top K]
-                                         Count motifs under a custom model
+        [--engine E] [--threads N]       Count motifs under a custom model
   cycles --dataset NAME [--dw X] [--max-len L]
                                          Enumerate simple temporal cycles
   help              This message
@@ -47,6 +48,9 @@ Flags:
   --scale F     Scale dataset event budgets by F (default 1.0)
   --seed N      Corpus seed (default the standard experiment seed)
   --csv         Emit CSV instead of a rendered table (where supported)
+  --engine E    Counting engine: backtrack | windowed | parallel | auto
+                (default auto; see the tnm-motifs rustdoc on choosing one)
+  --threads N   Thread budget for parallel-capable engines
 ";
 
 fn main() -> ExitCode {
@@ -95,8 +99,17 @@ fn corpus_from(args: &Args) -> Result<Corpus, Box<dyn std::error::Error>> {
     })
 }
 
+fn run_config_from(args: &Args) -> Result<RunConfig, Box<dyn std::error::Error>> {
+    let mut rc = RunConfig::default();
+    if let Some(name) = args.get("engine") {
+        rc.engine = name.parse::<EngineKind>()?;
+    }
+    rc.threads = args.get_parsed("threads", rc.threads)?;
+    Ok(rc)
+}
+
 fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let common = ["scale", "seed", "csv", "dataset"];
+    let common = ["scale", "seed", "csv", "dataset", "engine", "threads"];
     match command {
         "help" | "--help" | "-h" => print!("{HELP}"),
         "list" => {
@@ -147,6 +160,8 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 "induced",
                 "constrained",
                 "top",
+                "engine",
+                "threads",
             ])?;
             let corpus = corpus_from(args)?;
             let entry = corpus.entries.first().ok_or("count requires --dataset NAME")?;
@@ -165,14 +180,16 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 .with_consecutive(args.has("consecutive"))
                 .with_static_induced(args.has("induced"))
                 .with_constrained(args.has("constrained"));
-            let counts =
-                count_motifs_parallel(&entry.graph, &cfg, experiments::default_threads());
+            let rc = run_config_from(args)?;
+            let engine = rc.engine.engine_for(&entry.graph, rc.threads);
+            let counts = engine.count(&entry.graph, &cfg);
             let top: usize = args.get_parsed("top", 20)?;
             println!(
-                "{}: {} instances across {} motif types ({timing})",
+                "{}: {} instances across {} motif types ({timing}, engine {})",
                 entry.spec.name,
                 counts.total(),
-                counts.num_signatures()
+                counts.num_signatures(),
+                engine.name()
             );
             for (sig, n) in counts.top_k(top) {
                 let pairs: String = sig
@@ -207,8 +224,8 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "table3" => {
-            args.ensure_known(&["scale", "seed", "csv", "dataset", "full"])?;
-            let t = experiments::table3::run(&corpus_from(args)?);
+            args.ensure_known(&["scale", "seed", "csv", "dataset", "full", "engine", "threads"])?;
+            let t = experiments::table3::run_with(&corpus_from(args)?, &run_config_from(args)?);
             if args.has("csv") {
                 print!("{}", t.to_csv());
             } else {
@@ -220,8 +237,8 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "table4" => {
-            args.ensure_known(&["scale", "seed", "csv", "dataset", "full"])?;
-            let t = experiments::table4::run(&corpus_from(args)?);
+            args.ensure_known(&["scale", "seed", "csv", "dataset", "full", "engine", "threads"])?;
+            let t = experiments::table4::run_with(&corpus_from(args)?, &run_config_from(args)?);
             if args.has("csv") {
                 print!("{}", t.to_csv());
             } else {
@@ -234,7 +251,7 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
         "table5" => {
             args.ensure_known(&common)?;
-            let t = experiments::table5::run(&corpus_from(args)?);
+            let t = experiments::table5::run_with(&corpus_from(args)?, &run_config_from(args)?);
             if args.has("csv") {
                 print!("{}", t.to_csv());
             } else {
@@ -250,8 +267,20 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             print!("{}", experiments::fig2::run().render());
         }
         "fig3" => {
-            args.ensure_known(&["scale", "seed", "csv", "dataset", "include-4e"])?;
-            let f = experiments::fig3::run(&corpus_from(args)?, args.has("include-4e"));
+            args.ensure_known(&[
+                "scale",
+                "seed",
+                "csv",
+                "dataset",
+                "include-4e",
+                "engine",
+                "threads",
+            ])?;
+            let f = experiments::fig3::run_with(
+                &corpus_from(args)?,
+                args.has("include-4e"),
+                &run_config_from(args)?,
+            );
             if args.has("csv") {
                 print!("{}", f.to_csv());
             } else {
@@ -259,7 +288,7 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "fig4" => {
-            args.ensure_known(&["scale", "seed", "csv", "dataset", "all"])?;
+            args.ensure_known(&["scale", "seed", "csv", "dataset", "all", "engine", "threads"])?;
             let f = experiments::fig4::run(&corpus_from(args)?, args.has("all"));
             if args.has("csv") {
                 print!("{}", f.to_csv());
@@ -268,7 +297,7 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "fig5" => {
-            args.ensure_known(&["scale", "seed", "csv", "dataset", "all"])?;
+            args.ensure_known(&["scale", "seed", "csv", "dataset", "all", "engine", "threads"])?;
             let f = experiments::fig5::run(&corpus_from(args)?, args.has("all"));
             if args.has("csv") {
                 print!("{}", f.to_csv());
@@ -278,7 +307,7 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
         "fig6" => {
             args.ensure_known(&common)?;
-            let f = experiments::fig6::run(&corpus_from(args)?);
+            let f = experiments::fig6::run_with(&corpus_from(args)?, &run_config_from(args)?);
             if args.has("csv") {
                 print!("{}", f.to_csv());
             } else {
@@ -288,25 +317,26 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "all" => {
             args.ensure_known(&common)?;
             let corpus = corpus_from(args)?;
+            let rc = run_config_from(args)?;
             print!("{}", experiments::table2::run(&corpus).render());
             println!();
             print!("{}", experiments::fig1::run().render());
             println!();
             print!("{}", experiments::fig2::run().render());
             println!();
-            print!("{}", experiments::table3::run(&corpus).render());
+            print!("{}", experiments::table3::run_with(&corpus, &rc).render());
             println!();
-            print!("{}", experiments::table4::run(&corpus).render());
+            print!("{}", experiments::table4::run_with(&corpus, &rc).render());
             println!();
-            print!("{}", experiments::table5::run(&corpus).render());
+            print!("{}", experiments::table5::run_with(&corpus, &rc).render());
             println!();
-            print!("{}", experiments::fig3::run(&corpus, true).render());
+            print!("{}", experiments::fig3::run_with(&corpus, true, &rc).render());
             println!();
             print!("{}", experiments::fig4::run(&corpus, true).render());
             println!();
             print!("{}", experiments::fig5::run(&corpus, true).render());
             println!();
-            print!("{}", experiments::fig6::run(&corpus).render());
+            print!("{}", experiments::fig6::run_with(&corpus, &rc).render());
         }
         other => {
             eprintln!("unknown command `{other}`\n");

@@ -59,12 +59,7 @@ pub fn figure1() -> Figure1 {
         .event(10, 12, 408) // e13
         .build()
         .expect("figure 1 network is valid");
-    let motifs = vec![
-        vec![0, 1, 2],
-        vec![4, 5, 6],
-        vec![7, 9, 10],
-        vec![11, 12, 13],
-    ];
+    let motifs = vec![vec![0, 1, 2], vec![4, 5, 6], vec![7, 9, 10], vec![11, 12, 13]];
     let expected = [
         [false, true, false, true],
         [false, true, false, false],

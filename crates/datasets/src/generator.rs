@@ -219,8 +219,7 @@ impl<'s> Generator<'s> {
         }
         acc += b.repeat;
         if roll < acc {
-            let kind =
-                if self.rng.gen_bool(NUDGE_PROB) { GapKind::Nudge } else { GapKind::Rapid };
+            let kind = if self.rng.gen_bool(NUDGE_PROB) { GapKind::Nudge } else { GapKind::Rapid };
             return ((u, v), kind);
         }
         acc += b.continue_burst;
@@ -261,11 +260,11 @@ impl<'s> Generator<'s> {
             }?;
             let (u, v) = (recalled.src.0, recalled.dst.0);
             match i {
-                0 => Some((v, u)),                                // ping-pong
-                1 => Some((u, v)),                                // repetition
-                2 => self.other_node(u, v).map(|w| (u, w)),       // out-burst
-                3 => self.other_node(v, u).map(|w| (v, w)),       // convey
-                _ => self.other_node(v, u).map(|w| (w, v)),       // in-burst
+                0 => Some((v, u)),                          // ping-pong
+                1 => Some((u, v)),                          // repetition
+                2 => self.other_node(u, v).map(|w| (u, w)), // out-burst
+                3 => self.other_node(v, u).map(|w| (v, w)), // convey
+                _ => self.other_node(v, u).map(|w| (w, v)), // in-burst
             }
         });
         pair.unwrap_or_else(|| self.fresh_pair())

@@ -30,12 +30,8 @@ pub fn shuffle_timestamps(graph: &TemporalGraph, seed: u64) -> TemporalGraph {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut times: Vec<Time> = graph.events().iter().map(|e| e.time).collect();
     fisher_yates(&mut times, &mut rng);
-    let events: Vec<Event> = graph
-        .events()
-        .iter()
-        .zip(times)
-        .map(|(e, t)| Event { time: t, ..*e })
-        .collect();
+    let events: Vec<Event> =
+        graph.events().iter().zip(times).map(|(e, t)| Event { time: t, ..*e }).collect();
     TemporalGraphBuilder::from_events(events).build().expect("shuffle preserves validity")
 }
 
@@ -141,16 +137,14 @@ mod tests {
         // Same sequence of node pairs... up to reordering of equal
         // timestamps; compare multisets of pairs instead.
         let pairs = |g: &TemporalGraph| {
-            let mut v: Vec<(u32, u32)> =
-                g.events().iter().map(|e| (e.src.0, e.dst.0)).collect();
+            let mut v: Vec<(u32, u32)> = g.events().iter().map(|e| (e.src.0, e.dst.0)).collect();
             v.sort_unstable();
             v
         };
         assert_eq!(pairs(&g), pairs(&s));
         // Gap multiset preserved.
         let gaps = |g: &TemporalGraph| {
-            let mut v: Vec<i64> =
-                g.events().windows(2).map(|w| (w[1].time - w[0].time)).collect();
+            let mut v: Vec<i64> = g.events().windows(2).map(|w| w[1].time - w[0].time).collect();
             v.sort_unstable();
             v
         };

@@ -90,7 +90,7 @@ mod tests {
     #[test]
     fn io_error_source() {
         use std::error::Error;
-        let e = GraphError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        let e = GraphError::from(std::io::Error::other("x"));
         assert!(e.source().is_some());
     }
 }

@@ -124,9 +124,7 @@ impl TemporalGraph {
     #[inline]
     pub fn edge_events(&self, edge: Edge) -> &[EventIdx] {
         match self.edge_spans.get(&edge) {
-            Some(&(start, len)) => {
-                &self.edge_events[start as usize..(start + len) as usize]
-            }
+            Some(&(start, len)) => &self.edge_events[start as usize..(start + len) as usize],
             None => &[],
         }
     }
@@ -196,10 +194,16 @@ impl TemporalGraph {
         }
         for e in &self.events {
             if e.src.0 >= self.num_nodes {
-                return Err(GraphError::NodeOutOfRange { node: e.src.0, num_nodes: self.num_nodes });
+                return Err(GraphError::NodeOutOfRange {
+                    node: e.src.0,
+                    num_nodes: self.num_nodes,
+                });
             }
             if e.dst.0 >= self.num_nodes {
-                return Err(GraphError::NodeOutOfRange { node: e.dst.0, num_nodes: self.num_nodes });
+                return Err(GraphError::NodeOutOfRange {
+                    node: e.dst.0,
+                    num_nodes: self.num_nodes,
+                });
             }
             if e.is_self_loop() {
                 return Err(GraphError::SelfLoop { node: e.src.0, time: e.time });
@@ -369,11 +373,9 @@ mod tests {
 
     #[test]
     fn duplicate_events_are_kept() {
-        let g = TemporalGraph::from_events(vec![
-            Event::new(0u32, 1u32, 5),
-            Event::new(0u32, 1u32, 5),
-        ])
-        .unwrap();
+        let g =
+            TemporalGraph::from_events(vec![Event::new(0u32, 1u32, 5), Event::new(0u32, 1u32, 5)])
+                .unwrap();
         assert_eq!(g.num_events(), 2);
         assert_eq!(g.edge_events(Edge::new(0u32, 1u32)).len(), 2);
     }

@@ -83,17 +83,12 @@ pub fn write_edge_list_file<P: AsRef<Path>>(graph: &TemporalGraph, path: P) -> R
     write_edge_list(graph, file)
 }
 
-fn parse_field<T: std::str::FromStr>(
-    tok: Option<&str>,
-    line: usize,
-    what: &str,
-) -> Result<T> {
+fn parse_field<T: std::str::FromStr>(tok: Option<&str>, line: usize, what: &str) -> Result<T> {
     match tok {
         None => Err(GraphError::Parse { line, message: format!("missing {what}") }),
-        Some(tok) => tok.parse::<T>().map_err(|_| GraphError::Parse {
-            line,
-            message: format!("invalid {what} `{tok}`"),
-        }),
+        Some(tok) => tok
+            .parse::<T>()
+            .map_err(|_| GraphError::Parse { line, message: format!("invalid {what} `{tok}`") }),
     }
 }
 

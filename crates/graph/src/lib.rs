@@ -41,6 +41,7 @@ pub mod io;
 pub mod static_proj;
 pub mod stats;
 pub mod transform;
+pub mod window_index;
 
 pub use builder::TemporalGraphBuilder;
 pub use error::{GraphError, Result};
@@ -48,3 +49,4 @@ pub use event::Event;
 pub use graph::TemporalGraph;
 pub use ids::{Edge, EventIdx, NodeId, Time};
 pub use static_proj::StaticProjection;
+pub use window_index::{WindowCursor, WindowIndex};

@@ -114,8 +114,11 @@ mod tests {
     use crate::event::Event;
 
     fn graph(times: &[Time]) -> TemporalGraph {
-        let events: Vec<Event> =
-            times.iter().enumerate().map(|(i, &t)| Event::new(i as u32, (i + 1) as u32, t)).collect();
+        let events: Vec<Event> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Event::new(i as u32, (i + 1) as u32, t))
+            .collect();
         TemporalGraph::from_events(events).unwrap()
     }
 

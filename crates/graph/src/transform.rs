@@ -28,9 +28,7 @@ pub fn degrade_resolution(graph: &TemporalGraph, bucket: Time) -> TemporalGraph 
         .iter()
         .map(|e| Event { time: e.time.div_euclid(bucket) * bucket, ..*e })
         .collect();
-    TemporalGraphBuilder::from_events(events)
-        .build()
-        .expect("degrading a valid graph cannot fail")
+    TemporalGraphBuilder::from_events(events).build().expect("degrading a valid graph cannot fail")
 }
 
 /// Keeps the earliest `fraction` of events (by position in the

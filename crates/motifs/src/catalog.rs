@@ -64,10 +64,7 @@ fn extend(
 
 /// Motifs with exactly `num_events` events and exactly `num_nodes` nodes.
 pub fn motifs_with_exact_nodes(num_events: usize, num_nodes: usize) -> Vec<MotifSignature> {
-    all_motifs(num_events, num_nodes)
-        .into_iter()
-        .filter(|s| s.num_nodes() == num_nodes)
-        .collect()
+    all_motifs(num_events, num_nodes).into_iter().filter(|s| s.num_nodes() == num_nodes).collect()
 }
 
 /// The 32 three-node three-event motifs of Tables 3, 6, and 7.
@@ -141,10 +138,7 @@ mod tests {
             assert!(m3.contains(&sig(s)), "missing {s}");
         }
         let m2 = all_2n3e();
-        assert_eq!(
-            m2,
-            vec![sig("010101"), sig("010110"), sig("011001"), sig("011010")]
-        );
+        assert_eq!(m2, vec![sig("010101"), sig("010110"), sig("011001"), sig("011010")]);
     }
 
     #[test]

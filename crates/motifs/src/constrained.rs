@@ -100,11 +100,7 @@ mod tests {
             .build()
             .unwrap();
         // Motif = events (0,1,10) and (1,2,20); indices after sorting:
-        let first = g
-            .events()
-            .iter()
-            .position(|e| e.src.0 == 0)
-            .unwrap() as u32;
+        let first = g.events().iter().position(|e| e.src.0 == 0).unwrap() as u32;
         let second = g.events().iter().position(|e| e.time == 20).unwrap() as u32;
         assert!(!constrained_ok(&g, &[first, second]));
     }

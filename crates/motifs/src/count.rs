@@ -171,10 +171,8 @@ pub fn proportion_changes(
 ) -> (HashMap<MotifSignature, f64>, f64) {
     let pb = before.proportions(universe);
     let pa = after.proportions(universe);
-    let changes: HashMap<MotifSignature, f64> = universe
-        .iter()
-        .map(|&s| (s, (pa[&s] - pb[&s]) * 100.0))
-        .collect();
+    let changes: HashMap<MotifSignature, f64> =
+        universe.iter().map(|&s| (s, (pa[&s] - pb[&s]) * 100.0)).collect();
     let n = universe.len() as f64;
     let mean: f64 = changes.values().sum::<f64>() / n;
     let var: f64 = changes.values().map(|c| (c - mean) * (c - mean)).sum::<f64>() / n;

@@ -180,11 +180,7 @@ mod tests {
 
     #[test]
     fn strict_time_order_excludes_ties() {
-        let g = TemporalGraphBuilder::new()
-            .event(0, 1, 10)
-            .event(1, 0, 10)
-            .build()
-            .unwrap();
+        let g = TemporalGraphBuilder::new().event(0, 1, 10).event(1, 0, 10).build().unwrap();
         assert!(count_temporal_cycles(&g, &CycleConfig::new(3, 100)).is_empty());
     }
 

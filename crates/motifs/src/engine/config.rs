@@ -1,0 +1,133 @@
+//! Engine-neutral run configuration and the motif-instance callback type.
+//!
+//! [`EnumConfig`] describes *what* to enumerate (size/node bounds, ΔC/ΔW
+//! timing, per-model restrictions, optional signature targeting) and is
+//! shared verbatim by every [`CountEngine`](crate::engine::CountEngine)
+//! implementation — engines differ only in *how* they drive the walk, so
+//! identical configs must yield identical [`MotifCounts`]
+//! (enforced by `tests/engine_equivalence.rs`).
+
+use crate::constraints::Timing;
+use crate::models::MotifModel;
+use crate::notation::MotifSignature;
+use tnm_graph::{EventIdx, TemporalGraph, Time};
+
+/// Configuration for one enumeration run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumConfig {
+    /// Exact number of events per motif (`e` in `XnYe`).
+    pub num_events: usize,
+    /// Maximum number of distinct nodes.
+    pub max_nodes: usize,
+    /// Minimum number of distinct nodes (filter at emission).
+    pub min_nodes: usize,
+    /// ΔC / ΔW configuration.
+    pub timing: Timing,
+    /// Apply Kovanen's consecutive events restriction.
+    pub consecutive_events: bool,
+    /// Apply static-projection inducedness.
+    pub static_induced: bool,
+    /// Apply the constrained dynamic graphlet restriction.
+    pub constrained_dynamic: bool,
+    /// Measure ΔC gaps from the previous event's end time.
+    pub duration_aware: bool,
+    /// Only enumerate instances of this exact signature (prefix-pruned,
+    /// so targeted runs are much faster than full spectra).
+    pub signature_filter: Option<MotifSignature>,
+}
+
+impl EnumConfig {
+    /// A permissive configuration: `num_events` events on at most
+    /// `max_nodes` nodes, unbounded timing, no restrictions.
+    pub fn new(num_events: usize, max_nodes: usize) -> Self {
+        assert!(num_events >= 1, "motifs need at least one event");
+        assert!(max_nodes >= 2, "motifs need at least two nodes");
+        EnumConfig {
+            num_events,
+            max_nodes,
+            min_nodes: 2,
+            timing: Timing::UNBOUNDED,
+            consecutive_events: false,
+            static_induced: false,
+            constrained_dynamic: false,
+            duration_aware: false,
+            signature_filter: None,
+        }
+    }
+
+    /// Derives the engine configuration from a [`MotifModel`].
+    pub fn for_model(model: &MotifModel, num_events: usize, max_nodes: usize) -> Self {
+        EnumConfig {
+            timing: model.timing,
+            consecutive_events: model.consecutive_events,
+            static_induced: model.static_induced,
+            constrained_dynamic: model.constrained_dynamic,
+            duration_aware: model.duration_aware,
+            ..EnumConfig::new(num_events, max_nodes)
+        }
+    }
+
+    /// Targets a single signature: size/node bounds are derived from it.
+    pub fn for_signature(sig: MotifSignature) -> Self {
+        EnumConfig {
+            min_nodes: sig.num_nodes(),
+            max_nodes: sig.num_nodes(),
+            signature_filter: Some(sig),
+            ..EnumConfig::new(sig.num_events(), sig.num_nodes().max(2))
+        }
+    }
+
+    /// Sets the timing configuration (chainable).
+    pub fn with_timing(mut self, timing: Timing) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Requires exactly `n` nodes (chainable), e.g. 3 for the 3n3e tables.
+    pub fn exact_nodes(mut self, n: usize) -> Self {
+        self.min_nodes = n;
+        self.max_nodes = n;
+        self
+    }
+
+    /// Toggles the consecutive events restriction (chainable).
+    pub fn with_consecutive(mut self, yes: bool) -> Self {
+        self.consecutive_events = yes;
+        self
+    }
+
+    /// Toggles the constrained dynamic graphlet restriction (chainable).
+    pub fn with_constrained(mut self, yes: bool) -> Self {
+        self.constrained_dynamic = yes;
+        self
+    }
+
+    /// Toggles static inducedness (chainable).
+    pub fn with_static_induced(mut self, yes: bool) -> Self {
+        self.static_induced = yes;
+        self
+    }
+}
+
+/// A concrete motif occurrence handed to enumeration callbacks.
+#[derive(Debug, Clone, Copy)]
+pub struct MotifInstance<'a> {
+    /// Time-ordered event indices into the graph.
+    pub events: &'a [EventIdx],
+    /// The instance's canonical signature.
+    pub signature: MotifSignature,
+}
+
+impl MotifInstance<'_> {
+    /// Timestamps of the instance's events, in order.
+    pub fn times(&self, graph: &TemporalGraph) -> Vec<Time> {
+        self.events.iter().map(|&i| graph.event(i).time).collect()
+    }
+
+    /// `t_last − t_first` for this instance.
+    pub fn timespan(&self, graph: &TemporalGraph) -> Time {
+        let first = graph.event(self.events[0]).time;
+        let last = graph.event(*self.events.last().expect("non-empty motif")).time;
+        last - first
+    }
+}

@@ -1,0 +1,224 @@
+//! Pluggable counting engines.
+//!
+//! Every motif configuration in the paper ultimately runs the same
+//! abstract job — *enumerate time-ordered single-component event
+//! sequences under ΔC/ΔW pruning, filter, canonicalise, count* — but the
+//! profitable execution strategy varies with the workload: graph size,
+//! timing tightness, and available cores. This module makes the strategy
+//! a value: a [`CountEngine`] trait with three interchangeable
+//! implementations, selectable programmatically via [`EngineKind`] or
+//! from the CLI via `--engine`.
+//!
+//! | engine | strategy | best at |
+//! |---|---|---|
+//! | [`BacktrackEngine`] | serial walk, plain node-index scans | tiny graphs, unbounded timing |
+//! | [`WindowedEngine`] | serial walk, [`WindowIndex`](tnm_graph::WindowIndex) binary-search pruning | bounded ΔC/ΔW on one core |
+//! | [`ParallelEngine`] | work-stealing workers over the windowed index | large graphs, many cores |
+//!
+//! All engines are **exact** and produce identical [`MotifCounts`] for
+//! identical [`EnumConfig`]s — the cross-engine equivalence suite
+//! (`tests/engine_equivalence.rs`) enforces this for all four paper
+//! models. [`EngineKind::Auto`] picks a sensible engine from the graph
+//! size and thread budget and is what the legacy
+//! [`count_motifs`](crate::count_motifs) /
+//! [`count_motifs_parallel`](crate::count_motifs_parallel) wrappers use.
+//!
+//! The trait is deliberately narrow (count, enumerate, name,
+//! capabilities) so future backends — sampling estimators, sharded
+//! out-of-core counting — slot in without touching call sites.
+
+mod backtrack;
+mod config;
+mod parallel;
+mod walker;
+mod windowed;
+
+pub use backtrack::BacktrackEngine;
+pub use config::{EnumConfig, MotifInstance};
+pub use parallel::{ParallelConfig, ParallelEngine, DEFAULT_STEAL_CHUNK, SERIAL_FALLBACK_EVENTS};
+pub use windowed::WindowedEngine;
+
+use crate::count::MotifCounts;
+use tnm_graph::TemporalGraph;
+
+/// What an engine can do; used by callers to pick and by diagnostics to
+/// explain a choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineCaps {
+    /// Uses more than one thread in `count`.
+    pub parallel: bool,
+    /// Prunes candidates through the time-windowed index.
+    pub windowed_pruning: bool,
+    /// `enumerate` visits instances in the serial start-event order.
+    pub deterministic_enumeration: bool,
+    /// Honors [`EnumConfig::signature_filter`] with prefix pruning.
+    pub supports_signature_filter: bool,
+}
+
+/// A motif counting engine: one execution strategy for the shared
+/// enumeration semantics defined by [`EnumConfig`].
+pub trait CountEngine: Send + Sync {
+    /// Stable engine name (what `--engine` parses, what reports print).
+    fn name(&self) -> &'static str;
+
+    /// Capability flags.
+    fn capabilities(&self) -> EngineCaps;
+
+    /// Counts instances per canonical signature.
+    fn count(&self, graph: &TemporalGraph, cfg: &EnumConfig) -> MotifCounts;
+
+    /// Invokes `callback` once per instance (events in time order).
+    fn enumerate(
+        &self,
+        graph: &TemporalGraph,
+        cfg: &EnumConfig,
+        callback: &mut dyn FnMut(&MotifInstance<'_>),
+    );
+}
+
+/// Engine selection, parseable from CLI strings (`--engine windowed`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// [`BacktrackEngine`].
+    Backtrack,
+    /// [`WindowedEngine`].
+    Windowed,
+    /// [`ParallelEngine`] over the windowed index.
+    Parallel,
+    /// Pick per-workload: parallel-windowed for graphs with at least
+    /// [`SERIAL_FALLBACK_EVENTS`] events when more than one thread is
+    /// available, serial windowed otherwise.
+    #[default]
+    Auto,
+}
+
+impl EngineKind {
+    /// Every concrete kind (excludes `Auto`), for sweeps and benches.
+    pub const CONCRETE: [EngineKind; 3] =
+        [EngineKind::Backtrack, EngineKind::Windowed, EngineKind::Parallel];
+
+    /// Instantiates the engine, resolving `Auto` against `graph` and the
+    /// `threads` budget.
+    pub fn engine_for(self, graph: &TemporalGraph, threads: usize) -> Box<dyn CountEngine> {
+        match self {
+            EngineKind::Backtrack => Box::new(BacktrackEngine),
+            EngineKind::Windowed => Box::new(WindowedEngine),
+            EngineKind::Parallel => Box::new(ParallelEngine::new(threads)),
+            EngineKind::Auto => {
+                let big_enough = graph.num_events() >= SERIAL_FALLBACK_EVENTS;
+                if threads > 1 && big_enough {
+                    Box::new(ParallelEngine::new(threads))
+                } else {
+                    Box::new(WindowedEngine)
+                }
+            }
+        }
+    }
+
+    /// Counts with the engine this kind resolves to.
+    pub fn count(self, graph: &TemporalGraph, cfg: &EnumConfig, threads: usize) -> MotifCounts {
+        self.engine_for(graph, threads).count(graph, cfg)
+    }
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = ParseEngineError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "backtrack" => Ok(EngineKind::Backtrack),
+            "windowed" => Ok(EngineKind::Windowed),
+            "parallel" => Ok(EngineKind::Parallel),
+            "auto" => Ok(EngineKind::Auto),
+            _ => Err(ParseEngineError { got: s.to_string() }),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EngineKind::Backtrack => "backtrack",
+            EngineKind::Windowed => "windowed",
+            EngineKind::Parallel => "parallel",
+            EngineKind::Auto => "auto",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error from parsing an engine name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEngineError {
+    got: String,
+}
+
+impl std::fmt::Display for ParseEngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown engine `{}` (expected backtrack, windowed, parallel, or auto)", self.got)
+    }
+}
+
+impl std::error::Error for ParseEngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::Timing;
+    use tnm_graph::TemporalGraphBuilder;
+
+    fn tiny() -> TemporalGraph {
+        TemporalGraphBuilder::new().event(0, 1, 10).event(1, 2, 20).event(2, 3, 30).build().unwrap()
+    }
+
+    #[test]
+    fn kind_parses_and_displays() {
+        for kind in
+            [EngineKind::Backtrack, EngineKind::Windowed, EngineKind::Parallel, EngineKind::Auto]
+        {
+            let round: EngineKind = kind.to_string().parse().unwrap();
+            assert_eq!(round, kind);
+        }
+        assert_eq!("WINDOWED".parse::<EngineKind>().unwrap(), EngineKind::Windowed);
+        assert!("bogus".parse::<EngineKind>().is_err());
+    }
+
+    #[test]
+    fn auto_resolves_by_size_and_threads() {
+        let g = tiny();
+        // Tiny graph: serial windowed regardless of thread budget.
+        assert_eq!(EngineKind::Auto.engine_for(&g, 8).name(), "windowed");
+        assert_eq!(EngineKind::Auto.engine_for(&g, 1).name(), "windowed");
+    }
+
+    #[test]
+    fn capability_flags_are_coherent() {
+        assert!(!BacktrackEngine.capabilities().parallel);
+        assert!(!BacktrackEngine.capabilities().windowed_pruning);
+        assert!(WindowedEngine.capabilities().windowed_pruning);
+        let par = ParallelEngine::new(4);
+        assert!(par.capabilities().parallel);
+        assert!(par.capabilities().windowed_pruning);
+        assert!(!ParallelEngine::over_backtrack(4).capabilities().windowed_pruning);
+    }
+
+    #[test]
+    fn engines_agree_on_a_toy_graph() {
+        let g = tiny();
+        let cfg = EnumConfig::new(3, 4).with_timing(Timing::only_w(30));
+        let reference = BacktrackEngine.count(&g, &cfg);
+        for kind in EngineKind::CONCRETE {
+            let counts = kind.count(&g, &cfg, 4);
+            assert_eq!(counts, reference, "engine {kind}");
+        }
+        assert_eq!(EngineKind::Auto.count(&g, &cfg, 4), reference);
+    }
+
+    #[test]
+    fn parallel_config_defaults() {
+        let cfg = ParallelConfig::new(0);
+        assert_eq!(cfg.threads, 1);
+        assert_eq!(cfg.serial_fallback_events, SERIAL_FALLBACK_EVENTS);
+        assert_eq!(cfg.steal_chunk, DEFAULT_STEAL_CHUNK);
+    }
+}

@@ -1,368 +1,68 @@
-//! The motif enumeration engine.
+//! Legacy enumeration entry points, now thin wrappers over the
+//! [`engine`](crate::engine) subsystem.
 //!
-//! A single backtracking walker covers every configuration in the paper:
-//! it enumerates time-ordered, single-component event sequences of an
-//! exact size under ΔC/ΔW pruning, then applies the per-model
-//! restrictions (consecutive events, static inducedness, constrained
-//! dynamic graphlets) as emission filters.
+//! The machinery that used to live here — the backtracking walker, its
+//! parallel driver — moved to `crate::engine`, which exposes it behind
+//! the [`CountEngine`](crate::engine::CountEngine) trait with three
+//! interchangeable implementations. This module keeps the original
+//! public API source-compatible:
 //!
-//! Correctness relies on three facts:
+//! * [`count_motifs`] — serial counting via the auto-selected serial
+//!   engine (today: [`WindowedEngine`](crate::engine::WindowedEngine));
+//! * [`count_motifs_parallel`] — explicit parallelism via the
+//!   work-stealing [`ParallelEngine`](crate::engine::ParallelEngine);
+//!   unlike the old static-chunked version it **honors `threads`** even
+//!   on small graphs instead of silently falling back to serial;
+//! * [`enumerate_instances`] / [`count_signature`] — deterministic
+//!   serial enumeration, unchanged semantics.
 //!
-//! * instances are *sets* of events visited in strictly increasing time
-//!   order, so each set is enumerated exactly once;
-//! * events with equal timestamps never co-occur in a motif (the paper's
-//!   total-ordering rule), enforced by strict `>` on timestamps;
-//! * candidate events are drawn from the node index of the current node
-//!   set, which is exactly the "grows as a single component" rule.
+//! New code that cares about strategy should select an engine through
+//! [`EngineKind`](crate::engine::EngineKind) instead.
 
-use crate::consecutive::{consecutive_ok, ConsecutiveScratch};
-use crate::constrained::constrained_ok;
+pub use crate::engine::{EnumConfig, MotifInstance};
+
 use crate::constraints::Timing;
 use crate::count::MotifCounts;
-use crate::induced::static_induced_ok;
-use crate::models::MotifModel;
+use crate::engine::{CountEngine, EngineKind, ParallelEngine, WindowedEngine};
 use crate::notation::MotifSignature;
-use parking_lot::Mutex;
-use tnm_graph::{EventIdx, NodeId, TemporalGraph, Time};
-
-/// Configuration for one enumeration run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct EnumConfig {
-    /// Exact number of events per motif (`e` in `XnYe`).
-    pub num_events: usize,
-    /// Maximum number of distinct nodes.
-    pub max_nodes: usize,
-    /// Minimum number of distinct nodes (filter at emission).
-    pub min_nodes: usize,
-    /// ΔC / ΔW configuration.
-    pub timing: Timing,
-    /// Apply Kovanen's consecutive events restriction.
-    pub consecutive_events: bool,
-    /// Apply static-projection inducedness.
-    pub static_induced: bool,
-    /// Apply the constrained dynamic graphlet restriction.
-    pub constrained_dynamic: bool,
-    /// Measure ΔC gaps from the previous event's end time.
-    pub duration_aware: bool,
-    /// Only enumerate instances of this exact signature (prefix-pruned,
-    /// so targeted runs are much faster than full spectra).
-    pub signature_filter: Option<MotifSignature>,
-}
-
-impl EnumConfig {
-    /// A permissive configuration: `num_events` events on at most
-    /// `max_nodes` nodes, unbounded timing, no restrictions.
-    pub fn new(num_events: usize, max_nodes: usize) -> Self {
-        assert!(num_events >= 1, "motifs need at least one event");
-        assert!(max_nodes >= 2, "motifs need at least two nodes");
-        EnumConfig {
-            num_events,
-            max_nodes,
-            min_nodes: 2,
-            timing: Timing::UNBOUNDED,
-            consecutive_events: false,
-            static_induced: false,
-            constrained_dynamic: false,
-            duration_aware: false,
-            signature_filter: None,
-        }
-    }
-
-    /// Derives the engine configuration from a [`MotifModel`].
-    pub fn for_model(model: &MotifModel, num_events: usize, max_nodes: usize) -> Self {
-        EnumConfig {
-            timing: model.timing,
-            consecutive_events: model.consecutive_events,
-            static_induced: model.static_induced,
-            constrained_dynamic: model.constrained_dynamic,
-            duration_aware: model.duration_aware,
-            ..EnumConfig::new(num_events, max_nodes)
-        }
-    }
-
-    /// Targets a single signature: size/node bounds are derived from it.
-    pub fn for_signature(sig: MotifSignature) -> Self {
-        EnumConfig {
-            min_nodes: sig.num_nodes(),
-            max_nodes: sig.num_nodes(),
-            signature_filter: Some(sig),
-            ..EnumConfig::new(sig.num_events(), sig.num_nodes().max(2))
-        }
-    }
-
-    /// Sets the timing configuration (chainable).
-    pub fn with_timing(mut self, timing: Timing) -> Self {
-        self.timing = timing;
-        self
-    }
-
-    /// Requires exactly `n` nodes (chainable), e.g. 3 for the 3n3e tables.
-    pub fn exact_nodes(mut self, n: usize) -> Self {
-        self.min_nodes = n;
-        self.max_nodes = n;
-        self
-    }
-
-    /// Toggles the consecutive events restriction (chainable).
-    pub fn with_consecutive(mut self, yes: bool) -> Self {
-        self.consecutive_events = yes;
-        self
-    }
-
-    /// Toggles the constrained dynamic graphlet restriction (chainable).
-    pub fn with_constrained(mut self, yes: bool) -> Self {
-        self.constrained_dynamic = yes;
-        self
-    }
-
-    /// Toggles static inducedness (chainable).
-    pub fn with_static_induced(mut self, yes: bool) -> Self {
-        self.static_induced = yes;
-        self
-    }
-}
-
-/// A concrete motif occurrence handed to enumeration callbacks.
-#[derive(Debug, Clone, Copy)]
-pub struct MotifInstance<'a> {
-    /// Time-ordered event indices into the graph.
-    pub events: &'a [EventIdx],
-    /// The instance's canonical signature.
-    pub signature: MotifSignature,
-}
-
-impl MotifInstance<'_> {
-    /// Timestamps of the instance's events, in order.
-    pub fn times(&self, graph: &TemporalGraph) -> Vec<Time> {
-        self.events.iter().map(|&i| graph.event(i).time).collect()
-    }
-
-    /// `t_last − t_first` for this instance.
-    pub fn timespan(&self, graph: &TemporalGraph) -> Time {
-        let first = graph.event(self.events[0]).time;
-        let last = graph.event(*self.events.last().expect("non-empty motif")).time;
-        last - first
-    }
-}
-
-struct Walker<'g> {
-    graph: &'g TemporalGraph,
-    cfg: &'g EnumConfig,
-    seq: Vec<EventIdx>,
-    digits: Vec<NodeId>,
-    pairs: Vec<(u8, u8)>,
-    cand_bufs: Vec<Vec<EventIdx>>,
-    scratch: ConsecutiveScratch,
-}
-
-impl<'g> Walker<'g> {
-    fn new(graph: &'g TemporalGraph, cfg: &'g EnumConfig) -> Self {
-        let k = cfg.num_events;
-        Walker {
-            graph,
-            cfg,
-            seq: Vec::with_capacity(k),
-            digits: Vec::with_capacity(cfg.max_nodes),
-            pairs: Vec::with_capacity(k),
-            cand_bufs: (0..k).map(|_| Vec::new()).collect(),
-            scratch: ConsecutiveScratch::new(),
-        }
-    }
-
-    /// Maps a node to its digit, appending a fresh digit when new.
-    /// Returns `(digit, was_new)`.
-    #[inline]
-    fn digit_of(&mut self, node: NodeId) -> (u8, bool) {
-        match self.digits.iter().position(|&n| n == node) {
-            Some(i) => (i as u8, false),
-            None => {
-                self.digits.push(node);
-                ((self.digits.len() - 1) as u8, true)
-            }
-        }
-    }
-
-    /// Attempts to push `idx`; returns how many fresh digits were added
-    /// (`None` if rejected by node budget or the signature filter).
-    fn try_push(&mut self, idx: EventIdx) -> Option<usize> {
-        let e = self.graph.event(idx);
-        let new_needed = [e.src, e.dst]
-            .iter()
-            .filter(|&&n| !self.digits.contains(&n))
-            .count();
-        if self.digits.len() + new_needed > self.cfg.max_nodes {
-            return None;
-        }
-        let depth = self.seq.len();
-        let (a, a_new) = self.digit_of(e.src);
-        let (b, b_new) = self.digit_of(e.dst);
-        let added = a_new as usize + b_new as usize;
-        if let Some(target) = &self.cfg.signature_filter {
-            if target.pairs()[depth] != (a, b) {
-                self.digits.truncate(self.digits.len() - added);
-                return None;
-            }
-        }
-        self.pairs.push((a, b));
-        self.seq.push(idx);
-        Some(added)
-    }
-
-    fn pop(&mut self, added: usize) {
-        self.seq.pop();
-        self.pairs.pop();
-        self.digits.truncate(self.digits.len() - added);
-    }
-
-    fn descend<F: FnMut(&MotifInstance<'_>)>(&mut self, emit: &mut F) {
-        if self.seq.len() == self.cfg.num_events {
-            self.try_emit(emit);
-            return;
-        }
-        let first = self.graph.event(self.seq[0]);
-        let last = self.graph.event(*self.seq.last().expect("non-empty seq"));
-        let t_last = last.time;
-        let c_base = if self.cfg.duration_aware { last.end_time() } else { last.time };
-        let bound: Option<Time> = match (self.cfg.timing.delta_c, self.cfg.timing.delta_w) {
-            (Some(c), Some(w)) => Some((c_base + c).min(first.time + w)),
-            (Some(c), None) => Some(c_base + c),
-            (None, Some(w)) => Some(first.time + w),
-            (None, None) => None,
-        };
-        if let Some(b) = bound {
-            if b <= t_last {
-                return; // no strictly-later event can qualify
-            }
-        }
-        // Gather candidate events adjacent to the current node set with
-        // time in (t_last, bound].
-        let depth = self.seq.len();
-        let mut cands = std::mem::take(&mut self.cand_bufs[depth]);
-        cands.clear();
-        for &node in &self.digits {
-            let list = self.graph.node_events(node);
-            let start = list
-                .partition_point(|&i| self.graph.event(i).time <= t_last);
-            for &i in &list[start..] {
-                let t = self.graph.event(i).time;
-                if let Some(b) = bound {
-                    if t > b {
-                        break;
-                    }
-                }
-                cands.push(i);
-            }
-        }
-        cands.sort_unstable();
-        cands.dedup();
-        let mut pos = 0;
-        while pos < cands.len() {
-            let idx = cands[pos];
-            if let Some(added) = self.try_push(idx) {
-                self.descend(emit);
-                self.pop(added);
-            }
-            pos += 1;
-        }
-        self.cand_bufs[depth] = cands;
-    }
-
-    fn try_emit<F: FnMut(&MotifInstance<'_>)>(&mut self, emit: &mut F) {
-        if self.digits.len() < self.cfg.min_nodes {
-            return;
-        }
-        if self.cfg.consecutive_events
-            && !consecutive_ok(self.graph, &self.seq, &mut self.scratch)
-        {
-            return;
-        }
-        if self.cfg.constrained_dynamic && !constrained_ok(self.graph, &self.seq) {
-            return;
-        }
-        if self.cfg.static_induced && !static_induced_ok(self.graph, &self.seq) {
-            return;
-        }
-        let signature =
-            MotifSignature::from_pairs(&self.pairs).expect("walker builds canonical pairs");
-        let inst = MotifInstance { events: &self.seq, signature };
-        emit(&inst);
-    }
-
-    fn run_range<F: FnMut(&MotifInstance<'_>)>(
-        &mut self,
-        start_range: std::ops::Range<usize>,
-        mut emit: F,
-    ) {
-        for start in start_range {
-            debug_assert!(self.seq.is_empty() && self.digits.is_empty());
-            if let Some(added) = self.try_push(start as EventIdx) {
-                self.descend(&mut emit);
-                self.pop(added);
-            }
-        }
-    }
-}
+use tnm_graph::TemporalGraph;
 
 /// Enumerates every motif instance admitted by `cfg`, invoking `callback`
-/// once per instance (events in time order).
+/// once per instance (events in time order, deterministic order).
 pub fn enumerate_instances<F: FnMut(&MotifInstance<'_>)>(
     graph: &TemporalGraph,
     cfg: &EnumConfig,
-    callback: F,
+    mut callback: F,
 ) {
-    let mut walker = Walker::new(graph, cfg);
-    walker.run_range(0..graph.num_events(), callback);
+    WindowedEngine.enumerate(graph, cfg, &mut callback);
 }
 
-/// Counts instances per canonical signature.
+/// Counts instances per canonical signature with the auto-selected
+/// serial engine.
 pub fn count_motifs(graph: &TemporalGraph, cfg: &EnumConfig) -> MotifCounts {
-    let mut counts = MotifCounts::new();
-    enumerate_instances(graph, cfg, |inst| counts.add(inst.signature, 1));
-    counts
+    EngineKind::Auto.count(graph, cfg, 1)
 }
 
-/// Parallel variant of [`count_motifs`]: start events are partitioned
-/// across `threads` workers (crossbeam scoped threads), each counting
-/// into a local table merged at the end. Results are identical to the
-/// serial version.
+/// Parallel variant of [`count_motifs`]: the work-stealing executor
+/// claims start events through an atomic cursor and merges per-worker
+/// local tables lock-free at join. Results are identical to the serial
+/// version for every configuration.
+///
+/// `threads` is honored as given (clamped to at least 1): callers who
+/// explicitly ask for parallelism get it regardless of graph size. Use
+/// [`EngineKind::Auto`](crate::engine::EngineKind) when you want the
+/// small-graph serial fallback heuristic instead.
 pub fn count_motifs_parallel(
     graph: &TemporalGraph,
     cfg: &EnumConfig,
     threads: usize,
 ) -> MotifCounts {
-    let threads = threads.max(1);
-    let m = graph.num_events();
-    if threads == 1 || m < 1024 {
-        return count_motifs(graph, cfg);
-    }
-    let global = Mutex::new(MotifCounts::new());
-    let chunk = m.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for w in 0..threads {
-            let lo = w * chunk;
-            let hi = ((w + 1) * chunk).min(m);
-            if lo >= hi {
-                continue;
-            }
-            let global = &global;
-            scope.spawn(move || {
-                let mut local = MotifCounts::new();
-                let mut walker = Walker::new(graph, cfg);
-                walker.run_range(lo..hi, |inst| local.add(inst.signature, 1));
-                global.lock().merge(&local);
-            });
-        }
-    });
-    global.into_inner()
+    ParallelEngine::new(threads).count(graph, cfg)
 }
 
 /// Counts instances of one specific signature (prefix-pruned fast path
 /// used by the Figure 4/5 experiments).
-pub fn count_signature(
-    graph: &TemporalGraph,
-    sig: MotifSignature,
-    timing: Timing,
-) -> u64 {
+pub fn count_signature(graph: &TemporalGraph, sig: MotifSignature, timing: Timing) -> u64 {
     let cfg = EnumConfig::for_signature(sig).with_timing(timing);
     let mut n = 0u64;
     enumerate_instances(graph, &cfg, |_| n += 1);
@@ -372,17 +72,13 @@ pub fn count_signature(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::models::MotifModel;
     use crate::notation::sig;
     use tnm_graph::TemporalGraphBuilder;
 
     fn chain_graph() -> TemporalGraph {
         // 0->1 @10, 1->2 @20, 2->3 @30.
-        TemporalGraphBuilder::new()
-            .event(0, 1, 10)
-            .event(1, 2, 20)
-            .event(2, 3, 30)
-            .build()
-            .unwrap()
+        TemporalGraphBuilder::new().event(0, 1, 10).event(1, 2, 20).event(2, 3, 30).build().unwrap()
     }
 
     #[test]
@@ -541,6 +237,16 @@ mod tests {
         let serial = count_motifs(&g, &cfg);
         let par = count_motifs_parallel(&g, &cfg, 4);
         assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn explicit_parallelism_is_honored_on_small_graphs() {
+        // The old implementation silently went serial below 1024 events;
+        // the work-stealing executor must still produce identical counts
+        // when actually running multi-threaded on a tiny graph.
+        let g = chain_graph();
+        let cfg = EnumConfig::new(2, 4);
+        assert_eq!(count_motifs_parallel(&g, &cfg, 8), count_motifs(&g, &cfg));
     }
 
     #[test]

@@ -16,9 +16,11 @@
 //! * the three inducedness/freshness restrictions: consecutive events
 //!   ([`consecutive`]), static inducedness ([`induced`]), constrained
 //!   dynamic graphlets ([`constrained`]);
-//! * a single backtracking **enumeration engine** covering every
-//!   configuration, with serial, parallel, and signature-targeted entry
-//!   points ([`enumerate`]) and spectrum analytics ([`count`]);
+//! * a pluggable **counting-engine subsystem** ([`engine`]): one shared
+//!   backtracking walk behind the [`engine::CountEngine`] trait, with
+//!   serial, window-indexed, and work-stealing parallel implementations,
+//!   legacy entry points ([`enumerate`]), and spectrum analytics
+//!   ([`count`]);
 //! * per-instance **validity checking** for Figure 1-style model
 //!   comparisons ([`validity`]);
 //! * **partial orders** and Song et al.'s **streaming event-pattern
@@ -47,6 +49,51 @@
 //!     assert!(verdict.is_valid());
 //! }
 //! ```
+//!
+//! ## Choosing an engine
+//!
+//! Counting runs behind the [`engine::CountEngine`] trait; pick an
+//! implementation with [`engine::EngineKind`] (or `--engine` on the
+//! `tnm` CLI). All engines are exact and produce identical counts —
+//! they differ only in speed:
+//!
+//! * [`engine::BacktrackEngine`] (`backtrack`) — the serial reference
+//!   walker over the plain node index. Use it as the baseline for
+//!   differential tests and on tiny graphs where index construction is
+//!   not worth it.
+//! * [`engine::WindowedEngine`] (`windowed`) — the same walk driven by a
+//!   [`tnm_graph::WindowIndex`]: candidate events resolve with binary
+//!   searches over inline timestamps, so bounded ΔC/ΔW configurations
+//!   skip non-admissible events entirely. The best single-threaded
+//!   choice for realistic workloads.
+//! * [`engine::ParallelEngine`] (`parallel`) — work-stealing workers
+//!   (atomic start-event cursor, per-worker local tables merged
+//!   lock-free at join) over the windowed index. The best choice for
+//!   large graphs on multi-core hardware.
+//! * [`engine::EngineKind::Auto`] (`auto`, the default) — parallel
+//!   windowed for graphs with at least
+//!   [`engine::SERIAL_FALLBACK_EVENTS`] events when given more than one
+//!   thread, serial windowed otherwise.
+//!
+//! ```
+//! use tnm_graph::TemporalGraphBuilder;
+//! use tnm_motifs::engine::{CountEngine, EngineKind, WindowedEngine};
+//! use tnm_motifs::prelude::*;
+//!
+//! let g = TemporalGraphBuilder::new()
+//!     .event(0, 1, 7)
+//!     .event(1, 2, 9)
+//!     .event(0, 2, 11)
+//!     .build()
+//!     .unwrap();
+//! let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(10));
+//!
+//! // Explicit engine choice...
+//! let counts = WindowedEngine.count(&g, &cfg);
+//! // ...or parse one from a CLI string and let `auto` resolve.
+//! let kind: EngineKind = "auto".parse().unwrap();
+//! assert_eq!(kind.count(&g, &cfg, 4), counts);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -57,6 +104,7 @@ pub mod constrained;
 pub mod constraints;
 pub mod count;
 pub mod cycles;
+pub mod engine;
 pub mod enumerate;
 pub mod event_pair;
 pub mod induced;
@@ -74,6 +122,10 @@ pub mod prelude {
     pub use crate::count::{
         pair_type_ratios, proportion_changes, ranking_changes, MotifCounts, PairGroupCounts,
     };
+    pub use crate::engine::{
+        BacktrackEngine, CountEngine, EngineCaps, EngineKind, ParallelConfig, ParallelEngine,
+        WindowedEngine,
+    };
     pub use crate::enumerate::{
         count_motifs, count_motifs_parallel, count_signature, enumerate_instances, EnumConfig,
         MotifInstance,
@@ -86,6 +138,7 @@ pub mod prelude {
 
 pub use constraints::Timing;
 pub use count::MotifCounts;
+pub use engine::{CountEngine, EngineKind};
 pub use enumerate::{count_motifs, count_motifs_parallel, EnumConfig};
 pub use event_pair::EventPairType;
 pub use models::MotifModel;

@@ -143,11 +143,7 @@ impl MotifSignature {
     /// Number of distinct nodes (`n` in `XnYe`).
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.pairs()
-            .iter()
-            .map(|&(a, b)| a.max(b))
-            .max()
-            .map_or(0, |m| m as usize + 1)
+        self.pairs().iter().map(|&(a, b)| a.max(b)).max().map_or(0, |m| m as usize + 1)
     }
 
     /// The digit pairs, one per event.
@@ -183,10 +179,7 @@ impl MotifSignature {
     /// only happen for ≥ 4 nodes, which is why the paper calls the 4n4e
     /// descriptions "broad").
     pub fn event_pair_sequence(&self) -> Vec<Option<EventPairType>> {
-        self.pairs()
-            .windows(2)
-            .map(|w| EventPairType::classify(w[0], w[1]))
-            .collect()
+        self.pairs().windows(2).map(|w| EventPairType::classify(w[0], w[1])).collect()
     }
 
     /// True if the last event is the reverse of the first (the "ask-reply"
@@ -307,15 +300,9 @@ mod tests {
     fn event_pair_sequences_match_figure2() {
         // Figure 2 bottom-left: 011202 = repetition? No: 01,12 share node 1
         // => convey; 12,02 share node 2 => in-burst.
-        assert_eq!(
-            sig("011202").event_pair_sequence(),
-            vec![Some(Convey), Some(InBurst)]
-        );
+        assert_eq!(sig("011202").event_pair_sequence(), vec![Some(Convey), Some(InBurst)]);
         // Figure 2: "Repetition, Out-burst" example 010102:
-        assert_eq!(
-            sig("010102").event_pair_sequence(),
-            vec![Some(Repetition), Some(OutBurst)]
-        );
+        assert_eq!(sig("010102").event_pair_sequence(), vec![Some(Repetition), Some(OutBurst)]);
         // Figure 2: "Repetition, Convey, Ping-pong" example 01011221:
         assert_eq!(
             sig("01011221").event_pair_sequence(),
@@ -336,7 +323,7 @@ mod tests {
 
     #[test]
     fn ordering_is_deterministic() {
-        let mut v = vec![sig("011202"), sig("010102"), sig("0110")];
+        let mut v = [sig("011202"), sig("010102"), sig("0110")];
         v.sort();
         assert_eq!(v[0], sig("0110"));
     }

@@ -61,10 +61,7 @@ impl PartialOrder {
     }
 
     /// Builds from explicit `(before, after)` constraints.
-    pub fn from_constraints(
-        n: usize,
-        constraints: &[(usize, usize)],
-    ) -> Result<Self, OrderError> {
+    pub fn from_constraints(n: usize, constraints: &[(usize, usize)]) -> Result<Self, OrderError> {
         let mut po = Self::unordered(n);
         for &(a, b) in constraints {
             if a >= n {
@@ -205,10 +202,7 @@ mod tests {
 
     #[test]
     fn cycles_rejected() {
-        assert_eq!(
-            PartialOrder::from_constraints(2, &[(0, 1), (1, 0)]),
-            Err(OrderError::Cyclic)
-        );
+        assert_eq!(PartialOrder::from_constraints(2, &[(0, 1), (1, 0)]), Err(OrderError::Cyclic));
         assert_eq!(PartialOrder::from_constraints(2, &[(0, 0)]), Err(OrderError::Cyclic));
     }
 

@@ -156,9 +156,8 @@ impl StreamingMatcher {
             }
             // All predecessors must be bound (time order then follows
             // from stream order).
-            let enabled = (0..self.pattern.len()).all(|pj| {
-                !self.pattern.order.precedes(pj, ei) || partial.mask & (1 << pj) != 0
-            });
+            let enabled = (0..self.pattern.len())
+                .all(|pj| !self.pattern.order.precedes(pj, ei) || partial.mask & (1 << pj) != 0);
             if !enabled {
                 continue;
             }
@@ -204,8 +203,11 @@ impl StreamingMatcher {
     }
 
     fn finish(&self, partial: Partial) -> PatternMatch {
-        let bindings: Vec<NodeId> =
-            partial.bindings.into_iter().map(|b| b.expect("complete match binds all vars")).collect();
+        let bindings: Vec<NodeId> = partial
+            .bindings
+            .into_iter()
+            .map(|b| b.expect("complete match binds all vars"))
+            .collect();
         PatternMatch {
             events: partial.assigned,
             bindings,
@@ -349,11 +351,7 @@ mod tests {
     #[test]
     fn expired_partials_are_evicted() {
         let p = EventPattern::totally_ordered(&[(0, 1), (1, 2)], 10).unwrap();
-        let g = TemporalGraphBuilder::new()
-            .event(0, 1, 0)
-            .event(3, 4, 100)
-            .build()
-            .unwrap();
+        let g = TemporalGraphBuilder::new().event(0, 1, 0).event(3, 4, 100).build().unwrap();
         let mut matcher = StreamingMatcher::new(p);
         matcher.process(0, &g.events()[0], None);
         assert_eq!(matcher.live_partials(), 1);

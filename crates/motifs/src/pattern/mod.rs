@@ -109,25 +109,15 @@ impl EventPattern {
 
     /// A totally-ordered pattern from `(src_var, dst_var)` pairs — the
     /// common case, equivalent to a motif signature with a ΔW window.
-    pub fn totally_ordered(
-        pairs: &[(usize, usize)],
-        delta_w: Time,
-    ) -> Result<Self, PatternError> {
-        let num_vars = pairs
-            .iter()
-            .flat_map(|&(a, b)| [a, b])
-            .max()
-            .map_or(0, |m| m + 1);
+    pub fn totally_ordered(pairs: &[(usize, usize)], delta_w: Time) -> Result<Self, PatternError> {
+        let num_vars = pairs.iter().flat_map(|&(a, b)| [a, b]).max().map_or(0, |m| m + 1);
         let edges = pairs.iter().map(|&(a, b)| PatternEdge::new(a, b)).collect::<Vec<_>>();
         let order = PartialOrder::total(edges.len());
         Self::new(edges, num_vars, order, delta_w)
     }
 
     /// Builds a pattern from a motif signature (total order, ΔW window).
-    pub fn from_signature(
-        sig: crate::notation::MotifSignature,
-        delta_w: Time,
-    ) -> Self {
+    pub fn from_signature(sig: crate::notation::MotifSignature, delta_w: Time) -> Self {
         let pairs: Vec<(usize, usize)> =
             sig.pairs().iter().map(|&(a, b)| (a as usize, b as usize)).collect();
         Self::totally_ordered(&pairs, delta_w).expect("signatures are valid patterns")
@@ -168,10 +158,7 @@ mod tests {
 
     #[test]
     fn validation_errors() {
-        assert_eq!(
-            EventPattern::totally_ordered(&[], 10).unwrap_err(),
-            PatternError::Empty
-        );
+        assert_eq!(EventPattern::totally_ordered(&[], 10).unwrap_err(), PatternError::Empty);
         let self_loop = vec![PatternEdge::new(0, 0)];
         assert_eq!(
             EventPattern::new(self_loop, 1, PartialOrder::total(1), 10).unwrap_err(),

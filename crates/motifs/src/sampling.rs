@@ -125,7 +125,7 @@ mod tests {
         let mut b = TemporalGraphBuilder::new();
         let mut t = 0i64;
         for _ in 0..4000 {
-            t += rng.gen_range(1..6);
+            t += rng.gen_range(1i64..6);
             let u: u32 = rng.gen_range(0..30);
             let mut v: u32 = rng.gen_range(0..30);
             if v == u {
@@ -184,9 +184,7 @@ mod tests {
     #[should_panic(expected = "timing-only")]
     fn rejects_global_restrictions() {
         let g = test_graph();
-        let cfg = EnumConfig::new(2, 3)
-            .with_timing(Timing::only_w(10))
-            .with_consecutive(true);
+        let cfg = EnumConfig::new(2, 3).with_timing(Timing::only_w(10)).with_consecutive(true);
         estimate_motif_counts(
             &g,
             &cfg,

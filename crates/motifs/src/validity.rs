@@ -110,9 +110,8 @@ pub fn check_instance(
     let mut events = motif_events.to_vec();
     events.sort_by_key(|&i| (graph.event(i).time, i));
 
-    let strictly_ordered = events
-        .windows(2)
-        .all(|w| graph.event(w[0]).time < graph.event(w[1]).time);
+    let strictly_ordered =
+        events.windows(2).all(|w| graph.event(w[0]).time < graph.event(w[1]).time);
     if !strictly_ordered {
         violations.push(Violation::NotTimeOrdered);
     }
@@ -121,9 +120,7 @@ pub fn check_instance(
     let mut connected = true;
     for (i, &idx) in events.iter().enumerate().skip(1) {
         let e = graph.event(idx);
-        let touches_earlier = events[..i]
-            .iter()
-            .any(|&j| graph.event(j).shares_node_with(e));
+        let touches_earlier = events[..i].iter().any(|&j| graph.event(j).shares_node_with(e));
         if !touches_earlier {
             connected = false;
         }
@@ -178,12 +175,7 @@ mod tests {
     use tnm_graph::TemporalGraphBuilder;
 
     fn graph() -> TemporalGraph {
-        TemporalGraphBuilder::new()
-            .event(0, 1, 3)
-            .event(1, 2, 9)
-            .event(0, 2, 11)
-            .build()
-            .unwrap()
+        TemporalGraphBuilder::new().event(0, 1, 3).event(1, 2, 9).event(0, 2, 11).build().unwrap()
     }
 
     #[test]
@@ -191,9 +183,11 @@ mod tests {
         let m = MotifModel::kovanen(5);
         let v = check_instance(&graph(), &[0, 1, 2], &m);
         assert!(!v.is_valid());
-        assert!(v
-            .violations
-            .contains(&Violation::DeltaCExceeded { position: 1, gap: 6, limit: 5 }));
+        assert!(v.violations.contains(&Violation::DeltaCExceeded {
+            position: 1,
+            gap: 6,
+            limit: 5
+        }));
     }
 
     #[test]
@@ -227,11 +221,7 @@ mod tests {
 
     #[test]
     fn tie_detection() {
-        let g = TemporalGraphBuilder::new()
-            .event(0, 1, 5)
-            .event(1, 2, 5)
-            .build()
-            .unwrap();
+        let g = TemporalGraphBuilder::new().event(0, 1, 5).event(1, 2, 5).build().unwrap();
         let m = MotifModel::vanilla(Timing::UNBOUNDED);
         let v = check_instance(&g, &[0, 1], &m);
         assert!(v.violations.contains(&Violation::NotTimeOrdered));
@@ -239,11 +229,7 @@ mod tests {
 
     #[test]
     fn disconnected_instance_flagged() {
-        let g = TemporalGraphBuilder::new()
-            .event(0, 1, 5)
-            .event(2, 3, 8)
-            .build()
-            .unwrap();
+        let g = TemporalGraphBuilder::new().event(0, 1, 5).event(2, 3, 8).build().unwrap();
         let m = MotifModel::vanilla(Timing::UNBOUNDED);
         let v = check_instance(&g, &[0, 1], &m);
         assert_eq!(v.violations, vec![Violation::NotSingleComponent]);

@@ -22,8 +22,7 @@ fn main() {
     );
 
     // --- Event-pair composition under the two timing extremes ---------
-    let configs =
-        [("only-ΔW", Timing::only_w(3000)), ("only-ΔC", Timing::both(1500, 3000))];
+    let configs = [("only-ΔW", Timing::only_w(3000)), ("only-ΔC", Timing::both(1500, 3000))];
     println!("\nevent-pair mix of 3-event motifs:");
     for (label, timing) in configs {
         let counts = count_motifs(&graph, &EnumConfig::new(3, 3).with_timing(timing));
@@ -60,8 +59,7 @@ fn main() {
     }
 
     // --- Pair-sequence heat map (paper Figure 6) -----------------------
-    let counts =
-        count_motifs(&graph, &EnumConfig::new(3, 3).with_timing(Timing::both(2000, 3000)));
+    let counts = count_motifs(&graph, &EnumConfig::new(3, 3).with_timing(Timing::both(2000, 3000)));
     let matrix = counts.pair_sequence_matrix();
     println!();
     print!("{}", render_heatmap(&format!("{} pair sequences", spec.name), &matrix));

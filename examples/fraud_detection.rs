@@ -23,7 +23,7 @@ fn build_payments(seed: u64) -> (TemporalGraph, usize) {
     // Legitimate traffic: random payments, plus repetitive salary-like
     // transfers that fraudsters hide behind.
     for _ in 0..12_000 {
-        t += rng.gen_range(5..60);
+        t += rng.gen_range(5i64..60);
         let u = rng.gen_range(0..n);
         let v = if rng.gen_bool(0.3) { (u + 1) % n } else { rng.gen_range(0..n) };
         if u != v {
@@ -86,10 +86,8 @@ fn main() {
     // Count temporal triangles with and without static inducedness: the
     // induced count misses rings whose members also transact legally.
     let timing = Timing::only_w(3_600);
-    let non_induced = count_motifs(
-        &graph,
-        &EnumConfig::new(3, 3).exact_nodes(3).with_timing(timing),
-    );
+    let non_induced =
+        count_motifs(&graph, &EnumConfig::new(3, 3).exact_nodes(3).with_timing(timing));
     let induced = count_motifs(
         &graph,
         &EnumConfig::new(3, 3).exact_nodes(3).with_timing(timing).with_static_induced(true),

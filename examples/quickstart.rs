@@ -41,8 +41,7 @@ fn main() {
     // --- Check one concrete instance against every model (Figure 1) --
     let candidate = [3u32, 4, 5]; // (1,2,60), (2,0,75), (0,2,90)
     println!("\nvalidity of events {candidate:?}:");
-    for verdict in check_against_all(&graph, &candidate, &MotifModel::all_four(delta_c, delta_w))
-    {
+    for verdict in check_against_all(&graph, &candidate, &MotifModel::all_four(delta_c, delta_w)) {
         println!("  {verdict}");
     }
 

@@ -67,8 +67,7 @@ fn main() {
     // --- Pattern 2: durations as edge labels (paper Section 4.2) -------
     // Find frontend->backend->db chains where the db call is slow
     // (duration > 20 s): a latency root-cause query.
-    let mut slow_edges =
-        vec![PatternEdge::new(0, 1), PatternEdge::new(1, 2)];
+    let mut slow_edges = vec![PatternEdge::new(0, 1), PatternEdge::new(1, 2)];
     slow_edges[0].src_label = Some(0);
     slow_edges[1].dst_label = Some(2);
     // Express "slow" by bounding the FAST case out: max_duration on the

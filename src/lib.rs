@@ -47,8 +47,6 @@ pub use tnm_motifs as motifs;
 /// Everything most programs need, re-exported flat.
 pub mod prelude {
     pub use tnm_datasets::{generate, generate_default, DatasetSpec};
-    pub use tnm_graph::{
-        Edge, Event, EventIdx, NodeId, TemporalGraph, TemporalGraphBuilder, Time,
-    };
+    pub use tnm_graph::{Edge, Event, EventIdx, NodeId, TemporalGraph, TemporalGraphBuilder, Time};
     pub use tnm_motifs::prelude::*;
 }

@@ -12,7 +12,7 @@ fn unique_time_graph(seed: u64, events: usize, nodes: u32) -> TemporalGraph {
     let mut builder = TemporalGraphBuilder::new();
     let mut t = 0i64;
     for _ in 0..events {
-        t += rng.gen_range(1..8); // strictly increasing: no ties
+        t += rng.gen_range(1i64..8); // strictly increasing: no ties
         let u = rng.gen_range(0..nodes);
         let mut v = rng.gen_range(0..nodes);
         if v == u {
@@ -49,9 +49,7 @@ fn ratio_sweep_is_nested() {
     let ratios = [0.33, 0.5, 0.66, 1.0];
     let counts: Vec<MotifCounts> = ratios
         .iter()
-        .map(|&r| {
-            count_motifs(&g, &EnumConfig::new(3, 3).with_timing(Timing::from_ratio(80, r)))
-        })
+        .map(|&r| count_motifs(&g, &EnumConfig::new(3, 3).with_timing(Timing::from_ratio(80, r))))
         .collect();
     for w in counts.windows(2) {
         for (sig, n) in w[0].iter() {
@@ -93,9 +91,8 @@ fn four_models_rank_sensibly_on_shared_data() {
     // least as many instances as the induced one (Paranjape); Kovanen's
     // consecutive restriction admits no more than Hulovatyy without it.
     let g = unique_time_graph(5, 2000, 30);
-    let count_for = |model: &MotifModel| {
-        count_motifs(&g, &EnumConfig::for_model(model, 3, 3)).total()
-    };
+    let count_for =
+        |model: &MotifModel| count_motifs(&g, &EnumConfig::for_model(model, 3, 3)).total();
     let song = count_for(&MotifModel::song(60));
     let paranjape = count_for(&MotifModel::paranjape(60));
     assert!(paranjape <= song, "induced ({paranjape}) must not exceed non-induced ({song})");
@@ -106,10 +103,7 @@ fn four_models_rank_sensibly_on_shared_data() {
         duration_aware: false,
         ..MotifModel::hulovatyy(30)
     });
-    assert!(
-        kovanen <= hulovatyy_no_induced,
-        "consecutive restriction must only remove instances"
-    );
+    assert!(kovanen <= hulovatyy_no_induced, "consecutive restriction must only remove instances");
 }
 
 #[test]

@@ -1,12 +1,18 @@
-//! Differential correctness tests for the enumeration engine.
+//! Differential correctness tests for the counting engines.
 //!
-//! The engine (`tnm_motifs::enumerate`) is validated against an
+//! The engines (`tnm_motifs::engine`) are validated against an
 //! independent oracle: brute-force enumeration of every k-subset of
 //! events, each judged by `tnm_motifs::validity::check_instance` — a
 //! separate implementation of the same semantics used for the Figure 1
 //! experiment. Any disagreement is a bug in one of the two paths.
+//!
+//! These used to run under `proptest`; the build environment has no
+//! crates.io access, so the same properties now run over a deterministic
+//! seeded-random corpus of small tie-rich graphs (fixed seeds — failures
+//! are exactly reproducible).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use temporal_motifs::prelude::*;
 use tnm_motifs::validity::check_instance;
@@ -22,6 +28,7 @@ fn brute_force_counts(
     let m = graph.num_events();
     let mut counts = HashMap::new();
     let mut subset: Vec<u32> = Vec::with_capacity(k);
+    #[allow(clippy::too_many_arguments)]
     fn rec(
         graph: &TemporalGraph,
         model: &MotifModel,
@@ -63,23 +70,35 @@ fn brute_force_counts(
     counts
 }
 
-/// Random small graph strategy: up to 14 events on up to 6 nodes with
-/// timestamps in 0..60 (tie-rich on purpose).
-fn small_graph() -> impl Strategy<Value = TemporalGraph> {
-    proptest::collection::vec((0u32..6, 0u32..6, 0i64..60), 3..14).prop_filter_map(
-        "needs at least one non-loop event",
-        |raw| {
-            let events: Vec<Event> = raw
-                .into_iter()
-                .filter(|(u, v, _)| u != v)
-                .map(|(u, v, t)| Event::new(u, v, t))
-                .collect();
-            if events.is_empty() {
-                return None;
-            }
-            TemporalGraph::from_events(events).ok()
-        },
-    )
+/// Random small graph mirroring the old proptest strategy: up to 14
+/// events on up to 6 nodes with timestamps in 0..60 (tie-rich on
+/// purpose). Returns `None` when every drawn pair was a self-loop.
+fn small_graph(rng: &mut StdRng) -> Option<TemporalGraph> {
+    let len = rng.gen_range(3usize..14);
+    let mut events = Vec::with_capacity(len);
+    for _ in 0..len {
+        let u: u32 = rng.gen_range(0..6);
+        let v: u32 = rng.gen_range(0..6);
+        if u == v {
+            continue;
+        }
+        let t: i64 = rng.gen_range(0i64..60);
+        events.push(Event::new(u, v, t));
+    }
+    if events.is_empty() {
+        return None;
+    }
+    TemporalGraph::from_events(events).ok()
+}
+
+/// Runs `body` over `cases` deterministic random graphs.
+fn for_each_graph(test_seed: u64, cases: u64, mut body: impl FnMut(&mut StdRng, TemporalGraph)) {
+    for case in 0..cases {
+        let mut rng = StdRng::seed_from_u64(test_seed * 10_000 + case);
+        if let Some(graph) = small_graph(&mut rng) {
+            body(&mut rng, graph);
+        }
+    }
 }
 
 fn models_under_test() -> Vec<MotifModel> {
@@ -96,13 +115,12 @@ fn models_under_test() -> Vec<MotifModel> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The engine agrees with the brute-force oracle for every model,
-    /// for 2- and 3-event motifs on up to 4 nodes.
-    #[test]
-    fn engine_matches_brute_force(graph in small_graph(), k in 2usize..=3) {
+/// The engine agrees with the brute-force oracle for every model,
+/// for 2- and 3-event motifs on up to 4 nodes.
+#[test]
+fn engine_matches_brute_force() {
+    for_each_graph(1, 24, |rng, graph| {
+        let k = rng.gen_range(2usize..=3);
         for model in models_under_test() {
             let mut cfg = EnumConfig::for_model(&model, k, 4);
             // Hulovatyy's duration-aware gap equals the plain gap here
@@ -111,7 +129,7 @@ proptest! {
             let engine = count_motifs(&graph, &cfg);
             let oracle = brute_force_counts(&graph, &model, k, 2, 4);
             let oracle_total: u64 = oracle.values().sum();
-            prop_assert_eq!(
+            assert_eq!(
                 engine.total(),
                 oracle_total,
                 "total mismatch for {} on {} events",
@@ -119,7 +137,7 @@ proptest! {
                 graph.num_events()
             );
             for (sig, n) in oracle {
-                prop_assert_eq!(
+                assert_eq!(
                     engine.get(sig),
                     n,
                     "count mismatch for {} signature {}",
@@ -128,38 +146,40 @@ proptest! {
                 );
             }
         }
-    }
+    });
+}
 
-    /// Parallel counting is identical to serial counting.
-    #[test]
-    fn parallel_equals_serial(graph in small_graph()) {
+/// Parallel counting is identical to serial counting.
+#[test]
+fn parallel_equals_serial() {
+    for_each_graph(2, 48, |_, graph| {
         let cfg = EnumConfig::new(3, 3).with_timing(Timing::both(10, 20));
         let serial = count_motifs(&graph, &cfg);
         let parallel = count_motifs_parallel(&graph, &cfg, 4);
-        prop_assert_eq!(serial, parallel);
-    }
+        assert_eq!(serial, parallel);
+    });
+}
 
-    /// Tightening ΔC never adds instances, per signature (the paper's
-    /// subset property in Section 5.2).
-    #[test]
-    fn delta_c_monotonicity(graph in small_graph(), dc in 1i64..30) {
-        let loose = count_motifs(
-            &graph,
-            &EnumConfig::new(3, 3).with_timing(Timing::both(dc + 5, 40)),
-        );
-        let tight = count_motifs(
-            &graph,
-            &EnumConfig::new(3, 3).with_timing(Timing::both(dc, 40)),
-        );
+/// Tightening ΔC never adds instances, per signature (the paper's
+/// subset property in Section 5.2).
+#[test]
+fn delta_c_monotonicity() {
+    for_each_graph(3, 48, |rng, graph| {
+        let dc: i64 = rng.gen_range(1i64..30);
+        let loose =
+            count_motifs(&graph, &EnumConfig::new(3, 3).with_timing(Timing::both(dc + 5, 40)));
+        let tight = count_motifs(&graph, &EnumConfig::new(3, 3).with_timing(Timing::both(dc, 40)));
         for (sig, n) in tight.iter() {
-            prop_assert!(n <= loose.get(sig), "signature {} grew when tightening", sig);
+            assert!(n <= loose.get(sig), "signature {sig} grew when tightening");
         }
-    }
+    });
+}
 
-    /// Every emitted instance is time-ordered, connected, and valid for
-    /// the configured model (self-check via the oracle).
-    #[test]
-    fn emitted_instances_are_valid(graph in small_graph()) {
+/// Every emitted instance is time-ordered, connected, and valid for
+/// the configured model (self-check via the oracle).
+#[test]
+fn emitted_instances_are_valid() {
+    for_each_graph(4, 48, |_, graph| {
         let model = MotifModel::kovanen(12);
         let cfg = EnumConfig::for_model(&model, 3, 3);
         let mut checked = 0usize;
@@ -169,15 +189,15 @@ proptest! {
             checked += 1;
         });
         // (may be zero on sparse graphs; the point is no invalid emission)
-        prop_assert!(checked < 100_000);
-    }
+        assert!(checked < 100_000);
+    });
+}
 
-    /// Signature canonicalization is invariant under node relabelling.
-    #[test]
-    fn canonicalization_is_relabel_invariant(
-        graph in small_graph(),
-        offset in 1u32..50,
-    ) {
+/// Signature canonicalization is invariant under node relabelling.
+#[test]
+fn canonicalization_is_relabel_invariant() {
+    for_each_graph(5, 48, |rng, graph| {
+        let offset: u32 = rng.gen_range(1u32..50);
         let cfg = EnumConfig::new(3, 4).with_timing(Timing::only_w(30));
         let original = count_motifs(&graph, &cfg);
         // Relabel every node id by a fixed offset (order-preserving) and
@@ -189,7 +209,7 @@ proptest! {
             .collect();
         let shifted = TemporalGraph::from_events(shifted).unwrap();
         let shifted_counts = count_motifs(&shifted, &cfg);
-        prop_assert_eq!(&original, &shifted_counts);
+        assert_eq!(&original, &shifted_counts);
 
         let max = graph.num_nodes();
         let reversed: Vec<Event> = graph
@@ -199,17 +219,19 @@ proptest! {
             .collect();
         let reversed = TemporalGraph::from_events(reversed).unwrap();
         let reversed_counts = count_motifs(&reversed, &cfg);
-        prop_assert_eq!(&original, &reversed_counts);
-    }
+        assert_eq!(&original, &reversed_counts);
+    });
+}
 
-    /// Every signature the engine emits on ≤4-node configs exists in the
-    /// exhaustive catalog of single-component motifs.
-    #[test]
-    fn emitted_signatures_in_catalog(graph in small_graph()) {
+/// Every signature the engine emits on ≤4-node configs exists in the
+/// exhaustive catalog of single-component motifs.
+#[test]
+fn emitted_signatures_in_catalog() {
+    for_each_graph(6, 48, |_, graph| {
         let catalog3 = tnm_motifs::catalog::all_motifs(3, 4);
         let counts = count_motifs(&graph, &EnumConfig::new(3, 4));
         for (sig, _) in counts.iter() {
-            prop_assert!(catalog3.contains(&sig), "{} missing from catalog", sig);
+            assert!(catalog3.contains(&sig), "{sig} missing from catalog");
         }
-    }
+    });
 }

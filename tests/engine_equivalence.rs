@@ -1,0 +1,178 @@
+//! Cross-engine equivalence suite.
+//!
+//! The engine subsystem's core contract: every [`CountEngine`] —
+//! serial backtrack, window-indexed, and work-stealing parallel (over
+//! both candidate sources) — produces **identical** [`MotifCounts`] for
+//! identical configurations. This suite pins the contract across:
+//!
+//! * all four paper models (Kovanen, Song, Hulovatyy, Paranjape);
+//! * 2-, 3-, and 4-event motif sizes;
+//! * tight and loose ΔC/ΔW regimes (plus unbounded);
+//! * generated graphs: seeded random batches (tie-rich) and the
+//!   synthetic dataset generator corpora.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use temporal_motifs::prelude::*;
+use tnm_datasets::{generate, DatasetSpec};
+use tnm_motifs::engine::{
+    BacktrackEngine, CountEngine, EngineKind, ParallelEngine, WindowedEngine,
+};
+
+/// Every engine under test. The work-stealing executor appears twice —
+/// over the windowed index and over the plain node index — so scheduler
+/// bugs and candidate-source bugs cannot mask one another.
+fn engines() -> Vec<Box<dyn CountEngine>> {
+    vec![
+        Box::new(BacktrackEngine),
+        Box::new(WindowedEngine),
+        Box::new(ParallelEngine::new(4)),
+        Box::new(ParallelEngine::over_backtrack(3)),
+    ]
+}
+
+fn assert_all_engines_agree(graph: &TemporalGraph, cfg: &EnumConfig, label: &str) {
+    let reference = BacktrackEngine.count(graph, cfg);
+    for engine in engines() {
+        let counts = engine.count(graph, cfg);
+        assert_eq!(
+            counts,
+            reference,
+            "{label}: engine `{}` disagrees with backtrack reference",
+            engine.name()
+        );
+    }
+    // The auto kind must agree regardless of how it resolves.
+    for threads in [1, 4] {
+        assert_eq!(
+            EngineKind::Auto.count(graph, cfg, threads),
+            reference,
+            "{label}: auto engine with {threads} threads disagrees"
+        );
+    }
+}
+
+/// Seeded random graph: `events` events over `nodes` nodes with
+/// timestamps in `0..horizon` (duplicates and ties on purpose).
+fn random_graph(seed: u64, nodes: u32, events: usize, horizon: i64) -> TemporalGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut batch = Vec::with_capacity(events);
+    while batch.len() < events {
+        let u: u32 = rng.gen_range(0..nodes);
+        let v: u32 = rng.gen_range(0..nodes);
+        if u == v {
+            continue;
+        }
+        batch.push(Event::new(u, v, rng.gen_range(0i64..horizon)));
+    }
+    TemporalGraph::from_events(batch).expect("non-empty batch")
+}
+
+/// The four paper models at a tight and a loose timing each.
+fn four_models() -> Vec<MotifModel> {
+    vec![
+        MotifModel::kovanen(5),
+        MotifModel::kovanen(60),
+        MotifModel::song(12),
+        MotifModel::song(200),
+        MotifModel::hulovatyy(5),
+        MotifModel::hulovatyy_constrained(25),
+        MotifModel::paranjape(12),
+        MotifModel::paranjape(200),
+    ]
+}
+
+#[test]
+fn all_models_all_sizes_on_random_graphs() {
+    for (case, &(nodes, events, horizon)) in
+        [(8u32, 60usize, 90i64), (15, 120, 200), (5, 80, 40)].iter().enumerate()
+    {
+        let g = random_graph(100 + case as u64, nodes, events, horizon);
+        for model in four_models() {
+            for k in [2usize, 3] {
+                let cfg = EnumConfig::for_model(&model, k, 4);
+                assert_all_engines_agree(
+                    &g,
+                    &cfg,
+                    &format!("case {case}, model {}, k={k}", model.name),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn four_event_configs_agree() {
+    // 4-event enumeration explodes combinatorially: keep graphs small
+    // and timings bounded so the suite stays fast.
+    let g = random_graph(7, 10, 70, 150);
+    for model in [MotifModel::kovanen(20), MotifModel::song(40), MotifModel::paranjape(40)] {
+        let cfg = EnumConfig::for_model(&model, 4, 4);
+        assert_all_engines_agree(&g, &cfg, &format!("4e, model {}", model.name));
+    }
+}
+
+#[test]
+fn timing_regimes_tight_and_loose() {
+    let g = random_graph(21, 12, 150, 300);
+    let timings = [
+        ("unbounded-ish", Timing::only_w(300)), // spans everything
+        ("tight-c", Timing::only_c(3)),
+        ("loose-c", Timing::only_c(100)),
+        ("tight-w", Timing::only_w(8)),
+        ("loose-w", Timing::only_w(250)),
+        ("tight-both", Timing::both(3, 8)),
+        ("mixed", Timing::both(40, 60)),
+        ("c-binding", Timing::both(10, 250)),
+        ("w-binding", Timing::both(200, 30)),
+    ];
+    for (label, timing) in timings {
+        let cfg = EnumConfig::new(3, 3).with_timing(timing);
+        assert_all_engines_agree(&g, &cfg, label);
+    }
+    // Fully unbounded (no pruning at all) on a smaller graph.
+    let small = random_graph(22, 6, 40, 50);
+    assert_all_engines_agree(&small, &EnumConfig::new(3, 4), "fully-unbounded");
+}
+
+#[test]
+fn restrictions_and_node_bounds_agree() {
+    let g = random_graph(33, 9, 100, 120);
+    let base = EnumConfig::new(3, 3).with_timing(Timing::both(15, 40));
+    let variants = [
+        ("exact-3n", base.clone().exact_nodes(3)),
+        ("consecutive", base.clone().with_consecutive(true)),
+        ("induced", base.clone().with_static_induced(true)),
+        ("constrained", base.clone().with_constrained(true)),
+        ("2n-only", EnumConfig::new(3, 2).with_timing(Timing::only_w(60))),
+    ];
+    for (label, cfg) in variants {
+        assert_all_engines_agree(&g, &cfg, label);
+    }
+}
+
+#[test]
+fn signature_targeting_agrees() {
+    let g = random_graph(44, 8, 120, 160);
+    for s in ["010102", "011202", "0112", "010203"] {
+        let cfg = EnumConfig::for_signature(sig(s)).with_timing(Timing::only_w(50));
+        assert_all_engines_agree(&g, &cfg, &format!("targeted {s}"));
+    }
+}
+
+#[test]
+fn generator_corpora_agree() {
+    // Real synthetic corpora (burstiness, habitual recall, ties) at a
+    // scale that keeps the 3-engine × 2-config sweep under a second.
+    for name in ["CollegeMsg", "Email", "Bitcoin-otc"] {
+        let mut spec = DatasetSpec::by_name(name).expect("known dataset");
+        spec.num_events = 1_500; // above SERIAL_FALLBACK_EVENTS: auto goes parallel
+        let g = generate(&spec, 9);
+        for cfg in [
+            EnumConfig::new(3, 3).exact_nodes(3).with_timing(Timing::only_c(1500)),
+            EnumConfig::new(2, 2).with_timing(Timing::both(600, 1200)),
+        ] {
+            assert_all_engines_agree(&g, &cfg, name);
+        }
+    }
+}

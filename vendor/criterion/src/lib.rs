@@ -1,0 +1,333 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Source-compatible with the subset of the criterion 0.5 API the
+//! workspace's benches use (`criterion_group!`/`criterion_main!`,
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! `Bencher::iter`), but with a deliberately simple measurement model:
+//! each benchmark runs one untimed warm-up iteration followed by
+//! `min(sample_size, TNM_BENCH_ITERS)` timed iterations, and reports
+//! min / mean / max wall-clock time per iteration.
+//!
+//! Every completed benchmark is appended to a process-global registry;
+//! `criterion_main!` ends by printing a machine-readable JSON summary to
+//! stdout (one object per benchmark under a `"benchmarks"` array) and, if
+//! the `TNM_BENCH_JSON` environment variable names a path, writes the
+//! same document there. This feeds the repo's `BENCH_*.json` trajectory
+//! without any external dependency.
+//!
+//! Environment knobs:
+//!
+//! * `TNM_BENCH_ITERS` — cap on timed iterations per benchmark (default 3);
+//! * `TNM_BENCH_JSON` — file path for the JSON summary (default: none).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// One finished measurement, as stored in the global registry.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Benchmark group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Timed iterations.
+    pub iters: u64,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Mean iteration.
+    pub mean: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+    /// Declared throughput denominator, if any.
+    pub throughput: Option<Throughput>,
+}
+
+fn registry() -> &'static Mutex<Vec<Record>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Record>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn iter_cap() -> u64 {
+    std::env::var("TNM_BENCH_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(3).max(1)
+}
+
+/// Top-level harness handle, one per `criterion_group!`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 10, throughput: None }
+    }
+
+    /// Registers and times one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// Identifier of one benchmark: a function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's two-part id.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { full: format!("{name}/{parameter}") }
+    }
+
+    /// Id that is just the parameter (used inside parameterised groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { full: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { full: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { full: s }
+    }
+}
+
+/// Throughput denominator for rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Requested sample count (upper bound on timed iterations here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput denominator.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher::new(iter_cap().min(self.sample_size as u64));
+        f(&mut b);
+        self.record(id, b);
+    }
+
+    /// Times `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        let id = id.into();
+        let mut b = Bencher::new(iter_cap().min(self.sample_size as u64));
+        f(&mut b, input);
+        self.record(id, b);
+    }
+
+    /// Ends the group (kept for API compatibility; recording is eager).
+    pub fn finish(self) {}
+
+    fn record(&mut self, id: BenchmarkId, b: Bencher) {
+        if b.times.is_empty() {
+            return; // the closure never called `iter`
+        }
+        let min = *b.times.iter().min().expect("non-empty");
+        let max = *b.times.iter().max().expect("non-empty");
+        let mean = b.times.iter().sum::<Duration>() / b.times.len() as u32;
+        let rec = Record {
+            group: self.name.clone(),
+            id: id.full,
+            iters: b.times.len() as u64,
+            min,
+            mean,
+            max,
+            throughput: self.throughput,
+        };
+        eprintln!(
+            "bench {:<40} {:>12?} min {:>12?} mean ({} iters{})",
+            rec.qualified(),
+            rec.min,
+            rec.mean,
+            rec.iters,
+            match rec.throughput {
+                Some(Throughput::Elements(n)) => format!(
+                    ", {:.0} elem/s",
+                    n as f64 / rec.mean.as_secs_f64().max(f64::MIN_POSITIVE)
+                ),
+                Some(Throughput::Bytes(n)) =>
+                    format!(", {:.0} B/s", n as f64 / rec.mean.as_secs_f64().max(f64::MIN_POSITIVE)),
+                None => String::new(),
+            }
+        );
+        registry().lock().expect("registry poisoned").push(rec);
+    }
+}
+
+impl Record {
+    fn qualified(&self) -> String {
+        if self.group.is_empty() {
+            self.id.clone()
+        } else {
+            format!("{}/{}", self.group, self.id)
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let tp = match self.throughput {
+            Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
+            Some(Throughput::Bytes(n)) => format!(",\"bytes\":{n}"),
+            None => String::new(),
+        };
+        format!(
+            "{{\"group\":{},\"id\":{},\"iters\":{},\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{}{}}}",
+            json_string(&self.group),
+            json_string(&self.id),
+            self.iters,
+            self.min.as_nanos(),
+            self.mean.as_nanos(),
+            self.max.as_nanos(),
+            tp
+        )
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Measures the benchmark body passed to [`Bencher::iter`].
+///
+/// Unlike real criterion the measurement happens eagerly inside `iter`
+/// (one untimed warm-up iteration, then `iters` timed ones), which lets
+/// the body borrow from the enclosing scope without `'static` gymnastics.
+pub struct Bencher {
+    iters: u64,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Bencher { iters, times: Vec::with_capacity(iters as usize) }
+    }
+
+    /// Runs and times the benchmark body. The closure's return value is
+    /// black-boxed so computations are not optimised away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up, untimed
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.times.push(t0.elapsed());
+        }
+    }
+}
+
+/// Re-export so `criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Prints the JSON summary of every recorded benchmark and optionally
+/// writes it to `$TNM_BENCH_JSON`. Called by `criterion_main!`.
+pub fn finish() {
+    let records = registry().lock().expect("registry poisoned");
+    let body: Vec<String> = records.iter().map(Record::to_json).collect();
+    let doc = format!("{{\"benchmarks\":[{}]}}", body.join(","));
+    println!("{doc}");
+    if let Ok(path) = std::env::var("TNM_BENCH_JSON") {
+        if !path.is_empty() {
+            if let Err(e) = std::fs::write(&path, &doc) {
+                eprintln!("warning: could not write {path}: {e}");
+            }
+        }
+    }
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every group then printing the JSON summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($g:path),+ $(,)?) => {
+        fn main() {
+            $( $g(); )+
+            $crate::finish();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_and_json_escaping() {
+        assert_eq!(BenchmarkId::new("a", 3).full, "a/3");
+        assert_eq!(BenchmarkId::from_parameter("x").full, "x");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn bench_records_and_measures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+        let recs = registry().lock().unwrap();
+        let rec = recs.iter().find(|r| r.group == "g" && r.id == "noop").unwrap();
+        assert!(rec.iters >= 1);
+        assert!(rec.to_json().contains("\"elements\":10"));
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this proc-macro
+//! crate supplies `#[derive(Serialize)]` / `#[derive(Deserialize)]` as
+//! no-ops: they accept the same derive syntax (including `#[serde(...)]`
+//! helper attributes) and expand to nothing. The workspace only uses the
+//! derives as annotations — nothing serializes through serde at runtime —
+//! so dropping the impls keeps every type definition source-compatible
+//! with the real crate.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
