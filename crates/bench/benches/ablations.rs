@@ -7,7 +7,6 @@ use std::hint::black_box;
 use tnm_datasets::{generate, DatasetSpec};
 use tnm_graph::TemporalGraph;
 use tnm_motifs::prelude::*;
-use tnm_motifs::sampling::{estimate_motif_counts, SamplingConfig};
 
 fn graph() -> TemporalGraph {
     let mut spec = DatasetSpec::college_msg();
@@ -46,8 +45,8 @@ fn bench_sampling(c: &mut Criterion) {
     group.bench_function("exact", |b| b.iter(|| black_box(count_motifs(&g, &cfg))));
     for samples in [50usize, 200] {
         group.bench_with_input(BenchmarkId::new("sampled", samples), &samples, |b, &n| {
-            let sampling = SamplingConfig { window_len: 6_000, num_samples: n, seed: 7 };
-            b.iter(|| black_box(estimate_motif_counts(&g, &cfg, &sampling)))
+            let engine = SamplingEngine::new(n, 7).with_window_len(6_000);
+            b.iter(|| black_box(engine.report(&g, &cfg)))
         });
     }
     group.finish();

@@ -1,12 +1,13 @@
 //! Counting-engine benchmarks.
 //!
-//! The headline group, `engine_comparison`, races the three
+//! The headline group, `engine_comparison`, races the three exact
 //! [`CountEngine`] implementations (backtrack, windowed, work-stealing
 //! parallel) on the synthetic generator corpora under a bounded-ΔW
 //! configuration — the regime the windowed index is built for. Further
 //! groups cover ΔW tightness sweeps (how pruning scales with the window),
-//! parallel scaling, signature-targeted counting, streaming matching,
-//! and dataset generation.
+//! parallel scaling, the sampling engine across budgets, window-index
+//! cache reuse, signature-targeted counting, streaming matching, and
+//! dataset generation.
 //!
 //! The harness prints a machine-readable JSON summary on exit (one
 //! object per benchmark; set `TNM_BENCH_JSON=path` to also write it to a
@@ -125,6 +126,42 @@ fn bench_parallel_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sampling engine vs exact windowed counting across sample budgets,
+/// through the `CountEngine` seam (`report` keeps the confidence
+/// intervals). The sampler's repeated window draws ride the shared
+/// window index, so its cost is almost purely enumeration inside the
+/// sampled windows.
+fn bench_sampling_engine(c: &mut Criterion) {
+    let g = dataset("SMS-A", 10_000);
+    let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(3000));
+    let mut group = c.benchmark_group("sampling_engine_3e_dW3000");
+    group.sample_size(10);
+    group
+        .bench_function("exact_windowed", |b| b.iter(|| black_box(WindowedEngine.count(&g, &cfg))));
+    for budget in [64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("sampling", budget), &budget, |b, &n| {
+            let engine = SamplingEngine::new(n, 7);
+            b.iter(|| black_box(engine.report(&g, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+/// Window-index construction vs a verified cache hit: the hit still pays
+/// the O(m) content verification but skips allocation and construction.
+fn bench_index_cache(c: &mut Criterion) {
+    let g = dataset("Email", 20_000);
+    let mut group = c.benchmark_group("window_index_reuse");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.num_events() as u64));
+    group
+        .bench_function("build_fresh", |b| b.iter(|| black_box(tnm_graph::WindowIndex::build(&g))));
+    let cache = tnm_graph::WindowIndexCache::new(2);
+    cache.get_or_build(&g);
+    group.bench_function("cache_hit_verified", |b| b.iter(|| black_box(cache.get_or_build(&g))));
+    group.finish();
+}
+
 fn bench_signature_targeting(c: &mut Criterion) {
     let g = dataset("CollegeMsg", 8_000);
     let timing = Timing::only_w(3000);
@@ -175,6 +212,8 @@ criterion_group!(
     bench_hub_tight_window,
     bench_window_tightness,
     bench_parallel_scaling,
+    bench_sampling_engine,
+    bench_index_cache,
     bench_signature_targeting,
     bench_streaming_matcher,
     bench_generation

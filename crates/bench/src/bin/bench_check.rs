@@ -1,0 +1,265 @@
+//! `bench_check` — benchmark-history regression gate.
+//!
+//! Compares a freshly produced bench summary (the JSON the vendored
+//! criterion harness writes to `$TNM_BENCH_JSON`) against the previous
+//! `BENCH_*.json` baseline and fails when any benchmark's best-case time
+//! regresses beyond a threshold. Used by the `bench-history` CI job;
+//! runs anywhere via `scripts/bench_check.sh`.
+//!
+//! ```text
+//! bench_check <baseline.json | dir-with-BENCH_*.json> <new.json> [--threshold 0.25]
+//! ```
+//!
+//! * The baseline may be a directory: the `BENCH_<n>.json` with the
+//!   highest `n` is used. No baseline at all is a clean pass — the first
+//!   run bootstraps the history.
+//! * Comparison uses `min_ns` (fastest iteration): with the harness's
+//!   few-iteration measurement model the minimum is the most
+//!   noise-robust statistic.
+//! * Benchmarks present on only one side are reported but never fail
+//!   the gate (renames and new coverage should not block a PR).
+//!
+//! The parser handles exactly the flat document the vendored harness
+//! emits (`{"benchmarks":[{...}]}`, no nested objects); it is not a
+//! general JSON parser.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Default maximum tolerated slowdown (25 %).
+const DEFAULT_THRESHOLD: f64 = 0.25;
+
+/// Ignore regressions on benchmarks faster than this: a few-microsecond
+/// benchmark regresses 25 % by scheduler jitter alone.
+const MIN_COMPARABLE_NS: u64 = 50_000;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                let v = it.next().ok_or("--threshold needs a value")?;
+                threshold = v.parse().map_err(|_| format!("bad threshold `{v}`"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_check <baseline.json|dir> <new.json> [--threshold {DEFAULT_THRESHOLD}]"
+                );
+                return Ok(true);
+            }
+            _ => paths.push(a.clone()),
+        }
+    }
+    let [baseline_arg, new_arg] = paths.as_slice() else {
+        return Err("usage: bench_check <baseline.json|dir> <new.json> [--threshold F]".into());
+    };
+    let new_doc = std::fs::read_to_string(new_arg)
+        .map_err(|e| format!("cannot read new summary {new_arg}: {e}"))?;
+    let new = parse_summary(&new_doc)?;
+    if new.is_empty() {
+        return Err(format!("{new_arg} contains no benchmarks"));
+    }
+    let Some(baseline_path) = resolve_baseline(Path::new(baseline_arg)) else {
+        println!("no BENCH_*.json baseline under {baseline_arg}: first run, nothing to compare");
+        return Ok(true);
+    };
+    let base_doc = std::fs::read_to_string(&baseline_path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", baseline_path.display()))?;
+    let baseline = parse_summary(&base_doc)?;
+    println!(
+        "comparing {} benchmarks against {} (threshold +{:.0}%)",
+        new.len(),
+        baseline_path.display(),
+        threshold * 100.0
+    );
+    let mut regressions = 0usize;
+    for (name, &new_ns) in &new {
+        match baseline.get(name) {
+            None => println!("  new       {name}: {:.3} ms", new_ns as f64 / 1e6),
+            Some(0) => {}
+            Some(&old_ns) => {
+                let ratio = new_ns as f64 / old_ns as f64 - 1.0;
+                let line = format!(
+                    "{name}: {:.3} ms -> {:.3} ms ({:+.1}%)",
+                    old_ns as f64 / 1e6,
+                    new_ns as f64 / 1e6,
+                    ratio * 100.0
+                );
+                if ratio > threshold && new_ns.max(old_ns) >= MIN_COMPARABLE_NS {
+                    regressions += 1;
+                    println!("  REGRESSED {line}");
+                } else if ratio < -threshold {
+                    println!("  improved  {line}");
+                } else {
+                    println!("  ok        {line}");
+                }
+            }
+        }
+    }
+    for name in baseline.keys() {
+        if !new.contains_key(name) {
+            println!("  dropped   {name}");
+        }
+    }
+    if regressions > 0 {
+        println!("{regressions} benchmark(s) regressed beyond +{:.0}%", threshold * 100.0);
+        Ok(false)
+    } else {
+        println!("no regressions beyond +{:.0}%", threshold * 100.0);
+        Ok(true)
+    }
+}
+
+/// A file argument is used as-is; a directory is scanned for the
+/// `BENCH_<n>.json` with the highest `n`.
+fn resolve_baseline(arg: &Path) -> Option<PathBuf> {
+    if arg.is_file() {
+        return Some(arg.to_path_buf());
+    }
+    let entries = std::fs::read_dir(arg).ok()?;
+    entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            let n: u64 = name.strip_prefix("BENCH_")?.strip_suffix(".json")?.parse().ok()?;
+            Some((n, e.path()))
+        })
+        .max_by_key(|&(n, _)| n)
+        .map(|(_, p)| p)
+}
+
+/// Parses the vendored harness's summary into `group/id → min_ns`.
+fn parse_summary(doc: &str) -> Result<BTreeMap<String, u64>, String> {
+    let mut out = BTreeMap::new();
+    // Objects in the "benchmarks" array are flat, so every '{' after the
+    // first opens one benchmark record.
+    let body = doc.split_once('[').ok_or("malformed summary: no benchmark array")?.1;
+    for raw in body.split('{').skip(1) {
+        let obj = raw.split('}').next().unwrap_or("");
+        let group = extract_string(obj, "group")?;
+        let id = extract_string(obj, "id")?;
+        let min_ns = extract_u64(obj, "min_ns")?;
+        let name = if group.is_empty() { id } else { format!("{group}/{id}") };
+        out.insert(name, min_ns);
+    }
+    Ok(out)
+}
+
+fn extract_string(obj: &str, key: &str) -> Result<String, String> {
+    let pat = format!("\"{key}\":\"");
+    let rest = obj
+        .split_once(pat.as_str())
+        .ok_or_else(|| format!("benchmark record without `{key}`: {obj}"))?
+        .1;
+    let mut value = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Ok(value),
+            '\\' => match chars.next() {
+                Some('u') => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|_| format!("bad \\u escape in `{key}`"))?;
+                    value.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                }
+                Some(e) => value.push(e),
+                None => break,
+            },
+            c => value.push(c),
+        }
+    }
+    Err(format!("unterminated string for `{key}`"))
+}
+
+fn extract_u64(obj: &str, key: &str) -> Result<u64, String> {
+    let pat = format!("\"{key}\":");
+    let rest = obj
+        .split_once(pat.as_str())
+        .ok_or_else(|| format!("benchmark record without `{key}`: {obj}"))?
+        .1;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().map_err(|_| format!("bad integer for `{key}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{"benchmarks":[
+        {"group":"g1","id":"a/1","iters":3,"min_ns":1000000,"mean_ns":1100000,"max_ns":1200000,"elements":5},
+        {"group":"","id":"solo","iters":3,"min_ns":2000000,"mean_ns":2000000,"max_ns":2000000}
+    ]}"#;
+
+    #[test]
+    fn parses_summary() {
+        let m = parse_summary(SAMPLE).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["g1/a/1"], 1_000_000);
+        assert_eq!(m["solo"], 2_000_000);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(extract_string(r#""id":"a\"b\\cA""#, "id").unwrap(), "a\"b\\cA");
+        assert!(extract_string(r#""id":"unterminated"#, "id").is_err());
+        assert!(extract_string(r#""other":"x""#, "id").is_err());
+    }
+
+    #[test]
+    fn regression_gate() {
+        let dir = std::env::temp_dir().join(format!("bench_check_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = dir.join("BENCH_1.json");
+        let newer = dir.join("BENCH_2.json");
+        let fresh = dir.join("new.json");
+        std::fs::write(&old, r#"{"benchmarks":[{"group":"g","id":"x","min_ns":9000000}]}"#)
+            .unwrap();
+        std::fs::write(&newer, r#"{"benchmarks":[{"group":"g","id":"x","min_ns":1000000}]}"#)
+            .unwrap();
+        // 20% over the *latest* baseline (BENCH_2): passes at 25%.
+        std::fs::write(&fresh, r#"{"benchmarks":[{"group":"g","id":"x","min_ns":1200000}]}"#)
+            .unwrap();
+        let dir_s = dir.to_str().unwrap().to_string();
+        let fresh_s = fresh.to_str().unwrap().to_string();
+        assert_eq!(run(&[dir_s.clone(), fresh_s.clone()]), Ok(true));
+        // ...but fails at a 10% threshold.
+        let strict = vec![dir_s.clone(), fresh_s.clone(), "--threshold".into(), "0.10".into()];
+        assert_eq!(run(&strict), Ok(false));
+        // Missing baseline directory is a clean bootstrap pass.
+        let empty = dir.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert_eq!(run(&[empty.to_str().unwrap().to_string(), fresh_s]), Ok(true));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tiny_benchmarks_never_fail_the_gate() {
+        let dir = std::env::temp_dir().join(format!("bench_check_tiny_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = dir.join("BENCH_1.json");
+        let fresh = dir.join("new.json");
+        // 10µs benchmark doubling: below MIN_COMPARABLE_NS, ignored.
+        std::fs::write(&old, r#"{"benchmarks":[{"group":"g","id":"x","min_ns":10000}]}"#).unwrap();
+        std::fs::write(&fresh, r#"{"benchmarks":[{"group":"g","id":"x","min_ns":20000}]}"#)
+            .unwrap();
+        let args = vec![old.to_str().unwrap().to_string(), fresh.to_str().unwrap().to_string()];
+        assert_eq!(run(&args), Ok(true));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

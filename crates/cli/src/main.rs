@@ -20,7 +20,7 @@ tnm — Temporal Network Motifs: Models, Limitations, Evaluation (reproduction)
 USAGE: tnm <command> [flags]
 
 Experiment commands (all accept --scale F, --seed N, --csv, --engine E,
---threads N):
+--threads N, --samples K):
   table2            Dataset statistics (paper Table 2)
   table3 [--full]   Consecutive events restriction (Table 3; --full = Table 6)
   table4 [--full]   Constrained dynamic graphlets (Table 4; --full = Table 7)
@@ -39,7 +39,9 @@ Utility commands:
   generate --dataset NAME --out FILE     Write a synthetic dataset as an edge list
   count --dataset NAME [--events K] [--nodes N] [--dc X] [--dw Y]
         [--consecutive] [--induced] [--constrained] [--top K]
-        [--engine E] [--threads N]       Count motifs under a custom model
+        [--engine E] [--threads N] [--samples K]
+                                         Count motifs under a custom model
+                                         (sampling engine prints 95% CIs)
   cycles --dataset NAME [--dw X] [--max-len L]
                                          Enumerate simple temporal cycles
   help              This message
@@ -48,9 +50,15 @@ Flags:
   --scale F     Scale dataset event budgets by F (default 1.0)
   --seed N      Corpus seed (default the standard experiment seed)
   --csv         Emit CSV instead of a rendered table (where supported)
-  --engine E    Counting engine: backtrack | windowed | parallel | auto
-                (default auto; see the tnm-motifs rustdoc on choosing one)
+  --engine E    Counting engine: backtrack | windowed | parallel |
+                sampling | auto (default auto; see the tnm-motifs rustdoc
+                on choosing one). `sampling` is approximate: counts are
+                point estimates with 95% confidence intervals. fig4/fig5
+                enumerate exact instance statistics and reject it.
   --threads N   Thread budget for parallel-capable engines
+  --samples K   Sample-window budget for --engine sampling (quadruple it
+                to halve the confidence intervals). The sampler draws its
+                RNG seed from --seed.
 ";
 
 fn main() -> ExitCode {
@@ -104,12 +112,34 @@ fn run_config_from(args: &Args) -> Result<RunConfig, Box<dyn std::error::Error>>
     if let Some(name) = args.get("engine") {
         rc.engine = name.parse::<EngineKind>()?;
     }
+    if let EngineKind::Sampling { samples, seed } = rc.engine {
+        let samples: u32 = args.get_parsed("samples", samples)?;
+        if samples == 0 {
+            return Err("--samples must be at least 1".into());
+        }
+        rc.engine = EngineKind::Sampling { samples, seed: args.get_parsed("seed", seed)? };
+    } else if args.has("samples") {
+        return Err("--samples is only valid with --engine sampling".into());
+    }
     rc.threads = args.get_parsed("threads", rc.threads)?;
     Ok(rc)
 }
 
+/// The position/timespan figures enumerate exact per-instance statistics
+/// that an approximate counter cannot provide; asking for the sampling
+/// engine there must be an error, not a silent exact run.
+fn reject_sampling_engine(args: &Args, what: &str) -> Result<(), Box<dyn std::error::Error>> {
+    if let EngineKind::Sampling { .. } = run_config_from(args)?.engine {
+        return Err(format!(
+            "{what} enumerates exact instance statistics; --engine sampling is not applicable"
+        )
+        .into());
+    }
+    Ok(())
+}
+
 fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let common = ["scale", "seed", "csv", "dataset", "engine", "threads"];
+    let common = ["scale", "seed", "csv", "dataset", "engine", "threads", "samples"];
     match command {
         "help" | "--help" | "-h" => print!("{HELP}"),
         "list" => {
@@ -162,6 +192,7 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 "top",
                 "engine",
                 "threads",
+                "samples",
             ])?;
             let corpus = corpus_from(args)?;
             let entry = corpus.entries.first().ok_or("count requires --dataset NAME")?;
@@ -181,8 +212,9 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 .with_static_induced(args.has("induced"))
                 .with_constrained(args.has("constrained"));
             let rc = run_config_from(args)?;
-            let engine = rc.engine.engine_for(&entry.graph, rc.threads);
-            let counts = engine.count(&entry.graph, &cfg);
+            let engine = rc.engine.engine_for(&entry.graph, &cfg, rc.threads);
+            let report = engine.report(&entry.graph, &cfg);
+            let counts = &report.counts;
             let top: usize = args.get_parsed("top", 20)?;
             println!(
                 "{}: {} instances across {} motif types ({timing}, engine {})",
@@ -191,13 +223,24 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 counts.num_signatures(),
                 engine.name()
             );
+            if let Some(samples) = report.samples {
+                println!(
+                    "  approximate: {samples} sample windows, estimated total {} (95% CI)",
+                    report.total
+                );
+            }
             for (sig, n) in counts.top_k(top) {
                 let pairs: String = sig
                     .event_pair_sequence()
                     .into_iter()
                     .map(|p| p.map_or('-', |t| t.letter()))
                     .collect();
-                println!("  {sig:<12} {n:>10}  pairs {pairs}");
+                if report.exact {
+                    println!("  {sig:<12} {n:>10}  pairs {pairs}");
+                } else {
+                    let e = report.estimate(sig);
+                    println!("  {sig:<12} {n:>10} ± {:<8.1} pairs {pairs}", e.half_width);
+                }
             }
         }
         "cycles" => {
@@ -224,7 +267,9 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "table3" => {
-            args.ensure_known(&["scale", "seed", "csv", "dataset", "full", "engine", "threads"])?;
+            args.ensure_known(&[
+                "scale", "seed", "csv", "dataset", "full", "engine", "threads", "samples",
+            ])?;
             let t = experiments::table3::run_with(&corpus_from(args)?, &run_config_from(args)?);
             if args.has("csv") {
                 print!("{}", t.to_csv());
@@ -237,7 +282,9 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "table4" => {
-            args.ensure_known(&["scale", "seed", "csv", "dataset", "full", "engine", "threads"])?;
+            args.ensure_known(&[
+                "scale", "seed", "csv", "dataset", "full", "engine", "threads", "samples",
+            ])?;
             let t = experiments::table4::run_with(&corpus_from(args)?, &run_config_from(args)?);
             if args.has("csv") {
                 print!("{}", t.to_csv());
@@ -275,6 +322,7 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 "include-4e",
                 "engine",
                 "threads",
+                "samples",
             ])?;
             let f = experiments::fig3::run_with(
                 &corpus_from(args)?,
@@ -288,7 +336,10 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "fig4" => {
-            args.ensure_known(&["scale", "seed", "csv", "dataset", "all", "engine", "threads"])?;
+            args.ensure_known(&[
+                "scale", "seed", "csv", "dataset", "all", "engine", "threads", "samples",
+            ])?;
+            reject_sampling_engine(args, "fig4")?;
             let f = experiments::fig4::run(&corpus_from(args)?, args.has("all"));
             if args.has("csv") {
                 print!("{}", f.to_csv());
@@ -297,7 +348,10 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "fig5" => {
-            args.ensure_known(&["scale", "seed", "csv", "dataset", "all", "engine", "threads"])?;
+            args.ensure_known(&[
+                "scale", "seed", "csv", "dataset", "all", "engine", "threads", "samples",
+            ])?;
+            reject_sampling_engine(args, "fig5")?;
             let f = experiments::fig5::run(&corpus_from(args)?, args.has("all"));
             if args.has("csv") {
                 print!("{}", f.to_csv());

@@ -1,0 +1,280 @@
+//! Shared [`WindowIndex`] cache keyed on graph identity.
+//!
+//! The experiment drivers count the same [`TemporalGraph`] dozens of
+//! times (one count per model × timing configuration), and the sampling
+//! engine draws dozens of windows per estimate — yet every windowed
+//! count used to rebuild the `O(m)` [`WindowIndex`] from scratch.
+//! [`WindowIndexCache`] lets all of them share one index per graph.
+//!
+//! ## Identity without ownership
+//!
+//! Callers hand engines a plain `&TemporalGraph`, so the cache cannot key
+//! on an owned handle. Instead an entry is keyed on the graph's **event
+//! buffer address and length** — stable for the graph's whole lifetime
+//! (moving a graph moves the `Vec` header, not its heap buffer; cloning
+//! allocates a fresh buffer and therefore a fresh key). Addresses can be
+//! recycled after a graph is dropped, so a key match alone is never
+//! trusted: every hit is **verified** against the graph with
+//! [`WindowIndex::matches`], an allocation-free sequential `O(m)` pass
+//! that is several times cheaper than a rebuild. A verification failure
+//! counts as a miss and the stale entry is replaced. The cache is
+//! therefore exactly as correct as building fresh, merely faster.
+//!
+//! ## Concurrency
+//!
+//! Lookups take a short mutex; index construction happens **outside** the
+//! lock, so concurrent counts of different graphs never serialize behind
+//! one build. Two threads racing to build the same graph's index do
+//! duplicate work once, then share the winning entry.
+//!
+//! Engines use the process-wide [`global_index_cache`]; tests and
+//! special-purpose callers can construct private instances for
+//! deterministic statistics.
+//!
+//! ## Memory
+//!
+//! The global cache retains up to [`DEFAULT_INDEX_CACHE_CAPACITY`]
+//! indexes (`2m` words each) for the process lifetime, including
+//! indexes of graphs that have since been dropped — a deliberate trade
+//! for the common driver pattern of counting the same corpus
+//! repeatedly. Long-lived consumers that churn through very large
+//! graphs can call [`WindowIndexCache::clear`] on the global cache
+//! after releasing a graph to return the memory immediately.
+
+use crate::graph::TemporalGraph;
+use crate::window_index::WindowIndex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of graphs the [`global_index_cache`] retains (LRU beyond this).
+pub const DEFAULT_INDEX_CACHE_CAPACITY: usize = 8;
+
+/// Observability counters for a [`WindowIndexCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexCacheStats {
+    /// Lookups answered by a verified cached index.
+    pub hits: u64,
+    /// Lookups that had no entry for the graph's key.
+    pub misses: u64,
+    /// Key collisions rejected by content verification (recycled buffer
+    /// addresses); each also counts as a miss.
+    pub rejected: u64,
+}
+
+/// One cached index with its identity key and LRU stamp.
+struct Entry {
+    /// `(events buffer address, event count)` of the graph indexed.
+    key: (usize, usize),
+    index: Arc<WindowIndex>,
+    last_used: u64,
+}
+
+/// A bounded, verified cache of [`WindowIndex`]es keyed on graph
+/// identity. See the [module docs](self) for the identity and
+/// correctness model.
+pub struct WindowIndexCache {
+    entries: Mutex<Vec<Entry>>,
+    capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl std::fmt::Debug for WindowIndexCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowIndexCache")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl WindowIndexCache {
+    /// An empty cache retaining at most `capacity` graphs.
+    pub fn new(capacity: usize) -> Self {
+        WindowIndexCache {
+            entries: Mutex::new(Vec::with_capacity(capacity.max(1))),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    fn key_of(graph: &TemporalGraph) -> (usize, usize) {
+        (graph.events().as_ptr() as usize, graph.num_events())
+    }
+
+    /// Returns the cached index for `graph`, building (and caching) it on
+    /// a miss. Hits are verified against the graph's actual content, so
+    /// the returned index is always correct for `graph`.
+    pub fn get_or_build(&self, graph: &TemporalGraph) -> Arc<WindowIndex> {
+        let key = Self::key_of(graph);
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut entries = self.entries.lock().expect("index cache poisoned");
+            if let Some(e) = entries.iter_mut().find(|e| e.key == key) {
+                if e.index.matches(graph) {
+                    e.last_used = stamp;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(&e.index);
+                }
+                // Recycled buffer address: the entry describes a dead
+                // graph. Drop it; the rebuild below replaces it.
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                entries.retain(|e| e.key != key);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(WindowIndex::build(graph));
+        let mut entries = self.entries.lock().expect("index cache poisoned");
+        match entries.iter_mut().find(|e| e.key == key) {
+            // A racing thread cached the same graph while we built.
+            Some(e) => {
+                e.last_used = stamp;
+                Arc::clone(&e.index)
+            }
+            None => {
+                if entries.len() >= self.capacity {
+                    let oldest = entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(i, _)| i)
+                        .expect("capacity >= 1 implies non-empty");
+                    entries.swap_remove(oldest);
+                }
+                entries.push(Entry { key, index: Arc::clone(&built), last_used: stamp });
+                built
+            }
+        }
+    }
+
+    /// Number of graphs currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("index cache poisoned").len()
+    }
+
+    /// True if no index is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached index (counters are kept).
+    pub fn clear(&self) {
+        self.entries.lock().expect("index cache poisoned").clear();
+    }
+
+    /// Snapshot of the hit/miss/rejection counters.
+    pub fn stats(&self) -> IndexCacheStats {
+        IndexCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The process-wide cache used by the windowed counting engines.
+pub fn global_index_cache() -> &'static WindowIndexCache {
+    static CACHE: OnceLock<WindowIndexCache> = OnceLock::new();
+    CACHE.get_or_init(|| WindowIndexCache::new(DEFAULT_INDEX_CACHE_CAPACITY))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TemporalGraphBuilder;
+
+    fn graph(seed: i64, events: usize) -> TemporalGraph {
+        let mut b = TemporalGraphBuilder::new();
+        for i in 0..events as i64 {
+            let u = ((i + seed) % 7) as u32;
+            let v = ((i + seed + 1 + i % 3) % 7) as u32;
+            let v = if v == u { (v + 1) % 7 } else { v };
+            b.push(crate::event::Event::new(u, v, seed + i * 2));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn hit_on_same_graph_miss_on_other() {
+        let cache = WindowIndexCache::new(4);
+        let g1 = graph(1, 100);
+        let g2 = graph(2, 100);
+        let a = cache.get_or_build(&g1);
+        assert_eq!(cache.stats(), IndexCacheStats { hits: 0, misses: 1, rejected: 0 });
+        let b = cache.get_or_build(&g1);
+        assert_eq!(cache.stats().hits, 1);
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the cached index");
+        cache.get_or_build(&g2);
+        assert_eq!(cache.stats(), IndexCacheStats { hits: 1, misses: 2, rejected: 0 });
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn clone_has_its_own_identity() {
+        let cache = WindowIndexCache::new(4);
+        let g = graph(3, 50);
+        let copy = g.clone();
+        cache.get_or_build(&g);
+        cache.get_or_build(&copy);
+        assert_eq!(cache.stats().misses, 2, "a clone is a different graph");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = WindowIndexCache::new(2);
+        let g1 = graph(1, 40);
+        let g2 = graph(2, 40);
+        let g3 = graph(3, 40);
+        cache.get_or_build(&g1);
+        cache.get_or_build(&g2);
+        cache.get_or_build(&g1); // g2 is now the LRU entry
+        cache.get_or_build(&g3); // evicts g2
+        assert_eq!(cache.len(), 2);
+        cache.get_or_build(&g1);
+        assert_eq!(cache.stats().hits, 2, "g1 must have survived eviction");
+        cache.get_or_build(&g2);
+        assert_eq!(cache.stats().misses, 4, "g2 was evicted and rebuilt");
+    }
+
+    #[test]
+    fn cached_index_is_correct() {
+        let cache = WindowIndexCache::new(2);
+        let g = graph(5, 80);
+        let fresh = WindowIndex::build(&g);
+        let cached = cache.get_or_build(&g);
+        let cached_again = cache.get_or_build(&g);
+        for ix in [&fresh, cached.as_ref(), cached_again.as_ref()] {
+            assert!(ix.matches(&g));
+            assert_eq!(ix.num_incidences(), g.num_events() * 2);
+        }
+    }
+
+    #[test]
+    fn clear_and_capacity_floor() {
+        let cache = WindowIndexCache::new(0); // clamped to 1
+        let g1 = graph(1, 30);
+        let g2 = graph(2, 30);
+        cache.get_or_build(&g1);
+        cache.get_or_build(&g2);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        cache.get_or_build(&g1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn global_cache_is_shared() {
+        let g = graph(9, 60);
+        let a = global_index_cache().get_or_build(&g);
+        let b = global_index_cache().get_or_build(&g);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

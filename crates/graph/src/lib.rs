@@ -11,9 +11,11 @@
 //!   definitions (they matter only for dynamic graphlets).
 //!
 //! The crate provides the event store ([`TemporalGraph`]) with per-node and
-//! per-edge time indexes, Table 2 statistics ([`stats::GraphStats`]),
-//! transformations used by the paper's protocol (resolution degrading,
-//! slicing), SNAP-style I/O, and the static projection.
+//! per-edge time indexes, the windowed candidate index
+//! ([`WindowIndex`]) with its shared per-graph cache ([`index_cache`]),
+//! Table 2 statistics ([`stats::GraphStats`]), transformations used by
+//! the paper's protocol (resolution degrading, slicing), SNAP-style I/O,
+//! and the static projection.
 //!
 //! ```
 //! use tnm_graph::{TemporalGraphBuilder, stats::GraphStats};
@@ -37,6 +39,7 @@ pub mod error;
 pub mod event;
 pub mod graph;
 pub mod ids;
+pub mod index_cache;
 pub mod io;
 pub mod static_proj;
 pub mod stats;
@@ -48,5 +51,6 @@ pub use error::{GraphError, Result};
 pub use event::Event;
 pub use graph::TemporalGraph;
 pub use ids::{Edge, EventIdx, NodeId, Time};
+pub use index_cache::{global_index_cache, IndexCacheStats, WindowIndexCache};
 pub use static_proj::StaticProjection;
 pub use window_index::{WindowCursor, WindowIndex};

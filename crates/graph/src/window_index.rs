@@ -111,6 +111,29 @@ impl WindowIndex {
     pub fn cursor(&self, node: NodeId) -> WindowCursor {
         WindowCursor { node, pos: 0 }
     }
+
+    /// True iff this index describes exactly `graph` — every per-node
+    /// event list and every inline timestamp agrees with the graph's own
+    /// node index. An allocation-free sequential `O(m)` pass, several
+    /// times cheaper than [`WindowIndex::build`]; the
+    /// [index cache](crate::index_cache) runs it on every key hit so a
+    /// recycled buffer address can never smuggle in a stale index.
+    pub fn matches(&self, graph: &TemporalGraph) -> bool {
+        if self.num_nodes() != graph.num_nodes() || self.num_incidences() != graph.num_events() * 2
+        {
+            return false;
+        }
+        for node in 0..graph.num_nodes() {
+            let (ids, times) = self.node_slices(NodeId(node));
+            if ids != graph.node_events(NodeId(node)) {
+                return false;
+            }
+            if !ids.iter().zip(times).all(|(&i, &t)| graph.event(i).time == t) {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 /// A reusable, monotone streaming position inside one node's event list.

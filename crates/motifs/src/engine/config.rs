@@ -107,6 +107,33 @@ impl EnumConfig {
         self.static_induced = yes;
         self
     }
+
+    /// The largest first-to-last timespan an admissible instance can
+    /// have, judging from the configuration alone:
+    /// `min(ΔC·(num_events−1), ΔW)` over whichever bounds are present;
+    /// `None` when nothing bounds the span. Used by
+    /// [`auto_select`](crate::engine::auto_select)'s window-occupancy
+    /// heuristic and the sampling engine's window sizing.
+    ///
+    /// A **duration-aware** ΔC measures each gap from the previous
+    /// event's *end*, so ΔC alone no longer bounds the span (event
+    /// durations are a property of the graph, not the configuration);
+    /// only a ΔW bound survives in that case. The sampling engine
+    /// tightens this with the graph's actual maximum duration — see
+    /// [`SamplingEngine::window_len_for`](crate::engine::SamplingEngine::window_len_for).
+    pub fn max_admissible_span(&self) -> Option<Time> {
+        let steps = self.num_events.saturating_sub(1).max(1) as Time;
+        let c_span = match self.timing.delta_c {
+            Some(c) if !self.duration_aware => Some(c.saturating_mul(steps)),
+            _ => None,
+        };
+        match (c_span, self.timing.delta_w) {
+            (None, None) => None,
+            (Some(c), None) => Some(c),
+            (None, Some(w)) => Some(w),
+            (Some(c), Some(w)) => Some(c.min(w)),
+        }
+    }
 }
 
 /// A concrete motif occurrence handed to enumeration callbacks.

@@ -5,37 +5,62 @@
 //! sequences under ΔC/ΔW pruning, filter, canonicalise, count* — but the
 //! profitable execution strategy varies with the workload: graph size,
 //! timing tightness, and available cores. This module makes the strategy
-//! a value: a [`CountEngine`] trait with three interchangeable
+//! a value: a [`CountEngine`] trait with four interchangeable
 //! implementations, selectable programmatically via [`EngineKind`] or
 //! from the CLI via `--engine`.
 //!
-//! | engine | strategy | best at |
-//! |---|---|---|
-//! | [`BacktrackEngine`] | serial walk, plain node-index scans | tiny graphs, unbounded timing |
-//! | [`WindowedEngine`] | serial walk, [`WindowIndex`](tnm_graph::WindowIndex) binary-search pruning | bounded ΔC/ΔW on one core |
-//! | [`ParallelEngine`] | work-stealing workers over the windowed index | large graphs, many cores |
+//! ## Choosing an engine
 //!
-//! All engines are **exact** and produce identical [`MotifCounts`] for
-//! identical [`EnumConfig`]s — the cross-engine equivalence suite
-//! (`tests/engine_equivalence.rs`) enforces this for all four paper
-//! models. [`EngineKind::Auto`] picks a sensible engine from the graph
-//! size and thread budget and is what the legacy
+//! | engine | strategy | pick it when |
+//! |---|---|---|
+//! | [`BacktrackEngine`] | serial walk, plain node-index scans | tiny graphs or unbounded timing, where building an index outweighs pruning; also the reference for differential tests |
+//! | [`WindowedEngine`] | serial walk, [`WindowIndex`](tnm_graph::WindowIndex) binary-search pruning | bounded ΔC/ΔW on one core — the best single-threaded choice for realistic workloads |
+//! | [`ParallelEngine`] | work-stealing workers over the windowed index | large graphs on multi-core hardware with enough admissible work per start event |
+//! | [`SamplingEngine`] | interval sampling over the windowed index | graphs or windows too large for exact counting, when an estimate with a confidence interval is enough |
+//!
+//! The first three engines are **exact** and produce identical
+//! [`MotifCounts`] for identical [`EnumConfig`]s — the cross-engine
+//! equivalence suite (`tests/engine_equivalence.rs`) enforces this for
+//! all four paper models. The sampling engine is **approximate**: its
+//! `count` returns rounded point estimates, and its calibration is
+//! enforced by `tests/sampling_calibration.rs` instead.
+//!
+//! ## Reading sampling confidence intervals
+//!
+//! [`CountEngine::report`] widens `count`'s result to an
+//! [`EngineReport`]: per-motif [`Estimate`]s (`point ± half_width`, a
+//! ~95 % normal-approximation interval) plus an interval on the total.
+//! Exact engines report zero-width intervals, so
+//! `report.estimate(sig).contains(x)` degrades to an equality test and
+//! callers can treat every engine uniformly. For sampled reports,
+//! `half_width` shrinks as `1/√samples`: quadruple the budget to halve
+//! the interval. A signature the sampler never observed reports a
+//! zero-point, zero-width estimate — indistinguishable from a true zero
+//! count, which is the inherent limitation of sampling rare motifs.
+//!
+//! [`EngineKind::Auto`] picks an engine from the graph, configuration,
+//! and thread budget (see [`auto_select`]) and is what the legacy
 //! [`count_motifs`](crate::count_motifs) /
 //! [`count_motifs_parallel`](crate::count_motifs_parallel) wrappers use.
-//!
-//! The trait is deliberately narrow (count, enumerate, name,
-//! capabilities) so future backends — sampling estimators, sharded
-//! out-of-core counting — slot in without touching call sites.
+//! All windowed engines share one [`WindowIndex`](tnm_graph::WindowIndex)
+//! per graph through the
+//! [global index cache](tnm_graph::index_cache::global_index_cache), so
+//! repeated counts of the same graph — the experiment drivers' common
+//! pattern — pay the `O(m)` build once.
 
 mod backtrack;
 mod config;
 mod parallel;
+mod report;
+mod sampling;
 mod walker;
 mod windowed;
 
 pub use backtrack::BacktrackEngine;
 pub use config::{EnumConfig, MotifInstance};
 pub use parallel::{ParallelConfig, ParallelEngine, DEFAULT_STEAL_CHUNK, SERIAL_FALLBACK_EVENTS};
+pub use report::{EngineReport, Estimate, Z_95};
+pub use sampling::{SamplingEngine, DEFAULT_SAMPLING_BUDGET, DEFAULT_SAMPLING_SEED};
 pub use windowed::WindowedEngine;
 
 use crate::count::MotifCounts;
@@ -74,6 +99,15 @@ pub trait CountEngine: Send + Sync {
         cfg: &EnumConfig,
         callback: &mut dyn FnMut(&MotifInstance<'_>),
     );
+
+    /// Counts with uncertainty attached: per-motif point estimates and
+    /// ~95 % confidence intervals. Exact engines use this default
+    /// implementation — their counts wrapped in zero-width intervals —
+    /// so the report shape is uniform across exact and approximate
+    /// backends (see the [module docs](self) on reading intervals).
+    fn report(&self, graph: &TemporalGraph, cfg: &EnumConfig) -> EngineReport {
+        EngineReport::from_exact(self.name(), self.count(graph, cfg))
+    }
 }
 
 /// Engine selection, parseable from CLI strings (`--engine windowed`).
@@ -85,39 +119,112 @@ pub enum EngineKind {
     Windowed,
     /// [`ParallelEngine`] over the windowed index.
     Parallel,
-    /// Pick per-workload: parallel-windowed for graphs with at least
-    /// [`SERIAL_FALLBACK_EVENTS`] events when more than one thread is
-    /// available, serial windowed otherwise.
+    /// [`SamplingEngine`] with the given budget and seed (approximate).
+    Sampling {
+        /// Number of sample windows to draw.
+        samples: u32,
+        /// RNG seed (runs are deterministic given the seed).
+        seed: u64,
+    },
+    /// Pick per-workload via [`auto_select`].
     #[default]
     Auto,
 }
 
+/// Below this many events, an unbounded-timing workload resolves to
+/// [`BacktrackEngine`]: with no ΔC/ΔW to prune by, the window index buys
+/// only a cheaper candidate merge, which cannot amortise its own `O(m)`
+/// build on a graph this small.
+pub const WINDOWED_MIN_EVENTS: usize = 256;
+
+/// Minimum expected number of admissible events per pruning window for
+/// [`auto_select`] to go parallel. Below this, most walks die after one
+/// candidate probe and thread spawn/merge overhead outweighs the work
+/// being distributed.
+pub const PARALLEL_MIN_WINDOW_EVENTS: f64 = 2.0;
+
+/// Expected number of events inside one pruning window: the graph's
+/// event count scaled by the fraction of the timeline a walk may reach
+/// from its first event
+/// ([`EnumConfig::max_admissible_span`] against the timespan).
+/// Infinite for unbounded timing.
+fn expected_window_events(graph: &TemporalGraph, cfg: &EnumConfig) -> f64 {
+    let Some(reach) = cfg.max_admissible_span() else {
+        return f64::INFINITY;
+    };
+    let span = graph.timespan().max(1);
+    graph.num_events() as f64 * (reach.min(span) as f64 / span as f64)
+}
+
+/// The selection table behind [`EngineKind::Auto`], resolving to a
+/// concrete kind from the workload:
+///
+/// 1. unbounded timing on a graph under [`WINDOWED_MIN_EVENTS`] events →
+///    [`EngineKind::Backtrack`] (nothing to prune; skip the index build);
+/// 2. more than one thread, at least [`SERIAL_FALLBACK_EVENTS`] events,
+///    **and** at least [`PARALLEL_MIN_WINDOW_EVENTS`] expected events
+///    per ΔC/ΔW window → [`EngineKind::Parallel`] (enough work per start
+///    event to pay for spawn and merge);
+/// 3. otherwise → [`EngineKind::Windowed`].
+///
+/// Rule 2 is why a huge graph under an extremely tight ΔW still runs
+/// serial: each walk dies after a probe or two, so distributing the
+/// starts distributes almost nothing. The table is pinned by unit tests
+/// in this module.
+pub fn auto_select(graph: &TemporalGraph, cfg: &EnumConfig, threads: usize) -> EngineKind {
+    let m = graph.num_events();
+    let unbounded = cfg.timing.delta_c.is_none() && cfg.timing.delta_w.is_none();
+    if unbounded && m < WINDOWED_MIN_EVENTS {
+        return EngineKind::Backtrack;
+    }
+    if threads > 1
+        && m >= SERIAL_FALLBACK_EVENTS
+        && expected_window_events(graph, cfg) >= PARALLEL_MIN_WINDOW_EVENTS
+    {
+        return EngineKind::Parallel;
+    }
+    EngineKind::Windowed
+}
+
 impl EngineKind {
-    /// Every concrete kind (excludes `Auto`), for sweeps and benches.
+    /// Every concrete **exact** kind (excludes `Auto` and the
+    /// approximate sampler), for sweeps and benches.
     pub const CONCRETE: [EngineKind; 3] =
         [EngineKind::Backtrack, EngineKind::Windowed, EngineKind::Parallel];
 
-    /// Instantiates the engine, resolving `Auto` against `graph` and the
-    /// `threads` budget.
-    pub fn engine_for(self, graph: &TemporalGraph, threads: usize) -> Box<dyn CountEngine> {
+    /// The sampling kind with an explicit budget and seed.
+    pub fn sampling(samples: u32, seed: u64) -> EngineKind {
+        EngineKind::Sampling { samples, seed }
+    }
+
+    /// Instantiates the engine, resolving `Auto` against the workload
+    /// via [`auto_select`].
+    pub fn engine_for(
+        self,
+        graph: &TemporalGraph,
+        cfg: &EnumConfig,
+        threads: usize,
+    ) -> Box<dyn CountEngine> {
         match self {
             EngineKind::Backtrack => Box::new(BacktrackEngine),
             EngineKind::Windowed => Box::new(WindowedEngine),
             EngineKind::Parallel => Box::new(ParallelEngine::new(threads)),
-            EngineKind::Auto => {
-                let big_enough = graph.num_events() >= SERIAL_FALLBACK_EVENTS;
-                if threads > 1 && big_enough {
-                    Box::new(ParallelEngine::new(threads))
-                } else {
-                    Box::new(WindowedEngine)
-                }
+            EngineKind::Sampling { samples, seed } => {
+                Box::new(SamplingEngine::new(samples.max(1) as usize, seed))
             }
+            EngineKind::Auto => auto_select(graph, cfg, threads).engine_for(graph, cfg, threads),
         }
     }
 
     /// Counts with the engine this kind resolves to.
     pub fn count(self, graph: &TemporalGraph, cfg: &EnumConfig, threads: usize) -> MotifCounts {
-        self.engine_for(graph, threads).count(graph, cfg)
+        self.engine_for(graph, cfg, threads).count(graph, cfg)
+    }
+
+    /// Reports (counts plus confidence intervals) with the engine this
+    /// kind resolves to.
+    pub fn report(self, graph: &TemporalGraph, cfg: &EnumConfig, threads: usize) -> EngineReport {
+        self.engine_for(graph, cfg, threads).report(graph, cfg)
     }
 }
 
@@ -129,6 +236,10 @@ impl std::str::FromStr for EngineKind {
             "backtrack" => Ok(EngineKind::Backtrack),
             "windowed" => Ok(EngineKind::Windowed),
             "parallel" => Ok(EngineKind::Parallel),
+            "sampling" => Ok(EngineKind::Sampling {
+                samples: DEFAULT_SAMPLING_BUDGET as u32,
+                seed: DEFAULT_SAMPLING_SEED,
+            }),
             "auto" => Ok(EngineKind::Auto),
             _ => Err(ParseEngineError { got: s.to_string() }),
         }
@@ -141,6 +252,7 @@ impl std::fmt::Display for EngineKind {
             EngineKind::Backtrack => "backtrack",
             EngineKind::Windowed => "windowed",
             EngineKind::Parallel => "parallel",
+            EngineKind::Sampling { .. } => "sampling",
             EngineKind::Auto => "auto",
         };
         f.write_str(s)
@@ -155,7 +267,11 @@ pub struct ParseEngineError {
 
 impl std::fmt::Display for ParseEngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "unknown engine `{}` (expected backtrack, windowed, parallel, or auto)", self.got)
+        write!(
+            f,
+            "unknown engine `{}` (expected backtrack, windowed, parallel, sampling, or auto)",
+            self.got
+        )
     }
 }
 
@@ -171,6 +287,21 @@ mod tests {
         TemporalGraphBuilder::new().event(0, 1, 10).event(1, 2, 20).event(2, 3, 30).build().unwrap()
     }
 
+    /// Deterministic LCG graph with `events` events spread over `span`
+    /// seconds on 40 nodes.
+    fn sized(events: usize, span: i64) -> TemporalGraph {
+        let mut b = TemporalGraphBuilder::new();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for i in 0..events {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((x >> 33) % 40) as u32;
+            let v = (u + 1 + ((x >> 13) % 38) as u32) % 40;
+            let t = (i as i64 * span) / events as i64;
+            b.push(tnm_graph::Event::new(u, v, t));
+        }
+        b.build().unwrap()
+    }
+
     #[test]
     fn kind_parses_and_displays() {
         for kind in
@@ -180,15 +311,66 @@ mod tests {
             assert_eq!(round, kind);
         }
         assert_eq!("WINDOWED".parse::<EngineKind>().unwrap(), EngineKind::Windowed);
+        assert_eq!(
+            "sampling".parse::<EngineKind>().unwrap(),
+            EngineKind::sampling(DEFAULT_SAMPLING_BUDGET as u32, DEFAULT_SAMPLING_SEED),
+        );
+        assert_eq!(EngineKind::sampling(9, 3).to_string(), "sampling");
         assert!("bogus".parse::<EngineKind>().is_err());
+        let msg = "bogus".parse::<EngineKind>().unwrap_err().to_string();
+        assert!(msg.contains("sampling"), "error must list all engines: {msg}");
     }
 
+    /// Pins the [`auto_select`] table: each row is (events, span,
+    /// timing, threads) → expected concrete kind.
     #[test]
-    fn auto_resolves_by_size_and_threads() {
-        let g = tiny();
-        // Tiny graph: serial windowed regardless of thread budget.
-        assert_eq!(EngineKind::Auto.engine_for(&g, 8).name(), "windowed");
-        assert_eq!(EngineKind::Auto.engine_for(&g, 1).name(), "windowed");
+    fn auto_selection_table() {
+        let tiny = tiny();
+        let large = sized(4096, 40_000); // well above SERIAL_FALLBACK_EVENTS
+        let small = sized(100, 1_000); // above nothing
+        let unbounded = EnumConfig::new(3, 3);
+        let loose_w = EnumConfig::new(3, 3).with_timing(Timing::only_w(3_000));
+        // ΔW=10 over a 40k span at ~0.1 events/s → ~1 event per window.
+        let needle_w = EnumConfig::new(3, 3).with_timing(Timing::only_w(10));
+        let loose_c = EnumConfig::new(3, 3).with_timing(Timing::only_c(2_000));
+        // Duration-aware ΔC bounds nothing from the config alone (gaps
+        // run from event ends): reach counts as unbounded.
+        let mut aware_c = EnumConfig::new(3, 3).with_timing(Timing::only_c(5));
+        aware_c.duration_aware = true;
+        let table: &[(&TemporalGraph, &EnumConfig, usize, EngineKind)] = &[
+            // 1. Unbounded timing, small graph: backtrack skips the index.
+            (&tiny, &unbounded, 1, EngineKind::Backtrack),
+            (&tiny, &unbounded, 8, EngineKind::Backtrack),
+            (&small, &unbounded, 8, EngineKind::Backtrack),
+            // ...but bounded timing makes the index worth building.
+            (&tiny, &loose_w, 1, EngineKind::Windowed),
+            (&small, &loose_w, 8, EngineKind::Windowed),
+            // 2. Large graph + threads + enough work per window: parallel.
+            (&large, &loose_w, 8, EngineKind::Parallel),
+            (&large, &loose_c, 8, EngineKind::Parallel),
+            (&large, &unbounded, 8, EngineKind::Parallel),
+            // ...tight ΔW starves the walks: stay serial windowed.
+            (&large, &needle_w, 8, EngineKind::Windowed),
+            // ...duration-aware ΔC: reach is unbounded, so parallel.
+            (&large, &aware_c, 8, EngineKind::Parallel),
+            // 3. One thread: always serial.
+            (&large, &loose_w, 1, EngineKind::Windowed),
+            (&large, &aware_c, 1, EngineKind::Windowed),
+        ];
+        for &(g, cfg, threads, expected) in table {
+            let got = auto_select(g, cfg, threads);
+            assert_eq!(
+                got,
+                expected,
+                "m={} timing={} threads={threads}",
+                g.num_events(),
+                cfg.timing
+            );
+            assert_eq!(
+                EngineKind::Auto.engine_for(g, cfg, threads).name(),
+                expected.engine_for(g, cfg, threads).name()
+            );
+        }
     }
 
     #[test]
@@ -200,6 +382,9 @@ mod tests {
         assert!(par.capabilities().parallel);
         assert!(par.capabilities().windowed_pruning);
         assert!(!ParallelEngine::over_backtrack(4).capabilities().windowed_pruning);
+        let samp = SamplingEngine::new(8, 1);
+        assert!(!samp.capabilities().parallel);
+        assert!(samp.capabilities().windowed_pruning);
     }
 
     #[test]
@@ -212,6 +397,23 @@ mod tests {
             assert_eq!(counts, reference, "engine {kind}");
         }
         assert_eq!(EngineKind::Auto.count(&g, &cfg, 4), reference);
+    }
+
+    #[test]
+    fn exact_reports_have_zero_width_intervals() {
+        let g = tiny();
+        let cfg = EnumConfig::new(2, 4).with_timing(Timing::only_w(30));
+        for kind in EngineKind::CONCRETE {
+            let report = kind.report(&g, &cfg, 2);
+            assert!(report.exact, "engine {kind}");
+            assert!(report.total.is_exact());
+            assert_eq!(report.counts, kind.count(&g, &cfg, 2));
+            for (sig, e) in report.iter() {
+                assert!(e.is_exact());
+                assert_eq!(e.point as u64, report.counts.get(sig));
+            }
+        }
+        assert!(!EngineKind::sampling(16, 7).report(&g, &cfg, 1).exact);
     }
 
     #[test]

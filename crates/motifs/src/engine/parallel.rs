@@ -20,15 +20,17 @@
 //!   `Mutex` while peers were still counting).
 //!
 //! Candidate generation inside each worker uses the windowed index by
-//! default (built once, shared by reference across workers) or the plain
-//! node index when constructed via [`ParallelEngine::over_backtrack`].
+//! default (fetched once from the
+//! [global index cache](tnm_graph::index_cache::global_index_cache) and
+//! shared by reference across workers) or the plain node index when
+//! constructed via [`ParallelEngine::over_backtrack`].
 
 use crate::count::MotifCounts;
 use crate::engine::config::{EnumConfig, MotifInstance};
 use crate::engine::walker::{CandidateSource, NodeListCandidates, Walker, WindowedCandidates};
 use crate::engine::{BacktrackEngine, CountEngine, EngineCaps, WindowedEngine};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use tnm_graph::window_index::WindowIndex;
+use tnm_graph::index_cache::global_index_cache;
 use tnm_graph::TemporalGraph;
 
 /// Tuning knobs of the work-stealing executor.
@@ -178,7 +180,7 @@ impl CountEngine for ParallelEngine {
         }
         match self.inner {
             Inner::Windowed => {
-                let index = WindowIndex::build(graph);
+                let index = global_index_cache().get_or_build(graph);
                 self.run(graph, cfg, || WindowedCandidates::new(&index))
             }
             Inner::Backtrack => self.run(graph, cfg, || NodeListCandidates),

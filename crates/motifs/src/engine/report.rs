@@ -1,0 +1,174 @@
+//! Engine result reporting: point estimates with confidence intervals.
+//!
+//! [`CountEngine::count`](crate::engine::CountEngine::count) returns
+//! integral [`MotifCounts`], which is the right shape for exact engines
+//! but loses everything an *approximate* engine knows about its own
+//! uncertainty. [`EngineReport`] is the widened result type: per-motif
+//! point estimates paired with a normal-approximation confidence
+//! interval ([`Estimate`]). Exact engines report their counts with
+//! zero-width intervals via the default
+//! [`CountEngine::report`](crate::engine::CountEngine::report)
+//! implementation, so callers can treat every engine uniformly:
+//! `report.estimate(sig).contains(x)` is `x == count` for exact engines
+//! and a genuine interval test for sampled ones.
+
+use crate::count::MotifCounts;
+use crate::notation::MotifSignature;
+use std::collections::HashMap;
+
+/// Two-sided z-value of the ~95 % normal confidence interval used by the
+/// sampling engine's reports.
+pub const Z_95: f64 = 1.96;
+
+/// A per-motif point estimate with a symmetric confidence interval.
+///
+/// For exact engines the interval is degenerate (`half_width == 0`). For
+/// the sampling engine it is the normal-approximation 95 % interval
+/// `point ± Z_95 · SE`, where `SE` is the standard error of the mean
+/// over the per-window estimates. The normal approximation is good once
+/// a few dozen windows contribute; at very small sample budgets the
+/// interval under-covers slightly (a t-distribution would widen it).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Estimate {
+    /// Unbiased point estimate of the instance count.
+    pub point: f64,
+    /// Half-width of the ~95 % confidence interval (0 when exact).
+    pub half_width: f64,
+}
+
+impl Estimate {
+    /// A zero-width estimate for an exactly known count.
+    pub fn exact(count: u64) -> Self {
+        Estimate { point: count as f64, half_width: 0.0 }
+    }
+
+    /// Lower interval endpoint (may be negative for noisy estimates of
+    /// near-zero counts; clamp at the call site if that matters).
+    pub fn lo(&self) -> f64 {
+        self.point - self.half_width
+    }
+
+    /// Upper interval endpoint.
+    pub fn hi(&self) -> f64 {
+        self.point + self.half_width
+    }
+
+    /// True if `value` lies within the interval (inclusive). For exact
+    /// estimates this is an equality test on the point.
+    pub fn contains(&self, value: f64) -> bool {
+        self.lo() <= value && value <= self.hi()
+    }
+
+    /// True for zero-width (exactly known) estimates.
+    pub fn is_exact(&self) -> bool {
+        self.half_width == 0.0
+    }
+}
+
+impl std::fmt::Display for Estimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_exact() {
+            write!(f, "{:.0}", self.point)
+        } else {
+            write!(f, "{:.1} ± {:.1}", self.point, self.half_width)
+        }
+    }
+}
+
+/// The widened result of one counting run: integral counts plus
+/// per-motif interval estimates and run metadata.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Name of the engine that produced the report.
+    pub engine: &'static str,
+    /// True when the counts are exact (all intervals zero-width).
+    pub exact: bool,
+    /// Number of sample draws behind the estimates (`None` for exact
+    /// engines).
+    pub samples: Option<usize>,
+    /// Integral counts: the exact counts, or rounded point estimates.
+    pub counts: MotifCounts,
+    /// Estimate of the total instance count across all signatures, with
+    /// its own interval (tighter than summing per-motif half-widths).
+    pub total: Estimate,
+    estimates: HashMap<MotifSignature, Estimate>,
+}
+
+impl EngineReport {
+    /// Wraps exactly known counts in zero-width intervals.
+    pub fn from_exact(engine: &'static str, counts: MotifCounts) -> Self {
+        let estimates = counts.iter().map(|(s, n)| (s, Estimate::exact(n))).collect();
+        let total = Estimate::exact(counts.total());
+        EngineReport { engine, exact: true, samples: None, counts, total, estimates }
+    }
+
+    /// Builds an approximate report from per-motif estimates; integral
+    /// counts are the rounded (non-negative) points.
+    pub fn from_estimates(
+        engine: &'static str,
+        samples: usize,
+        estimates: HashMap<MotifSignature, Estimate>,
+        total: Estimate,
+    ) -> Self {
+        let counts = estimates
+            .iter()
+            .map(|(&s, e)| (s, e.point.round().max(0.0) as u64))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        EngineReport { engine, exact: false, samples: Some(samples), counts, total, estimates }
+    }
+
+    /// The estimate for one signature (zero-point, zero-width when the
+    /// signature was never observed).
+    pub fn estimate(&self, sig: MotifSignature) -> Estimate {
+        self.estimates.get(&sig).copied().unwrap_or_default()
+    }
+
+    /// Iterates `(signature, estimate)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (MotifSignature, Estimate)> + '_ {
+        self.estimates.iter().map(|(&s, &e)| (s, e))
+    }
+
+    /// Number of signatures with an estimate.
+    pub fn num_signatures(&self) -> usize {
+        self.estimates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::notation::sig;
+
+    #[test]
+    fn exact_estimates_are_zero_width() {
+        let mut counts = MotifCounts::new();
+        counts.add(sig("0112"), 7);
+        counts.add(sig("0110"), 3);
+        let r = EngineReport::from_exact("windowed", counts);
+        assert!(r.exact);
+        assert_eq!(r.samples, None);
+        let e = r.estimate(sig("0112"));
+        assert!(e.is_exact());
+        assert!(e.contains(7.0) && !e.contains(7.5));
+        assert_eq!(r.total, Estimate::exact(10));
+        assert_eq!(r.estimate(sig("010203")), Estimate::default());
+        assert_eq!(format!("{e}"), "7");
+    }
+
+    #[test]
+    fn estimated_report_rounds_counts() {
+        let mut est = HashMap::new();
+        est.insert(sig("0112"), Estimate { point: 6.6, half_width: 2.0 });
+        est.insert(sig("0110"), Estimate { point: 0.2, half_width: 0.5 });
+        let total = Estimate { point: 6.8, half_width: 2.1 };
+        let r = EngineReport::from_estimates("sampling", 50, est, total);
+        assert!(!r.exact);
+        assert_eq!(r.samples, Some(50));
+        assert_eq!(r.counts.get(sig("0112")), 7);
+        assert_eq!(r.counts.get(sig("0110")), 0, "0.2 rounds away");
+        assert!(r.estimate(sig("0112")).contains(5.0));
+        assert!(!r.estimate(sig("0112")).contains(4.0));
+        assert_eq!(format!("{}", r.total), "6.8 ± 2.1");
+    }
+}

@@ -3,12 +3,12 @@
 //!
 //! The machinery that used to live here — the backtracking walker, its
 //! parallel driver — moved to `crate::engine`, which exposes it behind
-//! the [`CountEngine`](crate::engine::CountEngine) trait with three
+//! the [`CountEngine`](crate::engine::CountEngine) trait with four
 //! interchangeable implementations. This module keeps the original
 //! public API source-compatible:
 //!
 //! * [`count_motifs`] — serial counting via the auto-selected serial
-//!   engine (today: [`WindowedEngine`](crate::engine::WindowedEngine));
+//!   engine (see [`auto_select`](crate::engine::auto_select));
 //! * [`count_motifs_parallel`] — explicit parallelism via the
 //!   work-stealing [`ParallelEngine`](crate::engine::ParallelEngine);
 //!   unlike the old static-chunked version it **honors `threads`** even

@@ -18,16 +18,18 @@
 //!   dynamic graphlets ([`constrained`]);
 //! * a pluggable **counting-engine subsystem** ([`engine`]): one shared
 //!   backtracking walk behind the [`engine::CountEngine`] trait, with
-//!   serial, window-indexed, and work-stealing parallel implementations,
-//!   legacy entry points ([`enumerate`]), and spectrum analytics
-//!   ([`count`]);
+//!   serial, window-indexed, work-stealing parallel, and
+//!   interval-sampling implementations (the sampler reports confidence
+//!   intervals through [`engine::CountEngine::report`]), legacy entry
+//!   points ([`enumerate`]), and spectrum analytics ([`count`]);
 //! * per-instance **validity checking** for Figure 1-style model
 //!   comparisons ([`validity`]);
 //! * **partial orders** and Song et al.'s **streaming event-pattern
 //!   matcher** ([`partial_order`], [`pattern`]);
-//! * extensions from the related-work program: **interval-sampling
-//!   approximate counting** ([`sampling`]) and **temporal cycle
-//!   enumeration** ([`cycles`]).
+//! * extensions from the related-work program: **temporal cycle
+//!   enumeration** ([`cycles`]) — interval-sampling approximate counting
+//!   moved onto the engine seam ([`engine::SamplingEngine`]; the old
+//!   free-function entry point in [`sampling`] is deprecated).
 //!
 //! ```
 //! use tnm_graph::TemporalGraphBuilder;
@@ -54,8 +56,7 @@
 //!
 //! Counting runs behind the [`engine::CountEngine`] trait; pick an
 //! implementation with [`engine::EngineKind`] (or `--engine` on the
-//! `tnm` CLI). All engines are exact and produce identical counts —
-//! they differ only in speed:
+//! `tnm` CLI):
 //!
 //! * [`engine::BacktrackEngine`] (`backtrack`) — the serial reference
 //!   walker over the plain node index. Use it as the baseline for
@@ -70,10 +71,20 @@
 //!   (atomic start-event cursor, per-worker local tables merged
 //!   lock-free at join) over the windowed index. The best choice for
 //!   large graphs on multi-core hardware.
-//! * [`engine::EngineKind::Auto`] (`auto`, the default) — parallel
-//!   windowed for graphs with at least
-//!   [`engine::SERIAL_FALLBACK_EVENTS`] events when given more than one
-//!   thread, serial windowed otherwise.
+//! * [`engine::SamplingEngine`] (`sampling`) — **approximate** interval
+//!   sampling: unbiased point estimates with ~95 % confidence intervals
+//!   via [`engine::CountEngine::report`], at a fraction of exact cost on
+//!   large windows. The other three engines are exact and produce
+//!   identical counts.
+//! * [`engine::EngineKind::Auto`] (`auto`, the default) — resolves per
+//!   workload via [`engine::auto_select`]: backtrack for small
+//!   unbounded-timing jobs, work-stealing parallel when the graph and
+//!   its ΔC/ΔW windows carry enough work for multiple threads, serial
+//!   windowed otherwise.
+//!
+//! All windowed engines share one [`tnm_graph::WindowIndex`] per graph
+//! through [`tnm_graph::index_cache::global_index_cache`], so repeated
+//! counts of the same graph build the index once.
 //!
 //! ```
 //! use tnm_graph::TemporalGraphBuilder;
@@ -123,8 +134,8 @@ pub mod prelude {
         pair_type_ratios, proportion_changes, ranking_changes, MotifCounts, PairGroupCounts,
     };
     pub use crate::engine::{
-        BacktrackEngine, CountEngine, EngineCaps, EngineKind, ParallelConfig, ParallelEngine,
-        WindowedEngine,
+        BacktrackEngine, CountEngine, EngineCaps, EngineKind, EngineReport, Estimate,
+        ParallelConfig, ParallelEngine, SamplingEngine, WindowedEngine,
     };
     pub use crate::enumerate::{
         count_motifs, count_motifs_parallel, count_signature, enumerate_instances, EnumConfig,

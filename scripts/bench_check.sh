@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Gate a fresh bench summary against the repo's BENCH_*.json history.
+#
+# usage: scripts/bench_check.sh <new.json> [baseline-dir] [threshold]
+#
+# Runs the tnm-bench `bench_check` binary (built offline) comparing
+# <new.json> against the highest-numbered BENCH_<n>.json in
+# [baseline-dir] (default: repo root). Exits non-zero when any benchmark
+# regresses beyond [threshold] (default 0.25 = +25%).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+new_json="${1:?usage: bench_check.sh <new.json> [baseline-dir] [threshold]}"
+baseline_dir="${2:-$repo_root}"
+threshold="${3:-0.25}"
+
+exec cargo run --offline --release -p tnm-bench --bin bench_check -- \
+    "$baseline_dir" "$new_json" --threshold "$threshold"

@@ -127,19 +127,15 @@ fn degrading_resolution_only_loses_motifs_via_ties() {
 
 #[test]
 fn sampling_estimates_dataset_counts() {
-    use tnm_motifs::sampling::{estimate_motif_counts, SamplingConfig};
     let spec = tnm_datasets::DatasetSpec::calls_copenhagen();
     let g = tnm_datasets::generate(&spec, 77);
     let cfg = EnumConfig::new(2, 3).with_timing(Timing::only_w(600));
     let exact = count_motifs(&g, &cfg).total() as f64;
-    let est = estimate_motif_counts(
-        &g,
-        &cfg,
-        &SamplingConfig { window_len: 6_000, num_samples: 600, seed: 5 },
-    )
-    .total();
+    let report = SamplingEngine::new(600, 5).with_window_len(6_000).report(&g, &cfg);
+    let est = report.total.point;
     let rel = (est - exact).abs() / exact.max(1.0);
     assert!(rel < 0.2, "sampling estimate {est:.0} vs exact {exact:.0} (rel {rel:.3})");
+    assert!(report.total.half_width > 0.0, "sampled totals must carry an interval");
 }
 
 #[test]
