@@ -132,17 +132,22 @@ pub fn default_threads() -> usize {
 
 /// How the counting-heavy experiments execute: which
 /// [`EngineKind`] drives the enumeration and with how many threads.
-/// Threaded from the CLI's `--engine`/`--threads`/`--samples` flags down
-/// to every table/figure driver via the `run_with` variants.
+/// Threaded from the CLI's `--engine`/`--threads`/`--samples`/
+/// `--shard-events`/`--max-resident-shards` flags down to every
+/// table/figure driver via the `run_with` variants.
 ///
 /// [`EngineKind::Sampling`] (with its embedded budget and seed) makes
 /// the drivers *approximate*: tables are computed from rounded point
 /// estimates — the scaling escape hatch for window configurations too
-/// expensive to count exactly. All windowed engines share one
+/// expensive to count exactly. [`EngineKind::Sharded`] keeps them exact
+/// while bounding the counting working set (and, with a resident
+/// budget, spilling time slices to disk) — the out-of-core escape hatch
+/// for corpora larger than memory. All windowed engines share one
 /// `WindowIndex` per graph through
 /// [`tnm_graph::index_cache::global_index_cache`], so the dozens of
 /// counts a driver performs on the same corpus entry build each index
-/// once.
+/// once; the sharded engine instead builds a transient index per time
+/// slice, deliberately bypassing that cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunConfig {
     /// Counting engine (defaults to [`EngineKind::Auto`]).

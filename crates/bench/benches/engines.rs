@@ -5,9 +5,10 @@
 //! parallel) on the synthetic generator corpora under a bounded-ΔW
 //! configuration — the regime the windowed index is built for. Further
 //! groups cover ΔW tightness sweeps (how pruning scales with the window),
-//! parallel scaling, the sampling engine across budgets, window-index
-//! cache reuse, signature-targeted counting, streaming matching, and
-//! dataset generation.
+//! parallel scaling, the sampling engine across budgets, the sharded
+//! engine (in-memory and out-of-core spill mode), window-index cache
+//! reuse, signature-targeted counting, streaming matching, and dataset
+//! generation.
 //!
 //! The harness prints a machine-readable JSON summary on exit (one
 //! object per benchmark; set `TNM_BENCH_JSON=path` to also write it to a
@@ -147,6 +148,55 @@ fn bench_sampling_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sharded vs monolithic exact counting: the sharded engine pays shard
+/// materialization and per-shard index builds for a bounded working
+/// set; this group tracks that overhead against the windowed baseline
+/// across shard-size targets, plus a within-shard work-stealing run.
+fn bench_sharded_engine(c: &mut Criterion) {
+    let g = dataset("SMS-A", 12_000);
+    let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(3000));
+    let mut group = c.benchmark_group("sharded_engine_3e_dW3000");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.num_events() as u64));
+    group.bench_function("windowed_baseline", |b| {
+        b.iter(|| black_box(WindowedEngine.count(&g, &cfg)))
+    });
+    for shard_events in [2_000usize, 6_000] {
+        group.bench_with_input(
+            BenchmarkId::new("sharded", shard_events),
+            &shard_events,
+            |b, &n| b.iter(|| black_box(ShardedEngine::new(n).count(&g, &cfg))),
+        );
+    }
+    group.bench_function("sharded_2000_threads4", |b| {
+        b.iter(|| black_box(ShardedEngine::new(2_000).with_threads(4).count(&g, &cfg)))
+    });
+    group.finish();
+}
+
+/// Out-of-core spill mode: every iteration serializes the shards to a
+/// temp dir and counts while keeping at most `max_resident` loaded —
+/// the full write + read + count cycle, so the history tracks the I/O
+/// path, not just the walk.
+fn bench_sharded_spill(c: &mut Criterion) {
+    let g = dataset("SMS-A", 12_000);
+    let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(3000));
+    let mut group = c.benchmark_group("sharded_spill_mode");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.num_events() as u64));
+    for max_resident in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("resident", max_resident),
+            &max_resident,
+            |b, &k| {
+                let engine = ShardedEngine::new(2_000).with_max_resident(k);
+                b.iter(|| black_box(engine.count(&g, &cfg)))
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Window-index construction vs a verified cache hit: the hit still pays
 /// the O(m) content verification but skips allocation and construction.
 fn bench_index_cache(c: &mut Criterion) {
@@ -213,6 +263,8 @@ criterion_group!(
     bench_window_tightness,
     bench_parallel_scaling,
     bench_sampling_engine,
+    bench_sharded_engine,
+    bench_sharded_spill,
     bench_index_cache,
     bench_signature_targeting,
     bench_streaming_matcher,

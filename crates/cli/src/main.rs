@@ -40,6 +40,7 @@ Utility commands:
   count --dataset NAME [--events K] [--nodes N] [--dc X] [--dw Y]
         [--consecutive] [--induced] [--constrained] [--top K]
         [--engine E] [--threads N] [--samples K]
+        [--shard-events N] [--max-resident-shards N]
                                          Count motifs under a custom model
                                          (sampling engine prints 95% CIs)
   cycles --dataset NAME [--dw X] [--max-len L]
@@ -51,14 +52,27 @@ Flags:
   --seed N      Corpus seed (default the standard experiment seed)
   --csv         Emit CSV instead of a rendered table (where supported)
   --engine E    Counting engine: backtrack | windowed | parallel |
-                sampling | auto (default auto; see the tnm-motifs rustdoc
-                on choosing one). `sampling` is approximate: counts are
-                point estimates with 95% confidence intervals. fig4/fig5
-                enumerate exact instance statistics and reject it.
-  --threads N   Thread budget for parallel-capable engines
+                sharded | sampling | auto (default auto; see the
+                tnm-motifs rustdoc on choosing one). `sharded` counts
+                exact totals over time-slice shards and can spill them
+                to disk for graphs larger than memory. `sampling` is
+                approximate: counts are point estimates with 95%
+                confidence intervals. fig4/fig5 enumerate exact instance
+                statistics and reject it.
+  --threads N   Thread budget for parallel-capable engines (the sharded
+                engine work-steals within each shard)
   --samples K   Sample-window budget for --engine sampling (quadruple it
                 to halve the confidence intervals). The sampler draws its
-                RNG seed from --seed.
+                RNG seed from --seed. Rejected for exact engines.
+  --shard-events N
+                Target start events per shard for --engine sharded
+                (default 16384). Rejected for other engines.
+  --max-resident-shards N
+                Spill shards to disk, keeping at most N loaded at a time
+                (--engine sharded only). Without it, shards are cut from
+                the in-memory graph one at a time; with it, the full
+                write/evict/reload cycle runs and bounds the counting
+                working set for out-of-core use.
 ";
 
 fn main() -> ExitCode {
@@ -119,10 +133,40 @@ fn run_config_from(args: &Args) -> Result<RunConfig, Box<dyn std::error::Error>>
         }
         rc.engine = EngineKind::Sampling { samples, seed: args.get_parsed("seed", seed)? };
     } else if args.has("samples") {
-        return Err("--samples is only valid with --engine sampling".into());
+        return Err(format!(
+            "--samples is only valid with --engine sampling (engine `{}` counts exactly)",
+            rc.engine
+        )
+        .into());
+    }
+    if let EngineKind::Sharded { shard_events, max_resident_shards } = rc.engine {
+        let shard_events: usize = args.get_parsed("shard-events", shard_events)?;
+        if shard_events == 0 {
+            return Err("--shard-events must be at least 1".into());
+        }
+        rc.engine = EngineKind::Sharded {
+            shard_events,
+            max_resident_shards: args.get_parsed("max-resident-shards", max_resident_shards)?,
+        };
+    } else if args.has("shard-events") || args.has("max-resident-shards") {
+        return Err(format!(
+            "--shard-events/--max-resident-shards are only valid with --engine sharded \
+             (got engine `{}`)",
+            rc.engine
+        )
+        .into());
     }
     rc.threads = args.get_parsed("threads", rc.threads)?;
     Ok(rc)
+}
+
+/// The shared flag set plus per-command extras, for `ensure_known` —
+/// one definition of the common list instead of a hand-copied one per
+/// subcommand.
+fn allowed_flags<'a>(common: &[&'a str], extras: &[&'a str]) -> Vec<&'a str> {
+    let mut v = common.to_vec();
+    v.extend_from_slice(extras);
+    v
 }
 
 /// The position/timespan figures enumerate exact per-instance statistics
@@ -139,7 +183,17 @@ fn reject_sampling_engine(args: &Args, what: &str) -> Result<(), Box<dyn std::er
 }
 
 fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let common = ["scale", "seed", "csv", "dataset", "engine", "threads", "samples"];
+    let common = [
+        "scale",
+        "seed",
+        "csv",
+        "dataset",
+        "engine",
+        "threads",
+        "samples",
+        "shard-events",
+        "max-resident-shards",
+    ];
     match command {
         "help" | "--help" | "-h" => print!("{HELP}"),
         "list" => {
@@ -178,22 +232,10 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             println!("wrote {} events to {out}", entry.graph.num_events());
         }
         "count" => {
-            args.ensure_known(&[
-                "scale",
-                "seed",
-                "dataset",
-                "events",
-                "nodes",
-                "dc",
-                "dw",
-                "consecutive",
-                "induced",
-                "constrained",
-                "top",
-                "engine",
-                "threads",
-                "samples",
-            ])?;
+            args.ensure_known(&allowed_flags(
+                &common,
+                &["events", "nodes", "dc", "dw", "consecutive", "induced", "constrained", "top"],
+            ))?;
             let corpus = corpus_from(args)?;
             let entry = corpus.entries.first().ok_or("count requires --dataset NAME")?;
             let events: usize = args.get_parsed("events", 3)?;
@@ -267,9 +309,7 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "table3" => {
-            args.ensure_known(&[
-                "scale", "seed", "csv", "dataset", "full", "engine", "threads", "samples",
-            ])?;
+            args.ensure_known(&allowed_flags(&common, &["full"]))?;
             let t = experiments::table3::run_with(&corpus_from(args)?, &run_config_from(args)?);
             if args.has("csv") {
                 print!("{}", t.to_csv());
@@ -282,9 +322,7 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "table4" => {
-            args.ensure_known(&[
-                "scale", "seed", "csv", "dataset", "full", "engine", "threads", "samples",
-            ])?;
+            args.ensure_known(&allowed_flags(&common, &["full"]))?;
             let t = experiments::table4::run_with(&corpus_from(args)?, &run_config_from(args)?);
             if args.has("csv") {
                 print!("{}", t.to_csv());
@@ -314,16 +352,7 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             print!("{}", experiments::fig2::run().render());
         }
         "fig3" => {
-            args.ensure_known(&[
-                "scale",
-                "seed",
-                "csv",
-                "dataset",
-                "include-4e",
-                "engine",
-                "threads",
-                "samples",
-            ])?;
+            args.ensure_known(&allowed_flags(&common, &["include-4e"]))?;
             let f = experiments::fig3::run_with(
                 &corpus_from(args)?,
                 args.has("include-4e"),
@@ -336,9 +365,7 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "fig4" => {
-            args.ensure_known(&[
-                "scale", "seed", "csv", "dataset", "all", "engine", "threads", "samples",
-            ])?;
+            args.ensure_known(&allowed_flags(&common, &["all"]))?;
             reject_sampling_engine(args, "fig4")?;
             let f = experiments::fig4::run(&corpus_from(args)?, args.has("all"));
             if args.has("csv") {
@@ -348,9 +375,7 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "fig5" => {
-            args.ensure_known(&[
-                "scale", "seed", "csv", "dataset", "all", "engine", "threads", "samples",
-            ])?;
+            args.ensure_known(&allowed_flags(&common, &["all"]))?;
             reject_sampling_engine(args, "fig5")?;
             let f = experiments::fig5::run(&corpus_from(args)?, args.has("all"));
             if args.has("csv") {
@@ -399,4 +424,61 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnm_motifs::engine::DEFAULT_SHARD_EVENTS;
+
+    fn rc(tokens: &[&str]) -> Result<RunConfig, Box<dyn std::error::Error>> {
+        run_config_from(&Args::parse(tokens.iter().map(|s| s.to_string())).unwrap())
+    }
+
+    #[test]
+    fn engine_flags_parse() {
+        assert_eq!(rc(&[]).unwrap().engine, EngineKind::Auto);
+        assert_eq!(rc(&["--engine", "windowed"]).unwrap().engine, EngineKind::Windowed);
+        assert_eq!(
+            rc(&["--engine", "sharded"]).unwrap().engine,
+            EngineKind::sharded(DEFAULT_SHARD_EVENTS, 0)
+        );
+        assert_eq!(
+            rc(&["--engine", "sharded", "--shard-events", "512", "--max-resident-shards", "3"])
+                .unwrap()
+                .engine,
+            EngineKind::sharded(512, 3)
+        );
+        assert_eq!(
+            rc(&["--engine", "sampling", "--samples", "99", "--seed", "7"]).unwrap().engine,
+            EngineKind::sampling(99, 7)
+        );
+        assert_eq!(rc(&["--threads", "3"]).unwrap().threads, 3);
+    }
+
+    /// Nonsensical flag/engine combinations must fail loudly, naming the
+    /// offending engine — not silently run an exact count.
+    #[test]
+    fn nonsensical_combos_rejected() {
+        for exact in ["backtrack", "windowed", "parallel", "sharded"] {
+            let err = rc(&["--engine", exact, "--samples", "10"]).unwrap_err().to_string();
+            assert!(
+                err.contains("--engine sampling") && err.contains(exact),
+                "engine {exact}: unhelpful error `{err}`"
+            );
+        }
+        for flag in ["--shard-events", "--max-resident-shards"] {
+            let err = rc(&["--engine", "windowed", flag, "4"]).unwrap_err().to_string();
+            assert!(
+                err.contains("--engine sharded") && err.contains("windowed"),
+                "flag {flag}: unhelpful error `{err}`"
+            );
+            // ...including when no engine was requested at all (auto).
+            let err = rc(&[flag, "4"]).unwrap_err().to_string();
+            assert!(err.contains("--engine sharded"), "flag {flag}: unhelpful error `{err}`");
+        }
+        assert!(rc(&["--engine", "sampling", "--samples", "0"]).is_err());
+        assert!(rc(&["--engine", "sharded", "--shard-events", "0"]).is_err());
+        assert!(rc(&["--engine", "bogus"]).unwrap_err().to_string().contains("sharded"));
+    }
 }

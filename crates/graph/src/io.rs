@@ -83,6 +83,58 @@ pub fn write_edge_list_file<P: AsRef<Path>>(graph: &TemporalGraph, path: P) -> R
     write_edge_list(graph, file)
 }
 
+/// Writes a plain event slice in the `src dst time [duration]` line
+/// format with node ids taken **literally**.
+///
+/// Unlike the [`write_edge_list`] / [`read_edge_list`] pair — which
+/// compacts node ids on load and re-sorts events — the
+/// [`read_events_raw`] round-trip preserves node ids, event order, and
+/// durations exactly. That exactness is the contract the
+/// [shard store](crate::shard::ShardStore) relies on to map slice-local
+/// event indices back to parent-graph indices after a spill/reload
+/// cycle.
+pub fn write_events_raw<W: Write>(events: &[crate::event::Event], writer: W) -> Result<()> {
+    let mut out = BufWriter::new(writer);
+    for e in events {
+        if e.duration == 0 {
+            writeln!(out, "{} {} {}", e.src, e.dst, e.time)?;
+        } else {
+            writeln!(out, "{} {} {} {}", e.src, e.dst, e.time, e.duration)?;
+        }
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Parses events written by [`write_events_raw`]: node ids are literal
+/// `u32` values (no compaction), lines are kept in file order (no sort),
+/// comments and blank lines are skipped. An empty result is not an
+/// error — emptiness is the caller's policy here.
+pub fn read_events_raw<R: Read>(reader: R) -> Result<Vec<crate::event::Event>> {
+    let buf = BufReader::new(reader);
+    let mut events = Vec::new();
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let src = parse_field::<u32>(it.next(), lineno + 1, "source node")?;
+        let dst = parse_field::<u32>(it.next(), lineno + 1, "target node")?;
+        let time = parse_time(it.next(), lineno + 1)?;
+        let duration = match it.next() {
+            Some(tok) => tok.parse::<u32>().map_err(|_| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("invalid duration `{tok}`"),
+            })?,
+            None => 0,
+        };
+        events.push(crate::event::Event::with_duration(src, dst, time, duration));
+    }
+    Ok(events)
+}
+
 fn parse_field<T: std::str::FromStr>(tok: Option<&str>, line: usize, what: &str) -> Result<T> {
     match tok {
         None => Err(GraphError::Parse { line, message: format!("missing {what}") }),
@@ -179,6 +231,27 @@ mod tests {
             assert_eq!(a.time, b.time);
             assert_eq!(a.duration, b.duration);
         }
+    }
+
+    #[test]
+    fn raw_roundtrip_preserves_ids_and_order() {
+        use crate::event::Event;
+        // Ties on time with descending node ids: a compacting reader
+        // would relabel and a sorting reader would permute these.
+        let events = vec![
+            Event::new(9u32, 2u32, 5),
+            Event::new(3u32, 9u32, 5),
+            Event::with_duration(2u32, 3u32, 7, 11),
+        ];
+        let mut buf = Vec::new();
+        write_events_raw(&events, &mut buf).unwrap();
+        let back = read_events_raw(buf.as_slice()).unwrap();
+        assert_eq!(back, events);
+        assert!(read_events_raw("# nothing\n".as_bytes()).unwrap().is_empty());
+        assert!(matches!(
+            read_events_raw("1 x 5\n".as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
     }
 
     #[test]

@@ -13,9 +13,10 @@
 //! The crate provides the event store ([`TemporalGraph`]) with per-node and
 //! per-edge time indexes, the windowed candidate index
 //! ([`WindowIndex`]) with its shared per-graph cache ([`index_cache`]),
-//! Table 2 statistics ([`stats::GraphStats`]), transformations used by
-//! the paper's protocol (resolution degrading, slicing), SNAP-style I/O,
-//! and the static projection.
+//! time-slice sharding with a spillable shard store for out-of-core
+//! counting ([`shard`]), Table 2 statistics ([`stats::GraphStats`]),
+//! transformations used by the paper's protocol (resolution degrading,
+//! slicing), SNAP-style I/O, and the static projection.
 //!
 //! ```
 //! use tnm_graph::{TemporalGraphBuilder, stats::GraphStats};
@@ -41,6 +42,7 @@ pub mod graph;
 pub mod ids;
 pub mod index_cache;
 pub mod io;
+pub mod shard;
 pub mod static_proj;
 pub mod stats;
 pub mod transform;
@@ -52,5 +54,6 @@ pub use event::Event;
 pub use graph::TemporalGraph;
 pub use ids::{Edge, EventIdx, NodeId, Time};
 pub use index_cache::{global_index_cache, IndexCacheStats, WindowIndexCache};
+pub use shard::{plan_shards, Shard, ShardGoal, ShardPlan, ShardSpec, ShardStore};
 pub use static_proj::StaticProjection;
 pub use window_index::{WindowCursor, WindowIndex};

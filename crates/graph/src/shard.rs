@@ -1,0 +1,604 @@
+//! Time-slice sharding: planner, materialized shard views, and a
+//! spillable shard store for out-of-core counting.
+//!
+//! δ-bounded motif enumeration has a locality property the paper's
+//! evaluation leans on (and Paranjape et al. make explicit): an instance
+//! whose first event happens at time `t` lies entirely inside
+//! `[t, t + reach]`, where `reach` is the largest admissible
+//! first-to-last timespan (`min(ΔC·(k−1), ΔW)`, duration-widened for
+//! duration-aware ΔC). A time-ordered event log therefore splits into
+//! contiguous **shards** that only interact through a bounded trailing
+//! **halo**, and each shard can be counted independently — sequentially
+//! under a memory budget, or spilled to disk and loaded one at a time
+//! for graphs larger than memory.
+//!
+//! Three pieces live here:
+//!
+//! * [`plan_shards`] — partitions the event range into owned start-event
+//!   slices ([`ShardSpec::own`]) and computes each shard's materialized
+//!   range ([`ShardSpec::range`]): the owned slice plus a **left pad**
+//!   (earlier events sharing the first owned timestamp) and the trailing
+//!   halo (every event within `reach` of the last owned start).
+//!   Ownership is by start event, so instance sets of different shards
+//!   are disjoint — nothing is counted twice, nothing is missed.
+//! * [`materialize`] / [`Shard`] — an independent [`TemporalGraph`] view
+//!   of one shard's event slice, with [`Shard::to_global`] mapping
+//!   slice-local event indices back to parent indices.
+//! * [`ShardStore`] — loads shards under a resident budget, either by
+//!   rematerializing from the parent's buffer or, in **spill mode**, by
+//!   serializing every shard up front (via
+//!   [`io::write_events_raw`](crate::io::write_events_raw)) and
+//!   (re)reading from disk, so peak residency is bounded by
+//!   `max_resident × max shard size` regardless of graph size.
+//!
+//! ## What a shard view can and cannot answer
+//!
+//! The pad+halo construction guarantees a shard contains **every** graph
+//! event with time in `[first owned time, last owned time + reach]`.
+//! Time-windowed queries inside that closed interval — candidate
+//! generation, Kovanen's consecutive-events counts, Hulovatyy's
+//! constrained-freshness counts — answer identically on the shard and on
+//! the parent. The one graph-global question a time slice cannot answer
+//! is **static-projection membership** (`has_edge` over the whole
+//! timeline), which is why the sharded engine in `tnm-motifs` evaluates
+//! static inducedness against the parent graph via [`Shard::to_global`].
+
+use crate::error::Result;
+use crate::event::Event;
+use crate::graph::TemporalGraph;
+use crate::ids::{EventIdx, Time};
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+/// How [`plan_shards`] sizes the owned slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardGoal {
+    /// Target this many owned start events per shard.
+    EventsPerShard(usize),
+    /// Split into this many shards of near-equal owned size.
+    ShardCount(usize),
+}
+
+/// One planned shard: which start events it owns and which event slice
+/// it materializes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Shard position in time order (0-based).
+    pub id: usize,
+    /// Global indices of the start events this shard **owns**: walks are
+    /// launched only from these, which is what makes per-shard instance
+    /// sets disjoint.
+    pub own: Range<usize>,
+    /// Global indices of the events the shard **materializes**:
+    /// `own` widened by the left pad (earlier events sharing
+    /// `events[own.start]`'s timestamp, needed by inclusive
+    /// restriction windows) and the trailing halo (events within `reach`
+    /// of the last owned start's time).
+    pub range: Range<usize>,
+}
+
+impl ShardSpec {
+    /// Number of owned start events.
+    pub fn num_owned(&self) -> usize {
+        self.own.len()
+    }
+
+    /// Number of materialized events (owned + pad + halo).
+    pub fn num_events(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Number of trailing halo events.
+    pub fn halo_len(&self) -> usize {
+        self.range.end - self.own.end
+    }
+
+    /// Number of left-pad events (equal-timestamp run before the first
+    /// owned event).
+    pub fn pad_len(&self) -> usize {
+        self.own.start - self.range.start
+    }
+
+    /// The owned slice in shard-local coordinates.
+    pub fn own_local(&self) -> Range<usize> {
+        (self.own.start - self.range.start)..(self.own.end - self.range.start)
+    }
+}
+
+/// The output of [`plan_shards`]: per-shard specs plus the reach they
+/// were planned for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// The halo reach used (`None` = unbounded timing: one shard).
+    pub reach: Option<Time>,
+    /// Shard specs in time order.
+    pub shards: Vec<ShardSpec>,
+}
+
+impl ShardPlan {
+    /// Number of planned shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when the plan holds no shards (empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The largest materialized shard (events incl. pad and halo) — the
+    /// unit the spill mode's memory bound is expressed in.
+    pub fn max_shard_events(&self) -> usize {
+        self.shards.iter().map(ShardSpec::num_events).max().unwrap_or(0)
+    }
+
+    /// Total materialized events across shards (≥ the graph's event
+    /// count; the excess is pad/halo duplication).
+    pub fn total_materialized_events(&self) -> usize {
+        self.shards.iter().map(ShardSpec::num_events).sum()
+    }
+}
+
+/// Plans contiguous time-slice shards over `graph`'s event range.
+///
+/// `reach` is the largest admissible first-to-last instance timespan
+/// (see the [module docs](self)); `None` means unbounded timing, for
+/// which every halo would cover the rest of the log, so the plan
+/// degenerates to a single shard. Owned ranges partition `0..m`
+/// exactly; materialized ranges overlap through their pads and halos.
+pub fn plan_shards(graph: &TemporalGraph, reach: Option<Time>, goal: ShardGoal) -> ShardPlan {
+    let m = graph.num_events();
+    if m == 0 {
+        return ShardPlan { reach, shards: Vec::new() };
+    }
+    let Some(reach) = reach else {
+        return ShardPlan {
+            reach: None,
+            shards: vec![ShardSpec { id: 0, own: 0..m, range: 0..m }],
+        };
+    };
+    let target = match goal {
+        ShardGoal::EventsPerShard(n) => n.max(1),
+        ShardGoal::ShardCount(c) => m.div_ceil(c.max(1)),
+    };
+    let events = graph.events();
+    let mut shards = Vec::with_capacity(m.div_ceil(target));
+    let mut lo = 0usize;
+    while lo < m {
+        let hi = (lo + target).min(m);
+        let first_owned_time = events[lo].time;
+        let pad_start = graph.first_event_at_or_after(first_owned_time) as usize;
+        let t_hi = events[hi - 1].time.saturating_add(reach);
+        let halo_end = events.partition_point(|e| e.time <= t_hi);
+        shards.push(ShardSpec { id: shards.len(), own: lo..hi, range: pad_start..halo_end });
+        lo = hi;
+    }
+    ShardPlan { reach: Some(reach), shards }
+}
+
+/// A materialized shard: an independent [`TemporalGraph`] over the
+/// spec's event slice, in the parent's node-id space.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    spec: ShardSpec,
+    graph: TemporalGraph,
+}
+
+impl Shard {
+    /// The plan entry this shard was materialized from.
+    pub fn spec(&self) -> &ShardSpec {
+        &self.spec
+    }
+
+    /// The shard's own graph view. Local event index `i` is parent event
+    /// `range.start + i` ([`Shard::to_global`]).
+    pub fn graph(&self) -> &TemporalGraph {
+        &self.graph
+    }
+
+    /// The owned start events in shard-local coordinates.
+    pub fn own_local(&self) -> Range<usize> {
+        self.spec.own_local()
+    }
+
+    /// Maps a shard-local event index back to the parent graph.
+    #[inline]
+    pub fn to_global(&self, local: EventIdx) -> EventIdx {
+        self.spec.range.start as EventIdx + local
+    }
+}
+
+/// Builds the shard graph from the parent's already-sorted event slice.
+/// The parent's node count is kept so node ids remain valid across the
+/// shard boundary.
+pub fn materialize(graph: &TemporalGraph, spec: &ShardSpec) -> Shard {
+    let events = graph.events()[spec.range.clone()].to_vec();
+    Shard { spec: spec.clone(), graph: shard_graph(events, graph.num_nodes()) }
+}
+
+fn shard_graph(events: Vec<Event>, num_nodes: u32) -> TemporalGraph {
+    TemporalGraph::from_sorted_events(events, num_nodes)
+}
+
+/// Where an evicted shard is reloaded from.
+#[derive(Debug)]
+enum StoreBacking {
+    /// Rematerialize from the parent graph's resident event buffer.
+    Parent,
+    /// Read back from per-shard files under `dir` (written up front).
+    Spill {
+        dir: PathBuf,
+        /// Remove `dir` on drop (set for auto-created temp dirs).
+        cleanup: bool,
+    },
+}
+
+/// Loads shards under a resident-shard budget.
+///
+/// Construct with [`ShardStore::in_memory`] (unbounded residency),
+/// [`ShardStore::in_memory_bounded`], or [`ShardStore::spill`] /
+/// [`ShardStore::spill_to`] (out-of-core mode: every shard is serialized
+/// to disk up front and (re)loaded on demand). Eviction is
+/// least-recently-used; with budget `k` and a plan whose largest shard
+/// holds `s` events, peak residency never exceeds `k × s` events —
+/// [`ShardStore::peak_resident_events`] reports the observed peak so
+/// tests and benches can assert the bound.
+#[derive(Debug)]
+pub struct ShardStore<'g> {
+    parent: &'g TemporalGraph,
+    plan: ShardPlan,
+    backing: StoreBacking,
+    /// 0 = unbounded.
+    max_resident: usize,
+    resident: Vec<Option<Shard>>,
+    /// Resident ids, least-recently-used first.
+    lru: VecDeque<usize>,
+    resident_events: usize,
+    peak_resident_events: usize,
+    loads: u64,
+    evictions: u64,
+}
+
+impl<'g> ShardStore<'g> {
+    fn new(
+        parent: &'g TemporalGraph,
+        plan: ShardPlan,
+        backing: StoreBacking,
+        budget: usize,
+    ) -> Self {
+        let n = plan.len();
+        ShardStore {
+            parent,
+            plan,
+            backing,
+            max_resident: budget,
+            resident: (0..n).map(|_| None).collect(),
+            lru: VecDeque::new(),
+            resident_events: 0,
+            peak_resident_events: 0,
+            loads: 0,
+            evictions: 0,
+        }
+    }
+
+    /// A store that materializes lazily from the parent and keeps every
+    /// shard resident.
+    pub fn in_memory(parent: &'g TemporalGraph, plan: ShardPlan) -> Self {
+        Self::new(parent, plan, StoreBacking::Parent, 0)
+    }
+
+    /// Like [`ShardStore::in_memory`], but keeps at most `max_resident`
+    /// shards alive; evicted shards are rematerialized from the parent
+    /// on the next access.
+    pub fn in_memory_bounded(
+        parent: &'g TemporalGraph,
+        plan: ShardPlan,
+        max_resident: usize,
+    ) -> Self {
+        Self::new(parent, plan, StoreBacking::Parent, max_resident.max(1))
+    }
+
+    /// Spill mode under an auto-created temporary directory (removed
+    /// when the store drops).
+    pub fn spill(parent: &'g TemporalGraph, plan: ShardPlan, max_resident: usize) -> Result<Self> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SPILL_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "tnm-shards-{}-{}",
+            std::process::id(),
+            SPILL_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        // If serialization fails partway, remove the partial spill dir
+        // before propagating — out-of-core runs hit disk pressure
+        // exactly when leaked multi-shard temp files hurt most.
+        let mut store = Self::spill_to(parent, plan, &dir, max_resident).inspect_err(|_| {
+            let _ = std::fs::remove_dir_all(&dir);
+        })?;
+        if let StoreBacking::Spill { cleanup, .. } = &mut store.backing {
+            *cleanup = true;
+        }
+        Ok(store)
+    }
+
+    /// Spill mode under an explicit directory (created if absent, left
+    /// in place on drop). Every shard's event slice is written up front
+    /// as `shard_<id>.events` via
+    /// [`io::write_events_raw`](crate::io::write_events_raw).
+    pub fn spill_to(
+        parent: &'g TemporalGraph,
+        plan: ShardPlan,
+        dir: &Path,
+        max_resident: usize,
+    ) -> Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        for spec in &plan.shards {
+            let file = std::fs::File::create(shard_path(dir, spec.id))?;
+            crate::io::write_events_raw(&parent.events()[spec.range.clone()], file)?;
+        }
+        Ok(Self::new(
+            parent,
+            plan,
+            StoreBacking::Spill { dir: dir.to_path_buf(), cleanup: false },
+            max_resident.max(1),
+        ))
+    }
+
+    /// The plan this store serves.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// True for stores that (re)load shards from disk.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.backing, StoreBacking::Spill { .. })
+    }
+
+    /// Events currently held by resident shards.
+    pub fn resident_events(&self) -> usize {
+        self.resident_events
+    }
+
+    /// The largest value [`ShardStore::resident_events`] has reached —
+    /// the store's observed memory high-water mark, in events.
+    pub fn peak_resident_events(&self) -> usize {
+        self.peak_resident_events
+    }
+
+    /// Shard loads performed (a shard accessed twice without eviction
+    /// loads once).
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+
+    /// Evictions performed to honor the resident budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Returns shard `id`, loading (and evicting) as needed.
+    pub fn get(&mut self, id: usize) -> Result<&Shard> {
+        assert!(id < self.plan.len(), "shard id {id} out of range");
+        if self.resident[id].is_some() {
+            if let Some(pos) = self.lru.iter().position(|&r| r == id) {
+                self.lru.remove(pos);
+                self.lru.push_back(id);
+            }
+            return Ok(self.resident[id].as_ref().expect("checked resident"));
+        }
+        if self.max_resident > 0 {
+            while self.lru.len() >= self.max_resident {
+                let evicted = self.lru.pop_front().expect("non-empty LRU");
+                if let Some(shard) = self.resident[evicted].take() {
+                    self.resident_events -= shard.graph().num_events();
+                    self.evictions += 1;
+                }
+            }
+        }
+        let spec = self.plan.shards[id].clone();
+        let shard = match &self.backing {
+            StoreBacking::Parent => materialize(self.parent, &spec),
+            StoreBacking::Spill { dir, .. } => {
+                let file = std::fs::File::open(shard_path(dir, id))?;
+                let events = crate::io::read_events_raw(file)?;
+                if events.len() != spec.num_events() {
+                    // A truncated or tampered spill file is an I/O-level
+                    // failure the caller may handle, not a programming
+                    // error worth aborting the whole run for.
+                    return Err(crate::error::GraphError::Io(std::io::Error::other(format!(
+                        "spilled shard {id} is corrupt: {} events on disk, {} planned",
+                        events.len(),
+                        spec.num_events()
+                    ))));
+                }
+                Shard { spec, graph: shard_graph(events, self.parent.num_nodes()) }
+            }
+        };
+        self.loads += 1;
+        self.resident_events += shard.graph().num_events();
+        self.peak_resident_events = self.peak_resident_events.max(self.resident_events);
+        self.lru.push_back(id);
+        self.resident[id] = Some(shard);
+        Ok(self.resident[id].as_ref().expect("just inserted"))
+    }
+}
+
+impl Drop for ShardStore<'_> {
+    fn drop(&mut self) {
+        if let StoreBacking::Spill { dir, cleanup: true } = &self.backing {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+fn shard_path(dir: &Path, id: usize) -> PathBuf {
+    dir.join(format!("shard_{id}.events"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TemporalGraphBuilder;
+
+    /// 40 events over 20 nodes with duplicate timestamps (two events per
+    /// tick) so cuts land inside tie runs.
+    fn tied_graph() -> TemporalGraph {
+        let mut b = TemporalGraphBuilder::new();
+        for i in 0..40u32 {
+            let t = (i / 2) as Time; // ties: events 2k and 2k+1 share t=k
+            b.push(Event::new(i % 19, (i % 19) + 1, t));
+        }
+        b.build().unwrap()
+    }
+
+    fn check_plan_invariants(graph: &TemporalGraph, plan: &ShardPlan) {
+        let m = graph.num_events();
+        let events = graph.events();
+        // Owned ranges partition 0..m.
+        let mut next = 0usize;
+        for s in &plan.shards {
+            assert_eq!(s.own.start, next, "shard {} ownership gap", s.id);
+            assert!(!s.own.is_empty());
+            next = s.own.end;
+            // Materialized range covers the owned range.
+            assert!(s.range.start <= s.own.start && s.own.end <= s.range.end);
+            // Left pad: everything sharing the first owned timestamp.
+            let t_lo = events[s.own.start].time;
+            if s.range.start > 0 {
+                assert!(events[s.range.start - 1].time < t_lo, "pad too short");
+            }
+            assert!(events[s.range.start].time >= t_lo);
+            // Halo: everything within reach of the last owned start.
+            if let Some(reach) = plan.reach {
+                let t_hi = events[s.own.end - 1].time.saturating_add(reach);
+                if s.range.end < m {
+                    assert!(events[s.range.end].time > t_hi, "halo too short");
+                }
+                assert!(events[s.range.end - 1].time <= t_hi, "halo too long");
+            }
+        }
+        assert_eq!(next, m, "ownership must cover the whole event range");
+    }
+
+    #[test]
+    fn plan_partitions_and_halos() {
+        let g = tied_graph();
+        for target in [1usize, 3, 7, 16, 100] {
+            for reach in [0i64, 2, 5, 100] {
+                let plan = plan_shards(&g, Some(reach), ShardGoal::EventsPerShard(target));
+                check_plan_invariants(&g, &plan);
+            }
+        }
+        let by_count = plan_shards(&g, Some(3), ShardGoal::ShardCount(4));
+        assert_eq!(by_count.len(), 4);
+        check_plan_invariants(&g, &by_count);
+    }
+
+    #[test]
+    fn unbounded_reach_is_one_shard() {
+        let g = tied_graph();
+        let plan = plan_shards(&g, None, ShardGoal::EventsPerShard(4));
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.shards[0].own, 0..g.num_events());
+        assert_eq!(plan.shards[0].range, 0..g.num_events());
+    }
+
+    #[test]
+    fn pad_covers_equal_timestamps_on_the_cut() {
+        let g = tied_graph();
+        // Odd target: some cuts fall between two events sharing a tick.
+        let plan = plan_shards(&g, Some(2), ShardGoal::EventsPerShard(3));
+        let cut_inside_tie = plan.shards.iter().any(|s| s.pad_len() > 0);
+        assert!(cut_inside_tie, "test graph must produce a cut inside a tie run");
+        for s in &plan.shards {
+            let t_lo = g.events()[s.own.start].time;
+            for e in &g.events()[s.range.start..s.own.start] {
+                assert_eq!(e.time, t_lo, "pad may only hold the equal-timestamp run");
+            }
+        }
+    }
+
+    #[test]
+    fn materialized_shard_matches_parent_slice() {
+        let g = tied_graph();
+        let plan = plan_shards(&g, Some(3), ShardGoal::EventsPerShard(7));
+        for spec in &plan.shards {
+            let shard = materialize(&g, spec);
+            assert_eq!(shard.graph().events(), &g.events()[spec.range.clone()]);
+            assert_eq!(shard.graph().num_nodes(), g.num_nodes());
+            let local = shard.own_local();
+            assert_eq!(local.len(), spec.num_owned());
+            for l in local {
+                let global = shard.to_global(l as EventIdx) as usize;
+                assert!(spec.own.contains(&global));
+                assert_eq!(shard.graph().event(l as EventIdx), g.event(global as EventIdx));
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_store_evicts_lru() {
+        let g = tied_graph();
+        let plan = plan_shards(&g, Some(2), ShardGoal::EventsPerShard(8));
+        assert!(plan.len() >= 3, "need several shards");
+        let max_shard = plan.max_shard_events();
+        let n = plan.len();
+        let mut store = ShardStore::in_memory_bounded(&g, plan, 2);
+        for id in 0..n {
+            store.get(id).unwrap();
+            assert!(store.resident_events() <= 2 * max_shard);
+        }
+        assert_eq!(store.loads(), n as u64);
+        assert_eq!(store.evictions(), (n - 2) as u64);
+        assert!(store.peak_resident_events() <= 2 * max_shard);
+        // Re-access of a resident shard is not a load.
+        store.get(n - 1).unwrap();
+        assert_eq!(store.loads(), n as u64);
+        // Re-access of an evicted shard is.
+        store.get(0).unwrap();
+        assert_eq!(store.loads(), n as u64 + 1);
+    }
+
+    #[test]
+    fn spill_store_roundtrips_shards() {
+        let mut b = TemporalGraphBuilder::new();
+        for i in 0..30u32 {
+            b.push(Event::with_duration(i % 9, (i % 9) + 3, (i / 3) as Time, i % 4));
+        }
+        let g = b.build().unwrap();
+        let plan = plan_shards(&g, Some(2), ShardGoal::EventsPerShard(5));
+        let n = plan.len();
+        let mut spilled = ShardStore::spill(&g, plan.clone(), 1).unwrap();
+        assert!(spilled.is_spilled());
+        let mut direct = ShardStore::in_memory(&g, plan);
+        for id in 0..n {
+            let a = spilled.get(id).unwrap().graph().events().to_vec();
+            let b = direct.get(id).unwrap().graph().events();
+            assert_eq!(a.as_slice(), b, "spilled shard {id} differs from direct materialization");
+            assert!(spilled.resident_events() <= spilled.plan().max_shard_events());
+        }
+        assert_eq!(spilled.peak_resident_events(), spilled.plan().max_shard_events());
+    }
+
+    #[test]
+    fn spill_dir_is_cleaned_up() {
+        let g = tied_graph();
+        let plan = plan_shards(&g, Some(2), ShardGoal::EventsPerShard(8));
+        let dir;
+        {
+            let mut store = ShardStore::spill(&g, plan, 1).unwrap();
+            dir = match &store.backing {
+                StoreBacking::Spill { dir, .. } => dir.clone(),
+                _ => unreachable!(),
+            };
+            assert!(dir.exists());
+            store.get(0).unwrap();
+        }
+        assert!(!dir.exists(), "temp spill dir must be removed on drop");
+    }
+}

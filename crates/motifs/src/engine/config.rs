@@ -134,6 +134,35 @@ impl EnumConfig {
             (Some(c), Some(w)) => Some(c.min(w)),
         }
     }
+
+    /// The largest first-to-last timespan an admissible instance can
+    /// have **on this graph**: [`EnumConfig::max_admissible_span`]
+    /// tightened for duration-aware ΔC, whose per-step gap runs from the
+    /// previous event's *end* and is therefore bounded by
+    /// `(ΔC + max event duration)·(num_events−1)` — a property of the
+    /// graph, not the configuration alone. `None` means nothing bounds
+    /// the span.
+    ///
+    /// This is the halo reach of the sharded engine (every event a walk
+    /// starting at time `t` can touch lies in `[t, t + reach]`) and, at
+    /// twice its value, the sampling engine's auto window length.
+    pub fn admissible_reach(&self, graph: &TemporalGraph) -> Option<Time> {
+        let steps = self.num_events.saturating_sub(1).max(1) as Time;
+        let c_span = self.timing.delta_c.map(|c| {
+            let max_dur = if self.duration_aware {
+                graph.events().iter().map(|e| e.duration as Time).max().unwrap_or(0)
+            } else {
+                0
+            };
+            c.saturating_add(max_dur).saturating_mul(steps)
+        });
+        match (c_span, self.timing.delta_w) {
+            (None, None) => None,
+            (Some(c), None) => Some(c),
+            (None, Some(w)) => Some(w),
+            (Some(c), Some(w)) => Some(c.min(w)),
+        }
+    }
 }
 
 /// A concrete motif occurrence handed to enumeration callbacks.

@@ -4,26 +4,29 @@
 //! abstract job — *enumerate time-ordered single-component event
 //! sequences under ΔC/ΔW pruning, filter, canonicalise, count* — but the
 //! profitable execution strategy varies with the workload: graph size,
-//! timing tightness, and available cores. This module makes the strategy
-//! a value: a [`CountEngine`] trait with four interchangeable
-//! implementations, selectable programmatically via [`EngineKind`] or
-//! from the CLI via `--engine`.
+//! timing tightness, available cores, and whether the log fits in
+//! memory at all. This module makes the strategy a value: a
+//! [`CountEngine`] trait with five interchangeable implementations,
+//! selectable programmatically via [`EngineKind`] or from the CLI via
+//! `--engine`.
 //!
 //! ## Choosing an engine
 //!
 //! | engine | strategy | pick it when |
 //! |---|---|---|
 //! | [`BacktrackEngine`] | serial walk, plain node-index scans | tiny graphs or unbounded timing, where building an index outweighs pruning; also the reference for differential tests |
-//! | [`WindowedEngine`] | serial walk, [`WindowIndex`](tnm_graph::WindowIndex) binary-search pruning | bounded ΔC/ΔW on one core — the best single-threaded choice for realistic workloads |
+//! | [`WindowedEngine`] | serial walk, [`WindowIndex`](tnm_graph::WindowIndex) binary-search pruning | bounded ΔC/ΔW on one core — the best single-threaded choice for realistic in-memory workloads |
 //! | [`ParallelEngine`] | work-stealing workers over the windowed index | large graphs on multi-core hardware with enough admissible work per start event |
+//! | [`ShardedEngine`] | time-slice shards with bounded halos ([`tnm_graph::shard`]), counted one at a time; work-stealing within a shard, optional spill to disk | very large logs under bounded timing — and the only exact option when the working set must stay below the graph size (out-of-core runs) |
 //! | [`SamplingEngine`] | interval sampling over the windowed index | graphs or windows too large for exact counting, when an estimate with a confidence interval is enough |
 //!
-//! The first three engines are **exact** and produce identical
+//! All but the sampler are **exact** and produce identical
 //! [`MotifCounts`] for identical [`EnumConfig`]s — the cross-engine
 //! equivalence suite (`tests/engine_equivalence.rs`) enforces this for
-//! all four paper models. The sampling engine is **approximate**: its
-//! `count` returns rounded point estimates, and its calibration is
-//! enforced by `tests/sampling_calibration.rs` instead.
+//! all four paper models, including shard cuts placed inside motif
+//! spans. The sampling engine is **approximate**: its `count` returns
+//! rounded point estimates, and its calibration is enforced by
+//! `tests/sampling_calibration.rs` instead.
 //!
 //! ## Reading sampling confidence intervals
 //!
@@ -53,14 +56,16 @@ mod config;
 mod parallel;
 mod report;
 mod sampling;
+mod sharded;
 mod walker;
 mod windowed;
 
 pub use backtrack::BacktrackEngine;
 pub use config::{EnumConfig, MotifInstance};
 pub use parallel::{ParallelConfig, ParallelEngine, DEFAULT_STEAL_CHUNK, SERIAL_FALLBACK_EVENTS};
-pub use report::{EngineReport, Estimate, Z_95};
+pub use report::{t_critical_95, EngineReport, Estimate, Z_95};
 pub use sampling::{SamplingEngine, DEFAULT_SAMPLING_BUDGET, DEFAULT_SAMPLING_SEED};
+pub use sharded::{ShardedConfig, ShardedEngine, ShardedRunStats, DEFAULT_SHARD_EVENTS};
 pub use windowed::WindowedEngine;
 
 use crate::count::MotifCounts;
@@ -119,6 +124,15 @@ pub enum EngineKind {
     Windowed,
     /// [`ParallelEngine`] over the windowed index.
     Parallel,
+    /// [`ShardedEngine`] over time-slice shards (exact; spills to disk
+    /// when `max_resident_shards > 0`).
+    Sharded {
+        /// Target owned start events per shard.
+        shard_events: usize,
+        /// `0` = in-memory; `n > 0` = spill mode keeping ≤ `n` shards
+        /// resident.
+        max_resident_shards: usize,
+    },
     /// [`SamplingEngine`] with the given budget and seed (approximate).
     Sampling {
         /// Number of sample windows to draw.
@@ -143,6 +157,15 @@ pub const WINDOWED_MIN_EVENTS: usize = 256;
 /// being distributed.
 pub const PARALLEL_MIN_WINDOW_EVENTS: f64 = 2.0;
 
+/// From this many events up, [`auto_select`] prefers the sharded engine
+/// for bounded-timing workloads: one monolithic `WindowIndex` plus
+/// whole-graph walks stop being memory-friendly, while time slices with
+/// bounded halos keep the working set small at (measured) comparable
+/// throughput. Requires a bounded admissible reach — with unbounded
+/// timing a shard's halo would cover the rest of the log and sharding
+/// buys nothing.
+pub const SHARDED_MIN_EVENTS: usize = 262_144;
+
 /// Expected number of events inside one pruning window: the graph's
 /// event count scaled by the fraction of the timeline a walk may reach
 /// from its first event
@@ -161,21 +184,30 @@ fn expected_window_events(graph: &TemporalGraph, cfg: &EnumConfig) -> f64 {
 ///
 /// 1. unbounded timing on a graph under [`WINDOWED_MIN_EVENTS`] events →
 ///    [`EngineKind::Backtrack`] (nothing to prune; skip the index build);
-/// 2. more than one thread, at least [`SERIAL_FALLBACK_EVENTS`] events,
+/// 2. at least [`SHARDED_MIN_EVENTS`] events with a bounded admissible
+///    reach ([`EnumConfig::admissible_reach`]) →
+///    [`EngineKind::Sharded`] (bounded working set; the within-shard
+///    executor still uses the thread budget);
+/// 3. more than one thread, at least [`SERIAL_FALLBACK_EVENTS`] events,
 ///    **and** at least [`PARALLEL_MIN_WINDOW_EVENTS`] expected events
 ///    per ΔC/ΔW window → [`EngineKind::Parallel`] (enough work per start
 ///    event to pay for spawn and merge);
-/// 3. otherwise → [`EngineKind::Windowed`].
+/// 4. otherwise → [`EngineKind::Windowed`].
 ///
-/// Rule 2 is why a huge graph under an extremely tight ΔW still runs
-/// serial: each walk dies after a probe or two, so distributing the
-/// starts distributes almost nothing. The table is pinned by unit tests
-/// in this module.
+/// Rule 3 is why a huge-but-unsharded graph under an extremely tight ΔW
+/// still runs serial: each walk dies after a probe or two, so
+/// distributing the starts distributes almost nothing. [`auto_select`]
+/// never resolves to the approximate sampler — estimation is an explicit
+/// caller choice, not a performance fallback. The table is pinned by
+/// unit tests in this module.
 pub fn auto_select(graph: &TemporalGraph, cfg: &EnumConfig, threads: usize) -> EngineKind {
     let m = graph.num_events();
     let unbounded = cfg.timing.delta_c.is_none() && cfg.timing.delta_w.is_none();
     if unbounded && m < WINDOWED_MIN_EVENTS {
         return EngineKind::Backtrack;
+    }
+    if m >= SHARDED_MIN_EVENTS && cfg.admissible_reach(graph).is_some() {
+        return EngineKind::Sharded { shard_events: DEFAULT_SHARD_EVENTS, max_resident_shards: 0 };
     }
     if threads > 1
         && m >= SERIAL_FALLBACK_EVENTS
@@ -189,12 +221,22 @@ pub fn auto_select(graph: &TemporalGraph, cfg: &EnumConfig, threads: usize) -> E
 impl EngineKind {
     /// Every concrete **exact** kind (excludes `Auto` and the
     /// approximate sampler), for sweeps and benches.
-    pub const CONCRETE: [EngineKind; 3] =
-        [EngineKind::Backtrack, EngineKind::Windowed, EngineKind::Parallel];
+    pub const CONCRETE: [EngineKind; 4] = [
+        EngineKind::Backtrack,
+        EngineKind::Windowed,
+        EngineKind::Parallel,
+        EngineKind::Sharded { shard_events: DEFAULT_SHARD_EVENTS, max_resident_shards: 0 },
+    ];
 
     /// The sampling kind with an explicit budget and seed.
     pub fn sampling(samples: u32, seed: u64) -> EngineKind {
         EngineKind::Sampling { samples, seed }
+    }
+
+    /// The sharded kind with an explicit per-shard event target and
+    /// resident budget (`0` = in-memory).
+    pub fn sharded(shard_events: usize, max_resident_shards: usize) -> EngineKind {
+        EngineKind::Sharded { shard_events, max_resident_shards }
     }
 
     /// Instantiates the engine, resolving `Auto` against the workload
@@ -209,6 +251,14 @@ impl EngineKind {
             EngineKind::Backtrack => Box::new(BacktrackEngine),
             EngineKind::Windowed => Box::new(WindowedEngine),
             EngineKind::Parallel => Box::new(ParallelEngine::new(threads)),
+            EngineKind::Sharded { shard_events, max_resident_shards } => {
+                let mut engine =
+                    ShardedEngine::new(shard_events.max(1)).with_threads(threads.max(1));
+                if max_resident_shards > 0 {
+                    engine = engine.with_max_resident(max_resident_shards);
+                }
+                Box::new(engine)
+            }
             EngineKind::Sampling { samples, seed } => {
                 Box::new(SamplingEngine::new(samples.max(1) as usize, seed))
             }
@@ -236,6 +286,10 @@ impl std::str::FromStr for EngineKind {
             "backtrack" => Ok(EngineKind::Backtrack),
             "windowed" => Ok(EngineKind::Windowed),
             "parallel" => Ok(EngineKind::Parallel),
+            "sharded" => Ok(EngineKind::Sharded {
+                shard_events: DEFAULT_SHARD_EVENTS,
+                max_resident_shards: 0,
+            }),
             "sampling" => Ok(EngineKind::Sampling {
                 samples: DEFAULT_SAMPLING_BUDGET as u32,
                 seed: DEFAULT_SAMPLING_SEED,
@@ -252,6 +306,7 @@ impl std::fmt::Display for EngineKind {
             EngineKind::Backtrack => "backtrack",
             EngineKind::Windowed => "windowed",
             EngineKind::Parallel => "parallel",
+            EngineKind::Sharded { .. } => "sharded",
             EngineKind::Sampling { .. } => "sampling",
             EngineKind::Auto => "auto",
         };
@@ -269,7 +324,8 @@ impl std::fmt::Display for ParseEngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "unknown engine `{}` (expected backtrack, windowed, parallel, sampling, or auto)",
+            "unknown engine `{}` (expected backtrack, windowed, parallel, sharded, sampling, \
+             or auto)",
             self.got
         )
     }
@@ -316,9 +372,15 @@ mod tests {
             EngineKind::sampling(DEFAULT_SAMPLING_BUDGET as u32, DEFAULT_SAMPLING_SEED),
         );
         assert_eq!(EngineKind::sampling(9, 3).to_string(), "sampling");
+        assert_eq!(
+            "sharded".parse::<EngineKind>().unwrap(),
+            EngineKind::sharded(DEFAULT_SHARD_EVENTS, 0),
+        );
+        assert_eq!(EngineKind::sharded(512, 4).to_string(), "sharded");
         assert!("bogus".parse::<EngineKind>().is_err());
         let msg = "bogus".parse::<EngineKind>().unwrap_err().to_string();
         assert!(msg.contains("sampling"), "error must list all engines: {msg}");
+        assert!(msg.contains("sharded"), "error must list all engines: {msg}");
     }
 
     /// Pins the [`auto_select`] table: each row is (events, span,
@@ -328,6 +390,9 @@ mod tests {
         let tiny = tiny();
         let large = sized(4096, 40_000); // well above SERIAL_FALLBACK_EVENTS
         let small = sized(100, 1_000); // above nothing
+                                       // At the sharded threshold exactly (the rule is `>=`).
+        let huge = sized(SHARDED_MIN_EVENTS, 4_000_000);
+        let sharded_default = EngineKind::sharded(DEFAULT_SHARD_EVENTS, 0);
         let unbounded = EnumConfig::new(3, 3);
         let loose_w = EnumConfig::new(3, 3).with_timing(Timing::only_w(3_000));
         // ΔW=10 over a 40k span at ~0.1 events/s → ~1 event per window.
@@ -345,15 +410,28 @@ mod tests {
             // ...but bounded timing makes the index worth building.
             (&tiny, &loose_w, 1, EngineKind::Windowed),
             (&small, &loose_w, 8, EngineKind::Windowed),
-            // 2. Large graph + threads + enough work per window: parallel.
+            // 2. At/above SHARDED_MIN_EVENTS with bounded reach: sharded
+            // (thread budget notwithstanding — threads go within-shard).
+            (&huge, &loose_w, 1, sharded_default),
+            (&huge, &loose_w, 8, sharded_default),
+            (&huge, &needle_w, 8, sharded_default),
+            (&huge, &loose_c, 8, sharded_default),
+            // ...an unbounded reach leaves nothing to shard by: parallel.
+            (&huge, &unbounded, 8, EngineKind::Parallel),
+            // ...duration-aware ΔC bounds the reach via the graph's max
+            // event duration (zero here), so the huge graph still shards.
+            (&huge, &aware_c, 8, sharded_default),
+            // 3. Large graph + threads + enough work per window: parallel.
             (&large, &loose_w, 8, EngineKind::Parallel),
             (&large, &loose_c, 8, EngineKind::Parallel),
             (&large, &unbounded, 8, EngineKind::Parallel),
             // ...tight ΔW starves the walks: stay serial windowed.
             (&large, &needle_w, 8, EngineKind::Windowed),
-            // ...duration-aware ΔC: reach is unbounded, so parallel.
+            // ...duration-aware ΔC: config-only reach is unbounded, so
+            // below the sharded threshold the occupancy heuristic sees
+            // infinite windows and goes parallel.
             (&large, &aware_c, 8, EngineKind::Parallel),
-            // 3. One thread: always serial.
+            // 4. One thread below the sharded threshold: always serial.
             (&large, &loose_w, 1, EngineKind::Windowed),
             (&large, &aware_c, 1, EngineKind::Windowed),
         ];
@@ -370,7 +448,15 @@ mod tests {
                 EngineKind::Auto.engine_for(g, cfg, threads).name(),
                 expected.engine_for(g, cfg, threads).name()
             );
+            // The resolver never falls back to the approximate sampler
+            // on its own: estimation is an explicit caller choice.
+            assert!(!matches!(got, EngineKind::Sampling { .. }));
         }
+        // Explicit approximate/sharded kinds resolve to their engines
+        // with parameters intact, bypassing the table entirely.
+        assert_eq!(EngineKind::sampling(32, 5).engine_for(&tiny, &loose_w, 4).name(), "sampling");
+        assert_eq!(EngineKind::sharded(64, 2).engine_for(&tiny, &loose_w, 4).name(), "sharded");
+        assert_eq!(sharded_default.engine_for(&huge, &loose_w, 8).name(), "sharded");
     }
 
     #[test]
@@ -385,6 +471,11 @@ mod tests {
         let samp = SamplingEngine::new(8, 1);
         assert!(!samp.capabilities().parallel);
         assert!(samp.capabilities().windowed_pruning);
+        let shard = ShardedEngine::new(128);
+        assert!(!shard.capabilities().parallel);
+        assert!(shard.capabilities().windowed_pruning);
+        assert!(shard.capabilities().deterministic_enumeration);
+        assert!(shard.with_threads(4).capabilities().parallel);
     }
 
     #[test]

@@ -118,37 +118,70 @@ impl ParallelEngine {
         C: CandidateSource,
         M: Fn() -> C + Sync,
     {
-        let m = graph.num_events();
-        let threads = self.config.threads.min(m.max(1));
-        let chunk = self.config.steal_chunk.max(1);
-        let cursor = AtomicUsize::new(0);
-        let mut merged = MotifCounts::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    let cursor = &cursor;
-                    let make_source = &make_source;
-                    scope.spawn(move || {
-                        let mut local = MotifCounts::new();
-                        let mut walker = Walker::new(graph, cfg, make_source());
-                        loop {
-                            let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
-                            if lo >= m {
-                                break;
-                            }
-                            let hi = (lo + chunk).min(m);
-                            walker.run_range(lo..hi, |inst| local.add(inst.signature, 1));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            for h in handles {
-                merged.merge(&h.join().expect("worker panicked"));
-            }
-        });
-        merged
+        work_steal_count(
+            graph,
+            cfg,
+            0..graph.num_events(),
+            self.config.threads,
+            self.config.steal_chunk,
+            make_source,
+            |local, inst| local.add(inst.signature, 1),
+        )
     }
+}
+
+/// The work-stealing executor itself, decoupled from [`ParallelEngine`]
+/// so the sharded engine can drive it **within a shard**: `threads`
+/// workers claim `chunk`-sized slices of `starts` through an atomic
+/// cursor, walk them with a per-worker [`Walker`] over `make_source`'s
+/// candidate source, fold each instance into a per-worker local table
+/// via `tally`, and merge the locals lock-free after join.
+pub(crate) fn work_steal_count<C, M, T>(
+    graph: &TemporalGraph,
+    cfg: &EnumConfig,
+    starts: std::ops::Range<usize>,
+    threads: usize,
+    chunk: usize,
+    make_source: M,
+    tally: T,
+) -> MotifCounts
+where
+    C: CandidateSource,
+    M: Fn() -> C + Sync,
+    T: Fn(&mut MotifCounts, &MotifInstance<'_>) + Sync,
+{
+    let base = starts.start;
+    let len = starts.len();
+    let threads = threads.max(1).min(len.max(1));
+    let chunk = chunk.max(1);
+    let cursor = AtomicUsize::new(0);
+    let mut merged = MotifCounts::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                let make_source = &make_source;
+                let tally = &tally;
+                scope.spawn(move || {
+                    let mut local = MotifCounts::new();
+                    let mut walker = Walker::new(graph, cfg, make_source());
+                    loop {
+                        let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if lo >= len {
+                            break;
+                        }
+                        let hi = (lo + chunk).min(len);
+                        walker.run_range(base + lo..base + hi, |inst| tally(&mut local, inst));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            merged.merge(&h.join().expect("worker panicked"));
+        }
+    });
+    merged
 }
 
 impl CountEngine for ParallelEngine {

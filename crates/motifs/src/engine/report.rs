@@ -17,17 +17,41 @@ use crate::notation::MotifSignature;
 use std::collections::HashMap;
 
 /// Two-sided z-value of the ~95 % normal confidence interval used by the
-/// sampling engine's reports.
+/// sampling engine's reports at comfortable sample budgets.
 pub const Z_95: f64 = 1.96;
+
+/// Two-sided 95 % critical values of Student's t distribution for
+/// `1..=28` degrees of freedom (`t_{0.975, df}`), pinned to the standard
+/// statistical tables. Indexed by `df - 1`; beyond the table the normal
+/// approximation [`Z_95`] takes over.
+const T_95_SMALL_N: [f64; 28] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048,
+];
+
+/// The two-sided 95 % critical value for a mean estimated from
+/// `samples` i.i.d. draws: Student's t with `samples − 1` degrees of
+/// freedom for small budgets (`samples < 30`, where the normal
+/// approximation under-covers noticeably), [`Z_95`] from 30 draws up.
+/// Zero or one draw admits no variance estimate at all — the value is
+/// infinite, matching the sampler's honest infinite interval.
+pub fn t_critical_95(samples: usize) -> f64 {
+    match samples {
+        0 | 1 => f64::INFINITY,
+        n if n < 30 => T_95_SMALL_N[n - 2],
+        _ => Z_95,
+    }
+}
 
 /// A per-motif point estimate with a symmetric confidence interval.
 ///
 /// For exact engines the interval is degenerate (`half_width == 0`). For
-/// the sampling engine it is the normal-approximation 95 % interval
-/// `point ± Z_95 · SE`, where `SE` is the standard error of the mean
-/// over the per-window estimates. The normal approximation is good once
-/// a few dozen windows contribute; at very small sample budgets the
-/// interval under-covers slightly (a t-distribution would widen it).
+/// the sampling engine it is the 95 % interval `point ± crit · SE`,
+/// where `SE` is the standard error of the mean over the per-window
+/// estimates and `crit` is [`t_critical_95`]: Student's t for small
+/// sample budgets (under 30 windows, where the normal approximation
+/// under-covers), [`Z_95`] once a few dozen windows contribute.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Estimate {
     /// Unbiased point estimate of the instance count.
@@ -139,6 +163,26 @@ impl EngineReport {
 mod tests {
     use super::*;
     use crate::notation::sig;
+
+    #[test]
+    fn t_critical_values_pinned() {
+        // Degenerate budgets: no variance estimate exists.
+        assert!(t_critical_95(0).is_infinite());
+        assert!(t_critical_95(1).is_infinite());
+        // Table endpoints against the standard t table.
+        assert_eq!(t_critical_95(2), 12.706, "df=1");
+        assert_eq!(t_critical_95(3), 4.303, "df=2");
+        assert_eq!(t_critical_95(29), 2.048, "df=28");
+        // From 30 draws up, the normal approximation takes over.
+        assert_eq!(t_critical_95(30), Z_95);
+        assert_eq!(t_critical_95(10_000), Z_95);
+        // Monotone non-increasing toward Z_95: a bigger budget never
+        // widens the interval multiplier.
+        for n in 2..40usize {
+            assert!(t_critical_95(n) >= t_critical_95(n + 1), "n={n}");
+            assert!(t_critical_95(n) >= Z_95, "n={n}");
+        }
+    }
 
     #[test]
     fn exact_estimates_are_zero_width() {

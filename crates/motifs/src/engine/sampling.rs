@@ -45,7 +45,7 @@
 
 use crate::count::MotifCounts;
 use crate::engine::config::{EnumConfig, MotifInstance};
-use crate::engine::report::{EngineReport, Estimate, Z_95};
+use crate::engine::report::{t_critical_95, EngineReport, Estimate};
 use crate::engine::walker::{Walker, WindowedCandidates};
 use crate::engine::{CountEngine, EngineCaps, WindowedEngine};
 use crate::notation::MotifSignature;
@@ -113,13 +113,10 @@ impl SamplingEngine {
     }
 
     /// The window length used for `cfg` on `graph`: the explicit
-    /// override, or twice the maximum admissible motif timespan.
-    ///
-    /// For duration-aware ΔC configurations the config-only bound
-    /// ([`EnumConfig::max_admissible_span`]) does not exist — gaps are
-    /// measured from event *ends* — so the span bound is recovered from
-    /// the graph's longest event duration:
-    /// `(ΔC + max_duration)·(num_events−1)`.
+    /// override, or twice the maximum admissible motif timespan
+    /// ([`EnumConfig::admissible_reach`] — for duration-aware ΔC the
+    /// span bound is recovered from the graph's longest event duration,
+    /// `(ΔC + max_duration)·(num_events−1)`).
     ///
     /// # Panics
     ///
@@ -130,24 +127,12 @@ impl SamplingEngine {
         if let Some(l) = self.window_len {
             return l;
         }
-        let steps = cfg.num_events.saturating_sub(1).max(1) as Time;
-        let c_span = cfg.timing.delta_c.map(|c| {
-            let max_dur = if cfg.duration_aware {
-                graph.events().iter().map(|e| e.duration as Time).max().unwrap_or(0)
-            } else {
-                0
-            };
-            c.saturating_add(max_dur).saturating_mul(steps)
-        });
-        let max_span = match (c_span, cfg.timing.delta_w) {
-            (Some(c), Some(w)) => c.min(w),
-            (Some(c), None) => c,
-            (None, Some(w)) => w,
-            (None, None) => panic!(
+        match cfg.admissible_reach(graph) {
+            Some(span) => span.saturating_mul(2).max(1),
+            None => panic!(
                 "sampling requires bounded timing (ΔC and/or ΔW) or an explicit window length"
             ),
-        };
-        max_span.saturating_mul(2).max(1)
+        }
     }
 }
 
@@ -239,11 +224,16 @@ impl CountEngine for SamplingEngine {
             total_moments.1 += window_total * window_total;
         }
         let n = self.samples as f64;
+        // Student's t at small budgets, 1.96 from 30 windows up: the
+        // per-window sums are i.i.d. but few, and the plain normal
+        // interval under-covers there (`tests/sampling_calibration.rs`
+        // pins the small-budget coverage).
+        let crit = t_critical_95(self.samples);
         let interval = |(sum, sumsq): (f64, f64)| {
             let point = sum / n;
             let half_width = if self.samples > 1 {
                 let variance = ((sumsq - sum * sum / n) / (n - 1.0)).max(0.0);
-                Z_95 * (variance / n).sqrt()
+                crit * (variance / n).sqrt()
             } else {
                 // One window gives no variance estimate; an infinite
                 // interval is honest, a zero-width one would dress an

@@ -1,0 +1,102 @@
+//! Per-shard execution: serial and work-stealing walks over a shard's
+//! owned start events, with the static-inducedness check routed back to
+//! the parent graph.
+
+use crate::count::MotifCounts;
+use crate::engine::config::{EnumConfig, MotifInstance};
+use crate::engine::parallel::{work_steal_count, DEFAULT_STEAL_CHUNK};
+use crate::engine::walker::{Walker, WindowedCandidates};
+use crate::induced::static_induced_ok;
+use tnm_graph::shard::Shard;
+use tnm_graph::window_index::WindowIndex;
+use tnm_graph::{EventIdx, TemporalGraph};
+
+/// The configuration a shard walk runs under: identical to the caller's
+/// except that static inducedness is stripped — a time slice cannot
+/// answer whole-timeline `has_edge` queries, so that check happens
+/// against the parent at emission ([`induced_in_parent`]).
+fn shard_local_config(cfg: &EnumConfig) -> EnumConfig {
+    let mut local = cfg.clone();
+    local.static_induced = false;
+    local
+}
+
+/// Evaluates static inducedness of a shard-local instance against the
+/// **parent** graph by translating its event indices.
+fn induced_in_parent(parent: &TemporalGraph, shard: &Shard, local_events: &[EventIdx]) -> bool {
+    const STACK_EVENTS: usize = 16;
+    let n = local_events.len();
+    if n <= STACK_EVENTS {
+        let mut buf = [0 as EventIdx; STACK_EVENTS];
+        for (b, &l) in buf.iter_mut().zip(local_events) {
+            *b = shard.to_global(l);
+        }
+        static_induced_ok(parent, &buf[..n])
+    } else {
+        let global: Vec<EventIdx> = local_events.iter().map(|&l| shard.to_global(l)).collect();
+        static_induced_ok(parent, &global)
+    }
+}
+
+/// Counts one shard's owned instances, serially or via the shared
+/// work-stealing executor when `threads > 1`.
+pub(super) fn count_shard(
+    parent: &TemporalGraph,
+    shard: &Shard,
+    cfg: &EnumConfig,
+    threads: usize,
+) -> MotifCounts {
+    let local_cfg = shard_local_config(cfg);
+    let index = WindowIndex::build(shard.graph());
+    let own = shard.own_local();
+    let need_induced = cfg.static_induced;
+    let tally = |counts: &mut MotifCounts, inst: &MotifInstance<'_>| {
+        if need_induced && !induced_in_parent(parent, shard, inst.events) {
+            return;
+        }
+        counts.add(inst.signature, 1);
+    };
+    if threads > 1 && own.len() > 1 {
+        work_steal_count(
+            shard.graph(),
+            &local_cfg,
+            own,
+            threads,
+            DEFAULT_STEAL_CHUNK,
+            || WindowedCandidates::new(&index),
+            tally,
+        )
+    } else {
+        let mut counts = MotifCounts::new();
+        let mut walker = Walker::new(shard.graph(), &local_cfg, WindowedCandidates::new(&index));
+        walker.run_range(own, |inst| tally(&mut counts, inst));
+        counts
+    }
+}
+
+/// Enumerates one shard's owned instances in serial start order,
+/// handing the callback instances whose event indices are translated to
+/// the parent graph.
+pub(super) fn enumerate_shard(
+    parent: &TemporalGraph,
+    shard: &Shard,
+    cfg: &EnumConfig,
+    callback: &mut dyn FnMut(&MotifInstance<'_>),
+) {
+    let local_cfg = shard_local_config(cfg);
+    let index = WindowIndex::build(shard.graph());
+    let need_induced = cfg.static_induced;
+    let mut global = vec![0 as EventIdx; cfg.num_events];
+    let mut walker = Walker::new(shard.graph(), &local_cfg, WindowedCandidates::new(&index));
+    walker.run_range(shard.own_local(), |inst| {
+        if need_induced && !induced_in_parent(parent, shard, inst.events) {
+            return;
+        }
+        for (g, &l) in global.iter_mut().zip(inst.events) {
+            *g = shard.to_global(l);
+        }
+        let translated =
+            MotifInstance { events: &global[..inst.events.len()], signature: inst.signature };
+        callback(&translated);
+    });
+}

@@ -1,0 +1,301 @@
+//! [`ShardedEngine`] — exact counting over time-slice shards, in memory
+//! or out of core.
+//!
+//! The engine splits the event log into contiguous time slices with the
+//! [`tnm_graph::shard`] planner, materializes each slice (plus its
+//! equal-timestamp left pad and ΔW/duration-aware trailing halo) as an
+//! independent [`TemporalGraph`](tnm_graph::TemporalGraph), and counts
+//! each shard with the shared walker — launching walks **only from the
+//! shard's owned start events**, which partitions the instance space
+//! exactly: every instance is counted in precisely one shard, so totals
+//! match the serial engines bit for bit
+//! (`tests/engine_equivalence.rs`).
+//!
+//! Two execution axes:
+//!
+//! * **Residency.** By default evicted shards rematerialize from the
+//!   parent's buffer and at most one shard is resident beyond the
+//!   parent. With [`ShardedEngine::with_max_resident`] the store runs in
+//!   **spill mode**: every shard is serialized to disk up front and
+//!   (re)loaded under the budget, so the engine's working set stays at
+//!   `max_resident_shards × (shard events + pad + halo)` events no
+//!   matter how large the log is — the out-of-core regime the paper's
+//!   scaling discussion calls for.
+//! * **Threads.** Within a shard, counting reuses the work-stealing
+//!   executor of [`ParallelEngine`](crate::engine::ParallelEngine)
+//!   (atomic cursor over the owned starts, per-worker tables merged at
+//!   join). Shards themselves are processed sequentially — that is what
+//!   keeps residency bounded.
+//!
+//! ## Exactness at the boundaries
+//!
+//! A shard answers every time-windowed query an instance evaluation
+//! needs (candidates, consecutive-events counts, constrained-freshness
+//! counts) identically to the parent, because its materialized range
+//! covers the full closed interval an owned walk can reach (see
+//! [`tnm_graph::shard`]). The one graph-global predicate — **static
+//! inducedness**, which asks whether an edge exists anywhere in the
+//! timeline — is stripped from the per-shard walk and re-checked against
+//! the parent graph through [`Shard::to_global`](tnm_graph::Shard)
+//! index translation. Per-shard [`WindowIndex`]es are built directly
+//! rather than through the global cache: shard graphs are transient, and
+//! letting them churn the LRU would evict the long-lived parent indexes
+//! other engines share.
+
+mod driver;
+
+use crate::count::MotifCounts;
+use crate::engine::config::{EnumConfig, MotifInstance};
+use crate::engine::{CountEngine, EngineCaps, ParallelEngine, WindowedEngine};
+use tnm_graph::shard::{plan_shards, ShardGoal, ShardStore};
+use tnm_graph::TemporalGraph;
+
+/// Default target for owned start events per shard (CLI
+/// `--engine sharded` without `--shard-events`).
+pub const DEFAULT_SHARD_EVENTS: usize = 16_384;
+
+/// Tuning of the sharded executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedConfig {
+    /// Target owned start events per shard (clamped to at least 1).
+    pub shard_events: usize,
+    /// `0` = in-memory (evicted shards rematerialize from the parent);
+    /// `n > 0` = spill mode with at most `n` shards resident.
+    pub max_resident_shards: usize,
+    /// Worker threads for the within-shard work-stealing loop.
+    pub threads: usize,
+}
+
+/// Observability of one sharded run, for memory-bound assertions in
+/// tests and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedRunStats {
+    /// Shards the plan produced.
+    pub shards: usize,
+    /// Largest materialized shard (owned + pad + halo events).
+    pub max_shard_events: usize,
+    /// High-water mark of simultaneously resident shard events.
+    pub peak_resident_events: usize,
+    /// True when the run (re)loaded shards from disk.
+    pub spilled: bool,
+}
+
+/// Exact sharded counting engine. See the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedEngine {
+    config: ShardedConfig,
+}
+
+impl ShardedEngine {
+    /// An in-memory sharded engine with the given owned-events-per-shard
+    /// target.
+    pub fn new(shard_events: usize) -> Self {
+        ShardedEngine {
+            config: ShardedConfig {
+                shard_events: shard_events.max(1),
+                max_resident_shards: 0,
+                threads: 1,
+            },
+        }
+    }
+
+    /// Enables spill mode: shards are serialized to a temporary
+    /// directory and at most `max_resident` (≥ 1) stay loaded
+    /// (chainable).
+    pub fn with_max_resident(mut self, max_resident: usize) -> Self {
+        self.config.max_resident_shards = max_resident.max(1);
+        self
+    }
+
+    /// Sets the within-shard worker thread count (chainable).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads.max(1);
+        self
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &ShardedConfig {
+        &self.config
+    }
+
+    fn plan(&self, graph: &TemporalGraph, cfg: &EnumConfig) -> tnm_graph::shard::ShardPlan {
+        plan_shards(
+            graph,
+            cfg.admissible_reach(graph),
+            ShardGoal::EventsPerShard(self.config.shard_events),
+        )
+    }
+
+    fn store<'g>(
+        &self,
+        graph: &'g TemporalGraph,
+        plan: tnm_graph::shard::ShardPlan,
+    ) -> ShardStore<'g> {
+        if self.config.max_resident_shards > 0 {
+            ShardStore::spill(graph, plan, self.config.max_resident_shards)
+                .expect("sharded engine: spilling shards to disk failed")
+        } else {
+            // Sequential single-pass counting needs only the shard in
+            // hand; a budget of 1 keeps in-memory runs lean too.
+            ShardStore::in_memory_bounded(graph, plan, 1)
+        }
+    }
+
+    /// Counts and reports the run's shard/residency statistics — what
+    /// the out-of-core memory-bound tests assert against.
+    pub fn count_with_stats(
+        &self,
+        graph: &TemporalGraph,
+        cfg: &EnumConfig,
+    ) -> (MotifCounts, ShardedRunStats) {
+        let plan = self.plan(graph, cfg);
+        // Degenerate plan — one shard spanning the whole log (unbounded
+        // reach, or a shard target at or above the graph size).
+        // Materializing it would clone the entire event buffer and
+        // rebuild a full-size index for nothing: run the monolithic
+        // engine on the parent instead, sharing the global index cache.
+        if plan.len() == 1 {
+            let counts = if self.config.threads > 1 {
+                ParallelEngine::new(self.config.threads).count(graph, cfg)
+            } else {
+                WindowedEngine.count(graph, cfg)
+            };
+            let stats = ShardedRunStats {
+                shards: 1,
+                max_shard_events: graph.num_events(),
+                peak_resident_events: 0,
+                spilled: false,
+            };
+            return (counts, stats);
+        }
+        let mut store = self.store(graph, plan);
+        let mut counts = MotifCounts::new();
+        for id in 0..store.num_shards() {
+            let shard = store.get(id).expect("sharded engine: loading a shard failed");
+            counts.merge(&driver::count_shard(graph, shard, cfg, self.config.threads));
+        }
+        let stats = ShardedRunStats {
+            shards: store.num_shards(),
+            max_shard_events: store.plan().max_shard_events(),
+            peak_resident_events: store.peak_resident_events(),
+            spilled: store.is_spilled(),
+        };
+        (counts, stats)
+    }
+}
+
+impl CountEngine for ShardedEngine {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn capabilities(&self) -> EngineCaps {
+        EngineCaps {
+            parallel: self.config.threads > 1,
+            windowed_pruning: true,
+            deterministic_enumeration: true,
+            supports_signature_filter: true,
+        }
+    }
+
+    fn count(&self, graph: &TemporalGraph, cfg: &EnumConfig) -> MotifCounts {
+        self.count_with_stats(graph, cfg).0
+    }
+
+    /// Sequential per-shard enumeration with event indices translated
+    /// back to the parent graph. Shards are visited in time order and
+    /// owned starts in index order, so callbacks observe exactly the
+    /// serial engines' deterministic enumeration order.
+    fn enumerate(
+        &self,
+        graph: &TemporalGraph,
+        cfg: &EnumConfig,
+        callback: &mut dyn FnMut(&MotifInstance<'_>),
+    ) {
+        let plan = self.plan(graph, cfg);
+        if plan.len() == 1 {
+            // Same degenerate-plan shortcut as `count_with_stats`; the
+            // windowed engine already produces the serial order this
+            // engine guarantees.
+            WindowedEngine.enumerate(graph, cfg, callback);
+            return;
+        }
+        let mut store = self.store(graph, plan);
+        for id in 0..store.num_shards() {
+            let shard = store.get(id).expect("sharded engine: loading a shard failed");
+            driver::enumerate_shard(graph, shard, cfg, callback);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::Timing;
+    use crate::engine::{BacktrackEngine, WindowedEngine};
+    use tnm_graph::TemporalGraphBuilder;
+
+    /// Deterministic LCG graph with timestamp ties.
+    fn lcg_graph(events: usize, nodes: u32, span: i64) -> tnm_graph::TemporalGraph {
+        let mut b = TemporalGraphBuilder::new();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for i in 0..events {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((x >> 33) % nodes as u64) as u32;
+            let v = (u + 1 + ((x >> 13) % (nodes as u64 - 2)) as u32) % nodes;
+            let t = (i as i64 * span) / events as i64;
+            b.push(tnm_graph::Event::new(u, v, t));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matches_reference_across_shard_sizes() {
+        let g = lcg_graph(300, 14, 400);
+        let cfg = EnumConfig::new(3, 3).with_timing(Timing::both(20, 45));
+        let reference = BacktrackEngine.count(&g, &cfg);
+        for shard_events in [1usize, 7, 64, 1000] {
+            assert_eq!(
+                ShardedEngine::new(shard_events).count(&g, &cfg),
+                reference,
+                "shard_events={shard_events}"
+            );
+        }
+        assert_eq!(ShardedEngine::new(32).with_threads(4).count(&g, &cfg), reference);
+        assert_eq!(ShardedEngine::new(48).with_max_resident(1).count(&g, &cfg), reference);
+    }
+
+    #[test]
+    fn unbounded_timing_degenerates_to_one_shard() {
+        let g = lcg_graph(120, 10, 200);
+        let cfg = EnumConfig::new(3, 4);
+        let (counts, stats) = ShardedEngine::new(16).count_with_stats(&g, &cfg);
+        assert_eq!(stats.shards, 1);
+        assert_eq!(counts, WindowedEngine.count(&g, &cfg));
+    }
+
+    #[test]
+    fn enumeration_order_matches_serial_engines() {
+        let g = lcg_graph(200, 12, 250);
+        let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(30));
+        let mut serial: Vec<Vec<u32>> = Vec::new();
+        WindowedEngine.enumerate(&g, &cfg, &mut |inst| serial.push(inst.events.to_vec()));
+        let mut sharded: Vec<Vec<u32>> = Vec::new();
+        ShardedEngine::new(13).enumerate(&g, &cfg, &mut |inst| sharded.push(inst.events.to_vec()));
+        assert_eq!(serial, sharded, "global event indices in identical order");
+    }
+
+    #[test]
+    fn stats_expose_residency() {
+        let g = lcg_graph(400, 16, 600);
+        let cfg = EnumConfig::new(2, 2).with_timing(Timing::only_w(15));
+        let engine = ShardedEngine::new(50).with_max_resident(2);
+        let (_, stats) = engine.count_with_stats(&g, &cfg);
+        assert!(stats.spilled);
+        assert!(stats.shards >= 8);
+        assert!(stats.peak_resident_events <= 2 * stats.max_shard_events);
+        let (_, in_mem) = ShardedEngine::new(50).count_with_stats(&g, &cfg);
+        assert!(!in_mem.spilled);
+        assert!(in_mem.peak_resident_events <= in_mem.max_shard_events);
+    }
+}

@@ -18,7 +18,8 @@
 //!   dynamic graphlets ([`constrained`]);
 //! * a pluggable **counting-engine subsystem** ([`engine`]): one shared
 //!   backtracking walk behind the [`engine::CountEngine`] trait, with
-//!   serial, window-indexed, work-stealing parallel, and
+//!   serial, window-indexed, work-stealing parallel, time-slice sharded
+//!   (in-memory or spilled to disk for out-of-core runs), and
 //!   interval-sampling implementations (the sampler reports confidence
 //!   intervals through [`engine::CountEngine::report`]), legacy entry
 //!   points ([`enumerate`]), and spectrum analytics ([`count`]);
@@ -27,9 +28,9 @@
 //! * **partial orders** and Song et al.'s **streaming event-pattern
 //!   matcher** ([`partial_order`], [`pattern`]);
 //! * extensions from the related-work program: **temporal cycle
-//!   enumeration** ([`cycles`]) — interval-sampling approximate counting
-//!   moved onto the engine seam ([`engine::SamplingEngine`]; the old
-//!   free-function entry point in [`sampling`] is deprecated).
+//!   enumeration** ([`cycles`]) and interval-sampling approximate
+//!   counting on the engine seam ([`engine::SamplingEngine`]; the
+//!   pre-trait free-function `sampling` module has been removed).
 //!
 //! ```
 //! use tnm_graph::TemporalGraphBuilder;
@@ -71,16 +72,22 @@
 //!   (atomic start-event cursor, per-worker local tables merged
 //!   lock-free at join) over the windowed index. The best choice for
 //!   large graphs on multi-core hardware.
+//! * [`engine::ShardedEngine`] (`sharded`) — time-slice shards with
+//!   bounded halos ([`tnm_graph::shard`]), counted one at a time with
+//!   the work-stealing executor inside each shard; optional spill mode
+//!   serializes shards to disk and bounds peak residency for logs
+//!   larger than memory. Exact.
 //! * [`engine::SamplingEngine`] (`sampling`) — **approximate** interval
 //!   sampling: unbiased point estimates with ~95 % confidence intervals
 //!   via [`engine::CountEngine::report`], at a fraction of exact cost on
-//!   large windows. The other three engines are exact and produce
+//!   large windows. The other four engines are exact and produce
 //!   identical counts.
 //! * [`engine::EngineKind::Auto`] (`auto`, the default) — resolves per
 //!   workload via [`engine::auto_select`]: backtrack for small
-//!   unbounded-timing jobs, work-stealing parallel when the graph and
-//!   its ΔC/ΔW windows carry enough work for multiple threads, serial
-//!   windowed otherwise.
+//!   unbounded-timing jobs, sharded for bounded-timing graphs above
+//!   [`engine::SHARDED_MIN_EVENTS`], work-stealing parallel when the
+//!   graph and its ΔC/ΔW windows carry enough work for multiple
+//!   threads, serial windowed otherwise.
 //!
 //! All windowed engines share one [`tnm_graph::WindowIndex`] per graph
 //! through [`tnm_graph::index_cache::global_index_cache`], so repeated
@@ -123,7 +130,6 @@ pub mod models;
 pub mod notation;
 pub mod partial_order;
 pub mod pattern;
-pub mod sampling;
 pub mod validity;
 
 /// Commonly used items, importable with `use tnm_motifs::prelude::*`.
@@ -135,7 +141,7 @@ pub mod prelude {
     };
     pub use crate::engine::{
         BacktrackEngine, CountEngine, EngineCaps, EngineKind, EngineReport, Estimate,
-        ParallelConfig, ParallelEngine, SamplingEngine, WindowedEngine,
+        ParallelConfig, ParallelEngine, SamplingEngine, ShardedEngine, WindowedEngine,
     };
     pub use crate::enumerate::{
         count_motifs, count_motifs_parallel, count_signature, enumerate_instances, EnumConfig,

@@ -1,33 +1,42 @@
 //! Cross-engine equivalence suite.
 //!
-//! The engine subsystem's core contract: every [`CountEngine`] —
-//! serial backtrack, window-indexed, and work-stealing parallel (over
-//! both candidate sources) — produces **identical** [`MotifCounts`] for
-//! identical configurations. This suite pins the contract across:
+//! The engine subsystem's core contract: every exact [`CountEngine`] —
+//! serial backtrack, window-indexed, work-stealing parallel (over both
+//! candidate sources), and time-slice sharded — produces **identical**
+//! [`MotifCounts`] for identical configurations. This suite pins the
+//! contract across:
 //!
 //! * all four paper models (Kovanen, Song, Hulovatyy, Paranjape);
 //! * 2-, 3-, and 4-event motif sizes;
 //! * tight and loose ΔC/ΔW regimes (plus unbounded);
 //! * generated graphs: seeded random batches (tie-rich) and the
-//!   synthetic dataset generator corpora.
+//!   synthetic dataset generator corpora;
+//! * adversarial shard geometries — cuts inside motif spans, duplicate
+//!   timestamps straddling a cut, spill mode with a one-shard budget
+//!   ([`sharded_boundaries_are_exact`]).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use temporal_motifs::prelude::*;
 use tnm_datasets::{generate, DatasetSpec};
 use tnm_motifs::engine::{
-    BacktrackEngine, CountEngine, EngineKind, ParallelEngine, WindowedEngine,
+    BacktrackEngine, CountEngine, EngineKind, ParallelEngine, ShardedEngine, WindowedEngine,
 };
 
 /// Every engine under test. The work-stealing executor appears twice —
 /// over the windowed index and over the plain node index — so scheduler
-/// bugs and candidate-source bugs cannot mask one another.
+/// bugs and candidate-source bugs cannot mask one another. The sharded
+/// engine runs with a deliberately tiny shard target so the suite's
+/// small graphs still split into many shards, with cuts landing inside
+/// motif spans.
 fn engines() -> Vec<Box<dyn CountEngine>> {
     vec![
         Box::new(BacktrackEngine),
         Box::new(WindowedEngine),
         Box::new(ParallelEngine::new(4)),
         Box::new(ParallelEngine::over_backtrack(3)),
+        Box::new(ShardedEngine::new(16)),
+        Box::new(ShardedEngine::new(25).with_threads(3)),
     ]
 }
 
@@ -157,6 +166,44 @@ fn signature_targeting_agrees() {
     for s in ["010102", "011202", "0112", "010203"] {
         let cfg = EnumConfig::for_signature(sig(s)).with_timing(Timing::only_w(50));
         assert_all_engines_agree(&g, &cfg, &format!("targeted {s}"));
+    }
+}
+
+/// Seeded property-style sweep for shard boundaries: across all four
+/// paper models at tight and loose ΔC/ΔW, adversarial shard sizes
+/// (including one start event per shard, so every cut lands inside
+/// every multi-event motif's span) and tie-rich graphs whose duplicate
+/// timestamps straddle the cuts, the sharded engine — in memory,
+/// threaded, and spilled with a one-shard residency budget — must match
+/// the backtrack reference exactly.
+#[test]
+fn sharded_boundaries_are_exact() {
+    // horizon << events ⇒ duplicate timestamps everywhere, including on
+    // every shard cut.
+    for (case, &(seed, nodes, events, horizon)) in
+        [(400u64, 8u32, 120usize, 40i64), (401, 12, 160, 300)].iter().enumerate()
+    {
+        let g = random_graph(seed, nodes, events, horizon);
+        for model in four_models() {
+            for k in [2usize, 3] {
+                let cfg = EnumConfig::for_model(&model, k, 4);
+                let reference = BacktrackEngine.count(&g, &cfg);
+                for shard_events in [1usize, 2, 7, 33, events] {
+                    assert_eq!(
+                        ShardedEngine::new(shard_events).count(&g, &cfg),
+                        reference,
+                        "case {case}, model {}, k={k}, shard_events={shard_events}",
+                        model.name
+                    );
+                }
+                assert_eq!(
+                    ShardedEngine::new(11).with_max_resident(1).count(&g, &cfg),
+                    reference,
+                    "case {case}, model {}, k={k}, spilled",
+                    model.name
+                );
+            }
+        }
     }
 }
 
