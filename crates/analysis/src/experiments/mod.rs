@@ -142,7 +142,11 @@ pub fn default_threads() -> usize {
 /// expensive to count exactly. [`EngineKind::Sharded`] keeps them exact
 /// while bounding the counting working set (and, with a resident
 /// budget, spilling time slices to disk) — the out-of-core escape hatch
-/// for corpora larger than memory. All windowed engines share one
+/// for corpora larger than memory. [`EngineKind::Stream`] (which `auto`
+/// picks whenever a driver's configuration is Paranjape-shaped) counts
+/// eligible only-ΔW spectra without enumerating instances and is the
+/// fastest exact option there by an asymptotic margin. All windowed
+/// engines share one
 /// `WindowIndex` per graph through
 /// [`tnm_graph::index_cache::global_index_cache`], so the dozens of
 /// counts a driver performs on the same corpus entry build each index

@@ -6,9 +6,10 @@
 //! configuration — the regime the windowed index is built for. Further
 //! groups cover ΔW tightness sweeps (how pruning scales with the window),
 //! parallel scaling, the sampling engine across budgets, the sharded
-//! engine (in-memory and out-of-core spill mode), window-index cache
-//! reuse, signature-targeted counting, streaming matching, and dataset
-//! generation.
+//! engine (in-memory and out-of-core spill mode), the stream engine's
+//! count-without-enumerating fast path against the windowed walker,
+//! window-index cache reuse, signature-targeted counting, streaming
+//! matching, and dataset generation.
 //!
 //! The harness prints a machine-readable JSON summary on exit (one
 //! object per benchmark; set `TNM_BENCH_JSON=path` to also write it to a
@@ -18,7 +19,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 use tnm_datasets::{generate, DatasetSpec};
 use tnm_graph::TemporalGraph;
-use tnm_motifs::engine::{BacktrackEngine, CountEngine, ParallelEngine, WindowedEngine};
+use tnm_motifs::engine::{
+    BacktrackEngine, CountEngine, ParallelEngine, StreamEngine, WindowedEngine,
+};
 use tnm_motifs::pattern::{matcher::StreamingMatcher, EventPattern};
 use tnm_motifs::prelude::*;
 
@@ -174,6 +177,45 @@ fn bench_sharded_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// Count-without-enumerating vs the windowed walker on eligible
+/// Paranjape configurations (3n3e, only-ΔW, non-induced). The dense
+/// synthetic graph is the walker's worst case — few nodes, long per-node
+/// event lists, instance counts far above the event count — and exactly
+/// where the stream engine's event-linear DPs pull away; the
+/// CollegeMsg-style corpus tracks the same race on realistic burstiness.
+fn bench_stream_engine(c: &mut Criterion) {
+    // Dense LCG graph: 12 nodes, 20k events over 20k seconds; ΔW=60
+    // admits ~60 events per window, so instances vastly outnumber events.
+    let mut b = tnm_graph::TemporalGraphBuilder::new();
+    let mut x = 0x9E3779B97F4A7C15u64;
+    for t in 0..20_000i64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let u = ((x >> 33) % 12) as u32;
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut v = ((x >> 33) % 12) as u32;
+        if v == u {
+            v = (v + 1) % 12;
+        }
+        b.push(tnm_graph::Event::new(u, v, t));
+    }
+    let dense = b.build().unwrap();
+    let college = dataset("CollegeMsg", 8_000);
+    let mut group = c.benchmark_group("stream_engine");
+    group.sample_size(10);
+    for (name, g, dw) in [("dense", &dense, 60i64), ("CollegeMsg", &college, 3_000)] {
+        let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(dw));
+        assert!(StreamEngine::eligible(&cfg));
+        group.throughput(Throughput::Elements(g.num_events() as u64));
+        group.bench_with_input(BenchmarkId::new("windowed", name), g, |b, g| {
+            b.iter(|| black_box(WindowedEngine.count(g, &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("stream", name), g, |b, g| {
+            b.iter(|| black_box(StreamEngine.count(g, &cfg)))
+        });
+    }
+    group.finish();
+}
+
 /// Out-of-core spill mode: every iteration serializes the shards to a
 /// temp dir and counts while keeping at most `max_resident` loaded —
 /// the full write + read + count cycle, so the history tracks the I/O
@@ -264,6 +306,7 @@ criterion_group!(
     bench_parallel_scaling,
     bench_sampling_engine,
     bench_sharded_engine,
+    bench_stream_engine,
     bench_sharded_spill,
     bench_index_cache,
     bench_signature_targeting,

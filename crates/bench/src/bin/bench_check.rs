@@ -17,7 +17,11 @@
 //!   few-iteration measurement model the minimum is the most
 //!   noise-robust statistic.
 //! * Benchmarks present on only one side are reported but never fail
-//!   the gate (renames and new coverage should not block a PR).
+//!   the gate (renames and new coverage should not block a PR). A whole
+//!   bench *group* absent from the baseline — the first CI run of a
+//!   freshly added group, e.g. `stream_engine` — passes explicitly with
+//!   a `new group, seeding baseline` line, so new coverage enters the
+//!   history without tripping or muting the gate.
 //!
 //! The parser handles exactly the flat document the vendored harness
 //! emits (`{"benchmarks":[{...}]}`, no nested objects); it is not a
@@ -87,10 +91,60 @@ fn run(args: &[String]) -> Result<bool, String> {
         baseline_path.display(),
         threshold * 100.0
     );
+    let report = compare(&baseline, &new, threshold);
+    for line in &report.lines {
+        println!("{line}");
+    }
+    if report.regressions > 0 {
+        println!("{} benchmark(s) regressed beyond +{:.0}%", report.regressions, threshold * 100.0);
+        Ok(false)
+    } else {
+        println!("no regressions beyond +{:.0}%", threshold * 100.0);
+        Ok(true)
+    }
+}
+
+/// Comparison report: human-readable lines plus the gate verdict input.
+struct Comparison {
+    lines: Vec<String>,
+    regressions: usize,
+}
+
+/// The bench-group prefix of a `group/id` name (the whole name for
+/// group-less benchmarks).
+fn group_of(name: &str) -> &str {
+    name.split('/').next().unwrap_or(name)
+}
+
+/// Pure comparison of two summaries. Three kinds of one-sided entries
+/// are all explicit non-failures: a benchmark whose whole *group* is
+/// absent from the baseline seeds that group into the history ("new
+/// group, seeding baseline"), a new benchmark inside a known group is
+/// reported as `new`, and a baseline benchmark missing from the new
+/// summary as `dropped`.
+fn compare(
+    baseline: &BTreeMap<String, u64>,
+    new: &BTreeMap<String, u64>,
+    threshold: f64,
+) -> Comparison {
+    let baseline_groups: std::collections::BTreeSet<&str> =
+        baseline.keys().map(|k| group_of(k)).collect();
+    let mut announced: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    let mut lines = Vec::new();
     let mut regressions = 0usize;
-    for (name, &new_ns) in &new {
+    for (name, &new_ns) in new {
         match baseline.get(name) {
-            None => println!("  new       {name}: {:.3} ms", new_ns as f64 / 1e6),
+            None => {
+                let group = group_of(name);
+                if !baseline_groups.contains(group) {
+                    if announced.insert(group) {
+                        lines.push(format!("  new group `{group}`, seeding baseline"));
+                    }
+                    lines.push(format!("  seeded    {name}: {:.3} ms", new_ns as f64 / 1e6));
+                } else {
+                    lines.push(format!("  new       {name}: {:.3} ms", new_ns as f64 / 1e6));
+                }
+            }
             Some(0) => {}
             Some(&old_ns) => {
                 let ratio = new_ns as f64 / old_ns as f64 - 1.0;
@@ -102,27 +156,21 @@ fn run(args: &[String]) -> Result<bool, String> {
                 );
                 if ratio > threshold && new_ns.max(old_ns) >= MIN_COMPARABLE_NS {
                     regressions += 1;
-                    println!("  REGRESSED {line}");
+                    lines.push(format!("  REGRESSED {line}"));
                 } else if ratio < -threshold {
-                    println!("  improved  {line}");
+                    lines.push(format!("  improved  {line}"));
                 } else {
-                    println!("  ok        {line}");
+                    lines.push(format!("  ok        {line}"));
                 }
             }
         }
     }
     for name in baseline.keys() {
         if !new.contains_key(name) {
-            println!("  dropped   {name}");
+            lines.push(format!("  dropped   {name}"));
         }
     }
-    if regressions > 0 {
-        println!("{regressions} benchmark(s) regressed beyond +{:.0}%", threshold * 100.0);
-        Ok(false)
-    } else {
-        println!("no regressions beyond +{:.0}%", threshold * 100.0);
-        Ok(true)
-    }
+    Comparison { lines, regressions }
 }
 
 /// A file argument is used as-is; a directory is scanned for the
@@ -245,6 +293,53 @@ mod tests {
         let empty = dir.join("empty");
         std::fs::create_dir_all(&empty).unwrap();
         assert_eq!(run(&[empty.to_str().unwrap().to_string(), fresh_s]), Ok(true));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A bench group absent from every baseline (the `stream_engine`
+    /// group on its first CI run) must pass explicitly, announcing the
+    /// seed — while a new benchmark inside a *known* group stays a plain
+    /// `new` entry and regressions elsewhere still gate.
+    #[test]
+    fn unknown_groups_seed_the_baseline() {
+        let mk = |entries: &[(&str, u64)]| -> BTreeMap<String, u64> {
+            entries.iter().map(|&(n, v)| (n.to_string(), v)).collect()
+        };
+        let baseline = mk(&[("engine_comparison/windowed/Email", 5_000_000)]);
+        let new = mk(&[
+            ("engine_comparison/windowed/Email", 5_100_000),
+            ("engine_comparison/stream/Email", 800_000), // known group: new
+            ("stream_engine/stream/dense", 700_000),     // unknown group: seeded
+            ("stream_engine/windowed/dense", 9_000_000),
+        ]);
+        let report = compare(&baseline, &new, 0.25);
+        assert_eq!(report.regressions, 0);
+        let seeds: Vec<&String> = report.lines.iter().filter(|l| l.contains("new group")).collect();
+        assert_eq!(seeds, ["  new group `stream_engine`, seeding baseline"]);
+        assert!(report.lines.iter().any(|l| l.starts_with("  seeded    stream_engine/stream")));
+        assert!(report.lines.iter().any(|l| l.starts_with("  seeded    stream_engine/windowed")));
+        assert!(
+            report.lines.iter().any(|l| l.starts_with("  new       engine_comparison/stream")),
+            "known-group additions stay `new`: {:?}",
+            report.lines
+        );
+        // End-to-end: the gate passes on an all-new group...
+        let dir = std::env::temp_dir().join(format!("bench_check_seed_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = dir.join("BENCH_1.json");
+        let fresh = dir.join("new.json");
+        std::fs::write(&old, r#"{"benchmarks":[{"group":"g","id":"x","min_ns":1000000}]}"#)
+            .unwrap();
+        std::fs::write(
+            &fresh,
+            r#"{"benchmarks":[
+                {"group":"g","id":"x","min_ns":1000000},
+                {"group":"stream_engine","id":"stream/dense","min_ns":700000}
+            ]}"#,
+        )
+        .unwrap();
+        let args = vec![old.to_str().unwrap().to_string(), fresh.to_str().unwrap().to_string()];
+        assert_eq!(run(&args), Ok(true));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

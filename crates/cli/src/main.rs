@@ -52,13 +52,18 @@ Flags:
   --seed N      Corpus seed (default the standard experiment seed)
   --csv         Emit CSV instead of a rendered table (where supported)
   --engine E    Counting engine: backtrack | windowed | parallel |
-                sharded | sampling | auto (default auto; see the
-                tnm-motifs rustdoc on choosing one). `sharded` counts
-                exact totals over time-slice shards and can spill them
-                to disk for graphs larger than memory. `sampling` is
-                approximate: counts are point estimates with 95%
-                confidence intervals. fig4/fig5 enumerate exact instance
-                statistics and reject it.
+                stream | sharded | sampling | auto (default auto; see
+                the tnm-motifs rustdoc on choosing one). `stream` counts
+                without enumerating instances — exact and near-linear in
+                events for Paranjape-shape jobs (--dw only, no --induced
+                or other restrictions, <=3 events on <=3 nodes), falling
+                back to the windowed walker otherwise; `auto` picks it
+                whenever eligible. `sharded` counts exact totals over
+                time-slice shards and can spill them to disk for graphs
+                larger than memory. `sampling` is approximate: counts
+                are point estimates with 95% confidence intervals.
+                fig4/fig5 enumerate exact instance statistics and reject
+                it.
   --threads N   Thread budget for parallel-capable engines (the sharded
                 engine work-steals within each shard)
   --samples K   Sample-window budget for --engine sampling (quadruple it
@@ -439,6 +444,7 @@ mod tests {
     fn engine_flags_parse() {
         assert_eq!(rc(&[]).unwrap().engine, EngineKind::Auto);
         assert_eq!(rc(&["--engine", "windowed"]).unwrap().engine, EngineKind::Windowed);
+        assert_eq!(rc(&["--engine", "stream"]).unwrap().engine, EngineKind::Stream);
         assert_eq!(
             rc(&["--engine", "sharded"]).unwrap().engine,
             EngineKind::sharded(DEFAULT_SHARD_EVENTS, 0)
@@ -460,7 +466,7 @@ mod tests {
     /// offending engine — not silently run an exact count.
     #[test]
     fn nonsensical_combos_rejected() {
-        for exact in ["backtrack", "windowed", "parallel", "sharded"] {
+        for exact in ["backtrack", "windowed", "parallel", "stream", "sharded"] {
             let err = rc(&["--engine", exact, "--samples", "10"]).unwrap_err().to_string();
             assert!(
                 err.contains("--engine sampling") && err.contains(exact),

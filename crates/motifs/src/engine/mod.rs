@@ -6,7 +6,7 @@
 //! profitable execution strategy varies with the workload: graph size,
 //! timing tightness, available cores, and whether the log fits in
 //! memory at all. This module makes the strategy a value: a
-//! [`CountEngine`] trait with five interchangeable implementations,
+//! [`CountEngine`] trait with six interchangeable implementations,
 //! selectable programmatically via [`EngineKind`] or from the CLI via
 //! `--engine`.
 //!
@@ -15,17 +15,22 @@
 //! | engine | strategy | pick it when |
 //! |---|---|---|
 //! | [`BacktrackEngine`] | serial walk, plain node-index scans | tiny graphs or unbounded timing, where building an index outweighs pruning; also the reference for differential tests |
-//! | [`WindowedEngine`] | serial walk, [`WindowIndex`](tnm_graph::WindowIndex) binary-search pruning | bounded ΔC/ΔW on one core — the best single-threaded choice for realistic in-memory workloads |
+//! | [`WindowedEngine`] | serial walk, [`WindowIndex`](tnm_graph::WindowIndex) binary-search pruning | bounded ΔC/ΔW on one core — the best single-threaded walker for realistic in-memory workloads |
 //! | [`ParallelEngine`] | work-stealing workers over the windowed index | large graphs on multi-core hardware with enough admissible work per start event |
 //! | [`ShardedEngine`] | time-slice shards with bounded halos ([`tnm_graph::shard`]), counted one at a time; work-stealing within a shard, optional spill to disk | very large logs under bounded timing — and the only exact option when the working set must stay below the graph size (out-of-core runs) |
+//! | [`StreamEngine`] | count-without-enumerating window DPs (2-node pair prefix counts, per-center star tables, per-triangle label DP) | eligible Paranjape-shape jobs — ΔW only, non-induced, no restrictions, ≤ 3 events, ≤ 3 nodes — where cost is near-linear in *events*, not instances; ineligible configs fall back to the windowed walker |
 //! | [`SamplingEngine`] | interval sampling over the windowed index | graphs or windows too large for exact counting, when an estimate with a confidence interval is enough |
 //!
-//! All but the sampler are **exact** and produce identical
+//! The walkers all pay cost proportional to the number of motif
+//! *instances*; [`StreamEngine`] is the one engine with different
+//! asymptotics, and [`auto_select`] routes every eligible job to it
+//! first. All but the sampler are **exact** and produce identical
 //! [`MotifCounts`] for identical [`EnumConfig`]s — the cross-engine
 //! equivalence suite (`tests/engine_equivalence.rs`) enforces this for
 //! all four paper models, including shard cuts placed inside motif
-//! spans. The sampling engine is **approximate**: its `count` returns
-//! rounded point estimates, and its calibration is enforced by
+//! spans and the stream engine's eligibility boundary. The sampling
+//! engine is **approximate**: its `count` returns rounded point
+//! estimates, and its calibration is enforced by
 //! `tests/sampling_calibration.rs` instead.
 //!
 //! ## Reading sampling confidence intervals
@@ -57,6 +62,7 @@ mod parallel;
 mod report;
 mod sampling;
 mod sharded;
+mod stream;
 mod walker;
 mod windowed;
 
@@ -66,6 +72,7 @@ pub use parallel::{ParallelConfig, ParallelEngine, DEFAULT_STEAL_CHUNK, SERIAL_F
 pub use report::{t_critical_95, EngineReport, Estimate, Z_95};
 pub use sampling::{SamplingEngine, DEFAULT_SAMPLING_BUDGET, DEFAULT_SAMPLING_SEED};
 pub use sharded::{ShardedConfig, ShardedEngine, ShardedRunStats, DEFAULT_SHARD_EVENTS};
+pub use stream::StreamEngine;
 pub use windowed::WindowedEngine;
 
 use crate::count::MotifCounts;
@@ -124,6 +131,9 @@ pub enum EngineKind {
     Windowed,
     /// [`ParallelEngine`] over the windowed index.
     Parallel,
+    /// [`StreamEngine`]: exact count-without-enumerating fast path for
+    /// eligible Paranjape-shape jobs, windowed-walker fallback otherwise.
+    Stream,
     /// [`ShardedEngine`] over time-slice shards (exact; spills to disk
     /// when `max_resident_shards > 0`).
     Sharded {
@@ -157,6 +167,17 @@ pub const WINDOWED_MIN_EVENTS: usize = 256;
 /// being distributed.
 pub const PARALLEL_MIN_WINDOW_EVENTS: f64 = 2.0;
 
+/// Minimum expected events per ΔW window for [`auto_select`] to route a
+/// **triangle-bearing** job to [`StreamEngine`]. The stream pair/star
+/// classes are `O(events)` regardless, but the triad class pays
+/// Σ over static triangles of their event counts — projection-density
+/// work the window never prunes. Below one expected event per window the
+/// walkers' probes die almost immediately (≈ `O(m)` total), so a
+/// starved needle-ΔW sweep over a dense projection must stay on them.
+/// Jobs whose node budget or signature target gates the triangle class
+/// off ([`StreamEngine::needs_triads`]) skip this check.
+pub const STREAM_MIN_WINDOW_EVENTS: f64 = 1.0;
+
 /// From this many events up, [`auto_select`] prefers the sharded engine
 /// for bounded-timing workloads: one monolithic `WindowIndex` plus
 /// whole-graph walks stop being memory-friendly, while time slices with
@@ -182,19 +203,29 @@ fn expected_window_events(graph: &TemporalGraph, cfg: &EnumConfig) -> f64 {
 /// The selection table behind [`EngineKind::Auto`], resolving to a
 /// concrete kind from the workload:
 ///
-/// 1. unbounded timing on a graph under [`WINDOWED_MIN_EVENTS`] events →
+/// 1. a [`StreamEngine::eligible`] configuration (Paranjape shape: ΔW
+///    set, no ΔC, no restrictions, non-induced, ≤ 3 events, ≤ 3 nodes)
+///    → [`EngineKind::Stream`] — the only asymptotic win on the table
+///    (near-linear in events, not instances), so it outranks every
+///    walker regardless of graph size or thread budget. One carve-out:
+///    when the job's triangle class would run
+///    ([`StreamEngine::needs_triads`]) **and** the window is starved
+///    (expected occupancy below [`STREAM_MIN_WINDOW_EVENTS`]), the
+///    walkers keep the job — their probes die instantly under a needle
+///    ΔW while the triad merge still pays projection-density work;
+/// 2. unbounded timing on a graph under [`WINDOWED_MIN_EVENTS`] events →
 ///    [`EngineKind::Backtrack`] (nothing to prune; skip the index build);
-/// 2. at least [`SHARDED_MIN_EVENTS`] events with a bounded admissible
+/// 3. at least [`SHARDED_MIN_EVENTS`] events with a bounded admissible
 ///    reach ([`EnumConfig::admissible_reach`]) →
 ///    [`EngineKind::Sharded`] (bounded working set; the within-shard
 ///    executor still uses the thread budget);
-/// 3. more than one thread, at least [`SERIAL_FALLBACK_EVENTS`] events,
+/// 4. more than one thread, at least [`SERIAL_FALLBACK_EVENTS`] events,
 ///    **and** at least [`PARALLEL_MIN_WINDOW_EVENTS`] expected events
 ///    per ΔC/ΔW window → [`EngineKind::Parallel`] (enough work per start
 ///    event to pay for spawn and merge);
-/// 4. otherwise → [`EngineKind::Windowed`].
+/// 5. otherwise → [`EngineKind::Windowed`].
 ///
-/// Rule 3 is why a huge-but-unsharded graph under an extremely tight ΔW
+/// Rule 4 is why a huge-but-unsharded graph under an extremely tight ΔW
 /// still runs serial: each walk dies after a probe or two, so
 /// distributing the starts distributes almost nothing. [`auto_select`]
 /// never resolves to the approximate sampler — estimation is an explicit
@@ -202,6 +233,12 @@ fn expected_window_events(graph: &TemporalGraph, cfg: &EnumConfig) -> f64 {
 /// unit tests in this module.
 pub fn auto_select(graph: &TemporalGraph, cfg: &EnumConfig, threads: usize) -> EngineKind {
     let m = graph.num_events();
+    if StreamEngine::eligible(cfg)
+        && (!StreamEngine::needs_triads(cfg)
+            || expected_window_events(graph, cfg) >= STREAM_MIN_WINDOW_EVENTS)
+    {
+        return EngineKind::Stream;
+    }
     let unbounded = cfg.timing.delta_c.is_none() && cfg.timing.delta_w.is_none();
     if unbounded && m < WINDOWED_MIN_EVENTS {
         return EngineKind::Backtrack;
@@ -221,12 +258,21 @@ pub fn auto_select(graph: &TemporalGraph, cfg: &EnumConfig, threads: usize) -> E
 impl EngineKind {
     /// Every concrete **exact** kind (excludes `Auto` and the
     /// approximate sampler), for sweeps and benches.
-    pub const CONCRETE: [EngineKind; 4] = [
+    pub const CONCRETE: [EngineKind; 5] = [
         EngineKind::Backtrack,
         EngineKind::Windowed,
         EngineKind::Parallel,
+        EngineKind::Stream,
         EngineKind::Sharded { shard_events: DEFAULT_SHARD_EVENTS, max_resident_shards: 0 },
     ];
+
+    /// The exact kinds as a slice — the registry the cross-engine
+    /// equivalence sweep iterates (`tests/engine_equivalence.rs`), so a
+    /// newly registered exact engine (the stream fast path included)
+    /// cannot be silently skipped. Identical to [`EngineKind::CONCRETE`].
+    pub fn all_exact() -> &'static [EngineKind] {
+        &Self::CONCRETE
+    }
 
     /// The sampling kind with an explicit budget and seed.
     pub fn sampling(samples: u32, seed: u64) -> EngineKind {
@@ -251,6 +297,7 @@ impl EngineKind {
             EngineKind::Backtrack => Box::new(BacktrackEngine),
             EngineKind::Windowed => Box::new(WindowedEngine),
             EngineKind::Parallel => Box::new(ParallelEngine::new(threads)),
+            EngineKind::Stream => Box::new(StreamEngine),
             EngineKind::Sharded { shard_events, max_resident_shards } => {
                 let mut engine =
                     ShardedEngine::new(shard_events.max(1)).with_threads(threads.max(1));
@@ -286,6 +333,7 @@ impl std::str::FromStr for EngineKind {
             "backtrack" => Ok(EngineKind::Backtrack),
             "windowed" => Ok(EngineKind::Windowed),
             "parallel" => Ok(EngineKind::Parallel),
+            "stream" => Ok(EngineKind::Stream),
             "sharded" => Ok(EngineKind::Sharded {
                 shard_events: DEFAULT_SHARD_EVENTS,
                 max_resident_shards: 0,
@@ -306,6 +354,7 @@ impl std::fmt::Display for EngineKind {
             EngineKind::Backtrack => "backtrack",
             EngineKind::Windowed => "windowed",
             EngineKind::Parallel => "parallel",
+            EngineKind::Stream => "stream",
             EngineKind::Sharded { .. } => "sharded",
             EngineKind::Sampling { .. } => "sampling",
             EngineKind::Auto => "auto",
@@ -324,8 +373,8 @@ impl std::fmt::Display for ParseEngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "unknown engine `{}` (expected backtrack, windowed, parallel, sharded, sampling, \
-             or auto)",
+            "unknown engine `{}` (expected backtrack, windowed, parallel, stream, sharded, \
+             sampling, or auto)",
             self.got
         )
     }
@@ -360,9 +409,13 @@ mod tests {
 
     #[test]
     fn kind_parses_and_displays() {
-        for kind in
-            [EngineKind::Backtrack, EngineKind::Windowed, EngineKind::Parallel, EngineKind::Auto]
-        {
+        for kind in [
+            EngineKind::Backtrack,
+            EngineKind::Windowed,
+            EngineKind::Parallel,
+            EngineKind::Stream,
+            EngineKind::Auto,
+        ] {
             let round: EngineKind = kind.to_string().parse().unwrap();
             assert_eq!(round, kind);
         }
@@ -381,6 +434,19 @@ mod tests {
         let msg = "bogus".parse::<EngineKind>().unwrap_err().to_string();
         assert!(msg.contains("sampling"), "error must list all engines: {msg}");
         assert!(msg.contains("sharded"), "error must list all engines: {msg}");
+        assert!(msg.contains("stream"), "error must list all engines: {msg}");
+    }
+
+    /// Sweeps and benches iterate [`EngineKind::all_exact`]; the stream
+    /// fast path must be in it, or the one engine with different
+    /// asymptotics silently drops out of every equivalence sweep and
+    /// bench history.
+    #[test]
+    fn all_exact_includes_stream() {
+        assert!(EngineKind::all_exact().contains(&EngineKind::Stream));
+        assert_eq!(EngineKind::all_exact(), EngineKind::CONCRETE);
+        assert!(!EngineKind::all_exact().contains(&EngineKind::Auto));
+        assert!(!EngineKind::all_exact().iter().any(|k| matches!(k, EngineKind::Sampling { .. })));
     }
 
     /// Pins the [`auto_select`] table: each row is (events, span,
@@ -394,45 +460,74 @@ mod tests {
         let huge = sized(SHARDED_MIN_EVENTS, 4_000_000);
         let sharded_default = EngineKind::sharded(DEFAULT_SHARD_EVENTS, 0);
         let unbounded = EnumConfig::new(3, 3);
+        // Stream-eligible: ΔW only, ≤ 3 events on ≤ 3 nodes.
         let loose_w = EnumConfig::new(3, 3).with_timing(Timing::only_w(3_000));
         // ΔW=10 over a 40k span at ~0.1 events/s → ~1 event per window.
         let needle_w = EnumConfig::new(3, 3).with_timing(Timing::only_w(10));
+        // Same ΔW shapes pushed out of stream eligibility: 4 events, or
+        // a node budget admitting 4-node motifs.
+        let loose_w4 = EnumConfig::new(4, 4).with_timing(Timing::only_w(3_000));
+        let needle_w4 = EnumConfig::new(4, 4).with_timing(Timing::only_w(10));
+        let loose_w_4n = EnumConfig::new(3, 4).with_timing(Timing::only_w(3_000));
+        // Eligible needle with the triangle class gated off by the node
+        // budget: the occupancy carve-out does not apply.
+        let needle_w_2n = EnumConfig::new(3, 2).with_timing(Timing::only_w(10));
         let loose_c = EnumConfig::new(3, 3).with_timing(Timing::only_c(2_000));
         // Duration-aware ΔC bounds nothing from the config alone (gaps
         // run from event ends): reach counts as unbounded.
         let mut aware_c = EnumConfig::new(3, 3).with_timing(Timing::only_c(5));
         aware_c.duration_aware = true;
         let table: &[(&TemporalGraph, &EnumConfig, usize, EngineKind)] = &[
-            // 1. Unbounded timing, small graph: backtrack skips the index.
+            // 1. Stream-eligible Paranjape shape: the asymptotic win
+            // outranks every walker, at any size or thread budget.
+            (&tiny, &loose_w, 1, EngineKind::Stream),
+            (&small, &loose_w, 8, EngineKind::Stream),
+            (&large, &loose_w, 1, EngineKind::Stream),
+            (&large, &loose_w, 8, EngineKind::Stream),
+            // ...the large graph's ΔW=10 windows hold ≈1 expected event,
+            // right at STREAM_MIN_WINDOW_EVENTS, so the needle stays
+            // streamed there...
+            (&large, &needle_w, 8, EngineKind::Stream),
+            (&huge, &loose_w, 8, EngineKind::Stream),
+            // ...but the huge graph's windows are starved (<1 expected
+            // event) and the job carries triangles: the carve-out hands
+            // it to the walkers (rule 3 shards it). With triangles gated
+            // off by a 2-node budget the same needle still streams.
+            (&huge, &needle_w, 8, sharded_default),
+            (&huge, &needle_w_2n, 8, EngineKind::Stream),
+            (&large, &needle_w_2n, 8, EngineKind::Stream),
+            // 2. Unbounded timing, small graph: backtrack skips the index.
             (&tiny, &unbounded, 1, EngineKind::Backtrack),
             (&tiny, &unbounded, 8, EngineKind::Backtrack),
             (&small, &unbounded, 8, EngineKind::Backtrack),
-            // ...but bounded timing makes the index worth building.
-            (&tiny, &loose_w, 1, EngineKind::Windowed),
-            (&small, &loose_w, 8, EngineKind::Windowed),
-            // 2. At/above SHARDED_MIN_EVENTS with bounded reach: sharded
-            // (thread budget notwithstanding — threads go within-shard).
-            (&huge, &loose_w, 1, sharded_default),
-            (&huge, &loose_w, 8, sharded_default),
-            (&huge, &needle_w, 8, sharded_default),
+            // ...but bounded timing makes the index worth building (the
+            // 4-node budget keeps the stream fast path out).
+            (&tiny, &loose_w_4n, 1, EngineKind::Windowed),
+            (&small, &loose_w_4n, 8, EngineKind::Windowed),
+            // 3. At/above SHARDED_MIN_EVENTS with bounded reach — and no
+            // stream eligibility: sharded (thread budget notwithstanding;
+            // threads go within-shard).
+            (&huge, &loose_w4, 1, sharded_default),
+            (&huge, &loose_w4, 8, sharded_default),
+            (&huge, &needle_w4, 8, sharded_default),
             (&huge, &loose_c, 8, sharded_default),
             // ...an unbounded reach leaves nothing to shard by: parallel.
             (&huge, &unbounded, 8, EngineKind::Parallel),
             // ...duration-aware ΔC bounds the reach via the graph's max
             // event duration (zero here), so the huge graph still shards.
             (&huge, &aware_c, 8, sharded_default),
-            // 3. Large graph + threads + enough work per window: parallel.
-            (&large, &loose_w, 8, EngineKind::Parallel),
+            // 4. Large graph + threads + enough work per window: parallel.
+            (&large, &loose_w4, 8, EngineKind::Parallel),
             (&large, &loose_c, 8, EngineKind::Parallel),
             (&large, &unbounded, 8, EngineKind::Parallel),
             // ...tight ΔW starves the walks: stay serial windowed.
-            (&large, &needle_w, 8, EngineKind::Windowed),
+            (&large, &needle_w4, 8, EngineKind::Windowed),
             // ...duration-aware ΔC: config-only reach is unbounded, so
             // below the sharded threshold the occupancy heuristic sees
             // infinite windows and goes parallel.
             (&large, &aware_c, 8, EngineKind::Parallel),
-            // 4. One thread below the sharded threshold: always serial.
-            (&large, &loose_w, 1, EngineKind::Windowed),
+            // 5. One thread below the sharded threshold: always serial.
+            (&large, &loose_w4, 1, EngineKind::Windowed),
             (&large, &aware_c, 1, EngineKind::Windowed),
         ];
         for &(g, cfg, threads, expected) in table {
@@ -471,6 +566,10 @@ mod tests {
         let samp = SamplingEngine::new(8, 1);
         assert!(!samp.capabilities().parallel);
         assert!(samp.capabilities().windowed_pruning);
+        assert!(!StreamEngine.capabilities().parallel);
+        assert!(StreamEngine.capabilities().windowed_pruning);
+        assert!(StreamEngine.capabilities().deterministic_enumeration);
+        assert!(StreamEngine.capabilities().supports_signature_filter);
         let shard = ShardedEngine::new(128);
         assert!(!shard.capabilities().parallel);
         assert!(shard.capabilities().windowed_pruning);

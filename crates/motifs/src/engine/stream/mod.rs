@@ -1,0 +1,372 @@
+//! [`StreamEngine`] — exact δ-window counting **without enumerating
+//! instances** (Paranjape, Benson & Leskovec, WSDM 2017).
+//!
+//! Every walker engine pays cost proportional to the number of motif
+//! *instances*: the depth-first walk visits each one. For the Paranjape
+//! model — non-induced, single ΔW window, ≤ 3 events, ≤ 3 nodes — the
+//! spectrum can instead be computed in time near-linear in the number of
+//! *events*, by decomposing it into three exactly-once classes:
+//!
+//! 1. **2-node sequences** ([`pair`]): for each unordered node pair, a
+//!    sliding-ΔW-window dynamic program over the pair's merged event
+//!    list maintains per-direction prefix counts (`counts1`, `counts2`)
+//!    as events enter and leave the window, accumulating every 2- and
+//!    3-event direction sequence in `O(events on the pair)`.
+//! 2. **Stars and wedges** ([`star`]): for each center node, its
+//!    incident events stream through past/future windows that maintain
+//!    the *pre*, *post*, and *peri* count tables — same-leaf pair counts
+//!    before, after, and straddling each event — from which the 24
+//!    2-leaf star signatures (and the 2-event wedges) follow by
+//!    inclusion–exclusion against the all-same-leaf counts.
+//! 3. **Triads** ([`triad`]): static triangles are enumerated once via
+//!    [`StaticProjection::for_each_undirected_triangle`], and each
+//!    triangle's merged event list runs the generic 6-label window DP,
+//!    keeping only label triples that use all three node pairs.
+//!
+//! No class ever materializes an instance, and the classes partition the
+//! ≤ 3-node spectrum (a sequence touches 1, 2, or 3 undirected node
+//! pairs respectively), so the totals are bit-identical to the walker
+//! engines' — enforced by `tests/engine_equivalence.rs`.
+//!
+//! ## Eligibility and fallback
+//!
+//! [`StreamEngine::eligible`] accepts exactly the Paranjape-model shape:
+//! ΔW set, no ΔC, no duration-awareness, no consecutive/constrained/
+//! induced restrictions, ≤ 3 events, and a node budget the three classes
+//! cover (≤ 3 nodes — automatic for ≤ 2-event motifs). Everything else
+//! falls back to [`WindowedEngine`] inside `count`, so the engine is
+//! exact for *any* configuration and safe to include in blanket sweeps;
+//! [`auto_select`](crate::engine::auto_select) only routes eligible jobs
+//! here — and keeps triangle-bearing jobs on the walkers when the ΔW
+//! window is starved, since the triad class's cost follows projection
+//! density, not the window (see
+//! [`STREAM_MIN_WINDOW_EVENTS`](crate::engine::STREAM_MIN_WINDOW_EVENTS)).
+//! `enumerate` always delegates to the walker — there are no instances
+//! to visit on the fast path.
+//!
+//! Equal timestamps follow the paper's total-ordering rule exactly as
+//! the walker does: events with equal timestamps never co-occur in a
+//! motif, which the DPs enforce by processing timestamp *groups* against
+//! pre-group snapshots.
+
+mod pair;
+mod star;
+mod triad;
+
+use crate::count::MotifCounts;
+use crate::engine::config::{EnumConfig, MotifInstance};
+use crate::engine::windowed::WindowedEngine;
+use crate::engine::{CountEngine, EngineCaps};
+use crate::notation::MotifSignature;
+use tnm_graph::TemporalGraph;
+
+/// Exact count-without-enumerating engine for eligible Paranjape-model
+/// configurations; transparent [`WindowedEngine`] fallback otherwise.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamEngine;
+
+impl StreamEngine {
+    /// True if `cfg` is in the shape the streaming decomposition covers:
+    /// the Paranjape δ-window model (ΔW set, no ΔC, no
+    /// duration-awareness, no consecutive/constrained/induced
+    /// restriction, non-induced) with at most 3 events, on a node budget
+    /// the 2-node/star/triad classes span (≤ 3 nodes; a ≤ 2-event motif
+    /// cannot exceed 3 nodes, so any budget is fine there).
+    pub fn eligible(cfg: &EnumConfig) -> bool {
+        cfg.timing.delta_w.is_some()
+            && cfg.timing.delta_c.is_none()
+            && !cfg.consecutive_events
+            && !cfg.static_induced
+            && !cfg.constrained_dynamic
+            && !cfg.duration_aware
+            && (1..=3).contains(&cfg.num_events)
+            && (cfg.num_events <= 2 || cfg.max_nodes <= 3)
+    }
+
+    /// True if the fast path would run its triangle class for `cfg`: a
+    /// 3-event spectrum whose node budget admits 3-node motifs and whose
+    /// signature target (if any) is a triangle. This is the one class
+    /// whose cost scales with projection density — Σ over static
+    /// triangles of their event counts, independent of ΔW — rather than
+    /// with the event count alone, which is why
+    /// [`auto_select`](crate::engine::auto_select) checks window
+    /// occupancy before routing triad-bearing jobs here.
+    pub fn needs_triads(cfg: &EnumConfig) -> bool {
+        cfg.num_events == 3
+            && cfg.max_nodes >= 3
+            && cfg.min_nodes <= 3
+            && cfg
+                .signature_filter
+                .as_ref()
+                .is_none_or(|t| t.num_nodes() == 3 && undirected_pairs_of(t) == 3)
+    }
+
+    /// The streaming fast path. Must only be called for eligible
+    /// configurations.
+    fn stream_count(graph: &TemporalGraph, cfg: &EnumConfig) -> MotifCounts {
+        let delta = cfg.timing.delta_w.expect("eligible config has ΔW");
+        // Gate whole classes on what the configuration can keep: every
+        // class produces signatures of one known node count (pairs: 2;
+        // wedges/stars/triads: 3), and a signature target pins the class
+        // further — a triangle target (3 distinct undirected digit
+        // pairs) never needs the star sweeps and vice versa. A
+        // 2-node-only budget skips the triangle enumeration entirely.
+        let mut want_two = cfg.min_nodes <= 2 && cfg.max_nodes >= 2;
+        let mut want_star = cfg.min_nodes <= 3 && cfg.max_nodes >= 3;
+        let want_triad = Self::needs_triads(cfg);
+        if let Some(target) = &cfg.signature_filter {
+            want_two &= target.num_nodes() == 2;
+            want_star &= target.num_nodes() == 3 && undirected_pairs_of(target) < 3;
+        }
+        let mut spectrum = MotifCounts::new();
+        match cfg.num_events {
+            1 => {
+                if want_two {
+                    // Every single event is a 01 instance (span 0 ≤ ΔW).
+                    let sig = MotifSignature::from_pairs(&[(0, 1)]).expect("01 is canonical");
+                    spectrum.add(sig, graph.num_events() as u64);
+                }
+            }
+            2 => {
+                if want_two {
+                    pair::count_pairs(graph, delta, &mut spectrum);
+                }
+                if want_star {
+                    star::count_wedges(graph, delta, &mut spectrum);
+                }
+            }
+            3 => {
+                if want_two {
+                    pair::count_triples(graph, delta, &mut spectrum);
+                }
+                if want_star {
+                    star::count_stars(graph, delta, &mut spectrum);
+                }
+                if want_triad {
+                    triad::count_triads(graph, delta, &mut spectrum);
+                }
+            }
+            _ => unreachable!("eligibility caps num_events at 3"),
+        }
+        // The surviving classes still overshoot a signature target (a
+        // star target computes all 24 star signatures): finish with the
+        // per-signature filter.
+        spectrum
+            .iter()
+            .filter(|&(sig, n)| {
+                n > 0
+                    && sig.num_nodes() >= cfg.min_nodes
+                    && sig.num_nodes() <= cfg.max_nodes
+                    && cfg.signature_filter.is_none_or(|target| target == sig)
+            })
+            .collect()
+    }
+}
+
+impl CountEngine for StreamEngine {
+    fn name(&self) -> &'static str {
+        "stream"
+    }
+
+    fn capabilities(&self) -> EngineCaps {
+        EngineCaps {
+            parallel: false,
+            windowed_pruning: true,
+            deterministic_enumeration: true,
+            supports_signature_filter: true,
+        }
+    }
+
+    fn count(&self, graph: &TemporalGraph, cfg: &EnumConfig) -> MotifCounts {
+        if Self::eligible(cfg) {
+            Self::stream_count(graph, cfg)
+        } else {
+            WindowedEngine.count(graph, cfg)
+        }
+    }
+
+    /// Delegates to the walker: the fast path never materializes
+    /// instances, so per-instance callbacks always run the windowed
+    /// enumeration (deterministic serial start-event order).
+    fn enumerate(
+        &self,
+        graph: &TemporalGraph,
+        cfg: &EnumConfig,
+        callback: &mut dyn FnMut(&MotifInstance<'_>),
+    ) {
+        WindowedEngine.enumerate(graph, cfg, callback);
+    }
+}
+
+/// Number of distinct undirected digit pairs a signature touches (a
+/// 3-node 3-event signature is a triangle iff this is 3, a star iff 2).
+fn undirected_pairs_of(sig: &MotifSignature) -> usize {
+    let mut seen: Vec<(u8, u8)> = Vec::with_capacity(sig.num_events());
+    for &(a, b) in sig.pairs() {
+        let key = (a.min(b), a.max(b));
+        if !seen.contains(&key) {
+            seen.push(key);
+        }
+    }
+    seen.len()
+}
+
+/// End of the timestamp group starting at `i`: the one tie-handling
+/// primitive every stream DP shares. Window pushes, pops, and closes all
+/// operate on whole groups so that equal-timestamp events never pair.
+fn group_end_by<T>(evs: &[T], i: usize, time: impl Fn(&T) -> tnm_graph::Time) -> usize {
+    let t = time(&evs[i]);
+    evs[i..].iter().position(|e| time(e) != t).map_or(evs.len(), |p| i + p)
+}
+
+/// Canonical signature of a direction sequence on one node pair: `dirs`
+/// holds one bit per event (0 = same direction as a fixed pair
+/// orientation, 1 = reversed). The canonical relabeling makes the result
+/// orientation-independent.
+fn two_node_signature(dirs: &[u8]) -> MotifSignature {
+    let pairs: Vec<(u8, u8)> = dirs.iter().map(|&d| if d == 0 { (0, 1) } else { (1, 0) }).collect();
+    MotifSignature::canonicalize(&pairs)
+}
+
+/// Canonical signature of a star/wedge event sequence at a center `C`
+/// with leaves `A`/`B`: `legs[i]` names event `i`'s leaf and `dirs[i]`
+/// its direction (0 = center → leaf).
+fn star_signature(legs: &[u8], dirs: &[u8]) -> MotifSignature {
+    const CENTER: u8 = 0;
+    let pairs: Vec<(u8, u8)> = legs
+        .iter()
+        .zip(dirs)
+        .map(|(&leaf, &d)| {
+            let leaf = leaf + 1; // A = 1, B = 2; center is 0
+            if d == 0 {
+                (CENTER, leaf)
+            } else {
+                (leaf, CENTER)
+            }
+        })
+        .collect();
+    MotifSignature::canonicalize(&pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::Timing;
+    use crate::engine::BacktrackEngine;
+    use crate::notation::sig;
+    use tnm_graph::TemporalGraphBuilder;
+
+    fn graph(events: &[(u32, u32, i64)]) -> TemporalGraph {
+        let mut b = TemporalGraphBuilder::new();
+        for &(u, v, t) in events {
+            b.push(tnm_graph::Event::new(u, v, t));
+        }
+        b.build().unwrap()
+    }
+
+    fn w(delta: i64, k: usize, nodes: usize) -> EnumConfig {
+        EnumConfig::new(k, nodes).with_timing(Timing::only_w(delta))
+    }
+
+    #[test]
+    fn eligibility_predicate() {
+        assert!(StreamEngine::eligible(&w(10, 3, 3)));
+        assert!(StreamEngine::eligible(&w(10, 2, 4))); // 2e can't reach 4 nodes
+        assert!(StreamEngine::eligible(&w(10, 1, 2)));
+        assert!(!StreamEngine::eligible(&w(10, 3, 4))); // 4-node 3e exists
+        assert!(!StreamEngine::eligible(&w(10, 4, 3))); // too many events
+        assert!(!StreamEngine::eligible(&EnumConfig::new(3, 3))); // no ΔW
+        assert!(!StreamEngine::eligible(
+            &EnumConfig::new(3, 3).with_timing(Timing::both(5, 10)) // ΔC set
+        ));
+        assert!(!StreamEngine::eligible(&w(10, 3, 3).with_consecutive(true)));
+        assert!(!StreamEngine::eligible(&w(10, 3, 3).with_static_induced(true)));
+        assert!(!StreamEngine::eligible(&w(10, 3, 3).with_constrained(true)));
+        let mut aware = w(10, 3, 3);
+        aware.duration_aware = true;
+        assert!(!StreamEngine::eligible(&aware));
+    }
+
+    #[test]
+    fn triad_class_gating() {
+        // Full 3-event spectrum on 3 nodes needs triangles...
+        assert!(StreamEngine::needs_triads(&w(10, 3, 3)));
+        // ...but a 2-node budget, a 2-event run, or an exact-2 slice
+        // gates them off.
+        assert!(!StreamEngine::needs_triads(&w(10, 3, 2)));
+        assert!(!StreamEngine::needs_triads(&w(10, 2, 3)));
+        assert!(!StreamEngine::needs_triads(&w(10, 3, 3).exact_nodes(2)));
+        // Signature targets: triangles run only for triangle targets.
+        let tri = EnumConfig::for_signature(sig("011202")).with_timing(Timing::only_w(10));
+        let star = EnumConfig::for_signature(sig("010102")).with_timing(Timing::only_w(10));
+        let two = EnumConfig::for_signature(sig("010101")).with_timing(Timing::only_w(10));
+        assert!(StreamEngine::needs_triads(&tri));
+        assert!(!StreamEngine::needs_triads(&star));
+        assert!(!StreamEngine::needs_triads(&two));
+    }
+
+    #[test]
+    fn figure1_network_matches_backtrack() {
+        let g = graph(&[(0, 1, 3), (1, 2, 7), (1, 3, 8), (2, 0, 9), (0, 2, 11), (2, 3, 15)]);
+        for k in [1usize, 2, 3] {
+            for delta in [0i64, 2, 5, 8, 12, 100] {
+                let cfg = w(delta, k, 3);
+                assert!(StreamEngine::eligible(&cfg));
+                assert_eq!(
+                    StreamEngine.count(&g, &cfg),
+                    BacktrackEngine.count(&g, &cfg),
+                    "k={k} ΔW={delta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equal_timestamps_never_co_occur() {
+        // All events share one timestamp: nothing but 1-event motifs.
+        let g = graph(&[(0, 1, 5), (1, 0, 5), (1, 2, 5), (2, 0, 5)]);
+        let cfg = w(1000, 3, 3);
+        let counts = StreamEngine.count(&g, &cfg);
+        assert!(counts.is_empty(), "ties must not chain: {counts:?}");
+        assert_eq!(StreamEngine.count(&g, &w(1000, 1, 2)).total(), 4);
+    }
+
+    #[test]
+    fn node_bounds_and_signature_filter() {
+        let g = graph(&[(0, 1, 1), (1, 2, 2), (0, 2, 3), (1, 0, 4), (2, 1, 5)]);
+        let reference = BacktrackEngine.count(&g, &w(10, 3, 3));
+        assert_eq!(StreamEngine.count(&g, &w(10, 3, 3)), reference);
+        // Exact-3-node slice.
+        let three = w(10, 3, 3).exact_nodes(3);
+        assert_eq!(StreamEngine.count(&g, &three), BacktrackEngine.count(&g, &three));
+        // 2-node-only budget skips stars and triads entirely.
+        let two = w(10, 3, 2);
+        assert_eq!(StreamEngine.count(&g, &two), BacktrackEngine.count(&g, &two));
+        // Signature targeting is a post-filter on the fast path.
+        let target = EnumConfig::for_signature(sig("011202")).with_timing(Timing::only_w(10));
+        assert!(StreamEngine::eligible(&target));
+        assert_eq!(StreamEngine.count(&g, &target), BacktrackEngine.count(&g, &target));
+    }
+
+    #[test]
+    fn ineligible_configs_fall_back_to_windowed() {
+        let g = graph(&[(0, 1, 1), (1, 2, 3), (0, 2, 5), (2, 0, 6)]);
+        let cfg = EnumConfig::new(3, 3).with_timing(Timing::both(2, 5));
+        assert!(!StreamEngine::eligible(&cfg));
+        assert_eq!(StreamEngine.count(&g, &cfg), WindowedEngine.count(&g, &cfg));
+        // enumerate always walks, even for eligible configs.
+        let mut seen = 0usize;
+        StreamEngine.enumerate(&g, &w(10, 3, 3), &mut |_| seen += 1);
+        assert_eq!(seen as u64, BacktrackEngine.count(&g, &w(10, 3, 3)).total());
+    }
+
+    #[test]
+    fn signature_helpers_are_canonical() {
+        assert_eq!(two_node_signature(&[0, 0, 0]), sig("010101"));
+        assert_eq!(two_node_signature(&[1, 0]), sig("0110")); // orientation-free
+        assert_eq!(star_signature(&[0, 0, 1], &[0, 0, 0]), sig("010102"));
+        assert_eq!(star_signature(&[0, 1, 0], &[0, 0, 1]), sig("010210"));
+        // First event leaf-to-center: the leaf takes digit 0.
+        assert_eq!(star_signature(&[0, 1], &[1, 0]), sig("0112"));
+    }
+}

@@ -1,0 +1,418 @@
+//! Star and wedge counting: per-center streaming over incident events.
+//!
+//! A 3-node star motif has a center `C` and two distinct leaves; all
+//! three events run between the center and a leaf. Counting them without
+//! enumeration follows Paranjape et al.'s decomposition by the position
+//! of the *lone* event (the one on the minority leaf):
+//!
+//! * **pre** — the same-leaf pair comes first (`lone` is event 3):
+//!   `E12 − E123`,
+//! * **post** — the same-leaf pair comes last (`lone` is event 1):
+//!   `E23 − E123`,
+//! * **peri** — the pair straddles the lone event (`lone` is event 2):
+//!   `E13 − E123`,
+//!
+//! where `E12`/`E23`/`E13` count strictly-ordered in-window event
+//! triples incident to the center whose named positions share a leaf
+//! (the third position unconstrained) and `E123` counts the all-one-leaf
+//! triples. The subtraction removes exactly the 2-node sequences, which
+//! the [`pair`](super::pair) class counts instead; triples with three
+//! distinct leaves (4-node motifs) never enter any `E` table, and a
+//! triangle's third edge is not incident to the center at all — so the
+//! classes stay disjoint.
+//!
+//! `E12` falls out of a past-window sweep (same-leaf pair counts before
+//! each event), `E23` of a future-window sweep, and the coupled `E13` of
+//! a prefix identity: the same-leaf δ-pairs straddling time `t` are
+//! those *started* before `t` minus those *finished* by `t`, both of
+//! which are running sums over the per-event pair counts (`pstart`,
+//! `pend`) the two sweeps already produced. Everything is `O(events at
+//! the center)` per center with `O(nodes)` reusable scratch.
+
+// The count tables are indexed by direction bits used across several
+// tables per loop body; iterator forms would obscure the recurrences.
+#![allow(clippy::needless_range_loop)]
+
+use super::{group_end_by, star_signature};
+use crate::count::MotifCounts;
+use tnm_graph::{NodeId, TemporalGraph, Time};
+
+/// One event incident to the current center.
+#[derive(Clone, Copy)]
+struct Incident {
+    time: Time,
+    nbr: u32,
+    /// 0 = center → leaf, 1 = leaf → center.
+    dir: usize,
+}
+
+/// Per-direction counts, indexed `[d1][d2][d3]`.
+type Triples = [[[u64; 2]; 2]; 2];
+
+/// Reusable per-center state; neighbor-indexed scratch is sized once to
+/// the graph's node count and wiped via the center's own event list.
+struct CenterScratch {
+    evs: Vec<Incident>,
+    /// In-window events per neighbor and direction.
+    cnt_nbr: Vec<[u64; 2]>,
+    /// In-window same-leaf ordered pairs per neighbor.
+    per_nbr_pair: Vec<[[u64; 2]; 2]>,
+    /// Same-leaf δ-pairs ending at each event (`[d1]` of the earlier).
+    pend: Vec<[u64; 2]>,
+    /// Same-leaf δ-pairs starting at each event (`[d3]` of the later).
+    pstart: Vec<[u64; 2]>,
+}
+
+impl CenterScratch {
+    fn new(num_nodes: usize) -> Self {
+        CenterScratch {
+            evs: Vec::new(),
+            cnt_nbr: vec![[0; 2]; num_nodes],
+            per_nbr_pair: vec![[[0; 2]; 2]; num_nodes],
+            pend: Vec::new(),
+            pstart: Vec::new(),
+        }
+    }
+
+    /// Loads the center's incident events (already time-ordered: the
+    /// node index stores event indices in global time order).
+    fn load(&mut self, graph: &TemporalGraph, center: NodeId) {
+        self.evs.clear();
+        for &idx in graph.node_events(center) {
+            let e = graph.event(idx);
+            let (nbr, dir) = if e.src == center { (e.dst.0, 0) } else { (e.src.0, 1) };
+            self.evs.push(Incident { time: e.time, nbr, dir });
+        }
+    }
+
+    /// Zeroes the neighbor-indexed tables touched by this center.
+    fn wipe_nbr_tables(&mut self) {
+        for e in &self.evs {
+            self.cnt_nbr[e.nbr as usize] = [0; 2];
+            self.per_nbr_pair[e.nbr as usize] = [[0; 2]; 2];
+        }
+    }
+
+    /// End of the timestamp group starting at `i`.
+    fn group_end(&self, i: usize) -> usize {
+        group_end_by(&self.evs, i, |e| e.time)
+    }
+}
+
+/// Counts every 3-event, exactly-2-leaf star into `out`.
+pub fn count_stars(graph: &TemporalGraph, delta: Time, out: &mut MotifCounts) {
+    let mut scratch = CenterScratch::new(graph.num_nodes() as usize);
+    // lone[pos][d1][d2][d3]: stars whose minority-leaf event sits at
+    // `pos`, summed over all centers.
+    let mut lone = [Triples::default(); 3];
+    for c in 0..graph.num_nodes() {
+        scratch.load(graph, NodeId(c));
+        if scratch.evs.len() < 3 {
+            continue;
+        }
+        let (e12, e123) = forward_sweep(&mut scratch, delta);
+        let e23 = future_sweep(&mut scratch, delta);
+        let e13 = straddle_sweep(&scratch);
+        for d1 in 0..2 {
+            for d2 in 0..2 {
+                for d3 in 0..2 {
+                    lone[2][d1][d2][d3] += e12[d1][d2][d3] - e123[d1][d2][d3];
+                    lone[0][d1][d2][d3] += e23[d1][d2][d3] - e123[d1][d2][d3];
+                    lone[1][d1][d2][d3] += e13[d1][d2][d3] - e123[d1][d2][d3];
+                }
+            }
+        }
+    }
+    // Leaf layout per lone position: the minority leaf is B, the pair
+    // leaf A; canonicalization makes the naming immaterial.
+    const LEGS: [[u8; 3]; 3] = [[1, 0, 0], [0, 1, 0], [0, 0, 1]];
+    for (pos, legs) in LEGS.iter().enumerate() {
+        for d1 in 0..2 {
+            for d2 in 0..2 {
+                for d3 in 0..2 {
+                    let n = lone[pos][d1][d2][d3];
+                    if n > 0 {
+                        out.add(star_signature(legs, &[d1 as u8, d2 as u8, d3 as u8]), n);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Counts every 2-event wedge (two events sharing exactly the center)
+/// into `out`.
+pub fn count_wedges(graph: &TemporalGraph, delta: Time, out: &mut MotifCounts) {
+    let mut scratch = CenterScratch::new(graph.num_nodes() as usize);
+    let mut acc = [[0u64; 2]; 2];
+    for c in 0..graph.num_nodes() {
+        scratch.load(graph, NodeId(c));
+        if scratch.evs.len() < 2 {
+            continue;
+        }
+        let mut cnt_any = [0u64; 2];
+        let mut front = 0usize;
+        let mut i = 0usize;
+        while i < scratch.evs.len() {
+            let t = scratch.evs[i].time;
+            let group_end = scratch.group_end(i);
+            while front < i && scratch.evs[front].time < t - delta {
+                let expire_end = scratch.group_end(front);
+                for e in &scratch.evs[front..expire_end] {
+                    cnt_any[e.dir] -= 1;
+                    scratch.cnt_nbr[e.nbr as usize][e.dir] -= 1;
+                }
+                front = expire_end;
+            }
+            for e in &scratch.evs[i..group_end] {
+                for d1 in 0..2 {
+                    // Any in-window predecessor on a *different* leaf.
+                    acc[d1][e.dir] += cnt_any[d1] - scratch.cnt_nbr[e.nbr as usize][d1];
+                }
+            }
+            for e in &scratch.evs[i..group_end] {
+                cnt_any[e.dir] += 1;
+                scratch.cnt_nbr[e.nbr as usize][e.dir] += 1;
+            }
+            i = group_end;
+        }
+        scratch.wipe_nbr_tables();
+    }
+    for d1 in 0..2 {
+        for d2 in 0..2 {
+            if acc[d1][d2] > 0 {
+                out.add(star_signature(&[0, 1], &[d1 as u8, d2 as u8]), acc[d1][d2]);
+            }
+        }
+    }
+}
+
+/// Past-window sweep: fills `pend` and returns `(E12, E123)`.
+fn forward_sweep(scratch: &mut CenterScratch, delta: Time) -> (Triples, Triples) {
+    let mut e12 = Triples::default();
+    let mut e123 = Triples::default();
+    let mut same_pair = [[0u64; 2]; 2];
+    scratch.pend.clear();
+    scratch.pend.resize(scratch.evs.len(), [0; 2]);
+    let mut front = 0usize;
+    let mut i = 0usize;
+    while i < scratch.evs.len() {
+        let t = scratch.evs[i].time;
+        let group_end = scratch.group_end(i);
+        // Expire whole timestamp groups below the window start.
+        while front < i && scratch.evs[front].time < t - delta {
+            let expire_end = scratch.group_end(front);
+            for e in &scratch.evs[front..expire_end] {
+                scratch.cnt_nbr[e.nbr as usize][e.dir] -= 1;
+            }
+            for e in &scratch.evs[front..expire_end] {
+                let v = e.nbr as usize;
+                for d2 in 0..2 {
+                    // Retract the expired event's open pairs: everything
+                    // left on its leaf is strictly later.
+                    same_pair[e.dir][d2] -= scratch.cnt_nbr[v][d2];
+                    scratch.per_nbr_pair[v][e.dir][d2] -= scratch.cnt_nbr[v][d2];
+                }
+            }
+            front = expire_end;
+        }
+        // Close each group member as the last event of a triple.
+        for (idx, e) in scratch.evs[i..group_end].iter().enumerate() {
+            let v = e.nbr as usize;
+            scratch.pend[i + idx] = scratch.cnt_nbr[v];
+            for d1 in 0..2 {
+                for d2 in 0..2 {
+                    e12[d1][d2][e.dir] += same_pair[d1][d2];
+                    e123[d1][d2][e.dir] += scratch.per_nbr_pair[v][d1][d2];
+                }
+            }
+        }
+        // Push: pair against the pre-group snapshot, then admit.
+        for e in &scratch.evs[i..group_end] {
+            let v = e.nbr as usize;
+            for d1 in 0..2 {
+                same_pair[d1][e.dir] += scratch.cnt_nbr[v][d1];
+                scratch.per_nbr_pair[v][d1][e.dir] += scratch.cnt_nbr[v][d1];
+            }
+        }
+        for e in &scratch.evs[i..group_end] {
+            scratch.cnt_nbr[e.nbr as usize][e.dir] += 1;
+        }
+        i = group_end;
+    }
+    scratch.wipe_nbr_tables();
+    (e12, e123)
+}
+
+/// Future-window sweep: fills `pstart` and returns `E23`.
+fn future_sweep(scratch: &mut CenterScratch, delta: Time) -> Triples {
+    let mut e23 = Triples::default();
+    let mut same_pair = [[0u64; 2]; 2];
+    scratch.pstart.clear();
+    scratch.pstart.resize(scratch.evs.len(), [0; 2]);
+    let (mut wstart, mut wend) = (0usize, 0usize);
+    let mut i = 0usize;
+    while i < scratch.evs.len() {
+        let t = scratch.evs[i].time;
+        let group_end = scratch.group_end(i);
+        // Drop everything at or before the current time: pop pushed
+        // groups (retracting their open pairs), skip never-pushed ones.
+        while wstart < scratch.evs.len() && scratch.evs[wstart].time <= t {
+            let g_end = scratch.group_end(wstart);
+            if wstart < wend {
+                for e in &scratch.evs[wstart..g_end] {
+                    scratch.cnt_nbr[e.nbr as usize][e.dir] -= 1;
+                }
+                for e in &scratch.evs[wstart..g_end] {
+                    for d2 in 0..2 {
+                        same_pair[e.dir][d2] -= scratch.cnt_nbr[e.nbr as usize][d2];
+                    }
+                }
+            } else {
+                wend = g_end;
+            }
+            wstart = g_end;
+        }
+        // Admit groups within (t, t + ΔW], newest-last.
+        while wend < scratch.evs.len() && scratch.evs[wend].time <= t + delta {
+            let g_end = scratch.group_end(wend);
+            for e in &scratch.evs[wend..g_end] {
+                for d1 in 0..2 {
+                    same_pair[d1][e.dir] += scratch.cnt_nbr[e.nbr as usize][d1];
+                }
+            }
+            for e in &scratch.evs[wend..g_end] {
+                scratch.cnt_nbr[e.nbr as usize][e.dir] += 1;
+            }
+            wend = g_end;
+        }
+        // Close each group member as the first event of a triple.
+        for (idx, e) in scratch.evs[i..group_end].iter().enumerate() {
+            scratch.pstart[i + idx] = scratch.cnt_nbr[e.nbr as usize];
+            for d2 in 0..2 {
+                for d3 in 0..2 {
+                    e23[e.dir][d2][d3] += same_pair[d2][d3];
+                }
+            }
+        }
+        i = group_end;
+    }
+    scratch.wipe_nbr_tables();
+    e23
+}
+
+/// Running-sum sweep over `pend`/`pstart`: returns `E13`.
+///
+/// The same-leaf δ-pairs straddling an event at time `t` are exactly
+/// those whose first element lies before `t` (`F`, the running sum of
+/// `pstart` over events with time < `t`) minus those fully finished by
+/// `t` (`G`, the running sum of `pend` over events with time ≤ `t` —
+/// a pair ending *at* `t` cannot straddle it under strict ordering).
+fn straddle_sweep(scratch: &CenterScratch) -> Triples {
+    let mut e13 = Triples::default();
+    let mut f = [[0u64; 2]; 2];
+    let mut g = [[0u64; 2]; 2];
+    let (mut fx, mut gy) = (0usize, 0usize);
+    let mut i = 0usize;
+    while i < scratch.evs.len() {
+        let t = scratch.evs[i].time;
+        let group_end = scratch.group_end(i);
+        while fx < scratch.evs.len() && scratch.evs[fx].time < t {
+            for d3 in 0..2 {
+                f[scratch.evs[fx].dir][d3] += scratch.pstart[fx][d3];
+            }
+            fx += 1;
+        }
+        while gy < scratch.evs.len() && scratch.evs[gy].time <= t {
+            for d1 in 0..2 {
+                g[d1][scratch.evs[gy].dir] += scratch.pend[gy][d1];
+            }
+            gy += 1;
+        }
+        for e in &scratch.evs[i..group_end] {
+            for d1 in 0..2 {
+                for d3 in 0..2 {
+                    e13[d1][e.dir][d3] += f[d1][d3] - g[d1][d3];
+                }
+            }
+        }
+        i = group_end;
+    }
+    e13
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::notation::sig;
+    use tnm_graph::{Event, TemporalGraphBuilder};
+
+    fn graph(events: &[(u32, u32, i64)]) -> TemporalGraph {
+        let mut b = TemporalGraphBuilder::new();
+        for &(u, v, t) in events {
+            b.push(Event::new(u, v, t));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn out_star_pre_post_peri() {
+        // Center 0 sends to leaves 1, 1, 2 — lone event last: 010102.
+        let g = graph(&[(0, 1, 1), (0, 1, 2), (0, 2, 3)]);
+        let mut c = MotifCounts::new();
+        count_stars(&g, 10, &mut c);
+        assert_eq!(c.get(sig("010102")), 1);
+        assert_eq!(c.total(), 1);
+        // Lone event in the middle: 0→1, 0→2, 0→1 = 010201.
+        let g = graph(&[(0, 1, 1), (0, 2, 2), (0, 1, 3)]);
+        let mut c = MotifCounts::new();
+        count_stars(&g, 10, &mut c);
+        assert_eq!(c.get(sig("010201")), 1);
+        assert_eq!(c.total(), 1);
+        // Lone event first: 0→2, 0→1, 0→1 = 010202.
+        let g = graph(&[(0, 2, 1), (0, 1, 2), (0, 1, 3)]);
+        let mut c = MotifCounts::new();
+        count_stars(&g, 10, &mut c);
+        assert_eq!(c.get(sig("010202")), 1);
+        assert_eq!(c.total(), 1);
+    }
+
+    #[test]
+    fn two_node_triples_are_subtracted() {
+        // All three events on one leaf: a 2-node sequence, not a star.
+        let g = graph(&[(0, 1, 1), (0, 1, 2), (1, 0, 3)]);
+        let mut c = MotifCounts::new();
+        count_stars(&g, 10, &mut c);
+        assert!(c.is_empty(), "{c:?}");
+    }
+
+    #[test]
+    fn three_distinct_leaves_are_excluded() {
+        // A 4-node star: no exactly-2-leaf triple exists.
+        let g = graph(&[(0, 1, 1), (0, 2, 2), (0, 3, 3)]);
+        let mut c = MotifCounts::new();
+        count_stars(&g, 10, &mut c);
+        assert!(c.is_empty(), "{c:?}");
+    }
+
+    #[test]
+    fn window_bounds_the_whole_triple() {
+        let g = graph(&[(0, 1, 0), (0, 1, 5), (0, 2, 10)]);
+        for (delta, expect) in [(10i64, 1u64), (9, 0)] {
+            let mut c = MotifCounts::new();
+            count_stars(&g, delta, &mut c);
+            assert_eq!(c.total(), expect, "ΔW={delta}");
+        }
+    }
+
+    #[test]
+    fn wedges_by_direction_and_ties() {
+        // 0→1 then 2→0 share only node 0: 0120... wait: events (0,1),(2,0)
+        // canonicalize to 01, 20 = "0120". A tie at t=1 contributes nothing.
+        let g = graph(&[(0, 1, 1), (2, 0, 1), (2, 0, 3)]);
+        let mut c = MotifCounts::new();
+        count_wedges(&g, 5, &mut c);
+        assert_eq!(c.get(sig("0120")), 1);
+        assert_eq!(c.total(), 1);
+    }
+}

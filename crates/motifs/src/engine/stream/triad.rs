@@ -1,0 +1,229 @@
+//! Triad counting: the 6-label δ-window merge DP per static triangle.
+//!
+//! A 3-node, 3-event motif that is neither a 2-node sequence nor a star
+//! uses all three undirected node pairs of its node set — a temporal
+//! triangle. Static triangles are enumerated once from the
+//! [`StaticProjection`]; each triangle's events (up to six directed
+//! edges) merge into one time-ordered list where every event carries a
+//! 6-valued label — (undirected pair, direction) — and the generic
+//! Paranjape window DP counts every strictly-ordered label triple within
+//! ΔW. Only triples whose three labels cover all three pairs are folded
+//! into signatures; the rest belong to the pair/star classes and are
+//! discarded for free (their accumulator slots simply map to no
+//! signature).
+//!
+//! Cost: `O(Σ_triangles events-on-the-triangle · 6)` — the WSDM'17
+//! triangle bound — with a 48-entry label-triple → signature table
+//! computed once per count.
+
+// The DP tables are indexed by label/pair ids used across several
+// tables per loop body; iterator forms would obscure the recurrences.
+#![allow(clippy::needless_range_loop)]
+
+use super::group_end_by;
+use crate::count::MotifCounts;
+use crate::notation::MotifSignature;
+use tnm_graph::{Edge, NodeId, StaticProjection, TemporalGraph, Time};
+
+/// Labels: `pair * 2 + dir`, pairs 0 = {a,b}, 1 = {a,c}, 2 = {b,c} for
+/// the triangle's sorted nodes `a < b < c`; dir 0 = lower → higher id.
+const LABELS: usize = 6;
+
+/// Counts every δ-window temporal triangle into `out`.
+pub fn count_triads(graph: &TemporalGraph, delta: Time, out: &mut MotifCounts) {
+    let proj = StaticProjection::from_graph(graph);
+    let sig_table = label_triple_signatures();
+    let combos = closing_combos();
+    // One flat accumulator over label triples, shared by all triangles:
+    // the signature of a label triple is triangle-independent.
+    let mut acc = [0u64; LABELS * LABELS * LABELS];
+    let mut merged: Vec<(Time, u8)> = Vec::new(); // (timestamp, label)
+    proj.for_each_undirected_triangle(|nodes| {
+        collect_triangle_events(graph, nodes, &mut merged);
+        triangle_window_dp(&merged, delta, &combos, &mut acc);
+    });
+    for (slot, &n) in acc.iter().enumerate() {
+        if n > 0 {
+            let sig = sig_table[slot].expect("only all-three-pairs slots accumulate");
+            out.add(sig, n);
+        }
+    }
+}
+
+/// Gathers the triangle's events as `(timestamp, label)`, time-sorted.
+/// The DP only needs timestamp *groups* — within-group order is
+/// immaterial under the ties-never-co-occur rule — so the inline
+/// timestamps both serve as the sort key and spare the DP a
+/// per-comparison event-table indirection.
+fn collect_triangle_events(graph: &TemporalGraph, nodes: [NodeId; 3], out: &mut Vec<(Time, u8)>) {
+    out.clear();
+    let [a, b, c] = nodes;
+    for (pair, (lo, hi)) in [(a, b), (a, c), (b, c)].into_iter().enumerate() {
+        for (dir, edge) in
+            [Edge { src: lo, dst: hi }, Edge { src: hi, dst: lo }].into_iter().enumerate()
+        {
+            let label = (pair * 2 + dir) as u8;
+            out.extend(graph.edge_events(edge).iter().map(|&idx| (graph.event(idx).time, label)));
+        }
+    }
+    out.sort_unstable();
+}
+
+/// The label pairs `(l1, l2)` that close a triangle with a final event
+/// on pair `p3`: both orders of the two other pairs, all four direction
+/// combinations — eight per `p3`.
+fn closing_combos() -> [[(usize, usize); 8]; 3] {
+    let mut out = [[(0, 0); 8]; 3];
+    for p3 in 0..3 {
+        let [pa, pb]: [usize; 2] = match p3 {
+            0 => [1, 2],
+            1 => [0, 2],
+            _ => [0, 1],
+        };
+        let mut slot = 0;
+        for (x, y) in [(pa, pb), (pb, pa)] {
+            for dx in 0..2 {
+                for dy in 0..2 {
+                    out[p3][slot] = (x * 2 + dx, y * 2 + dy);
+                    slot += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The 6-label window DP: strictly-ordered in-window triples by label,
+/// accumulated only into all-three-pairs slots.
+fn triangle_window_dp(
+    evs: &[(Time, u8)],
+    delta: Time,
+    combos: &[[(usize, usize); 8]; 3],
+    acc: &mut [u64; LABELS * LABELS * LABELS],
+) {
+    let group_end = |i: usize| group_end_by(evs, i, |e| e.0);
+    let mut counts1 = [0u64; LABELS];
+    let mut counts2 = [[0u64; LABELS]; LABELS];
+    let mut front = 0usize;
+    let mut i = 0usize;
+    while i < evs.len() {
+        let t = evs[i].0;
+        let g_end = group_end(i);
+        while front < i && evs[front].0 < t - delta {
+            let expire_end = group_end(front);
+            for &(_, l) in &evs[front..expire_end] {
+                counts1[l as usize] -= 1;
+            }
+            for &(_, l) in &evs[front..expire_end] {
+                for l2 in 0..LABELS {
+                    counts2[l as usize][l2] -= counts1[l2];
+                }
+            }
+            front = expire_end;
+        }
+        // Close: only pair-disjoint (l1, l2) prefixes can complete a
+        // triangle with this event's pair — the eight precomputed combos;
+        // the other prefixes stay pure DP state.
+        for &(_, l3) in &evs[i..g_end] {
+            for &(l1, l2) in &combos[(l3 / 2) as usize] {
+                acc[(l1 * LABELS + l2) * LABELS + l3 as usize] += counts2[l1][l2];
+            }
+        }
+        // Push against the pre-group snapshot, then admit the group.
+        for &(_, l) in &evs[i..g_end] {
+            for l1 in 0..LABELS {
+                counts2[l1][l as usize] += counts1[l1];
+            }
+        }
+        for &(_, l) in &evs[i..g_end] {
+            counts1[l as usize] += 1;
+        }
+        i = g_end;
+    }
+}
+
+/// Signature per label triple; `None` unless the three labels cover all
+/// three undirected pairs (those triples are stars or 2-node sequences,
+/// counted by their own classes).
+fn label_triple_signatures() -> Vec<Option<MotifSignature>> {
+    // Symbolic endpoints per label: pair {a,b} → (0,1), {a,c} → (0,2),
+    // {b,c} → (1,2); odd labels reverse.
+    const ENDPOINTS: [(u8, u8); LABELS] = [(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)];
+    let mut table = vec![None; LABELS * LABELS * LABELS];
+    for l1 in 0..LABELS {
+        for l2 in 0..LABELS {
+            for l3 in 0..LABELS {
+                let pairs = [l1 / 2, l2 / 2, l3 / 2];
+                let covers_all = pairs.contains(&0) && pairs.contains(&1) && pairs.contains(&2);
+                if covers_all {
+                    let seq = [ENDPOINTS[l1], ENDPOINTS[l2], ENDPOINTS[l3]];
+                    table[(l1 * LABELS + l2) * LABELS + l3] =
+                        Some(MotifSignature::canonicalize(&seq));
+                }
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::notation::sig;
+    use tnm_graph::{Event, TemporalGraphBuilder};
+
+    fn graph(events: &[(u32, u32, i64)]) -> TemporalGraph {
+        let mut b = TemporalGraphBuilder::new();
+        for &(u, v, t) in events {
+            b.push(Event::new(u, v, t));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_triangle() {
+        let g = graph(&[(0, 1, 1), (1, 2, 2), (0, 2, 3)]);
+        let mut c = MotifCounts::new();
+        count_triads(&g, 10, &mut c);
+        assert_eq!(c.get(sig("011202")), 1);
+        assert_eq!(c.total(), 1);
+    }
+
+    #[test]
+    fn star_and_pair_prefixes_do_not_leak() {
+        // Extra events on one pair create star/2-node triples that must
+        // not surface as triangles.
+        let g = graph(&[(0, 1, 1), (0, 1, 2), (1, 2, 3), (0, 2, 4)]);
+        let mut c = MotifCounts::new();
+        count_triads(&g, 10, &mut c);
+        // Triangles: {e at 1 or 2} × (1→2) × (0→2) = 2 instances of 011202.
+        assert_eq!(c.get(sig("011202")), 2);
+        assert_eq!(c.total(), 2);
+    }
+
+    #[test]
+    fn window_and_ties_respected() {
+        let g = graph(&[(0, 1, 0), (1, 2, 0), (0, 2, 5)]);
+        let mut c = MotifCounts::new();
+        count_triads(&g, 10, &mut c);
+        assert!(c.is_empty(), "tied first two events cannot chain: {c:?}");
+        let g = graph(&[(0, 1, 0), (1, 2, 4), (0, 2, 9)]);
+        for (delta, expect) in [(9i64, 1u64), (8, 0)] {
+            let mut c = MotifCounts::new();
+            count_triads(&g, delta, &mut c);
+            assert_eq!(c.total(), expect, "ΔW={delta}");
+        }
+    }
+
+    #[test]
+    fn signature_table_has_48_entries() {
+        let table = label_triple_signatures();
+        assert_eq!(table.iter().flatten().count(), 48);
+        // Directions matter: a→b, b→c, a→c is the feed-forward triangle.
+        let idx = |l1: usize, l2: usize, l3: usize| (l1 * LABELS + l2) * LABELS + l3;
+        assert_eq!(table[idx(0, 4, 2)], Some(sig("011202")));
+        // a→b, c→b, a→c: 01, 21, 02.
+        assert_eq!(table[idx(0, 5, 2)], Some(sig("012102")));
+        assert_eq!(table[idx(0, 1, 2)], None, "two labels on one pair");
+    }
+}

@@ -217,31 +217,38 @@ impl<'g, C: CandidateSource> Walker<'g, C> {
         }
     }
 
-    /// Maps a node to its digit, appending a fresh digit when new.
-    /// Returns `(digit, was_new)`.
+    /// Appends `node` as a fresh digit, returning it.
     #[inline]
-    fn digit_of(&mut self, node: NodeId) -> (u8, bool) {
-        match self.digits.iter().position(|&n| n == node) {
-            Some(i) => (i as u8, false),
-            None => {
-                self.digits.push(node);
-                ((self.digits.len() - 1) as u8, true)
-            }
-        }
+    fn fresh_digit(&mut self, node: NodeId) -> u8 {
+        self.digits.push(node);
+        (self.digits.len() - 1) as u8
     }
 
     /// Attempts to push `idx`; returns how many fresh digits were added
     /// (`None` if rejected by node budget or the signature filter).
     fn try_push(&mut self, idx: EventIdx) -> Option<usize> {
         let e = self.graph.event(idx);
-        let new_needed = [e.src, e.dst].iter().filter(|&&n| !self.digits.contains(&n)).count();
+        // One scan of the digit list resolves both endpoints; the hits
+        // are reused for the node-budget check and the digit mapping
+        // (self-loops cannot occur, so the endpoints are distinct and a
+        // fresh src never shadows the dst lookup).
+        let mut src_digit = None;
+        let mut dst_digit = None;
+        for (i, &n) in self.digits.iter().enumerate() {
+            if n == e.src {
+                src_digit = Some(i as u8);
+            } else if n == e.dst {
+                dst_digit = Some(i as u8);
+            }
+        }
+        let new_needed = src_digit.is_none() as usize + dst_digit.is_none() as usize;
         if self.digits.len() + new_needed > self.cfg.max_nodes {
             return None;
         }
         let depth = self.seq.len();
-        let (a, a_new) = self.digit_of(e.src);
-        let (b, b_new) = self.digit_of(e.dst);
-        let added = a_new as usize + b_new as usize;
+        let a = src_digit.unwrap_or_else(|| self.fresh_digit(e.src));
+        let b = dst_digit.unwrap_or_else(|| self.fresh_digit(e.dst));
+        let added = new_needed;
         if let Some(target) = &self.cfg.signature_filter {
             if target.pairs()[depth] != (a, b) {
                 self.digits.truncate(self.digits.len() - added);

@@ -21,8 +21,10 @@
 //!   serial, window-indexed, work-stealing parallel, time-slice sharded
 //!   (in-memory or spilled to disk for out-of-core runs), and
 //!   interval-sampling implementations (the sampler reports confidence
-//!   intervals through [`engine::CountEngine::report`]), legacy entry
-//!   points ([`enumerate`]), and spectrum analytics ([`count`]);
+//!   intervals through [`engine::CountEngine::report`]), plus the
+//!   **streaming fast path** ([`engine::StreamEngine`]) that counts
+//!   eligible δ-window spectra without enumerating instances; legacy
+//!   entry points ([`enumerate`]), and spectrum analytics ([`count`]);
 //! * per-instance **validity checking** for Figure 1-style model
 //!   comparisons ([`validity`]);
 //! * **partial orders** and Song et al.'s **streaming event-pattern
@@ -77,17 +79,24 @@
 //!   the work-stealing executor inside each shard; optional spill mode
 //!   serializes shards to disk and bounds peak residency for logs
 //!   larger than memory. Exact.
+//! * [`engine::StreamEngine`] (`stream`) — **count without
+//!   enumerating**: for eligible Paranjape-shape jobs (only-ΔW,
+//!   non-induced, no restrictions, ≤ 3 events on ≤ 3 nodes) the
+//!   spectrum comes from sliding-window dynamic programs over node
+//!   pairs, star centers, and static triangles — near-linear in events
+//!   where every walker is linear in instances. Exact; ineligible
+//!   configurations transparently fall back to the windowed walker.
 //! * [`engine::SamplingEngine`] (`sampling`) — **approximate** interval
 //!   sampling: unbiased point estimates with ~95 % confidence intervals
 //!   via [`engine::CountEngine::report`], at a fraction of exact cost on
-//!   large windows. The other four engines are exact and produce
+//!   large windows. The other five engines are exact and produce
 //!   identical counts.
 //! * [`engine::EngineKind::Auto`] (`auto`, the default) — resolves per
-//!   workload via [`engine::auto_select`]: backtrack for small
-//!   unbounded-timing jobs, sharded for bounded-timing graphs above
-//!   [`engine::SHARDED_MIN_EVENTS`], work-stealing parallel when the
-//!   graph and its ΔC/ΔW windows carry enough work for multiple
-//!   threads, serial windowed otherwise.
+//!   workload via [`engine::auto_select`]: the stream fast path whenever
+//!   eligible, backtrack for small unbounded-timing jobs, sharded for
+//!   bounded-timing graphs above [`engine::SHARDED_MIN_EVENTS`],
+//!   work-stealing parallel when the graph and its ΔC/ΔW windows carry
+//!   enough work for multiple threads, serial windowed otherwise.
 //!
 //! All windowed engines share one [`tnm_graph::WindowIndex`] per graph
 //! through [`tnm_graph::index_cache::global_index_cache`], so repeated

@@ -13,14 +13,20 @@
 //!   synthetic dataset generator corpora;
 //! * adversarial shard geometries — cuts inside motif spans, duplicate
 //!   timestamps straddling a cut, spill mode with a one-shard budget
-//!   ([`sharded_boundaries_are_exact`]).
+//!   ([`sharded_boundaries_are_exact`]);
+//! * the stream engine's count-without-enumerating fast path across
+//!   every eligible Paranjape configuration, equal-timestamp tie sweeps
+//!   included, plus its fall-back on ineligible configurations
+//!   ([`stream_fast_path_matches_walkers`],
+//!   [`stream_rejects_ineligible_and_falls_back`]).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use temporal_motifs::prelude::*;
 use tnm_datasets::{generate, DatasetSpec};
 use tnm_motifs::engine::{
-    BacktrackEngine, CountEngine, EngineKind, ParallelEngine, ShardedEngine, WindowedEngine,
+    BacktrackEngine, CountEngine, EngineKind, ParallelEngine, ShardedEngine, StreamEngine,
+    WindowedEngine,
 };
 
 /// Every engine under test. The work-stealing executor appears twice —
@@ -28,7 +34,9 @@ use tnm_motifs::engine::{
 /// bugs and candidate-source bugs cannot mask one another. The sharded
 /// engine runs with a deliberately tiny shard target so the suite's
 /// small graphs still split into many shards, with cuts landing inside
-/// motif spans.
+/// motif spans. The stream engine joins every sweep: on eligible
+/// configurations it exercises the count-without-enumerating DPs, on
+/// the rest its windowed fallback.
 fn engines() -> Vec<Box<dyn CountEngine>> {
     vec![
         Box::new(BacktrackEngine),
@@ -37,6 +45,7 @@ fn engines() -> Vec<Box<dyn CountEngine>> {
         Box::new(ParallelEngine::over_backtrack(3)),
         Box::new(ShardedEngine::new(16)),
         Box::new(ShardedEngine::new(25).with_threads(3)),
+        Box::new(StreamEngine),
     ]
 }
 
@@ -50,6 +59,11 @@ fn assert_all_engines_agree(graph: &TemporalGraph, cfg: &EnumConfig, label: &str
             "{label}: engine `{}` disagrees with backtrack reference",
             engine.name()
         );
+    }
+    // Every exact kind by registry — the sweep that guarantees a newly
+    // registered engine cannot be silently skipped.
+    for &kind in EngineKind::all_exact() {
+        assert_eq!(kind.count(graph, cfg, 2), reference, "{label}: exact kind `{kind}` disagrees");
     }
     // The auto kind must agree regardless of how it resolves.
     for threads in [1, 4] {
@@ -205,6 +219,101 @@ fn sharded_boundaries_are_exact() {
             }
         }
     }
+}
+
+/// The acceptance matrix for the stream fast path: across four
+/// generator corpora and 2-/3-event sizes, every eligible Paranjape
+/// configuration (non-induced, only-ΔW) must count **bit-identically**
+/// to the windowed walker — node-budget slices, exact-node slices, and
+/// signature targeting included. The tie-heavy sweep replays the same
+/// matrix on graphs whose horizon is far smaller than the event count,
+/// so duplicate timestamps saturate every window boundary.
+#[test]
+fn stream_fast_path_matches_walkers() {
+    // Generator corpora: realistic burstiness and recall patterns.
+    for name in ["CollegeMsg", "Email", "SMS-A", "Bitcoin-otc"] {
+        let mut spec = DatasetSpec::by_name(name).expect("known dataset");
+        spec.num_events = 1_200;
+        let g = generate(&spec, 13);
+        let quarter = (g.timespan() / 4).max(1);
+        for k in [2usize, 3] {
+            for delta in [60, 1_500, quarter] {
+                let model = tnm_motifs::models::paranjape::without_inducedness(delta);
+                let cfg = EnumConfig::for_model(&model, k, 3);
+                assert!(StreamEngine::eligible(&cfg), "{name} k={k} ΔW={delta}");
+                assert_eq!(
+                    StreamEngine.count(&g, &cfg),
+                    WindowedEngine.count(&g, &cfg),
+                    "{name}, k={k}, ΔW={delta}"
+                );
+            }
+        }
+        // Node-bound and targeting variants on one window.
+        let base = EnumConfig::new(3, 3).with_timing(Timing::only_w(1_500));
+        for cfg in [
+            base.clone(),
+            base.clone().exact_nodes(3),
+            base.clone().exact_nodes(2),
+            EnumConfig::new(2, 3).with_timing(Timing::only_w(900)),
+            EnumConfig::new(1, 2).with_timing(Timing::only_w(900)),
+            EnumConfig::for_signature(sig("011202")).with_timing(Timing::only_w(1_500)),
+            EnumConfig::for_signature(sig("010102")).with_timing(Timing::only_w(1_500)),
+            EnumConfig::for_signature(sig("0110")).with_timing(Timing::only_w(900)),
+        ] {
+            assert!(StreamEngine::eligible(&cfg), "{name}: {cfg:?}");
+            assert_eq!(
+                StreamEngine.count(&g, &cfg),
+                WindowedEngine.count(&g, &cfg),
+                "{name}, variant {cfg:?}"
+            );
+        }
+    }
+    // Adversarial equal-timestamp sweep: horizon ≪ events, so nearly
+    // every timestamp is duplicated and groups straddle window edges.
+    for (seed, nodes, events, horizon) in
+        [(901u64, 6u32, 150usize, 25i64), (902, 10, 200, 12), (903, 4, 120, 6)]
+    {
+        let g = random_graph(seed, nodes, events, horizon);
+        for k in [2usize, 3] {
+            for delta in [0i64, 1, 3, horizon] {
+                let cfg = EnumConfig::new(k, 3).with_timing(Timing::only_w(delta));
+                assert_eq!(
+                    StreamEngine.count(&g, &cfg),
+                    WindowedEngine.count(&g, &cfg),
+                    "ties seed={seed}, k={k}, ΔW={delta}"
+                );
+            }
+        }
+    }
+}
+
+/// Ineligible configurations — here the full Paranjape model, whose
+/// static inducedness the stream classes cannot check, and a ΔC-bearing
+/// timing — must be rejected by the eligibility predicate and fall back
+/// to the windowed walker with identical counts, via both the engine
+/// itself and `auto_select` routing.
+#[test]
+fn stream_rejects_ineligible_and_falls_back() {
+    let g = random_graph(77, 9, 140, 200);
+    let induced = EnumConfig::for_model(&MotifModel::paranjape(60), 3, 3);
+    let dc = EnumConfig::new(3, 3).with_timing(Timing::both(20, 60));
+    let only_dc = EnumConfig::new(3, 3).with_timing(Timing::only_c(20));
+    let four_events = EnumConfig::new(4, 4).with_timing(Timing::only_w(60));
+    for cfg in [&induced, &dc, &only_dc, &four_events] {
+        assert!(!StreamEngine::eligible(cfg), "{cfg:?} must be ineligible");
+        let reference = WindowedEngine.count(&g, cfg);
+        assert_eq!(StreamEngine.count(&g, cfg), reference, "fallback for {cfg:?}");
+        // Auto never routes an ineligible job to the stream engine.
+        assert_ne!(
+            tnm_motifs::engine::auto_select(&g, cfg, 4),
+            EngineKind::Stream,
+            "auto_select must not pick stream for {cfg:?}"
+        );
+        assert_eq!(EngineKind::Auto.count(&g, cfg, 4), reference);
+    }
+    // ...and it does route the eligible twin there.
+    let eligible = EnumConfig::new(3, 3).with_timing(Timing::only_w(60));
+    assert_eq!(tnm_motifs::engine::auto_select(&g, &eligible, 4), EngineKind::Stream);
 }
 
 #[test]
