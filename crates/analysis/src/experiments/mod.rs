@@ -139,16 +139,24 @@ pub fn default_threads() -> usize {
 /// [`EngineKind::Sampling`] (with its embedded budget and seed) makes
 /// the drivers *approximate*: tables are computed from rounded point
 /// estimates — the scaling escape hatch for window configurations too
-/// expensive to count exactly. [`EngineKind::Sharded`] keeps them exact
-/// while bounding the counting working set (and, with a resident
-/// budget, spilling time slices to disk) — the out-of-core escape hatch
-/// for corpora larger than memory. [`EngineKind::Stream`] (which `auto`
-/// picks whenever a driver's configuration is Paranjape-shaped) counts
-/// eligible only-ΔW spectra without enumerating instances and is the
-/// fastest exact option there by an asymptotic margin. All windowed
-/// engines share one
+/// expensive to count exactly (under a `threads` budget the sampler
+/// evaluates its window draws in parallel with bit-identical seeded
+/// results). [`EngineKind::Sharded`] keeps them exact while bounding
+/// the counting working set (and, with a resident budget, spilling
+/// time slices to disk) — the out-of-core escape hatch for corpora
+/// larger than memory. [`EngineKind::Distributed`] takes the same
+/// shard plan across **process boundaries**: spilled shards are
+/// counted by `tnm worker` children over a framed wire protocol, with
+/// crashed workers' shards rescheduled onto survivors — still exact,
+/// and the scale-out escape hatch once one process's cores are the
+/// bottleneck. [`EngineKind::Stream`] (which `auto` picks whenever a
+/// driver's configuration is Paranjape-shaped) counts eligible only-ΔW
+/// spectra without enumerating instances and is the fastest exact
+/// option there by an asymptotic margin. All windowed engines share one
 /// `WindowIndex` per graph through
-/// [`tnm_graph::index_cache::global_index_cache`], so the dozens of
+/// [`tnm_graph::index_cache::global_index_cache`] (and the streaming
+/// triad class shares its static projection through
+/// `tnm_graph::static_proj::global_projection_cache`), so the dozens of
 /// counts a driver performs on the same corpus entry build each index
 /// once; the sharded engine instead builds a transient index per time
 /// slice, deliberately bypassing that cache.

@@ -6,7 +6,9 @@
 //! configuration — the regime the windowed index is built for. Further
 //! groups cover ΔW tightness sweeps (how pruning scales with the window),
 //! parallel scaling, the sampling engine across budgets, the sharded
-//! engine (in-memory and out-of-core spill mode), the stream engine's
+//! engine (in-memory and out-of-core spill mode), the distributed
+//! engine (real coordinator/worker processes over the wire protocol vs
+//! the in-process baseline), the stream engine's
 //! count-without-enumerating fast path against the windowed walker,
 //! window-index cache reuse, signature-targeted counting, streaming
 //! matching, and dataset generation.
@@ -20,7 +22,7 @@ use std::hint::black_box;
 use tnm_datasets::{generate, DatasetSpec};
 use tnm_graph::TemporalGraph;
 use tnm_motifs::engine::{
-    BacktrackEngine, CountEngine, ParallelEngine, StreamEngine, WindowedEngine,
+    BacktrackEngine, CountEngine, DistributedEngine, ParallelEngine, StreamEngine, WindowedEngine,
 };
 use tnm_motifs::pattern::{matcher::StreamingMatcher, EventPattern};
 use tnm_motifs::prelude::*;
@@ -216,6 +218,34 @@ fn bench_stream_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// Coordinator/worker counting across process boundaries: every
+/// iteration plans shards, spills them, spawns real `tnm worker`
+/// processes, and merges their framed replies — the full wire round
+/// trip, tracked against the in-process windowed baseline. This is the
+/// cost of leaving the address space: process spawn, shard
+/// serialization, and framed I/O, amortized over the shard walks.
+fn bench_distributed_engine(c: &mut Criterion) {
+    assert!(
+        DistributedEngine::worker_binary().is_some(),
+        "distributed bench needs the `tnm` binary: build the workspace (release) first"
+    );
+    let g = dataset("SMS-A", 12_000);
+    let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(3000));
+    let mut group = c.benchmark_group("distributed_engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.num_events() as u64));
+    group.bench_function("windowed_baseline", |b| {
+        b.iter(|| black_box(WindowedEngine.count(&g, &cfg)))
+    });
+    for workers in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            let engine = DistributedEngine::new(w).with_shard_events(2_000);
+            b.iter(|| black_box(engine.count(&g, &cfg)))
+        });
+    }
+    group.finish();
+}
+
 /// Out-of-core spill mode: every iteration serializes the shards to a
 /// temp dir and counts while keeping at most `max_resident` loaded —
 /// the full write + read + count cycle, so the history tracks the I/O
@@ -308,6 +338,7 @@ criterion_group!(
     bench_sharded_engine,
     bench_stream_engine,
     bench_sharded_spill,
+    bench_distributed_engine,
     bench_index_cache,
     bench_signature_targeting,
     bench_streaming_matcher,

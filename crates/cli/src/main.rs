@@ -52,26 +52,35 @@ Flags:
   --seed N      Corpus seed (default the standard experiment seed)
   --csv         Emit CSV instead of a rendered table (where supported)
   --engine E    Counting engine: backtrack | windowed | parallel |
-                stream | sharded | sampling | auto (default auto; see
-                the tnm-motifs rustdoc on choosing one). `stream` counts
-                without enumerating instances — exact and near-linear in
-                events for Paranjape-shape jobs (--dw only, no --induced
-                or other restrictions, <=3 events on <=3 nodes), falling
-                back to the windowed walker otherwise; `auto` picks it
-                whenever eligible. `sharded` counts exact totals over
-                time-slice shards and can spill them to disk for graphs
-                larger than memory. `sampling` is approximate: counts
-                are point estimates with 95% confidence intervals.
-                fig4/fig5 enumerate exact instance statistics and reject
-                it.
+                stream | sharded | distributed | sampling | auto
+                (default auto; see the tnm-motifs rustdoc on choosing
+                one). `stream` counts without enumerating instances —
+                exact and near-linear in events for Paranjape-shape jobs
+                (--dw only, no --induced or other restrictions, <=3
+                events on <=3 nodes), falling back to the windowed
+                walker otherwise; `auto` picks it whenever eligible.
+                `sharded` counts exact totals over time-slice shards and
+                can spill them to disk for graphs larger than memory.
+                `distributed` farms the same shards out to worker
+                processes over a framed wire protocol — exact, with
+                crashed workers' shards rescheduled onto survivors.
+                `sampling` is approximate: counts are point estimates
+                with 95% confidence intervals. fig4/fig5 enumerate exact
+                instance statistics and reject it.
   --threads N   Thread budget for parallel-capable engines (the sharded
-                engine work-steals within each shard)
+                engine work-steals within each shard; the sampling
+                engine evaluates window draws in parallel with
+                bit-identical seeded results; the distributed engine
+                spreads the budget across its workers, N/workers
+                threads inside each worker process)
   --samples K   Sample-window budget for --engine sampling (quadruple it
                 to halve the confidence intervals). The sampler draws its
                 RNG seed from --seed. Rejected for exact engines.
+  --workers N   Worker processes for --engine distributed (default 2).
+                Rejected for other engines.
   --shard-events N
-                Target start events per shard for --engine sharded
-                (default 16384). Rejected for other engines.
+                Target start events per shard for --engine sharded or
+                distributed (default 16384). Rejected for other engines.
   --max-resident-shards N
                 Spill shards to disk, keeping at most N loaded at a time
                 (--engine sharded only). Without it, shards are cut from
@@ -144,19 +153,58 @@ fn run_config_from(args: &Args) -> Result<RunConfig, Box<dyn std::error::Error>>
         )
         .into());
     }
-    if let EngineKind::Sharded { shard_events, max_resident_shards } = rc.engine {
-        let shard_events: usize = args.get_parsed("shard-events", shard_events)?;
-        if shard_events == 0 {
-            return Err("--shard-events must be at least 1".into());
+    match rc.engine {
+        EngineKind::Sharded { shard_events, max_resident_shards } => {
+            let shard_events: usize = args.get_parsed("shard-events", shard_events)?;
+            if shard_events == 0 {
+                return Err("--shard-events must be at least 1".into());
+            }
+            rc.engine = EngineKind::Sharded {
+                shard_events,
+                max_resident_shards: args.get_parsed("max-resident-shards", max_resident_shards)?,
+            };
         }
-        rc.engine = EngineKind::Sharded {
-            shard_events,
-            max_resident_shards: args.get_parsed("max-resident-shards", max_resident_shards)?,
-        };
-    } else if args.has("shard-events") || args.has("max-resident-shards") {
+        EngineKind::Distributed { workers, shard_events } => {
+            let workers: usize = args.get_parsed("workers", workers)?;
+            if workers == 0 {
+                return Err("--workers must be at least 1".into());
+            }
+            let shard_events: usize = args.get_parsed("shard-events", shard_events)?;
+            if shard_events == 0 {
+                return Err("--shard-events must be at least 1".into());
+            }
+            if args.has("max-resident-shards") {
+                return Err(format!(
+                    "--max-resident-shards is only valid with --engine sharded (got engine \
+                     `{}`; the distributed engine always spills every shard)",
+                    rc.engine
+                )
+                .into());
+            }
+            rc.engine = EngineKind::Distributed { workers, shard_events };
+        }
+        _ => {
+            if args.has("shard-events") {
+                return Err(format!(
+                    "--shard-events is only valid with --engine sharded or --engine \
+                     distributed (got engine `{}`)",
+                    rc.engine
+                )
+                .into());
+            }
+            if args.has("max-resident-shards") {
+                return Err(format!(
+                    "--max-resident-shards is only valid with --engine sharded (got engine \
+                     `{}`)",
+                    rc.engine
+                )
+                .into());
+            }
+        }
+    }
+    if args.has("workers") && !matches!(rc.engine, EngineKind::Distributed { .. }) {
         return Err(format!(
-            "--shard-events/--max-resident-shards are only valid with --engine sharded \
-             (got engine `{}`)",
+            "--workers is only valid with --engine distributed (got engine `{}`)",
             rc.engine
         )
         .into());
@@ -196,11 +244,29 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "engine",
         "threads",
         "samples",
+        "workers",
         "shard-events",
         "max-resident-shards",
     ];
     match command {
         "help" | "--help" | "-h" => print!("{HELP}"),
+        // Hidden: the distributed engine's worker side. Spawned by the
+        // coordinator as `tnm worker` with framed jobs on stdin and
+        // framed replies on stdout; not intended for interactive use,
+        // so it stays out of the help text. TNM_WORKER_EXIT_AFTER is
+        // the crash-rescheduling tests' fault-injection knob.
+        "worker" => {
+            args.ensure_known(&[])?;
+            let exit_after =
+                std::env::var("TNM_WORKER_EXIT_AFTER").ok().and_then(|v| v.parse::<usize>().ok());
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            tnm_motifs::engine::run_worker(
+                stdin.lock(),
+                std::io::BufWriter::new(stdout.lock()),
+                exit_after,
+            )?;
+        }
         "list" => {
             args.ensure_known(&common)?;
             for spec in DatasetSpec::all() {
@@ -434,7 +500,7 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tnm_motifs::engine::DEFAULT_SHARD_EVENTS;
+    use tnm_motifs::engine::{DEFAULT_SHARD_EVENTS, DEFAULT_WORKERS};
 
     fn rc(tokens: &[&str]) -> Result<RunConfig, Box<dyn std::error::Error>> {
         run_config_from(&Args::parse(tokens.iter().map(|s| s.to_string())).unwrap())
@@ -459,6 +525,16 @@ mod tests {
             rc(&["--engine", "sampling", "--samples", "99", "--seed", "7"]).unwrap().engine,
             EngineKind::sampling(99, 7)
         );
+        assert_eq!(
+            rc(&["--engine", "distributed"]).unwrap().engine,
+            EngineKind::distributed(DEFAULT_WORKERS, DEFAULT_SHARD_EVENTS)
+        );
+        assert_eq!(
+            rc(&["--engine", "distributed", "--workers", "4", "--shard-events", "512"])
+                .unwrap()
+                .engine,
+            EngineKind::distributed(4, 512)
+        );
         assert_eq!(rc(&["--threads", "3"]).unwrap().threads, 3);
     }
 
@@ -466,7 +542,7 @@ mod tests {
     /// offending engine — not silently run an exact count.
     #[test]
     fn nonsensical_combos_rejected() {
-        for exact in ["backtrack", "windowed", "parallel", "stream", "sharded"] {
+        for exact in ["backtrack", "windowed", "parallel", "stream", "sharded", "distributed"] {
             let err = rc(&["--engine", exact, "--samples", "10"]).unwrap_err().to_string();
             assert!(
                 err.contains("--engine sampling") && err.contains(exact),
@@ -483,8 +559,19 @@ mod tests {
             let err = rc(&[flag, "4"]).unwrap_err().to_string();
             assert!(err.contains("--engine sharded"), "flag {flag}: unhelpful error `{err}`");
         }
+        // --workers belongs to the distributed engine alone, and the
+        // distributed engine never takes a resident-shard budget.
+        let err = rc(&["--engine", "windowed", "--workers", "2"]).unwrap_err().to_string();
+        assert!(err.contains("--engine distributed") && err.contains("windowed"), "{err}");
+        let err = rc(&["--workers", "2"]).unwrap_err().to_string();
+        assert!(err.contains("--engine distributed"), "{err}");
+        let err =
+            rc(&["--engine", "distributed", "--max-resident-shards", "2"]).unwrap_err().to_string();
+        assert!(err.contains("--engine sharded") && err.contains("distributed"), "{err}");
         assert!(rc(&["--engine", "sampling", "--samples", "0"]).is_err());
         assert!(rc(&["--engine", "sharded", "--shard-events", "0"]).is_err());
-        assert!(rc(&["--engine", "bogus"]).unwrap_err().to_string().contains("sharded"));
+        assert!(rc(&["--engine", "distributed", "--workers", "0"]).is_err());
+        assert!(rc(&["--engine", "distributed", "--shard-events", "0"]).is_err());
+        assert!(rc(&["--engine", "bogus"]).unwrap_err().to_string().contains("distributed"));
     }
 }

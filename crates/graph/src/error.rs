@@ -25,6 +25,9 @@ pub enum GraphError {
     },
     /// An underlying I/O failure.
     Io(std::io::Error),
+    /// A binary block (spilled shard, wire frame) failed validation
+    /// while decoding.
+    Decode(crate::wire::WireError),
     /// An event referenced a node id beyond the declared node count.
     NodeOutOfRange {
         /// Offending node id.
@@ -45,6 +48,7 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error on line {line}: {message}")
             }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Decode(e) => write!(f, "decode error: {e}"),
             GraphError::NodeOutOfRange { node, num_nodes } => {
                 write!(f, "node {node} out of range (num_nodes = {num_nodes})")
             }
@@ -56,6 +60,7 @@ impl std::error::Error for GraphError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             GraphError::Io(e) => Some(e),
+            GraphError::Decode(e) => Some(e),
             _ => None,
         }
     }
@@ -64,6 +69,16 @@ impl std::error::Error for GraphError {
 impl From<std::io::Error> for GraphError {
     fn from(e: std::io::Error) -> Self {
         GraphError::Io(e)
+    }
+}
+
+impl From<crate::wire::WireError> for GraphError {
+    fn from(e: crate::wire::WireError) -> Self {
+        // A wire-level I/O failure is an I/O failure, not a decode bug.
+        match e {
+            crate::wire::WireError::Io(io) => GraphError::Io(io),
+            other => GraphError::Decode(other),
+        }
     }
 }
 

@@ -41,8 +41,23 @@ impl TemporalGraph {
         crate::builder::TemporalGraphBuilder::from_events(events).build()
     }
 
-    pub(crate) fn from_sorted_events(events: Vec<Event>, num_nodes: u32) -> Self {
-        debug_assert!(events.windows(2).all(|w| w[0] <= w[1]), "events must be sorted");
+    /// Builds a graph from an **already time-sorted** event list with an
+    /// explicit node-id space, skipping the builder's sort and
+    /// compaction. This is the loader used for shard slices and for
+    /// shard files arriving over the wire in worker processes: node ids
+    /// stay in the parent graph's space (ids at or above the maximum
+    /// present are simply isolated), and event indices match the input
+    /// order exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the events are not sorted by
+    /// `(time, src, dst, duration)`. The check is a single `O(m)` pass —
+    /// cheap next to the index builds that follow — and it runs in
+    /// release builds too: an unsorted buffer would otherwise corrupt
+    /// every binary search silently.
+    pub fn from_sorted_events(events: Vec<Event>, num_nodes: u32) -> Self {
+        assert!(events.windows(2).all(|w| w[0] <= w[1]), "events must be sorted");
         let (node_offsets, node_events) = build_node_index(&events, num_nodes);
         let (edge_spans, edge_events) = build_edge_index(&events);
         TemporalGraph { events, num_nodes, node_offsets, node_events, edge_spans, edge_events }

@@ -83,8 +83,10 @@ pub fn write_edge_list_file<P: AsRef<Path>>(graph: &TemporalGraph, path: P) -> R
     write_edge_list(graph, file)
 }
 
-/// Writes a plain event slice in the `src dst time [duration]` line
-/// format with node ids taken **literally**.
+/// Writes an event slice as a self-describing **binary block**
+/// ([`wire::encode_events`](crate::wire::encode_events)): a magic +
+/// version + record-count header followed by fixed-width records, node
+/// ids taken **literally**.
 ///
 /// Unlike the [`write_edge_list`] / [`read_edge_list`] pair — which
 /// compacts node ids on load and re-sorts events — the
@@ -92,47 +94,30 @@ pub fn write_edge_list_file<P: AsRef<Path>>(graph: &TemporalGraph, path: P) -> R
 /// durations exactly. That exactness is the contract the
 /// [shard store](crate::shard::ShardStore) relies on to map slice-local
 /// event indices back to parent-graph indices after a spill/reload
-/// cycle.
+/// cycle, and the contract the distributed workers rely on when a shard
+/// file crosses a process boundary.
 pub fn write_events_raw<W: Write>(events: &[crate::event::Event], writer: W) -> Result<()> {
     let mut out = BufWriter::new(writer);
-    for e in events {
-        if e.duration == 0 {
-            writeln!(out, "{} {} {}", e.src, e.dst, e.time)?;
-        } else {
-            writeln!(out, "{} {} {} {}", e.src, e.dst, e.time, e.duration)?;
-        }
-    }
+    out.write_all(&crate::wire::encode_events(events))?;
     out.flush()?;
     Ok(())
 }
 
-/// Parses events written by [`write_events_raw`]: node ids are literal
-/// `u32` values (no compaction), lines are kept in file order (no sort),
-/// comments and blank lines are skipped. An empty result is not an
-/// error — emptiness is the caller's policy here.
+/// Reads a block written by [`write_events_raw`]: node ids are literal
+/// `u32` values (no compaction), records are kept in file order (no
+/// sort). An empty block is not an error — emptiness is the caller's
+/// policy here.
+///
+/// The block's record-count header is **validated against the bytes
+/// actually present before any allocation**
+/// ([`wire::decode_events`](crate::wire::decode_events)): a truncated
+/// or corrupt shard file — now also arriving from other processes —
+/// fails with [`GraphError::Decode`] instead of attempting an
+/// OOM-sized `Vec` or returning silently short data.
 pub fn read_events_raw<R: Read>(reader: R) -> Result<Vec<crate::event::Event>> {
-    let buf = BufReader::new(reader);
-    let mut events = Vec::new();
-    for (lineno, line) in buf.lines().enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
-            continue;
-        }
-        let mut it = trimmed.split_whitespace();
-        let src = parse_field::<u32>(it.next(), lineno + 1, "source node")?;
-        let dst = parse_field::<u32>(it.next(), lineno + 1, "target node")?;
-        let time = parse_time(it.next(), lineno + 1)?;
-        let duration = match it.next() {
-            Some(tok) => tok.parse::<u32>().map_err(|_| GraphError::Parse {
-                line: lineno + 1,
-                message: format!("invalid duration `{tok}`"),
-            })?,
-            None => 0,
-        };
-        events.push(crate::event::Event::with_duration(src, dst, time, duration));
-    }
-    Ok(events)
+    let mut buf = Vec::new();
+    BufReader::new(reader).read_to_end(&mut buf)?;
+    Ok(crate::wire::decode_events(&buf)?)
 }
 
 fn parse_field<T: std::str::FromStr>(tok: Option<&str>, line: usize, what: &str) -> Result<T> {
@@ -247,11 +232,36 @@ mod tests {
         write_events_raw(&events, &mut buf).unwrap();
         let back = read_events_raw(buf.as_slice()).unwrap();
         assert_eq!(back, events);
-        assert!(read_events_raw("# nothing\n".as_bytes()).unwrap().is_empty());
+        let mut empty = Vec::new();
+        write_events_raw(&[], &mut empty).unwrap();
+        assert!(read_events_raw(empty.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn raw_rejects_truncated_and_corrupt_blocks() {
+        use crate::event::Event;
+        let events = vec![Event::new(1u32, 2u32, 5), Event::new(2u32, 1u32, 6)];
+        let mut buf = Vec::new();
+        write_events_raw(&events, &mut buf).unwrap();
+        // Cut mid-record: the count header claims more than is present,
+        // and the reader must say so instead of under-reading.
         assert!(matches!(
-            read_events_raw("1 x 5\n".as_bytes()),
-            Err(GraphError::Parse { line: 1, .. })
+            read_events_raw(&buf[..buf.len() - 3]),
+            Err(GraphError::Decode(crate::wire::WireError::Truncated { .. }))
         ));
+        // An inflated count header fails validation before allocation.
+        let mut bomb = buf.clone();
+        bomb[6..14].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(read_events_raw(bomb.as_slice()), Err(GraphError::Decode(_))));
+        // Trailing bytes after the declared records are garbage.
+        let mut padded = buf.clone();
+        padded.push(0);
+        assert!(matches!(
+            read_events_raw(padded.as_slice()),
+            Err(GraphError::Decode(crate::wire::WireError::TrailingBytes { .. }))
+        ));
+        // The old text format is no longer a valid block.
+        assert!(matches!(read_events_raw("1 2 5\n".as_bytes()), Err(GraphError::Decode(_))));
     }
 
     #[test]

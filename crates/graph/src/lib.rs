@@ -14,9 +14,12 @@
 //! per-edge time indexes, the windowed candidate index
 //! ([`WindowIndex`]) with its shared per-graph cache ([`index_cache`]),
 //! time-slice sharding with a spillable shard store for out-of-core
-//! counting ([`shard`]), Table 2 statistics ([`stats::GraphStats`]),
-//! transformations used by the paper's protocol (resolution degrading,
-//! slicing), SNAP-style I/O, and the static projection.
+//! counting ([`shard`]), the framed binary [`wire`] encoding that
+//! carries shard files and worker messages across process boundaries,
+//! Table 2 statistics ([`stats::GraphStats`]), transformations used by
+//! the paper's protocol (resolution degrading, slicing), SNAP-style
+//! I/O, and the static projection with its shared per-graph cache
+//! ([`static_proj`]).
 //!
 //! ```
 //! use tnm_graph::{TemporalGraphBuilder, stats::GraphStats};
@@ -47,6 +50,7 @@ pub mod static_proj;
 pub mod stats;
 pub mod transform;
 pub mod window_index;
+pub mod wire;
 
 pub use builder::TemporalGraphBuilder;
 pub use error::{GraphError, Result};
@@ -55,5 +59,6 @@ pub use graph::TemporalGraph;
 pub use ids::{Edge, EventIdx, NodeId, Time};
 pub use index_cache::{global_index_cache, IndexCacheStats, WindowIndexCache};
 pub use shard::{plan_shards, Shard, ShardGoal, ShardPlan, ShardSpec, ShardStore};
-pub use static_proj::StaticProjection;
+pub use static_proj::{global_projection_cache, StaticProjection, StaticProjectionCache};
 pub use window_index::{WindowCursor, WindowIndex};
+pub use wire::WireError;

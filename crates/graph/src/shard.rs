@@ -359,6 +359,17 @@ impl<'g> ShardStore<'g> {
         matches!(self.backing, StoreBacking::Spill { .. })
     }
 
+    /// Path of shard `id`'s spilled event block (`None` unless the store
+    /// is in spill mode). The distributed coordinator hands these paths
+    /// to worker processes, which read them back with
+    /// [`io::read_events_raw`](crate::io::read_events_raw).
+    pub fn shard_file(&self, id: usize) -> Option<PathBuf> {
+        match &self.backing {
+            StoreBacking::Spill { dir, .. } => Some(shard_path(dir, id)),
+            StoreBacking::Parent => None,
+        }
+    }
+
     /// Events currently held by resident shards.
     pub fn resident_events(&self) -> usize {
         self.resident_events

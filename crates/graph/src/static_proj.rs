@@ -4,10 +4,23 @@
 //! from *events* (timestamped interactions). Inducedness for Hulovatyy and
 //! Paranjape models is defined against this projection, and the dataset
 //! generators use its degree distributions for preferential attachment.
+//!
+//! Building the projection costs an `O(m)` multiplicity pass plus
+//! neighbor-list sorts, and the streaming motif engine needs it once per
+//! *count* — a ΔW sweep over one graph would rebuild it dozens of times.
+//! [`StaticProjectionCache`] (and the process-wide
+//! [`global_projection_cache`]) lets every consumer share one projection
+//! per graph, with the same identity-plus-verification model as
+//! [`WindowIndexCache`](crate::index_cache::WindowIndexCache): entries
+//! are keyed on the graph's event-buffer address and **exactly verified**
+//! against the graph's content on every hit, so a recycled allocation
+//! can never serve a stale projection.
 
 use crate::graph::TemporalGraph;
 use crate::ids::{Edge, NodeId};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The static directed graph underlying a temporal network, with
 /// multiplicity (events-per-edge) information.
@@ -16,6 +29,8 @@ pub struct StaticProjection {
     out_neighbors: Vec<Vec<NodeId>>,
     in_neighbors: Vec<Vec<NodeId>>,
     multiplicity: HashMap<Edge, u32>,
+    /// Events of the graph this was built from, for [`Self::matches`].
+    num_events: usize,
 }
 
 impl StaticProjection {
@@ -35,7 +50,31 @@ impl StaticProjection {
         for list in out_neighbors.iter_mut().chain(in_neighbors.iter_mut()) {
             list.sort_unstable();
         }
-        StaticProjection { out_neighbors, in_neighbors, multiplicity }
+        StaticProjection {
+            out_neighbors,
+            in_neighbors,
+            multiplicity,
+            num_events: graph.num_events(),
+        }
+    }
+
+    /// True if this projection exactly describes `graph`: same node-id
+    /// space, same event count, and an identical edge-multiplicity map
+    /// recomputed from the graph's events. One `O(m)` counting pass plus
+    /// a map comparison — cheaper than a rebuild (no neighbor-list
+    /// allocation or sorting), and exact: two different graphs can never
+    /// both match one projection.
+    pub fn matches(&self, graph: &TemporalGraph) -> bool {
+        if self.num_events != graph.num_events()
+            || self.out_neighbors.len() != graph.num_nodes() as usize
+        {
+            return false;
+        }
+        let mut seen: HashMap<Edge, u32> = HashMap::with_capacity(self.multiplicity.len());
+        for e in graph.events() {
+            *seen.entry(e.edge()).or_insert(0) += 1;
+        }
+        seen == self.multiplicity
     }
 
     /// Distinct out-neighbors of `node`.
@@ -145,6 +184,162 @@ impl StaticProjection {
     }
 }
 
+/// Number of graphs the [`global_projection_cache`] retains (LRU beyond
+/// this).
+pub const DEFAULT_PROJECTION_CACHE_CAPACITY: usize = 8;
+
+/// One cached projection with its identity key and LRU stamp.
+struct Entry {
+    /// `(events buffer address, event count)` of the graph projected.
+    key: (usize, usize),
+    proj: Arc<StaticProjection>,
+    last_used: u64,
+}
+
+/// A bounded, verified cache of [`StaticProjection`]s keyed on graph
+/// identity, mirroring
+/// [`WindowIndexCache`](crate::index_cache::WindowIndexCache): an entry
+/// is keyed on the graph's event-buffer address and length (stable for
+/// the graph's lifetime; a clone allocates a fresh buffer and therefore
+/// a fresh key), and every key hit is verified with
+/// [`StaticProjection::matches`] before being served — a recycled
+/// buffer address can never leak a dead graph's projection. Lookups
+/// take a short mutex; both projection construction and the `O(m)`
+/// hit verification happen outside the lock, so concurrent consumers
+/// of different graphs never serialize behind each other.
+pub struct StaticProjectionCache {
+    entries: Mutex<Vec<Entry>>,
+    capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl std::fmt::Debug for StaticProjectionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (hits, misses, rejected) = self.stats();
+        f.debug_struct("StaticProjectionCache")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("hits", &hits)
+            .field("misses", &misses)
+            .field("rejected", &rejected)
+            .finish()
+    }
+}
+
+impl StaticProjectionCache {
+    /// An empty cache retaining at most `capacity` graphs.
+    pub fn new(capacity: usize) -> Self {
+        StaticProjectionCache {
+            entries: Mutex::new(Vec::with_capacity(capacity.max(1))),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    fn key_of(graph: &TemporalGraph) -> (usize, usize) {
+        (graph.events().as_ptr() as usize, graph.num_events())
+    }
+
+    /// Returns the cached projection for `graph`, building (and caching)
+    /// it on a miss. Hits are verified against the graph's actual
+    /// content, so the returned projection is always correct for
+    /// `graph`.
+    pub fn get_or_build(&self, graph: &TemporalGraph) -> Arc<StaticProjection> {
+        let key = Self::key_of(graph);
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        // Fetch the candidate under the lock, but run the O(m) content
+        // verification *outside* it — concurrent consumers of different
+        // graphs must never serialize behind each other's verification
+        // passes (construction already happens outside for the same
+        // reason).
+        let candidate = {
+            let mut entries = self.entries.lock().expect("projection cache poisoned");
+            entries.iter_mut().find(|e| e.key == key).map(|e| {
+                e.last_used = stamp;
+                Arc::clone(&e.proj)
+            })
+        };
+        if let Some(proj) = candidate {
+            if proj.matches(graph) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return proj;
+            }
+            // Recycled buffer address: the entry describes a dead
+            // graph. Drop exactly the projection we verified (a racing
+            // thread may already have replaced it with a fresh, correct
+            // one); the rebuild below replaces it.
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            let mut entries = self.entries.lock().expect("projection cache poisoned");
+            entries.retain(|e| e.key != key || !Arc::ptr_eq(&e.proj, &proj));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(StaticProjection::from_graph(graph));
+        let mut entries = self.entries.lock().expect("projection cache poisoned");
+        match entries.iter_mut().find(|e| e.key == key) {
+            // A racing thread cached the same graph while we built: the
+            // caller's graph is alive, so an entry under its buffer
+            // address can only have been built from that same graph —
+            // no verification needed here.
+            Some(e) => {
+                e.last_used = stamp;
+                Arc::clone(&e.proj)
+            }
+            None => {
+                if entries.len() >= self.capacity {
+                    let oldest = entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(i, _)| i)
+                        .expect("capacity >= 1 implies non-empty");
+                    entries.swap_remove(oldest);
+                }
+                entries.push(Entry { key, proj: Arc::clone(&built), last_used: stamp });
+                built
+            }
+        }
+    }
+
+    /// Number of graphs currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("projection cache poisoned").len()
+    }
+
+    /// True if no projection is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached projection (counters are kept).
+    pub fn clear(&self) {
+        self.entries.lock().expect("projection cache poisoned").clear();
+    }
+
+    /// `(hits, misses, rejected)` counter snapshot; `rejected` counts
+    /// key collisions refused by content verification (each also counts
+    /// as a miss).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The process-wide projection cache shared by the streaming engine's
+/// triad class and the coordinator-side induced rechecks.
+pub fn global_projection_cache() -> &'static StaticProjectionCache {
+    static CACHE: OnceLock<StaticProjectionCache> = OnceLock::new();
+    CACHE.get_or_init(|| StaticProjectionCache::new(DEFAULT_PROJECTION_CACHE_CAPACITY))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +382,90 @@ mod tests {
         // Edges: 0->1, 1->0 (reciprocated pair), 1->2, 2->0.
         // Reciprocated directed edges: 0->1 and 1->0 => 2 of 4.
         assert!((p.reciprocity() - 0.5).abs() < 1e-12);
+    }
+
+    fn graph(seed: i64, events: usize) -> TemporalGraph {
+        let mut b = TemporalGraphBuilder::new();
+        for i in 0..events as i64 {
+            let u = ((i + seed) % 7) as u32;
+            let v = ((i + seed + 1 + i % 3) % 7) as u32;
+            let v = if v == u { (v + 1) % 7 } else { v };
+            b.push(crate::event::Event::new(u, v, seed + i * 2));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matches_is_exact() {
+        let g = graph(1, 60);
+        let p = StaticProjection::from_graph(&g);
+        assert!(p.matches(&g));
+        // A clone has identical content: matches (identity is the
+        // *cache's* concern, content verification is this method's).
+        assert!(p.matches(&g.clone()));
+        // Same edges, different multiplicities: rejected.
+        let mut b = TemporalGraphBuilder::new();
+        b.push(crate::event::Event::new(0u32, 1u32, 0));
+        b.push(crate::event::Event::new(0u32, 1u32, 1));
+        b.push(crate::event::Event::new(1u32, 2u32, 2));
+        let a = b.build().unwrap();
+        let mut b = TemporalGraphBuilder::new();
+        b.push(crate::event::Event::new(0u32, 1u32, 0));
+        b.push(crate::event::Event::new(1u32, 2u32, 1));
+        b.push(crate::event::Event::new(1u32, 2u32, 2));
+        let c = b.build().unwrap();
+        assert!(!StaticProjection::from_graph(&a).matches(&c));
+        assert!(!StaticProjection::from_graph(&c).matches(&a));
+        assert!(!p.matches(&graph(2, 60)));
+        assert!(!p.matches(&graph(1, 59)));
+    }
+
+    #[test]
+    fn cache_hits_verified_and_shared() {
+        let cache = StaticProjectionCache::new(4);
+        let g1 = graph(1, 80);
+        let g2 = graph(2, 80);
+        let a = cache.get_or_build(&g1);
+        assert_eq!(cache.stats(), (0, 1, 0));
+        let b = cache.get_or_build(&g1);
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the cached projection");
+        assert_eq!(cache.stats(), (1, 1, 0));
+        cache.get_or_build(&g2);
+        assert_eq!(cache.stats(), (1, 2, 0));
+        assert_eq!(cache.len(), 2);
+        // A clone is a different graph (fresh buffer, fresh key).
+        cache.get_or_build(&g1.clone());
+        assert_eq!(cache.stats(), (1, 3, 0));
+        // Cached projections answer like fresh ones.
+        for e in g1.events() {
+            assert!(a.has_edge(e.edge()));
+        }
+    }
+
+    #[test]
+    fn cache_evicts_lru_and_clears() {
+        let cache = StaticProjectionCache::new(2);
+        let g1 = graph(1, 40);
+        let g2 = graph(2, 40);
+        let g3 = graph(3, 40);
+        cache.get_or_build(&g1);
+        cache.get_or_build(&g2);
+        cache.get_or_build(&g1); // g2 becomes LRU
+        cache.get_or_build(&g3); // evicts g2
+        assert_eq!(cache.len(), 2);
+        cache.get_or_build(&g1);
+        assert_eq!(cache.stats().0, 2, "g1 must have survived eviction");
+        cache.get_or_build(&g2);
+        assert_eq!(cache.stats().1, 4, "g2 was evicted and rebuilt");
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn global_cache_is_shared() {
+        let g = graph(9, 50);
+        let a = global_projection_cache().get_or_build(&g);
+        let b = global_projection_cache().get_or_build(&g);
+        assert!(Arc::ptr_eq(&a, &b));
     }
 }

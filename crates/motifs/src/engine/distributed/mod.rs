@@ -1,0 +1,584 @@
+//! [`DistributedEngine`] — exact counting across **process boundaries**:
+//! a coordinator that plans time-slice shards, spills them to disk, and
+//! farms them out to worker processes over a framed wire protocol.
+//!
+//! This is the first engine where counting leaves the coordinator's
+//! address space — the stepping stone from the sharded engine's
+//! out-of-core runs (PR 3) to multi-machine merging. The division of
+//! labor:
+//!
+//! * **Coordinator** (this module): plans shards with
+//!   [`tnm_graph::shard::plan_shards`] (owned start ranges, tie-safe
+//!   left pads, reach-bounded halos), spills every shard up front
+//!   through the [`ShardStore`](tnm_graph::ShardStore) (binary
+//!   [`io::write_events_raw`](tnm_graph::io::write_events_raw) blocks),
+//!   spawns N worker processes (the hidden `tnm worker` subcommand),
+//!   and drives a work queue over them — one coordinator thread per
+//!   worker, each sending [`protocol`] job frames on the child's stdin
+//!   and reading reply frames from its stdout. Per-shard results merge
+//!   into one [`MotifCounts`]; merging is commutative, so scheduling
+//!   order never affects the totals.
+//! * **Worker** ([`run_worker`]): loads the shard file it is told
+//!   about, rebuilds the slice as an independent graph in the parent's
+//!   node-id space, and walks **only the owned start events** — the
+//!   same ownership partition that makes the in-process sharded engine
+//!   exact.
+//!
+//! ## Crash detection and rescheduling
+//!
+//! A worker that dies mid-run (crash, kill, injected fault) surfaces as
+//! an I/O or framing error on its pipes. The coordinator thread
+//! observing the failure **requeues the in-flight shard** and retires;
+//! surviving workers drain the queue, so a run completes with identical
+//! counts as long as one worker lives. Replies are applied only when a
+//! frame decodes completely, and a job is requeued only when its reply
+//! never did — each shard is counted exactly once. If every worker dies
+//! with shards outstanding, the run panics rather than undercounting.
+//!
+//! ## The one whole-timeline predicate
+//!
+//! Static inducedness asks whether an edge exists *anywhere in the
+//! timeline* — a question a shard (and therefore a worker) cannot
+//! answer. Induced jobs ship with the flag stripped; workers return
+//! their instances **aggregated by inducedness-relevant structure** —
+//! `(signature, node set, covered edges)` groups with counts, since the
+//! verdict depends on nothing else — and the coordinator rechecks each
+//! *group* once against the parent graph through the shared
+//! [`global_projection_cache`] before tallying. The same split as the
+//! in-process sharded driver, moved across the wire, with reply sizes
+//! bounded by distinct structures instead of instance counts.
+//!
+//! ## Worker binary resolution
+//!
+//! Workers are `tnm worker` processes. The binary resolves from, in
+//! order: the `TNM_WORKER_BIN` environment variable, a `tnm` binary
+//! next to the current executable, or one in its parent directory (the
+//! `target/<profile>/deps/<test>` → `target/<profile>/tnm` layout cargo
+//! gives test and bench executables). When no binary resolves — an
+//! embedding application that never installed the CLI — the engine
+//! falls back to the in-process [`ShardedEngine`], which is exact, and
+//! reports `workers_spawned: 0` so tests that *require* the wire path
+//! can tell the difference.
+
+mod protocol;
+mod worker;
+
+pub use worker::run_worker;
+
+use crate::count::MotifCounts;
+use crate::engine::config::{EnumConfig, MotifInstance};
+use crate::engine::{CountEngine, EngineCaps, ShardedEngine, WindowedEngine};
+use crate::induced::induced_cover_ok;
+use protocol::{WorkerJob, WorkerReply, KIND_JOB, KIND_SHUTDOWN};
+use std::collections::VecDeque;
+use std::io::{BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use tnm_graph::shard::{plan_shards, ShardGoal, ShardPlan, ShardStore};
+use tnm_graph::static_proj::global_projection_cache;
+use tnm_graph::wire::{self, WireError};
+use tnm_graph::TemporalGraph;
+use tnm_graph::{Edge, NodeId};
+
+/// Default worker-process count (CLI `--engine distributed` without
+/// `--workers`). Two is the smallest count that exercises real
+/// cross-process scheduling; production runs size this to cores or
+/// machines.
+pub const DEFAULT_WORKERS: usize = 2;
+
+/// Tuning of the distributed executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistributedConfig {
+    /// Worker processes to spawn (clamped to at least 1, and never more
+    /// than the plan has shards).
+    pub workers: usize,
+    /// Target owned start events per shard (clamped to at least 1).
+    pub shard_events: usize,
+    /// Thread budget **inside each worker process** for the
+    /// within-shard work-stealing walk (1 = serial workers).
+    pub worker_threads: usize,
+    /// Explicit worker binary override (`None` = resolve automatically).
+    pub worker_bin: Option<PathBuf>,
+    /// Fault injection `(worker index, jobs before exit)` — see
+    /// [`DistributedEngine::with_fault_after`].
+    pub fault_after: Option<(usize, usize)>,
+}
+
+/// Observability of one distributed run, for the crash-rescheduling and
+/// smoke tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistributedRunStats {
+    /// Shards the plan produced.
+    pub shards: usize,
+    /// Worker processes successfully spawned (0 = the run stayed
+    /// in-process: degenerate single-shard plan or no worker binary).
+    pub workers_spawned: usize,
+    /// Workers that died (or failed to spawn) before the queue drained.
+    pub workers_lost: usize,
+    /// Shard jobs requeued after their worker was lost.
+    pub jobs_rescheduled: usize,
+}
+
+/// Exact distributed counting engine. See the [module docs](self).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistributedEngine {
+    config: DistributedConfig,
+}
+
+impl DistributedEngine {
+    /// A distributed engine with `workers` worker processes and the
+    /// default shard size.
+    pub fn new(workers: usize) -> Self {
+        DistributedEngine {
+            config: DistributedConfig {
+                workers: workers.max(1),
+                shard_events: crate::engine::DEFAULT_SHARD_EVENTS,
+                worker_threads: 1,
+                worker_bin: None,
+                fault_after: None,
+            },
+        }
+    }
+
+    /// Sets the target owned start events per shard (chainable).
+    pub fn with_shard_events(mut self, shard_events: usize) -> Self {
+        self.config.shard_events = shard_events.max(1);
+        self
+    }
+
+    /// Sets the thread budget each worker process uses for its
+    /// within-shard work-stealing walk (chainable). Shipped in the job
+    /// descriptor; totals are unaffected — the within-worker merge is
+    /// the same commutative table merge as [`ParallelEngine`]'s.
+    ///
+    /// [`ParallelEngine`]: crate::engine::ParallelEngine
+    pub fn with_worker_threads(mut self, threads: usize) -> Self {
+        self.config.worker_threads = threads.max(1);
+        self
+    }
+
+    /// Overrides worker-binary resolution with an explicit path
+    /// (chainable).
+    pub fn with_worker_bin(mut self, bin: impl Into<PathBuf>) -> Self {
+        self.config.worker_bin = Some(bin.into());
+        self
+    }
+
+    /// Fault injection for tests (chainable): worker `worker` is
+    /// spawned with `TNM_WORKER_EXIT_AFTER=jobs`, making it vanish
+    /// after serving that many jobs — a deterministic mid-run crash for
+    /// the rescheduling tests. Counts must come out identical anyway.
+    pub fn with_fault_after(mut self, worker: usize, jobs: usize) -> Self {
+        self.config.fault_after = Some((worker, jobs.max(1)));
+        self
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &DistributedConfig {
+        &self.config
+    }
+
+    /// Resolves the worker binary this process would spawn: the
+    /// `TNM_WORKER_BIN` environment variable, then a `tnm` binary in
+    /// the current executable's directory, then in its parent (cargo's
+    /// `deps/` layout for test and bench executables). `None` when no
+    /// candidate exists.
+    ///
+    /// An explicit `TNM_WORKER_BIN` is taken **verbatim**, existence
+    /// unchecked — like [`DistributedEngine::with_worker_bin`], an
+    /// explicit override that turns out to be wrong must fail loudly at
+    /// spawn time, never quietly fall back to the in-process engine.
+    pub fn worker_binary() -> Option<PathBuf> {
+        if let Some(p) = std::env::var_os("TNM_WORKER_BIN") {
+            return Some(PathBuf::from(p));
+        }
+        let exe = std::env::current_exe().ok()?;
+        let name = format!("tnm{}", std::env::consts::EXE_SUFFIX);
+        let mut dir = exe.parent()?;
+        // Same-profile locations first: the executable's own directory
+        // (the CLI spawning itself) and its parent (cargo's
+        // `target/<profile>/deps/` layout for tests and benches).
+        for _ in 0..2 {
+            let candidate = dir.join(&name);
+            if candidate.is_file() {
+                return Some(candidate);
+            }
+            dir = dir.parent()?;
+        }
+        // `dir` is now the profile directory's parent (`target/`).
+        // `cargo test` builds bin targets only as test harnesses — it
+        // never links the plain `tnm` binary — so a freshly checked-out
+        // tree tested with `cargo build --release && cargo test` has
+        // the worker only in the sibling `release/` profile.
+        for profile in ["release", "debug"] {
+            let candidate = dir.join(profile).join(&name);
+            if candidate.is_file() {
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    fn plan(&self, graph: &TemporalGraph, cfg: &EnumConfig) -> ShardPlan {
+        plan_shards(
+            graph,
+            cfg.admissible_reach(graph),
+            ShardGoal::EventsPerShard(self.config.shard_events),
+        )
+    }
+
+    /// Counts and reports the run's worker/rescheduling statistics —
+    /// what the crash tests assert against.
+    pub fn count_with_stats(
+        &self,
+        graph: &TemporalGraph,
+        cfg: &EnumConfig,
+    ) -> (MotifCounts, DistributedRunStats) {
+        let plan = self.plan(graph, cfg);
+        let shards = plan.len();
+        let local_stats = DistributedRunStats {
+            shards: shards.max(1),
+            workers_spawned: 0,
+            workers_lost: 0,
+            jobs_rescheduled: 0,
+        };
+        // A one-shard plan (unbounded reach, or a shard target at or
+        // above the graph) would ship the whole log to one worker for
+        // nothing: count in-process, like the sharded engine's
+        // degenerate path.
+        if shards <= 1 {
+            return (WindowedEngine.count(graph, cfg), local_stats);
+        }
+        let bin = match self.config.worker_bin.clone().or_else(Self::worker_binary) {
+            Some(b) => b,
+            // No worker binary anywhere (library embedding without the
+            // CLI): stay exact in-process, with the worker budget
+            // recycled as the sharded engine's thread budget so the
+            // fallback keeps the job's parallelism. workers_spawned: 0
+            // makes this path visible to tests that require the wire.
+            None => {
+                let threads = self.config.workers * self.config.worker_threads;
+                let counts = ShardedEngine::new(self.config.shard_events)
+                    .with_threads(threads)
+                    .count(graph, cfg);
+                return (counts, local_stats);
+            }
+        };
+        // Spill every shard up front; the store's temp dir lives until
+        // the end of the run and the files are the workers' inputs.
+        let store = ShardStore::spill(graph, plan, 1)
+            .expect("distributed engine: spilling shards to disk failed");
+        let plan = store.plan();
+        let jobs: VecDeque<QueuedJob> = plan
+            .shards
+            .iter()
+            .map(|spec| WorkerJob {
+                shard_id: spec.id as u32,
+                shard_path: store
+                    .shard_file(spec.id)
+                    .expect("spill store has files")
+                    .to_string_lossy()
+                    .into_owned(),
+                num_nodes: graph.num_nodes(),
+                own_lo: spec.own_local().start as u64,
+                own_hi: spec.own_local().end as u64,
+                threads: self.config.worker_threads as u32,
+                want_induced: cfg.static_induced,
+                cfg: cfg.clone(),
+            })
+            .map(|job| QueuedJob { job, attempts: 0, last_error: None })
+            .collect();
+        // The parent-side projection for induced rechecks, shared with
+        // every other consumer through the global cache.
+        let projection = cfg.static_induced.then(|| global_projection_cache().get_or_build(graph));
+        let n_workers = self.config.workers.min(shards).max(1);
+
+        let queue = Mutex::new(jobs);
+        let merged = Mutex::new(MotifCounts::new());
+        let pending = AtomicUsize::new(shards);
+        let spawned = AtomicUsize::new(0);
+        let lost = AtomicUsize::new(0);
+        let rescheduled = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for w in 0..n_workers {
+                let bin = &bin;
+                let queue = &queue;
+                let merged = &merged;
+                let pending = &pending;
+                let spawned = &spawned;
+                let lost = &lost;
+                let rescheduled = &rescheduled;
+                let projection = projection.as_deref();
+                let fault = self.config.fault_after.filter(|&(idx, _)| idx == w);
+                scope.spawn(move || {
+                    let mut child = match spawn_worker(bin, fault.map(|(_, jobs)| jobs)) {
+                        Ok(c) => c,
+                        Err(_) => {
+                            lost.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    };
+                    spawned.fetch_add(1, Ordering::Relaxed);
+                    let mut stdin = child.stdin.take().expect("piped stdin");
+                    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+                    loop {
+                        let queued = queue.lock().expect("job queue poisoned").pop_front();
+                        let Some(mut queued) = queued else {
+                            if pending.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            // Another worker is mid-shard; if it dies,
+                            // its job comes back to the queue. Stay
+                            // alive to pick it up.
+                            std::thread::sleep(std::time::Duration::from_millis(1));
+                            continue;
+                        };
+                        match dispatch(&mut stdin, &mut stdout, &queued.job) {
+                            Ok(reply) => {
+                                apply_reply(projection, reply, merged);
+                                pending.fetch_sub(1, Ordering::Release);
+                            }
+                            Err(e) => {
+                                // Crash detected: hand the shard to the
+                                // survivors — with its failure history,
+                                // so a *poisoned* shard that keeps
+                                // killing workers is diagnosable from
+                                // the final error — and retire this
+                                // worker.
+                                queued.attempts += 1;
+                                queued.last_error = Some(e.to_string());
+                                queue.lock().expect("job queue poisoned").push_back(queued);
+                                lost.fetch_add(1, Ordering::Relaxed);
+                                rescheduled.fetch_add(1, Ordering::Relaxed);
+                                let _ = child.kill();
+                                let _ = child.wait();
+                                return;
+                            }
+                        }
+                    }
+                    let _ = wire::write_frame(&mut stdin, KIND_SHUTDOWN, &[]);
+                    let _ = stdin.flush();
+                    drop(stdin);
+                    let _ = child.wait();
+                });
+            }
+        });
+        let outstanding = pending.load(Ordering::Acquire);
+        if outstanding > 0 {
+            // Name the shards and their failure history: "one poisoned
+            // shard job killed each worker in turn" reads very
+            // differently from "the cluster went down", and the
+            // operator needs to know which.
+            let leftovers: Vec<String> = queue
+                .lock()
+                .expect("job queue poisoned")
+                .iter()
+                .map(|q| match (&q.last_error, q.attempts) {
+                    (Some(err), n) => {
+                        format!("shard {} ({n} failed attempts; last: {err})", q.job.shard_id)
+                    }
+                    (None, _) => format!("shard {} (never attempted)", q.job.shard_id),
+                })
+                .collect();
+            panic!(
+                "distributed engine: every worker died with {outstanding} shard(s) uncounted: {}",
+                leftovers.join("; ")
+            );
+        }
+        let stats = DistributedRunStats {
+            shards,
+            workers_spawned: spawned.load(Ordering::Relaxed),
+            workers_lost: lost.load(Ordering::Relaxed),
+            jobs_rescheduled: rescheduled.load(Ordering::Relaxed),
+        };
+        let counts = merged.into_inner().expect("merged counts poisoned");
+        (counts, stats)
+    }
+}
+
+/// One work-queue entry: the job plus its failure history, so the
+/// run's final diagnostics can tell a poisoned shard (same job killing
+/// worker after worker) from a cluster that went down.
+struct QueuedJob {
+    job: WorkerJob,
+    attempts: usize,
+    last_error: Option<String>,
+}
+
+fn spawn_worker(bin: &PathBuf, exit_after: Option<usize>) -> std::io::Result<Child> {
+    let mut cmd = Command::new(bin);
+    cmd.arg("worker").stdin(Stdio::piped()).stdout(Stdio::piped()).stderr(Stdio::inherit());
+    if let Some(jobs) = exit_after {
+        cmd.env("TNM_WORKER_EXIT_AFTER", jobs.to_string());
+    }
+    cmd.spawn()
+}
+
+/// Sends one job and reads its reply. Any failure — broken pipe,
+/// truncated frame, undecodable or mismatched reply — means the worker
+/// is unusable, and the caller requeues the job.
+fn dispatch(
+    stdin: &mut std::process::ChildStdin,
+    stdout: &mut BufReader<std::process::ChildStdout>,
+    job: &WorkerJob,
+) -> Result<WorkerReply, WireError> {
+    wire::write_frame(&mut *stdin, KIND_JOB, &protocol::encode_job(job))?;
+    stdin.flush()?;
+    match protocol::read_reply(&mut *stdout, wire::MAX_FRAME_PAYLOAD)? {
+        Some(reply) => {
+            if reply.shard_id() != job.shard_id {
+                return Err(WireError::Malformed(format!(
+                    "reply for shard {} to a job for shard {}",
+                    reply.shard_id(),
+                    job.shard_id
+                )));
+            }
+            // The reply kind must match what the job asked for: a
+            // counts reply to an induced job would merge unfiltered
+            // counts (silent overcount), the reverse would have no
+            // projection to check against. Either means the peer does
+            // not speak this job's contract — a worker failure, not a
+            // panic.
+            let induced_reply = matches!(reply, WorkerReply::Induced { .. });
+            if induced_reply != job.want_induced {
+                return Err(WireError::Malformed(format!(
+                    "reply kind mismatch for shard {}: induced={induced_reply}, job wanted \
+                     induced={}",
+                    job.shard_id, job.want_induced
+                )));
+            }
+            Ok(reply)
+        }
+        None => Err(WireError::Truncated { needed: 1, available: 0 }),
+    }
+}
+
+/// Folds one verified reply into the merged totals. Count replies
+/// merge directly; induced groups pass the coordinator's
+/// static-inducedness verdict — one [`induced_cover_ok`] evaluation per
+/// group against the shared parent projection — before tallying.
+fn apply_reply(
+    projection: Option<&tnm_graph::StaticProjection>,
+    reply: WorkerReply,
+    merged: &Mutex<MotifCounts>,
+) {
+    match reply {
+        WorkerReply::Counts { counts, .. } => {
+            merged.lock().expect("merged counts poisoned").merge(&counts);
+        }
+        WorkerReply::Induced { groups, .. } => {
+            let proj = projection.expect("induced replies only for induced jobs");
+            let mut counts = MotifCounts::new();
+            let mut nodes: Vec<NodeId> = Vec::new();
+            let mut covered: Vec<Edge> = Vec::new();
+            for g in groups {
+                nodes.clear();
+                nodes.extend(g.nodes.iter().map(|&n| NodeId(n)));
+                covered.clear();
+                covered.extend(g.covered.iter().map(|&(a, b)| Edge::new(a, b)));
+                if induced_cover_ok(&nodes, &covered, |edge| proj.has_edge(edge)) {
+                    counts.add(g.signature, g.count);
+                }
+            }
+            merged.lock().expect("merged counts poisoned").merge(&counts);
+        }
+    }
+}
+
+impl CountEngine for DistributedEngine {
+    fn name(&self) -> &'static str {
+        "distributed"
+    }
+
+    fn capabilities(&self) -> EngineCaps {
+        EngineCaps {
+            parallel: self.config.workers > 1,
+            windowed_pruning: true,
+            deterministic_enumeration: true,
+            supports_signature_filter: true,
+        }
+    }
+
+    fn count(&self, graph: &TemporalGraph, cfg: &EnumConfig) -> MotifCounts {
+        self.count_with_stats(graph, cfg).0
+    }
+
+    /// Per-instance callbacks cannot cross a process boundary, so
+    /// enumeration delegates to the in-process sharded engine over the
+    /// same plan geometry — identical instances in the serial engines'
+    /// deterministic order.
+    fn enumerate(
+        &self,
+        graph: &TemporalGraph,
+        cfg: &EnumConfig,
+        callback: &mut dyn FnMut(&MotifInstance<'_>),
+    ) {
+        ShardedEngine::new(self.config.shard_events).enumerate(graph, cfg, callback);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::Timing;
+    use tnm_graph::TemporalGraphBuilder;
+
+    fn graph(events: usize) -> TemporalGraph {
+        let mut b = TemporalGraphBuilder::new();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for i in 0..events {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((x >> 33) % 11) as u32;
+            let v = (u + 1 + ((x >> 13) % 9) as u32) % 11;
+            b.push(tnm_graph::Event::new(u, v, (i / 2) as i64));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn degenerate_plans_stay_in_process() {
+        let g = graph(120);
+        // Unbounded timing: one shard, no processes.
+        let unbounded = EnumConfig::new(3, 3);
+        let (counts, stats) =
+            DistributedEngine::new(4).with_shard_events(16).count_with_stats(&g, &unbounded);
+        assert_eq!(stats.shards, 1);
+        assert_eq!(stats.workers_spawned, 0);
+        assert_eq!(counts, WindowedEngine.count(&g, &unbounded));
+        // Shard target at the graph size: same degeneration.
+        let bounded = EnumConfig::new(3, 3).with_timing(Timing::only_w(10));
+        let (counts, stats) = DistributedEngine::new(2).count_with_stats(&g, &bounded);
+        assert_eq!(stats.shards, 1);
+        assert_eq!(counts, WindowedEngine.count(&g, &bounded));
+    }
+
+    #[test]
+    fn bogus_worker_binary_panics_rather_than_undercounts() {
+        let g = graph(200);
+        let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(8));
+        let engine = DistributedEngine::new(2)
+            .with_shard_events(25)
+            .with_worker_bin("/nonexistent/definitely-not-tnm");
+        // An explicit-but-bogus binary is a spawn failure per worker,
+        // not a quiet fallback: every worker is lost, and a run with
+        // shards outstanding must panic, never return partial counts.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.count(&g, &cfg)));
+        assert!(outcome.is_err(), "all workers failing to spawn cannot silently undercount");
+    }
+
+    #[test]
+    fn engine_name_and_caps() {
+        let e = DistributedEngine::new(4).with_shard_events(100);
+        assert_eq!(e.name(), "distributed");
+        assert!(e.capabilities().parallel);
+        assert!(e.capabilities().windowed_pruning);
+        assert!(e.capabilities().deterministic_enumeration);
+        assert!(!DistributedEngine::new(1).capabilities().parallel);
+        assert_eq!(e.config().workers, 4);
+        assert_eq!(e.config().shard_events, 100);
+        assert_eq!(DistributedEngine::new(0).config().workers, 1);
+    }
+}

@@ -1,0 +1,382 @@
+//! The worker side of the distributed engine: a frame-driven loop any
+//! process can run over a pair of byte streams.
+//!
+//! The `tnm` CLI exposes this as the hidden `tnm worker` subcommand;
+//! the coordinator spawns N such processes and speaks the
+//! [`protocol`](super::protocol) frames over their stdin/stdout. The
+//! loop is deliberately dumb: read a job frame, load the spilled shard
+//! it names, count (or enumerate) the shard's **owned** start events
+//! with the shared walker, write one reply frame, flush, repeat until a
+//! shutdown frame or EOF. All policy — scheduling, rescheduling after a
+//! crash, merging, the static-inducedness recheck — lives with the
+//! coordinator.
+//!
+//! A worker never sees the parent graph. The one predicate that needs
+//! it, static inducedness, is stripped from the shipped configuration
+//! before walking (exactly like the in-process sharded driver) and the
+//! instances go back aggregated by their inducedness-relevant structure
+//! — `(signature, node set, covered edges)` groups — for the
+//! coordinator to filter, one verdict per group.
+
+use super::protocol::{
+    decode_job, encode_reply, InducedGroup, WorkerJob, WorkerReply, KIND_JOB, KIND_SHUTDOWN,
+};
+use crate::count::MotifCounts;
+use crate::engine::parallel::{work_steal_count, work_steal_map, DEFAULT_STEAL_CHUNK};
+use crate::engine::walker::{Walker, WindowedCandidates};
+use crate::notation::MotifSignature;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use tnm_graph::wire::{self, WireError};
+use tnm_graph::{window_index::WindowIndex, EventIdx, TemporalGraph};
+
+/// Aggregation key of one induced group: sorted node set plus sorted
+/// covered directed edges (parent-id space).
+type GroupKey = (MotifSignature, Vec<u32>, Vec<(u32, u32)>);
+
+/// Runs the worker loop until a shutdown frame or a clean EOF on
+/// `input`. `exit_after` is fault injection for the crash-rescheduling
+/// tests: after serving that many jobs the loop returns early, which
+/// closes the process's streams and looks to the coordinator exactly
+/// like a mid-run crash (the CLI wires it to the
+/// `TNM_WORKER_EXIT_AFTER` environment variable).
+///
+/// Errors are returned, not swallowed: a worker that cannot decode a
+/// job or read its shard file exits non-zero, and the coordinator
+/// treats the dead worker like any other crash.
+pub fn run_worker<R: Read, W: Write>(
+    mut input: R,
+    mut output: W,
+    exit_after: Option<usize>,
+) -> Result<(), WireError> {
+    let mut served = 0usize;
+    loop {
+        let Some((kind, payload)) = wire::read_frame(&mut input, wire::MAX_FRAME_PAYLOAD)? else {
+            return Ok(()); // coordinator closed the stream between jobs
+        };
+        match kind {
+            KIND_SHUTDOWN => return Ok(()),
+            KIND_JOB => {
+                let job = decode_job(&payload)?;
+                let reply = serve_job(&job)?;
+                for (kind, body) in encode_reply(&reply) {
+                    wire::write_frame(&mut output, kind, &body)?;
+                }
+                output.flush()?;
+                served += 1;
+                if exit_after.is_some_and(|n| served >= n) {
+                    return Ok(()); // injected fault: vanish mid-run
+                }
+            }
+            other => {
+                return Err(WireError::Malformed(format!("unexpected frame kind {other}")));
+            }
+        }
+    }
+}
+
+/// Loads the job's shard and counts (or enumerates) its owned starts.
+fn serve_job(job: &WorkerJob) -> Result<WorkerReply, WireError> {
+    let file = std::fs::File::open(&job.shard_path)?;
+    let events = tnm_graph::io::read_events_raw(file).map_err(|e| match e {
+        tnm_graph::GraphError::Decode(w) => w,
+        tnm_graph::GraphError::Io(io) => WireError::Io(io),
+        other => WireError::Malformed(format!("shard file rejected: {other}")),
+    })?;
+    // One validation pass: node ids inside the declared space and no
+    // self-loops (the walker's digit resolution assumes both; a corrupt
+    // record must fail loudly, never count wrongly). Time-sortedness is
+    // asserted — in release builds too — by `from_sorted_events`, so it
+    // is deliberately not re-scanned here.
+    if let Some(bad) = events
+        .iter()
+        .find(|e| e.src.0 >= job.num_nodes || e.dst.0 >= job.num_nodes || e.is_self_loop())
+    {
+        return Err(WireError::Malformed(format!(
+            "shard event {bad} is a self-loop or outside the declared node space {}",
+            job.num_nodes
+        )));
+    }
+    let own = job.own_lo as usize..job.own_hi as usize;
+    if own.end > events.len() {
+        return Err(WireError::Malformed(format!(
+            "owned range {own:?} exceeds the shard's {} events",
+            events.len()
+        )));
+    }
+    let graph = TemporalGraph::from_sorted_events(events, job.num_nodes);
+    // Same split as the in-process sharded driver: the walk never
+    // evaluates static inducedness — a time slice cannot answer
+    // whole-timeline `has_edge` — so either the caller did not ask for
+    // it, or aggregated induced groups go back for the coordinator's
+    // per-group recheck.
+    let mut local_cfg = job.cfg.clone();
+    local_cfg.static_induced = false;
+    let index = WindowIndex::build(&graph);
+    let threads = (job.threads as usize).max(1);
+    if job.want_induced {
+        // Aggregate by inducedness-relevant structure: the verdict
+        // depends only on (node set, covered edges), so one group per
+        // distinct combination bounds the reply by structure, not by
+        // instance count. Shard node ids are parent ids already.
+        // Per-worker maps merge with u64 additions (commutative), and
+        // the final sort makes the reply bytes deterministic at any
+        // thread count.
+        let tally = |map: &mut HashMap<GroupKey, u64>, sig: MotifSignature, evs: &[EventIdx]| {
+            let mut nodes: Vec<u32> = Vec::with_capacity(2 * evs.len());
+            let mut covered: Vec<(u32, u32)> = Vec::with_capacity(evs.len());
+            for &idx in evs {
+                let e = graph.event(idx);
+                nodes.push(e.src.0);
+                nodes.push(e.dst.0);
+                covered.push((e.src.0, e.dst.0));
+            }
+            nodes.sort_unstable();
+            nodes.dedup();
+            covered.sort_unstable();
+            covered.dedup();
+            *map.entry((sig, nodes, covered)).or_insert(0) += 1;
+        };
+        let mut groups: HashMap<GroupKey, u64> = HashMap::new();
+        if threads > 1 && own.len() > 1 {
+            let base = own.start;
+            let locals = work_steal_map(
+                own.len(),
+                threads,
+                DEFAULT_STEAL_CHUNK,
+                || {
+                    (
+                        Walker::new(&graph, &local_cfg, WindowedCandidates::new(&index)),
+                        HashMap::<GroupKey, u64>::new(),
+                    )
+                },
+                |state, claimed| {
+                    let (walker, map) = state;
+                    walker.run_range(base + claimed.start..base + claimed.end, |inst| {
+                        tally(map, inst.signature, inst.events)
+                    });
+                },
+            );
+            for (_, local) in locals {
+                for (key, n) in local {
+                    *groups.entry(key).or_insert(0) += n;
+                }
+            }
+        } else {
+            let mut walker = Walker::new(&graph, &local_cfg, WindowedCandidates::new(&index));
+            walker.run_range(own, |inst| tally(&mut groups, inst.signature, inst.events));
+        }
+        let mut groups: Vec<InducedGroup> = groups
+            .into_iter()
+            .map(|((signature, nodes, covered), count)| InducedGroup {
+                signature,
+                nodes,
+                covered,
+                count,
+            })
+            .collect();
+        // Deterministic reply bytes regardless of hash-map order.
+        groups.sort_unstable_by(|a, b| {
+            (a.signature, &a.nodes, &a.covered).cmp(&(b.signature, &b.nodes, &b.covered))
+        });
+        Ok(WorkerReply::Induced { shard_id: job.shard_id, groups })
+    } else if threads > 1 && own.len() > 1 {
+        let counts = work_steal_count(
+            &graph,
+            &local_cfg,
+            own,
+            threads,
+            DEFAULT_STEAL_CHUNK,
+            || WindowedCandidates::new(&index),
+            |local, inst| local.add(inst.signature, 1),
+        );
+        Ok(WorkerReply::Counts { shard_id: job.shard_id, counts })
+    } else {
+        let mut counts = MotifCounts::new();
+        let mut walker = Walker::new(&graph, &local_cfg, WindowedCandidates::new(&index));
+        walker.run_range(own, |inst| counts.add(inst.signature, 1));
+        Ok(WorkerReply::Counts { shard_id: job.shard_id, counts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::protocol::{encode_job, read_reply};
+    use super::*;
+    use crate::constraints::Timing;
+    use crate::engine::{CountEngine, EnumConfig, WindowedEngine};
+    use tnm_graph::TemporalGraphBuilder;
+
+    fn graph() -> TemporalGraph {
+        let mut b = TemporalGraphBuilder::new();
+        for i in 0..60u32 {
+            b.push(tnm_graph::Event::new(i % 7, (i % 7 + 1 + i % 3) % 8, (i / 2) as i64));
+        }
+        b.build().unwrap()
+    }
+
+    fn spill(graph: &TemporalGraph, dir: &std::path::Path) -> String {
+        let path = dir.join("whole.events");
+        let file = std::fs::File::create(&path).unwrap();
+        tnm_graph::io::write_events_raw(graph.events(), file).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    /// Drives the loop in-process over byte buffers: one whole-graph
+    /// "shard" must reproduce the windowed engine's counts exactly, and
+    /// the loop must honor shutdown framing.
+    #[test]
+    fn worker_loop_counts_and_shuts_down() {
+        let g = graph();
+        let dir = std::env::temp_dir().join(format!("tnm-worker-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = EnumConfig::new(3, 3).with_timing(Timing::both(4, 9));
+        let job = WorkerJob {
+            shard_id: 3,
+            shard_path: spill(&g, &dir),
+            num_nodes: g.num_nodes(),
+            own_lo: 0,
+            own_hi: g.num_events() as u64,
+            threads: 1,
+            want_induced: false,
+            cfg: cfg.clone(),
+        };
+        let mut input = Vec::new();
+        wire::write_frame(&mut input, KIND_JOB, &encode_job(&job)).unwrap();
+        wire::write_frame(&mut input, KIND_SHUTDOWN, &[]).unwrap();
+        let mut output = Vec::new();
+        run_worker(input.as_slice(), &mut output, None).unwrap();
+        let mut cursor = output.as_slice();
+        match read_reply(&mut cursor, wire::MAX_FRAME_PAYLOAD).unwrap().expect("one reply") {
+            WorkerReply::Counts { shard_id, counts } => {
+                assert_eq!(shard_id, 3);
+                assert_eq!(counts, WindowedEngine.count(&g, &cfg));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert!(read_reply(&mut cursor, wire::MAX_FRAME_PAYLOAD).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Induced jobs return raw instances with inducedness stripped —
+    /// exactly the non-induced instance stream, for the coordinator to
+    /// filter against the parent.
+    #[test]
+    fn induced_jobs_return_raw_instances() {
+        let g = graph();
+        let dir = std::env::temp_dir().join(format!("tnm-worker-inst-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(8)).with_static_induced(true);
+        let job = WorkerJob {
+            shard_id: 0,
+            shard_path: spill(&g, &dir),
+            num_nodes: g.num_nodes(),
+            own_lo: 0,
+            own_hi: g.num_events() as u64,
+            threads: 2,
+            want_induced: true,
+            cfg: cfg.clone(),
+        };
+        let mut input = Vec::new();
+        wire::write_frame(&mut input, KIND_JOB, &encode_job(&job)).unwrap();
+        let mut output = Vec::new();
+        run_worker(input.as_slice(), &mut output, None).unwrap();
+        let reply = read_reply(output.as_slice(), wire::MAX_FRAME_PAYLOAD).unwrap().unwrap();
+        let mut stripped = cfg.clone();
+        stripped.static_induced = false;
+        match reply {
+            WorkerReply::Induced { groups, .. } => {
+                // Group counts sum to the non-induced instance total
+                // (aggregation loses nothing), each group is internally
+                // consistent, and the order is deterministic.
+                let total: u64 = groups.iter().map(|g| g.count).sum();
+                assert_eq!(total, WindowedEngine.count(&g, &stripped).total());
+                for gr in &groups {
+                    assert!(gr.nodes.windows(2).all(|w| w[0] < w[1]), "nodes sorted+deduped");
+                    assert!(gr.covered.windows(2).all(|w| w[0] < w[1]), "covered sorted+deduped");
+                    assert!(gr.count > 0);
+                    for &(a, b) in &gr.covered {
+                        assert!(gr.nodes.contains(&a) && gr.nodes.contains(&b));
+                    }
+                }
+                assert!(groups.windows(2).all(|w| (w[0].signature, &w[0].nodes, &w[0].covered)
+                    < (w[1].signature, &w[1].nodes, &w[1].covered)));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Fault injection: with `exit_after = 1` the loop serves exactly
+    /// one job and returns, leaving the second job unanswered — the
+    /// crash shape the coordinator's rescheduler is tested against.
+    #[test]
+    fn exit_after_drops_the_stream_mid_run() {
+        let g = graph();
+        let dir = std::env::temp_dir().join(format!("tnm-worker-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = EnumConfig::new(2, 2).with_timing(Timing::only_w(5));
+        let job = WorkerJob {
+            shard_id: 0,
+            shard_path: spill(&g, &dir),
+            num_nodes: g.num_nodes(),
+            own_lo: 0,
+            own_hi: 4,
+            threads: 1,
+            want_induced: false,
+            cfg,
+        };
+        let mut input = Vec::new();
+        wire::write_frame(&mut input, KIND_JOB, &encode_job(&job)).unwrap();
+        wire::write_frame(&mut input, KIND_JOB, &encode_job(&job)).unwrap();
+        let mut output = Vec::new();
+        run_worker(input.as_slice(), &mut output, Some(1)).unwrap();
+        let mut cursor = output.as_slice();
+        assert!(read_reply(&mut cursor, wire::MAX_FRAME_PAYLOAD).unwrap().is_some());
+        assert!(
+            read_reply(&mut cursor, wire::MAX_FRAME_PAYLOAD).unwrap().is_none(),
+            "the second job must never be answered"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Bad jobs fail loudly: missing shard file, out-of-range owned
+    /// range, and unknown frame kinds all error instead of replying.
+    #[test]
+    fn malformed_jobs_error() {
+        let g = graph();
+        let dir = std::env::temp_dir().join(format!("tnm-worker-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = EnumConfig::new(2, 2).with_timing(Timing::only_w(5));
+        let missing = WorkerJob {
+            shard_id: 0,
+            shard_path: dir.join("nope.events").to_string_lossy().into_owned(),
+            num_nodes: g.num_nodes(),
+            own_lo: 0,
+            own_hi: 1,
+            threads: 1,
+            want_induced: false,
+            cfg: cfg.clone(),
+        };
+        let mut input = Vec::new();
+        wire::write_frame(&mut input, KIND_JOB, &encode_job(&missing)).unwrap();
+        assert!(run_worker(input.as_slice(), &mut Vec::new(), None).is_err());
+
+        let oversized = WorkerJob {
+            shard_path: spill(&g, &dir),
+            own_hi: g.num_events() as u64 + 7,
+            ..missing.clone()
+        };
+        let mut input = Vec::new();
+        wire::write_frame(&mut input, KIND_JOB, &encode_job(&oversized)).unwrap();
+        assert!(run_worker(input.as_slice(), &mut Vec::new(), None).is_err());
+
+        let mut input = Vec::new();
+        wire::write_frame(&mut input, 99, &[]).unwrap();
+        assert!(matches!(
+            run_worker(input.as_slice(), &mut Vec::new(), None),
+            Err(WireError::Malformed(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -6,7 +6,7 @@
 //! profitable execution strategy varies with the workload: graph size,
 //! timing tightness, available cores, and whether the log fits in
 //! memory at all. This module makes the strategy a value: a
-//! [`CountEngine`] trait with six interchangeable implementations,
+//! [`CountEngine`] trait with seven interchangeable implementations,
 //! selectable programmatically via [`EngineKind`] or from the CLI via
 //! `--engine`.
 //!
@@ -18,8 +18,9 @@
 //! | [`WindowedEngine`] | serial walk, [`WindowIndex`](tnm_graph::WindowIndex) binary-search pruning | bounded ΔC/ΔW on one core — the best single-threaded walker for realistic in-memory workloads |
 //! | [`ParallelEngine`] | work-stealing workers over the windowed index | large graphs on multi-core hardware with enough admissible work per start event |
 //! | [`ShardedEngine`] | time-slice shards with bounded halos ([`tnm_graph::shard`]), counted one at a time; work-stealing within a shard, optional spill to disk | very large logs under bounded timing — and the only exact option when the working set must stay below the graph size (out-of-core runs) |
+//! | [`DistributedEngine`] | coordinator/worker **processes** over the shard plan: spilled shards shipped to `tnm worker` children via the framed [`tnm_graph::wire`] protocol, crash-detected shards rescheduled onto survivors | the same huge bounded-timing logs once one process's cores are the bottleneck — the stepping stone to multi-machine runs |
 //! | [`StreamEngine`] | count-without-enumerating window DPs (2-node pair prefix counts, per-center star tables, per-triangle label DP) | eligible Paranjape-shape jobs — ΔW only, non-induced, no restrictions, ≤ 3 events, ≤ 3 nodes — where cost is near-linear in *events*, not instances; ineligible configs fall back to the windowed walker |
-//! | [`SamplingEngine`] | interval sampling over the windowed index | graphs or windows too large for exact counting, when an estimate with a confidence interval is enough |
+//! | [`SamplingEngine`] | interval sampling over the windowed index; draws evaluate in parallel under a thread budget with bit-identical seeded results | graphs or windows too large for exact counting, when an estimate with a confidence interval is enough |
 //!
 //! The walkers all pay cost proportional to the number of motif
 //! *instances*; [`StreamEngine`] is the one engine with different
@@ -28,7 +29,8 @@
 //! [`MotifCounts`] for identical [`EnumConfig`]s — the cross-engine
 //! equivalence suite (`tests/engine_equivalence.rs`) enforces this for
 //! all four paper models, including shard cuts placed inside motif
-//! spans and the stream engine's eligibility boundary. The sampling
+//! spans, the stream engine's eligibility boundary, and the distributed
+//! engine's process boundary (worker crashes included). The sampling
 //! engine is **approximate**: its `count` returns rounded point
 //! estimates, and its calibration is enforced by
 //! `tests/sampling_calibration.rs` instead.
@@ -58,6 +60,7 @@
 
 mod backtrack;
 mod config;
+mod distributed;
 mod parallel;
 mod report;
 mod sampling;
@@ -68,6 +71,9 @@ mod windowed;
 
 pub use backtrack::BacktrackEngine;
 pub use config::{EnumConfig, MotifInstance};
+pub use distributed::{
+    run_worker, DistributedConfig, DistributedEngine, DistributedRunStats, DEFAULT_WORKERS,
+};
 pub use parallel::{ParallelConfig, ParallelEngine, DEFAULT_STEAL_CHUNK, SERIAL_FALLBACK_EVENTS};
 pub use report::{t_critical_95, EngineReport, Estimate, Z_95};
 pub use sampling::{SamplingEngine, DEFAULT_SAMPLING_BUDGET, DEFAULT_SAMPLING_SEED};
@@ -143,6 +149,15 @@ pub enum EngineKind {
         /// resident.
         max_resident_shards: usize,
     },
+    /// [`DistributedEngine`]: the shard plan farmed out to worker
+    /// **processes** over the framed wire protocol (exact; crash-
+    /// detected shards are rescheduled onto surviving workers).
+    Distributed {
+        /// Worker processes to spawn.
+        workers: usize,
+        /// Target owned start events per shard.
+        shard_events: usize,
+    },
     /// [`SamplingEngine`] with the given budget and seed (approximate).
     Sampling {
         /// Number of sample windows to draw.
@@ -187,6 +202,17 @@ pub const STREAM_MIN_WINDOW_EVENTS: f64 = 1.0;
 /// buys nothing.
 pub const SHARDED_MIN_EVENTS: usize = 262_144;
 
+/// From this many events up — four sharded thresholds — [`auto_select`]
+/// escalates a bounded-reach, multi-worker workload from the in-process
+/// sharded engine to [`EngineKind::Distributed`]: the shard plan is the
+/// same, but per-shard index builds and walks move to worker processes,
+/// so the coordinator's address space holds only the parent graph and
+/// the merge. Like the sharded rule it requires a bounded admissible
+/// reach, and additionally a worker budget above one — a single worker
+/// would pay process spawn and wire framing for the sharded engine's
+/// exact work.
+pub const DISTRIBUTED_MIN_EVENTS: usize = 1_048_576;
+
 /// Expected number of events inside one pruning window: the graph's
 /// event count scaled by the fraction of the timeline a walk may reach
 /// from its first event
@@ -215,17 +241,21 @@ fn expected_window_events(graph: &TemporalGraph, cfg: &EnumConfig) -> f64 {
 ///    ΔW while the triad merge still pays projection-density work;
 /// 2. unbounded timing on a graph under [`WINDOWED_MIN_EVENTS`] events →
 ///    [`EngineKind::Backtrack`] (nothing to prune; skip the index build);
-/// 3. at least [`SHARDED_MIN_EVENTS`] events with a bounded admissible
+/// 3. at least [`DISTRIBUTED_MIN_EVENTS`] events with a bounded
+///    admissible reach and a worker budget above one →
+///    [`EngineKind::Distributed`] (the thread budget becomes the worker
+///    count; counting leaves the coordinator's address space);
+/// 4. at least [`SHARDED_MIN_EVENTS`] events with a bounded admissible
 ///    reach ([`EnumConfig::admissible_reach`]) →
 ///    [`EngineKind::Sharded`] (bounded working set; the within-shard
 ///    executor still uses the thread budget);
-/// 4. more than one thread, at least [`SERIAL_FALLBACK_EVENTS`] events,
+/// 5. more than one thread, at least [`SERIAL_FALLBACK_EVENTS`] events,
 ///    **and** at least [`PARALLEL_MIN_WINDOW_EVENTS`] expected events
 ///    per ΔC/ΔW window → [`EngineKind::Parallel`] (enough work per start
 ///    event to pay for spawn and merge);
-/// 5. otherwise → [`EngineKind::Windowed`].
+/// 6. otherwise → [`EngineKind::Windowed`].
 ///
-/// Rule 4 is why a huge-but-unsharded graph under an extremely tight ΔW
+/// Rule 5 is why a huge-but-unsharded graph under an extremely tight ΔW
 /// still runs serial: each walk dies after a probe or two, so
 /// distributing the starts distributes almost nothing. [`auto_select`]
 /// never resolves to the approximate sampler — estimation is an explicit
@@ -243,6 +273,9 @@ pub fn auto_select(graph: &TemporalGraph, cfg: &EnumConfig, threads: usize) -> E
     if unbounded && m < WINDOWED_MIN_EVENTS {
         return EngineKind::Backtrack;
     }
+    if threads > 1 && m >= DISTRIBUTED_MIN_EVENTS && cfg.admissible_reach(graph).is_some() {
+        return EngineKind::Distributed { workers: threads, shard_events: DEFAULT_SHARD_EVENTS };
+    }
     if m >= SHARDED_MIN_EVENTS && cfg.admissible_reach(graph).is_some() {
         return EngineKind::Sharded { shard_events: DEFAULT_SHARD_EVENTS, max_resident_shards: 0 };
     }
@@ -258,12 +291,13 @@ pub fn auto_select(graph: &TemporalGraph, cfg: &EnumConfig, threads: usize) -> E
 impl EngineKind {
     /// Every concrete **exact** kind (excludes `Auto` and the
     /// approximate sampler), for sweeps and benches.
-    pub const CONCRETE: [EngineKind; 5] = [
+    pub const CONCRETE: [EngineKind; 6] = [
         EngineKind::Backtrack,
         EngineKind::Windowed,
         EngineKind::Parallel,
         EngineKind::Stream,
         EngineKind::Sharded { shard_events: DEFAULT_SHARD_EVENTS, max_resident_shards: 0 },
+        EngineKind::Distributed { workers: DEFAULT_WORKERS, shard_events: DEFAULT_SHARD_EVENTS },
     ];
 
     /// The exact kinds as a slice — the registry the cross-engine
@@ -283,6 +317,12 @@ impl EngineKind {
     /// resident budget (`0` = in-memory).
     pub fn sharded(shard_events: usize, max_resident_shards: usize) -> EngineKind {
         EngineKind::Sharded { shard_events, max_resident_shards }
+    }
+
+    /// The distributed kind with explicit worker-process and per-shard
+    /// event targets.
+    pub fn distributed(workers: usize, shard_events: usize) -> EngineKind {
+        EngineKind::Distributed { workers, shard_events }
     }
 
     /// Instantiates the engine, resolving `Auto` against the workload
@@ -306,8 +346,22 @@ impl EngineKind {
                 }
                 Box::new(engine)
             }
+            EngineKind::Distributed { workers, shard_events } => {
+                let workers = workers.max(1);
+                // The thread budget spreads across the worker
+                // processes: T threads over W workers gives each worker
+                // ⌊T/W⌋ (at least 1) within-shard threads, keeping
+                // total parallelism at the budget instead of W × T —
+                // and keeping auto-resolved runs (workers = threads)
+                // from oversubscribing quadratically.
+                Box::new(
+                    DistributedEngine::new(workers)
+                        .with_shard_events(shard_events.max(1))
+                        .with_worker_threads((threads.max(1) / workers).max(1)),
+                )
+            }
             EngineKind::Sampling { samples, seed } => {
-                Box::new(SamplingEngine::new(samples.max(1) as usize, seed))
+                Box::new(SamplingEngine::new(samples.max(1) as usize, seed).with_threads(threads))
             }
             EngineKind::Auto => auto_select(graph, cfg, threads).engine_for(graph, cfg, threads),
         }
@@ -338,6 +392,10 @@ impl std::str::FromStr for EngineKind {
                 shard_events: DEFAULT_SHARD_EVENTS,
                 max_resident_shards: 0,
             }),
+            "distributed" => Ok(EngineKind::Distributed {
+                workers: DEFAULT_WORKERS,
+                shard_events: DEFAULT_SHARD_EVENTS,
+            }),
             "sampling" => Ok(EngineKind::Sampling {
                 samples: DEFAULT_SAMPLING_BUDGET as u32,
                 seed: DEFAULT_SAMPLING_SEED,
@@ -356,6 +414,7 @@ impl std::fmt::Display for EngineKind {
             EngineKind::Parallel => "parallel",
             EngineKind::Stream => "stream",
             EngineKind::Sharded { .. } => "sharded",
+            EngineKind::Distributed { .. } => "distributed",
             EngineKind::Sampling { .. } => "sampling",
             EngineKind::Auto => "auto",
         };
@@ -374,7 +433,7 @@ impl std::fmt::Display for ParseEngineError {
         write!(
             f,
             "unknown engine `{}` (expected backtrack, windowed, parallel, stream, sharded, \
-             sampling, or auto)",
+             distributed, sampling, or auto)",
             self.got
         )
     }
@@ -430,11 +489,17 @@ mod tests {
             EngineKind::sharded(DEFAULT_SHARD_EVENTS, 0),
         );
         assert_eq!(EngineKind::sharded(512, 4).to_string(), "sharded");
+        assert_eq!(
+            "distributed".parse::<EngineKind>().unwrap(),
+            EngineKind::distributed(DEFAULT_WORKERS, DEFAULT_SHARD_EVENTS),
+        );
+        assert_eq!(EngineKind::distributed(4, 512).to_string(), "distributed");
         assert!("bogus".parse::<EngineKind>().is_err());
         let msg = "bogus".parse::<EngineKind>().unwrap_err().to_string();
         assert!(msg.contains("sampling"), "error must list all engines: {msg}");
         assert!(msg.contains("sharded"), "error must list all engines: {msg}");
         assert!(msg.contains("stream"), "error must list all engines: {msg}");
+        assert!(msg.contains("distributed"), "error must list all engines: {msg}");
     }
 
     /// Sweeps and benches iterate [`EngineKind::all_exact`]; the stream
@@ -447,6 +512,11 @@ mod tests {
         assert_eq!(EngineKind::all_exact(), EngineKind::CONCRETE);
         assert!(!EngineKind::all_exact().contains(&EngineKind::Auto));
         assert!(!EngineKind::all_exact().iter().any(|k| matches!(k, EngineKind::Sampling { .. })));
+        // The first cross-process engine must sit in the registry too,
+        // or the equivalence sweep never crosses a process boundary.
+        assert!(EngineKind::all_exact()
+            .iter()
+            .any(|k| matches!(k, EngineKind::Distributed { .. })));
     }
 
     /// Pins the [`auto_select`] table: each row is (events, span,
@@ -458,6 +528,8 @@ mod tests {
         let small = sized(100, 1_000); // above nothing
                                        // At the sharded threshold exactly (the rule is `>=`).
         let huge = sized(SHARDED_MIN_EVENTS, 4_000_000);
+        // At the distributed threshold exactly (the rule is `>=`).
+        let mega = sized(DISTRIBUTED_MIN_EVENTS, 16_000_000);
         let sharded_default = EngineKind::sharded(DEFAULT_SHARD_EVENTS, 0);
         let unbounded = EnumConfig::new(3, 3);
         // Stream-eligible: ΔW only, ≤ 3 events on ≤ 3 nodes.
@@ -504,7 +576,18 @@ mod tests {
             // 4-node budget keeps the stream fast path out).
             (&tiny, &loose_w_4n, 1, EngineKind::Windowed),
             (&small, &loose_w_4n, 8, EngineKind::Windowed),
-            // 3. At/above SHARDED_MIN_EVENTS with bounded reach — and no
+            // 3. At/above DISTRIBUTED_MIN_EVENTS with bounded reach and
+            // more than one worker: counting leaves the process (the
+            // thread budget becomes the worker count). One thread means
+            // one worker — nothing to distribute — so the same graph
+            // falls through to the sharded rule; stream eligibility
+            // still outranks everything.
+            (&mega, &loose_w4, 8, EngineKind::distributed(8, DEFAULT_SHARD_EVENTS)),
+            (&mega, &loose_c, 2, EngineKind::distributed(2, DEFAULT_SHARD_EVENTS)),
+            (&mega, &loose_w4, 1, sharded_default),
+            (&mega, &unbounded, 8, EngineKind::Parallel),
+            (&mega, &loose_w, 8, EngineKind::Stream),
+            // 4. At/above SHARDED_MIN_EVENTS with bounded reach — and no
             // stream eligibility: sharded (thread budget notwithstanding;
             // threads go within-shard).
             (&huge, &loose_w4, 1, sharded_default),
@@ -516,7 +599,7 @@ mod tests {
             // ...duration-aware ΔC bounds the reach via the graph's max
             // event duration (zero here), so the huge graph still shards.
             (&huge, &aware_c, 8, sharded_default),
-            // 4. Large graph + threads + enough work per window: parallel.
+            // 5. Large graph + threads + enough work per window: parallel.
             (&large, &loose_w4, 8, EngineKind::Parallel),
             (&large, &loose_c, 8, EngineKind::Parallel),
             (&large, &unbounded, 8, EngineKind::Parallel),
@@ -526,7 +609,7 @@ mod tests {
             // below the sharded threshold the occupancy heuristic sees
             // infinite windows and goes parallel.
             (&large, &aware_c, 8, EngineKind::Parallel),
-            // 5. One thread below the sharded threshold: always serial.
+            // 6. One thread below the sharded threshold: always serial.
             (&large, &loose_w4, 1, EngineKind::Windowed),
             (&large, &aware_c, 1, EngineKind::Windowed),
         ];
@@ -547,11 +630,15 @@ mod tests {
             // on its own: estimation is an explicit caller choice.
             assert!(!matches!(got, EngineKind::Sampling { .. }));
         }
-        // Explicit approximate/sharded kinds resolve to their engines
-        // with parameters intact, bypassing the table entirely.
+        // Explicit approximate/sharded/distributed kinds resolve to
+        // their engines with parameters intact, bypassing the table.
         assert_eq!(EngineKind::sampling(32, 5).engine_for(&tiny, &loose_w, 4).name(), "sampling");
         assert_eq!(EngineKind::sharded(64, 2).engine_for(&tiny, &loose_w, 4).name(), "sharded");
         assert_eq!(sharded_default.engine_for(&huge, &loose_w, 8).name(), "sharded");
+        assert_eq!(
+            EngineKind::distributed(2, 64).engine_for(&tiny, &loose_w, 4).name(),
+            "distributed"
+        );
     }
 
     #[test]
@@ -575,6 +662,11 @@ mod tests {
         assert!(shard.capabilities().windowed_pruning);
         assert!(shard.capabilities().deterministic_enumeration);
         assert!(shard.with_threads(4).capabilities().parallel);
+        let dist = DistributedEngine::new(2);
+        assert!(dist.capabilities().parallel);
+        assert!(dist.capabilities().windowed_pruning);
+        assert!(dist.capabilities().deterministic_enumeration);
+        assert!(samp.with_threads(4).capabilities().parallel);
     }
 
     #[test]

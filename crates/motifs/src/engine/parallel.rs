@@ -115,7 +115,7 @@ impl ParallelEngine {
     /// factory, merging the per-worker local counts after join.
     fn run<C, M>(&self, graph: &TemporalGraph, cfg: &EnumConfig, make_source: M) -> MotifCounts
     where
-        C: CandidateSource,
+        C: CandidateSource + Send,
         M: Fn() -> C + Sync,
     {
         work_steal_count(
@@ -130,12 +130,61 @@ impl ParallelEngine {
     }
 }
 
-/// The work-stealing executor itself, decoupled from [`ParallelEngine`]
-/// so the sharded engine can drive it **within a shard**: `threads`
-/// workers claim `chunk`-sized slices of `starts` through an atomic
-/// cursor, walk them with a per-worker [`Walker`] over `make_source`'s
-/// candidate source, fold each instance into a per-worker local table
-/// via `tally`, and merge the locals lock-free after join.
+/// The generic work-stealing executor: `threads` workers claim
+/// `chunk`-sized index ranges of `0..len` through an atomic cursor,
+/// each folding its claims into a private per-worker accumulator built
+/// by `make_acc` (which typically bundles reusable scratch — a
+/// [`Walker`], an RNG-free sampling state — with the results). The
+/// per-worker accumulators are returned **in spawn order** after join,
+/// so callers that need deterministic merges (the sampling engine's
+/// seeded confidence intervals) can reduce them — or per-item results
+/// stored inside them — in a fixed order regardless of how the work was
+/// actually interleaved.
+pub(crate) fn work_steal_map<A, MS, W>(
+    len: usize,
+    threads: usize,
+    chunk: usize,
+    make_acc: MS,
+    work: W,
+) -> Vec<A>
+where
+    A: Send,
+    MS: Fn() -> A + Sync,
+    W: Fn(&mut A, std::ops::Range<usize>) + Sync,
+{
+    let threads = threads.max(1).min(len.max(1));
+    let chunk = chunk.max(1);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                let make_acc = &make_acc;
+                let work = &work;
+                scope.spawn(move || {
+                    let mut acc = make_acc();
+                    loop {
+                        let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if lo >= len {
+                            break;
+                        }
+                        work(&mut acc, lo..(lo + chunk).min(len));
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+}
+
+/// The counting instantiation of [`work_steal_map`], decoupled from
+/// [`ParallelEngine`] so the sharded engine can drive it **within a
+/// shard**: workers claim slices of `starts`, walk them with a
+/// per-worker [`Walker`] over `make_source`'s candidate source, fold
+/// each instance into a per-worker local table via `tally`, and the
+/// locals merge lock-free after join (u64 additions commute, so the
+/// merge order never affects the result).
 pub(crate) fn work_steal_count<C, M, T>(
     graph: &TemporalGraph,
     cfg: &EnumConfig,
@@ -146,41 +195,26 @@ pub(crate) fn work_steal_count<C, M, T>(
     tally: T,
 ) -> MotifCounts
 where
-    C: CandidateSource,
+    C: CandidateSource + Send,
     M: Fn() -> C + Sync,
     T: Fn(&mut MotifCounts, &MotifInstance<'_>) + Sync,
 {
     let base = starts.start;
     let len = starts.len();
-    let threads = threads.max(1).min(len.max(1));
-    let chunk = chunk.max(1);
-    let cursor = AtomicUsize::new(0);
+    let locals = work_steal_map(
+        len,
+        threads,
+        chunk,
+        || (MotifCounts::new(), Walker::new(graph, cfg, make_source())),
+        |state, claimed| {
+            let (local, walker) = state;
+            walker.run_range(base + claimed.start..base + claimed.end, |inst| tally(local, inst));
+        },
+    );
     let mut merged = MotifCounts::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let cursor = &cursor;
-                let make_source = &make_source;
-                let tally = &tally;
-                scope.spawn(move || {
-                    let mut local = MotifCounts::new();
-                    let mut walker = Walker::new(graph, cfg, make_source());
-                    loop {
-                        let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if lo >= len {
-                            break;
-                        }
-                        let hi = (lo + chunk).min(len);
-                        walker.run_range(base + lo..base + hi, |inst| tally(&mut local, inst));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for h in handles {
-            merged.merge(&h.join().expect("worker panicked"));
-        }
-    });
+    for (local, _walker) in &locals {
+        merged.merge(local);
+    }
     merged
 }
 

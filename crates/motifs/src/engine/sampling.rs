@@ -42,9 +42,25 @@
 //! default `report`, which wraps their counts in zero-width intervals —
 //! `tests/sampling_calibration.rs` checks the intervals are calibrated
 //! against exact counts across models and seeds.
+//!
+//! ## Parallel draws
+//!
+//! Window draws are embarrassingly parallel — each is an independent
+//! walk over its own event range — so with
+//! [`SamplingEngine::with_threads`] the engine evaluates them on the
+//! work-stealing executor shared with
+//! [`ParallelEngine`](crate::engine::ParallelEngine) and the sharded
+//! engine. Determinism is preserved exactly: all window offsets are
+//! drawn up front from the seeded RNG (one stream, independent of the
+//! thread count), each window's weighted sums are computed in isolation,
+//! and the per-window results are folded into the moment accumulators
+//! **in draw order** — the identical sequence of float additions the
+//! serial sampler performs, so seeded estimates and confidence
+//! intervals are bit-for-bit unchanged at any thread budget.
 
 use crate::count::MotifCounts;
 use crate::engine::config::{EnumConfig, MotifInstance};
+use crate::engine::parallel::work_steal_map;
 use crate::engine::report::{t_critical_95, EngineReport, Estimate};
 use crate::engine::walker::{Walker, WindowedCandidates};
 use crate::engine::{CountEngine, EngineCaps, WindowedEngine};
@@ -72,6 +88,7 @@ pub struct SamplingEngine {
     samples: usize,
     seed: u64,
     window_len: Option<Time>,
+    threads: usize,
 }
 
 impl SamplingEngine {
@@ -82,7 +99,16 @@ impl SamplingEngine {
     /// Panics if `samples == 0`.
     pub fn new(samples: usize, seed: u64) -> Self {
         assert!(samples > 0, "sampling needs at least one window draw");
-        SamplingEngine { samples, seed, window_len: None }
+        SamplingEngine { samples, seed, window_len: None, threads: 1 }
+    }
+
+    /// Evaluates window draws on this many work-stealing worker threads
+    /// (chainable). Estimates and confidence intervals are **bit-for-bit
+    /// identical** at every thread budget — see the
+    /// [module docs](self) on parallel draws.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Overrides the auto-selected window length (chainable).
@@ -143,7 +169,7 @@ impl CountEngine for SamplingEngine {
 
     fn capabilities(&self) -> EngineCaps {
         EngineCaps {
-            parallel: false,
+            parallel: self.threads > 1,
             windowed_pruning: true,
             // `enumerate` is exact and delegates to the windowed engine.
             deterministic_enumeration: true,
@@ -178,50 +204,74 @@ impl CountEngine for SamplingEngine {
         // T + L possible starts, left-aligned at t0 - L + 1.
         let horizon = (t1 - t0) + window_len;
         let index = global_index_cache().get_or_build(graph);
-        let mut walker = Walker::new(graph, cfg, WindowedCandidates::new(&index));
+        // All offsets come off the seeded RNG up front, in one stream:
+        // the draw sequence — and therefore every estimate — is
+        // independent of the thread budget.
         let mut rng = StdRng::seed_from_u64(self.seed);
+        let windows: Vec<SampleWindow> = (0..self.samples)
+            .map(|_| {
+                let offset = rng.gen_range(0..horizon.max(1));
+                let start = t0 - window_len + 1 + offset;
+                let end = start + window_len; // exclusive
+                SampleWindow {
+                    end,
+                    lo: graph.first_event_at_or_after(start) as usize,
+                    hi: graph.first_event_at_or_after(end) as usize,
+                }
+            })
+            .collect();
         // Per-signature running first and second moments of the
         // per-window weighted sums (windows where a signature is absent
         // contribute zero to both, so only observations need updates).
         let mut moments: HashMap<MotifSignature, (f64, f64)> = HashMap::new();
         let mut total_moments = (0.0f64, 0.0f64);
-        let mut window_acc: HashMap<MotifSignature, f64> = HashMap::new();
-        for _ in 0..self.samples {
-            let offset = rng.gen_range(0..horizon.max(1));
-            let start = t0 - window_len + 1 + offset;
-            let end = start + window_len; // exclusive
-            let lo = graph.first_event_at_or_after(start) as usize;
-            let hi = graph.first_event_at_or_after(end) as usize;
-            window_acc.clear();
-            // Accumulated in deterministic enumeration order (the map's
-            // iteration order must not influence float sums).
-            let mut window_total = 0.0;
-            if hi - lo >= cfg.num_events {
-                let acc = &mut window_acc;
-                let total = &mut window_total;
-                walker.run_range(lo..hi, |inst| {
-                    let last = graph.event(*inst.events.last().expect("non-empty motif")).time;
-                    if last >= end {
-                        return; // sticks out of this window: not contained
+        if self.threads <= 1 {
+            let mut walker = Walker::new(graph, cfg, WindowedCandidates::new(&index));
+            let mut acc: HashMap<MotifSignature, f64> = HashMap::new();
+            for w in &windows {
+                let total =
+                    sample_window(graph, cfg, &mut walker, w, horizon, window_len, &mut acc);
+                fold_window(&mut moments, &mut total_moments, &acc, total);
+            }
+        } else {
+            // Parallel draws: each window is evaluated in isolation on
+            // the shared work-stealing executor (chunk 1 — per-window
+            // cost varies by orders of magnitude), then the per-window
+            // results fold into the moments **in draw order**, the
+            // identical float-addition sequence the serial loop above
+            // performs.
+            let per_worker = work_steal_map(
+                windows.len(),
+                self.threads,
+                1,
+                || (Walker::new(graph, cfg, WindowedCandidates::new(&index)), Vec::new()),
+                |state, claimed| {
+                    let (walker, out) = state;
+                    for i in claimed {
+                        let mut acc = HashMap::new();
+                        let total = sample_window(
+                            graph,
+                            cfg,
+                            walker,
+                            &windows[i],
+                            horizon,
+                            window_len,
+                            &mut acc,
+                        );
+                        out.push((i, acc, total));
                     }
-                    let span = inst.timespan(graph);
-                    // span <= L - 1 within a contained instance, so the
-                    // containment interval L - span is at least 1.
-                    let weight = horizon as f64 / (window_len - span) as f64;
-                    *acc.entry(inst.signature).or_insert(0.0) += weight;
-                    *total += weight;
-                });
+                },
+            );
+            let mut slots: Vec<Option<(HashMap<MotifSignature, f64>, f64)>> =
+                (0..windows.len()).map(|_| None).collect();
+            for (i, acc, total) in per_worker.into_iter().flat_map(|(_, results)| results) {
+                debug_assert!(slots[i].is_none(), "draw {i} evaluated twice");
+                slots[i] = Some((acc, total));
             }
-            for (&sig, &x) in window_acc.iter() {
-                // Per-signature sums see their own additions in window
-                // order regardless of how the map iterates, so this
-                // stays deterministic.
-                let m = moments.entry(sig).or_insert((0.0, 0.0));
-                m.0 += x;
-                m.1 += x * x;
+            for slot in slots {
+                let (acc, total) = slot.expect("every draw evaluated exactly once");
+                fold_window(&mut moments, &mut total_moments, &acc, total);
             }
-            total_moments.0 += window_total;
-            total_moments.1 += window_total * window_total;
         }
         let n = self.samples as f64;
         // Student's t at small budgets, 1.96 from 30 windows up: the
@@ -245,6 +295,69 @@ impl CountEngine for SamplingEngine {
         let estimates = moments.into_iter().map(|(s, m)| (s, interval(m))).collect();
         EngineReport::from_estimates(self.name(), self.samples, estimates, interval(total_moments))
     }
+}
+
+/// One drawn sample window: exclusive end time plus the start-event
+/// index range it admits.
+#[derive(Debug, Clone, Copy)]
+struct SampleWindow {
+    end: Time,
+    lo: usize,
+    hi: usize,
+}
+
+/// Evaluates one window draw: clears `acc`, walks the window's start
+/// events, and fills `acc` with the per-signature weighted sums
+/// (accumulated in deterministic enumeration order — the map's
+/// iteration order never influences float sums). Returns the window's
+/// weighted total.
+fn sample_window(
+    graph: &TemporalGraph,
+    cfg: &EnumConfig,
+    walker: &mut Walker<'_, WindowedCandidates<'_>>,
+    window: &SampleWindow,
+    horizon: Time,
+    window_len: Time,
+    acc: &mut HashMap<MotifSignature, f64>,
+) -> f64 {
+    acc.clear();
+    let mut window_total = 0.0;
+    if window.hi - window.lo >= cfg.num_events {
+        let end = window.end;
+        let total = &mut window_total;
+        walker.run_range(window.lo..window.hi, |inst| {
+            let last = graph.event(*inst.events.last().expect("non-empty motif")).time;
+            if last >= end {
+                return; // sticks out of this window: not contained
+            }
+            let span = inst.timespan(graph);
+            // span <= L - 1 within a contained instance, so the
+            // containment interval L - span is at least 1.
+            let weight = horizon as f64 / (window_len - span) as f64;
+            *acc.entry(inst.signature).or_insert(0.0) += weight;
+            *total += weight;
+        });
+    }
+    window_total
+}
+
+/// Folds one window's weighted sums into the running moments.
+/// Per-signature sums see their own additions in window order
+/// regardless of how the map iterates, so folding windows in draw order
+/// reproduces the serial sampler's float arithmetic exactly.
+fn fold_window(
+    moments: &mut HashMap<MotifSignature, (f64, f64)>,
+    total_moments: &mut (f64, f64),
+    acc: &HashMap<MotifSignature, f64>,
+    window_total: f64,
+) {
+    for (&sig, &x) in acc.iter() {
+        let m = moments.entry(sig).or_insert((0.0, 0.0));
+        m.0 += x;
+        m.1 += x * x;
+    }
+    total_moments.0 += window_total;
+    total_moments.1 += window_total * window_total;
 }
 
 #[cfg(test)]
@@ -304,6 +417,31 @@ mod tests {
         }
         let c = SamplingEngine::new(50, 10).with_window_len(100).report(&g, &cfg);
         assert_ne!(a.total, c.total, "different seeds should diverge");
+    }
+
+    #[test]
+    fn parallel_draws_are_bit_identical_to_serial() {
+        // The whole point of the ordered fold: the thread budget must
+        // not perturb a single bit of a seeded estimate. Compare every
+        // per-signature point and half-width with exact float equality.
+        let g = test_graph();
+        for cfg in [
+            EnumConfig::new(2, 3).with_timing(Timing::only_w(20)),
+            EnumConfig::new(3, 3).with_timing(Timing::only_w(40)).with_consecutive(true),
+        ] {
+            let serial = SamplingEngine::new(120, 9).report(&g, &cfg);
+            for threads in [2usize, 4, 7] {
+                let par = SamplingEngine::new(120, 9).with_threads(threads).report(&g, &cfg);
+                assert_eq!(par.counts, serial.counts, "threads={threads}");
+                assert_eq!(par.total.point, serial.total.point, "threads={threads}");
+                assert_eq!(par.total.half_width, serial.total.half_width, "threads={threads}");
+                for (sig, e) in serial.iter() {
+                    assert_eq!(par.estimate(sig), e, "threads={threads}, sig {sig}");
+                }
+            }
+        }
+        assert!(SamplingEngine::new(8, 1).with_threads(4).capabilities().parallel);
+        assert!(!SamplingEngine::new(8, 1).capabilities().parallel);
     }
 
     #[test]

@@ -23,15 +23,20 @@
 use super::group_end_by;
 use crate::count::MotifCounts;
 use crate::notation::MotifSignature;
-use tnm_graph::{Edge, NodeId, StaticProjection, TemporalGraph, Time};
+use tnm_graph::static_proj::global_projection_cache;
+use tnm_graph::{Edge, NodeId, TemporalGraph, Time};
 
 /// Labels: `pair * 2 + dir`, pairs 0 = {a,b}, 1 = {a,c}, 2 = {b,c} for
 /// the triangle's sorted nodes `a < b < c`; dir 0 = lower → higher id.
 const LABELS: usize = 6;
 
-/// Counts every δ-window temporal triangle into `out`.
+/// Counts every δ-window temporal triangle into `out`. The static
+/// projection comes from the shared
+/// [`global_projection_cache`], so a ΔW sweep over one graph builds it
+/// (and can re-list its triangles) once per graph instead of once per
+/// count.
 pub fn count_triads(graph: &TemporalGraph, delta: Time, out: &mut MotifCounts) {
-    let proj = StaticProjection::from_graph(graph);
+    let proj = global_projection_cache().get_or_build(graph);
     let sig_table = label_triple_signatures();
     let combos = closing_combos();
     // One flat accumulator over label triples, shared by all triangles:

@@ -19,12 +19,16 @@
 //! * a pluggable **counting-engine subsystem** ([`engine`]): one shared
 //!   backtracking walk behind the [`engine::CountEngine`] trait, with
 //!   serial, window-indexed, work-stealing parallel, time-slice sharded
-//!   (in-memory or spilled to disk for out-of-core runs), and
-//!   interval-sampling implementations (the sampler reports confidence
-//!   intervals through [`engine::CountEngine::report`]), plus the
-//!   **streaming fast path** ([`engine::StreamEngine`]) that counts
-//!   eligible δ-window spectra without enumerating instances; legacy
-//!   entry points ([`enumerate`]), and spectrum analytics ([`count`]);
+//!   (in-memory or spilled to disk for out-of-core runs),
+//!   **distributed** (coordinator/worker processes over the framed
+//!   [`tnm_graph::wire`] protocol, crash-detected shards rescheduled),
+//!   and interval-sampling implementations (the sampler reports
+//!   confidence intervals through [`engine::CountEngine::report`] and
+//!   evaluates draws in parallel with bit-identical seeded results),
+//!   plus the **streaming fast path** ([`engine::StreamEngine`]) that
+//!   counts eligible δ-window spectra without enumerating instances;
+//!   legacy entry points ([`enumerate`]), and spectrum analytics
+//!   ([`count`]);
 //! * per-instance **validity checking** for Figure 1-style model
 //!   comparisons ([`validity`]);
 //! * **partial orders** and Song et al.'s **streaming event-pattern
@@ -79,6 +83,14 @@
 //!   the work-stealing executor inside each shard; optional spill mode
 //!   serializes shards to disk and bounds peak residency for logs
 //!   larger than memory. Exact.
+//! * [`engine::DistributedEngine`] (`distributed`) — the same shard
+//!   plan farmed out to **worker processes**: the coordinator spills
+//!   every shard, spawns `tnm worker` children, ships framed job
+//!   descriptors over the [`tnm_graph::wire`] protocol, and merges the
+//!   framed count replies — with crash-detected shards rescheduled onto
+//!   surviving workers, and the one whole-timeline predicate (static
+//!   inducedness) re-checked on the coordinator against the parent
+//!   graph. Exact; the stepping stone to multi-machine merging.
 //! * [`engine::StreamEngine`] (`stream`) — **count without
 //!   enumerating**: for eligible Paranjape-shape jobs (only-ΔW,
 //!   non-induced, no restrictions, ≤ 3 events on ≤ 3 nodes) the
@@ -89,14 +101,17 @@
 //! * [`engine::SamplingEngine`] (`sampling`) — **approximate** interval
 //!   sampling: unbiased point estimates with ~95 % confidence intervals
 //!   via [`engine::CountEngine::report`], at a fraction of exact cost on
-//!   large windows. The other five engines are exact and produce
-//!   identical counts.
+//!   large windows; window draws parallelize with bit-identical seeded
+//!   results. The other six engines are exact and produce identical
+//!   counts.
 //! * [`engine::EngineKind::Auto`] (`auto`, the default) — resolves per
 //!   workload via [`engine::auto_select`]: the stream fast path whenever
-//!   eligible, backtrack for small unbounded-timing jobs, sharded for
-//!   bounded-timing graphs above [`engine::SHARDED_MIN_EVENTS`],
-//!   work-stealing parallel when the graph and its ΔC/ΔW windows carry
-//!   enough work for multiple threads, serial windowed otherwise.
+//!   eligible, backtrack for small unbounded-timing jobs, distributed
+//!   for bounded-timing graphs above [`engine::DISTRIBUTED_MIN_EVENTS`]
+//!   with a multi-worker budget, sharded above
+//!   [`engine::SHARDED_MIN_EVENTS`], work-stealing parallel when the
+//!   graph and its ΔC/ΔW windows carry enough work for multiple
+//!   threads, serial windowed otherwise.
 //!
 //! All windowed engines share one [`tnm_graph::WindowIndex`] per graph
 //! through [`tnm_graph::index_cache::global_index_cache`], so repeated

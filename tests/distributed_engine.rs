@@ -1,0 +1,238 @@
+//! Distributed-engine integration suite: real coordinator/worker
+//! process pairs over the framed wire protocol.
+//!
+//! Three contracts are pinned here:
+//!
+//! * **Exactness across the process boundary** — counts from spawned
+//!   `tnm worker` children merge to bit-identical totals vs the
+//!   in-process [`WindowedEngine`], across shard sizes, worker counts,
+//!   restriction flags (including the static-inducedness recheck that
+//!   runs on the coordinator), and signature targeting.
+//! * **Crash rescheduling** — a worker killed mid-run (fault-injected
+//!   via `TNM_WORKER_EXIT_AFTER`) loses nothing: its in-flight shard is
+//!   rescheduled onto the surviving worker and the final counts stay
+//!   bit-identical.
+//! * **Wire robustness** — the public framing and event-block decoders
+//!   reject a corpus of corruptions (truncation at every prefix, bad
+//!   magic, bad version, oversized length headers, trailing bytes)
+//!   with errors, never panics, OOM-sized allocations, or silent
+//!   short reads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use temporal_motifs::prelude::*;
+use tnm_datasets::{generate, DatasetSpec};
+use tnm_motifs::engine::{CountEngine, DistributedEngine, WindowedEngine};
+
+/// Seeded random graph with duplicate timestamps (ties straddle shard
+/// cuts on purpose).
+fn random_graph(seed: u64, nodes: u32, events: usize, horizon: i64) -> TemporalGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut batch = Vec::with_capacity(events);
+    while batch.len() < events {
+        let u: u32 = rng.gen_range(0..nodes);
+        let v: u32 = rng.gen_range(0..nodes);
+        if u == v {
+            continue;
+        }
+        batch.push(Event::new(u, v, rng.gen_range(0i64..horizon)));
+    }
+    TemporalGraph::from_events(batch).expect("non-empty batch")
+}
+
+/// The worker binary must resolve in the test environment — without
+/// it, every other test in this file would silently exercise the
+/// in-process fallback instead of the wire.
+#[test]
+fn worker_binary_resolves() {
+    let bin = DistributedEngine::worker_binary()
+        .expect("`tnm` binary not found next to the test executable — build the workspace");
+    assert!(bin.is_file());
+}
+
+#[test]
+fn matches_windowed_across_shard_sizes_and_workers() {
+    let g = random_graph(501, 12, 260, 300);
+    let cfg = EnumConfig::new(3, 3).with_timing(Timing::both(20, 45));
+    let reference = WindowedEngine.count(&g, &cfg);
+    for shard_events in [1usize, 9, 50] {
+        for workers in [1usize, 2, 3] {
+            let engine = DistributedEngine::new(workers).with_shard_events(shard_events);
+            let (counts, stats) = engine.count_with_stats(&g, &cfg);
+            assert_eq!(counts, reference, "shard_events={shard_events}, workers={workers}");
+            assert!(stats.shards > 1, "plan must actually shard");
+            assert_eq!(
+                stats.workers_spawned,
+                workers.min(stats.shards),
+                "every configured worker must actually spawn"
+            );
+            assert_eq!(stats.workers_lost, 0);
+            assert_eq!(stats.jobs_rescheduled, 0);
+        }
+    }
+}
+
+/// Within-worker threading: the job descriptor carries a thread budget
+/// and each worker runs the shared work-stealing walk over its shard —
+/// counts (and aggregated induced groups) must stay bit-identical.
+#[test]
+fn worker_threads_are_exact() {
+    let g = random_graph(506, 10, 240, 200);
+    for cfg in [
+        EnumConfig::new(3, 3).with_timing(Timing::both(15, 35)),
+        EnumConfig::new(3, 3).with_timing(Timing::only_w(30)).with_static_induced(true),
+    ] {
+        let reference = WindowedEngine.count(&g, &cfg);
+        let engine = DistributedEngine::new(2).with_shard_events(40).with_worker_threads(3);
+        let (counts, stats) = engine.count_with_stats(&g, &cfg);
+        assert_eq!(counts, reference);
+        assert_eq!(stats.workers_spawned, 2);
+    }
+}
+
+/// The one whole-timeline predicate: static inducedness is stripped in
+/// the workers and re-checked on the coordinator against the parent
+/// graph. Counts must match the in-process engines exactly — on the
+/// full Paranjape and Hulovatyy models and a signature-targeted run.
+#[test]
+fn coordinator_recheck_keeps_induced_models_exact() {
+    let g = random_graph(502, 9, 200, 150);
+    for (label, cfg) in [
+        ("paranjape", EnumConfig::for_model(&MotifModel::paranjape(40), 3, 3)),
+        ("hulovatyy", EnumConfig::for_model(&MotifModel::hulovatyy(12), 3, 3)),
+        (
+            "induced+consecutive",
+            EnumConfig::new(3, 3)
+                .with_timing(Timing::both(15, 40))
+                .with_static_induced(true)
+                .with_consecutive(true),
+        ),
+        (
+            "targeted",
+            EnumConfig::for_signature(sig("011202"))
+                .with_timing(Timing::only_w(30))
+                .with_static_induced(true),
+        ),
+    ] {
+        let reference = WindowedEngine.count(&g, &cfg);
+        let (counts, stats) =
+            DistributedEngine::new(2).with_shard_events(15).count_with_stats(&g, &cfg);
+        assert_eq!(counts, reference, "{label}");
+        assert!(stats.workers_spawned > 0, "{label}: must cross the process boundary");
+    }
+}
+
+/// Kill a worker mid-run: worker 0 exits after serving exactly one
+/// job, the coordinator detects the dead pipes, requeues the in-flight
+/// shard onto the survivor, and the totals come out bit-identical.
+#[test]
+fn worker_crash_mid_run_is_rescheduled_exactly() {
+    let g = random_graph(503, 11, 300, 260);
+    for cfg in [
+        EnumConfig::new(3, 3).with_timing(Timing::both(18, 40)),
+        // Induced variant: the crash interleaves with instance replies.
+        EnumConfig::new(3, 3).with_timing(Timing::only_w(35)).with_static_induced(true),
+    ] {
+        let reference = WindowedEngine.count(&g, &cfg);
+        let engine = DistributedEngine::new(2).with_shard_events(12).with_fault_after(0, 1);
+        let (counts, stats) = engine.count_with_stats(&g, &cfg);
+        assert_eq!(counts, reference, "counts must survive the crash bit-identically");
+        assert!(stats.shards >= 4, "need enough shards for a mid-run crash");
+        assert_eq!(stats.workers_spawned, 2);
+        assert_eq!(stats.workers_lost, 1, "the faulted worker must be detected as dead");
+        assert!(stats.jobs_rescheduled >= 1, "its in-flight shard must be requeued");
+    }
+}
+
+/// The crash path is not a lucky accident: repeated faulted runs all
+/// detect the loss and all produce the same exact counts (merging is
+/// commutative, so rescheduling order can never leak into totals).
+#[test]
+fn rescheduling_is_deterministic_across_runs() {
+    let g = random_graph(504, 8, 180, 120);
+    let cfg = EnumConfig::new(2, 3).with_timing(Timing::only_w(25));
+    let reference = WindowedEngine.count(&g, &cfg);
+    for run in 0..3 {
+        let engine = DistributedEngine::new(2).with_shard_events(10).with_fault_after(0, 2);
+        let (counts, stats) = engine.count_with_stats(&g, &cfg);
+        assert_eq!(counts, reference, "run {run}");
+        assert_eq!(stats.workers_lost, 1, "run {run}");
+    }
+}
+
+/// A generator corpus run: realistic burstiness, 2 workers, tiny
+/// shards — the same shape as the CI smoke step, pinned here so it
+/// also runs offline in the test suite.
+#[test]
+fn college_msg_corpus_is_bit_identical() {
+    let mut spec = DatasetSpec::by_name("CollegeMsg").expect("known dataset");
+    spec.num_events = 1_200;
+    let g = generate(&spec, 13);
+    let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(3_000));
+    let reference = WindowedEngine.count(&g, &cfg);
+    let (counts, stats) =
+        DistributedEngine::new(2).with_shard_events(200).count_with_stats(&g, &cfg);
+    assert_eq!(counts, reference);
+    assert!(stats.workers_spawned == 2 && stats.shards >= 4);
+}
+
+/// Wire-format corruption corpus over the public framing API: every
+/// prefix truncation errors, and each targeted corruption maps to its
+/// specific error.
+#[test]
+fn wire_corruption_corpus() {
+    use tnm_graph::wire::{self, WireError};
+    let mut stream = Vec::new();
+    wire::write_frame(&mut stream, 7, b"distributed-shard-payload").unwrap();
+    // Truncation at every prefix must error (clean EOF only at zero).
+    for cut in 1..stream.len() {
+        assert!(
+            matches!(wire::read_frame(&stream[..cut], 1 << 20), Err(WireError::Truncated { .. })),
+            "prefix {cut} did not error"
+        );
+    }
+    assert!(wire::read_frame(&stream[..0], 1 << 20).unwrap().is_none(), "empty stream = clean EOF");
+    // Bad version.
+    let mut bad = stream.clone();
+    bad[4..6].copy_from_slice(&42u16.to_le_bytes());
+    assert!(matches!(
+        wire::read_frame(bad.as_slice(), 1 << 20),
+        Err(WireError::BadVersion { got: 42 })
+    ));
+    // Bad magic.
+    let mut bad = stream.clone();
+    bad[..4].copy_from_slice(b"EVIL");
+    assert!(matches!(wire::read_frame(bad.as_slice(), 1 << 20), Err(WireError::BadMagic { .. })));
+    // Oversized payload claim: rejected before allocation.
+    let mut bad = stream.clone();
+    bad[7..11].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(wire::read_frame(bad.as_slice(), 1 << 20), Err(WireError::Oversized { .. })));
+    // Trailing garbage after a well-formed frame surfaces on the next
+    // read as a framing error, not as silent acceptance.
+    let mut padded = stream.clone();
+    padded.extend_from_slice(b"junk-after-frame");
+    let mut cursor = padded.as_slice();
+    assert!(wire::read_frame(&mut cursor, 1 << 20).unwrap().is_some());
+    assert!(wire::read_frame(&mut cursor, 1 << 20).is_err());
+}
+
+/// Spilled shard files cross process boundaries: the event-block
+/// decoder must reject truncation and padding rather than feeding a
+/// worker short data.
+#[test]
+fn shard_file_corruption_is_detected() {
+    use tnm_graph::io::{read_events_raw, write_events_raw};
+    let g = random_graph(505, 6, 64, 50);
+    let mut block = Vec::new();
+    write_events_raw(g.events(), &mut block).unwrap();
+    assert_eq!(read_events_raw(block.as_slice()).unwrap(), g.events());
+    for cut in [3usize, 13, 14, 33] {
+        assert!(
+            read_events_raw(&block[..block.len().saturating_sub(cut)]).is_err(),
+            "cut {cut} accepted"
+        );
+    }
+    let mut padded = block.clone();
+    padded.extend_from_slice(&[1, 2, 3]);
+    assert!(read_events_raw(padded.as_slice()).is_err());
+}

@@ -18,25 +18,31 @@
 //!   every eligible Paranjape configuration, equal-timestamp tie sweeps
 //!   included, plus its fall-back on ineligible configurations
 //!   ([`stream_fast_path_matches_walkers`],
-//!   [`stream_rejects_ineligible_and_falls_back`]).
+//!   [`stream_rejects_ineligible_and_falls_back`]);
+//! * the distributed engine's **process boundary**: real `tnm worker`
+//!   children counting spilled shards over the framed wire protocol,
+//!   with a tiny shard target so every sweep ships many shards
+//!   (`tests/distributed_engine.rs` adds the worker-crash rescheduling
+//!   sweep on top).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use temporal_motifs::prelude::*;
 use tnm_datasets::{generate, DatasetSpec};
 use tnm_motifs::engine::{
-    BacktrackEngine, CountEngine, EngineKind, ParallelEngine, ShardedEngine, StreamEngine,
-    WindowedEngine,
+    BacktrackEngine, CountEngine, DistributedEngine, EngineKind, ParallelEngine, ShardedEngine,
+    StreamEngine, WindowedEngine,
 };
 
 /// Every engine under test. The work-stealing executor appears twice —
 /// over the windowed index and over the plain node index — so scheduler
 /// bugs and candidate-source bugs cannot mask one another. The sharded
-/// engine runs with a deliberately tiny shard target so the suite's
-/// small graphs still split into many shards, with cuts landing inside
-/// motif spans. The stream engine joins every sweep: on eligible
-/// configurations it exercises the count-without-enumerating DPs, on
-/// the rest its windowed fallback.
+/// and distributed engines run with deliberately tiny shard targets so
+/// the suite's small graphs still split into many shards, with cuts
+/// landing inside motif spans — and, for the distributed engine, every
+/// shard actually crossing a process boundary. The stream engine joins
+/// every sweep: on eligible configurations it exercises the
+/// count-without-enumerating DPs, on the rest its windowed fallback.
 fn engines() -> Vec<Box<dyn CountEngine>> {
     vec![
         Box::new(BacktrackEngine),
@@ -46,6 +52,7 @@ fn engines() -> Vec<Box<dyn CountEngine>> {
         Box::new(ShardedEngine::new(16)),
         Box::new(ShardedEngine::new(25).with_threads(3)),
         Box::new(StreamEngine),
+        Box::new(DistributedEngine::new(2).with_shard_events(20)),
     ]
 }
 
