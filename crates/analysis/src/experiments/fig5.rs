@@ -67,30 +67,53 @@ pub fn run_target(corpus: &Corpus, motif: &str, dataset: &str) -> Option<Fig5Tar
     // Ascending ratio: only-ΔC first, as in the figure's panels.
     let mut ratios = RATIOS_3E.to_vec();
     ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
-    let cells = ratios
+    // All three ratio panels from ONE shared walk: the batch planner
+    // merges the per-ratio configs (same motif target, ΔW anchor) into
+    // a single prefix-pruned traversal under the widest ΔC, and each
+    // visited instance folds into every panel whose timing admits it.
+    let batch: Vec<EnumConfig> = ratios
         .iter()
         .map(|&ratio| {
-            let timing = Timing::from_ratio(DELTA_W, ratio);
-            let cfg = EnumConfig::for_signature(signature).with_timing(timing);
-            let mut histogram = Histogram::new(0.0, (2 * DELTA_W) as f64, BINS);
-            let mut instances = 0u64;
-            let mut max_span = 0i64;
-            let mut sum_span = 0i64;
-            enumerate_instances(&entry.graph, &cfg, |inst| {
-                let span = inst.timespan(&entry.graph);
-                histogram.add(span as f64);
-                instances += 1;
-                max_span = max_span.max(span);
-                sum_span += span;
-            });
-            Fig5Cell {
-                ratio,
-                label: timing.regime(signature.num_events()).to_string(),
-                histogram,
-                instances,
-                max_span,
-                mean_span: if instances == 0 { 0.0 } else { sum_span as f64 / instances as f64 },
-            }
+            EnumConfig::for_signature(signature).with_timing(Timing::from_ratio(DELTA_W, ratio))
+        })
+        .collect();
+    struct SpanAcc {
+        histogram: Histogram,
+        instances: u64,
+        max_span: i64,
+        sum_span: i64,
+    }
+    let mut accs: Vec<SpanAcc> = ratios
+        .iter()
+        .map(|_| SpanAcc {
+            histogram: Histogram::new(0.0, (2 * DELTA_W) as f64, BINS),
+            instances: 0,
+            max_span: 0,
+            sum_span: 0,
+        })
+        .collect();
+    enumerate_batch(&entry.graph, &batch, |slot, inst| {
+        let span = inst.timespan(&entry.graph);
+        let acc = &mut accs[slot];
+        acc.histogram.add(span as f64);
+        acc.instances += 1;
+        acc.max_span = acc.max_span.max(span);
+        acc.sum_span += span;
+    });
+    let cells = ratios
+        .iter()
+        .zip(accs)
+        .map(|(&ratio, acc)| Fig5Cell {
+            ratio,
+            label: Timing::from_ratio(DELTA_W, ratio).regime(signature.num_events()).to_string(),
+            histogram: acc.histogram,
+            instances: acc.instances,
+            max_span: acc.max_span,
+            mean_span: if acc.instances == 0 {
+                0.0
+            } else {
+                acc.sum_span as f64 / acc.instances as f64
+            },
         })
         .collect();
     Some(Fig5Target { name: entry.spec.name.clone(), motif: motif.to_string(), cells })
@@ -186,6 +209,32 @@ mod tests {
         let t = run_target(&corpus, "010102", "SMS-Copenhagen").unwrap();
         for w in t.cells.windows(2) {
             assert!(w[0].instances <= w[1].instances);
+        }
+    }
+
+    /// The shared-walk rewrite must fold each instance into exactly the
+    /// panels its timing admits — per-cell statistics (and therefore the
+    /// CSV histograms) identical to three independent enumerations.
+    #[test]
+    fn shared_walk_matches_per_config_enumeration() {
+        let corpus = Corpus::scaled(0.15, 21).only(&["CollegeMsg"]);
+        let t = run_target(&corpus, "010102", "CollegeMsg").unwrap();
+        let e = corpus.get("CollegeMsg").unwrap();
+        for cell in &t.cells {
+            let cfg = EnumConfig::for_signature(sig("010102"))
+                .with_timing(Timing::from_ratio(DELTA_W, cell.ratio));
+            let mut histogram = Histogram::new(0.0, (2 * DELTA_W) as f64, BINS);
+            let mut instances = 0u64;
+            let mut max_span = 0i64;
+            enumerate_instances(&e.graph, &cfg, |inst| {
+                let span = inst.timespan(&e.graph);
+                histogram.add(span as f64);
+                instances += 1;
+                max_span = max_span.max(span);
+            });
+            assert_eq!(cell.instances, instances, "ratio {}", cell.ratio);
+            assert_eq!(cell.max_span, max_span, "ratio {}", cell.ratio);
+            assert_eq!(cell.histogram.counts(), histogram.counts(), "ratio {}", cell.ratio);
         }
     }
 

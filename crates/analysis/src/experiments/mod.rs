@@ -160,6 +160,15 @@ pub fn default_threads() -> usize {
 /// counts a driver performs on the same corpus entry build each index
 /// once; the sharded engine instead builds a transient index per time
 /// slice, deliberately bypassing that cache.
+///
+/// Drivers that sweep several configurations over one graph (the
+/// table3 restriction pair, the table5 ratio sweep, fig5's panels) go
+/// through the **batch API** — [`tnm_motifs::engine::count_batch`] /
+/// `enumerate_batch` via `rc.engine.count_batch(..)`: the
+/// [`tnm_motifs::engine::BatchPlanner`] groups compatible
+/// configurations into shared traversals (one walk or one stream pass
+/// plus per-config projections), honoring this `engine`/`threads`
+/// choice per group, with results bit-identical to per-config counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunConfig {
     /// Counting engine (defaults to [`EngineKind::Auto`]).

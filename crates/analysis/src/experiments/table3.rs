@@ -68,10 +68,15 @@ pub fn run_with(corpus: &Corpus, rc: &RunConfig) -> Table3 {
         .entries
         .iter()
         .map(|e| {
+            // Both restriction variants as one batch plan: the planner
+            // keeps them in separate walk groups (the consecutive flag
+            // changes the walk shape) but answers them in one call.
             let base = EnumConfig::new(3, 3).exact_nodes(3).with_timing(timing);
-            let non_cons = rc.engine.count(&e.graph, &base, rc.threads);
             let cons_cfg = base.clone().with_consecutive(true);
-            let cons = rc.engine.count(&e.graph, &cons_cfg, rc.threads);
+            let batch = [base, cons_cfg];
+            let mut results = rc.engine.count_batch(&e.graph, &batch, rc.threads).into_iter();
+            let non_cons = results.next().expect("one table per config");
+            let cons = results.next().expect("one table per config");
             let changes = ranking_changes(&non_cons, &cons, &universe);
             let mut ask_reply = [0i64; 4];
             for (i, s) in ASK_REPLY.iter().enumerate() {
@@ -196,6 +201,27 @@ mod tests {
                 r.name,
                 r.removal_fraction()
             );
+        }
+    }
+
+    /// The batch-planned driver must emit exactly what two independent
+    /// per-config counts did before the rewrite — the CSV is pinned
+    /// byte-for-byte through the totals and rank changes it contains.
+    #[test]
+    fn batch_plan_matches_per_config_counts() {
+        let corpus = Corpus::scaled(0.1, 5).only(&["Calls-Copenhagen"]);
+        let rc = RunConfig::default();
+        let t3 = run_with(&corpus, &rc);
+        let e = &corpus.entries[0];
+        let base =
+            EnumConfig::new(3, 3).exact_nodes(3).with_timing(Timing::only_c(DELTA_C_INDUCEDNESS));
+        let non_cons = rc.engine.count(&e.graph, &base, rc.threads);
+        let cons = rc.engine.count(&e.graph, &base.clone().with_consecutive(true), rc.threads);
+        assert_eq!(t3.rows[0].non_consecutive_total, non_cons.total());
+        assert_eq!(t3.rows[0].consecutive_total, cons.total());
+        let changes = ranking_changes(&non_cons, &cons, &all_3n3e());
+        for (s, d) in changes {
+            assert_eq!(t3.rows[0].all_changes[&s.to_string()], d, "{s}");
         }
     }
 

@@ -71,12 +71,22 @@ pub fn run_with(corpus: &Corpus, rc: &RunConfig) -> Table5 {
         .entries
         .iter()
         .map(|e| {
-            let cells = ratios
+            // The whole ratio sweep as one batch plan: only-ΔW streams,
+            // and the bounded-ΔC ratios share a single walk under the
+            // widest ΔC with per-ratio admission masks.
+            let batch: Vec<EnumConfig> = ratios
                 .iter()
                 .map(|&ratio| {
-                    let timing = Timing::from_ratio(DELTA_W, ratio);
-                    let cfg = EnumConfig::new(3, 3).exact_nodes(3).with_timing(timing);
-                    let counts = rc.engine.count(&e.graph, &cfg, rc.threads);
+                    EnumConfig::new(3, 3)
+                        .exact_nodes(3)
+                        .with_timing(Timing::from_ratio(DELTA_W, ratio))
+                })
+                .collect();
+            let results = rc.engine.count_batch(&e.graph, &batch, rc.threads);
+            let cells = ratios
+                .iter()
+                .zip(&results)
+                .map(|(&ratio, counts)| {
                     let pairs = counts.event_pair_counts();
                     Table5Cell {
                         ratio,
@@ -176,6 +186,29 @@ mod tests {
             rpio_ratio < cw_ratio,
             "RPIO ratio {rpio_ratio:.3} should fall below CW ratio {cw_ratio:.3}"
         );
+    }
+
+    /// The batch-planned sweep must reproduce the per-config counts
+    /// cell for cell — same grouped pair totals, so the rendered table
+    /// and CSV are identical to the pre-batch driver's.
+    #[test]
+    fn batch_sweep_matches_per_config_counts() {
+        let corpus = Corpus::scaled(0.1, 11).only(&["CollegeMsg"]);
+        let rc = RunConfig::default();
+        let t5 = run_with(&corpus, &rc);
+        let e = &corpus.entries[0];
+        for c in &t5.rows[0].cells {
+            let cfg = EnumConfig::new(3, 3)
+                .exact_nodes(3)
+                .with_timing(Timing::from_ratio(DELTA_W, c.ratio));
+            let counts = rc.engine.count(&e.graph, &cfg, rc.threads);
+            assert_eq!(
+                c.groups,
+                PairGroupCounts::from_counts(&counts.event_pair_counts()),
+                "ratio {}",
+                c.ratio
+            );
+        }
     }
 
     #[test]

@@ -43,8 +43,17 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Flags that never take a value.
-const BOOLEAN_FLAGS: &[&str] =
-    &["full", "all", "csv", "consecutive", "induced", "constrained", "include-4e", "help"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "full",
+    "all",
+    "csv",
+    "consecutive",
+    "induced",
+    "constrained",
+    "include-4e",
+    "all-3e-motifs",
+    "help",
+];
 
 impl Args {
     /// Parses raw arguments (excluding the program/subcommand names).

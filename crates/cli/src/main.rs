@@ -43,6 +43,22 @@ Utility commands:
         [--shard-events N] [--max-resident-shards N]
                                          Count motifs under a custom model
                                          (sampling engine prints 95% CIs)
+  count-batch --dataset NAME (--spec FILE | --all-3e-motifs [--dw Y])
+        [--engine E] [--threads N] [--top K] ...
+                                         Count many motif configurations in
+                                         shared traversals (~1 walk + N
+                                         projections instead of N walks).
+                                         --spec FILE: one configuration per
+                                         line of `key=value` tokens (events=,
+                                         nodes=, min-nodes=, dc=, dw=, sig=)
+                                         plus bare restriction words
+                                         consecutive / induced / constrained;
+                                         `#` comments and blank lines are
+                                         ignored; every line needs dc= and/or
+                                         dw=. --all-3e-motifs: all 36
+                                         three-event motifs within --dw
+                                         (default 3000). Results are
+                                         bit-identical to per-config `count`.
   cycles --dataset NAME [--dw X] [--max-len L]
                                          Enumerate simple temporal cycles
   help              This message
@@ -222,6 +238,142 @@ fn allowed_flags<'a>(common: &[&'a str], extras: &[&'a str]) -> Vec<&'a str> {
     v
 }
 
+/// Parses a `count-batch` spec: one configuration per line of
+/// whitespace-separated tokens — `key=value` pairs (`events=`, `nodes=`,
+/// `min-nodes=`, `dc=`, `dw=`, `sig=`) and the bare restriction words
+/// `consecutive` / `induced` / `constrained`. `#` starts a comment;
+/// blank lines are skipped. Mirroring the `count` verb, every line must
+/// bound the walk with `dc=` and/or `dw=`; `sig=` derives the event and
+/// node budgets from the signature (and rejects a conflicting `events=`
+/// or `nodes=`).
+fn parse_batch_spec(text: &str) -> Result<Vec<EnumConfig>, Box<dyn std::error::Error>> {
+    let mut batch = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: String| format!("spec line {}: {msg}", idx + 1);
+        let mut events: Option<usize> = None;
+        let mut nodes: Option<usize> = None;
+        let mut min_nodes: Option<usize> = None;
+        let mut dc: Option<i64> = None;
+        let mut dw: Option<i64> = None;
+        let mut target: Option<MotifSignature> = None;
+        let mut consecutive = false;
+        let mut induced = false;
+        let mut constrained = false;
+        for tok in line.split_whitespace() {
+            let bad = || at(format!("invalid token `{tok}`"));
+            match tok.split_once('=') {
+                Some(("events", v)) => events = Some(v.parse().map_err(|_| bad())?),
+                Some(("nodes", v)) => nodes = Some(v.parse().map_err(|_| bad())?),
+                Some(("min-nodes", v)) => min_nodes = Some(v.parse().map_err(|_| bad())?),
+                Some(("dc", v)) => dc = Some(v.parse().map_err(|_| bad())?),
+                Some(("dw", v)) => dw = Some(v.parse().map_err(|_| bad())?),
+                Some(("sig", v)) => target = Some(v.parse().map_err(|_| bad())?),
+                None if tok == "consecutive" => consecutive = true,
+                None if tok == "induced" => induced = true,
+                None if tok == "constrained" => constrained = true,
+                _ => {
+                    return Err(at(format!(
+                        "unknown token `{tok}` (expected events= nodes= min-nodes= dc= dw= sig= \
+                         or consecutive/induced/constrained)"
+                    ))
+                    .into())
+                }
+            }
+        }
+        if dc.is_none() && dw.is_none() {
+            return Err(at("needs dc= and/or dw= (like the `count` verb)".to_string()).into());
+        }
+        if dc.is_some_and(|v| v <= 0) || dw.is_some_and(|v| v <= 0) {
+            return Err(at("dc= and dw= must be positive".to_string()).into());
+        }
+        let mut cfg = match target {
+            Some(t) => {
+                if events.is_some_and(|e| e != t.num_events())
+                    || nodes.is_some_and(|n| n != t.num_nodes())
+                {
+                    return Err(at(format!(
+                        "sig={t} implies events={} nodes={}",
+                        t.num_events(),
+                        t.num_nodes()
+                    ))
+                    .into());
+                }
+                EnumConfig::for_signature(t)
+            }
+            None => EnumConfig::new(events.unwrap_or(3), nodes.unwrap_or(3)),
+        };
+        cfg = cfg
+            .with_timing(Timing { delta_c: dc, delta_w: dw })
+            .with_consecutive(consecutive)
+            .with_static_induced(induced)
+            .with_constrained(constrained);
+        if let Some(m) = min_nodes {
+            if m < 2 || m > cfg.max_nodes {
+                return Err(at(format!("min-nodes={m} outside 2..=nodes")).into());
+            }
+            cfg.min_nodes = m;
+        }
+        batch.push(cfg);
+    }
+    if batch.is_empty() {
+        return Err("batch spec contains no configurations (comments and blank lines only)".into());
+    }
+    Ok(batch)
+}
+
+/// Resolves the `count-batch` configuration list from `--spec FILE` or
+/// `--all-3e-motifs` — exactly one of the two must be given.
+fn batch_from(args: &Args) -> Result<Vec<EnumConfig>, Box<dyn std::error::Error>> {
+    match (args.get("spec"), args.has("all-3e-motifs")) {
+        (Some(_), true) => Err("--spec and --all-3e-motifs are mutually exclusive".into()),
+        (None, false) => Err("count-batch requires --spec FILE or --all-3e-motifs".into()),
+        (Some(path), false) => {
+            if args.has("dw") {
+                return Err("--dw sets the --all-3e-motifs window; spec lines carry their own \
+                            dw= values"
+                    .into());
+            }
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read spec file `{path}`: {e}"))?;
+            parse_batch_spec(&text)
+        }
+        (None, true) => {
+            let dw: i64 = args.get_parsed("dw", 3000)?;
+            if dw <= 0 {
+                return Err("--dw must be positive".into());
+            }
+            Ok(all_3e()
+                .into_iter()
+                .map(|m| EnumConfig::for_signature(m).with_timing(Timing::only_w(dw)))
+                .collect())
+        }
+    }
+}
+
+/// One-line rendering of a batch member for the `count-batch` output.
+fn batch_cfg_summary(cfg: &EnumConfig) -> String {
+    let mut s = match cfg.signature_filter {
+        Some(t) => format!("sig {t}"),
+        None => format!("{}e on {}..={} nodes", cfg.num_events, cfg.min_nodes, cfg.max_nodes),
+    };
+    s.push_str(&format!(", {}", cfg.timing));
+    for (flag, label) in [
+        (cfg.consecutive_events, "consecutive"),
+        (cfg.static_induced, "induced"),
+        (cfg.constrained_dynamic, "constrained"),
+    ] {
+        if flag {
+            s.push_str(", ");
+            s.push_str(label);
+        }
+    }
+    s
+}
+
 /// The position/timespan figures enumerate exact per-instance statistics
 /// that an approximate counter cannot provide; asking for the sampling
 /// engine there must be an error, not a silent exact run.
@@ -353,6 +505,41 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 } else {
                     let e = report.estimate(sig);
                     println!("  {sig:<12} {n:>10} ± {:<8.1} pairs {pairs}", e.half_width);
+                }
+            }
+        }
+        "count-batch" => {
+            args.ensure_known(&allowed_flags(&common, &["spec", "all-3e-motifs", "dw", "top"]))?;
+            let batch = batch_from(args)?;
+            let rc = run_config_from(args)?;
+            let corpus = corpus_from(args)?;
+            let entry = corpus.entries.first().ok_or("count-batch requires --dataset NAME")?;
+            let plan = BatchPlanner::plan(&entry.graph, &batch, rc.engine, rc.threads);
+            println!(
+                "{}: {} configurations in {} shared traversal group(s) (engine {}):",
+                entry.spec.name,
+                batch.len(),
+                plan.num_groups(),
+                rc.engine
+            );
+            for line in plan.describe().lines() {
+                println!("  [{line}]");
+            }
+            let results = plan.execute(&entry.graph, &batch, rc.threads);
+            let top: usize = args.get_parsed("top", 3)?;
+            for (i, (cfg, counts)) in batch.iter().zip(&results).enumerate() {
+                print!(
+                    "  #{i:<3} {}: {} instances across {} motif types",
+                    batch_cfg_summary(cfg),
+                    counts.total(),
+                    counts.num_signatures()
+                );
+                let head: Vec<String> =
+                    counts.top_k(top).into_iter().map(|(s, n)| format!("{s}:{n}")).collect();
+                if head.is_empty() {
+                    println!();
+                } else {
+                    println!("  [{}]", head.join(" "));
                 }
             }
         }
@@ -573,5 +760,59 @@ mod tests {
         assert!(rc(&["--engine", "distributed", "--workers", "0"]).is_err());
         assert!(rc(&["--engine", "distributed", "--shard-events", "0"]).is_err());
         assert!(rc(&["--engine", "bogus"]).unwrap_err().to_string().contains("distributed"));
+    }
+
+    fn batch(tokens: &[&str]) -> Result<Vec<EnumConfig>, Box<dyn std::error::Error>> {
+        batch_from(&Args::parse(tokens.iter().map(|s| s.to_string())).unwrap())
+    }
+
+    #[test]
+    fn count_batch_spec_parses() {
+        let text = "# full-spectrum sweep\n\
+                    events=3 nodes=3 dw=3000\n\
+                    sig=010102 dc=10 dw=40 consecutive   # targeted\n\
+                    \n\
+                    events=2 nodes=3 min-nodes=3 dc=5 induced constrained\n";
+        let batch = parse_batch_spec(text).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].timing, Timing::only_w(3000));
+        assert_eq!(batch[1].signature_filter, Some(sig("010102")));
+        assert_eq!(batch[1].timing, Timing::both(10, 40));
+        assert!(batch[1].consecutive_events);
+        assert_eq!(batch[2].min_nodes, 3);
+        assert!(batch[2].static_induced && batch[2].constrained_dynamic);
+    }
+
+    /// `count-batch` input validation: empty batches, malformed spec
+    /// lines, and flag combinations must fail loudly with the offending
+    /// piece named — per the existing `count` conventions.
+    #[test]
+    fn count_batch_validation() {
+        // Empty batch (comments/blank lines only) is an error, not a no-op.
+        let err = parse_batch_spec("# nothing\n\n").unwrap_err().to_string();
+        assert!(err.contains("no configurations"), "{err}");
+        // Unknown tokens, missing timing, bad bounds — with line numbers.
+        let err = parse_batch_spec("events=3 dw=10\nbogus=1 dw=10").unwrap_err().to_string();
+        assert!(err.contains("line 2") && err.contains("bogus"), "{err}");
+        let err = parse_batch_spec("events=3 nodes=3").unwrap_err().to_string();
+        assert!(err.contains("dc=") && err.contains("dw="), "{err}");
+        assert!(parse_batch_spec("events=3 dw=0").is_err());
+        assert!(parse_batch_spec("events=3 dw=10 min-nodes=9").is_err());
+        // sig= fixes the shape; a conflicting events=/nodes= is an error.
+        let err = parse_batch_spec("sig=010102 events=2 dw=10").unwrap_err().to_string();
+        assert!(err.contains("implies events=3"), "{err}");
+        // Exactly one batch source.
+        let err = batch(&["--spec", "x.spec", "--all-3e-motifs"]).unwrap_err().to_string();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = batch(&[]).unwrap_err().to_string();
+        assert!(err.contains("--spec") && err.contains("--all-3e-motifs"), "{err}");
+        // --dw belongs to --all-3e-motifs; spec lines carry their own.
+        let err = batch(&["--spec", "x.spec", "--dw", "10"]).unwrap_err().to_string();
+        assert!(err.contains("dw="), "{err}");
+        assert!(batch(&["--all-3e-motifs", "--dw", "0"]).is_err());
+        // The canonical batch: 36 three-event motifs, shared window.
+        let b = batch(&["--all-3e-motifs"]).unwrap();
+        assert_eq!(b.len(), 36);
+        assert!(b.iter().all(|c| c.timing == Timing::only_w(3000) && c.signature_filter.is_some()));
     }
 }

@@ -57,8 +57,26 @@
 //! [global index cache](tnm_graph::index_cache::global_index_cache), so
 //! repeated counts of the same graph — the experiment drivers' common
 //! pattern — pay the `O(m)` build once.
+//!
+//! ## Batching many configurations
+//!
+//! Counting *several* configurations against one graph should go
+//! through [`count_batch`] / [`EngineKind::count_batch`] /
+//! [`enumerate_batch`] instead of a loop: [`BatchPlanner`] groups
+//! configs that share a walk shape (or a stream-DP `(ΔW, events)`
+//! bucket) and answers each group in **one traversal**, demoting
+//! per-config differences — tighter windows, node bounds, signature
+//! targets — to per-instance masks and table projections. N compatible
+//! configs cost ~1 traversal + N projections rather than N traversals,
+//! and every result stays bit-identical to the per-config call (the
+//! analysis drivers `table3`/`table5`/`fig5` run as batch plans, and
+//! `tnm count-batch` exposes the same API on the CLI). Under `Auto`,
+//! each group's engine is chosen from its widest-reach member;
+//! sharded/distributed/sampling kinds run each config solo, since their
+//! per-run setup is not shareable.
 
 mod backtrack;
+mod batch;
 mod config;
 mod distributed;
 mod parallel;
@@ -70,6 +88,7 @@ mod walker;
 mod windowed;
 
 pub use backtrack::BacktrackEngine;
+pub use batch::{count_batch, enumerate_batch, BatchPlan, BatchPlanner, WalkDriver};
 pub use config::{EnumConfig, MotifInstance};
 pub use distributed::{
     run_worker, DistributedConfig, DistributedEngine, DistributedRunStats, DEFAULT_WORKERS,
@@ -376,6 +395,23 @@ impl EngineKind {
     /// kind resolves to.
     pub fn report(self, graph: &TemporalGraph, cfg: &EnumConfig, threads: usize) -> EngineReport {
         self.engine_for(graph, cfg, threads).report(graph, cfg)
+    }
+
+    /// Counts a whole batch of configurations, sharing traversals
+    /// across compatible configs (see the [`batch`](self) planner):
+    /// stream-eligible ΔW groups share one DP pass, walk-shaped groups
+    /// share one widest-timing walk with per-config emission masks, and
+    /// unshareable kinds (sharded/distributed/sampling) run each config
+    /// solo. `out[i]` is bit-identical to `self.count(graph, &cfgs[i],
+    /// threads)` — enforced by `tests/batch_planner.rs`. Under `Auto`,
+    /// each group's engine is chosen from its widest-reach member.
+    pub fn count_batch(
+        self,
+        graph: &TemporalGraph,
+        cfgs: &[EnumConfig],
+        threads: usize,
+    ) -> Vec<MotifCounts> {
+        batch::count_batch_with(graph, cfgs, self, threads)
     }
 }
 

@@ -101,16 +101,15 @@ impl StreamEngine {
                 .is_none_or(|t| t.num_nodes() == 3 && undirected_pairs_of(t) == 3)
     }
 
-    /// The streaming fast path. Must only be called for eligible
-    /// configurations.
-    fn stream_count(graph: &TemporalGraph, cfg: &EnumConfig) -> MotifCounts {
-        let delta = cfg.timing.delta_w.expect("eligible config has ΔW");
-        // Gate whole classes on what the configuration can keep: every
-        // class produces signatures of one known node count (pairs: 2;
-        // wedges/stars/triads: 3), and a signature target pins the class
-        // further — a triangle target (3 distinct undirected digit
-        // pairs) never needs the star sweeps and vice versa. A
-        // 2-node-only budget skips the triangle enumeration entirely.
+    /// Which of the three DP classes an eligible `cfg` needs, as
+    /// `(two_node, star, triad)` flags: every class produces signatures
+    /// of one known node count (pairs: 2; wedges/stars/triads: 3), and a
+    /// signature target pins the class further — a triangle target (3
+    /// distinct undirected digit pairs) never needs the star sweeps and
+    /// vice versa. A 2-node-only budget skips the triangle enumeration
+    /// entirely. The batch executor ORs these flags across a group to
+    /// run one shared [`StreamEngine::spectrum`] pass.
+    pub(crate) fn class_wants(cfg: &EnumConfig) -> (bool, bool, bool) {
         let mut want_two = cfg.min_nodes <= 2 && cfg.max_nodes >= 2;
         let mut want_star = cfg.min_nodes <= 3 && cfg.max_nodes >= 3;
         let want_triad = Self::needs_triads(cfg);
@@ -118,8 +117,23 @@ impl StreamEngine {
             want_two &= target.num_nodes() == 2;
             want_star &= target.num_nodes() == 3 && undirected_pairs_of(target) < 3;
         }
+        (want_two, want_star, want_triad)
+    }
+
+    /// One full DP pass over the graph at window `delta`, computing
+    /// every signature the requested classes produce for `num_events`
+    /// events. This is the expensive half of the fast path; the split
+    /// into per-config results is a pure table projection
+    /// ([`StreamEngine::project`]), which is what lets a batch of
+    /// eligible configs share a single pass.
+    pub(crate) fn spectrum(
+        graph: &TemporalGraph,
+        delta: tnm_graph::Time,
+        num_events: usize,
+        (want_two, want_star, want_triad): (bool, bool, bool),
+    ) -> MotifCounts {
         let mut spectrum = MotifCounts::new();
-        match cfg.num_events {
+        match num_events {
             1 => {
                 if want_two {
                     // Every single event is a 01 instance (span 0 ≤ ΔW).
@@ -148,9 +162,17 @@ impl StreamEngine {
             }
             _ => unreachable!("eligibility caps num_events at 3"),
         }
-        // The surviving classes still overshoot a signature target (a
-        // star target computes all 24 star signatures): finish with the
-        // per-signature filter.
+        spectrum
+    }
+
+    /// Projects one configuration's counts out of a computed spectrum:
+    /// the classes overshoot both node bounds and signature targets (a
+    /// star target computes all 24 star signatures), so the final split
+    /// is this per-signature filter. Exact as long as `spectrum` was
+    /// computed with at least [`StreamEngine::class_wants`]`(cfg)` —
+    /// classes a config does not want only produce signatures this
+    /// filter drops.
+    pub(crate) fn project(spectrum: &MotifCounts, cfg: &EnumConfig) -> MotifCounts {
         spectrum
             .iter()
             .filter(|&(sig, n)| {
@@ -160,6 +182,14 @@ impl StreamEngine {
                     && cfg.signature_filter.is_none_or(|target| target == sig)
             })
             .collect()
+    }
+
+    /// The streaming fast path. Must only be called for eligible
+    /// configurations.
+    fn stream_count(graph: &TemporalGraph, cfg: &EnumConfig) -> MotifCounts {
+        let delta = cfg.timing.delta_w.expect("eligible config has ΔW");
+        let spectrum = Self::spectrum(graph, delta, cfg.num_events, Self::class_wants(cfg));
+        Self::project(&spectrum, cfg)
     }
 }
 

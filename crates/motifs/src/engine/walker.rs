@@ -188,12 +188,71 @@ fn merge_sorted_runs(runs: &mut [&[EventIdx]], out: &mut Vec<EventIdx>) {
     }
 }
 
+/// Union-of-targets signature prefix filter for batch walks.
+///
+/// [`EnumConfig::signature_filter`] prunes a walk to one target's pair
+/// prefix; a batch group of targeted configs shares one walk, so the
+/// walk must keep any partial sequence that is a prefix of *at least
+/// one* member's target. The filter tracks, per depth, the set of
+/// targets whose first `depth` pairs match the current partial sequence
+/// (a bitmask over targets); a push is rejected as soon as that set
+/// empties. Backtracking needs no undo — level `d + 1` is recomputed
+/// from level `d` on every push.
+#[derive(Debug, Clone)]
+pub struct PrefixFilter {
+    targets: Vec<Vec<(u8, u8)>>,
+    /// `alive[d]` = bitmask (64-bit words) of targets whose first `d`
+    /// pairs match the current partial sequence; `alive[0]` = all.
+    alive: Vec<Vec<u64>>,
+}
+
+impl PrefixFilter {
+    /// Builds a filter over the union of `targets` for a walk of
+    /// `num_events` events. Returns `None` when the list is empty or any
+    /// target's length differs from the walk depth (such a config can
+    /// never emit and must not prune its group-mates).
+    pub fn new<'a>(
+        targets: impl IntoIterator<Item = &'a MotifSignature>,
+        num_events: usize,
+    ) -> Option<Self> {
+        let targets: Vec<Vec<(u8, u8)>> = targets.into_iter().map(|t| t.pairs().to_vec()).collect();
+        if targets.is_empty() || targets.iter().any(|t| t.len() != num_events) {
+            return None;
+        }
+        let words = targets.len().div_ceil(64);
+        let mut alive = vec![vec![0u64; words]; num_events + 1];
+        for i in 0..targets.len() {
+            alive[0][i / 64] |= 1 << (i % 64);
+        }
+        Some(PrefixFilter { targets, alive })
+    }
+
+    /// Filters the push of `pair` at `depth`: recomputes level
+    /// `depth + 1` from level `depth` and reports whether any target
+    /// still matches.
+    fn advance(&mut self, depth: usize, pair: (u8, u8)) -> bool {
+        let (lo, hi) = self.alive.split_at_mut(depth + 1);
+        let prev = &lo[depth];
+        let next = &mut hi[0];
+        next.iter_mut().for_each(|w| *w = 0);
+        let mut any = false;
+        for (ti, t) in self.targets.iter().enumerate() {
+            if prev[ti / 64] >> (ti % 64) & 1 == 1 && t[depth] == pair {
+                next[ti / 64] |= 1 << (ti % 64);
+                any = true;
+            }
+        }
+        any
+    }
+}
+
 /// One depth-first enumeration state machine. Reusable across start
 /// ranges; create one per worker thread.
 pub struct Walker<'g, C: CandidateSource> {
     graph: &'g TemporalGraph,
     cfg: &'g EnumConfig,
     source: C,
+    prefix: Option<PrefixFilter>,
     seq: Vec<EventIdx>,
     digits: Vec<NodeId>,
     pairs: Vec<(u8, u8)>,
@@ -209,12 +268,21 @@ impl<'g, C: CandidateSource> Walker<'g, C> {
             graph,
             cfg,
             source,
+            prefix: None,
             seq: Vec::with_capacity(k),
             digits: Vec::with_capacity(cfg.max_nodes),
             pairs: Vec::with_capacity(k),
             cand_bufs: (0..k).map(|_| Vec::new()).collect(),
             scratch: ConsecutiveScratch::new(),
         }
+    }
+
+    /// Attaches a union-of-targets [`PrefixFilter`] (chainable). Used by
+    /// the batch executor when every group member targets a signature —
+    /// the shared walk then prunes to the union of their pair prefixes.
+    pub fn with_prefix_filter(mut self, filter: PrefixFilter) -> Self {
+        self.prefix = Some(filter);
+        self
     }
 
     /// Appends `node` as a fresh digit, returning it.
@@ -251,6 +319,12 @@ impl<'g, C: CandidateSource> Walker<'g, C> {
         let added = new_needed;
         if let Some(target) = &self.cfg.signature_filter {
             if target.pairs()[depth] != (a, b) {
+                self.digits.truncate(self.digits.len() - added);
+                return None;
+            }
+        }
+        if let Some(prefix) = &mut self.prefix {
+            if !prefix.advance(depth, (a, b)) {
                 self.digits.truncate(self.digits.len() - added);
                 return None;
             }

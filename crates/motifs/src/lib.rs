@@ -117,6 +117,14 @@
 //! through [`tnm_graph::index_cache::global_index_cache`], so repeated
 //! counts of the same graph build the index once.
 //!
+//! Many configurations against one graph — all 36 Paranjape 3-event
+//! motifs, ΔW sweeps, model comparisons — should go through the **batch
+//! API** ([`engine::count_batch`] / [`engine::EngineKind::count_batch`]
+//! / [`engine::enumerate_batch`]): [`engine::BatchPlanner`] groups
+//! compatible configs so N configs cost ~1 traversal + N projections
+//! instead of N traversals, with results bit-identical to per-config
+//! calls.
+//!
 //! ```
 //! use tnm_graph::TemporalGraphBuilder;
 //! use tnm_motifs::engine::{CountEngine, EngineKind, WindowedEngine};
@@ -164,8 +172,9 @@ pub mod prelude {
         pair_type_ratios, proportion_changes, ranking_changes, MotifCounts, PairGroupCounts,
     };
     pub use crate::engine::{
-        BacktrackEngine, CountEngine, EngineCaps, EngineKind, EngineReport, Estimate,
-        ParallelConfig, ParallelEngine, SamplingEngine, ShardedEngine, WindowedEngine,
+        count_batch, enumerate_batch, BacktrackEngine, BatchPlan, BatchPlanner, CountEngine,
+        EngineCaps, EngineKind, EngineReport, Estimate, ParallelConfig, ParallelEngine,
+        SamplingEngine, ShardedEngine, WindowedEngine,
     };
     pub use crate::enumerate::{
         count_motifs, count_motifs_parallel, count_signature, enumerate_instances, EnumConfig,

@@ -9,6 +9,16 @@
 //! `min(sample_size, TNM_BENCH_ITERS)` timed iterations, and reports
 //! min / mean / max wall-clock time per iteration.
 //!
+//! **Fast-body boost:** a body whose warm-up finishes under
+//! [`FAST_BODY_THRESHOLD`] (5 ms) is too quick for a handful of samples
+//! to be stable — scheduler noise alone can swing the minimum by tens
+//! of percent and trip the BENCH history's regression gate. Such bodies
+//! get extra timed iterations, enough to fill roughly
+//! [`FAST_BODY_BUDGET`] (25 ms) of measurement, capped at
+//! [`MAX_BOOSTED_ITERS`] (40). The boost deliberately overrides the
+//! `TNM_BENCH_ITERS` cap: the cap exists to bound *expensive* benches,
+//! and the boost only ever triggers where iterations are cheap.
+//!
 //! Every completed benchmark is appended to a process-global registry;
 //! `criterion_main!` ends by printing a machine-readable JSON summary to
 //! stdout (one object per benchmark under a `"benchmarks"` array) and, if
@@ -248,16 +258,38 @@ pub struct Bencher {
     times: Vec<Duration>,
 }
 
+/// Bodies whose warm-up finishes under this are "fast": too quick for a
+/// handful of samples to beat scheduler noise, so they get extra timed
+/// iterations.
+pub const FAST_BODY_THRESHOLD: Duration = Duration::from_millis(5);
+
+/// Total timed measurement the fast-body boost aims to fill.
+pub const FAST_BODY_BUDGET: Duration = Duration::from_millis(25);
+
+/// Upper bound on boosted iterations for fast bodies.
+pub const MAX_BOOSTED_ITERS: u64 = 40;
+
 impl Bencher {
     fn new(iters: u64) -> Self {
         Bencher { iters, times: Vec::with_capacity(iters as usize) }
     }
 
     /// Runs and times the benchmark body. The closure's return value is
-    /// black-boxed so computations are not optimised away.
+    /// black-boxed so computations are not optimised away. The warm-up
+    /// doubles as a cost probe: fast bodies (see [`FAST_BODY_THRESHOLD`])
+    /// run enough extra iterations to fill [`FAST_BODY_BUDGET`] of
+    /// measurement so their reported min/mean is noise-stable.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let probe = Instant::now();
         std::hint::black_box(f()); // warm-up, untimed
-        for _ in 0..self.iters {
+        let warm = probe.elapsed();
+        let mut iters = self.iters;
+        if warm < FAST_BODY_THRESHOLD {
+            let per_ns = warm.as_nanos().max(1);
+            let fill = (FAST_BODY_BUDGET.as_nanos() / per_ns).min(MAX_BOOSTED_ITERS as u128) as u64;
+            iters = iters.max(fill);
+        }
+        for _ in 0..iters {
             let t0 = Instant::now();
             std::hint::black_box(f());
             self.times.push(t0.elapsed());
@@ -315,6 +347,29 @@ mod tests {
         assert_eq!(BenchmarkId::new("a", 3).full, "a/3");
         assert_eq!(BenchmarkId::from_parameter("x").full, "x");
         assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn fast_bodies_get_boosted_iters() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("boost");
+        g.bench_function("fast", |b| b.iter(|| 1 + 1));
+        g.finish();
+        let recs = registry().lock().unwrap();
+        let rec = recs.iter().find(|r| r.group == "boost" && r.id == "fast").unwrap();
+        // A no-op body fills the budget instantly and hits the cap.
+        assert_eq!(rec.iters, MAX_BOOSTED_ITERS, "sub-threshold bodies must be boosted");
+    }
+
+    #[test]
+    fn slow_bodies_keep_the_configured_cap() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("boost");
+        g.bench_function("slow", |b| b.iter(|| std::thread::sleep(Duration::from_millis(6))));
+        g.finish();
+        let recs = registry().lock().unwrap();
+        let rec = recs.iter().find(|r| r.group == "boost" && r.id == "slow").unwrap();
+        assert_eq!(rec.iters, iter_cap().min(10), "past-threshold bodies keep the cap");
     }
 
     #[test]
