@@ -10,8 +10,9 @@
 //! engine (real coordinator/worker processes over the wire protocol vs
 //! the in-process baseline), the stream engine's
 //! count-without-enumerating fast path against the windowed walker,
-//! window-index cache reuse, signature-targeted counting, streaming
-//! matching, and dataset generation.
+//! the serve subsystem's incremental append path against a
+//! from-scratch recount, window-index cache reuse, signature-targeted
+//! counting, streaming matching, and dataset generation.
 //!
 //! The harness prints a machine-readable JSON summary on exit (one
 //! object per benchmark; set `TNM_BENCH_JSON=path` to also write it to a
@@ -349,6 +350,38 @@ fn bench_sharded_spill(c: &mut Criterion) {
     group.finish();
 }
 
+/// The serve subsystem's incremental counting path: advancing a live
+/// subscription by an appended tail (O(new events) of DP work on the
+/// ΔW suffix) vs recounting the grown graph from scratch with the
+/// stream engine. The gap is the amortization `tnm serve` buys for
+/// every `AppendEvents` — both sides end bit-identical by contract.
+fn bench_serve_incremental(c: &mut Criterion) {
+    let g = dataset("CollegeMsg", 20_000);
+    let all = g.events();
+    let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(3000));
+    let mut group = c.benchmark_group("serve_incremental");
+    group.sample_size(10);
+    for tail in [512usize, 2_048] {
+        let (history, live) = all.split_at(all.len() - tail);
+        let base = tnm_graph::TemporalGraphBuilder::from_events(history.to_vec()).build().unwrap();
+        let warm = IncrementalStream::new(&base, &cfg).expect("stream-eligible config");
+        group.throughput(Throughput::Elements(tail as u64));
+        // Each iteration re-clones the warm subscription (append mutates);
+        // the clone is O(spectrum + ΔW suffix), charged to the append side.
+        group.bench_with_input(BenchmarkId::new("append", tail), &warm, |b, warm| {
+            b.iter(|| {
+                let mut sub = warm.clone();
+                sub.append(live).expect("ordered tail");
+                black_box(sub.counts())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("recount", tail), &g, |b, g| {
+            b.iter(|| black_box(StreamEngine.count(g, &cfg)))
+        });
+    }
+    group.finish();
+}
+
 /// Window-index construction vs a verified cache hit: the hit still pays
 /// the O(m) content verification but skips allocation and construction.
 fn bench_index_cache(c: &mut Criterion) {
@@ -420,6 +453,7 @@ criterion_group!(
     bench_stream_engine,
     bench_sharded_spill,
     bench_distributed_engine,
+    bench_serve_incremental,
     bench_index_cache,
     bench_signature_targeting,
     bench_streaming_matcher,

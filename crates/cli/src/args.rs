@@ -52,6 +52,8 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "constrained",
     "include-4e",
     "all-3e-motifs",
+    "shutdown",
+    "stats",
     "help",
 ];
 

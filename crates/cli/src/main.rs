@@ -63,6 +63,34 @@ Utility commands:
                                          Enumerate simple temporal cycles
   help              This message
 
+Service commands:
+  serve [--host H] [--port N] [--threads N] [--enumerate-cap K]
+                                         Start the resident counting daemon:
+                                         loaded graphs (and their window
+                                         indexes) stay warm across queries,
+                                         and subscription counts update
+                                         incrementally — O(new events) — under
+                                         live appends. Default 127.0.0.1:7878;
+                                         --port 0 picks a free port. --threads
+                                         caps any single request's budget.
+  client [--addr H:P] (--stats | --shutdown |
+         --dataset NAME count-flags [--name G]
+         [--hold-out K] [--append-batch B])
+                                         Scripted client for tnm serve. With a
+                                         dataset: loads it (as G, default the
+                                         dataset name) and counts through the
+                                         same Query path as `count`, printing
+                                         the same report. With --hold-out K:
+                                         loads all but the last K events,
+                                         subscribes the configuration, streams
+                                         the held-out tail through incremental
+                                         appends of B events (default 512),
+                                         and prints the final live counts —
+                                         identical to counting the full graph.
+                                         --stats / --shutdown talk to a
+                                         running daemon without loading
+                                         anything.
+
 Flags:
   --scale F     Scale dataset event budgets by F (default 1.0)
   --seed N      Corpus seed (default the standard experiment seed)
@@ -229,6 +257,59 @@ fn run_config_from(args: &Args) -> Result<RunConfig, Box<dyn std::error::Error>>
     Ok(rc)
 }
 
+/// Builds the `count`/`client` verbs' [`EnumConfig`] from the shared
+/// flag set, validated through [`EnumConfig::validate`] — the same
+/// typed [`ConfigError`] path the Query API and the serve daemon use.
+fn count_cfg_from(args: &Args) -> Result<EnumConfig, Box<dyn std::error::Error>> {
+    let events: usize = args.get_parsed("events", 3)?;
+    let nodes: usize = args.get_parsed("nodes", 3)?;
+    let dc: i64 = args.get_parsed("dc", 0)?;
+    let dw: i64 = args.get_parsed("dw", 0)?;
+    let timing = match (dc > 0, dw > 0) {
+        (true, true) => Timing::both(dc, dw),
+        (true, false) => Timing::only_c(dc),
+        (false, true) => Timing::only_w(dw),
+        (false, false) => return Err("count requires --dc and/or --dw".into()),
+    };
+    let cfg = EnumConfig::try_new(events, nodes)?
+        .with_timing(timing)
+        .with_consecutive(args.has("consecutive"))
+        .with_static_induced(args.has("induced"))
+        .with_constrained(args.has("constrained"));
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+/// Renders an [`EngineReport`] in the `count` verb's format — shared
+/// verbatim by `count` and `client` so a served query prints exactly
+/// like a local one (modulo the engine label).
+fn print_report(name: &str, report: &EngineReport, timing: Timing, top: usize) {
+    let counts = &report.counts;
+    println!(
+        "{}: {} instances across {} motif types ({timing}, engine {})",
+        name,
+        counts.total(),
+        counts.num_signatures(),
+        report.engine
+    );
+    if let Some(samples) = report.samples {
+        println!(
+            "  approximate: {samples} sample windows, estimated total {} (95% CI)",
+            report.total
+        );
+    }
+    for (sig, n) in counts.top_k(top) {
+        let pairs: String =
+            sig.event_pair_sequence().into_iter().map(|p| p.map_or('-', |t| t.letter())).collect();
+        if report.exact {
+            println!("  {sig:<12} {n:>10}  pairs {pairs}");
+        } else {
+            let e = report.estimate(sig);
+            println!("  {sig:<12} {n:>10} ± {:<8.1} pairs {pairs}", e.half_width);
+        }
+    }
+}
+
 /// The shared flag set plus per-command extras, for `ensure_known` —
 /// one definition of the common list instead of a hand-copied one per
 /// subcommand.
@@ -290,21 +371,23 @@ fn parse_batch_spec(text: &str) -> Result<Vec<EnumConfig>, Box<dyn std::error::E
         if dc.is_some_and(|v| v <= 0) || dw.is_some_and(|v| v <= 0) {
             return Err(at("dc= and dw= must be positive".to_string()).into());
         }
+        // Build first, validate once: the typed [`ConfigError`] path
+        // catches shape conflicts (an explicit events=/nodes= fighting
+        // sig=), bad node budgets, and min-nodes out of range — the
+        // same checks the Query API and the serve daemon run.
         let mut cfg = match target {
             Some(t) => {
-                if events.is_some_and(|e| e != t.num_events())
-                    || nodes.is_some_and(|n| n != t.num_nodes())
-                {
-                    return Err(at(format!(
-                        "sig={t} implies events={} nodes={}",
-                        t.num_events(),
-                        t.num_nodes()
-                    ))
-                    .into());
+                let mut c = EnumConfig::for_signature(t);
+                if let Some(e) = events {
+                    c.num_events = e;
                 }
-                EnumConfig::for_signature(t)
+                if let Some(n) = nodes {
+                    c.max_nodes = n;
+                }
+                c
             }
-            None => EnumConfig::new(events.unwrap_or(3), nodes.unwrap_or(3)),
+            None => EnumConfig::try_new(events.unwrap_or(3), nodes.unwrap_or(3))
+                .map_err(|e| at(e.to_string()))?,
         };
         cfg = cfg
             .with_timing(Timing { delta_c: dc, delta_w: dw })
@@ -312,11 +395,9 @@ fn parse_batch_spec(text: &str) -> Result<Vec<EnumConfig>, Box<dyn std::error::E
             .with_static_induced(induced)
             .with_constrained(constrained);
         if let Some(m) = min_nodes {
-            if m < 2 || m > cfg.max_nodes {
-                return Err(at(format!("min-nodes={m} outside 2..=nodes")).into());
-            }
             cfg.min_nodes = m;
         }
+        cfg.validate().map_err(|e| at(e.to_string()))?;
         batch.push(cfg);
     }
     if batch.is_empty() {
@@ -461,52 +542,17 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             ))?;
             let corpus = corpus_from(args)?;
             let entry = corpus.entries.first().ok_or("count requires --dataset NAME")?;
-            let events: usize = args.get_parsed("events", 3)?;
-            let nodes: usize = args.get_parsed("nodes", 3)?;
-            let dc: i64 = args.get_parsed("dc", 0)?;
-            let dw: i64 = args.get_parsed("dw", 0)?;
-            let timing = match (dc > 0, dw > 0) {
-                (true, true) => Timing::both(dc, dw),
-                (true, false) => Timing::only_c(dc),
-                (false, true) => Timing::only_w(dw),
-                (false, false) => return Err("count requires --dc and/or --dw".into()),
-            };
-            let cfg = EnumConfig::new(events, nodes)
-                .with_timing(timing)
-                .with_consecutive(args.has("consecutive"))
-                .with_static_induced(args.has("induced"))
-                .with_constrained(args.has("constrained"));
+            let cfg = count_cfg_from(args)?;
             let rc = run_config_from(args)?;
-            let engine = rc.engine.engine_for(&entry.graph, &cfg, rc.threads);
-            let report = engine.report(&entry.graph, &cfg);
-            let counts = &report.counts;
             let top: usize = args.get_parsed("top", 20)?;
-            println!(
-                "{}: {} instances across {} motif types ({timing}, engine {})",
-                entry.spec.name,
-                counts.total(),
-                counts.num_signatures(),
-                engine.name()
-            );
-            if let Some(samples) = report.samples {
-                println!(
-                    "  approximate: {samples} sample windows, estimated total {} (95% CI)",
-                    report.total
-                );
-            }
-            for (sig, n) in counts.top_k(top) {
-                let pairs: String = sig
-                    .event_pair_sequence()
-                    .into_iter()
-                    .map(|p| p.map_or('-', |t| t.letter()))
-                    .collect();
-                if report.exact {
-                    println!("  {sig:<12} {n:>10}  pairs {pairs}");
-                } else {
-                    let e = report.estimate(sig);
-                    println!("  {sig:<12} {n:>10} ± {:<8.1} pairs {pairs}", e.half_width);
-                }
-            }
+            let timing = cfg.timing;
+            // One validation-and-dispatch path for every front end: the
+            // same Query the serve daemon answers over the wire.
+            let query = Query::Report { cfg, engine: rc.engine, threads: rc.threads };
+            let QueryResponse::Report(report) = query.run(&entry.graph)? else {
+                unreachable!("Report queries answer with Report responses")
+            };
+            print_report(&entry.spec.name, &report, timing, top);
         }
         "count-batch" => {
             args.ensure_known(&allowed_flags(&common, &["spec", "all-3e-motifs", "dw", "top"]))?;
@@ -514,6 +560,12 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             let rc = run_config_from(args)?;
             let corpus = corpus_from(args)?;
             let entry = corpus.entries.first().ok_or("count-batch requires --dataset NAME")?;
+            // Validate through the Query path before planning, then let
+            // the query execute the shared-traversal plan (results are
+            // bit-identical to per-config `count` runs).
+            let query =
+                Query::Batch { cfgs: batch.clone(), engine: rc.engine, threads: rc.threads };
+            query.validate()?;
             let plan = BatchPlanner::plan(&entry.graph, &batch, rc.engine, rc.threads);
             println!(
                 "{}: {} configurations in {} shared traversal group(s) (engine {}):",
@@ -525,7 +577,9 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             for line in plan.describe().lines() {
                 println!("  [{line}]");
             }
-            let results = plan.execute(&entry.graph, &batch, rc.threads);
+            let QueryResponse::Batch(results) = query.run(&entry.graph)? else {
+                unreachable!("Batch queries answer with Batch responses")
+            };
             let top: usize = args.get_parsed("top", 3)?;
             for (i, (cfg, counts)) in batch.iter().zip(&results).enumerate() {
                 print!(
@@ -541,6 +595,107 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 } else {
                     println!("  [{}]", head.join(" "));
                 }
+            }
+        }
+        "serve" => {
+            args.ensure_known(&["host", "port", "threads", "enumerate-cap"])?;
+            let host = args.get("host").unwrap_or("127.0.0.1");
+            let port: u16 = args.get_parsed("port", 7878)?;
+            let mut options = ServeOptions::default();
+            options.max_threads = args.get_parsed("threads", options.max_threads)?;
+            if options.max_threads == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            options.enumerate_cap = args.get_parsed("enumerate-cap", options.enumerate_cap)?;
+            let server = MotifServer::bind_with((host, port), options)?;
+            println!("tnm serve: listening on {}", server.local_addr());
+            server.run()?;
+        }
+        "client" => {
+            args.ensure_known(&allowed_flags(
+                &common,
+                &[
+                    "addr",
+                    "name",
+                    "stats",
+                    "shutdown",
+                    "events",
+                    "nodes",
+                    "dc",
+                    "dw",
+                    "consecutive",
+                    "induced",
+                    "constrained",
+                    "top",
+                    "hold-out",
+                    "append-batch",
+                ],
+            ))?;
+            let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+            let mut client =
+                ServeClient::connect_retry(addr, 40, std::time::Duration::from_millis(250))?;
+            if args.has("shutdown") {
+                client.shutdown()?;
+                println!("tnm client: asked {addr} to shut down");
+                return Ok(());
+            }
+            if args.has("stats") {
+                let s = client.stats()?;
+                println!(
+                    "server at {addr}: {} queries, {} appended events, {} graph(s)",
+                    s.queries,
+                    s.appends,
+                    s.graphs.len()
+                );
+                for g in &s.graphs {
+                    println!(
+                        "  {:<18} {:>9} events {:>8} nodes {:>3} subscription(s)",
+                        g.name, g.events, g.nodes, g.subscriptions
+                    );
+                }
+                return Ok(());
+            }
+            let corpus = corpus_from(args)?;
+            let entry = corpus
+                .entries
+                .first()
+                .ok_or("client requires --dataset NAME (or --stats / --shutdown)")?;
+            let cfg = count_cfg_from(args)?;
+            let rc = run_config_from(args)?;
+            let top: usize = args.get_parsed("top", 20)?;
+            let timing = cfg.timing;
+            let name = args.get("name").unwrap_or(&entry.spec.name);
+            let all = entry.graph.events();
+            let hold_out: usize = args.get_parsed("hold-out", 0)?;
+            let hold_out = hold_out.min(all.len());
+            let chunk: usize = args.get_parsed("append-batch", 512)?;
+            if chunk == 0 {
+                return Err("--append-batch must be at least 1".into());
+            }
+            let (base, tail) = all.split_at(all.len() - hold_out);
+            client.load_graph(name, base, entry.graph.num_nodes())?;
+            if hold_out == 0 {
+                // The very query `count` runs locally, answered by the
+                // daemon — same validation, same dispatch, same report.
+                let query = Query::Report { cfg, engine: rc.engine, threads: rc.threads };
+                let QueryResponse::Report(report) = client.query(name, &query)? else {
+                    return Err("server answered a Report query with the wrong shape".into());
+                };
+                print_report(name, &report, timing, top);
+            } else {
+                // Live path: subscribe, then stream the held-out tail
+                // through incremental appends. The final counts are
+                // bit-identical to counting the full graph from scratch.
+                let (sub_id, mut live) = client.subscribe(name, &cfg)?;
+                for batch in tail.chunks(chunk) {
+                    let ack = client.append_events(name, batch)?;
+                    if let Some((_, c)) =
+                        ack.subscriptions.into_iter().find(|(id, _)| *id == sub_id)
+                    {
+                        live = c;
+                    }
+                }
+                print_report(name, &EngineReport::from_exact("serve", live), timing, top);
             }
         }
         "cycles" => {

@@ -10,7 +10,73 @@
 use crate::constraints::Timing;
 use crate::models::MotifModel;
 use crate::notation::MotifSignature;
+use std::fmt;
 use tnm_graph::{EventIdx, TemporalGraph, Time};
+
+/// A structurally invalid [`EnumConfig`], reported by
+/// [`EnumConfig::validate`]/[`EnumConfig::build`].
+///
+/// Historically these combinations were caught ad hoc in CLI argument
+/// parsing (or by `assert!`s in [`EnumConfig::new`]); the typed error
+/// gives the CLI, the [`Query`](crate::engine::Query) API, and the
+/// `tnm serve` protocol one shared validation path with stable,
+/// test-pinned messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `num_events` is zero — a motif needs at least one event.
+    ZeroEvents,
+    /// `max_nodes` is below two — a (self-loop-free) event already
+    /// touches two nodes.
+    NodeBudget {
+        /// The offending bound.
+        max_nodes: usize,
+    },
+    /// `min_nodes` falls outside `2..=max_nodes`.
+    MinNodes {
+        /// The offending lower bound.
+        min_nodes: usize,
+        /// The upper bound it must not exceed.
+        max_nodes: usize,
+    },
+    /// A ΔC or ΔW bound is negative.
+    NegativeTiming {
+        /// `"dc"` or `"dw"`.
+        which: &'static str,
+        /// The offending bound.
+        value: Time,
+    },
+    /// The signature filter's shape conflicts with the size/node bounds.
+    SignatureShape {
+        /// The targeted signature.
+        signature: MotifSignature,
+        /// Events the signature implies.
+        implied_events: usize,
+        /// Nodes the signature implies.
+        implied_nodes: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroEvents => write!(f, "num_events must be at least 1"),
+            ConfigError::NodeBudget { max_nodes } => {
+                write!(f, "max_nodes must be at least 2 (got {max_nodes})")
+            }
+            ConfigError::MinNodes { min_nodes, max_nodes } => {
+                write!(f, "min-nodes={min_nodes} outside 2..={max_nodes}")
+            }
+            ConfigError::NegativeTiming { which, value } => {
+                write!(f, "--{which} must be non-negative (got {value})")
+            }
+            ConfigError::SignatureShape { signature, implied_events, implied_nodes } => {
+                write!(f, "sig={signature} implies events={implied_events} nodes={implied_nodes}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Configuration for one enumeration run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +119,69 @@ impl EnumConfig {
             duration_aware: false,
             signature_filter: None,
         }
+    }
+
+    /// Non-panicking [`EnumConfig::new`]: rejects out-of-range size
+    /// bounds with a [`ConfigError`] instead of asserting. Entry point
+    /// for configurations built from untrusted input (CLI arguments,
+    /// wire requests).
+    pub fn try_new(num_events: usize, max_nodes: usize) -> Result<Self, ConfigError> {
+        if num_events < 1 {
+            return Err(ConfigError::ZeroEvents);
+        }
+        if max_nodes < 2 {
+            return Err(ConfigError::NodeBudget { max_nodes });
+        }
+        Ok(EnumConfig::new(num_events, max_nodes))
+    }
+
+    /// Checks the configuration's internal consistency: size/node
+    /// bounds in range, `min_nodes` within `2..=max_nodes`, timing
+    /// bounds non-negative, and any signature filter shape-compatible
+    /// with the bounds. The signature check runs before the `min_nodes`
+    /// range check so a conflicting target reports the implied shape
+    /// rather than the derived-range symptom.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_events < 1 {
+            return Err(ConfigError::ZeroEvents);
+        }
+        if self.max_nodes < 2 {
+            return Err(ConfigError::NodeBudget { max_nodes: self.max_nodes });
+        }
+        if let Some(c) = self.timing.delta_c {
+            if c < 0 {
+                return Err(ConfigError::NegativeTiming { which: "dc", value: c });
+            }
+        }
+        if let Some(w) = self.timing.delta_w {
+            if w < 0 {
+                return Err(ConfigError::NegativeTiming { which: "dw", value: w });
+            }
+        }
+        if let Some(sig) = &self.signature_filter {
+            let (e, n) = (sig.num_events(), sig.num_nodes());
+            if e != self.num_events || n > self.max_nodes || n < self.min_nodes {
+                return Err(ConfigError::SignatureShape {
+                    signature: *sig,
+                    implied_events: e,
+                    implied_nodes: n,
+                });
+            }
+        }
+        if self.min_nodes < 2 || self.min_nodes > self.max_nodes {
+            return Err(ConfigError::MinNodes {
+                min_nodes: self.min_nodes,
+                max_nodes: self.max_nodes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Terminal builder step: [`EnumConfig::validate`] by value, so a
+    /// builder chain ends in `….build()?`.
+    pub fn build(self) -> Result<Self, ConfigError> {
+        self.validate()?;
+        Ok(self)
     }
 
     /// Derives the engine configuration from a [`MotifModel`].
@@ -185,5 +314,61 @@ impl MotifInstance<'_> {
         let first = graph.event(self.events[0]).time;
         let last = graph.event(*self.events.last().expect("non-empty motif")).time;
         last - first
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::notation::sig;
+
+    #[test]
+    fn try_new_rejects_what_new_asserts() {
+        assert_eq!(EnumConfig::try_new(0, 3), Err(ConfigError::ZeroEvents));
+        assert_eq!(EnumConfig::try_new(3, 1), Err(ConfigError::NodeBudget { max_nodes: 1 }));
+        assert_eq!(EnumConfig::try_new(3, 3).unwrap(), EnumConfig::new(3, 3));
+    }
+
+    #[test]
+    fn validate_accepts_every_builder_product() {
+        for cfg in [
+            EnumConfig::new(1, 2),
+            EnumConfig::new(3, 3).with_timing(Timing::both(10, 30)),
+            EnumConfig::for_signature(sig("011202")),
+            EnumConfig::new(4, 4).exact_nodes(3).with_consecutive(true),
+        ] {
+            cfg.validate().unwrap_or_else(|e| panic!("{cfg:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validate_catches_inconsistent_bounds() {
+        let mut cfg = EnumConfig::new(3, 3);
+        cfg.min_nodes = 5;
+        assert_eq!(cfg.validate(), Err(ConfigError::MinNodes { min_nodes: 5, max_nodes: 3 }));
+        assert_eq!(format!("{}", cfg.validate().unwrap_err()), "min-nodes=5 outside 2..=3");
+
+        let mut cfg = EnumConfig::new(2, 3);
+        cfg.timing = Timing { delta_c: Some(-5), delta_w: None };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::NegativeTiming { which: "dc", value: -5 })
+        ));
+    }
+
+    /// A signature filter whose shape conflicts with the bounds reports
+    /// the implied shape — and does so even when the node bounds are
+    /// *also* internally inconsistent as a knock-on effect, so the user
+    /// sees the cause, not the symptom.
+    #[test]
+    fn validate_catches_signature_shape_conflicts() {
+        let mut cfg = EnumConfig::for_signature(sig("010102"));
+        cfg.num_events = 2;
+        let err = cfg.build().unwrap_err();
+        assert!(format!("{err}").contains("implies events=3"), "{err}");
+
+        let mut cfg = EnumConfig::for_signature(sig("010102"));
+        cfg.max_nodes = 2; // min_nodes stays 3: shape error wins over range
+        assert!(matches!(cfg.validate(), Err(ConfigError::SignatureShape { .. })));
     }
 }

@@ -60,7 +60,7 @@
 //! reports `workers_spawned: 0` so tests that *require* the wire path
 //! can tell the difference.
 
-mod protocol;
+pub(crate) mod protocol;
 mod worker;
 
 pub use worker::run_worker;

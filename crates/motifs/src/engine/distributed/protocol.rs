@@ -130,7 +130,7 @@ impl WorkerReply {
     }
 }
 
-fn put_signature(w: &mut WireWriter, sig: &MotifSignature) {
+pub(crate) fn put_signature(w: &mut WireWriter, sig: &MotifSignature) {
     let pairs = sig.pairs();
     w.put_u8(pairs.len() as u8);
     for &(a, b) in pairs {
@@ -138,7 +138,7 @@ fn put_signature(w: &mut WireWriter, sig: &MotifSignature) {
     }
 }
 
-fn get_signature(r: &mut WireReader<'_>) -> Result<MotifSignature, WireError> {
+pub(crate) fn get_signature(r: &mut WireReader<'_>) -> Result<MotifSignature, WireError> {
     let len = r.u8()? as usize;
     let mut pairs = Vec::with_capacity(len);
     for _ in 0..len {
@@ -149,7 +149,7 @@ fn get_signature(r: &mut WireReader<'_>) -> Result<MotifSignature, WireError> {
         .map_err(|e| WireError::Malformed(format!("non-canonical signature: {e}")))
 }
 
-fn put_config(w: &mut WireWriter, cfg: &EnumConfig) {
+pub(crate) fn put_config(w: &mut WireWriter, cfg: &EnumConfig) {
     w.put_u32(cfg.num_events as u32);
     w.put_u32(cfg.max_nodes as u32);
     w.put_u32(cfg.min_nodes as u32);
@@ -169,7 +169,7 @@ fn put_config(w: &mut WireWriter, cfg: &EnumConfig) {
     }
 }
 
-fn get_config(r: &mut WireReader<'_>) -> Result<EnumConfig, WireError> {
+pub(crate) fn get_config(r: &mut WireReader<'_>) -> Result<EnumConfig, WireError> {
     let num_events = r.u32()? as usize;
     let max_nodes = r.u32()? as usize;
     let min_nodes = r.u32()? as usize;

@@ -50,8 +50,7 @@
 //!
 //! [`EngineKind::Auto`] picks an engine from the graph, configuration,
 //! and thread budget (see [`auto_select`]) and is what the legacy
-//! [`count_motifs`](crate::count_motifs) /
-//! [`count_motifs_parallel`](crate::count_motifs_parallel) wrappers use.
+//! [`count_motifs`](crate::count_motifs) wrapper uses.
 //! All windowed engines share one [`WindowIndex`](tnm_graph::WindowIndex)
 //! per graph through the
 //! [global index cache](tnm_graph::index_cache::global_index_cache), so
@@ -74,14 +73,44 @@
 //! each group's engine is chosen from its widest-reach member;
 //! sharded/distributed/sampling kinds run each config solo, since their
 //! per-run setup is not shareable.
+//!
+//! ## The Query API
+//!
+//! Front ends do not dispatch over [`EngineKind`] by hand: they build a
+//! [`Query`] — Count, Report, Enumerate, or Batch, each wrapping one or
+//! more [`EnumConfig`]s plus an engine and thread budget — and call
+//! [`Query::run`]. Validation ([`EnumConfig::validate`], returning the
+//! typed [`ConfigError`]) and dispatch live in one place, so the CLI
+//! `count`/`count-batch` verbs, library callers, and the `tnm serve`
+//! daemon answer identical requests bit-identically. [`QueryResponse`]
+//! mirrors the request shape (counts / interval report / bounded
+//! instances / per-config tables).
+//!
+//! ## `tnm serve`: the resident counting service
+//!
+//! [`MotifServer`] turns the crate into a long-running system: a TCP
+//! daemon holding a registry of loaded graphs (the identity-keyed
+//! window-index/static-projection caches as its resident working set),
+//! answering [`Query`] requests from concurrent clients, and keeping
+//! registered Paranjape-shape subscriptions **live under appends** via
+//! [`IncrementalStream`] — O(new events) per batch, bit-identical to a
+//! from-scratch [`StreamEngine`] recount. Messages travel as
+//! [`tnm_graph::wire`] frames versioned alongside the worker protocol:
+//! request kinds LoadGraph 16, AppendEvents 17, Query 18, Subscribe 19,
+//! Stats 20, Shutdown 21; response kinds Loaded 32, Appended 33,
+//! QueryResponse 34, Subscribed 35, Stats 36, Bye 37, Error 63 (worker
+//! kinds own `1..=4`, so the protocols cannot be confused). Use
+//! [`ServeClient`] (or the `tnm client` verb) to speak it.
 
 mod backtrack;
 mod batch;
 mod config;
 mod distributed;
 mod parallel;
+mod query;
 mod report;
 mod sampling;
+mod serve;
 mod sharded;
 mod stream;
 mod walker;
@@ -89,13 +118,18 @@ mod windowed;
 
 pub use backtrack::BacktrackEngine;
 pub use batch::{count_batch, enumerate_batch, BatchPlan, BatchPlanner, WalkDriver};
-pub use config::{EnumConfig, MotifInstance};
+pub use config::{ConfigError, EnumConfig, MotifInstance};
 pub use distributed::{
     run_worker, DistributedConfig, DistributedEngine, DistributedRunStats, DEFAULT_WORKERS,
 };
 pub use parallel::{ParallelConfig, ParallelEngine, DEFAULT_STEAL_CHUNK, SERIAL_FALLBACK_EVENTS};
+pub use query::{Query, QueryError, QueryInstance, QueryResponse};
 pub use report::{t_critical_95, EngineReport, Estimate, Z_95};
 pub use sampling::{SamplingEngine, DEFAULT_SAMPLING_BUDGET, DEFAULT_SAMPLING_SEED};
+pub use serve::{
+    AppendAck, AppendError, ClientError, GraphStat, IncrementalStream, MotifServer, ServeClient,
+    ServeOptions, ServerHandle, ServerStats,
+};
 pub use sharded::{ShardedConfig, ShardedEngine, ShardedRunStats, DEFAULT_SHARD_EVENTS};
 pub use stream::StreamEngine;
 pub use windowed::WindowedEngine;

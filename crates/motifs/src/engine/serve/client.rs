@@ -1,0 +1,222 @@
+//! The library/CLI client half of the `tnm serve` protocol.
+//!
+//! [`ServeClient`] wraps one TCP connection in typed request/response
+//! calls: load a graph, run a [`Query`], append a live batch, register
+//! an incremental subscription, read stats, shut the daemon down. Every
+//! call writes one request frame and reads exactly one response frame;
+//! a [`KIND_RESP_ERR`](super::protocol::KIND_RESP_ERR) frame surfaces
+//! as [`ClientError::Server`] and the connection stays usable for the
+//! next call — mirroring the server's recoverable-error contract.
+//!
+//! Large initial loads are chunked automatically: a graph bigger than
+//! [`LOAD_CHUNK_EVENTS`] ships as one LoadGraph frame plus time-ordered
+//! AppendEvents frames, so no request ever approaches the wire's
+//! frame-payload ceiling.
+
+use super::protocol::*;
+use crate::count::MotifCounts;
+use crate::engine::distributed::protocol::put_config;
+use crate::engine::query::{Query, QueryResponse};
+use crate::engine::EnumConfig;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+use tnm_graph::wire::{
+    encode_events, read_frame, write_frame, WireError, WireReader, WireWriter, MAX_FRAME_PAYLOAD,
+};
+use tnm_graph::Event;
+
+/// Events per frame when [`ServeClient::load_graph`] chunks a large
+/// initial load: 1M events ≈ 20 MB of event block, comfortably under
+/// the 64 MiB frame ceiling.
+pub const LOAD_CHUNK_EVENTS: usize = 1 << 20;
+
+/// A failed client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connection-level I/O failure.
+    Io(std::io::Error),
+    /// The response could not be decoded (or the server closed the
+    /// connection mid-exchange).
+    Wire(WireError),
+    /// The server answered with an error frame; the message is its
+    /// reason and the connection remains usable.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "serve connection error: {e}"),
+            ClientError::Wire(e) => write!(f, "serve protocol error: {e}"),
+            ClientError::Server(msg) => write!(f, "server rejected request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// One client connection to a [`MotifServer`](super::MotifServer).
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl ServeClient {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ServeClient { reader, writer: BufWriter::new(stream) })
+    }
+
+    /// Connects with retries — for scripted sessions racing a daemon's
+    /// startup (the CI smoke step starts `tnm serve` in the background
+    /// and connects as soon as the port opens).
+    pub fn connect_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        attempts: usize,
+        delay: Duration,
+    ) -> Result<Self, ClientError> {
+        let mut last = None;
+        for _ in 0..attempts.max(1) {
+            match Self::connect(addr.clone()) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    last = Some(e);
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// One request/response exchange. The server keeps the connection
+    /// open after an error frame, so `Err(Server(_))` does not poison
+    /// the client.
+    fn exchange(&mut self, kind: u8, payload: &[u8]) -> Result<(u8, Vec<u8>), ClientError> {
+        write_frame(&mut self.writer, kind, payload)?;
+        self.writer.flush()?;
+        let Some((kind, payload)) = read_frame(&mut self.reader, MAX_FRAME_PAYLOAD)? else {
+            return Err(ClientError::Wire(WireError::Truncated { needed: 1, available: 0 }));
+        };
+        if kind == KIND_RESP_ERR {
+            let mut r = WireReader::new(&payload);
+            let msg = r.str().map(str::to_string)?;
+            r.finish()?;
+            return Err(ClientError::Server(msg));
+        }
+        Ok((kind, payload))
+    }
+
+    fn expect(
+        &mut self,
+        req_kind: u8,
+        payload: &[u8],
+        resp_kind: u8,
+    ) -> Result<Vec<u8>, ClientError> {
+        let (kind, payload) = self.exchange(req_kind, payload)?;
+        if kind != resp_kind {
+            return Err(ClientError::Wire(WireError::Malformed(format!(
+                "expected response kind {resp_kind}, got {kind}"
+            ))));
+        }
+        Ok(payload)
+    }
+
+    /// Loads `events` into the server's registry under `name`,
+    /// returning the loaded `(events, nodes)` totals. Oversized loads
+    /// are chunked through time-ordered appends automatically.
+    pub fn load_graph(
+        &mut self,
+        name: &str,
+        events: &[Event],
+        num_nodes: u32,
+    ) -> Result<(u64, u32), ClientError> {
+        let mut sorted = events.to_vec();
+        sorted.sort_unstable();
+        let first = &sorted[..sorted.len().min(LOAD_CHUNK_EVENTS)];
+        let mut w = WireWriter::new();
+        w.put_str(name);
+        w.put_u32(num_nodes);
+        w.put_bytes(&encode_events(first));
+        let payload = self.expect(KIND_REQ_LOAD, &w.into_bytes(), KIND_RESP_LOADED)?;
+        let mut r = WireReader::new(&payload);
+        let _echo = r.str()?;
+        let mut total = r.u64()?;
+        let mut nodes = r.u32()?;
+        r.finish()?;
+        for chunk in sorted[first.len()..].chunks(LOAD_CHUNK_EVENTS) {
+            let ack = self.append_events(name, chunk)?;
+            total = ack.total_events;
+        }
+        nodes = nodes.max(sorted.iter().map(|e| e.src.0.max(e.dst.0) + 1).max().unwrap_or(0));
+        Ok((total, nodes))
+    }
+
+    /// Appends a time-monotone batch to a loaded graph. The ack carries
+    /// every subscription's live counts, already updated incrementally
+    /// on the server.
+    pub fn append_events(&mut self, name: &str, batch: &[Event]) -> Result<AppendAck, ClientError> {
+        let mut w = WireWriter::new();
+        w.put_str(name);
+        w.put_bytes(&encode_events(batch));
+        let payload = self.expect(KIND_REQ_APPEND, &w.into_bytes(), KIND_RESP_APPENDED)?;
+        Ok(decode_append_ack(&payload)?)
+    }
+
+    /// Runs a [`Query`] against a loaded graph. Validation happens
+    /// server-side through the same [`Query::run`] path the CLI uses.
+    pub fn query(&mut self, name: &str, query: &Query) -> Result<QueryResponse, ClientError> {
+        let mut w = WireWriter::new();
+        w.put_str(name);
+        put_query(&mut w, query);
+        let payload = self.expect(KIND_REQ_QUERY, &w.into_bytes(), KIND_RESP_QUERY)?;
+        Ok(decode_response(&payload)?)
+    }
+
+    /// Registers an incremental subscription (stream-eligible configs
+    /// only), returning its id and initial counts.
+    pub fn subscribe(
+        &mut self,
+        name: &str,
+        cfg: &EnumConfig,
+    ) -> Result<(u32, MotifCounts), ClientError> {
+        let mut w = WireWriter::new();
+        w.put_str(name);
+        put_config(&mut w, cfg);
+        let payload = self.expect(KIND_REQ_SUBSCRIBE, &w.into_bytes(), KIND_RESP_SUBSCRIBED)?;
+        let mut r = WireReader::new(&payload);
+        let id = r.u32()?;
+        let counts = get_counts(&mut r)?;
+        r.finish()?;
+        Ok((id, counts))
+    }
+
+    /// Server statistics.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        let payload = self.expect(KIND_REQ_STATS, &[], KIND_RESP_STATS)?;
+        Ok(decode_stats(&payload)?)
+    }
+
+    /// Asks the daemon to stop accepting connections and exit its
+    /// accept loop.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let payload = self.expect(KIND_REQ_SHUTDOWN, &[], KIND_RESP_BYE)?;
+        let r = WireReader::new(&payload);
+        r.finish()?;
+        Ok(())
+    }
+}

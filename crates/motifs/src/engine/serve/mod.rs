@@ -1,0 +1,456 @@
+//! `tnm serve`: a resident motif-counting service.
+//!
+//! The server is the jump from CLI to system: a long-running TCP daemon
+//! holding a **registry of loaded graphs** as its resident working set,
+//! answering framed [`Query`] requests (count / report / enumerate /
+//! batch, any [`EngineKind`](crate::engine::EngineKind)) and keeping
+//! subscription counts **live under event appends** via
+//! [`IncrementalStream`] — O(new events) per append instead of a
+//! recount. Protocol details live in [`protocol`] (same
+//! [`tnm_graph::wire`] framing as the distributed worker protocol,
+//! disjoint kind space); the client half in [`client`].
+//!
+//! ## Resident working set
+//!
+//! Each registry entry keeps its canonical event log plus a lazily
+//! (re)built [`TemporalGraph`]. The `Arc<TemporalGraph>` is held for as
+//! long as the entry goes unmodified, so the identity-keyed global
+//! [`WindowIndexCache`](tnm_graph::index_cache) /
+//! `StaticProjectionCache` keep their entries hot across queries — the
+//! second query against a loaded graph pays no index rebuild. An
+//! append invalidates the cached graph (its event buffer changes
+//! identity); subscriptions are *not* invalidated, which is the point:
+//! their counts advance incrementally from the ΔW tail alone.
+//!
+//! ## Concurrency and failure model
+//!
+//! One thread per connection; each query clones the entry's graph
+//! `Arc` and counts outside the registry locks, so slow queries never
+//! block loads or appends on other graphs (engines additionally spread
+//! across the work-stealing executor under the request's thread
+//! budget, clamped by [`ServeOptions::max_threads`]). Application
+//! errors (unknown graph, invalid config, non-monotone append) are
+//! answered with an error frame and the connection stays usable;
+//! wire-level garbage (bad magic, oversized length, truncation) closes
+//! that connection only — the daemon itself never dies from a bad
+//! peer, which `tests/serve_loop.rs` pins.
+
+mod client;
+mod incremental;
+pub(crate) mod protocol;
+
+pub use client::{ClientError, ServeClient};
+pub use incremental::{AppendError, IncrementalStream};
+pub use protocol::{AppendAck, GraphStat, ServerStats};
+
+use crate::engine::distributed::protocol::get_config;
+use crate::engine::query::Query;
+use crate::engine::serve::incremental::check_batch;
+use protocol::*;
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread;
+use tnm_graph::wire::{read_frame, write_frame, WireWriter, MAX_FRAME_PAYLOAD};
+use tnm_graph::{Event, TemporalGraph};
+
+/// Tunables for a [`MotifServer`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Ceiling on any single request's thread budget (requests ask for
+    /// their own budget; the server clamps it here).
+    pub max_threads: usize,
+    /// Ceiling on instances materialized per enumerate response, so a
+    /// reply always fits the frame-payload limit.
+    pub enumerate_cap: usize,
+    /// Maximum accepted request frame payload.
+    pub max_frame: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            max_threads: thread::available_parallelism().map_or(4, |n| n.get()),
+            enumerate_cap: 100_000,
+            max_frame: MAX_FRAME_PAYLOAD,
+        }
+    }
+}
+
+/// One live subscription: an id plus its incrementally-maintained
+/// counts.
+struct Subscription {
+    id: u32,
+    stream: IncrementalStream,
+}
+
+/// One loaded graph: the canonical sorted event log, a lazily rebuilt
+/// graph (kept alive so the identity-keyed index caches stay hot), and
+/// the subscriptions riding on it.
+struct GraphEntry {
+    events: Vec<Event>,
+    num_nodes: u32,
+    /// Rebuilt on demand after appends; held while the entry is
+    /// unmodified so cache identity is preserved across queries.
+    graph: Option<Arc<TemporalGraph>>,
+    subscriptions: Vec<Subscription>,
+    next_sub_id: u32,
+}
+
+impl GraphEntry {
+    /// The entry's graph, (re)built if an append invalidated it.
+    fn graph(&mut self) -> Arc<TemporalGraph> {
+        if self.graph.is_none() {
+            self.graph = Some(Arc::new(TemporalGraph::from_sorted_events(
+                self.events.clone(),
+                self.num_nodes,
+            )));
+        }
+        Arc::clone(self.graph.as_ref().expect("just built"))
+    }
+}
+
+struct ServerState {
+    registry: RwLock<HashMap<String, Arc<Mutex<GraphEntry>>>>,
+    options: ServeOptions,
+    queries: AtomicU64,
+    appends: AtomicU64,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl ServerState {
+    fn entry(&self, name: &str) -> Result<Arc<Mutex<GraphEntry>>, String> {
+        self.registry
+            .read()
+            .expect("registry lock")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("no graph named `{name}` is loaded"))
+    }
+
+    fn stats(&self) -> ServerStats {
+        let registry = self.registry.read().expect("registry lock");
+        let mut graphs: Vec<GraphStat> = registry
+            .iter()
+            .map(|(name, entry)| {
+                let entry = entry.lock().expect("entry lock");
+                GraphStat {
+                    name: name.clone(),
+                    events: entry.events.len() as u64,
+                    nodes: entry.num_nodes,
+                    subscriptions: entry.subscriptions.len() as u32,
+                }
+            })
+            .collect();
+        graphs.sort_by(|a, b| a.name.cmp(&b.name));
+        ServerStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            appends: self.appends.load(Ordering::Relaxed),
+            graphs,
+        }
+    }
+}
+
+/// The resident counting daemon. Bind, then either [`run`](Self::run)
+/// the accept loop on the current thread (the CLI verb) or
+/// [`spawn`](Self::spawn) it onto a background thread (tests, the
+/// example).
+pub struct MotifServer {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+/// Handle to a [`MotifServer::spawn`]ed accept loop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    join: thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (connect clients here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the accept loop to exit (a client's Shutdown request
+    /// ends it).
+    pub fn join(self) -> std::io::Result<()> {
+        self.join.join().expect("server thread panicked")
+    }
+}
+
+impl MotifServer {
+    /// Binds the daemon with default options. Port 0 picks a free port;
+    /// read it back with [`local_addr`](Self::local_addr).
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        Self::bind_with(addr, ServeOptions::default())
+    }
+
+    /// Binds with explicit [`ServeOptions`].
+    pub fn bind_with<A: ToSocketAddrs>(addr: A, options: ServeOptions) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            registry: RwLock::new(HashMap::new()),
+            options,
+            queries: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+        Ok(MotifServer { listener, state })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Runs the accept loop until a client requests shutdown. Each
+    /// connection gets its own thread; a connection's wire errors never
+    /// affect the loop. On shutdown, connections still parked in a read
+    /// are unblocked (their sockets are shut down) so the loop never
+    /// hangs on an idle client that forgot to disconnect.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut workers: Vec<(thread::JoinHandle<()>, TcpStream)> = Vec::new();
+        for conn in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            // Reap finished connections as we go, so a long-lived daemon
+            // never accumulates dead threads or their socket handles.
+            workers.retain(|(handle, _)| !handle.is_finished());
+            let Ok(peer) = stream.try_clone() else { continue };
+            let state = Arc::clone(&self.state);
+            workers.push((thread::spawn(move || handle_connection(stream, &state)), peer));
+        }
+        for (_, peer) in &workers {
+            let _ = peer.shutdown(std::net::Shutdown::Both);
+        }
+        for (handle, _) in workers {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the accept loop on a background thread.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let join = thread::spawn(move || self.run());
+        ServerHandle { addr, join }
+    }
+}
+
+/// Answer for one request frame, plus whether this connection asked the
+/// whole server to stop.
+enum Outcome {
+    Reply(u8, Vec<u8>),
+    Shutdown,
+}
+
+fn err_frame(msg: String) -> Outcome {
+    let mut w = WireWriter::new();
+    w.put_str(&msg);
+    Outcome::Reply(KIND_RESP_ERR, w.into_bytes())
+}
+
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    serve_connection(&mut reader, &mut writer, state);
+    // Close the TCP connection explicitly: the accept loop holds its
+    // own clone of this socket (to unblock parked reads at shutdown),
+    // and a clone must not keep a finished connection half-open.
+    let _ = writer.flush();
+    let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
+}
+
+fn serve_connection(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    state: &ServerState,
+) {
+    loop {
+        // Wire-level garbage (bad magic, oversized length, truncation
+        // mid-frame) is unrecoverable on this connection — the stream
+        // position is lost — so close it; the daemon lives on.
+        let frame = match read_frame(&mut *reader, state.options.max_frame) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return,
+            Err(e) => {
+                let mut w = WireWriter::new();
+                w.put_str(&format!("wire error: {e}"));
+                let _ = write_frame(&mut *writer, KIND_RESP_ERR, &w.into_bytes());
+                let _ = writer.flush();
+                return;
+            }
+        };
+        let outcome = dispatch(state, frame.0, &frame.1);
+        match outcome {
+            Outcome::Reply(kind, payload) => {
+                if write_frame(&mut *writer, kind, &payload).is_err() || writer.flush().is_err() {
+                    return;
+                }
+            }
+            Outcome::Shutdown => {
+                let _ = write_frame(&mut *writer, KIND_RESP_BYE, &[]);
+                let _ = writer.flush();
+                state.shutdown.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so it observes the flag.
+                let _ = TcpStream::connect(state.addr);
+                return;
+            }
+        }
+    }
+}
+
+/// Decodes and serves one request frame. Application-level failures
+/// (unknown graph, invalid batch, unrunnable query) come back as error
+/// frames; only undecodable payloads bubble up as wire errors.
+fn dispatch(state: &ServerState, kind: u8, payload: &[u8]) -> Outcome {
+    use tnm_graph::wire::WireReader;
+    let mut r = WireReader::new(payload);
+    let result: Result<Outcome, String> = match kind {
+        KIND_REQ_LOAD => (|| {
+            let name = r.str().map_err(|e| e.to_string())?.to_string();
+            let num_nodes = r.u32().map_err(|e| e.to_string())?;
+            let block = r.bytes().map_err(|e| e.to_string())?;
+            let mut events = tnm_graph::wire::decode_events(block).map_err(|e| e.to_string())?;
+            r.finish().map_err(|e| e.to_string())?;
+            if name.is_empty() {
+                return Err("graph name must be non-empty".into());
+            }
+            if events.iter().any(Event::is_self_loop) {
+                return Err("event block contains self-loops".into());
+            }
+            events.sort_unstable();
+            let max_node = events.iter().map(|e| e.src.0.max(e.dst.0) + 1).max().unwrap_or(0);
+            let num_nodes = num_nodes.max(max_node);
+            let entry = GraphEntry {
+                events,
+                num_nodes,
+                graph: None,
+                subscriptions: Vec::new(),
+                next_sub_id: 0,
+            };
+            let mut registry = state.registry.write().expect("registry lock");
+            if registry.contains_key(&name) {
+                return Err(format!("graph `{name}` is already loaded"));
+            }
+            let (n_events, n_nodes) = (entry.events.len() as u64, entry.num_nodes);
+            registry.insert(name.clone(), Arc::new(Mutex::new(entry)));
+            let mut w = WireWriter::new();
+            w.put_str(&name);
+            w.put_u64(n_events);
+            w.put_u32(n_nodes);
+            Ok(Outcome::Reply(KIND_RESP_LOADED, w.into_bytes()))
+        })(),
+        KIND_REQ_APPEND => (|| {
+            let name = r.str().map_err(|e| e.to_string())?.to_string();
+            let block = r.bytes().map_err(|e| e.to_string())?;
+            let batch = tnm_graph::wire::decode_events(block).map_err(|e| e.to_string())?;
+            r.finish().map_err(|e| e.to_string())?;
+            let entry = state.entry(&name)?;
+            let mut entry = entry.lock().expect("entry lock");
+            let last = entry.events.last().map(|e| e.time);
+            check_batch(&batch, last).map_err(|e| e.to_string())?;
+            // Fold into every subscription first: a failure there (all
+            // shapes already checked above) must not leave the log and
+            // the counts disagreeing.
+            for sub in &mut entry.subscriptions {
+                sub.stream.append(&batch).map_err(|e| e.to_string())?;
+            }
+            // Splice-merge at the boundary timestamp: batch times are
+            // ≥ the last log time, but equal-time runs must stay fully
+            // sorted for `from_sorted_events`.
+            let idx = match batch.first() {
+                Some(first) => entry.events.partition_point(|e| e.time < first.time),
+                None => entry.events.len(),
+            };
+            let mut tail: Vec<Event> = entry.events.split_off(idx);
+            tail.extend_from_slice(&batch);
+            tail.sort_unstable();
+            entry.events.extend(tail);
+            let max_node = batch.iter().map(|e| e.src.0.max(e.dst.0) + 1).max().unwrap_or(0);
+            entry.num_nodes = entry.num_nodes.max(max_node);
+            entry.graph = None; // identity changed: rebuild lazily
+            state.appends.fetch_add(batch.len() as u64, Ordering::Relaxed);
+            let ack = AppendAck {
+                total_events: entry.events.len() as u64,
+                subscriptions: entry
+                    .subscriptions
+                    .iter()
+                    .map(|s| (s.id, s.stream.counts()))
+                    .collect(),
+            };
+            Ok(Outcome::Reply(KIND_RESP_APPENDED, encode_append_ack(&ack)))
+        })(),
+        KIND_REQ_QUERY => (|| {
+            let name = r.str().map_err(|e| e.to_string())?.to_string();
+            let query = get_query(&mut r).map_err(|e| e.to_string())?;
+            r.finish().map_err(|e| e.to_string())?;
+            let entry = state.entry(&name)?;
+            let graph = entry.lock().expect("entry lock").graph();
+            // Count outside the locks: a slow query must not block
+            // loads/appends (or other clients' queries).
+            let query = clamp(query, &state.options);
+            let response = query.run(&graph).map_err(|e| e.to_string())?;
+            state.queries.fetch_add(1, Ordering::Relaxed);
+            Ok(Outcome::Reply(KIND_RESP_QUERY, encode_response(&response)))
+        })(),
+        KIND_REQ_SUBSCRIBE => (|| {
+            let name = r.str().map_err(|e| e.to_string())?.to_string();
+            let cfg = get_config(&mut r).map_err(|e| e.to_string())?;
+            r.finish().map_err(|e| e.to_string())?;
+            cfg.validate().map_err(|e| e.to_string())?;
+            let entry = state.entry(&name)?;
+            let mut entry = entry.lock().expect("entry lock");
+            let graph = entry.graph();
+            let stream = IncrementalStream::new(&graph, &cfg)?;
+            let id = entry.next_sub_id;
+            entry.next_sub_id += 1;
+            let counts = stream.counts();
+            entry.subscriptions.push(Subscription { id, stream });
+            let mut w = WireWriter::new();
+            w.put_u32(id);
+            put_counts(&mut w, &counts);
+            Ok(Outcome::Reply(KIND_RESP_SUBSCRIBED, w.into_bytes()))
+        })(),
+        KIND_REQ_STATS => (|| {
+            r.finish().map_err(|e| e.to_string())?;
+            Ok(Outcome::Reply(KIND_RESP_STATS, encode_stats(&state.stats())))
+        })(),
+        KIND_REQ_SHUTDOWN => Ok(Outcome::Shutdown),
+        other => Err(format!("unknown request kind {other}")),
+    };
+    result.unwrap_or_else(err_frame)
+}
+
+/// Applies the server's resource ceilings to a decoded query.
+fn clamp(query: Query, options: &ServeOptions) -> Query {
+    let cap = options.max_threads.max(1);
+    match query {
+        Query::Count { cfg, engine, threads } => {
+            Query::Count { cfg, engine, threads: threads.clamp(1, cap) }
+        }
+        Query::Report { cfg, engine, threads } => {
+            Query::Report { cfg, engine, threads: threads.clamp(1, cap) }
+        }
+        Query::Enumerate { cfg, engine, threads, limit } => Query::Enumerate {
+            cfg,
+            engine,
+            threads: threads.clamp(1, cap),
+            limit: limit.min(options.enumerate_cap),
+        },
+        Query::Batch { cfgs, engine, threads } => {
+            Query::Batch { cfgs, engine, threads: threads.clamp(1, cap) }
+        }
+    }
+}

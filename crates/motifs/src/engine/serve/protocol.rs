@@ -1,0 +1,645 @@
+//! Message schemas of the `tnm serve` client ↔ server protocol.
+//!
+//! Every message is one [`tnm_graph::wire`] frame (same magic, version,
+//! and length validation as the coordinator ↔ worker protocol); the
+//! `kind` byte selects the schema. Serve kinds are versioned alongside
+//! the worker protocol by partitioning the kind space: worker kinds
+//! occupy `1..=4`, serve **requests** start at [`KIND_REQ_LOAD`] (16)
+//! and serve **responses** at [`KIND_RESP_LOADED`] (32), so a frame can
+//! never be interpreted under the wrong protocol.
+//!
+//! | kind | direction | payload |
+//! |---|---|---|
+//! | [`KIND_REQ_LOAD`] | client → server | graph name, node-id space, event block |
+//! | [`KIND_REQ_APPEND`] | client → server | graph name + event block (time-monotone batch) |
+//! | [`KIND_REQ_QUERY`] | client → server | graph name + a full [`Query`] |
+//! | [`KIND_REQ_SUBSCRIBE`] | client → server | graph name + a stream-eligible [`EnumConfig`](crate::engine::EnumConfig) |
+//! | [`KIND_REQ_STATS`] | client → server | empty |
+//! | [`KIND_REQ_SHUTDOWN`] | client → server | empty: stop accepting, drain, exit |
+//! | [`KIND_RESP_LOADED`] | server → client | echoed name + event/node totals |
+//! | [`KIND_RESP_APPENDED`] | server → client | new event total + every subscription's live counts |
+//! | [`KIND_RESP_QUERY`] | server → client | the [`QueryResponse`] |
+//! | [`KIND_RESP_SUBSCRIBED`] | server → client | subscription id + initial counts |
+//! | [`KIND_RESP_STATS`] | server → client | [`ServerStats`] |
+//! | [`KIND_RESP_BYE`] | server → client | empty: shutdown acknowledged |
+//! | [`KIND_RESP_ERR`] | server → client | a display string; the connection stays usable |
+//!
+//! Configurations and signatures reuse the worker protocol's codecs
+//! (`put_config`/`get_config`), so the two protocols cannot drift on
+//! how an [`EnumConfig`](crate::engine::EnumConfig) travels; count tables are written in sorted
+//! signature order so identical tables are byte-identical. Every
+//! decoder ends with [`WireReader::finish`], making trailing bytes an
+//! error rather than slack.
+
+use crate::count::MotifCounts;
+use crate::engine::distributed::protocol::{get_config, get_signature, put_config, put_signature};
+use crate::engine::query::{Query, QueryInstance, QueryResponse};
+use crate::engine::report::{EngineReport, Estimate};
+use crate::engine::EngineKind;
+use std::collections::HashMap;
+use tnm_graph::wire::{WireError, WireReader, WireWriter};
+
+/// Request: load a graph into the registry under a name.
+pub(crate) const KIND_REQ_LOAD: u8 = 16;
+/// Request: append a time-monotone event batch to a loaded graph.
+pub(crate) const KIND_REQ_APPEND: u8 = 17;
+/// Request: run a [`Query`] against a loaded graph.
+pub(crate) const KIND_REQ_QUERY: u8 = 18;
+/// Request: register an incremental subscription on a loaded graph.
+pub(crate) const KIND_REQ_SUBSCRIBE: u8 = 19;
+/// Request: server statistics.
+pub(crate) const KIND_REQ_STATS: u8 = 20;
+/// Request: orderly server shutdown.
+pub(crate) const KIND_REQ_SHUTDOWN: u8 = 21;
+
+/// Response to [`KIND_REQ_LOAD`].
+pub(crate) const KIND_RESP_LOADED: u8 = 32;
+/// Response to [`KIND_REQ_APPEND`].
+pub(crate) const KIND_RESP_APPENDED: u8 = 33;
+/// Response to [`KIND_REQ_QUERY`].
+pub(crate) const KIND_RESP_QUERY: u8 = 34;
+/// Response to [`KIND_REQ_SUBSCRIBE`].
+pub(crate) const KIND_RESP_SUBSCRIBED: u8 = 35;
+/// Response to [`KIND_REQ_STATS`].
+pub(crate) const KIND_RESP_STATS: u8 = 36;
+/// Response to [`KIND_REQ_SHUTDOWN`].
+pub(crate) const KIND_RESP_BYE: u8 = 37;
+/// Any request the server understood but could not serve; the payload
+/// is a human-readable reason and the connection stays open.
+pub(crate) const KIND_RESP_ERR: u8 = 63;
+
+/// Acknowledgement of an append: the graph's new size plus the live
+/// counts of every subscription on it, already updated incrementally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppendAck {
+    /// Events in the graph after the append.
+    pub total_events: u64,
+    /// `(subscription id, live counts)` for every subscription on the
+    /// graph, in id order.
+    pub subscriptions: Vec<(u32, MotifCounts)>,
+}
+
+/// One registry entry in a [`ServerStats`] report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphStat {
+    /// Registry name.
+    pub name: String,
+    /// Events currently in the graph.
+    pub events: u64,
+    /// Node-id space.
+    pub nodes: u32,
+    /// Registered incremental subscriptions.
+    pub subscriptions: u32,
+}
+
+/// Server-wide counters plus the registry listing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Queries served since start.
+    pub queries: u64,
+    /// Events appended since start (across all graphs).
+    pub appends: u64,
+    /// Loaded graphs, in name order.
+    pub graphs: Vec<GraphStat>,
+}
+
+/// Maps an engine name that travelled the wire back to the `'static`
+/// str [`EngineReport::engine`] requires. Only names the engines
+/// actually report can appear; anything else is a protocol violation.
+fn static_engine_name(name: &str) -> Result<&'static str, WireError> {
+    for known in
+        ["backtrack", "windowed", "parallel", "stream", "sharded", "distributed", "sampling"]
+    {
+        if name == known {
+            return Ok(known);
+        }
+    }
+    Err(WireError::Malformed(format!("unknown engine name `{name}` in report")))
+}
+
+pub(crate) fn put_counts(w: &mut WireWriter, counts: &MotifCounts) {
+    let mut rows: Vec<_> = counts.iter().collect();
+    rows.sort_unstable();
+    w.put_u32(rows.len() as u32);
+    for (sig, n) in rows {
+        put_signature(w, &sig);
+        w.put_u64(n);
+    }
+}
+
+pub(crate) fn get_counts(r: &mut WireReader<'_>) -> Result<MotifCounts, WireError> {
+    let rows = r.u32()?;
+    let mut counts = MotifCounts::new();
+    for _ in 0..rows {
+        let sig = get_signature(r)?;
+        counts.add(sig, r.u64()?);
+    }
+    Ok(counts)
+}
+
+fn put_f64(w: &mut WireWriter, v: f64) {
+    w.put_u64(v.to_bits());
+}
+
+fn get_f64(r: &mut WireReader<'_>) -> Result<f64, WireError> {
+    Ok(f64::from_bits(r.u64()?))
+}
+
+const ENGINE_TAG_BACKTRACK: u8 = 0;
+const ENGINE_TAG_WINDOWED: u8 = 1;
+const ENGINE_TAG_PARALLEL: u8 = 2;
+const ENGINE_TAG_STREAM: u8 = 3;
+const ENGINE_TAG_SHARDED: u8 = 4;
+const ENGINE_TAG_DISTRIBUTED: u8 = 5;
+const ENGINE_TAG_SAMPLING: u8 = 6;
+const ENGINE_TAG_AUTO: u8 = 7;
+
+fn put_engine(w: &mut WireWriter, kind: EngineKind) {
+    match kind {
+        EngineKind::Backtrack => w.put_u8(ENGINE_TAG_BACKTRACK),
+        EngineKind::Windowed => w.put_u8(ENGINE_TAG_WINDOWED),
+        EngineKind::Parallel => w.put_u8(ENGINE_TAG_PARALLEL),
+        EngineKind::Stream => w.put_u8(ENGINE_TAG_STREAM),
+        EngineKind::Sharded { shard_events, max_resident_shards } => {
+            w.put_u8(ENGINE_TAG_SHARDED);
+            w.put_u64(shard_events as u64);
+            w.put_u64(max_resident_shards as u64);
+        }
+        EngineKind::Distributed { workers, shard_events } => {
+            w.put_u8(ENGINE_TAG_DISTRIBUTED);
+            w.put_u64(workers as u64);
+            w.put_u64(shard_events as u64);
+        }
+        EngineKind::Sampling { samples, seed } => {
+            w.put_u8(ENGINE_TAG_SAMPLING);
+            w.put_u32(samples);
+            w.put_u64(seed);
+        }
+        EngineKind::Auto => w.put_u8(ENGINE_TAG_AUTO),
+    }
+}
+
+fn get_engine(r: &mut WireReader<'_>) -> Result<EngineKind, WireError> {
+    Ok(match r.u8()? {
+        ENGINE_TAG_BACKTRACK => EngineKind::Backtrack,
+        ENGINE_TAG_WINDOWED => EngineKind::Windowed,
+        ENGINE_TAG_PARALLEL => EngineKind::Parallel,
+        ENGINE_TAG_STREAM => EngineKind::Stream,
+        ENGINE_TAG_SHARDED => EngineKind::Sharded {
+            shard_events: r.u64()? as usize,
+            max_resident_shards: r.u64()? as usize,
+        },
+        ENGINE_TAG_DISTRIBUTED => {
+            EngineKind::Distributed { workers: r.u64()? as usize, shard_events: r.u64()? as usize }
+        }
+        ENGINE_TAG_SAMPLING => EngineKind::Sampling { samples: r.u32()?, seed: r.u64()? },
+        ENGINE_TAG_AUTO => EngineKind::Auto,
+        other => return Err(WireError::Malformed(format!("unknown engine tag {other}"))),
+    })
+}
+
+const QUERY_TAG_COUNT: u8 = 1;
+const QUERY_TAG_REPORT: u8 = 2;
+const QUERY_TAG_ENUMERATE: u8 = 3;
+const QUERY_TAG_BATCH: u8 = 4;
+
+/// Encodes a [`Query`] into an open writer (the request frame also
+/// carries the graph name ahead of it).
+pub(crate) fn put_query(w: &mut WireWriter, query: &Query) {
+    match query {
+        Query::Count { cfg, engine, threads } => {
+            w.put_u8(QUERY_TAG_COUNT);
+            put_engine(w, *engine);
+            w.put_u32(*threads as u32);
+            put_config(w, cfg);
+        }
+        Query::Report { cfg, engine, threads } => {
+            w.put_u8(QUERY_TAG_REPORT);
+            put_engine(w, *engine);
+            w.put_u32(*threads as u32);
+            put_config(w, cfg);
+        }
+        Query::Enumerate { cfg, engine, threads, limit } => {
+            w.put_u8(QUERY_TAG_ENUMERATE);
+            put_engine(w, *engine);
+            w.put_u32(*threads as u32);
+            w.put_u64(*limit as u64);
+            put_config(w, cfg);
+        }
+        Query::Batch { cfgs, engine, threads } => {
+            w.put_u8(QUERY_TAG_BATCH);
+            put_engine(w, *engine);
+            w.put_u32(*threads as u32);
+            w.put_u32(cfgs.len() as u32);
+            for cfg in cfgs {
+                put_config(w, cfg);
+            }
+        }
+    }
+}
+
+/// Decodes a [`Query`] (inverse of [`put_query`]).
+pub(crate) fn get_query(r: &mut WireReader<'_>) -> Result<Query, WireError> {
+    let tag = r.u8()?;
+    let engine = get_engine(r)?;
+    let threads = r.u32()? as usize;
+    Ok(match tag {
+        QUERY_TAG_COUNT => Query::Count { cfg: get_config(r)?, engine, threads },
+        QUERY_TAG_REPORT => Query::Report { cfg: get_config(r)?, engine, threads },
+        QUERY_TAG_ENUMERATE => {
+            let limit = r.u64()? as usize;
+            Query::Enumerate { cfg: get_config(r)?, engine, threads, limit }
+        }
+        QUERY_TAG_BATCH => {
+            let n = r.u32()? as usize;
+            let mut cfgs = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                cfgs.push(get_config(r)?);
+            }
+            Query::Batch { cfgs, engine, threads }
+        }
+        other => return Err(WireError::Malformed(format!("unknown query tag {other}"))),
+    })
+}
+
+const RESP_TAG_COUNTS: u8 = 1;
+const RESP_TAG_REPORT: u8 = 2;
+const RESP_TAG_INSTANCES: u8 = 3;
+const RESP_TAG_BATCH: u8 = 4;
+
+/// Encodes a [`QueryResponse`] payload for a [`KIND_RESP_QUERY`] frame.
+pub(crate) fn encode_response(resp: &QueryResponse) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    match resp {
+        QueryResponse::Counts(counts) => {
+            w.put_u8(RESP_TAG_COUNTS);
+            put_counts(&mut w, counts);
+        }
+        QueryResponse::Report(report) => {
+            w.put_u8(RESP_TAG_REPORT);
+            w.put_str(report.engine);
+            w.put_bool(report.exact);
+            match report.samples {
+                Some(s) => {
+                    w.put_bool(true);
+                    w.put_u64(s as u64);
+                }
+                None => w.put_bool(false),
+            }
+            put_counts(&mut w, &report.counts);
+            let mut rows: Vec<_> = report.iter().collect();
+            rows.sort_unstable_by_key(|(sig, _)| *sig);
+            w.put_u32(rows.len() as u32);
+            for (sig, est) in rows {
+                put_signature(&mut w, &sig);
+                put_f64(&mut w, est.point);
+                put_f64(&mut w, est.half_width);
+            }
+            put_f64(&mut w, report.total.point);
+            put_f64(&mut w, report.total.half_width);
+        }
+        QueryResponse::Instances { total, instances, truncated } => {
+            w.put_u8(RESP_TAG_INSTANCES);
+            w.put_u64(*total);
+            w.put_bool(*truncated);
+            w.put_u32(instances.len() as u32);
+            for inst in instances {
+                put_signature(&mut w, &inst.signature);
+                w.put_u8(inst.events.len() as u8);
+                for &e in &inst.events {
+                    w.put_u32(e);
+                }
+            }
+        }
+        QueryResponse::Batch(tables) => {
+            w.put_u8(RESP_TAG_BATCH);
+            w.put_u32(tables.len() as u32);
+            for t in tables {
+                put_counts(&mut w, t);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a [`KIND_RESP_QUERY`] payload.
+pub(crate) fn decode_response(payload: &[u8]) -> Result<QueryResponse, WireError> {
+    let mut r = WireReader::new(payload);
+    let resp = match r.u8()? {
+        RESP_TAG_COUNTS => QueryResponse::Counts(get_counts(&mut r)?),
+        RESP_TAG_REPORT => {
+            let engine = static_engine_name(r.str()?)?;
+            let exact = r.bool()?;
+            let samples = if r.bool()? { Some(r.u64()? as usize) } else { None };
+            let counts = get_counts(&mut r)?;
+            let n = r.u32()?;
+            let mut estimates = HashMap::new();
+            for _ in 0..n {
+                let sig = get_signature(&mut r)?;
+                let point = get_f64(&mut r)?;
+                let half_width = get_f64(&mut r)?;
+                estimates.insert(sig, Estimate { point, half_width });
+            }
+            let total = Estimate { point: get_f64(&mut r)?, half_width: get_f64(&mut r)? };
+            let report = if exact {
+                // Reconstruct through the exact constructor so the
+                // invariants (zero-width intervals, derived total)
+                // cannot drift from what a local run produces.
+                EngineReport::from_exact(engine, counts)
+            } else {
+                EngineReport::from_estimates(engine, samples.unwrap_or(0), estimates, total)
+            };
+            QueryResponse::Report(report)
+        }
+        RESP_TAG_INSTANCES => {
+            let total = r.u64()?;
+            let truncated = r.bool()?;
+            let n = r.u32()?;
+            let mut instances = Vec::with_capacity(n.min(1 << 20) as usize);
+            for _ in 0..n {
+                let signature = get_signature(&mut r)?;
+                let k = r.u8()? as usize;
+                let mut events = Vec::with_capacity(k);
+                for _ in 0..k {
+                    events.push(r.u32()?);
+                }
+                instances.push(QueryInstance { signature, events });
+            }
+            QueryResponse::Instances { total, instances, truncated }
+        }
+        RESP_TAG_BATCH => {
+            let n = r.u32()?;
+            let mut tables = Vec::with_capacity(n.min(1 << 16) as usize);
+            for _ in 0..n {
+                tables.push(get_counts(&mut r)?);
+            }
+            QueryResponse::Batch(tables)
+        }
+        other => return Err(WireError::Malformed(format!("unknown response tag {other}"))),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+/// Encodes a [`KIND_RESP_APPENDED`] payload.
+pub(crate) fn encode_append_ack(ack: &AppendAck) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u64(ack.total_events);
+    w.put_u32(ack.subscriptions.len() as u32);
+    for (id, counts) in &ack.subscriptions {
+        w.put_u32(*id);
+        put_counts(&mut w, counts);
+    }
+    w.into_bytes()
+}
+
+/// Decodes a [`KIND_RESP_APPENDED`] payload.
+pub(crate) fn decode_append_ack(payload: &[u8]) -> Result<AppendAck, WireError> {
+    let mut r = WireReader::new(payload);
+    let total_events = r.u64()?;
+    let n = r.u32()?;
+    let mut subscriptions = Vec::with_capacity(n.min(1 << 16) as usize);
+    for _ in 0..n {
+        let id = r.u32()?;
+        subscriptions.push((id, get_counts(&mut r)?));
+    }
+    r.finish()?;
+    Ok(AppendAck { total_events, subscriptions })
+}
+
+/// Encodes a [`KIND_RESP_STATS`] payload.
+pub(crate) fn encode_stats(stats: &ServerStats) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u64(stats.queries);
+    w.put_u64(stats.appends);
+    w.put_u32(stats.graphs.len() as u32);
+    for g in &stats.graphs {
+        w.put_str(&g.name);
+        w.put_u64(g.events);
+        w.put_u32(g.nodes);
+        w.put_u32(g.subscriptions);
+    }
+    w.into_bytes()
+}
+
+/// Decodes a [`KIND_RESP_STATS`] payload.
+pub(crate) fn decode_stats(payload: &[u8]) -> Result<ServerStats, WireError> {
+    let mut r = WireReader::new(payload);
+    let queries = r.u64()?;
+    let appends = r.u64()?;
+    let n = r.u32()?;
+    let mut graphs = Vec::with_capacity(n.min(1 << 16) as usize);
+    for _ in 0..n {
+        graphs.push(GraphStat {
+            name: r.str()?.to_string(),
+            events: r.u64()?,
+            nodes: r.u32()?,
+            subscriptions: r.u32()?,
+        });
+    }
+    r.finish()?;
+    Ok(ServerStats { queries, appends, graphs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::Timing;
+    use crate::engine::EnumConfig;
+    use crate::notation::sig;
+
+    fn table(rows: &[(&str, u64)]) -> MotifCounts {
+        let mut c = MotifCounts::new();
+        for &(s, n) in rows {
+            c.add(sig(s), n);
+        }
+        c
+    }
+
+    #[test]
+    fn kind_spaces_do_not_collide_with_the_worker_protocol() {
+        let serve_kinds = [
+            KIND_REQ_LOAD,
+            KIND_REQ_APPEND,
+            KIND_REQ_QUERY,
+            KIND_REQ_SUBSCRIBE,
+            KIND_REQ_STATS,
+            KIND_REQ_SHUTDOWN,
+            KIND_RESP_LOADED,
+            KIND_RESP_APPENDED,
+            KIND_RESP_QUERY,
+            KIND_RESP_SUBSCRIBED,
+            KIND_RESP_STATS,
+            KIND_RESP_BYE,
+            KIND_RESP_ERR,
+        ];
+        for k in serve_kinds {
+            assert!(k >= 16, "serve kinds start at 16; worker kinds own 1..=4");
+        }
+        let mut sorted = serve_kinds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), serve_kinds.len(), "serve kinds are distinct");
+    }
+
+    #[test]
+    fn queries_roundtrip_over_every_engine_kind() {
+        let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(3_000));
+        let engines = [
+            EngineKind::Backtrack,
+            EngineKind::Windowed,
+            EngineKind::Parallel,
+            EngineKind::Stream,
+            EngineKind::sharded(512, 2),
+            EngineKind::distributed(3, 700),
+            EngineKind::sampling(64, 42),
+            EngineKind::Auto,
+        ];
+        for engine in engines {
+            let queries = [
+                Query::Count { cfg: cfg.clone(), engine, threads: 4 },
+                Query::Report { cfg: cfg.clone(), engine, threads: 1 },
+                Query::Enumerate { cfg: cfg.clone(), engine, threads: 2, limit: 100 },
+                Query::Batch {
+                    cfgs: vec![cfg.clone(), EnumConfig::for_signature(sig("011202"))],
+                    engine,
+                    threads: 8,
+                },
+            ];
+            for q in queries {
+                let mut w = WireWriter::new();
+                put_query(&mut w, &q);
+                let bytes = w.into_bytes();
+                let mut r = WireReader::new(&bytes);
+                assert_eq!(get_query(&mut r).unwrap(), q);
+                r.finish().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let counts = table(&[("010102", 7), ("011202", 123_456)]);
+        let resp = QueryResponse::Counts(counts.clone());
+        let QueryResponse::Counts(back) = decode_response(&encode_response(&resp)).unwrap() else {
+            panic!("shape")
+        };
+        assert_eq!(back, counts);
+
+        let report = EngineReport::from_exact("windowed", counts.clone());
+        let QueryResponse::Report(back) =
+            decode_response(&encode_response(&QueryResponse::Report(report.clone()))).unwrap()
+        else {
+            panic!("shape")
+        };
+        assert_eq!(back.engine, "windowed");
+        assert!(back.exact);
+        assert_eq!(back.counts, report.counts);
+        assert_eq!(back.total, report.total);
+
+        let mut estimates = HashMap::new();
+        estimates.insert(sig("010102"), Estimate { point: 6.5, half_width: 1.25 });
+        let approx = EngineReport::from_estimates(
+            "sampling",
+            50,
+            estimates,
+            Estimate { point: 6.5, half_width: 1.25 },
+        );
+        let QueryResponse::Report(back) =
+            decode_response(&encode_response(&QueryResponse::Report(approx.clone()))).unwrap()
+        else {
+            panic!("shape")
+        };
+        assert!(!back.exact);
+        assert_eq!(back.samples, Some(50));
+        assert_eq!(back.estimate(sig("010102")), approx.estimate(sig("010102")));
+        assert_eq!(back.total, approx.total);
+
+        let resp = QueryResponse::Instances {
+            total: 9,
+            truncated: true,
+            instances: vec![
+                QueryInstance { signature: sig("011202"), events: vec![0, 3, 5] },
+                QueryInstance { signature: sig("010102"), events: vec![1, 2, 8] },
+            ],
+        };
+        let QueryResponse::Instances { total, instances, truncated } =
+            decode_response(&encode_response(&resp)).unwrap()
+        else {
+            panic!("shape")
+        };
+        assert_eq!((total, truncated), (9, true));
+        assert_eq!(instances.len(), 2);
+        assert_eq!(instances[0].events, vec![0, 3, 5]);
+
+        let resp = QueryResponse::Batch(vec![counts.clone(), MotifCounts::new()]);
+        let QueryResponse::Batch(tables) = decode_response(&encode_response(&resp)).unwrap() else {
+            panic!("shape")
+        };
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0], counts);
+        assert!(tables[1].is_empty());
+    }
+
+    #[test]
+    fn acks_and_stats_roundtrip() {
+        let ack = AppendAck {
+            total_events: 1234,
+            subscriptions: vec![(0, table(&[("01", 5)])), (3, MotifCounts::new())],
+        };
+        assert_eq!(decode_append_ack(&encode_append_ack(&ack)).unwrap(), ack);
+
+        let stats = ServerStats {
+            queries: 42,
+            appends: 9000,
+            graphs: vec![GraphStat {
+                name: "CollegeMsg".into(),
+                events: 59_835,
+                nodes: 1_899,
+                subscriptions: 2,
+            }],
+        };
+        assert_eq!(decode_stats(&encode_stats(&stats)).unwrap(), stats);
+    }
+
+    #[test]
+    fn decoders_reject_corruption() {
+        let mut w = WireWriter::new();
+        put_query(
+            &mut w,
+            &Query::Count {
+                cfg: EnumConfig::new(3, 3).with_timing(Timing::only_w(10)),
+                engine: EngineKind::sampling(8, 7),
+                threads: 2,
+            },
+        );
+        let payload = w.into_bytes();
+        for cut in 0..payload.len() {
+            let mut r = WireReader::new(&payload[..cut]);
+            assert!(
+                get_query(&mut r).and_then(|_| r.finish()).is_err(),
+                "query prefix {cut} accepted"
+            );
+        }
+        let mut padded = payload.clone();
+        padded.push(0);
+        let mut r = WireReader::new(&padded);
+        assert!(matches!(
+            get_query(&mut r).and_then(|_| r.finish()),
+            Err(WireError::TrailingBytes { .. })
+        ));
+
+        let resp = encode_response(&QueryResponse::Counts(table(&[("0110", 3)])));
+        for cut in 0..resp.len() {
+            assert!(decode_response(&resp[..cut]).is_err(), "response prefix {cut} accepted");
+        }
+        assert!(matches!(decode_response(&[99]), Err(WireError::Malformed(_))));
+
+        // A report naming an engine no engine reports cannot decode
+        // (the &'static str mapping is a closed set).
+        let mut w = WireWriter::new();
+        w.put_u8(RESP_TAG_REPORT);
+        w.put_str("definitely-not-an-engine");
+        assert!(matches!(decode_response(&w.into_bytes()), Err(WireError::Malformed(_))));
+    }
+}

@@ -52,6 +52,11 @@ pub fn count_motifs(graph: &TemporalGraph, cfg: &EnumConfig) -> MotifCounts {
 /// explicitly ask for parallelism get it regardless of graph size. Use
 /// [`EngineKind::Auto`](crate::engine::EngineKind) when you want the
 /// small-graph serial fallback heuristic instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "route counting through the Query API (`Query::Count` with an \
+            engine and thread budget) or `EngineKind::Parallel.count`"
+)]
 pub fn count_motifs_parallel(
     graph: &TemporalGraph,
     cfg: &EnumConfig,
@@ -235,11 +240,13 @@ mod tests {
         let g = b.build().unwrap();
         let cfg = EnumConfig::new(3, 3).with_timing(Timing::both(30, 60));
         let serial = count_motifs(&g, &cfg);
+        #[allow(deprecated)]
         let par = count_motifs_parallel(&g, &cfg, 4);
         assert_eq!(serial, par);
     }
 
     #[test]
+    #[allow(deprecated)]
     fn explicit_parallelism_is_honored_on_small_graphs() {
         // The old implementation silently went serial below 1024 events;
         // the work-stealing executor must still produce identical counts

@@ -29,6 +29,13 @@
 //!   counts eligible δ-window spectra without enumerating instances;
 //!   legacy entry points ([`enumerate`]), and spectrum analytics
 //!   ([`count`]);
+//! * a serializable **Query API** ([`engine::Query`] /
+//!   [`engine::QueryResponse`]) shared by the CLI verbs, the library,
+//!   and **`tnm serve`** — a resident counting daemon
+//!   ([`engine::MotifServer`] / [`engine::ServeClient`]) that keeps
+//!   loaded graphs and their window indexes warm across queries and
+//!   updates per-subscription motif counts **incrementally** under
+//!   live event appends ([`engine::IncrementalStream`]);
 //! * per-instance **validity checking** for Figure 1-style model
 //!   comparisons ([`validity`]);
 //! * **partial orders** and Song et al.'s **streaming event-pattern
@@ -172,13 +179,16 @@ pub mod prelude {
         pair_type_ratios, proportion_changes, ranking_changes, MotifCounts, PairGroupCounts,
     };
     pub use crate::engine::{
-        count_batch, enumerate_batch, BacktrackEngine, BatchPlan, BatchPlanner, CountEngine,
-        EngineCaps, EngineKind, EngineReport, Estimate, ParallelConfig, ParallelEngine,
-        SamplingEngine, ShardedEngine, WindowedEngine,
+        count_batch, enumerate_batch, AppendAck, BacktrackEngine, BatchPlan, BatchPlanner,
+        ConfigError, CountEngine, EngineCaps, EngineKind, EngineReport, Estimate,
+        IncrementalStream, MotifServer, ParallelConfig, ParallelEngine, Query, QueryError,
+        QueryResponse, SamplingEngine, ServeClient, ServeOptions, ServerStats, ShardedEngine,
+        WindowedEngine,
     };
+    #[allow(deprecated)]
+    pub use crate::enumerate::count_motifs_parallel;
     pub use crate::enumerate::{
-        count_motifs, count_motifs_parallel, count_signature, enumerate_instances, EnumConfig,
-        MotifInstance,
+        count_motifs, count_signature, enumerate_instances, EnumConfig, MotifInstance,
     };
     pub use crate::event_pair::{EventPairCounts, EventPairType, ALL_PAIR_TYPES};
     pub use crate::models::{EventOrdering, MotifModel};
@@ -189,7 +199,9 @@ pub mod prelude {
 pub use constraints::Timing;
 pub use count::MotifCounts;
 pub use engine::{CountEngine, EngineKind};
-pub use enumerate::{count_motifs, count_motifs_parallel, EnumConfig};
+#[allow(deprecated)]
+pub use enumerate::count_motifs_parallel;
+pub use enumerate::{count_motifs, EnumConfig};
 pub use event_pair::EventPairType;
 pub use models::MotifModel;
 pub use notation::MotifSignature;

@@ -1,99 +1,94 @@
-//! Streaming event-pattern matching — Song et al.'s [12] setting: find
-//! partially-ordered, labelled patterns over a live graph stream with a
-//! ΔW window, without indexing the whole history.
+//! Streaming motif counting with `tnm serve` — a resident counting
+//! service holding the graph in memory, answering [`Query`] requests,
+//! and keeping subscription counts live under event appends in
+//! O(new events) per batch instead of a recount.
+//!
+//! The daemon here runs in-process on a background thread (the same
+//! code path as the `tnm serve` CLI verb); the client talks to it over
+//! a real TCP socket with the framed wire protocol.
 //!
 //! Run with: `cargo run --release --example streaming_patterns`
 
-use temporal_motifs::motifs::partial_order::PartialOrder;
-use temporal_motifs::motifs::pattern::{matcher::StreamingMatcher, EventPattern, PatternEdge};
 use temporal_motifs::prelude::*;
 
 fn main() {
-    // A service mesh trace: frontends (label 0) call backends (label 1),
-    // which fan out to databases (label 2).
-    //   nodes 0-1: frontends, 2-3: backends, 4-5: databases.
-    let node_labels = vec![0u32, 0, 1, 1, 2, 2];
-    let graph = TemporalGraphBuilder::new()
-        .event_with_duration(0, 2, 10, 5) // frontend 0 -> backend 2
-        .event_with_duration(2, 4, 12, 30) // backend 2 -> db 4 (slow!)
-        .event_with_duration(2, 5, 14, 3) // backend 2 -> db 5
-        .event_with_duration(1, 3, 50, 2) // frontend 1 -> backend 3
-        .event_with_duration(3, 4, 52, 2) // backend 3 -> db 4
-        .event_with_duration(0, 2, 300, 4) // next request wave
-        .event_with_duration(2, 4, 309, 40)
-        .build()
-        .expect("valid trace");
+    // A synthetic message network, streamed in two halves: the history
+    // we load up front, and a live tail we append wave by wave.
+    let mut spec = DatasetSpec::by_name("CollegeMsg").expect("known dataset");
+    spec.num_events = 2000;
+    let graph = generate(&spec, 42);
+    let all = graph.events();
+    let (history, live_tail) = all.split_at(all.len() - 300);
 
-    // --- Pattern 1: "request fan-out" with partial ordering ------------
-    // Edges: e0 = frontend->backend, then e1 = backend->dbA and
-    // e2 = backend->dbB in EITHER order (partial order: e0 before both).
-    let mut edges = vec![
-        PatternEdge::new(0, 1), // frontend -> backend
-        PatternEdge::new(1, 2), // backend -> db A
-        PatternEdge::new(1, 3), // backend -> db B
-    ];
-    edges[0].src_label = Some(0);
-    edges[0].dst_label = Some(1);
-    edges[1].dst_label = Some(2);
-    edges[2].dst_label = Some(2);
-    let order = PartialOrder::from_constraints(3, &[(0, 1), (0, 2)]).expect("acyclic");
-    let fanout = EventPattern::new(edges, 4, order, 60).expect("valid pattern");
+    // Bind on a free port and run the accept loop on a background
+    // thread — exactly what `tnm serve` does on the current thread.
+    let server = MotifServer::bind("127.0.0.1:0").expect("bind").spawn();
+    println!("serving on {}", server.addr());
+
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+    let (events, nodes) = client.load_graph("college", history, 0).expect("load");
+    println!("loaded `college`: {events} events over {nodes} nodes");
+
+    // --- Ad-hoc queries against the resident graph ---------------------
+    // The same Query values the CLI `count` verb builds; the resident
+    // graph keeps its window index warm, so the second query pays no
+    // index rebuild.
+    let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(3000));
+    let query = Query::Report { cfg: cfg.clone(), engine: EngineKind::Auto, threads: 4 };
+    let QueryResponse::Report(report) = client.query("college", &query).expect("query") else {
+        panic!("report queries answer with reports")
+    };
     println!(
-        "fan-out pattern: {} edges, {} linear extensions, ΔW={}s",
-        fanout.len(),
-        fanout.order.count_linear_extensions(),
-        fanout.delta_w
+        "ad-hoc query: {} instances across {} motif types (engine {})",
+        report.counts.total(),
+        report.counts.num_signatures(),
+        report.engine
     );
 
-    let mut matcher = StreamingMatcher::new(fanout);
-    let mut found = 0;
-    for (i, e) in graph.events().iter().enumerate() {
-        for m in matcher.process(i as u32, e, Some(&node_labels)) {
-            found += 1;
-            println!(
-                "  match: frontend {} -> backend {} -> dbs {},{} in {}s",
-                m.bindings[0],
-                m.bindings[1],
-                m.bindings[2],
-                m.bindings[3],
-                m.t_last - m.t_first
-            );
-        }
-    }
-    // Only the first wave fans out to two databases; the pattern is
-    // symmetric in (dbA, dbB), so both embeddings of that wave match.
-    assert_eq!(found, 2, "one fan-out wave, two symmetric embeddings");
+    // --- A live subscription -------------------------------------------
+    // Subscriptions ride the stream-eligible fast path: counts advance
+    // incrementally from the ΔW tail alone on every append.
+    let (sub, initial) = client.subscribe("college", &cfg).expect("subscribe");
+    println!("subscription #{sub}: {} instances at load time", initial.total());
 
-    // --- Pattern 2: durations as edge labels (paper Section 4.2) -------
-    // Find frontend->backend->db chains where the db call is slow
-    // (duration > 20 s): a latency root-cause query.
-    let mut slow_edges = vec![PatternEdge::new(0, 1), PatternEdge::new(1, 2)];
-    slow_edges[0].src_label = Some(0);
-    slow_edges[1].dst_label = Some(2);
-    // Express "slow" by bounding the FAST case out: max_duration on the
-    // backend call keeps it snappy, and we post-filter the db duration.
-    slow_edges[0].max_duration = Some(10);
-    let chain = EventPattern::new(slow_edges, 3, PartialOrder::total(2), 60).expect("valid");
-    let mut matcher = StreamingMatcher::new(chain);
-    let mut slow = Vec::new();
-    for (i, e) in graph.events().iter().enumerate() {
-        for m in matcher.process(i as u32, e, Some(&node_labels)) {
-            let db_call = graph.event(m.events[1]);
-            if db_call.duration > 20 {
-                slow.push((m.bindings.clone(), db_call.duration));
-            }
-        }
+    // Stream the live tail in as uneven waves, as a collector would.
+    let mut live = initial;
+    for wave in live_tail.chunks(77) {
+        let ack = client.append_events("college", wave).expect("append");
+        let (_, counts) =
+            ack.subscriptions.into_iter().find(|(id, _)| *id == sub).expect("our subscription");
+        println!(
+            "  +{} events -> {} resident, live count {}",
+            wave.len(),
+            ack.total_events,
+            counts.total()
+        );
+        live = counts;
     }
-    println!("\nslow db chains:");
-    for (bindings, duration) in &slow {
-        println!("  {:?} with db call of {}s", bindings, duration);
-    }
-    assert_eq!(slow.len(), 2, "both slow db calls found");
 
-    // --- Bounded state ------------------------------------------------
+    // The incrementally-maintained counts are bit-identical to counting
+    // the full graph from scratch — the service's core guarantee.
+    let recount = EngineKind::Stream.count(&graph, &cfg, 1);
+    assert_eq!(live, recount, "incremental == from-scratch recount");
+    println!("live counts match a from-scratch recount: {} instances", live.total());
+
+    // Queries see the appended events too (the graph rebuilds lazily,
+    // subscriptions never do).
+    let query = Query::Count { cfg: cfg.clone(), engine: EngineKind::Windowed, threads: 4 };
+    let QueryResponse::Counts(counts) = client.query("college", &query).expect("query") else {
+        panic!("count queries answer with counts")
+    };
+    assert_eq!(counts, recount, "queries observe appends");
+
+    let stats = client.stats().expect("stats");
     println!(
-        "\nmatcher state after the stream: {} live partials, {} dropped",
-        matcher.live_partials(),
-        matcher.dropped_partials
+        "server stats: {} queries, {} appended events, {} graph(s) resident",
+        stats.queries,
+        stats.appends,
+        stats.graphs.len()
     );
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean exit");
+    println!("daemon shut down cleanly");
 }

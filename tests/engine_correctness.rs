@@ -151,6 +151,7 @@ fn engine_matches_brute_force() {
 
 /// Parallel counting is identical to serial counting.
 #[test]
+#[allow(deprecated)]
 fn parallel_equals_serial() {
     for_each_graph(2, 48, |_, graph| {
         let cfg = EnumConfig::new(3, 3).with_timing(Timing::both(10, 20));

@@ -1,0 +1,271 @@
+//! `tnm serve` integration suite: real client/server sessions over TCP
+//! sockets.
+//!
+//! Four contracts are pinned here:
+//!
+//! * **Query fidelity across the wire** — count / report / enumerate /
+//!   batch queries answered by the daemon are bit-identical to running
+//!   the same [`Query`] locally, across engine kinds (including the
+//!   sampler's f64 interval estimates, which travel as raw bits).
+//! * **Incremental appends** — after any sequence of AppendEvents
+//!   batches, every subscription's live counts are bit-identical to a
+//!   from-scratch recount of the full graph; queries observe the
+//!   appended events too.
+//! * **Robustness** — wire-level garbage (bad magic, oversized length
+//!   headers, truncation mid-frame) costs the offending connection
+//!   only; application-level errors (unknown graph, duplicate load,
+//!   ineligible subscription, regressing append) answer an error frame
+//!   and the connection stays usable. The daemon survives all of it.
+//! * **Isolation** — concurrent clients loading and querying distinct
+//!   graphs never observe each other's data.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use temporal_motifs::prelude::*;
+use tnm_graph::wire::{read_frame, write_frame, FRAME_MAGIC, MAX_FRAME_PAYLOAD, WIRE_VERSION};
+use tnm_motifs::engine::{ClientError, ServerHandle};
+
+/// The serve protocol's error-response frame kind (documented in the
+/// `tnm_motifs::engine` module docs alongside the request kinds).
+const KIND_RESP_ERR: u8 = 63;
+
+/// Seeded random event batch with duplicate timestamps, so appended
+/// chunks regularly share boundary timestamps with the resident log.
+fn random_events(seed: u64, nodes: u32, events: usize, horizon: i64) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut batch = Vec::with_capacity(events);
+    while batch.len() < events {
+        let u: u32 = rng.gen_range(0..nodes);
+        let v: u32 = rng.gen_range(0..nodes);
+        if u == v {
+            continue;
+        }
+        batch.push(Event::new(u, v, rng.gen_range(0i64..horizon)));
+    }
+    batch
+}
+
+fn spawn_server() -> (ServerHandle, SocketAddr) {
+    let server = MotifServer::bind("127.0.0.1:0").expect("bind").spawn();
+    let addr = server.addr();
+    (server, addr)
+}
+
+#[test]
+fn queries_round_trip_across_engine_kinds() {
+    let events = random_events(11, 40, 1200, 4000);
+    let graph = TemporalGraph::from_events(events.clone()).unwrap();
+    let (server, addr) = spawn_server();
+    let mut client = ServeClient::connect(addr).unwrap();
+    let (total, nodes) = client.load_graph("g", &events, 0).unwrap();
+    assert_eq!(total, graph.num_events() as u64);
+    assert_eq!(nodes, graph.num_nodes());
+
+    let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(300));
+    for engine in
+        [EngineKind::Backtrack, EngineKind::Windowed, EngineKind::Parallel, EngineKind::Stream]
+    {
+        let q = Query::Count { cfg: cfg.clone(), engine, threads: 2 };
+        let QueryResponse::Counts(counts) = client.query("g", &q).unwrap() else { panic!("shape") };
+        assert_eq!(counts, engine.count(&graph, &cfg, 2), "engine {engine}");
+    }
+
+    // The sampler's report survives the wire bit-identically: interval
+    // estimates are f64s shipped as raw bits.
+    let sampler = EngineKind::sampling(64, 7);
+    let q = Query::Report { cfg: cfg.clone(), engine: sampler, threads: 2 };
+    let QueryResponse::Report(served) = client.query("g", &q).unwrap() else { panic!("shape") };
+    let local = sampler.report(&graph, &cfg, 2);
+    assert!(!served.exact);
+    assert_eq!(served.samples, local.samples);
+    assert_eq!(served.counts, local.counts);
+    assert_eq!(served.total.point.to_bits(), local.total.point.to_bits());
+    assert_eq!(served.total.half_width.to_bits(), local.total.half_width.to_bits());
+
+    // Enumeration truncates at the limit but keeps counting the total.
+    let q =
+        Query::Enumerate { cfg: cfg.clone(), engine: EngineKind::Windowed, threads: 1, limit: 5 };
+    let QueryResponse::Instances { total, instances, truncated } = client.query("g", &q).unwrap()
+    else {
+        panic!("shape")
+    };
+    assert_eq!(total, EngineKind::Windowed.count(&graph, &cfg, 1).total());
+    assert!(instances.len() <= 5);
+    assert_eq!(truncated, total as usize > instances.len());
+
+    // Batches answer every config, bit-identical to solo runs.
+    let cfgs = vec![cfg.clone(), EnumConfig::new(2, 3).with_timing(Timing::only_w(100))];
+    let q = Query::Batch { cfgs: cfgs.clone(), engine: EngineKind::Auto, threads: 2 };
+    let QueryResponse::Batch(tables) = client.query("g", &q).unwrap() else { panic!("shape") };
+    assert_eq!(tables.len(), cfgs.len());
+    for (c, t) in cfgs.iter().zip(&tables) {
+        assert_eq!(*t, EngineKind::Auto.count(&graph, c, 2));
+    }
+
+    client.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn incremental_appends_match_recount_over_the_socket() {
+    let mut all = random_events(23, 30, 900, 3000);
+    all.sort_unstable();
+    let (base, tail) = all.split_at(500);
+    let (server, addr) = spawn_server();
+    let mut client = ServeClient::connect(addr).unwrap();
+    client.load_graph("live", base, 0).unwrap();
+
+    let cfgs = [
+        EnumConfig::new(3, 3).with_timing(Timing::only_w(250)),
+        EnumConfig::new(2, 2).with_timing(Timing::only_w(40)),
+        EnumConfig::for_signature(sig("010102")).with_timing(Timing::only_w(500)),
+    ];
+    let base_graph = TemporalGraph::from_events(base.to_vec()).unwrap();
+    let mut subs = Vec::new();
+    for cfg in &cfgs {
+        let (id, counts) = client.subscribe("live", cfg).unwrap();
+        assert_eq!(counts, EngineKind::Stream.count(&base_graph, cfg, 1), "initial counts");
+        subs.push(id);
+    }
+
+    // Odd batch sizes, including a single event and a run that shares
+    // its first timestamp with the resident log's tail.
+    let mut sent: Vec<Event> = base.to_vec();
+    for chunk in [&tail[..1], &tail[1..8], &tail[8..72], &tail[72..]] {
+        let ack = client.append_events("live", chunk).unwrap();
+        sent.extend_from_slice(chunk);
+        assert_eq!(ack.total_events, sent.len() as u64);
+        let full = TemporalGraph::from_events(sent.clone()).unwrap();
+        for (i, cfg) in cfgs.iter().enumerate() {
+            let (_, live) =
+                ack.subscriptions.iter().find(|(id, _)| *id == subs[i]).expect("sub in ack");
+            assert_eq!(
+                *live,
+                EngineKind::Stream.count(&full, cfg, 1),
+                "subscription {i} after {} events",
+                sent.len()
+            );
+        }
+    }
+
+    // Queries see the appended events too (the rebuilt graph).
+    let q = Query::Count { cfg: cfgs[0].clone(), engine: EngineKind::Windowed, threads: 1 };
+    let QueryResponse::Counts(counts) = client.query("live", &q).unwrap() else { panic!("shape") };
+    let full = TemporalGraph::from_events(sent).unwrap();
+    assert_eq!(counts, EngineKind::Windowed.count(&full, &cfgs[0], 1));
+
+    client.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn bad_peers_do_not_kill_the_daemon() {
+    let events = random_events(37, 20, 400, 1500);
+    let graph = TemporalGraph::from_events(events.clone()).unwrap();
+    let (server, addr) = spawn_server();
+    let mut good = ServeClient::connect(addr).unwrap();
+    good.load_graph("g", &events, 0).unwrap();
+
+    // Wire-level garbage: each gets an error frame (best effort) and
+    // its connection closed — never the daemon.
+    {
+        // Bad magic (11 bytes = exactly one frame header).
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"XXXXGARBAGE").unwrap();
+        assert!(read_frame(&mut s, MAX_FRAME_PAYLOAD).unwrap().is_some(), "error frame");
+        assert!(read_frame(&mut s, MAX_FRAME_PAYLOAD).unwrap().is_none(), "then EOF");
+    }
+    {
+        // Oversized length header: rejected before any allocation.
+        let mut s = TcpStream::connect(addr).unwrap();
+        let mut h = Vec::new();
+        h.extend_from_slice(&FRAME_MAGIC);
+        h.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        h.push(18);
+        h.extend_from_slice(&u32::MAX.to_le_bytes());
+        s.write_all(&h).unwrap();
+        assert!(read_frame(&mut s, MAX_FRAME_PAYLOAD).unwrap().is_some(), "error frame");
+        assert!(read_frame(&mut s, MAX_FRAME_PAYLOAD).unwrap().is_none(), "then EOF");
+    }
+    {
+        // Truncation mid-header: peer vanishes, daemon shrugs.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&FRAME_MAGIC[..2]).unwrap();
+        drop(s);
+    }
+    {
+        // A well-framed but unknown request kind is an *application*
+        // error: the error frame comes back and the connection stays
+        // open for the next frame.
+        let mut s = TcpStream::connect(addr).unwrap();
+        write_frame(&mut s, 77, &[]).unwrap();
+        let (kind, _) = read_frame(&mut s, MAX_FRAME_PAYLOAD).unwrap().expect("reply");
+        assert_eq!(kind, KIND_RESP_ERR);
+        write_frame(&mut s, 78, &[]).unwrap();
+        let (kind, _) = read_frame(&mut s, MAX_FRAME_PAYLOAD).unwrap().expect("still open");
+        assert_eq!(kind, KIND_RESP_ERR);
+    }
+
+    // Application-level errors on a healthy client: every one answers
+    // Server(_) and the same connection keeps working afterwards.
+    let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(200));
+    let q = Query::Count { cfg: cfg.clone(), engine: EngineKind::Windowed, threads: 1 };
+    assert!(matches!(good.query("missing", &q), Err(ClientError::Server(_))), "unknown graph");
+    assert!(
+        matches!(good.load_graph("g", &events, 0), Err(ClientError::Server(_))),
+        "duplicate load"
+    );
+    let dc_cfg = EnumConfig::new(3, 3).with_timing(Timing::both(50, 200));
+    assert!(
+        matches!(good.subscribe("g", &dc_cfg), Err(ClientError::Server(_))),
+        "ΔC configs are not stream-eligible"
+    );
+    let regressing = [Event::new(0, 1, i64::MIN / 2)];
+    assert!(
+        matches!(good.append_events("g", &regressing), Err(ClientError::Server(_))),
+        "time-regressing append"
+    );
+
+    let QueryResponse::Counts(counts) = good.query("g", &q).unwrap() else { panic!("shape") };
+    assert_eq!(counts, EngineKind::Windowed.count(&graph, &cfg, 1), "connection still usable");
+
+    // And a brand-new client connects fine after all of the above.
+    let mut fresh = ServeClient::connect(addr).unwrap();
+    assert_eq!(fresh.stats().unwrap().graphs.len(), 1);
+    fresh.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn concurrent_clients_are_isolated() {
+    let (server, addr) = spawn_server();
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        handles.push(std::thread::spawn(move || {
+            let events = random_events(100 + t, 25, 600, 2000);
+            let graph = TemporalGraph::from_events(events.clone()).unwrap();
+            let mut client = ServeClient::connect(addr).unwrap();
+            let name = format!("client-{t}");
+            client.load_graph(&name, &events, 0).unwrap();
+            let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(150 + t as i64));
+            for _ in 0..3 {
+                let q = Query::Count { cfg: cfg.clone(), engine: EngineKind::Windowed, threads: 2 };
+                let QueryResponse::Counts(counts) = client.query(&name, &q).unwrap() else {
+                    panic!("shape")
+                };
+                assert_eq!(counts, EngineKind::Windowed.count(&graph, &cfg, 2), "client {t}");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut client = ServeClient::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.graphs.len(), 4, "all four graphs resident");
+    assert!(stats.queries >= 12);
+    client.shutdown().unwrap();
+    server.join().unwrap();
+}
