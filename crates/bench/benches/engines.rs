@@ -12,7 +12,9 @@
 //! count-without-enumerating fast path against the windowed walker,
 //! the serve subsystem's incremental append path against a
 //! from-scratch recount, window-index cache reuse, signature-targeted
-//! counting, streaming matching, and dataset generation.
+//! counting, streaming matching, the observability tax (`obs_overhead`
+//! pins the metrics-disabled hot path against the BENCH history), and
+//! dataset generation.
 //!
 //! The harness prints a machine-readable JSON summary on exit (one
 //! object per benchmark; set `TNM_BENCH_JSON=path` to also write it to a
@@ -20,6 +22,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Duration;
 use tnm_datasets::{generate, DatasetSpec};
 use tnm_graph::TemporalGraph;
 use tnm_motifs::engine::{
@@ -302,9 +305,17 @@ fn bench_stream_engine(c: &mut Criterion) {
 /// Coordinator/worker counting across process boundaries: every
 /// iteration plans shards, spills them, spawns real `tnm worker`
 /// processes, and merges their framed replies — the full wire round
-/// trip, tracked against the in-process windowed baseline. This is the
-/// cost of leaving the address space: process spawn, shard
-/// serialization, and framed I/O, amortized over the shard walks.
+/// trip, tracked against the in-process windowed baseline.
+///
+/// `workers/N` times the whole round trip. That number alone is
+/// ambiguous: a regression could hide in process spawn + shard spill
+/// (one-time setup) or in the shard walks themselves (the steady-state
+/// cost that scales with data). So each worker count also records a
+/// span-based decomposition from instrumented runs — `setup/N` sums the
+/// coordinator's `distributed.{plan,spill,spawn}` spans, `steady/N`
+/// the `distributed.{walk,merge}` spans (worker-reported shard wall
+/// times plus coordinator merges). Distinct ids mean `bench_check`
+/// gates the two regimes independently.
 fn bench_distributed_engine(c: &mut Criterion) {
     assert!(
         DistributedEngine::worker_binary().is_some(),
@@ -318,10 +329,42 @@ fn bench_distributed_engine(c: &mut Criterion) {
     group.bench_function("windowed_baseline", |b| {
         b.iter(|| black_box(WindowedEngine.count(&g, &cfg)))
     });
+    // One instrumented run → (plan+spill+spawn, walk+merge) span sums.
+    let phase_split = |engine: &DistributedEngine| -> (Duration, Duration) {
+        tnm_obs::set_enabled(true);
+        tnm_obs::drain_spans();
+        black_box(engine.count(&g, &cfg));
+        let spans = tnm_obs::drain_spans();
+        tnm_obs::set_enabled(false);
+        let sum = |names: &[&str]| {
+            spans
+                .iter()
+                .filter(|s| names.contains(&s.name.as_str()))
+                .map(|s| Duration::from_nanos(s.dur_ns))
+                .sum::<Duration>()
+        };
+        (
+            sum(&["distributed.plan", "distributed.spill", "distributed.spawn"]),
+            sum(&["distributed.walk", "distributed.merge"]),
+        )
+    };
     for workers in [2usize, 4] {
-        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
-            let engine = DistributedEngine::new(w).with_shard_events(2_000);
+        let engine = DistributedEngine::new(workers).with_shard_events(2_000);
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, _| {
             b.iter(|| black_box(engine.count(&g, &cfg)))
+        });
+        // A bounded number of instrumented runs feeds both phase ids
+        // (cycled through `iter_custom`), so a sub-threshold phase can't
+        // trigger the fast-body boost into dozens of full round trips.
+        let runs: Vec<(Duration, Duration)> = (0..4).map(|_| phase_split(&engine)).collect();
+        let steady_runs = runs.clone();
+        group.bench_with_input(BenchmarkId::new("setup", workers), &workers, |b, _| {
+            let mut cycle = runs.iter().cycle();
+            b.iter_custom(|_iters| cycle.next().expect("non-empty").0)
+        });
+        group.bench_with_input(BenchmarkId::new("steady", workers), &workers, |b, _| {
+            let mut cycle = steady_runs.iter().cycle();
+            b.iter_custom(|_iters| cycle.next().expect("non-empty").1)
         });
     }
     group.finish();
@@ -428,6 +471,45 @@ fn bench_streaming_matcher(c: &mut Criterion) {
     group.finish();
 }
 
+/// The observability tax. `metrics_off` is the pinned id: with the
+/// registry disabled every instrumentation site must cost one relaxed
+/// atomic load and a branch, so this id regressing against the BENCH
+/// history means overhead leaked into the disabled hot path.
+/// `metrics_on` tracks the enabled-path cost (interned handles, atomic
+/// adds, span clock reads) on the same workload — expected to sit
+/// within a few percent of `metrics_off`, but not gated against it.
+fn bench_obs_overhead(c: &mut Criterion) {
+    // Deterministic LCG graph: 24 nodes, 20k events, ΔW=40 — the same
+    // hub-dense shape as `parallel_scaling`, instrumentation-heavy
+    // because candidate pruning and cache checks fire per event.
+    let mut b = tnm_graph::TemporalGraphBuilder::new();
+    let mut x = 0xD1B54A32D192ED03u64;
+    for t in 0..20_000i64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let u = ((x >> 33) % 24) as u32;
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut v = ((x >> 33) % 24) as u32;
+        if v == u {
+            v = (v + 1) % 24;
+        }
+        b.push(tnm_graph::Event::new(u, v, t));
+    }
+    let g = b.build().unwrap();
+    let cfg = EnumConfig::new(3, 3).exact_nodes(3).with_timing(Timing::only_w(40));
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.num_events() as u64));
+    tnm_obs::set_enabled(false);
+    group.bench_function("metrics_off", |b| b.iter(|| black_box(WindowedEngine.count(&g, &cfg))));
+    tnm_obs::set_enabled(true);
+    tnm_obs::global().reset();
+    group.bench_function("metrics_on", |b| b.iter(|| black_box(WindowedEngine.count(&g, &cfg))));
+    tnm_obs::set_enabled(false);
+    tnm_obs::global().reset();
+    tnm_obs::drain_spans();
+    group.finish();
+}
+
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("dataset_generation");
     group.sample_size(10);
@@ -457,6 +539,7 @@ criterion_group!(
     bench_index_cache,
     bench_signature_targeting,
     bench_streaming_matcher,
+    bench_obs_overhead,
     bench_generation
 );
 criterion_main!(benches);

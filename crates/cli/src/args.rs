@@ -54,6 +54,8 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "all-3e-motifs",
     "shutdown",
     "stats",
+    "metrics",
+    "explain",
     "help",
 ];
 

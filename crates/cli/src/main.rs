@@ -41,8 +41,20 @@ Utility commands:
         [--consecutive] [--induced] [--constrained] [--top K]
         [--engine E] [--threads N] [--samples K]
         [--shard-events N] [--max-resident-shards N]
+        [--trace FILE] [--explain]
                                          Count motifs under a custom model
-                                         (sampling engine prints 95% CIs)
+                                         (sampling engine prints 95% CIs).
+                                         --trace FILE records hierarchical
+                                         timed spans for the run and writes
+                                         them as Chrome-trace JSON (open in
+                                         chrome://tracing or Perfetto); a
+                                         distributed run decomposes into
+                                         plan/spill/spawn/walk/merge phases.
+                                         --explain prints the auto-select
+                                         decision with its measured inputs
+                                         (event count, expected window
+                                         events, stream eligibility) before
+                                         counting.
   count-batch --dataset NAME (--spec FILE | --all-3e-motifs [--dw Y])
         [--engine E] [--threads N] [--top K] ...
                                          Count many motif configurations in
@@ -73,7 +85,7 @@ Service commands:
                                          live appends. Default 127.0.0.1:7878;
                                          --port 0 picks a free port. --threads
                                          caps any single request's budget.
-  client [--addr H:P] (--stats | --shutdown |
+  client [--addr H:P] (--stats | --metrics | --shutdown |
          --dataset NAME count-flags [--name G]
          [--hold-out K] [--append-batch B])
                                          Scripted client for tnm serve. With a
@@ -87,9 +99,12 @@ Service commands:
                                          appends of B events (default 512),
                                          and prints the final live counts —
                                          identical to counting the full graph.
-                                         --stats / --shutdown talk to a
-                                         running daemon without loading
-                                         anything.
+                                         --stats / --metrics / --shutdown
+                                         talk to a running daemon without
+                                         loading anything; --metrics prints
+                                         the server's serve.* counters and
+                                         latency histograms as Prometheus
+                                         text.
 
 Flags:
   --scale F     Scale dataset event budgets by F (default 1.0)
@@ -490,6 +505,13 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         // the crash-rescheduling tests' fault-injection knob.
         "worker" => {
             args.ensure_known(&[])?;
+            // The coordinator propagates its obs flag via TNM_OBS=1 so
+            // worker-side walks record the same metrics; the snapshots
+            // travel back in the reply frames and merge on the
+            // coordinator.
+            if std::env::var("TNM_OBS").is_ok_and(|v| v == "1") {
+                tnm_obs::set_enabled(true);
+            }
             let exit_after =
                 std::env::var("TNM_WORKER_EXIT_AFTER").ok().and_then(|v| v.parse::<usize>().ok());
             let stdin = std::io::stdin();
@@ -538,7 +560,18 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "count" => {
             args.ensure_known(&allowed_flags(
                 &common,
-                &["events", "nodes", "dc", "dw", "consecutive", "induced", "constrained", "top"],
+                &[
+                    "events",
+                    "nodes",
+                    "dc",
+                    "dw",
+                    "consecutive",
+                    "induced",
+                    "constrained",
+                    "top",
+                    "trace",
+                    "explain",
+                ],
             ))?;
             let corpus = corpus_from(args)?;
             let entry = corpus.entries.first().ok_or("count requires --dataset NAME")?;
@@ -546,6 +579,19 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             let rc = run_config_from(args)?;
             let top: usize = args.get_parsed("top", 20)?;
             let timing = cfg.timing;
+            if args.has("explain") {
+                println!(
+                    "{}",
+                    tnm_motifs::engine::explain_auto_select(&entry.graph, &cfg, rc.threads)
+                );
+            }
+            let trace = args.get("trace");
+            if trace.is_some() {
+                // Collect spans for exactly this run: flip the flag on
+                // and clear anything a previous phase left behind.
+                tnm_obs::set_enabled(true);
+                tnm_obs::drain_spans();
+            }
             // One validation-and-dispatch path for every front end: the
             // same Query the serve daemon answers over the wire.
             let query = Query::Report { cfg, engine: rc.engine, threads: rc.threads };
@@ -553,6 +599,13 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 unreachable!("Report queries answer with Report responses")
             };
             print_report(&entry.spec.name, &report, timing, top);
+            if let Some(path) = trace {
+                let spans = tnm_obs::drain_spans();
+                std::fs::write(path, tnm_obs::chrome_trace(&spans))
+                    .map_err(|e| format!("cannot write trace file `{path}`: {e}"))?;
+                tnm_obs::set_enabled(false);
+                println!("wrote {} span(s) to {path} (Chrome-trace JSON)", spans.len());
+            }
         }
         "count-batch" => {
             args.ensure_known(&allowed_flags(&common, &["spec", "all-3e-motifs", "dw", "top"]))?;
@@ -618,6 +671,7 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                     "addr",
                     "name",
                     "stats",
+                    "metrics",
                     "shutdown",
                     "events",
                     "nodes",
@@ -637,6 +691,10 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             if args.has("shutdown") {
                 client.shutdown()?;
                 println!("tnm client: asked {addr} to shut down");
+                return Ok(());
+            }
+            if args.has("metrics") {
+                print!("{}", client.metrics()?.to_prometheus());
                 return Ok(());
             }
             if args.has("stats") {

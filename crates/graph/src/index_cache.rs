@@ -117,18 +117,29 @@ impl WindowIndexCache {
         {
             let mut entries = self.entries.lock().expect("index cache poisoned");
             if let Some(e) = entries.iter_mut().find(|e| e.key == key) {
-                if e.index.matches(graph) {
+                let verify_start = tnm_obs::enabled().then(std::time::Instant::now);
+                let verified = e.index.matches(graph);
+                if let Some(t0) = verify_start {
+                    tnm_obs::histogram_record_ns(
+                        "cache.index.verify_ns",
+                        t0.elapsed().as_nanos() as u64,
+                    );
+                }
+                if verified {
                     e.last_used = stamp;
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    tnm_obs::counter_add("cache.index.hits", 1);
                     return Arc::clone(&e.index);
                 }
                 // Recycled buffer address: the entry describes a dead
                 // graph. Drop it; the rebuild below replaces it.
                 self.rejected.fetch_add(1, Ordering::Relaxed);
+                tnm_obs::counter_add("cache.index.rejected", 1);
                 entries.retain(|e| e.key != key);
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        tnm_obs::counter_add("cache.index.misses", 1);
         let built = Arc::new(WindowIndex::build(graph));
         let mut entries = self.entries.lock().expect("index cache poisoned");
         match entries.iter_mut().find(|e| e.key == key) {

@@ -336,6 +336,7 @@ impl<'g> ShardStore<'g> {
             let file = std::fs::File::create(shard_path(dir, spec.id))?;
             crate::io::write_events_raw(&parent.events()[spec.range.clone()], file)?;
         }
+        tnm_obs::counter_add("shard.spills", plan.len() as u64);
         Ok(Self::new(
             parent,
             plan,
@@ -377,6 +378,11 @@ impl<'g> ShardStore<'g> {
 
     /// The largest value [`ShardStore::resident_events`] has reached —
     /// the store's observed memory high-water mark, in events.
+    #[deprecated(
+        since = "0.1.0",
+        note = "the canonical reading is the `shard.resident_events` gauge peak in the \
+                obs metrics registry; this per-store field is kept as a thin read"
+    )]
     pub fn peak_resident_events(&self) -> usize {
         self.peak_resident_events
     }
@@ -408,6 +414,7 @@ impl<'g> ShardStore<'g> {
                 if let Some(shard) = self.resident[evicted].take() {
                     self.resident_events -= shard.graph().num_events();
                     self.evictions += 1;
+                    tnm_obs::counter_add("shard.evictions", 1);
                 }
             }
         }
@@ -433,6 +440,8 @@ impl<'g> ShardStore<'g> {
         self.loads += 1;
         self.resident_events += shard.graph().num_events();
         self.peak_resident_events = self.peak_resident_events.max(self.resident_events);
+        tnm_obs::counter_add("shard.loads", 1);
+        tnm_obs::gauge_set("shard.resident_events", self.resident_events as u64);
         self.lru.push_back(id);
         self.resident[id] = Some(shard);
         Ok(self.resident[id].as_ref().expect("just inserted"))
@@ -553,6 +562,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the thin per-store peak read
     fn bounded_store_evicts_lru() {
         let g = tied_graph();
         let plan = plan_shards(&g, Some(2), ShardGoal::EventsPerShard(8));
@@ -576,6 +586,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the thin per-store peak read
     fn spill_store_roundtrips_shards() {
         let mut b = TemporalGraphBuilder::new();
         for i in 0..30u32 {

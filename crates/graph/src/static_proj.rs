@@ -266,8 +266,17 @@ impl StaticProjectionCache {
             })
         };
         if let Some(proj) = candidate {
-            if proj.matches(graph) {
+            let verify_start = tnm_obs::enabled().then(std::time::Instant::now);
+            let verified = proj.matches(graph);
+            if let Some(t0) = verify_start {
+                tnm_obs::histogram_record_ns(
+                    "cache.proj.verify_ns",
+                    t0.elapsed().as_nanos() as u64,
+                );
+            }
+            if verified {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                tnm_obs::counter_add("cache.proj.hits", 1);
                 return proj;
             }
             // Recycled buffer address: the entry describes a dead
@@ -275,10 +284,12 @@ impl StaticProjectionCache {
             // thread may already have replaced it with a fresh, correct
             // one); the rebuild below replaces it.
             self.rejected.fetch_add(1, Ordering::Relaxed);
+            tnm_obs::counter_add("cache.proj.rejected", 1);
             let mut entries = self.entries.lock().expect("projection cache poisoned");
             entries.retain(|e| e.key != key || !Arc::ptr_eq(&e.proj, &proj));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        tnm_obs::counter_add("cache.proj.misses", 1);
         let built = Arc::new(StaticProjection::from_graph(graph));
         let mut entries = self.entries.lock().expect("projection cache poisoned");
         match entries.iter_mut().find(|e| e.key == key) {

@@ -455,6 +455,85 @@ pub fn decode_events(buf: &[u8]) -> Result<Vec<Event>, WireError> {
     Ok(events)
 }
 
+/// Appends a [`tnm_obs::Snapshot`] to a payload: three `u32`-counted
+/// sections (counters, gauges, histograms), entries name-ascending —
+/// snapshots iterate sorted maps, so the encoding is deterministic.
+/// Both wire protocols reuse this: worker replies carry per-shard
+/// metrics back to the distributed coordinator, and the serve
+/// protocol's Metrics response ships the daemon's registry.
+pub fn put_obs_snapshot(w: &mut WireWriter, snap: &tnm_obs::Snapshot) {
+    w.put_u32(snap.counters.len() as u32);
+    for (name, v) in &snap.counters {
+        w.put_str(name);
+        w.put_u64(*v);
+    }
+    w.put_u32(snap.gauges.len() as u32);
+    for (name, g) in &snap.gauges {
+        w.put_str(name);
+        w.put_u64(g.value);
+        w.put_u64(g.peak);
+    }
+    w.put_u32(snap.histograms.len() as u32);
+    for (name, h) in &snap.histograms {
+        w.put_str(name);
+        w.put_u64(h.count);
+        w.put_u64(h.sum);
+        w.put_u32(h.buckets.len() as u32);
+        for &(i, n) in &h.buckets {
+            w.put_u8(i);
+            w.put_u64(n);
+        }
+    }
+}
+
+/// Reads a snapshot written by [`put_obs_snapshot`]. Maps are built
+/// incrementally (a corrupt count header runs out of input, never
+/// pre-allocates), histogram bucket indices must be strictly ascending
+/// and within [`tnm_obs::HISTOGRAM_BUCKETS`], and duplicate names are
+/// rejected — the canonical form is the only decodable one.
+pub fn get_obs_snapshot(r: &mut WireReader<'_>) -> Result<tnm_obs::Snapshot, WireError> {
+    let mut snap = tnm_obs::Snapshot::default();
+    for _ in 0..r.u32()? {
+        let name = r.str()?.to_string();
+        let v = r.u64()?;
+        if snap.counters.insert(name, v).is_some() {
+            return Err(WireError::Malformed("duplicate counter name".into()));
+        }
+    }
+    for _ in 0..r.u32()? {
+        let name = r.str()?.to_string();
+        let g = tnm_obs::GaugeSnapshot { value: r.u64()?, peak: r.u64()? };
+        if snap.gauges.insert(name, g).is_some() {
+            return Err(WireError::Malformed("duplicate gauge name".into()));
+        }
+    }
+    for _ in 0..r.u32()? {
+        let name = r.str()?.to_string();
+        let count = r.u64()?;
+        let sum = r.u64()?;
+        let num_buckets = r.u32()?;
+        let mut buckets = Vec::new();
+        let mut last: Option<u8> = None;
+        for _ in 0..num_buckets {
+            let i = r.u8()?;
+            let n = r.u64()?;
+            if i as usize >= tnm_obs::HISTOGRAM_BUCKETS {
+                return Err(WireError::Malformed(format!("histogram bucket index {i}")));
+            }
+            if last.is_some_and(|p| p >= i) {
+                return Err(WireError::Malformed("histogram buckets not ascending".into()));
+            }
+            last = Some(i);
+            buckets.push((i, n));
+        }
+        let h = tnm_obs::HistogramSnapshot { count, sum, buckets };
+        if snap.histograms.insert(name, h).is_some() {
+            return Err(WireError::Malformed("duplicate histogram name".into()));
+        }
+    }
+    Ok(snap)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -603,6 +682,83 @@ mod tests {
         let mut bomb = block;
         bomb[6..14].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(matches!(decode_events(&bomb), Err(WireError::Truncated { .. })));
+    }
+
+    fn sample_snapshot() -> tnm_obs::Snapshot {
+        let r = tnm_obs::Registry::new();
+        r.counter("engine.events_scanned").add(41);
+        r.counter("shard.loads").add(3);
+        r.gauge("shard.resident_events").set(512);
+        let h = r.histogram("distributed.shard_wall_ns");
+        h.record(0);
+        h.record(900);
+        h.record(u64::MAX);
+        r.snapshot()
+    }
+
+    #[test]
+    fn obs_snapshot_roundtrips_exactly() {
+        let snap = sample_snapshot();
+        let mut w = WireWriter::new();
+        put_obs_snapshot(&mut w, &snap);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let decoded = get_obs_snapshot(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(decoded, snap);
+        // Deterministic: re-encoding the decoded snapshot is bit-identical.
+        let mut w2 = WireWriter::new();
+        put_obs_snapshot(&mut w2, &decoded);
+        assert_eq!(w2.into_bytes(), bytes);
+        // Empty snapshots work too.
+        let mut w = WireWriter::new();
+        put_obs_snapshot(&mut w, &tnm_obs::Snapshot::default());
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(get_obs_snapshot(&mut r).unwrap().is_empty());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn obs_snapshot_rejects_corruption() {
+        let mut w = WireWriter::new();
+        put_obs_snapshot(&mut w, &sample_snapshot());
+        let bytes = w.into_bytes();
+        // Truncation at every prefix fails loudly (never panics, never
+        // silently succeeds on a strict prefix).
+        for cut in 0..bytes.len() {
+            let mut r = WireReader::new(&bytes[..cut]);
+            let result = get_obs_snapshot(&mut r).and_then(|_| r.finish());
+            assert!(result.is_err(), "prefix of {cut} bytes must not decode");
+        }
+        // A count header claiming entries past the input must not
+        // pre-allocate or succeed.
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX);
+        let bomb = w.into_bytes();
+        let mut r = WireReader::new(&bomb);
+        assert!(matches!(get_obs_snapshot(&mut r), Err(WireError::Truncated { .. })));
+        // Out-of-range and non-ascending bucket indices are malformed.
+        let mut w = WireWriter::new();
+        let mut bad = tnm_obs::Snapshot::default();
+        bad.histograms.insert(
+            "h".into(),
+            tnm_obs::HistogramSnapshot { count: 1, sum: 1, buckets: vec![(65, 1)] },
+        );
+        put_obs_snapshot(&mut w, &bad);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(get_obs_snapshot(&mut r), Err(WireError::Malformed(_))));
+        let mut w = WireWriter::new();
+        let mut bad = tnm_obs::Snapshot::default();
+        bad.histograms.insert(
+            "h".into(),
+            tnm_obs::HistogramSnapshot { count: 2, sum: 2, buckets: vec![(5, 1), (5, 1)] },
+        );
+        put_obs_snapshot(&mut w, &bad);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(get_obs_snapshot(&mut r), Err(WireError::Malformed(_))));
     }
 
     #[test]

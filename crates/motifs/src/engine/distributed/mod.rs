@@ -116,8 +116,18 @@ pub struct DistributedRunStats {
     /// in-process: degenerate single-shard plan or no worker binary).
     pub workers_spawned: usize,
     /// Workers that died (or failed to spawn) before the queue drained.
+    #[deprecated(
+        since = "0.1.0",
+        note = "the canonical reading is the `distributed.workers_lost` counter in the obs \
+                metrics registry; this field is kept as a thin read"
+    )]
     pub workers_lost: usize,
     /// Shard jobs requeued after their worker was lost.
+    #[deprecated(
+        since = "0.1.0",
+        note = "the canonical reading is the `distributed.jobs_rescheduled` counter in the obs \
+                metrics registry; this field is kept as a thin read"
+    )]
     pub jobs_rescheduled: usize,
 }
 
@@ -236,8 +246,14 @@ impl DistributedEngine {
         graph: &TemporalGraph,
         cfg: &EnumConfig,
     ) -> (MotifCounts, DistributedRunStats) {
-        let plan = self.plan(graph, cfg);
+        let plan = {
+            let _span = tnm_obs::span!("distributed.plan");
+            self.plan(graph, cfg)
+        };
         let shards = plan.len();
+        // Thin compatibility fields; the canonical readings are the
+        // `distributed.*` counters in the obs registry.
+        #[allow(deprecated)]
         let local_stats = DistributedRunStats {
             shards: shards.max(1),
             workers_spawned: 0,
@@ -268,8 +284,11 @@ impl DistributedEngine {
         };
         // Spill every shard up front; the store's temp dir lives until
         // the end of the run and the files are the workers' inputs.
-        let store = ShardStore::spill(graph, plan, 1)
-            .expect("distributed engine: spilling shards to disk failed");
+        let store = {
+            let _span = tnm_obs::span!("distributed.spill", shards = shards);
+            ShardStore::spill(graph, plan, 1)
+                .expect("distributed engine: spilling shards to disk failed")
+        };
         let plan = store.plan();
         let jobs: VecDeque<QueuedJob> = plan
             .shards
@@ -313,11 +332,15 @@ impl DistributedEngine {
                 let projection = projection.as_deref();
                 let fault = self.config.fault_after.filter(|&(idx, _)| idx == w);
                 scope.spawn(move || {
-                    let mut child = match spawn_worker(bin, fault.map(|(_, jobs)| jobs)) {
-                        Ok(c) => c,
-                        Err(_) => {
-                            lost.fetch_add(1, Ordering::Relaxed);
-                            return;
+                    let mut child = {
+                        let _span = tnm_obs::span!("distributed.spawn", worker = w);
+                        match spawn_worker(bin, fault.map(|(_, jobs)| jobs)) {
+                            Ok(c) => c,
+                            Err(_) => {
+                                lost.fetch_add(1, Ordering::Relaxed);
+                                tnm_obs::counter_add("distributed.workers_lost", 1);
+                                return;
+                            }
                         }
                     };
                     spawned.fetch_add(1, Ordering::Relaxed);
@@ -336,7 +359,26 @@ impl DistributedEngine {
                             continue;
                         };
                         match dispatch(&mut stdin, &mut stdout, &queued.job) {
-                            Ok(reply) => {
+                            Ok((reply, metrics)) => {
+                                let shard_id = reply.shard_id();
+                                if tnm_obs::enabled() {
+                                    // Fold the worker's per-job metrics
+                                    // into the coordinator's registry
+                                    // and re-emit its wall time as a
+                                    // synthetic walk span, so one trace
+                                    // shows the whole run.
+                                    tnm_obs::global().apply(&metrics.obs);
+                                    tnm_obs::histogram_record_ns(
+                                        "distributed.shard_wall_ns",
+                                        metrics.wall_ns,
+                                    );
+                                    tnm_obs::record_span(
+                                        "distributed.walk",
+                                        metrics.wall_ns,
+                                        &[("shard", shard_id.to_string())],
+                                    );
+                                }
+                                let _merge = tnm_obs::span!("distributed.merge", shard = shard_id);
                                 apply_reply(projection, reply, merged);
                                 pending.fetch_sub(1, Ordering::Release);
                             }
@@ -352,6 +394,8 @@ impl DistributedEngine {
                                 queue.lock().expect("job queue poisoned").push_back(queued);
                                 lost.fetch_add(1, Ordering::Relaxed);
                                 rescheduled.fetch_add(1, Ordering::Relaxed);
+                                tnm_obs::counter_add("distributed.workers_lost", 1);
+                                tnm_obs::counter_add("distributed.jobs_rescheduled", 1);
                                 let _ = child.kill();
                                 let _ = child.wait();
                                 return;
@@ -387,6 +431,9 @@ impl DistributedEngine {
                 leftovers.join("; ")
             );
         }
+        // Thin compatibility fields; the canonical readings are the
+        // `distributed.*` counters in the obs registry.
+        #[allow(deprecated)]
         let stats = DistributedRunStats {
             shards,
             workers_spawned: spawned.load(Ordering::Relaxed),
@@ -413,6 +460,11 @@ fn spawn_worker(bin: &PathBuf, exit_after: Option<usize>) -> std::io::Result<Chi
     if let Some(jobs) = exit_after {
         cmd.env("TNM_WORKER_EXIT_AFTER", jobs.to_string());
     }
+    if tnm_obs::enabled() {
+        // Workers inherit the coordinator's observability switch and
+        // ship their per-job metrics back in the reply frames.
+        cmd.env("TNM_OBS", "1");
+    }
     cmd.spawn()
 }
 
@@ -423,11 +475,11 @@ fn dispatch(
     stdin: &mut std::process::ChildStdin,
     stdout: &mut BufReader<std::process::ChildStdout>,
     job: &WorkerJob,
-) -> Result<WorkerReply, WireError> {
+) -> Result<(WorkerReply, protocol::ReplyMetrics), WireError> {
     wire::write_frame(&mut *stdin, KIND_JOB, &protocol::encode_job(job))?;
     stdin.flush()?;
     match protocol::read_reply(&mut *stdout, wire::MAX_FRAME_PAYLOAD)? {
-        Some(reply) => {
+        Some((reply, metrics)) => {
             if reply.shard_id() != job.shard_id {
                 return Err(WireError::Malformed(format!(
                     "reply for shard {} to a job for shard {}",
@@ -449,7 +501,7 @@ fn dispatch(
                     job.shard_id, job.want_induced
                 )));
             }
-            Ok(reply)
+            Ok((reply, metrics))
         }
         None => Err(WireError::Truncated { needed: 1, available: 0 }),
     }

@@ -130,6 +130,20 @@ impl WorkerReply {
     }
 }
 
+/// Worker-side execution report riding on every reply: the job's wall
+/// time (always measured — one clock read per shard) plus the worker's
+/// obs metrics snapshot for that job (empty unless the worker runs with
+/// observability enabled, i.e. was spawned with `TNM_OBS=1`). Encoded
+/// after the reply body on the [`KIND_COUNTS`] frame and on the *last*
+/// [`KIND_INDUCED`] frame of a chunk sequence.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct ReplyMetrics {
+    /// Wall-clock nanoseconds the worker spent serving the job.
+    pub wall_ns: u64,
+    /// The worker's per-job metrics delta.
+    pub obs: tnm_obs::Snapshot,
+}
+
 pub(crate) fn put_signature(w: &mut WireWriter, sig: &MotifSignature) {
     let pairs = sig.pairs();
     w.put_u8(pairs.len() as u8);
@@ -236,14 +250,22 @@ pub(crate) fn decode_job(payload: &[u8]) -> Result<WorkerJob, WireError> {
 /// byte-identical regardless of hash-map iteration order; induced
 /// replies are split into [`INDUCED_GROUP_BATCH`]-sized frames with the
 /// final one marked `last`, so no shard can produce a frame over the
-/// payload ceiling.
-pub(crate) fn encode_reply(reply: &WorkerReply) -> Vec<(u8, Vec<u8>)> {
-    encode_reply_batched(reply, INDUCED_GROUP_BATCH)
+/// payload ceiling. `metrics` rides after the body of the final frame.
+pub(crate) fn encode_reply(reply: &WorkerReply, metrics: &ReplyMetrics) -> Vec<(u8, Vec<u8>)> {
+    encode_reply_batched(reply, metrics, INDUCED_GROUP_BATCH)
 }
 
 /// [`encode_reply`] with an explicit batch size (unit tests exercise
 /// chunking without building 200k groups).
-pub(crate) fn encode_reply_batched(reply: &WorkerReply, batch: usize) -> Vec<(u8, Vec<u8>)> {
+pub(crate) fn encode_reply_batched(
+    reply: &WorkerReply,
+    metrics: &ReplyMetrics,
+    batch: usize,
+) -> Vec<(u8, Vec<u8>)> {
+    let put_metrics = |w: &mut WireWriter| {
+        w.put_u64(metrics.wall_ns);
+        tnm_graph::wire::put_obs_snapshot(w, &metrics.obs);
+    };
     match reply {
         WorkerReply::Counts { shard_id, counts } => {
             let mut w = WireWriter::new();
@@ -255,6 +277,7 @@ pub(crate) fn encode_reply_batched(reply: &WorkerReply, batch: usize) -> Vec<(u8
                 put_signature(&mut w, &sig);
                 w.put_u64(n);
             }
+            put_metrics(&mut w);
             vec![(KIND_COUNTS, w.into_bytes())]
         }
         WorkerReply::Induced { shard_id, groups } => {
@@ -268,7 +291,8 @@ pub(crate) fn encode_reply_batched(reply: &WorkerReply, batch: usize) -> Vec<(u8
                 .map(|(i, chunk)| {
                     let mut w = WireWriter::new();
                     w.put_u32(*shard_id);
-                    w.put_bool(i + 1 == n_chunks); // last marker
+                    let last = i + 1 == n_chunks;
+                    w.put_bool(last);
                     w.put_u32(chunk.len() as u32);
                     for g in chunk {
                         put_signature(&mut w, &g.signature);
@@ -283,6 +307,9 @@ pub(crate) fn encode_reply_batched(reply: &WorkerReply, batch: usize) -> Vec<(u8
                         }
                         w.put_u64(g.count);
                     }
+                    if last {
+                        put_metrics(&mut w);
+                    }
                     (KIND_INDUCED, w.into_bytes())
                 })
                 .collect()
@@ -290,11 +317,20 @@ pub(crate) fn encode_reply_batched(reply: &WorkerReply, batch: usize) -> Vec<(u8
     }
 }
 
-/// Decodes one reply frame. For [`KIND_INDUCED`] the second tuple
-/// element is the frame's `last` marker (count replies are always
-/// final).
-fn decode_reply_frame(kind: u8, payload: &[u8]) -> Result<(WorkerReply, bool), WireError> {
+/// Decodes one reply frame. The second tuple element is the frame's
+/// `last` marker (count replies are always final); the third carries
+/// the [`ReplyMetrics`] section, present only on final frames
+/// (defaulted on non-final induced chunks).
+fn decode_reply_frame(
+    kind: u8,
+    payload: &[u8],
+) -> Result<(WorkerReply, bool, ReplyMetrics), WireError> {
     let mut r = WireReader::new(payload);
+    let get_metrics = |r: &mut WireReader<'_>| -> Result<ReplyMetrics, WireError> {
+        let wall_ns = r.u64()?;
+        let obs = tnm_graph::wire::get_obs_snapshot(r)?;
+        Ok(ReplyMetrics { wall_ns, obs })
+    };
     let out = match kind {
         KIND_COUNTS => {
             let shard_id = r.u32()?;
@@ -304,7 +340,8 @@ fn decode_reply_frame(kind: u8, payload: &[u8]) -> Result<(WorkerReply, bool), W
                 let sig = get_signature(&mut r)?;
                 counts.add(sig, r.u64()?);
             }
-            (WorkerReply::Counts { shard_id, counts }, true)
+            let metrics = get_metrics(&mut r)?;
+            (WorkerReply::Counts { shard_id, counts }, true, metrics)
         }
         KIND_INDUCED => {
             let shard_id = r.u32()?;
@@ -327,7 +364,8 @@ fn decode_reply_frame(kind: u8, payload: &[u8]) -> Result<(WorkerReply, bool), W
                 }
                 groups.push(InducedGroup { signature, nodes, covered, count: r.u64()? });
             }
-            (WorkerReply::Induced { shard_id, groups }, last)
+            let metrics = if last { get_metrics(&mut r)? } else { ReplyMetrics::default() };
+            (WorkerReply::Induced { shard_id, groups }, last, metrics)
         }
         other => return Err(WireError::Malformed(format!("unexpected reply frame kind {other}"))),
     };
@@ -338,20 +376,21 @@ fn decode_reply_frame(kind: u8, payload: &[u8]) -> Result<(WorkerReply, bool), W
 /// Reads one **complete** reply from the stream, reassembling chunked
 /// induced frames until the `last` marker. `Ok(None)` means a clean EOF
 /// before any frame; EOF mid-sequence, a kind switch, or a shard-id
-/// change between chunks is an error.
+/// change between chunks is an error. The reply's [`ReplyMetrics`] come
+/// from the final frame of the sequence.
 pub(crate) fn read_reply<R: std::io::Read>(
     mut r: R,
     max_payload: usize,
-) -> Result<Option<WorkerReply>, WireError> {
+) -> Result<Option<(WorkerReply, ReplyMetrics)>, WireError> {
     let Some((kind, payload)) = tnm_graph::wire::read_frame(&mut r, max_payload)? else {
         return Ok(None);
     };
-    let (mut reply, mut last) = decode_reply_frame(kind, &payload)?;
+    let (mut reply, mut last, mut metrics) = decode_reply_frame(kind, &payload)?;
     while !last {
         let Some((kind, payload)) = tnm_graph::wire::read_frame(&mut r, max_payload)? else {
             return Err(WireError::Truncated { needed: 1, available: 0 });
         };
-        let (next, next_last) = decode_reply_frame(kind, &payload)?;
+        let (next, next_last, next_metrics) = decode_reply_frame(kind, &payload)?;
         match (&mut reply, next) {
             (
                 WorkerReply::Induced { shard_id, groups },
@@ -364,8 +403,9 @@ pub(crate) fn read_reply<R: std::io::Read>(
             }
         }
         last = next_last;
+        metrics = next_metrics;
     }
-    Ok(Some(reply))
+    Ok(Some((reply, metrics)))
 }
 
 #[cfg(test)]
@@ -426,32 +466,45 @@ mod tests {
         }
     }
 
+    /// A populated metrics section — the snapshot shapes the obs codec
+    /// can produce.
+    fn sample_metrics() -> ReplyMetrics {
+        let reg = tnm_obs::Registry::default();
+        reg.counter("engine.events_scanned").add(41);
+        reg.gauge("shard.resident_events").set(7);
+        reg.histogram("cache.index.verify_ns").record(1500);
+        ReplyMetrics { wall_ns: 987_654_321, obs: reg.snapshot() }
+    }
+
     #[test]
     fn reply_roundtrips() {
+        let metrics = sample_metrics();
         let mut counts = MotifCounts::new();
         counts.add(sig("010102"), 7);
         counts.add(sig("011202"), 123_456_789);
         let reply = WorkerReply::Counts { shard_id: 5, counts };
-        let frames = encode_reply(&reply);
+        let frames = encode_reply(&reply, &metrics);
         assert_eq!(frames.len(), 1);
         assert_eq!(frames[0].0, KIND_COUNTS);
-        assert_eq!(roundtrip(&frames).unwrap(), reply);
+        assert_eq!(roundtrip(&frames).unwrap(), (reply.clone(), metrics.clone()));
         assert_eq!(reply.shard_id(), 5);
 
         let reply = sample_induced_reply(9, 5);
-        let frames = encode_reply(&reply);
+        let frames = encode_reply(&reply, &metrics);
         assert_eq!(frames.len(), 1, "5 groups fit one production batch");
         assert_eq!(frames[0].0, KIND_INDUCED);
-        assert_eq!(roundtrip(&frames).unwrap(), reply);
+        assert_eq!(roundtrip(&frames).unwrap(), (reply.clone(), metrics.clone()));
         assert_eq!(reply.shard_id(), 9);
-        // Empty induced replies still produce one (last) frame.
+        // Empty induced replies still produce one (last) frame, and an
+        // empty metrics section decodes back to the default.
         let empty = WorkerReply::Induced { shard_id: 3, groups: Vec::new() };
-        assert_eq!(roundtrip(&encode_reply(&empty)).unwrap(), empty);
+        let wall_only = ReplyMetrics { wall_ns: 5, obs: Default::default() };
+        assert_eq!(roundtrip(&encode_reply(&empty, &wall_only)).unwrap(), (empty, wall_only));
     }
 
     /// Writes the frames to a byte stream and reads them back through
     /// the reassembling reader.
-    fn roundtrip(frames: &[(u8, Vec<u8>)]) -> Result<WorkerReply, WireError> {
+    fn roundtrip(frames: &[(u8, Vec<u8>)]) -> Result<(WorkerReply, ReplyMetrics), WireError> {
         let mut stream = Vec::new();
         for (kind, payload) in frames {
             tnm_graph::wire::write_frame(&mut stream, *kind, payload).unwrap();
@@ -478,11 +531,14 @@ mod tests {
     /// last marker, is rejected.
     #[test]
     fn induced_replies_chunk_and_reassemble() {
+        let metrics = sample_metrics();
         let reply = sample_induced_reply(4, 5);
-        let frames = encode_reply_batched(&reply, 2);
+        let frames = encode_reply_batched(&reply, &metrics, 2);
         assert_eq!(frames.len(), 3, "5 groups at batch 2 = 3 frames");
         assert!(frames.iter().all(|(k, _)| *k == KIND_INDUCED));
-        assert_eq!(roundtrip(&frames).unwrap(), reply);
+        // The metrics section rides only on the last frame of the
+        // sequence and survives reassembly.
+        assert_eq!(roundtrip(&frames).unwrap(), (reply, metrics.clone()));
 
         // Truncated sequence: the last frame never arrives.
         let mut stream = Vec::new();
@@ -492,7 +548,7 @@ mod tests {
         assert!(matches!(read_reply(stream.as_slice(), 1 << 20), Err(WireError::Truncated { .. })));
 
         // A chunk for a different shard cannot splice in.
-        let alien = encode_reply_batched(&sample_induced_reply(8, 3), 100);
+        let alien = encode_reply_batched(&sample_induced_reply(8, 3), &metrics, 100);
         let mut stream = Vec::new();
         tnm_graph::wire::write_frame(&mut stream, frames[0].0, &frames[0].1).unwrap();
         tnm_graph::wire::write_frame(&mut stream, alien[0].0, &alien[0].1).unwrap();
@@ -511,8 +567,9 @@ mod tests {
         b.add(sig("011202"), 2);
         b.add(sig("010101"), 3);
         b.add(sig("010102"), 1);
-        let pa = encode_reply(&WorkerReply::Counts { shard_id: 0, counts: a });
-        let pb = encode_reply(&WorkerReply::Counts { shard_id: 0, counts: b });
+        let m = ReplyMetrics::default();
+        let pa = encode_reply(&WorkerReply::Counts { shard_id: 0, counts: a }, &m);
+        let pb = encode_reply(&WorkerReply::Counts { shard_id: 0, counts: b }, &m);
         assert_eq!(pa, pb);
     }
 
@@ -551,5 +608,15 @@ mod tests {
         ));
         // Unknown reply kinds are refused.
         assert!(matches!(decode_reply_frame(77, &[]), Err(WireError::Malformed(_))));
+        // Reply frames truncate-safely too, including mid-metrics.
+        let mut counts = MotifCounts::new();
+        counts.add(sig("0102"), 3);
+        let frames = encode_reply(&WorkerReply::Counts { shard_id: 2, counts }, &sample_metrics());
+        for cut in 0..frames[0].1.len() {
+            assert!(
+                decode_reply_frame(KIND_COUNTS, &frames[0].1[..cut]).is_err(),
+                "reply prefix {cut} accepted"
+            );
+        }
     }
 }

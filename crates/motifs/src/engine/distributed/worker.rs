@@ -19,7 +19,8 @@
 //! coordinator to filter, one verdict per group.
 
 use super::protocol::{
-    decode_job, encode_reply, InducedGroup, WorkerJob, WorkerReply, KIND_JOB, KIND_SHUTDOWN,
+    decode_job, encode_reply, InducedGroup, ReplyMetrics, WorkerJob, WorkerReply, KIND_JOB,
+    KIND_SHUTDOWN,
 };
 use crate::count::MotifCounts;
 use crate::engine::parallel::{work_steal_count, work_steal_map, DEFAULT_STEAL_CHUNK};
@@ -57,9 +58,24 @@ pub fn run_worker<R: Read, W: Write>(
         match kind {
             KIND_SHUTDOWN => return Ok(()),
             KIND_JOB => {
+                let t0 = std::time::Instant::now();
                 let job = decode_job(&payload)?;
                 let reply = serve_job(&job)?;
-                for (kind, body) in encode_reply(&reply) {
+                let metrics = ReplyMetrics {
+                    wall_ns: t0.elapsed().as_nanos() as u64,
+                    // Per-job delta: snapshot the worker's registry and
+                    // clear it so the next job starts from zero. The
+                    // coordinator re-enables obs in spawned workers via
+                    // `TNM_OBS=1` (wired by the CLI's worker entry).
+                    obs: if tnm_obs::enabled() {
+                        let snap = tnm_obs::global().snapshot();
+                        tnm_obs::global().reset();
+                        snap
+                    } else {
+                        Default::default()
+                    },
+                };
+                for (kind, body) in encode_reply(&reply, &metrics) {
                     wire::write_frame(&mut output, kind, &body)?;
                 }
                 output.flush()?;
@@ -247,13 +263,17 @@ mod tests {
         let mut output = Vec::new();
         run_worker(input.as_slice(), &mut output, None).unwrap();
         let mut cursor = output.as_slice();
-        match read_reply(&mut cursor, wire::MAX_FRAME_PAYLOAD).unwrap().expect("one reply") {
+        let (reply, metrics) =
+            read_reply(&mut cursor, wire::MAX_FRAME_PAYLOAD).unwrap().expect("one reply");
+        match reply {
             WorkerReply::Counts { shard_id, counts } => {
                 assert_eq!(shard_id, 3);
                 assert_eq!(counts, WindowedEngine.count(&g, &cfg));
             }
             other => panic!("unexpected reply {other:?}"),
         }
+        assert!(metrics.wall_ns > 0, "wall time is always measured");
+        assert!(metrics.obs.is_empty(), "no obs snapshot unless enabled");
         assert!(read_reply(&mut cursor, wire::MAX_FRAME_PAYLOAD).unwrap().is_none());
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -281,7 +301,7 @@ mod tests {
         wire::write_frame(&mut input, KIND_JOB, &encode_job(&job)).unwrap();
         let mut output = Vec::new();
         run_worker(input.as_slice(), &mut output, None).unwrap();
-        let reply = read_reply(output.as_slice(), wire::MAX_FRAME_PAYLOAD).unwrap().unwrap();
+        let (reply, _) = read_reply(output.as_slice(), wire::MAX_FRAME_PAYLOAD).unwrap().unwrap();
         let mut stripped = cfg.clone();
         stripped.static_induced = false;
         match reply {

@@ -101,6 +101,35 @@
 //! QueryResponse 34, Subscribed 35, Stats 36, Bye 37, Error 63 (worker
 //! kinds own `1..=4`, so the protocols cannot be confused). Use
 //! [`ServeClient`] (or the `tnm client` verb) to speak it.
+//!
+//! ## Observability
+//!
+//! Every engine layer is instrumented through [`tnm_obs`]: hierarchical
+//! timed spans (exported as Chrome-trace JSON by `tnm count --trace`)
+//! and a registry of named counters/gauges/histograms (`tnm client
+//! --metrics` renders the daemon's registry as Prometheus text). The
+//! whole subsystem sits behind one relaxed atomic flag
+//! ([`tnm_obs::enabled`]) — disabled, each instrumentation point costs
+//! a single branch, pinned by the `obs_overhead` bench group and a
+//! bit-identical-counts test.
+//!
+//! The naming contract (changing a name is a breaking change for
+//! dashboards; record renames in ROADMAP.md):
+//!
+//! | layer | spans | metrics |
+//! |---|---|---|
+//! | walkers | `walk.worker{worker}` | `engine.events_scanned`, `engine.candidates_pruned`, `engine.instances_emitted` |
+//! | caches | — | `cache.{index,proj}.{hits,misses,rejected}`, `cache.{index,proj}.verify_ns` |
+//! | shard store | `walk.shard{shard}` | `shard.{loads,spills,evictions}`, `shard.resident_events` (peak = the canonical high-water mark) |
+//! | stream DPs | — | `stream.pair.{pairs_swept,groups_advanced,window_events}`, `stream.star.{centers_swept,center_events}`, `stream.triad.{triangles_swept,groups_advanced,window_events}` |
+//! | distributed | `distributed.{plan,spill,spawn,merge}` + synthetic `distributed.walk{shard}` from worker wall times | `distributed.shard_wall_ns`, `distributed.{workers_lost,jobs_rescheduled}` |
+//! | serve | — | `serve.{queries,appends}`, `serve.query.{count,report,enumerate,batch}_ns`, `serve.connection_frames`, `serve.subscription_advance_ns` |
+//!
+//! Workers ship their per-job metrics snapshot (plus wall time) inside
+//! reply frames; the coordinator folds them into its own registry, so
+//! one trace and one snapshot describe a whole distributed run —
+//! per-shard wall times make stragglers visible. `tnm count --explain`
+//! prints [`explain_auto_select`]'s measured decision for the workload.
 
 mod backtrack;
 mod batch;
@@ -315,30 +344,118 @@ fn expected_window_events(graph: &TemporalGraph, cfg: &EnumConfig) -> f64 {
 /// caller choice, not a performance fallback. The table is pinned by
 /// unit tests in this module.
 pub fn auto_select(graph: &TemporalGraph, cfg: &EnumConfig, threads: usize) -> EngineKind {
+    explain_auto_select(graph, cfg, threads).chosen
+}
+
+/// The measured inputs behind one [`auto_select`] decision and the
+/// selection-table rule they fired — what `tnm count --explain` prints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoSelectExplanation {
+    /// The resolved concrete kind.
+    pub chosen: EngineKind,
+    /// Events in the graph (`m`).
+    pub num_events: usize,
+    /// The thread budget the selector was given.
+    pub threads: usize,
+    /// Expected admissible events per ΔC/ΔW pruning window
+    /// ([`f64::INFINITY`] with unbounded timing).
+    pub expected_window_events: f64,
+    /// True when neither ΔC nor ΔW is set.
+    pub unbounded_timing: bool,
+    /// True when [`EnumConfig::admissible_reach`] is bounded (sharding
+    /// and distribution are viable).
+    pub bounded_reach: bool,
+    /// True when the config fits the stream fast path
+    /// ([`StreamEngine::eligible`]).
+    pub stream_eligible: bool,
+    /// True when the stream path would run its triangle class
+    /// ([`StreamEngine::needs_triads`]).
+    pub needs_triads: bool,
+    /// The 1-based rule of the [`auto_select`] doc table that fired
+    /// (6 = the windowed default).
+    pub rule: u8,
+    /// One-line rationale for the fired rule.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for AutoSelectExplanation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "auto-select: {} (rule {})", self.chosen, self.rule)?;
+        writeln!(f, "  reason: {}", self.reason)?;
+        writeln!(f, "  num_events: {}", self.num_events)?;
+        writeln!(f, "  threads: {}", self.threads)?;
+        if self.expected_window_events.is_finite() {
+            writeln!(f, "  expected_window_events: {:.2}", self.expected_window_events)?;
+        } else {
+            writeln!(f, "  expected_window_events: inf (unbounded timing)")?;
+        }
+        writeln!(f, "  unbounded_timing: {}", self.unbounded_timing)?;
+        writeln!(f, "  bounded_reach: {}", self.bounded_reach)?;
+        writeln!(f, "  stream_eligible: {}", self.stream_eligible)?;
+        write!(f, "  needs_triads: {}", self.needs_triads)
+    }
+}
+
+/// [`auto_select`] with its working shown: the same decision chain,
+/// returning the chosen kind together with every measured input and the
+/// rule that fired. `auto_select` delegates here, so the two can never
+/// disagree.
+pub fn explain_auto_select(
+    graph: &TemporalGraph,
+    cfg: &EnumConfig,
+    threads: usize,
+) -> AutoSelectExplanation {
     let m = graph.num_events();
-    if StreamEngine::eligible(cfg)
-        && (!StreamEngine::needs_triads(cfg)
-            || expected_window_events(graph, cfg) >= STREAM_MIN_WINDOW_EVENTS)
-    {
-        return EngineKind::Stream;
-    }
+    let window = expected_window_events(graph, cfg);
     let unbounded = cfg.timing.delta_c.is_none() && cfg.timing.delta_w.is_none();
+    let bounded_reach = cfg.admissible_reach(graph).is_some();
+    let stream_eligible = StreamEngine::eligible(cfg);
+    let needs_triads = StreamEngine::needs_triads(cfg);
+    let mut explain = AutoSelectExplanation {
+        chosen: EngineKind::Windowed,
+        num_events: m,
+        threads,
+        expected_window_events: window,
+        unbounded_timing: unbounded,
+        bounded_reach,
+        stream_eligible,
+        needs_triads,
+        rule: 6,
+        reason: "no specialised rule fired; the serial windowed walker is the default",
+    };
+    if stream_eligible && (!needs_triads || window >= STREAM_MIN_WINDOW_EVENTS) {
+        explain.chosen = EngineKind::Stream;
+        explain.rule = 1;
+        explain.reason = "stream-eligible shape; the window DP is near-linear in events";
+        return explain;
+    }
     if unbounded && m < WINDOWED_MIN_EVENTS {
-        return EngineKind::Backtrack;
+        explain.chosen = EngineKind::Backtrack;
+        explain.rule = 2;
+        explain.reason = "unbounded timing on a small graph; nothing to prune, skip the index";
+        return explain;
     }
-    if threads > 1 && m >= DISTRIBUTED_MIN_EVENTS && cfg.admissible_reach(graph).is_some() {
-        return EngineKind::Distributed { workers: threads, shard_events: DEFAULT_SHARD_EVENTS };
+    if threads > 1 && m >= DISTRIBUTED_MIN_EVENTS && bounded_reach {
+        explain.chosen =
+            EngineKind::Distributed { workers: threads, shard_events: DEFAULT_SHARD_EVENTS };
+        explain.rule = 3;
+        explain.reason = "huge bounded-reach graph with a worker budget; leave the address space";
+        return explain;
     }
-    if m >= SHARDED_MIN_EVENTS && cfg.admissible_reach(graph).is_some() {
-        return EngineKind::Sharded { shard_events: DEFAULT_SHARD_EVENTS, max_resident_shards: 0 };
+    if m >= SHARDED_MIN_EVENTS && bounded_reach {
+        explain.chosen =
+            EngineKind::Sharded { shard_events: DEFAULT_SHARD_EVENTS, max_resident_shards: 0 };
+        explain.rule = 4;
+        explain.reason = "large bounded-reach graph; time slices keep the working set small";
+        return explain;
     }
-    if threads > 1
-        && m >= SERIAL_FALLBACK_EVENTS
-        && expected_window_events(graph, cfg) >= PARALLEL_MIN_WINDOW_EVENTS
-    {
-        return EngineKind::Parallel;
+    if threads > 1 && m >= SERIAL_FALLBACK_EVENTS && window >= PARALLEL_MIN_WINDOW_EVENTS {
+        explain.chosen = EngineKind::Parallel;
+        explain.rule = 5;
+        explain.reason = "enough admissible work per start event to pay for spawn and merge";
+        return explain;
     }
-    EngineKind::Windowed
+    explain
 }
 
 impl EngineKind {
@@ -709,6 +826,40 @@ mod tests {
             EngineKind::distributed(2, 64).engine_for(&tiny, &loose_w, 4).name(),
             "distributed"
         );
+    }
+
+    /// [`explain_auto_select`] shows its working: the chosen kind always
+    /// equals [`auto_select`]'s, the fired rule matches the doc table,
+    /// and the measured inputs land in the rendered text.
+    #[test]
+    fn explanations_match_the_selection() {
+        let tiny = tiny();
+        let large = sized(4096, 40_000);
+        let huge = sized(SHARDED_MIN_EVENTS, 4_000_000);
+        let loose_w = EnumConfig::new(3, 3).with_timing(Timing::only_w(3_000));
+        let loose_w4 = EnumConfig::new(4, 4).with_timing(Timing::only_w(3_000));
+        let unbounded = EnumConfig::new(3, 3);
+        for (g, cfg, threads, rule) in [
+            (&tiny, &loose_w, 1, 1u8),
+            (&tiny, &unbounded, 8, 2),
+            (&huge, &loose_w4, 1, 4),
+            (&large, &loose_w4, 8, 5),
+            (&large, &loose_w4, 1, 6),
+        ] {
+            let explain = explain_auto_select(g, cfg, threads);
+            assert_eq!(explain.chosen, auto_select(g, cfg, threads), "rule {rule}");
+            assert_eq!(explain.rule, rule);
+            assert_eq!(explain.num_events, g.num_events());
+            assert_eq!(explain.threads, threads);
+            let text = explain.to_string();
+            assert!(text.contains(&format!("auto-select: {} (rule {rule})", explain.chosen)));
+            assert!(text.contains(&format!("num_events: {}", g.num_events())));
+        }
+        // Unbounded timing renders an infinite window occupancy.
+        let explain = explain_auto_select(&tiny, &unbounded, 1);
+        assert!(explain.unbounded_timing && !explain.bounded_reach);
+        assert!(explain.expected_window_events.is_infinite());
+        assert!(explain.to_string().contains("inf (unbounded timing)"));
     }
 
     #[test]

@@ -157,11 +157,12 @@ where
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
+            .map(|worker| {
                 let cursor = &cursor;
                 let make_acc = &make_acc;
                 let work = &work;
                 scope.spawn(move || {
+                    let _span = tnm_obs::span!("walk.worker", worker = worker);
                     let mut acc = make_acc();
                     loop {
                         let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -267,6 +268,58 @@ impl CountEngine for ParallelEngine {
         match self.inner {
             Inner::Windowed => WindowedEngine.enumerate(graph, cfg, callback),
             Inner::Backtrack => BacktrackEngine.enumerate(graph, cfg, callback),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_order_under_the_work_stealing_executor() {
+        let _guard = tnm_obs::test_guard();
+        tnm_obs::set_enabled(true);
+        tnm_obs::drain_spans();
+        let processed: Vec<usize> =
+            work_steal_map(97, 4, 8, Vec::new, |acc: &mut Vec<usize>, r| {
+                let _chunk = tnm_obs::span!("test.chunk", lo = r.start);
+                acc.extend(r);
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        let spans = tnm_obs::drain_spans();
+        tnm_obs::set_enabled(false);
+        // Every index processed exactly once regardless of interleaving.
+        let mut sorted = processed;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..97).collect::<Vec<_>>());
+        let workers: Vec<_> = spans.iter().filter(|s| s.name == "walk.worker").collect();
+        let chunks: Vec<_> = spans.iter().filter(|s| s.name == "test.chunk").collect();
+        assert_eq!(workers.len(), 4, "one span per spawned worker");
+        assert_eq!(chunks.len(), 13, "97 indices in chunks of 8 → 13 claims");
+        for c in &chunks {
+            // Each chunk span nests inside its thread's worker span:
+            // same tid, one level deeper, interval contained.
+            let parent =
+                workers.iter().find(|w| w.tid == c.tid).expect("chunk ran on a worker thread");
+            assert_eq!(c.depth, parent.depth + 1);
+            assert!(c.start_ns >= parent.start_ns);
+            assert!(c.start_ns + c.dur_ns <= parent.start_ns + parent.dur_ns);
+        }
+        // Worker threads are distinct, and chunk spans within one
+        // thread are disjoint and time-ordered.
+        let mut tids: Vec<_> = workers.iter().map(|w| w.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 4);
+        for w in &workers {
+            let mut mine: Vec<_> = chunks.iter().filter(|c| c.tid == w.tid).collect();
+            mine.sort_by_key(|c| c.start_ns);
+            for pair in mine.windows(2) {
+                assert!(pair[0].start_ns + pair[0].dur_ns <= pair[1].start_ns);
+            }
         }
     }
 }

@@ -211,6 +211,18 @@ impl ServeClient {
         Ok(decode_stats(&payload)?)
     }
 
+    /// The server's full metrics snapshot (`serve.*` counters and
+    /// latency histograms). Render it with
+    /// [`to_prometheus`](tnm_obs::Snapshot::to_prometheus) for
+    /// scrape-style output — that is what `tnm client --metrics` prints.
+    pub fn metrics(&mut self) -> Result<tnm_obs::Snapshot, ClientError> {
+        let payload = self.expect(KIND_REQ_METRICS, &[], KIND_RESP_METRICS)?;
+        let mut r = WireReader::new(&payload);
+        let snap = tnm_graph::wire::get_obs_snapshot(&mut r)?;
+        r.finish()?;
+        Ok(snap)
+    }
+
     /// Asks the daemon to stop accepting connections and exit its
     /// accept loop.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {

@@ -22,6 +22,19 @@
 //! identity); subscriptions are *not* invalidated, which is the point:
 //! their counts advance incrementally from the ΔW tail alone.
 //!
+//! ## Observability
+//!
+//! Each server owns a private [`tnm_obs::Registry`] recording
+//! `serve.queries` / `serve.appends` counters, per-query-kind latency
+//! histograms (`serve.query.{count,report,enumerate,batch}_ns`),
+//! `serve.subscription_advance_ns`, and a `serve.connection_frames`
+//! histogram observed as each connection closes. The full snapshot is
+//! served over the wire as a Metrics response
+//! ([`ServeClient::metrics`], `tnm client --metrics` renders it as
+//! Prometheus text) and rides along inside [`ServerStats`] as a
+//! versioned optional section. Being per-request rather than per-event,
+//! these records bypass the process-global [`tnm_obs::enabled`] gate.
+//!
 //! ## Concurrency and failure model
 //!
 //! One thread per connection; each query clones the entry's graph
@@ -50,7 +63,7 @@ use protocol::*;
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread;
 use tnm_graph::wire::{read_frame, write_frame, WireWriter, MAX_FRAME_PAYLOAD};
@@ -115,8 +128,11 @@ impl GraphEntry {
 struct ServerState {
     registry: RwLock<HashMap<String, Arc<Mutex<GraphEntry>>>>,
     options: ServeOptions,
-    queries: AtomicU64,
-    appends: AtomicU64,
+    /// The server's own metrics registry (`serve.*` names): request
+    /// counters and per-query-kind latency histograms. Per-instance and
+    /// recorded unconditionally — serve call sites are per-request, not
+    /// per-event, so they bypass the process-global enabled gate.
+    obs: tnm_obs::Registry,
     shutdown: AtomicBool,
     addr: SocketAddr,
 }
@@ -146,10 +162,12 @@ impl ServerState {
             })
             .collect();
         graphs.sort_by(|a, b| a.name.cmp(&b.name));
+        let obs = self.obs.snapshot();
         ServerStats {
-            queries: self.queries.load(Ordering::Relaxed),
-            appends: self.appends.load(Ordering::Relaxed),
+            queries: obs.counters.get("serve.queries").copied().unwrap_or(0),
+            appends: obs.counters.get("serve.appends").copied().unwrap_or(0),
             graphs,
+            obs,
         }
     }
 }
@@ -196,8 +214,7 @@ impl MotifServer {
         let state = Arc::new(ServerState {
             registry: RwLock::new(HashMap::new()),
             options,
-            queries: AtomicU64::new(0),
-            appends: AtomicU64::new(0),
+            obs: tnm_obs::Registry::new(),
             shutdown: AtomicBool::new(false),
             addr,
         });
@@ -277,26 +294,28 @@ fn serve_connection(
     writer: &mut BufWriter<TcpStream>,
     state: &ServerState,
 ) {
-    loop {
+    let mut frames = 0u64;
+    'conn: loop {
         // Wire-level garbage (bad magic, oversized length, truncation
         // mid-frame) is unrecoverable on this connection — the stream
         // position is lost — so close it; the daemon lives on.
         let frame = match read_frame(&mut *reader, state.options.max_frame) {
             Ok(Some(frame)) => frame,
-            Ok(None) => return,
+            Ok(None) => break 'conn,
             Err(e) => {
                 let mut w = WireWriter::new();
                 w.put_str(&format!("wire error: {e}"));
                 let _ = write_frame(&mut *writer, KIND_RESP_ERR, &w.into_bytes());
                 let _ = writer.flush();
-                return;
+                break 'conn;
             }
         };
+        frames += 1;
         let outcome = dispatch(state, frame.0, &frame.1);
         match outcome {
             Outcome::Reply(kind, payload) => {
                 if write_frame(&mut *writer, kind, &payload).is_err() || writer.flush().is_err() {
-                    return;
+                    break 'conn;
                 }
             }
             Outcome::Shutdown => {
@@ -305,10 +324,11 @@ fn serve_connection(
                 state.shutdown.store(true, Ordering::SeqCst);
                 // Unblock the accept loop so it observes the flag.
                 let _ = TcpStream::connect(state.addr);
-                return;
+                break 'conn;
             }
         }
     }
+    state.obs.histogram("serve.connection_frames").record(frames);
 }
 
 /// Decodes and serves one request frame. Application-level failures
@@ -364,8 +384,15 @@ fn dispatch(state: &ServerState, kind: u8, payload: &[u8]) -> Outcome {
             // Fold into every subscription first: a failure there (all
             // shapes already checked above) must not leave the log and
             // the counts disagreeing.
-            for sub in &mut entry.subscriptions {
-                sub.stream.append(&batch).map_err(|e| e.to_string())?;
+            if !entry.subscriptions.is_empty() {
+                let t0 = std::time::Instant::now();
+                for sub in &mut entry.subscriptions {
+                    sub.stream.append(&batch).map_err(|e| e.to_string())?;
+                }
+                state
+                    .obs
+                    .histogram("serve.subscription_advance_ns")
+                    .record(t0.elapsed().as_nanos() as u64);
             }
             // Splice-merge at the boundary timestamp: batch times are
             // ≥ the last log time, but equal-time runs must stay fully
@@ -381,7 +408,7 @@ fn dispatch(state: &ServerState, kind: u8, payload: &[u8]) -> Outcome {
             let max_node = batch.iter().map(|e| e.src.0.max(e.dst.0) + 1).max().unwrap_or(0);
             entry.num_nodes = entry.num_nodes.max(max_node);
             entry.graph = None; // identity changed: rebuild lazily
-            state.appends.fetch_add(batch.len() as u64, Ordering::Relaxed);
+            state.obs.counter("serve.appends").add(batch.len() as u64);
             let ack = AppendAck {
                 total_events: entry.events.len() as u64,
                 subscriptions: entry
@@ -401,8 +428,16 @@ fn dispatch(state: &ServerState, kind: u8, payload: &[u8]) -> Outcome {
             // Count outside the locks: a slow query must not block
             // loads/appends (or other clients' queries).
             let query = clamp(query, &state.options);
+            let latency = match &query {
+                Query::Count { .. } => "serve.query.count_ns",
+                Query::Report { .. } => "serve.query.report_ns",
+                Query::Enumerate { .. } => "serve.query.enumerate_ns",
+                Query::Batch { .. } => "serve.query.batch_ns",
+            };
+            let t0 = std::time::Instant::now();
             let response = query.run(&graph).map_err(|e| e.to_string())?;
-            state.queries.fetch_add(1, Ordering::Relaxed);
+            state.obs.histogram(latency).record(t0.elapsed().as_nanos() as u64);
+            state.obs.counter("serve.queries").incr();
             Ok(Outcome::Reply(KIND_RESP_QUERY, encode_response(&response)))
         })(),
         KIND_REQ_SUBSCRIBE => (|| {
@@ -426,6 +461,12 @@ fn dispatch(state: &ServerState, kind: u8, payload: &[u8]) -> Outcome {
         KIND_REQ_STATS => (|| {
             r.finish().map_err(|e| e.to_string())?;
             Ok(Outcome::Reply(KIND_RESP_STATS, encode_stats(&state.stats())))
+        })(),
+        KIND_REQ_METRICS => (|| {
+            r.finish().map_err(|e| e.to_string())?;
+            let mut w = WireWriter::new();
+            tnm_graph::wire::put_obs_snapshot(&mut w, &state.obs.snapshot());
+            Ok(Outcome::Reply(KIND_RESP_METRICS, w.into_bytes()))
         })(),
         KIND_REQ_SHUTDOWN => Ok(Outcome::Shutdown),
         other => Err(format!("unknown request kind {other}")),

@@ -16,12 +16,14 @@
 //! | [`KIND_REQ_SUBSCRIBE`] | client → server | graph name + a stream-eligible [`EnumConfig`](crate::engine::EnumConfig) |
 //! | [`KIND_REQ_STATS`] | client → server | empty |
 //! | [`KIND_REQ_SHUTDOWN`] | client → server | empty: stop accepting, drain, exit |
+//! | [`KIND_REQ_METRICS`] | client → server | empty |
 //! | [`KIND_RESP_LOADED`] | server → client | echoed name + event/node totals |
 //! | [`KIND_RESP_APPENDED`] | server → client | new event total + every subscription's live counts |
 //! | [`KIND_RESP_QUERY`] | server → client | the [`QueryResponse`] |
 //! | [`KIND_RESP_SUBSCRIBED`] | server → client | subscription id + initial counts |
 //! | [`KIND_RESP_STATS`] | server → client | [`ServerStats`] |
 //! | [`KIND_RESP_BYE`] | server → client | empty: shutdown acknowledged |
+//! | [`KIND_RESP_METRICS`] | server → client | the server's full [`tnm_obs::Snapshot`] |
 //! | [`KIND_RESP_ERR`] | server → client | a display string; the connection stays usable |
 //!
 //! Configurations and signatures reuse the worker protocol's codecs
@@ -51,6 +53,8 @@ pub(crate) const KIND_REQ_SUBSCRIBE: u8 = 19;
 pub(crate) const KIND_REQ_STATS: u8 = 20;
 /// Request: orderly server shutdown.
 pub(crate) const KIND_REQ_SHUTDOWN: u8 = 21;
+/// Request: the server's full metrics snapshot (Prometheus-renderable).
+pub(crate) const KIND_REQ_METRICS: u8 = 22;
 
 /// Response to [`KIND_REQ_LOAD`].
 pub(crate) const KIND_RESP_LOADED: u8 = 32;
@@ -64,6 +68,8 @@ pub(crate) const KIND_RESP_SUBSCRIBED: u8 = 35;
 pub(crate) const KIND_RESP_STATS: u8 = 36;
 /// Response to [`KIND_REQ_SHUTDOWN`].
 pub(crate) const KIND_RESP_BYE: u8 = 37;
+/// Response to [`KIND_REQ_METRICS`].
+pub(crate) const KIND_RESP_METRICS: u8 = 38;
 /// Any request the server understood but could not serve; the payload
 /// is a human-readable reason and the connection stays open.
 pub(crate) const KIND_RESP_ERR: u8 = 63;
@@ -93,6 +99,18 @@ pub struct GraphStat {
 }
 
 /// Server-wide counters plus the registry listing.
+///
+/// ## Wire versioning
+///
+/// The legacy fields (`queries`, `appends`, `graphs`) form a fixed
+/// prefix of the [`KIND_RESP_STATS`] payload. Everything newer — today
+/// the [`obs`](Self::obs) metrics snapshot — travels in one trailing
+/// **length-prefixed optional section**: a decoder that only knows the
+/// legacy fields can skip it as an opaque byte run, and the current
+/// decoder treats an absent section (a legacy server's payload) as an
+/// empty snapshot. The section's length prefix is validated against
+/// its contents, so truncation anywhere still errors instead of
+/// decoding short.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServerStats {
     /// Queries served since start.
@@ -101,6 +119,10 @@ pub struct ServerStats {
     pub appends: u64,
     /// Loaded graphs, in name order.
     pub graphs: Vec<GraphStat>,
+    /// The server's metrics snapshot: `serve.*` request counters and
+    /// per-query-kind latency histograms. Empty when the payload came
+    /// from a legacy server without the optional section.
+    pub obs: tnm_obs::Snapshot,
 }
 
 /// Maps an engine name that travelled the wire back to the `'static`
@@ -407,7 +429,9 @@ pub(crate) fn decode_append_ack(payload: &[u8]) -> Result<AppendAck, WireError> 
     Ok(AppendAck { total_events, subscriptions })
 }
 
-/// Encodes a [`KIND_RESP_STATS`] payload.
+/// Encodes a [`KIND_RESP_STATS`] payload: the legacy prefix followed
+/// by the length-prefixed optional metrics section (see the
+/// [`ServerStats`] versioning notes).
 pub(crate) fn encode_stats(stats: &ServerStats) -> Vec<u8> {
     let mut w = WireWriter::new();
     w.put_u64(stats.queries);
@@ -419,10 +443,16 @@ pub(crate) fn encode_stats(stats: &ServerStats) -> Vec<u8> {
         w.put_u32(g.nodes);
         w.put_u32(g.subscriptions);
     }
+    let mut section = WireWriter::new();
+    tnm_graph::wire::put_obs_snapshot(&mut section, &stats.obs);
+    w.put_bytes(&section.into_bytes());
     w.into_bytes()
 }
 
-/// Decodes a [`KIND_RESP_STATS`] payload.
+/// Decodes a [`KIND_RESP_STATS`] payload. A payload ending after the
+/// legacy fields (a pre-metrics server) decodes with an empty
+/// [`ServerStats::obs`]; a present section must parse exactly to its
+/// declared length.
 pub(crate) fn decode_stats(payload: &[u8]) -> Result<ServerStats, WireError> {
     let mut r = WireReader::new(payload);
     let queries = r.u64()?;
@@ -437,8 +467,17 @@ pub(crate) fn decode_stats(payload: &[u8]) -> Result<ServerStats, WireError> {
             subscriptions: r.u32()?,
         });
     }
+    let obs = if r.remaining() > 0 {
+        let section = r.bytes()?;
+        let mut sr = WireReader::new(section);
+        let snap = tnm_graph::wire::get_obs_snapshot(&mut sr)?;
+        sr.finish()?;
+        snap
+    } else {
+        Default::default()
+    };
     r.finish()?;
-    Ok(ServerStats { queries, appends, graphs })
+    Ok(ServerStats { queries, appends, graphs, obs })
 }
 
 #[cfg(test)]
@@ -465,12 +504,14 @@ mod tests {
             KIND_REQ_SUBSCRIBE,
             KIND_REQ_STATS,
             KIND_REQ_SHUTDOWN,
+            KIND_REQ_METRICS,
             KIND_RESP_LOADED,
             KIND_RESP_APPENDED,
             KIND_RESP_QUERY,
             KIND_RESP_SUBSCRIBED,
             KIND_RESP_STATS,
             KIND_RESP_BYE,
+            KIND_RESP_METRICS,
             KIND_RESP_ERR,
         ];
         for k in serve_kinds {
@@ -598,8 +639,80 @@ mod tests {
                 nodes: 1_899,
                 subscriptions: 2,
             }],
+            obs: {
+                let r = tnm_obs::Registry::new();
+                r.counter("serve.queries").add(42);
+                r.histogram("serve.query.count_ns").record(150_000);
+                r.histogram("serve.query.count_ns").record(90_000);
+                r.snapshot()
+            },
         };
         assert_eq!(decode_stats(&encode_stats(&stats)).unwrap(), stats);
+    }
+
+    /// The versioning contract both ways: a legacy payload (no trailing
+    /// section) decodes with an empty snapshot, and a legacy decoder
+    /// reading only the fixed prefix can skip the section as one
+    /// length-prefixed byte run.
+    #[test]
+    fn stats_optional_section_is_versioned() {
+        // Legacy payload: just the fixed prefix, no section.
+        let mut w = WireWriter::new();
+        w.put_u64(7);
+        w.put_u64(11);
+        w.put_u32(0);
+        let decoded = decode_stats(&w.into_bytes()).unwrap();
+        assert_eq!((decoded.queries, decoded.appends), (7, 11));
+        assert!(decoded.obs.is_empty(), "absent section reads as empty metrics");
+
+        // Current payload under a legacy reader: fixed prefix, then one
+        // opaque `bytes()` skip, then a clean finish.
+        let stats = ServerStats {
+            queries: 3,
+            appends: 0,
+            graphs: vec![],
+            obs: {
+                let r = tnm_obs::Registry::new();
+                r.gauge("shard.resident_events").set(512);
+                r.snapshot()
+            },
+        };
+        let payload = encode_stats(&stats);
+        let mut r = WireReader::new(&payload);
+        assert_eq!(r.u64().unwrap(), 3);
+        assert_eq!(r.u64().unwrap(), 0);
+        assert_eq!(r.u32().unwrap(), 0);
+        let _opaque = r.bytes().unwrap();
+        r.finish().unwrap();
+    }
+
+    /// Truncation anywhere in a stats payload — including inside the
+    /// optional section and its length prefix — errors rather than
+    /// decoding short.
+    #[test]
+    fn stats_truncation_is_rejected_at_every_prefix() {
+        let stats = ServerStats {
+            queries: 1,
+            appends: 2,
+            graphs: vec![GraphStat { name: "g".into(), events: 3, nodes: 4, subscriptions: 5 }],
+            obs: {
+                let r = tnm_obs::Registry::new();
+                r.counter("serve.queries").add(1);
+                r.histogram("serve.query.batch_ns").record(4096);
+                r.snapshot()
+            },
+        };
+        let payload = encode_stats(&stats);
+        // The one legal short form is the exact legacy prefix (handled
+        // above); every other cut must error.
+        let legacy_len = 8 + 8 + 4 + (4 + 1) + 8 + 4 + 4;
+        for cut in 0..payload.len() {
+            if cut == legacy_len {
+                continue;
+            }
+            assert!(decode_stats(&payload[..cut]).is_err(), "stats prefix {cut} accepted");
+        }
+        assert!(decode_stats(&payload[..legacy_len]).is_ok());
     }
 
     #[test]

@@ -171,13 +171,18 @@ impl ShardedEngine {
         let mut store = self.store(graph, plan);
         let mut counts = MotifCounts::new();
         for id in 0..store.num_shards() {
+            let _span = tnm_obs::span!("walk.shard", shard = id);
             let shard = store.get(id).expect("sharded engine: loading a shard failed");
             counts.merge(&driver::count_shard(graph, shard, cfg, self.config.threads));
         }
+        // Thin compatibility read; the canonical peak is the
+        // `shard.resident_events` gauge in the obs registry.
+        #[allow(deprecated)]
+        let peak_resident_events = store.peak_resident_events();
         let stats = ShardedRunStats {
             shards: store.num_shards(),
             max_shard_events: store.plan().max_shard_events(),
-            peak_resident_events: store.peak_resident_events(),
+            peak_resident_events,
             spilled: store.is_spilled(),
         };
         (counts, stats)
@@ -222,6 +227,7 @@ impl CountEngine for ShardedEngine {
         }
         let mut store = self.store(graph, plan);
         for id in 0..store.num_shards() {
+            let _span = tnm_obs::span!("walk.shard", shard = id);
             let shard = store.get(id).expect("sharded engine: loading a shard failed");
             driver::enumerate_shard(graph, shard, cfg, callback);
         }

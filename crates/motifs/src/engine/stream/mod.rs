@@ -249,6 +249,20 @@ fn group_end_by<T>(evs: &[T], i: usize, time: impl Fn(&T) -> tnm_graph::Time) ->
     evs[i..].iter().position(|e| time(e) != t).map_or(evs.len(), |p| i + p)
 }
 
+/// Number of distinct timestamp groups in a time-sorted event list —
+/// the unit every stream DP advances by. The sweeps tally this only
+/// when observability is enabled, keeping the extra pass off the
+/// metrics-off hot path.
+fn distinct_groups<T>(evs: &[T], time: impl Fn(&T) -> tnm_graph::Time) -> u64 {
+    let mut groups = 0u64;
+    let mut i = 0usize;
+    while i < evs.len() {
+        groups += 1;
+        i = group_end_by(evs, i, &time);
+    }
+    groups
+}
+
 /// Canonical signature of a direction sequence on one node pair: `dirs`
 /// holds one bit per event (0 = same direction as a fixed pair
 /// orientation, 1 = reversed). The canonical relabeling makes the result

@@ -66,6 +66,8 @@ pub fn count_triples(graph: &TemporalGraph, delta: Time, out: &mut MotifCounts) 
 /// `triples` switches on the `counts2`/3-event machinery, which 2-event
 /// counting never reads.
 fn accumulate(graph: &TemporalGraph, delta: Time, triples: bool) -> PairAcc {
+    let obs = tnm_obs::enabled();
+    let (mut pairs_swept, mut groups_advanced, mut peak_window) = (0u64, 0u64, 0u64);
     let mut acc = PairAcc::default();
     let mut merged: Vec<PairEvent> = Vec::new();
     for edge in graph.static_edges() {
@@ -76,7 +78,18 @@ fn accumulate(graph: &TemporalGraph, delta: Time, triples: bool) -> PairAcc {
             continue;
         }
         merge_pair_events(graph, lo, hi, &mut merged);
+        if obs {
+            pairs_swept += 1;
+            groups_advanced += super::distinct_groups(&merged, |e| e.0);
+            peak_window = peak_window.max(merged.len() as u64);
+        }
         pair_window_dp(&merged, delta, triples, &mut acc);
+    }
+    if obs {
+        let reg = tnm_obs::global();
+        reg.counter("stream.pair.pairs_swept").add(pairs_swept);
+        reg.counter("stream.pair.groups_advanced").add(groups_advanced);
+        reg.gauge("stream.pair.window_events").set(peak_window);
     }
     acc
 }

@@ -105,10 +105,16 @@ pub fn count_stars(graph: &TemporalGraph, delta: Time, out: &mut MotifCounts) {
     // lone[pos][d1][d2][d3]: stars whose minority-leaf event sits at
     // `pos`, summed over all centers.
     let mut lone = [Triples::default(); 3];
+    let obs = tnm_obs::enabled();
+    let (mut centers_swept, mut peak_events) = (0u64, 0u64);
     for c in 0..graph.num_nodes() {
         scratch.load(graph, NodeId(c));
         if scratch.evs.len() < 3 {
             continue;
+        }
+        if obs {
+            centers_swept += 1;
+            peak_events = peak_events.max(scratch.evs.len() as u64);
         }
         let (e12, e123) = forward_sweep(&mut scratch, delta);
         let e23 = future_sweep(&mut scratch, delta);
@@ -122,6 +128,11 @@ pub fn count_stars(graph: &TemporalGraph, delta: Time, out: &mut MotifCounts) {
                 }
             }
         }
+    }
+    if obs {
+        let reg = tnm_obs::global();
+        reg.counter("stream.star.centers_swept").add(centers_swept);
+        reg.gauge("stream.star.center_events").set(peak_events);
     }
     // Leaf layout per lone position: the minority leaf is B, the pair
     // leaf A; canonicalization makes the naming immaterial.
@@ -145,10 +156,16 @@ pub fn count_stars(graph: &TemporalGraph, delta: Time, out: &mut MotifCounts) {
 pub fn count_wedges(graph: &TemporalGraph, delta: Time, out: &mut MotifCounts) {
     let mut scratch = CenterScratch::new(graph.num_nodes() as usize);
     let mut acc = [[0u64; 2]; 2];
+    let obs = tnm_obs::enabled();
+    let (mut centers_swept, mut peak_events) = (0u64, 0u64);
     for c in 0..graph.num_nodes() {
         scratch.load(graph, NodeId(c));
         if scratch.evs.len() < 2 {
             continue;
+        }
+        if obs {
+            centers_swept += 1;
+            peak_events = peak_events.max(scratch.evs.len() as u64);
         }
         let mut cnt_any = [0u64; 2];
         let mut front = 0usize;
@@ -177,6 +194,11 @@ pub fn count_wedges(graph: &TemporalGraph, delta: Time, out: &mut MotifCounts) {
             i = group_end;
         }
         scratch.wipe_nbr_tables();
+    }
+    if obs {
+        let reg = tnm_obs::global();
+        reg.counter("stream.star.centers_swept").add(centers_swept);
+        reg.gauge("stream.star.center_events").set(peak_events);
     }
     for d1 in 0..2 {
         for d2 in 0..2 {

@@ -43,10 +43,23 @@ pub fn count_triads(graph: &TemporalGraph, delta: Time, out: &mut MotifCounts) {
     // the signature of a label triple is triangle-independent.
     let mut acc = [0u64; LABELS * LABELS * LABELS];
     let mut merged: Vec<(Time, u8)> = Vec::new(); // (timestamp, label)
+    let obs = tnm_obs::enabled();
+    let (mut triangles_swept, mut groups_advanced, mut peak_window) = (0u64, 0u64, 0u64);
     proj.for_each_undirected_triangle(|nodes| {
         collect_triangle_events(graph, nodes, &mut merged);
+        if obs {
+            triangles_swept += 1;
+            groups_advanced += super::distinct_groups(&merged, |e| e.0);
+            peak_window = peak_window.max(merged.len() as u64);
+        }
         triangle_window_dp(&merged, delta, &combos, &mut acc);
     });
+    if obs {
+        let reg = tnm_obs::global();
+        reg.counter("stream.triad.triangles_swept").add(triangles_swept);
+        reg.counter("stream.triad.groups_advanced").add(groups_advanced);
+        reg.gauge("stream.triad.window_events").set(peak_window);
+    }
     for (slot, &n) in acc.iter().enumerate() {
         if n > 0 {
             let sig = sig_table[slot].expect("only all-three-pairs slots accumulate");

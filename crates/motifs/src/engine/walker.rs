@@ -258,6 +258,15 @@ pub struct Walker<'g, C: CandidateSource> {
     pairs: Vec<(u8, u8)>,
     cand_bufs: Vec<Vec<EventIdx>>,
     scratch: ConsecutiveScratch,
+    /// `tnm_obs::enabled()` captured at construction: per-candidate
+    /// instrumentation is one branch on a plain bool, and the tallies
+    /// below stay thread-local until [`Drop`] flushes them to the
+    /// global registry (`engine.events_scanned` /
+    /// `engine.candidates_pruned` / `engine.instances_emitted`).
+    obs: bool,
+    scanned: u64,
+    pruned: u64,
+    emitted: u64,
 }
 
 impl<'g, C: CandidateSource> Walker<'g, C> {
@@ -274,6 +283,10 @@ impl<'g, C: CandidateSource> Walker<'g, C> {
             pairs: Vec::with_capacity(k),
             cand_bufs: (0..k).map(|_| Vec::new()).collect(),
             scratch: ConsecutiveScratch::new(),
+            obs: tnm_obs::enabled(),
+            scanned: 0,
+            pruned: 0,
+            emitted: 0,
         }
     }
 
@@ -371,9 +384,14 @@ impl<'g, C: CandidateSource> Walker<'g, C> {
         let mut pos = 0;
         while pos < cands.len() {
             let idx = cands[pos];
+            if self.obs {
+                self.scanned += 1;
+            }
             if let Some(added) = self.try_push(idx) {
                 self.descend(emit);
                 self.pop(added);
+            } else if self.obs {
+                self.pruned += 1;
             }
             pos += 1;
         }
@@ -398,6 +416,9 @@ impl<'g, C: CandidateSource> Walker<'g, C> {
             MotifSignature::from_pairs(&self.pairs).expect("walker builds canonical pairs");
         let inst = MotifInstance { events: &self.seq, signature };
         emit(&inst);
+        if self.obs {
+            self.emitted += 1;
+        }
     }
 
     /// Walks every instance whose first event index lies in `start_range`.
@@ -417,10 +438,28 @@ impl<'g, C: CandidateSource> Walker<'g, C> {
     ) {
         for start in start_range {
             debug_assert!(self.seq.is_empty() && self.digits.is_empty());
+            if self.obs {
+                self.scanned += 1;
+            }
             if let Some(added) = self.try_push(start as EventIdx) {
                 self.descend(&mut |inst| emit(inst));
                 self.pop(added);
+            } else if self.obs {
+                self.pruned += 1;
             }
+        }
+    }
+}
+
+impl<C: CandidateSource> Drop for Walker<'_, C> {
+    fn drop(&mut self) {
+        // Flush the thread-local tallies in one registry round-trip per
+        // walker lifetime — never per event.
+        if self.obs && (self.scanned | self.pruned | self.emitted) != 0 {
+            let reg = tnm_obs::global();
+            reg.counter("engine.events_scanned").add(self.scanned);
+            reg.counter("engine.candidates_pruned").add(self.pruned);
+            reg.counter("engine.instances_emitted").add(self.emitted);
         }
     }
 }

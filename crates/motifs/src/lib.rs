@@ -124,6 +124,14 @@
 //! through [`tnm_graph::index_cache::global_index_cache`], so repeated
 //! counts of the same graph build the index once.
 //!
+//! Every engine layer is instrumented through `tnm_obs`: hierarchical
+//! timed spans (Chrome-trace export via `tnm count --trace`) and named
+//! counters/gauges/histograms (Prometheus text via `tnm client
+//! --metrics`), all behind one atomic flag that costs a single branch
+//! when disabled. See the [engine module docs](engine#observability)
+//! for the span/metric naming contract, and `tnm count --explain` for
+//! [`engine::auto_select`]'s measured decision.
+//!
 //! Many configurations against one graph — all 36 Paranjape 3-event
 //! motifs, ΔW sweeps, model comparisons — should go through the **batch
 //! API** ([`engine::count_batch`] / [`engine::EngineKind::count_batch`]

@@ -1,0 +1,489 @@
+//! Named metrics: atomic counters, peak-tracking gauges, and
+//! log-bucketed histograms, interned in a [`Registry`].
+//!
+//! Handles returned by [`Registry::counter`] / [`gauge`](Registry::gauge)
+//! / [`histogram`](Registry::histogram) are `Arc`s to the live atomics:
+//! hot paths resolve a name once, keep the handle, and update it
+//! lock-free. [`Registry::snapshot`] freezes everything into sorted
+//! [`BTreeMap`]s so two snapshots of the same state are identical —
+//! including their [`Snapshot::to_prometheus`] text rendering — and
+//! [`Registry::apply`] merges a snapshot back into a live registry
+//! (how the distributed coordinator folds worker-side metrics in).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of histogram buckets: one for zero plus one per power of two
+/// up to `u64::MAX` (bucket `i ≥ 1` spans `[2^(i-1), 2^i - 1]`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The bucket index a value lands in: `0` for zero, otherwise
+/// `64 - leading_zeros` (so 1 → 1, 2..=3 → 2, 4..=7 → 3, …).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// The largest value bucket `index` admits (`u64::MAX` for the last).
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64.. => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A level with automatic peak tracking: every update also
+/// `fetch_max`es the high-water mark.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the level to `value`.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+        self.peak.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Raises the level by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let now = self.value.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by `n` (saturating via wrapping semantics is
+    /// the caller's responsibility; levels never go negative in
+    /// correct pairing).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since creation (or the last reset).
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucketed histogram: 65 atomic buckets plus running count and
+/// sum. Built for nanosecond latencies — relative bucket error is at
+/// most 2×, which is plenty to separate a 2 µs verify from a 2 ms
+/// spill.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n != 0).then_some((i as u8, n))
+            })
+            .collect();
+        HistogramSnapshot { count: self.count(), sum: self.sum(), buckets }
+    }
+}
+
+/// Frozen gauge state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GaugeSnapshot {
+    /// Level at snapshot time.
+    pub value: u64,
+    /// High-water mark at snapshot time.
+    pub peak: u64,
+}
+
+/// Frozen histogram state: total count/sum plus the *sparse* sorted
+/// list of non-empty `(bucket index, count)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Non-empty buckets as `(index, count)`, index-ascending.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0 with no data.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound of the highest non-empty bucket — a cheap proxy for
+    /// the maximum observation (within 2×).
+    pub fn max_bound(&self) -> u64 {
+        self.buckets.last().map_or(0, |&(i, _)| bucket_upper_bound(i as usize))
+    }
+
+    /// Folds `other` into `self` bucket-wise.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        let mut merged: BTreeMap<u8, u64> = self.buckets.iter().copied().collect();
+        for &(i, n) in &other.buckets {
+            *merged.entry(i).or_insert(0) += n;
+        }
+        self.buckets = merged.into_iter().collect();
+    }
+}
+
+/// A deterministic frozen view of a [`Registry`]: sorted maps, so
+/// equality and text rendering are stable for identical state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge value/peak pairs by name.
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds `other` in: counters add, gauges keep the component-wise
+    /// maximum (they are levels, not flows), histograms merge
+    /// bucket-wise.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, g) in &other.gauges {
+            let e = self.gauges.entry(name.clone()).or_default();
+            e.value = e.value.max(g.value);
+            e.peak = e.peak.max(g.peak);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Renders Prometheus-style text exposition: `.`/`-` in names
+    /// become `_`; gauges emit a `_peak` companion; histograms emit
+    /// cumulative `_bucket{le="…"}` series plus `_sum`/`_count`.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, g) in &self.gauges {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", g.value));
+            out.push_str(&format!("# TYPE {n}_peak gauge\n{n}_peak {}\n", g.peak));
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cumulative = 0u64;
+            for &(i, count) in &h.buckets {
+                cumulative += count;
+                out.push_str(&format!(
+                    "{n}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    bucket_upper_bound(i as usize)
+                ));
+            }
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
+}
+
+/// An interning store of named metrics. Lookups take a read lock and
+/// return `Arc` handles; updates through handles are lock-free.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<HashMap<String, Arc<Counter>>>,
+    gauges: RwLock<HashMap<String, Arc<Gauge>>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+fn intern<T: Default>(map: &RwLock<HashMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().expect("obs registry lock").get(name) {
+        return Arc::clone(found);
+    }
+    let mut w = map.write().expect("obs registry lock");
+    Arc::clone(w.entry(name.to_string()).or_default())
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        intern(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        intern(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        intern(&self.histograms, name)
+    }
+
+    /// Freezes every metric into a deterministic [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("obs registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .expect("obs registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), GaugeSnapshot { value: v.get(), peak: v.peak() }))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("obs registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        Snapshot { counters, gauges, histograms }
+    }
+
+    /// Merges a frozen snapshot into this live registry: counters add,
+    /// gauges `fetch_max`, histograms add bucket-wise. This is how the
+    /// distributed coordinator folds worker-side metrics in.
+    pub fn apply(&self, snap: &Snapshot) {
+        for (name, v) in &snap.counters {
+            self.counter(name).add(*v);
+        }
+        for (name, g) in &snap.gauges {
+            let gauge = self.gauge(name);
+            gauge.value.fetch_max(g.value, Ordering::Relaxed);
+            gauge.peak.fetch_max(g.peak, Ordering::Relaxed);
+        }
+        for (name, h) in &snap.histograms {
+            let hist = self.histogram(name);
+            hist.count.fetch_add(h.count, Ordering::Relaxed);
+            hist.sum.fetch_add(h.sum, Ordering::Relaxed);
+            for &(i, n) in &h.buckets {
+                hist.buckets[i as usize].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drops every metric. Outstanding handles stay usable but are
+    /// detached — later lookups of the same name mint fresh atomics.
+    /// Test isolation only; production code never resets.
+    pub fn reset(&self) {
+        self.counters.write().expect("obs registry lock").clear();
+        self.gauges.write().expect("obs registry lock").clear();
+        self.histograms.write().expect("obs registry lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // Exact boundary sweep: 0 is its own bucket, then [2^(i-1), 2^i).
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        for i in 1..64 {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "upper bound of bucket {i}");
+            assert_eq!(bucket_upper_bound(i), hi);
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        assert_eq!(bucket_upper_bound(0), 0);
+    }
+
+    #[test]
+    fn histogram_records_land_in_their_buckets() {
+        let h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1000, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 8);
+        assert_eq!(snap.sum, 2034u64.wrapping_add(u64::MAX));
+        assert_eq!(
+            snap.buckets,
+            vec![(0, 1), (1, 1), (2, 2), (3, 1), (10, 1), (11, 1), (64, 1)],
+            "0→b0, 1→b1, 2,3→b2, 4→b3, 1000→b10, 1024→b11, MAX→b64"
+        );
+        assert_eq!(snap.max_bound(), u64::MAX);
+    }
+
+    #[test]
+    fn gauge_tracks_peak_across_set_add_sub() {
+        let g = Gauge::default();
+        g.set(10);
+        g.add(5);
+        g.sub(12);
+        assert_eq!(g.get(), 3);
+        assert_eq!(g.peak(), 15);
+        g.set(4);
+        assert_eq!(g.peak(), 15, "peak survives lower sets");
+    }
+
+    #[test]
+    fn snapshots_are_deterministic_and_sorted() {
+        let r = Registry::new();
+        r.counter("z.last").add(1);
+        r.counter("a.first").add(2);
+        r.gauge("m.mid").set(7);
+        r.histogram("h.lat").record(100);
+        let s1 = r.snapshot();
+        let s2 = r.snapshot();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.to_prometheus(), s2.to_prometheus());
+        let names: Vec<_> = s1.counters.keys().cloned().collect();
+        assert_eq!(names, vec!["a.first", "z.last"], "BTreeMap iteration is sorted");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_sanitized() {
+        let r = Registry::new();
+        r.counter("cache.index-hits").add(3);
+        let h = r.histogram("lat.ns");
+        h.record(1); // bucket 1, le=1
+        h.record(2); // bucket 2, le=3
+        h.record(3); // bucket 2
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("cache_index_hits 3"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"3\"} 3"), "cumulative: {text}");
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("lat_ns_sum 6"), "{text}");
+        assert!(text.contains("lat_ns_count 3"), "{text}");
+    }
+
+    #[test]
+    fn apply_merges_worker_snapshots_into_a_live_registry() {
+        let worker = Registry::new();
+        worker.counter("engine.events_scanned").add(40);
+        worker.gauge("shard.resident_events").set(900);
+        worker.histogram("verify.ns").record(512);
+
+        let coordinator = Registry::new();
+        coordinator.counter("engine.events_scanned").add(2);
+        coordinator.gauge("shard.resident_events").set(100);
+        coordinator.histogram("verify.ns").record(64);
+
+        coordinator.apply(&worker.snapshot());
+        let merged = coordinator.snapshot();
+        assert_eq!(merged.counters["engine.events_scanned"], 42);
+        assert_eq!(merged.gauges["shard.resident_events"].peak, 900, "gauges max, not add");
+        assert_eq!(merged.histograms["verify.ns"].count, 2);
+        assert_eq!(merged.histograms["verify.ns"].buckets, vec![(7, 1), (10, 1)]);
+    }
+
+    #[test]
+    fn snapshot_merge_matches_apply_semantics() {
+        let a = Registry::new();
+        a.counter("c").add(1);
+        a.histogram("h").record(10);
+        let b = Registry::new();
+        b.counter("c").add(2);
+        b.histogram("h").record(20);
+        let mut left = a.snapshot();
+        left.merge(&b.snapshot());
+        a.apply(&b.snapshot());
+        assert_eq!(left, a.snapshot());
+    }
+}

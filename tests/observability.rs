@@ -1,0 +1,120 @@
+//! Observability is read-only: pins for the engine instrumentation.
+//!
+//! The whole `tnm_obs` layer rides inside the counting hot paths, so
+//! its core contract needs its own suite:
+//!
+//! * **Counts are bit-identical with metrics on and off** — flipping
+//!   the global switch must never change what gets counted, across
+//!   every exact engine (including the work-stealing executor and the
+//!   spill-mode sharded engine, whose instrumentation sits closest to
+//!   the walk).
+//! * **Disabled runs record nothing** — with the switch off, a full
+//!   multi-engine pass leaves the global registry empty and the span
+//!   collector empty; the disabled path is one branch, not a
+//!   "record-but-hide".
+//! * **Enabled runs land on the documented names** — the
+//!   `engine.*` / `cache.*` counter names in the engine module docs
+//!   are a wire-adjacent contract (dashboards key off them), so a
+//!   windowed run must populate exactly those families.
+//!
+//! Every test serializes on [`tnm_obs::test_guard`]: the registry and
+//! the enabled switch are process-global.
+
+use temporal_motifs::prelude::*;
+use tnm_datasets::{generate, DatasetSpec};
+use tnm_motifs::engine::{
+    BacktrackEngine, CountEngine, ParallelEngine, ShardedEngine, StreamEngine, WindowedEngine,
+};
+
+fn corpus() -> TemporalGraph {
+    let mut spec = DatasetSpec::by_name("CollegeMsg").expect("known dataset");
+    spec.num_events = 4_000;
+    generate(&spec, 11)
+}
+
+/// Engines whose instrumentation sits in distinct layers: the serial
+/// walkers, the work-stealing executor, sharding (resident and spill
+/// mode), and the stream DPs.
+fn engines() -> Vec<Box<dyn CountEngine>> {
+    vec![
+        Box::new(BacktrackEngine),
+        Box::new(WindowedEngine),
+        Box::new(ParallelEngine::new(4)),
+        Box::new(ShardedEngine::new(600)),
+        Box::new(ShardedEngine::new(600).with_max_resident(1)),
+        Box::new(StreamEngine),
+    ]
+}
+
+fn configs() -> Vec<EnumConfig> {
+    vec![
+        EnumConfig::new(3, 3).exact_nodes(3).with_timing(Timing::only_w(3_000)),
+        EnumConfig::new(2, 3).with_timing(Timing::both(500, 3_000)),
+    ]
+}
+
+#[test]
+fn counts_are_bit_identical_with_metrics_on_and_off() {
+    let _guard = tnm_obs::test_guard();
+    let g = corpus();
+    for cfg in configs() {
+        for engine in engines() {
+            tnm_obs::set_enabled(false);
+            let off = engine.count(&g, &cfg);
+            tnm_obs::set_enabled(true);
+            tnm_obs::global().reset();
+            tnm_obs::drain_spans();
+            let on = engine.count(&g, &cfg);
+            let recorded = tnm_obs::global().snapshot();
+            tnm_obs::drain_spans();
+            tnm_obs::set_enabled(false);
+            tnm_obs::global().reset();
+            assert_eq!(off, on, "{}: counts must not depend on the metrics switch", engine.name());
+            assert!(
+                !recorded.is_empty(),
+                "{}: an enabled run must actually record something",
+                engine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn disabled_runs_record_nothing() {
+    let _guard = tnm_obs::test_guard();
+    tnm_obs::set_enabled(false);
+    tnm_obs::global().reset();
+    tnm_obs::drain_spans();
+    let g = corpus();
+    for cfg in configs() {
+        for engine in engines() {
+            let _ = engine.count(&g, &cfg);
+        }
+    }
+    assert!(tnm_obs::global().snapshot().is_empty(), "disabled runs must not touch the registry");
+    assert!(tnm_obs::drain_spans().is_empty(), "disabled runs must not record spans");
+}
+
+#[test]
+fn enabled_windowed_run_lands_on_the_documented_names() {
+    let _guard = tnm_obs::test_guard();
+    let g = corpus();
+    let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(3_000));
+    tnm_obs::set_enabled(true);
+    tnm_obs::global().reset();
+    tnm_obs::drain_spans();
+    let counts = WindowedEngine.count(&g, &cfg);
+    let snap = tnm_obs::global().snapshot();
+    tnm_obs::drain_spans();
+    tnm_obs::set_enabled(false);
+    tnm_obs::global().reset();
+    let scanned = snap.counters.get("engine.events_scanned").copied().unwrap_or(0);
+    let emitted = snap.counters.get("engine.instances_emitted").copied().unwrap_or(0);
+    assert!(scanned > 0, "the walker flushes its scan tally: {:?}", snap.counters);
+    assert_eq!(emitted, counts.total(), "emitted tally equals the spectrum total");
+    assert!(
+        snap.counters.keys().any(|k| k.starts_with("cache.index.")),
+        "the windowed engine goes through the index cache: {:?}",
+        snap.counters
+    );
+}

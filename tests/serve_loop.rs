@@ -238,6 +238,80 @@ fn bad_peers_do_not_kill_the_daemon() {
     server.join().unwrap();
 }
 
+/// The server's metrics registry under concurrent clients: once the
+/// racing connections have drained, the snapshot is deterministic
+/// (reading it twice gives identical results, and reading it does not
+/// perturb it) and every counter/histogram adds up to exactly the work
+/// the clients did.
+#[test]
+fn metrics_snapshots_are_deterministic_under_concurrent_clients() {
+    let (server, addr) = spawn_server();
+    let mut handles = Vec::new();
+    for t in 0..3u64 {
+        handles.push(std::thread::spawn(move || {
+            let mut events = random_events(300 + t, 20, 450, 1800);
+            events.sort_unstable();
+            let (base, tail) = events.split_at(400);
+            let mut client = ServeClient::connect(addr).unwrap();
+            let name = format!("m-{t}");
+            client.load_graph(&name, base, 0).unwrap();
+            let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(120));
+            // One subscription per client, advanced by one append.
+            client.subscribe(&name, &cfg).unwrap();
+            client.append_events(&name, tail).unwrap();
+            for _ in 0..2 {
+                let q = Query::Count { cfg: cfg.clone(), engine: EngineKind::Windowed, threads: 1 };
+                client.query(&name, &q).unwrap();
+            }
+            let q = Query::Batch {
+                cfgs: vec![cfg.clone(), EnumConfig::new(2, 2).with_timing(Timing::only_w(60))],
+                engine: EngineKind::Windowed,
+                threads: 1,
+            };
+            client.query(&name, &q).unwrap();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Connection-close observations land asynchronously after the
+    // client sockets drop; wait until all three are in before pinning
+    // determinism.
+    let mut client = ServeClient::connect(addr).unwrap();
+    let mut snap = client.metrics().unwrap();
+    for _ in 0..200 {
+        if snap.histograms.get("serve.connection_frames").map_or(0, |h| h.count) >= 3 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        snap = client.metrics().unwrap();
+    }
+
+    // Idle server: consecutive reads are identical (metrics and stats
+    // requests themselves are not counted as queries).
+    assert_eq!(client.metrics().unwrap(), snap);
+    assert_eq!(client.metrics().unwrap(), snap);
+
+    // And the totals are exactly the work performed: 3 clients × 3
+    // queries, 3 × 50 appended events, one subscription advance each.
+    assert_eq!(snap.counters["serve.queries"], 9);
+    assert_eq!(snap.counters["serve.appends"], 150);
+    assert_eq!(snap.histograms["serve.query.count_ns"].count, 6);
+    assert_eq!(snap.histograms["serve.query.batch_ns"].count, 3);
+    assert_eq!(snap.histograms["serve.subscription_advance_ns"].count, 3);
+    assert_eq!(snap.histograms["serve.connection_frames"].count, 3);
+
+    // Stats carries the same snapshot in its versioned section.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.queries, 9);
+    assert_eq!(stats.appends, 150);
+    assert_eq!(stats.obs, snap);
+
+    client.shutdown().unwrap();
+    server.join().unwrap();
+}
+
 #[test]
 fn concurrent_clients_are_isolated() {
     let (server, addr) = spawn_server();

@@ -4,7 +4,8 @@
 //! workspace's benches use (`criterion_group!`/`criterion_main!`,
 //! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
 //! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
-//! `Bencher::iter`), but with a deliberately simple measurement model:
+//! `Bencher::iter`, `Bencher::iter_custom`), but with a deliberately
+//! simple measurement model:
 //! each benchmark runs one untimed warm-up iteration followed by
 //! `min(sample_size, TNM_BENCH_ITERS)` timed iterations, and reports
 //! min / mean / max wall-clock time per iteration.
@@ -283,17 +284,34 @@ impl Bencher {
         let probe = Instant::now();
         std::hint::black_box(f()); // warm-up, untimed
         let warm = probe.elapsed();
+        for _ in 0..self.boosted_iters(warm) {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.times.push(t0.elapsed());
+        }
+    }
+
+    /// Runs a body that measures itself. The closure receives an
+    /// iteration count (always 1 under this harness's eager model) and
+    /// returns the duration it measured — use it when only part of the
+    /// body should count, e.g. timing one phase of a larger run. The
+    /// warm-up call's reported duration drives the same fast-body boost
+    /// as [`Bencher::iter`].
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let warm = f(1); // warm-up; its self-reported time is the cost probe
+        for _ in 0..self.boosted_iters(warm) {
+            self.times.push(f(1));
+        }
+    }
+
+    fn boosted_iters(&self, warm: Duration) -> u64 {
         let mut iters = self.iters;
         if warm < FAST_BODY_THRESHOLD {
             let per_ns = warm.as_nanos().max(1);
             let fill = (FAST_BODY_BUDGET.as_nanos() / per_ns).min(MAX_BOOSTED_ITERS as u128) as u64;
             iters = iters.max(fill);
         }
-        for _ in 0..iters {
-            let t0 = Instant::now();
-            std::hint::black_box(f());
-            self.times.push(t0.elapsed());
-        }
+        iters
     }
 }
 
@@ -370,6 +388,23 @@ mod tests {
         let recs = registry().lock().unwrap();
         let rec = recs.iter().find(|r| r.group == "boost" && r.id == "slow").unwrap();
         assert_eq!(rec.iters, iter_cap().min(10), "past-threshold bodies keep the cap");
+    }
+
+    #[test]
+    fn iter_custom_uses_reported_durations() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("custom");
+        g.sample_size(2);
+        // Report a fixed 10ms per call: past the fast-body threshold, so
+        // the configured cap holds and min == mean == max == 10ms even
+        // though the closure itself returns instantly.
+        g.bench_function("fixed", |b| b.iter_custom(|_iters| Duration::from_millis(10)));
+        g.finish();
+        let recs = registry().lock().unwrap();
+        let rec = recs.iter().find(|r| r.group == "custom" && r.id == "fixed").unwrap();
+        assert_eq!(rec.iters, iter_cap().min(2));
+        assert_eq!(rec.min, Duration::from_millis(10));
+        assert_eq!(rec.max, Duration::from_millis(10));
     }
 
     #[test]
