@@ -20,14 +20,16 @@
 //! object per benchmark; set `TNM_BENCH_JSON=path` to also write it to a
 //! file) — this feeds the repo's `BENCH_*.json` trajectory.
 
+mod legacy;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use std::time::Duration;
 use tnm_datasets::{generate, DatasetSpec};
 use tnm_graph::TemporalGraph;
 use tnm_motifs::engine::{
-    auto_select, BacktrackEngine, CountEngine, DistributedEngine, ParallelEngine, StreamEngine,
-    WindowedEngine, PARALLEL_MIN_WINDOW_EVENTS, SERIAL_FALLBACK_EVENTS,
+    auto_select, stream_hotpath, BacktrackEngine, CountEngine, DistributedEngine, ParallelEngine,
+    StreamEngine, WindowedEngine, PARALLEL_MIN_WINDOW_EVENTS, SERIAL_FALLBACK_EVENTS,
 };
 use tnm_motifs::pattern::{matcher::StreamingMatcher, EventPattern};
 use tnm_motifs::prelude::*;
@@ -510,6 +512,152 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The dense hub graph the hot-path groups share: 12 nodes, 20k events
+/// over 20k seconds — long per-pair/per-center/per-triangle merged
+/// lists, so the DP inner loops dominate and layout effects show.
+fn hotpath_graph() -> TemporalGraph {
+    let mut b = tnm_graph::TemporalGraphBuilder::new();
+    let mut x = 0xC2B2AE3D27D4EB4Fu64;
+    for t in 0..20_000i64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let u = ((x >> 33) % 12) as u32;
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut v = ((x >> 33) % 12) as u32;
+        if v == u {
+            v = (v + 1) % 12;
+        }
+        b.push(tnm_graph::Event::new(u, v, t));
+    }
+    b.build().unwrap()
+}
+
+/// The SoA layout decision measured in isolation: a batch of δ-window
+/// probes answered by `partition_point` over the dense time column vs
+/// the same probes striding the 24-byte `Event` structs. Everything
+/// else (`hotpath_{pair,star,triad}_dp`) builds on this primitive.
+fn bench_hotpath_window_probe(c: &mut Criterion) {
+    let g = dataset("Email", 20_000);
+    let events = g.events();
+    let (t0, t1) = (events[0].time, events[events.len() - 1].time);
+    let mut probes = Vec::with_capacity(4_096);
+    let mut x = 0x243F6A8885A308D3u64;
+    for _ in 0..4_096 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let a = t0 + ((x >> 17) as i64).rem_euclid((t1 - t0).max(1));
+        probes.push((a, a + 3_000));
+    }
+    let times = g.times();
+    let probe_aos = || {
+        probes
+            .iter()
+            .map(|&(a, b)| {
+                events.partition_point(|e| e.time <= b) - events.partition_point(|e| e.time < a)
+            })
+            .sum::<usize>()
+    };
+    let probe_soa = || {
+        probes
+            .iter()
+            .map(|&(a, b)| times.partition_point(|&t| t <= b) - times.partition_point(|&t| t < a))
+            .sum::<usize>()
+    };
+    assert_eq!(probe_aos(), probe_soa(), "layouts must answer probes identically");
+    let mut group = c.benchmark_group("hotpath_window_probe");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.bench_function("aos_struct", |b| b.iter(|| black_box(probe_aos())));
+    group.bench_function("soa_column", |b| b.iter(|| black_box(probe_soa())));
+    group.finish();
+}
+
+/// The branchless arena pair DP vs the faithful pre-rewrite copy
+/// (per-pair `Vec` merge chasing `graph.event()`, nested-array tables).
+fn bench_hotpath_pair_dp(c: &mut Criterion) {
+    let g = hotpath_graph();
+    let delta = 60i64;
+    assert_eq!(
+        legacy::pair_triples(&g, delta),
+        stream_hotpath::pair_triples(&g, delta),
+        "legacy and SoA pair DPs must agree before racing"
+    );
+    let mut group = c.benchmark_group("hotpath_pair_dp");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.num_events() as u64));
+    group.bench_function("legacy", |b| b.iter(|| black_box(legacy::pair_triples(&g, delta))));
+    group.bench_function("soa", |b| b.iter(|| black_box(stream_hotpath::pair_triples(&g, delta))));
+    group.finish();
+}
+
+/// The flat-table shared-bounds star sweeps vs the pre-rewrite AoS
+/// `Incident`-struct version with per-event group scans.
+fn bench_hotpath_star_dp(c: &mut Criterion) {
+    let g = hotpath_graph();
+    let delta = 60i64;
+    assert_eq!(
+        legacy::star_stars(&g, delta),
+        stream_hotpath::star_stars(&g, delta),
+        "legacy and SoA star sweeps must agree before racing"
+    );
+    let mut group = c.benchmark_group("hotpath_star_dp");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.num_events() as u64));
+    group.bench_function("legacy", |b| b.iter(|| black_box(legacy::star_stars(&g, delta))));
+    group.bench_function("soa", |b| b.iter(|| black_box(stream_hotpath::star_stars(&g, delta))));
+    group.finish();
+}
+
+/// The cache-blocked six-way-merge triad DP vs the pre-rewrite
+/// collect-then-sort version in projection order.
+fn bench_hotpath_triad_dp(c: &mut Criterion) {
+    let g = hotpath_graph();
+    let delta = 60i64;
+    assert_eq!(
+        legacy::triad_triads(&g, delta),
+        stream_hotpath::triad_triads(&g, delta),
+        "legacy and blocked triad DPs must agree before racing"
+    );
+    let mut group = c.benchmark_group("hotpath_triad_dp");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.num_events() as u64));
+    group.bench_function("legacy", |b| b.iter(|| black_box(legacy::triad_triads(&g, delta))));
+    group.bench_function("soa", |b| b.iter(|| black_box(stream_hotpath::triad_triads(&g, delta))));
+    group.finish();
+}
+
+/// Shard-plan boundary scans: the live planner's dense-time-column
+/// `partition_point`s vs the pre-rewrite `Event`-struct scans.
+fn bench_hotpath_shard_plan(c: &mut Criterion) {
+    let g = dataset("Email", 20_000);
+    let (reach, target) = (3_000i64, 500usize);
+    let plan =
+        tnm_graph::plan_shards(&g, Some(reach), tnm_graph::ShardGoal::EventsPerShard(target));
+    let legacy_total: usize =
+        legacy::plan_scan(&g, reach, target).iter().map(|(_, r)| r.len()).sum();
+    assert_eq!(legacy_total, plan.total_materialized_events(), "plans must agree before racing");
+    let mut group = c.benchmark_group("hotpath_shard_plan");
+    group.sample_size(10);
+    group.bench_function("legacy", |b| {
+        b.iter(|| {
+            black_box(
+                legacy::plan_scan(&g, reach, target).iter().map(|(_, r)| r.len()).sum::<usize>(),
+            )
+        })
+    });
+    group.bench_function("soa", |b| {
+        b.iter(|| {
+            black_box(
+                tnm_graph::plan_shards(
+                    &g,
+                    Some(reach),
+                    tnm_graph::ShardGoal::EventsPerShard(target),
+                )
+                .total_materialized_events(),
+            )
+        })
+    });
+    group.finish();
+}
+
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("dataset_generation");
     group.sample_size(10);
@@ -540,6 +688,11 @@ criterion_group!(
     bench_signature_targeting,
     bench_streaming_matcher,
     bench_obs_overhead,
+    bench_hotpath_window_probe,
+    bench_hotpath_pair_dp,
+    bench_hotpath_star_dp,
+    bench_hotpath_triad_dp,
+    bench_hotpath_shard_plan,
     bench_generation
 );
 criterion_main!(benches);

@@ -1,0 +1,523 @@
+//! Faithful copies of the pre-data-oriented hot-path implementations,
+//! kept as bench baselines for the `hotpath_*` groups.
+//!
+//! Each function here reproduces the algorithm exactly as it shipped
+//! before the SoA/arena rewrite — per-pair `Vec<(Time, u8)>` merges
+//! chasing `graph.event(idx)`, nested-array DP tables, AoS
+//! `Incident`-struct star scratch, per-triangle collect-and-sort, and
+//! `Event`-struct `partition_point` shard scans — minus the
+//! observability tallies (the benches run with metrics disabled, and
+//! the live implementations keep their one-branch obs guards, so the
+//! comparison slightly favors the legacy side). The new implementations
+//! are benched through `tnm_motifs::engine::stream_hotpath` and the
+//! public `tnm_graph` API; both sides of every group are asserted
+//! bit-identical before timing.
+#![allow(clippy::needless_range_loop)]
+
+use tnm_graph::static_proj::global_projection_cache;
+use tnm_graph::{Edge, NodeId, TemporalGraph, Time};
+use tnm_motifs::count::MotifCounts;
+use tnm_motifs::notation::MotifSignature;
+
+/// End of the timestamp group starting at `i` (the pre-arena group
+/// primitive: a linear scan per group).
+fn group_end_by<T>(evs: &[T], i: usize, time: impl Fn(&T) -> Time) -> usize {
+    let t = time(&evs[i]);
+    evs[i..].iter().position(|e| time(e) != t).map_or(evs.len(), |p| i + p)
+}
+
+fn two_node_signature(dirs: &[u8]) -> MotifSignature {
+    let pairs: Vec<(u8, u8)> = dirs.iter().map(|&d| if d == 0 { (0, 1) } else { (1, 0) }).collect();
+    MotifSignature::canonicalize(&pairs)
+}
+
+fn star_signature(legs: &[u8], dirs: &[u8]) -> MotifSignature {
+    const CENTER: u8 = 0;
+    let pairs: Vec<(u8, u8)> = legs
+        .iter()
+        .zip(dirs)
+        .map(|(&leaf, &d)| {
+            let leaf = leaf + 1;
+            if d == 0 {
+                (CENTER, leaf)
+            } else {
+                (leaf, CENTER)
+            }
+        })
+        .collect();
+    MotifSignature::canonicalize(&pairs)
+}
+
+// ---------------------------------------------------------------- pair
+
+type PairEvent = (Time, u8);
+
+#[derive(Default)]
+struct PairAcc {
+    three: [[[u64; 2]; 2]; 2],
+}
+
+/// Pre-rewrite 3-event 2-node counting: per-pair merged `Vec` resolved
+/// through `graph.event(idx).time`, nested-array window DP with
+/// per-event group scans.
+pub fn pair_triples(graph: &TemporalGraph, delta: Time) -> MotifCounts {
+    let mut acc = PairAcc::default();
+    let mut merged: Vec<PairEvent> = Vec::new();
+    for edge in graph.static_edges() {
+        let (lo, hi) = (edge.src.min(edge.dst), edge.src.max(edge.dst));
+        if edge.src > edge.dst && graph.has_edge(Edge { src: lo, dst: hi }) {
+            continue;
+        }
+        merge_pair_events(graph, lo, hi, &mut merged);
+        pair_window_dp(&merged, delta, &mut acc);
+    }
+    let mut out = MotifCounts::new();
+    for d1 in 0..2 {
+        for d2 in 0..2 {
+            for d3 in 0..2 {
+                let n = acc.three[d1][d2][d3];
+                if n > 0 {
+                    out.add(two_node_signature(&[d1 as u8, d2 as u8, d3 as u8]), n);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn merge_pair_events(graph: &TemporalGraph, lo: NodeId, hi: NodeId, out: &mut Vec<PairEvent>) {
+    out.clear();
+    let fwd = graph.edge_events(Edge { src: lo, dst: hi });
+    let rev = graph.edge_events(Edge { src: hi, dst: lo });
+    let (mut i, mut j) = (0, 0);
+    while i < fwd.len() || j < rev.len() {
+        let take_fwd = match (fwd.get(i), rev.get(j)) {
+            (Some(&a), Some(&b)) => a < b,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_fwd {
+            out.push((graph.event(fwd[i]).time, 0));
+            i += 1;
+        } else {
+            out.push((graph.event(rev[j]).time, 1));
+            j += 1;
+        }
+    }
+}
+
+fn pair_window_dp(evs: &[PairEvent], delta: Time, acc: &mut PairAcc) {
+    let mut counts1 = [0u64; 2];
+    let mut counts2 = [[0u64; 2]; 2];
+    let mut front = 0usize;
+    let mut i = 0usize;
+    while i < evs.len() {
+        let t = evs[i].0;
+        let group_end = group_end_by(evs, i, |e| e.0);
+        while front < i && evs[front].0 < t - delta {
+            let expire_end = group_end_by(evs, front, |e| e.0);
+            for &(_, d) in &evs[front..expire_end] {
+                counts1[d as usize] -= 1;
+            }
+            for &(_, d) in &evs[front..expire_end] {
+                for d2 in 0..2 {
+                    counts2[d as usize][d2] -= counts1[d2];
+                }
+            }
+            front = expire_end;
+        }
+        for &(_, d) in &evs[i..group_end] {
+            for d1 in 0..2 {
+                for d2 in 0..2 {
+                    acc.three[d1][d2][d as usize] += counts2[d1][d2];
+                }
+            }
+        }
+        for &(_, d) in &evs[i..group_end] {
+            for d1 in 0..2 {
+                counts2[d1][d as usize] += counts1[d1];
+            }
+        }
+        for &(_, d) in &evs[i..group_end] {
+            counts1[d as usize] += 1;
+        }
+        i = group_end;
+    }
+}
+
+// ---------------------------------------------------------------- star
+
+#[derive(Clone, Copy)]
+struct Incident {
+    time: Time,
+    nbr: u32,
+    dir: usize,
+}
+
+type Triples = [[[u64; 2]; 2]; 2];
+
+struct CenterScratch {
+    evs: Vec<Incident>,
+    cnt_nbr: Vec<[u64; 2]>,
+    per_nbr_pair: Vec<[[u64; 2]; 2]>,
+    pend: Vec<[u64; 2]>,
+    pstart: Vec<[u64; 2]>,
+}
+
+impl CenterScratch {
+    fn new(num_nodes: usize) -> Self {
+        CenterScratch {
+            evs: Vec::new(),
+            cnt_nbr: vec![[0; 2]; num_nodes],
+            per_nbr_pair: vec![[[0; 2]; 2]; num_nodes],
+            pend: Vec::new(),
+            pstart: Vec::new(),
+        }
+    }
+
+    fn load(&mut self, graph: &TemporalGraph, center: NodeId) {
+        self.evs.clear();
+        for &idx in graph.node_events(center) {
+            let e = graph.event(idx);
+            let (nbr, dir) = if e.src == center { (e.dst.0, 0) } else { (e.src.0, 1) };
+            self.evs.push(Incident { time: e.time, nbr, dir });
+        }
+    }
+
+    fn wipe_nbr_tables(&mut self) {
+        for e in &self.evs {
+            self.cnt_nbr[e.nbr as usize] = [0; 2];
+            self.per_nbr_pair[e.nbr as usize] = [[0; 2]; 2];
+        }
+    }
+
+    fn group_end(&self, i: usize) -> usize {
+        group_end_by(&self.evs, i, |e| e.time)
+    }
+}
+
+/// Pre-rewrite 3-event star counting: AoS `Incident` scratch, nested
+/// `[..][2][2]` tables, per-event group scans in all three sweeps.
+pub fn star_stars(graph: &TemporalGraph, delta: Time) -> MotifCounts {
+    let mut scratch = CenterScratch::new(graph.num_nodes() as usize);
+    let mut lone = [Triples::default(); 3];
+    for c in 0..graph.num_nodes() {
+        scratch.load(graph, NodeId(c));
+        if scratch.evs.len() < 3 {
+            continue;
+        }
+        let (e12, e123) = forward_sweep(&mut scratch, delta);
+        let e23 = future_sweep(&mut scratch, delta);
+        let e13 = straddle_sweep(&scratch);
+        for d1 in 0..2 {
+            for d2 in 0..2 {
+                for d3 in 0..2 {
+                    lone[2][d1][d2][d3] += e12[d1][d2][d3] - e123[d1][d2][d3];
+                    lone[0][d1][d2][d3] += e23[d1][d2][d3] - e123[d1][d2][d3];
+                    lone[1][d1][d2][d3] += e13[d1][d2][d3] - e123[d1][d2][d3];
+                }
+            }
+        }
+    }
+    let mut out = MotifCounts::new();
+    const LEGS: [[u8; 3]; 3] = [[1, 0, 0], [0, 1, 0], [0, 0, 1]];
+    for (pos, legs) in LEGS.iter().enumerate() {
+        for d1 in 0..2 {
+            for d2 in 0..2 {
+                for d3 in 0..2 {
+                    let n = lone[pos][d1][d2][d3];
+                    if n > 0 {
+                        out.add(star_signature(legs, &[d1 as u8, d2 as u8, d3 as u8]), n);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn forward_sweep(scratch: &mut CenterScratch, delta: Time) -> (Triples, Triples) {
+    let mut e12 = Triples::default();
+    let mut e123 = Triples::default();
+    let mut same_pair = [[0u64; 2]; 2];
+    scratch.pend.clear();
+    scratch.pend.resize(scratch.evs.len(), [0; 2]);
+    let mut front = 0usize;
+    let mut i = 0usize;
+    while i < scratch.evs.len() {
+        let t = scratch.evs[i].time;
+        let group_end = scratch.group_end(i);
+        while front < i && scratch.evs[front].time < t - delta {
+            let expire_end = scratch.group_end(front);
+            for e in &scratch.evs[front..expire_end] {
+                scratch.cnt_nbr[e.nbr as usize][e.dir] -= 1;
+            }
+            for e in &scratch.evs[front..expire_end] {
+                let v = e.nbr as usize;
+                for d2 in 0..2 {
+                    same_pair[e.dir][d2] -= scratch.cnt_nbr[v][d2];
+                    scratch.per_nbr_pair[v][e.dir][d2] -= scratch.cnt_nbr[v][d2];
+                }
+            }
+            front = expire_end;
+        }
+        for (idx, e) in scratch.evs[i..group_end].iter().enumerate() {
+            let v = e.nbr as usize;
+            scratch.pend[i + idx] = scratch.cnt_nbr[v];
+            for d1 in 0..2 {
+                for d2 in 0..2 {
+                    e12[d1][d2][e.dir] += same_pair[d1][d2];
+                    e123[d1][d2][e.dir] += scratch.per_nbr_pair[v][d1][d2];
+                }
+            }
+        }
+        for e in &scratch.evs[i..group_end] {
+            let v = e.nbr as usize;
+            for d1 in 0..2 {
+                same_pair[d1][e.dir] += scratch.cnt_nbr[v][d1];
+                scratch.per_nbr_pair[v][d1][e.dir] += scratch.cnt_nbr[v][d1];
+            }
+        }
+        for e in &scratch.evs[i..group_end] {
+            scratch.cnt_nbr[e.nbr as usize][e.dir] += 1;
+        }
+        i = group_end;
+    }
+    scratch.wipe_nbr_tables();
+    (e12, e123)
+}
+
+fn future_sweep(scratch: &mut CenterScratch, delta: Time) -> Triples {
+    let mut e23 = Triples::default();
+    let mut same_pair = [[0u64; 2]; 2];
+    scratch.pstart.clear();
+    scratch.pstart.resize(scratch.evs.len(), [0; 2]);
+    let (mut wstart, mut wend) = (0usize, 0usize);
+    let mut i = 0usize;
+    while i < scratch.evs.len() {
+        let t = scratch.evs[i].time;
+        let group_end = scratch.group_end(i);
+        while wstart < scratch.evs.len() && scratch.evs[wstart].time <= t {
+            let g_end = scratch.group_end(wstart);
+            if wstart < wend {
+                for e in &scratch.evs[wstart..g_end] {
+                    scratch.cnt_nbr[e.nbr as usize][e.dir] -= 1;
+                }
+                for e in &scratch.evs[wstart..g_end] {
+                    for d2 in 0..2 {
+                        same_pair[e.dir][d2] -= scratch.cnt_nbr[e.nbr as usize][d2];
+                    }
+                }
+            } else {
+                wend = g_end;
+            }
+            wstart = g_end;
+        }
+        while wend < scratch.evs.len() && scratch.evs[wend].time <= t + delta {
+            let g_end = scratch.group_end(wend);
+            for e in &scratch.evs[wend..g_end] {
+                for d1 in 0..2 {
+                    same_pair[d1][e.dir] += scratch.cnt_nbr[e.nbr as usize][d1];
+                }
+            }
+            for e in &scratch.evs[wend..g_end] {
+                scratch.cnt_nbr[e.nbr as usize][e.dir] += 1;
+            }
+            wend = g_end;
+        }
+        for (idx, e) in scratch.evs[i..group_end].iter().enumerate() {
+            scratch.pstart[i + idx] = scratch.cnt_nbr[e.nbr as usize];
+            for d2 in 0..2 {
+                for d3 in 0..2 {
+                    e23[e.dir][d2][d3] += same_pair[d2][d3];
+                }
+            }
+        }
+        i = group_end;
+    }
+    scratch.wipe_nbr_tables();
+    e23
+}
+
+fn straddle_sweep(scratch: &CenterScratch) -> Triples {
+    let mut e13 = Triples::default();
+    let mut f = [[0u64; 2]; 2];
+    let mut g = [[0u64; 2]; 2];
+    let (mut fx, mut gy) = (0usize, 0usize);
+    let mut i = 0usize;
+    while i < scratch.evs.len() {
+        let t = scratch.evs[i].time;
+        let group_end = scratch.group_end(i);
+        while fx < scratch.evs.len() && scratch.evs[fx].time < t {
+            for d3 in 0..2 {
+                f[scratch.evs[fx].dir][d3] += scratch.pstart[fx][d3];
+            }
+            fx += 1;
+        }
+        while gy < scratch.evs.len() && scratch.evs[gy].time <= t {
+            for d1 in 0..2 {
+                g[d1][scratch.evs[gy].dir] += scratch.pend[gy][d1];
+            }
+            gy += 1;
+        }
+        for e in &scratch.evs[i..group_end] {
+            for d1 in 0..2 {
+                for d3 in 0..2 {
+                    e13[d1][e.dir][d3] += f[d1][d3] - g[d1][d3];
+                }
+            }
+        }
+        i = group_end;
+    }
+    e13
+}
+
+// --------------------------------------------------------------- triad
+
+const LABELS: usize = 6;
+
+/// Pre-rewrite triad counting: per-triangle collect-then-`sort_unstable`
+/// merged lists in projection order, nested `[6][6]` counts2 table.
+pub fn triad_triads(graph: &TemporalGraph, delta: Time) -> MotifCounts {
+    let proj = global_projection_cache().get_or_build(graph);
+    let sig_table = label_triple_signatures();
+    let combos = closing_combos();
+    let mut acc = [0u64; LABELS * LABELS * LABELS];
+    let mut merged: Vec<(Time, u8)> = Vec::new();
+    proj.for_each_undirected_triangle(|nodes| {
+        collect_triangle_events(graph, nodes, &mut merged);
+        triangle_window_dp(&merged, delta, &combos, &mut acc);
+    });
+    let mut out = MotifCounts::new();
+    for (slot, &n) in acc.iter().enumerate() {
+        if n > 0 {
+            let sig = sig_table[slot].expect("only all-three-pairs slots accumulate");
+            out.add(sig, n);
+        }
+    }
+    out
+}
+
+fn collect_triangle_events(graph: &TemporalGraph, nodes: [NodeId; 3], out: &mut Vec<(Time, u8)>) {
+    out.clear();
+    let [a, b, c] = nodes;
+    for (pair, (lo, hi)) in [(a, b), (a, c), (b, c)].into_iter().enumerate() {
+        for (dir, edge) in
+            [Edge { src: lo, dst: hi }, Edge { src: hi, dst: lo }].into_iter().enumerate()
+        {
+            let label = (pair * 2 + dir) as u8;
+            out.extend(graph.edge_events(edge).iter().map(|&idx| (graph.event(idx).time, label)));
+        }
+    }
+    out.sort_unstable();
+}
+
+fn closing_combos() -> [[(usize, usize); 8]; 3] {
+    let mut out = [[(0, 0); 8]; 3];
+    for p3 in 0..3 {
+        let [pa, pb]: [usize; 2] = match p3 {
+            0 => [1, 2],
+            1 => [0, 2],
+            _ => [0, 1],
+        };
+        let mut slot = 0;
+        for (x, y) in [(pa, pb), (pb, pa)] {
+            for dx in 0..2 {
+                for dy in 0..2 {
+                    out[p3][slot] = (x * 2 + dx, y * 2 + dy);
+                    slot += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn triangle_window_dp(
+    evs: &[(Time, u8)],
+    delta: Time,
+    combos: &[[(usize, usize); 8]; 3],
+    acc: &mut [u64; LABELS * LABELS * LABELS],
+) {
+    let group_end = |i: usize| group_end_by(evs, i, |e| e.0);
+    let mut counts1 = [0u64; LABELS];
+    let mut counts2 = [[0u64; LABELS]; LABELS];
+    let mut front = 0usize;
+    let mut i = 0usize;
+    while i < evs.len() {
+        let t = evs[i].0;
+        let g_end = group_end(i);
+        while front < i && evs[front].0 < t - delta {
+            let expire_end = group_end(front);
+            for &(_, l) in &evs[front..expire_end] {
+                counts1[l as usize] -= 1;
+            }
+            for &(_, l) in &evs[front..expire_end] {
+                for l2 in 0..LABELS {
+                    counts2[l as usize][l2] -= counts1[l2];
+                }
+            }
+            front = expire_end;
+        }
+        for &(_, l3) in &evs[i..g_end] {
+            for &(l1, l2) in &combos[(l3 / 2) as usize] {
+                acc[(l1 * LABELS + l2) * LABELS + l3 as usize] += counts2[l1][l2];
+            }
+        }
+        for &(_, l) in &evs[i..g_end] {
+            for l1 in 0..LABELS {
+                counts2[l1][l as usize] += counts1[l1];
+            }
+        }
+        for &(_, l) in &evs[i..g_end] {
+            counts1[l as usize] += 1;
+        }
+        i = g_end;
+    }
+}
+
+fn label_triple_signatures() -> Vec<Option<MotifSignature>> {
+    const ENDPOINTS: [(u8, u8); LABELS] = [(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)];
+    let mut table = vec![None; LABELS * LABELS * LABELS];
+    for l1 in 0..LABELS {
+        for l2 in 0..LABELS {
+            for l3 in 0..LABELS {
+                let pairs = [l1 / 2, l2 / 2, l3 / 2];
+                let covers_all = pairs.contains(&0) && pairs.contains(&1) && pairs.contains(&2);
+                if covers_all {
+                    let seq = [ENDPOINTS[l1], ENDPOINTS[l2], ENDPOINTS[l3]];
+                    table[(l1 * LABELS + l2) * LABELS + l3] =
+                        Some(MotifSignature::canonicalize(&seq));
+                }
+            }
+        }
+    }
+    table
+}
+
+// --------------------------------------------------------------- shard
+
+/// Pre-rewrite shard-plan boundary scan: pad and halo edges found by
+/// `partition_point` over the 24-byte `Event` structs instead of the
+/// dense time column. Returns the planned `(owned, materialized)`
+/// ranges, mirroring the allocation behavior of the live planner.
+pub fn plan_scan(
+    graph: &TemporalGraph,
+    reach: Time,
+    target: usize,
+) -> Vec<(std::ops::Range<usize>, std::ops::Range<usize>)> {
+    let m = graph.num_events();
+    let events = graph.events();
+    let mut shards = Vec::with_capacity(m.div_ceil(target.max(1)));
+    let mut lo = 0usize;
+    while lo < m {
+        let hi = (lo + target).min(m);
+        let first_owned_time = events[lo].time;
+        let pad_start = events.partition_point(|e| e.time < first_owned_time);
+        let t_hi = events[hi - 1].time.saturating_add(reach);
+        let halo_end = events.partition_point(|e| e.time <= t_hi);
+        shards.push((lo..hi, pad_start..halo_end));
+        lo = hi;
+    }
+    shards
+}

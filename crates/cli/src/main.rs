@@ -579,6 +579,13 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             let rc = run_config_from(args)?;
             let top: usize = args.get_parsed("top", 20)?;
             let timing = cfg.timing;
+            // TNM_OBS=1 turns the metrics registry on for this run (the
+            // same knob the distributed worker honors), so operators can
+            // meter ad-hoc counts. Counts must be unaffected — CI diffs
+            // this verb's output against a metrics-off run.
+            if std::env::var("TNM_OBS").is_ok_and(|v| v == "1") {
+                tnm_obs::set_enabled(true);
+            }
             if args.has("explain") {
                 println!(
                     "{}",

@@ -15,6 +15,14 @@ use std::fmt;
 /// Events compare by `(time, src, dst, duration)` so that sorting a batch
 /// of events is deterministic even when timestamps collide (a situation
 /// the paper measures explicitly via the `|Eu|/|E|` column of Table 2).
+///
+/// The layout is `#[repr(C)]` and pinned by test: 24 bytes, align 8,
+/// fields at offsets 0/4/8/16 (the tail is padding). Three things must
+/// stay in lockstep — this struct, the packed 20-byte wire record
+/// ([`crate::wire::EVENT_RECORD_BYTES`]), and the SoA column builder
+/// ([`crate::EventColumns`]) — and the layout test is what catches a
+/// field being added or reordered in one of them but not the others.
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Event {
     /// Source node of the interaction.
@@ -151,5 +159,24 @@ mod tests {
     #[test]
     fn display_instantaneous() {
         assert_eq!(Event::new(3u32, 7u32, 42).to_string(), "(3, 7, 42)");
+    }
+
+    /// Pins the `#[repr(C)]` layout so the in-memory struct, the packed
+    /// 20-byte wire record, and the SoA column builder cannot drift
+    /// apart silently: any field added, widened, or reordered trips at
+    /// least one of these assertions.
+    #[test]
+    fn repr_c_layout_is_pinned() {
+        use std::mem::{align_of, offset_of, size_of};
+        assert_eq!(size_of::<Event>(), 24, "src+dst+time+duration plus 4B tail padding");
+        assert_eq!(align_of::<Event>(), 8, "aligned to the i64 time field");
+        assert_eq!(offset_of!(Event, src), 0);
+        assert_eq!(offset_of!(Event, dst), 4);
+        assert_eq!(offset_of!(Event, time), 8);
+        assert_eq!(offset_of!(Event, duration), 16);
+        // The wire record packs the same four fields with no padding:
+        // the struct's payload (24 - 4 tail bytes) is exactly one record.
+        assert_eq!(crate::wire::EVENT_RECORD_BYTES, 4 + 4 + 8 + 4);
+        assert_eq!(size_of::<Event>() - 4, crate::wire::EVENT_RECORD_BYTES);
     }
 }

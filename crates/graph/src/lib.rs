@@ -21,6 +21,31 @@
 //! I/O, and the static projection with its shared per-graph cache
 //! ([`static_proj`]).
 //!
+//! ## Data layout
+//!
+//! The event log exists in two layouts that always describe the same
+//! rows:
+//!
+//! * **AoS** — `&[Event]`, the canonical store. [`Event`] is
+//!   `#[repr(C)]` (`src: u32`, `dst: u32`, `time: i64`, `duration:
+//!   u32`; 24 bytes with trailing padding, pinned by test) so the
+//!   struct, the packed 20-byte [`wire`] record
+//!   ([`wire::EVENT_RECORD_BYTES`]), and the column builder cannot
+//!   drift apart silently.
+//! * **SoA** — [`EventColumns`], dense `times`/`srcs`/`dsts`/
+//!   `durations` columns built lazily once per graph
+//!   ([`TemporalGraph::columns`]). Row `i` of every column mirrors
+//!   `graph.event(i)`, so the node/edge/window index slices resolve
+//!   against either view without translation.
+//!
+//! Hot paths — window binary searches ([`TemporalGraph::times`]),
+//! [`WindowIndex`] construction, [`shard`]'s left-pad/halo planning,
+//! and the engines' candidate-time checks and merge sweeps — probe the
+//! SoA columns: a timestamp scan touches 8-byte rows instead of
+//! 24-byte structs, and dense `i64` arrays are what the compiler can
+//! vectorize. Code that needs a whole event (emission, wire encoding)
+//! keeps using the AoS view.
+//!
 //! ```
 //! use tnm_graph::{TemporalGraphBuilder, stats::GraphStats};
 //!
@@ -39,6 +64,7 @@
 #![forbid(unsafe_code)]
 
 pub mod builder;
+pub mod columns;
 pub mod error;
 pub mod event;
 pub mod graph;
@@ -53,6 +79,7 @@ pub mod window_index;
 pub mod wire;
 
 pub use builder::TemporalGraphBuilder;
+pub use columns::EventColumns;
 pub use error::{GraphError, Result};
 pub use event::Event;
 pub use graph::TemporalGraph;

@@ -162,15 +162,17 @@ pub fn plan_shards(graph: &TemporalGraph, reach: Option<Time>, goal: ShardGoal) 
         ShardGoal::EventsPerShard(n) => n.max(1),
         ShardGoal::ShardCount(c) => m.div_ceil(c.max(1)),
     };
-    let events = graph.events();
+    // Left-pad and halo scans probe the dense SoA time column: the
+    // binary searches touch 8-byte rows instead of 24-byte `Event`s.
+    let times = graph.times();
     let mut shards = Vec::with_capacity(m.div_ceil(target));
     let mut lo = 0usize;
     while lo < m {
         let hi = (lo + target).min(m);
-        let first_owned_time = events[lo].time;
-        let pad_start = graph.first_event_at_or_after(first_owned_time) as usize;
-        let t_hi = events[hi - 1].time.saturating_add(reach);
-        let halo_end = events.partition_point(|e| e.time <= t_hi);
+        let first_owned_time = times[lo];
+        let pad_start = times.partition_point(|&t| t < first_owned_time);
+        let t_hi = times[hi - 1].saturating_add(reach);
+        let halo_end = times.partition_point(|&t| t <= t_hi);
         shards.push(ShardSpec { id: shards.len(), own: lo..hi, range: pad_start..halo_end });
         lo = hi;
     }

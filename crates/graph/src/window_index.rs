@@ -12,12 +12,16 @@
 //! time checks, no indirection, cache-line-friendly.
 //!
 //! [`WindowCursor`] complements the random-access query with a streaming
-//! one: consumers that sweep time forward (streaming matchers, the
-//! sampling and sharded backends planned in ROADMAP.md) advance a
-//! monotone position with galloping search, paying amortised `O(1)` per
-//! advance instead of `O(log d)` per probe. Nothing in the current
-//! engines consumes it yet; it ships with the index so streaming
-//! backends build against a tested primitive.
+//! one: a consumer that sweeps time forward over a single node's list
+//! advances a monotone position with galloping search, paying amortised
+//! `O(1)` per advance instead of `O(log d)` per probe. The counting
+//! engines ended up not needing it — their forward sweeps run over
+//! *merged* per-pair/per-center/per-triangle lists in arena scratch
+//! (see `tnm_motifs::engine::stream`), where window expiry is a
+//! `partition_point` over precomputed group boundaries, not a per-node
+//! cursor. The cursor stays as a tested standalone primitive (pinned by
+//! this module's `cursor_*` tests) for consumers that do walk one
+//! node's timeline monotonically, e.g. ad-hoc per-node sweeps.
 //!
 //! Build cost is `O(m)` time and `2m` words of memory (the event-id and
 //! timestamp arrays), piggybacking on the already-sorted node index.
@@ -47,11 +51,14 @@ impl WindowIndex {
         let mut offsets = Vec::with_capacity(n + 1);
         let mut event_ids = Vec::with_capacity(graph.num_events() * 2);
         let mut times = Vec::with_capacity(graph.num_events() * 2);
+        // Gather through the dense SoA time column: each lookup reads an
+        // 8-byte row instead of dereferencing a 24-byte `Event`.
+        let col_times = graph.times();
         offsets.push(0);
         for node in 0..graph.num_nodes() {
             for &idx in graph.node_events(NodeId(node)) {
                 event_ids.push(idx);
-                times.push(graph.event(idx).time);
+                times.push(col_times[idx as usize]);
             }
             offsets.push(event_ids.len() as u32);
         }
@@ -123,12 +130,13 @@ impl WindowIndex {
         {
             return false;
         }
+        let col_times = graph.times();
         for node in 0..graph.num_nodes() {
             let (ids, times) = self.node_slices(NodeId(node));
             if ids != graph.node_events(NodeId(node)) {
                 return false;
             }
-            if !ids.iter().zip(times).all(|(&i, &t)| graph.event(i).time == t) {
+            if !ids.iter().zip(times).all(|(&i, &t)| col_times[i as usize] == t) {
                 return false;
             }
         }

@@ -102,6 +102,33 @@
 //! kinds own `1..=4`, so the protocols cannot be confused). Use
 //! [`ServeClient`] (or the `tnm client` verb) to speak it.
 //!
+//! ## Data layout
+//!
+//! The hot loops are data-oriented, built on two layout decisions made
+//! in [`tnm_graph`] (see its crate docs):
+//!
+//! * **SoA event columns.** Every per-event field the inner loops touch
+//!   comes from [`TemporalGraph::columns`](tnm_graph::TemporalGraph::columns)
+//!   — dense `times`/`srcs`/`dsts` arrays built lazily once per graph —
+//!   rather than striding through 24-byte [`Event`](tnm_graph::Event)
+//!   structs. Window probes (`count_*_between`, walker candidate
+//!   gathering, shard halo scans) are `partition_point` calls over the
+//!   contiguous `i64` time column; the star sweeps read endpoints from
+//!   the `u32` source/destination columns.
+//! * **Arena-resident merged lists.** The [`StreamEngine`] DPs never
+//!   allocate per pair/center/triangle: merged direction- or
+//!   label-tagged event lists live in one reusable SoA arena with
+//!   precomputed timestamp-group boundaries, window expiry advances an
+//!   amortized group cursor against those boundaries, and the DP tables are
+//!   flat bit-indexed `[u64; K]` accumulators whose updates are
+//!   unconditional indexed adds. Triangles additionally run in
+//!   footprint-sorted cache-sized blocks so the scratch stays
+//!   L2-resident.
+//!
+//! The `hotpath_*` bench groups (`crates/bench/benches/engines.rs`)
+//! time each of these loops against a faithful copy of the
+//! struct-chasing implementation they replaced.
+//!
 //! ## Observability
 //!
 //! Every engine layer is instrumented through [`tnm_obs`]: hierarchical
@@ -160,6 +187,8 @@ pub use serve::{
     ServeOptions, ServerHandle, ServerStats,
 };
 pub use sharded::{ShardedConfig, ShardedEngine, ShardedRunStats, DEFAULT_SHARD_EVENTS};
+#[doc(hidden)]
+pub use stream::hotpath as stream_hotpath;
 pub use stream::StreamEngine;
 pub use windowed::WindowedEngine;
 

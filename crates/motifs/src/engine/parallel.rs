@@ -118,6 +118,9 @@ impl ParallelEngine {
         C: CandidateSource + Send,
         M: Fn() -> C + Sync,
     {
+        // Build the SoA time column before the fan-out so no worker
+        // stalls on its first window probe while another initializes it.
+        let _ = graph.columns();
         work_steal_count(
             graph,
             cfg,

@@ -28,6 +28,15 @@
 //! pairs respectively), so the totals are bit-identical to the walker
 //! engines' — enforced by `tests/engine_equivalence.rs`.
 //!
+//! All three classes share one data-oriented execution shape: merged
+//! per-pair/per-center/per-triangle event lists live in a reusable SoA
+//! arena scratch (`arena::DpArena`) fed from the graph's dense column
+//! view ([`TemporalGraph::columns`]), window expiry advances an
+//! amortized cursor over precomputed timestamp-group boundaries, and
+//! the DP tables are flat bit-indexed accumulators so the inner loops
+//! are branchless indexed adds. One arena is created per spectrum pass
+//! and threaded through every class.
+//!
 //! ## Eligibility and fallback
 //!
 //! [`StreamEngine::eligible`] accepts exactly the Paranjape-model shape:
@@ -49,9 +58,12 @@
 //! motif, which the DPs enforce by processing timestamp *groups* against
 //! pre-group snapshots.
 
+mod arena;
 mod pair;
 mod star;
 mod triad;
+
+use arena::DpArena;
 
 use crate::count::MotifCounts;
 use crate::engine::config::{EnumConfig, MotifInstance};
@@ -133,6 +145,10 @@ impl StreamEngine {
         (want_two, want_star, want_triad): (bool, bool, bool),
     ) -> MotifCounts {
         let mut spectrum = MotifCounts::new();
+        // One arena serves every class: each DP clears and refills the
+        // same scratch, so a full pass allocates O(1) times total (see
+        // the [`arena`] module docs for the layout contract).
+        let mut arena = DpArena::default();
         match num_events {
             1 => {
                 if want_two {
@@ -143,21 +159,21 @@ impl StreamEngine {
             }
             2 => {
                 if want_two {
-                    pair::count_pairs(graph, delta, &mut spectrum);
+                    pair::count_pairs(graph, delta, &mut spectrum, &mut arena);
                 }
                 if want_star {
-                    star::count_wedges(graph, delta, &mut spectrum);
+                    star::count_wedges(graph, delta, &mut spectrum, &mut arena);
                 }
             }
             3 => {
                 if want_two {
-                    pair::count_triples(graph, delta, &mut spectrum);
+                    pair::count_triples(graph, delta, &mut spectrum, &mut arena);
                 }
                 if want_star {
-                    star::count_stars(graph, delta, &mut spectrum);
+                    star::count_stars(graph, delta, &mut spectrum, &mut arena);
                 }
                 if want_triad {
-                    triad::count_triads(graph, delta, &mut spectrum);
+                    triad::count_triads(graph, delta, &mut spectrum, &mut arena);
                 }
             }
             _ => unreachable!("eligibility caps num_events at 3"),
@@ -241,26 +257,35 @@ fn undirected_pairs_of(sig: &MotifSignature) -> usize {
     seen.len()
 }
 
-/// End of the timestamp group starting at `i`: the one tie-handling
-/// primitive every stream DP shares. Window pushes, pops, and closes all
-/// operate on whole groups so that equal-timestamp events never pair.
-fn group_end_by<T>(evs: &[T], i: usize, time: impl Fn(&T) -> tnm_graph::Time) -> usize {
-    let t = time(&evs[i]);
-    evs[i..].iter().position(|e| time(e) != t).map_or(evs.len(), |p| i + p)
-}
+/// Direct entry points into the three DP classes for benchmarks: each
+/// runs one class end-to-end (arena included) and returns its counts.
+/// Not part of the public API — the supported surface is
+/// [`StreamEngine`]; these exist so the `hotpath_*` bench groups can
+/// time one class without the spectrum dispatch around it.
+#[doc(hidden)]
+pub mod hotpath {
+    use super::*;
 
-/// Number of distinct timestamp groups in a time-sorted event list —
-/// the unit every stream DP advances by. The sweeps tally this only
-/// when observability is enabled, keeping the extra pass off the
-/// metrics-off hot path.
-fn distinct_groups<T>(evs: &[T], time: impl Fn(&T) -> tnm_graph::Time) -> u64 {
-    let mut groups = 0u64;
-    let mut i = 0usize;
-    while i < evs.len() {
-        groups += 1;
-        i = group_end_by(evs, i, &time);
+    /// 3-event 2-node sequence DP over every node pair.
+    pub fn pair_triples(graph: &TemporalGraph, delta: tnm_graph::Time) -> MotifCounts {
+        let mut out = MotifCounts::new();
+        pair::count_triples(graph, delta, &mut out, &mut DpArena::default());
+        out
     }
-    groups
+
+    /// 3-event star sweeps over every center node.
+    pub fn star_stars(graph: &TemporalGraph, delta: tnm_graph::Time) -> MotifCounts {
+        let mut out = MotifCounts::new();
+        star::count_stars(graph, delta, &mut out, &mut DpArena::default());
+        out
+    }
+
+    /// 6-label triangle DP over every static triangle.
+    pub fn triad_triads(graph: &TemporalGraph, delta: tnm_graph::Time) -> MotifCounts {
+        let mut out = MotifCounts::new();
+        triad::count_triads(graph, delta, &mut out, &mut DpArena::default());
+        out
+    }
 }
 
 /// Canonical signature of a direction sequence on one node pair: `dirs`

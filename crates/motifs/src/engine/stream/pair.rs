@@ -6,70 +6,89 @@
 //! merged event list, each event carrying one bit of information — its
 //! direction. The classic Paranjape window DP counts all of them in one
 //! pass: `counts1[d]` holds the events currently inside the window,
-//! `counts2[d1][d2]` the strictly-ordered pairs, and each event, acting
-//! as the *last* element, closes `counts1`/`counts2` into the 2- and
-//! 3-event accumulators before being pushed. Expiry pops the oldest
-//! timestamp group and retracts exactly the pairs that started there.
+//! `counts2[(d1 << 1) | d2]` the strictly-ordered pairs, and each
+//! event, acting as the *last* element, closes `counts1`/`counts2` into
+//! the 2- and 3-event accumulators before being pushed.
+//!
+//! The data layout is the arena contract (see [`super::arena`]): the
+//! merged direction-tagged list lives in reusable SoA scratch (the
+//! `times` and `tags` columns), window expiry advances an amortized
+//! group cursor over the dense time column against precomputed group
+//! boundaries instead of per-event compare-and-pop, and the
+//! accumulators are flat bit-indexed arrays so every close/push is an
+//! unconditional indexed add.
 //!
 //! Equal timestamps never co-occur (the paper's total-ordering rule), so
 //! all pushes, pops, and closes operate on whole timestamp *groups*
 //! against pre-group snapshots: two events of one group never pair.
+//!
+//! When the log is tie-free ([`tnm_graph::EventColumns::has_time_ties`]
+//! is false — the common case for real corpora), every group is a
+//! single event and the DP skips materialization entirely: it runs
+//! fused over the pair's two directed event-index lists with two
+//! cursor pairs walking the virtual merge (see [`pair_fused_dp`]).
 
-// The DP tables are indexed by direction bits used across several
-// tables per loop body; iterator forms would obscure the recurrences.
-#![allow(clippy::needless_range_loop)]
-
-use super::{group_end_by, two_node_signature};
+use super::arena::{expiry_cut, DpArena, SealedGroups};
+use super::two_node_signature;
 use crate::count::MotifCounts;
-use tnm_graph::{Edge, NodeId, TemporalGraph, Time};
+use tnm_graph::{Edge, EventIdx, NodeId, TemporalGraph, Time};
 
-/// One event on the pair: timestamp plus direction bit
-/// (0 = `lo → hi`, 1 = `hi → lo` for the pair's sorted node ids).
-type PairEvent = (Time, u8);
-
-/// Accumulated direction sequences for one pair list.
+/// Accumulated direction sequences for one pair list: `two` is indexed
+/// `(d1 << 1) | d2`, `three` is `(d1 << 2) | (d2 << 1) | d3`.
 #[derive(Default)]
 struct PairAcc {
-    two: [[u64; 2]; 2],
-    three: [[[u64; 2]; 2]; 2],
+    two: [u64; 4],
+    three: [u64; 8],
 }
 
 /// Counts all 2-event 2-node sequences within `delta` into `out`.
-pub fn count_pairs(graph: &TemporalGraph, delta: Time, out: &mut MotifCounts) {
-    let acc = accumulate(graph, delta, false);
-    for d1 in 0..2 {
-        for d2 in 0..2 {
-            let n = acc.two[d1][d2];
-            if n > 0 {
-                out.add(two_node_signature(&[d1 as u8, d2 as u8]), n);
-            }
+pub(crate) fn count_pairs(
+    graph: &TemporalGraph,
+    delta: Time,
+    out: &mut MotifCounts,
+    arena: &mut DpArena,
+) {
+    let acc = accumulate::<false>(graph, delta, arena);
+    for (slot, &n) in acc.two.iter().enumerate() {
+        if n > 0 {
+            out.add(two_node_signature(&[(slot >> 1) as u8 & 1, slot as u8 & 1]), n);
         }
     }
 }
 
 /// Counts all 3-event 2-node sequences within `delta` into `out`.
-pub fn count_triples(graph: &TemporalGraph, delta: Time, out: &mut MotifCounts) {
-    let acc = accumulate(graph, delta, true);
-    for d1 in 0..2 {
-        for d2 in 0..2 {
-            for d3 in 0..2 {
-                let n = acc.three[d1][d2][d3];
-                if n > 0 {
-                    out.add(two_node_signature(&[d1 as u8, d2 as u8, d3 as u8]), n);
-                }
-            }
+pub(crate) fn count_triples(
+    graph: &TemporalGraph,
+    delta: Time,
+    out: &mut MotifCounts,
+    arena: &mut DpArena,
+) {
+    let acc = accumulate::<true>(graph, delta, arena);
+    for (slot, &n) in acc.three.iter().enumerate() {
+        if n > 0 {
+            let dirs = [(slot >> 2) as u8 & 1, (slot >> 1) as u8 & 1, slot as u8 & 1];
+            out.add(two_node_signature(&dirs), n);
         }
     }
 }
 
 /// Runs the window DP over every unordered node pair with events.
-/// `triples` switches on the `counts2`/3-event machinery, which 2-event
-/// counting never reads.
-fn accumulate(graph: &TemporalGraph, delta: Time, triples: bool) -> PairAcc {
+/// `TRIPLES` switches on the `counts2`/3-event machinery, which 2-event
+/// counting never reads; as a const generic the disabled branches
+/// vanish at compile time.
+fn accumulate<const TRIPLES: bool>(
+    graph: &TemporalGraph,
+    delta: Time,
+    arena: &mut DpArena,
+) -> PairAcc {
     let obs = tnm_obs::enabled();
     let (mut pairs_swept, mut groups_advanced, mut peak_window) = (0u64, 0u64, 0u64);
     let mut acc = PairAcc::default();
-    let mut merged: Vec<PairEvent> = Vec::new();
+    let times = graph.times();
+    // A tie-free log (no two events anywhere share a timestamp) makes
+    // every group a single event: the DP then runs fused over the two
+    // directed index lists — no merged list is materialized at all.
+    let tie_free = !graph.columns().has_time_ties();
     for edge in graph.static_edges() {
         let (lo, hi) = (edge.src.min(edge.dst), edge.src.max(edge.dst));
         // Visit each unordered pair once: from its lo→hi edge when that
@@ -77,13 +96,24 @@ fn accumulate(graph: &TemporalGraph, delta: Time, triples: bool) -> PairAcc {
         if edge.src > edge.dst && graph.has_edge(Edge { src: lo, dst: hi }) {
             continue;
         }
-        merge_pair_events(graph, lo, hi, &mut merged);
-        if obs {
-            pairs_swept += 1;
-            groups_advanced += super::distinct_groups(&merged, |e| e.0);
-            peak_window = peak_window.max(merged.len() as u64);
+        if tie_free {
+            let fwd = graph.edge_events(Edge { src: lo, dst: hi });
+            let rev = graph.edge_events(Edge { src: hi, dst: lo });
+            if obs {
+                pairs_swept += 1;
+                groups_advanced += (fwd.len() + rev.len()) as u64;
+                peak_window = peak_window.max((fwd.len() + rev.len()) as u64);
+            }
+            pair_fused_dp::<TRIPLES>(times, fwd, rev, delta, &mut acc);
+        } else {
+            merge_pair_events(graph, times, lo, hi, arena);
+            if obs {
+                pairs_swept += 1;
+                groups_advanced += arena.num_groups() as u64;
+                peak_window = peak_window.max(arena.times.len() as u64);
+            }
+            pair_window_dp::<TRIPLES>(&arena.times, &arena.tags, &arena.bounds, delta, &mut acc);
         }
-        pair_window_dp(&merged, delta, triples, &mut acc);
     }
     if obs {
         let reg = tnm_obs::global();
@@ -94,13 +124,23 @@ fn accumulate(graph: &TemporalGraph, delta: Time, triples: bool) -> PairAcc {
     acc
 }
 
-/// Merges the two directed event lists of `{lo, hi}` into one
-/// time-ordered direction-tagged list. Event-index order is global time
-/// order, so a two-pointer merge on indices suffices.
-fn merge_pair_events(graph: &TemporalGraph, lo: NodeId, hi: NodeId, out: &mut Vec<PairEvent>) {
-    out.clear();
+/// Merges the two directed event lists of `{lo, hi}` into the arena's
+/// SoA scratch as a time-ordered direction-tagged list and seals its
+/// group boundaries. Event-index order is global time order, so a
+/// two-pointer merge on indices suffices; timestamps are resolved
+/// against the dense SoA time column.
+fn merge_pair_events(
+    graph: &TemporalGraph,
+    times: &[Time],
+    lo: NodeId,
+    hi: NodeId,
+    arena: &mut DpArena,
+) {
+    arena.clear();
     let fwd = graph.edge_events(Edge { src: lo, dst: hi });
     let rev = graph.edge_events(Edge { src: hi, dst: lo });
+    arena.times.reserve(fwd.len() + rev.len());
+    arena.tags.reserve(fwd.len() + rev.len());
     let (mut i, mut j) = (0, 0);
     while i < fwd.len() || j < rev.len() {
         let take_fwd = match (fwd.get(i), rev.get(j)) {
@@ -108,71 +148,153 @@ fn merge_pair_events(graph: &TemporalGraph, lo: NodeId, hi: NodeId, out: &mut Ve
             (Some(_), None) => true,
             _ => false,
         };
-        if take_fwd {
-            out.push((graph.event(fwd[i]).time, 0));
+        let idx = if take_fwd {
             i += 1;
+            fwd[i - 1]
         } else {
-            out.push((graph.event(rev[j]).time, 1));
             j += 1;
+            rev[j - 1]
+        };
+        arena.times.push(times[idx as usize]);
+        arena.tags.push(!take_fwd as u8);
+    }
+    arena.seal_groups();
+}
+
+/// The window DP fused over the pair's two directed index lists — the
+/// tie-free fast path. Event indices are globally time-ordered, so a
+/// two-pointer walk over `(fwd, rev)` *is* the merged list; a second
+/// cursor pair replays the same virtual merge as the expiring window
+/// front. Nothing is written anywhere: per event the loop costs two
+/// 4-byte index reads, two 8-byte gathers from the dense time column,
+/// and the unconditional indexed adds.
+fn pair_fused_dp<const TRIPLES: bool>(
+    times: &[Time],
+    fwd: &[EventIdx],
+    rev: &[EventIdx],
+    delta: Time,
+    acc: &mut PairAcc,
+) {
+    let mut counts1 = [0u64; 2];
+    let mut counts2 = [0u64; 4];
+    // Window-front cursors (expiry) and tail cursors (arrival), each
+    // pair walking the virtual merge independently. Exhausted cursors
+    // read the `EventIdx::MAX` sentinel, which always loses the
+    // min-select — so each select is a branch-free compare/min instead
+    // of a data-dependent jump (a near-coin-flip the predictor would
+    // otherwise miss on).
+    const DONE: EventIdx = EventIdx::MAX;
+    let peek = |list: &[EventIdx], at: usize| list.get(at).copied().unwrap_or(DONE);
+    let (mut ff, mut fr) = (0usize, 0usize);
+    let (mut tf, mut tr) = (0usize, 0usize);
+    for _ in 0..fwd.len() + rev.len() {
+        let (a, b) = (peek(fwd, tf), peek(rev, tr));
+        let take_fwd = a < b;
+        let idx = a.min(b);
+        let d = !take_fwd as usize;
+        tf += take_fwd as usize;
+        tr += !take_fwd as usize;
+        let wstart = times[idx as usize] - delta;
+        // Expire: pop the virtual merge's front while it is out the back
+        // of the window. The front never overtakes the tail — the tail
+        // event itself is always in-window, so the sentinel never
+        // reaches the time gather.
+        loop {
+            let (pa, pb) = (peek(fwd, ff), peek(rev, fr));
+            let pop_fwd = pa < pb;
+            let pidx = pa.min(pb);
+            if times[pidx as usize] >= wstart {
+                break;
+            }
+            ff += pop_fwd as usize;
+            fr += !pop_fwd as usize;
+            let pd = !pop_fwd as usize;
+            counts1[pd] -= 1;
+            if TRIPLES {
+                let b = pd << 1;
+                counts2[b] -= counts1[0];
+                counts2[b | 1] -= counts1[1];
+            }
         }
+        // Close (the window state excludes the event itself), then push.
+        acc.two[d] += counts1[0];
+        acc.two[2 | d] += counts1[1];
+        if TRIPLES {
+            acc.three[d] += counts2[0];
+            acc.three[2 | d] += counts2[1];
+            acc.three[4 | d] += counts2[2];
+            acc.three[6 | d] += counts2[3];
+            counts2[d] += counts1[0];
+            counts2[2 | d] += counts1[1];
+        }
+        counts1[d] += 1;
     }
 }
 
-/// The sliding-window DP over one merged pair list.
-fn pair_window_dp(evs: &[PairEvent], delta: Time, triples: bool, acc: &mut PairAcc) {
+/// The sliding-window DP over one merged pair list, advancing by whole
+/// timestamp groups against the precomputed boundary array — the
+/// tie-handling path, where whole timestamp groups push, pop, and close
+/// together against pre-group snapshots.
+fn pair_window_dp<const TRIPLES: bool>(
+    times: &[Time],
+    dirs: &[u8],
+    bounds: &[u32],
+    delta: Time,
+    acc: &mut PairAcc,
+) {
     let mut counts1 = [0u64; 2];
-    let mut counts2 = [[0u64; 2]; 2];
-    let mut front = 0usize; // start of the oldest in-window timestamp group
-    let mut i = 0usize;
-    while i < evs.len() {
-        let t = evs[i].0;
-        let group_end = group_end_by(evs, i, |e| e.0);
-        // Expire whole groups older than the window start t − ΔW.
-        while front < i && evs[front].0 < t - delta {
-            let expire_end = group_end_by(evs, front, |e| e.0);
-            for &(_, d) in &evs[front..expire_end] {
+    let mut counts2 = [0u64; 4];
+    let mut front = 0usize; // group index of the oldest in-window group
+    let num_groups = bounds.len() - 1;
+    for g in 0..num_groups {
+        let (start, end) = (bounds[g] as usize, bounds[g + 1] as usize);
+        let t = times[start];
+        // Expire whole groups older than the window start t − ΔW: the
+        // amortized front cursor finds the cut in the dense time column.
+        let cut = expiry_cut(times, &SealedGroups(bounds), front, g, t - delta);
+        while front < cut {
+            let (gs, ge) = (bounds[front] as usize, bounds[front + 1] as usize);
+            for &d in &dirs[gs..ge] {
                 counts1[d as usize] -= 1;
             }
-            if triples {
+            if TRIPLES {
                 // Everything left in counts1 is strictly later than the
                 // expired group, so each expired event retracts exactly
                 // its open pairs.
-                for &(_, d) in &evs[front..expire_end] {
-                    for d2 in 0..2 {
-                        counts2[d as usize][d2] -= counts1[d2];
-                    }
+                for &d in &dirs[gs..ge] {
+                    let b = (d as usize) << 1;
+                    counts2[b] -= counts1[0];
+                    counts2[b | 1] -= counts1[1];
                 }
             }
-            front = expire_end;
+            front += 1;
         }
         // Close: each group member is a candidate last event; the window
         // state excludes its own group, enforcing strict time increase.
-        for &(_, d) in &evs[i..group_end] {
-            for d1 in 0..2 {
-                acc.two[d1][d as usize] += counts1[d1];
-            }
-            if triples {
-                for d1 in 0..2 {
-                    for d2 in 0..2 {
-                        acc.three[d1][d2][d as usize] += counts2[d1][d2];
-                    }
-                }
+        for &d in &dirs[start..end] {
+            let d = d as usize;
+            acc.two[d] += counts1[0];
+            acc.two[2 | d] += counts1[1];
+            if TRIPLES {
+                acc.three[d] += counts2[0];
+                acc.three[2 | d] += counts2[1];
+                acc.three[4 | d] += counts2[2];
+                acc.three[6 | d] += counts2[3];
             }
         }
         // Push: pair each group member with the pre-group snapshot
         // (counts1 is untouched until the second loop), then admit the
         // group itself.
-        if triples {
-            for &(_, d) in &evs[i..group_end] {
-                for d1 in 0..2 {
-                    counts2[d1][d as usize] += counts1[d1];
-                }
+        if TRIPLES {
+            for &d in &dirs[start..end] {
+                let d = d as usize;
+                counts2[d] += counts1[0];
+                counts2[2 | d] += counts1[1];
             }
         }
-        for &(_, d) in &evs[i..group_end] {
+        for &d in &dirs[start..end] {
             counts1[d as usize] += 1;
         }
-        i = group_end;
     }
 }
 
@@ -190,6 +312,18 @@ mod tests {
         b.build().unwrap()
     }
 
+    fn pairs(g: &TemporalGraph, delta: Time) -> MotifCounts {
+        let mut c = MotifCounts::new();
+        count_pairs(g, delta, &mut c, &mut DpArena::default());
+        c
+    }
+
+    fn triples(g: &TemporalGraph, delta: Time) -> MotifCounts {
+        let mut c = MotifCounts::new();
+        count_triples(g, delta, &mut c, &mut DpArena::default());
+        c
+    }
+
     #[test]
     fn ping_pong_triples() {
         // 0→1 at 1, 1→0 at 2, 0→1 at 4: within ΔW=3 the only triple is
@@ -197,12 +331,10 @@ mod tests {
         // (2,4) is 1→0 then 0→1 → canonical 0110 too; (1,4) = 010101? No:
         // (1,4) is 0→1 then 0→1 = 0101.
         let g = graph(&[(0, 1, 1), (1, 0, 2), (0, 1, 4)]);
-        let mut c3 = MotifCounts::new();
-        count_triples(&g, 3, &mut c3);
+        let c3 = triples(&g, 3);
         assert_eq!(c3.get(sig("011001")), 1);
         assert_eq!(c3.total(), 1);
-        let mut c2 = MotifCounts::new();
-        count_pairs(&g, 3, &mut c2);
+        let c2 = pairs(&g, 3);
         assert_eq!(c2.get(sig("0110")), 2);
         assert_eq!(c2.get(sig("0101")), 1);
     }
@@ -210,14 +342,11 @@ mod tests {
     #[test]
     fn window_excludes_wide_spans() {
         let g = graph(&[(0, 1, 0), (0, 1, 10), (0, 1, 20)]);
-        let mut c = MotifCounts::new();
-        count_triples(&g, 20, &mut c);
+        let c = triples(&g, 20);
         assert_eq!(c.get(sig("010101")), 1);
-        let mut c = MotifCounts::new();
-        count_triples(&g, 19, &mut c);
+        let c = triples(&g, 19);
         assert!(c.is_empty());
-        let mut c = MotifCounts::new();
-        count_pairs(&g, 10, &mut c);
+        let c = pairs(&g, 10);
         assert_eq!(c.get(sig("0101")), 2);
     }
 
@@ -226,8 +355,7 @@ mod tests {
         // Only the hi→lo direction exists: the pair must be processed
         // exactly once through the hi→lo branch.
         let g = graph(&[(5, 2, 1), (5, 2, 2)]);
-        let mut c = MotifCounts::new();
-        count_pairs(&g, 5, &mut c);
+        let c = pairs(&g, 5);
         assert_eq!(c.get(sig("0101")), 1);
         assert_eq!(c.total(), 1);
     }
@@ -235,12 +363,54 @@ mod tests {
     #[test]
     fn ties_processed_as_groups() {
         let g = graph(&[(0, 1, 1), (1, 0, 1), (0, 1, 2), (1, 0, 2)]);
-        let mut c = MotifCounts::new();
-        count_pairs(&g, 5, &mut c);
+        let c = pairs(&g, 5);
         // Cross-group pairs only: (1a,2a)=0101, (1a,2b)=0110,
         // (1b,2a)=0110, (1b,2b)=0101.
         assert_eq!(c.get(sig("0101")), 2);
         assert_eq!(c.get(sig("0110")), 2);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn fused_and_grouped_dps_agree() {
+        // A dense tie-free ping-pong history: both DP shapes are legal,
+        // so they must produce identical accumulators at several ΔW.
+        let mut events = Vec::new();
+        let mut x = 7u64;
+        let mut t = 0i64;
+        for _ in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            t += 1 + ((x >> 60) as i64);
+            if x & 1 == 0 {
+                events.push((0, 1, t));
+            } else {
+                events.push((1, 0, t));
+            }
+        }
+        let g = graph(&events);
+        let times = g.times();
+        let fwd = g.edge_events(Edge { src: NodeId(0), dst: NodeId(1) });
+        let rev = g.edge_events(Edge { src: NodeId(1), dst: NodeId(0) });
+        let mut arena = DpArena::default();
+        merge_pair_events(&g, times, NodeId(0), NodeId(1), &mut arena);
+        for delta in [0, 3, 25, 10_000] {
+            let mut grouped = PairAcc::default();
+            pair_window_dp::<true>(&arena.times, &arena.tags, &arena.bounds, delta, &mut grouped);
+            let mut fused = PairAcc::default();
+            pair_fused_dp::<true>(times, fwd, rev, delta, &mut fused);
+            assert_eq!(grouped.two, fused.two, "two-event counts at ΔW={delta}");
+            assert_eq!(grouped.three, fused.three, "three-event counts at ΔW={delta}");
+        }
+    }
+
+    #[test]
+    fn arena_reuse_across_pairs_is_clean() {
+        // Two disjoint pairs with different list lengths: the second
+        // sweep must not see residue from the first.
+        let g = graph(&[(0, 1, 1), (0, 1, 2), (0, 1, 3), (2, 3, 1), (3, 2, 2)]);
+        let c = pairs(&g, 10);
+        assert_eq!(c.get(sig("0101")), 3);
+        assert_eq!(c.get(sig("0110")), 1);
         assert_eq!(c.total(), 4);
     }
 }

@@ -28,35 +28,33 @@
 //! which are running sums over the per-event pair counts (`pstart`,
 //! `pend`) the two sweeps already produced. Everything is `O(events at
 //! the center)` per center with `O(nodes)` reusable scratch.
+//!
+//! Data layout (see [`super::arena`]): the center's incident list lives
+//! in the arena's SoA scratch — dense `times` plus `aux` packing
+//! `nbr << 1 | dir` — with the timestamp-group boundary array computed
+//! **once** per center and shared by all three sweeps; tie-free logs
+//! never build it at all, sweeping per-event through the identity
+//! [`DenseGroups`] map instead. The straddle
+//! tables are flat bit-indexed `[u64; K]` accumulators (`(d1 << 2) |
+//! (d2 << 1) | d3` for triples), merged into per-lone-position totals
+//! once per center, so every table update is an unconditional indexed
+//! add.
 
-// The count tables are indexed by direction bits used across several
-// tables per loop body; iterator forms would obscure the recurrences.
-#![allow(clippy::needless_range_loop)]
-
-use super::{group_end_by, star_signature};
+use super::arena::{expiry_cut, DenseGroups, DpArena, GroupMap, SealedGroups};
+use super::star_signature;
 use crate::count::MotifCounts;
 use tnm_graph::{NodeId, TemporalGraph, Time};
 
-/// One event incident to the current center.
-#[derive(Clone, Copy)]
-struct Incident {
-    time: Time,
-    nbr: u32,
-    /// 0 = center → leaf, 1 = leaf → center.
-    dir: usize,
-}
+/// Per-direction triple counts, indexed `(d1 << 2) | (d2 << 1) | d3`.
+type Triples = [u64; 8];
 
-/// Per-direction counts, indexed `[d1][d2][d3]`.
-type Triples = [[[u64; 2]; 2]; 2];
-
-/// Reusable per-center state; neighbor-indexed scratch is sized once to
-/// the graph's node count and wiped via the center's own event list.
+/// Reusable per-center tables; neighbor-indexed scratch is sized once
+/// to the graph's node count and wiped via the center's own event list.
 struct CenterScratch {
-    evs: Vec<Incident>,
-    /// In-window events per neighbor and direction.
-    cnt_nbr: Vec<[u64; 2]>,
-    /// In-window same-leaf ordered pairs per neighbor.
-    per_nbr_pair: Vec<[[u64; 2]; 2]>,
+    /// In-window events per `(neighbor << 1) | dir`.
+    cnt_nbr: Vec<u64>,
+    /// In-window same-leaf ordered pairs per `nbr * 4 + ((d1 << 1) | d2)`.
+    per_nbr_pair: Vec<u64>,
     /// Same-leaf δ-pairs ending at each event (`[d1]` of the earlier).
     pend: Vec<[u64; 2]>,
     /// Same-leaf δ-pairs starting at each event (`[d3]` of the later).
@@ -66,67 +64,101 @@ struct CenterScratch {
 impl CenterScratch {
     fn new(num_nodes: usize) -> Self {
         CenterScratch {
-            evs: Vec::new(),
-            cnt_nbr: vec![[0; 2]; num_nodes],
-            per_nbr_pair: vec![[[0; 2]; 2]; num_nodes],
+            cnt_nbr: vec![0; num_nodes * 2],
+            per_nbr_pair: vec![0; num_nodes * 4],
             pend: Vec::new(),
             pstart: Vec::new(),
         }
     }
 
-    /// Loads the center's incident events (already time-ordered: the
-    /// node index stores event indices in global time order).
-    fn load(&mut self, graph: &TemporalGraph, center: NodeId) {
-        self.evs.clear();
-        for &idx in graph.node_events(center) {
-            let e = graph.event(idx);
-            let (nbr, dir) = if e.src == center { (e.dst.0, 0) } else { (e.src.0, 1) };
-            self.evs.push(Incident { time: e.time, nbr, dir });
-        }
-    }
-
     /// Zeroes the neighbor-indexed tables touched by this center.
-    fn wipe_nbr_tables(&mut self) {
-        for e in &self.evs {
-            self.cnt_nbr[e.nbr as usize] = [0; 2];
-            self.per_nbr_pair[e.nbr as usize] = [[0; 2]; 2];
+    fn wipe_nbr_tables(&mut self, aux: &[u32]) {
+        for &a in aux {
+            let nbr = (a >> 1) as usize;
+            self.cnt_nbr[nbr * 2] = 0;
+            self.cnt_nbr[nbr * 2 + 1] = 0;
+            self.per_nbr_pair[nbr * 4..nbr * 4 + 4].fill(0);
         }
-    }
-
-    /// End of the timestamp group starting at `i`.
-    fn group_end(&self, i: usize) -> usize {
-        group_end_by(&self.evs, i, |e| e.time)
     }
 }
 
+/// Unpacks an `aux` entry into `(nbr_base2, nbr_base4, dir)` — the two
+/// table base offsets plus the direction bit.
+#[inline]
+fn unpack(a: u32) -> (usize, usize, usize) {
+    let nbr = (a >> 1) as usize;
+    (nbr * 2, nbr * 4, (a & 1) as usize)
+}
+
+/// Loads the center's incident events into the arena (already
+/// time-ordered: the node index stores event indices in global time
+/// order), reading endpoints from the dense SoA columns. Callers seal
+/// the group boundaries only when the log has timestamp ties; tie-free
+/// centers sweep with the identity [`DenseGroups`] map instead.
+fn load(graph: &TemporalGraph, center: NodeId, arena: &mut DpArena) {
+    arena.clear();
+    let cols = graph.columns();
+    let (times, srcs, dsts) = (cols.times(), cols.srcs(), cols.dsts());
+    let list = graph.node_events(center);
+    arena.times.reserve(list.len());
+    arena.aux.reserve(list.len());
+    for &idx in list {
+        let i = idx as usize;
+        let (nbr, dir) = if srcs[i] == center.0 { (dsts[i], 0u32) } else { (srcs[i], 1u32) };
+        arena.times.push(times[i]);
+        arena.aux.push((nbr << 1) | dir);
+    }
+}
+
+/// Runs the three sweeps of one center under the given group map.
+fn center_sweeps<B: GroupMap>(
+    scratch: &mut CenterScratch,
+    arena: &DpArena,
+    delta: Time,
+    groups: &B,
+) -> (Triples, Triples, Triples, Triples) {
+    let (e12, e123) = forward_sweep(scratch, arena, delta, groups);
+    let e23 = future_sweep(scratch, arena, delta, groups);
+    let e13 = straddle_sweep(scratch, arena, groups);
+    (e12, e123, e23, e13)
+}
+
 /// Counts every 3-event, exactly-2-leaf star into `out`.
-pub fn count_stars(graph: &TemporalGraph, delta: Time, out: &mut MotifCounts) {
+pub(crate) fn count_stars(
+    graph: &TemporalGraph,
+    delta: Time,
+    out: &mut MotifCounts,
+    arena: &mut DpArena,
+) {
     let mut scratch = CenterScratch::new(graph.num_nodes() as usize);
-    // lone[pos][d1][d2][d3]: stars whose minority-leaf event sits at
-    // `pos`, summed over all centers.
+    // lone[pos][(d1 << 2) | (d2 << 1) | d3]: stars whose minority-leaf
+    // event sits at `pos`, summed over all centers.
     let mut lone = [Triples::default(); 3];
     let obs = tnm_obs::enabled();
     let (mut centers_swept, mut peak_events) = (0u64, 0u64);
+    let tie_free = !graph.columns().has_time_ties();
     for c in 0..graph.num_nodes() {
-        scratch.load(graph, NodeId(c));
-        if scratch.evs.len() < 3 {
+        load(graph, NodeId(c), arena);
+        if arena.times.len() < 3 {
             continue;
         }
         if obs {
             centers_swept += 1;
-            peak_events = peak_events.max(scratch.evs.len() as u64);
+            peak_events = peak_events.max(arena.times.len() as u64);
         }
-        let (e12, e123) = forward_sweep(&mut scratch, delta);
-        let e23 = future_sweep(&mut scratch, delta);
-        let e13 = straddle_sweep(&scratch);
-        for d1 in 0..2 {
-            for d2 in 0..2 {
-                for d3 in 0..2 {
-                    lone[2][d1][d2][d3] += e12[d1][d2][d3] - e123[d1][d2][d3];
-                    lone[0][d1][d2][d3] += e23[d1][d2][d3] - e123[d1][d2][d3];
-                    lone[1][d1][d2][d3] += e13[d1][d2][d3] - e123[d1][d2][d3];
-                }
-            }
+        let (e12, e123, e23, e13) = if tie_free {
+            center_sweeps(&mut scratch, arena, delta, &DenseGroups(arena.times.len()))
+        } else {
+            arena.seal_groups();
+            let groups = SealedGroups(&arena.bounds);
+            center_sweeps(&mut scratch, arena, delta, &groups)
+        };
+        // Merge the per-center tables into the lone-position totals in
+        // one flat pass — one add per signature slot, no bit unpacking.
+        for s in 0..8 {
+            lone[2][s] += e12[s] - e123[s];
+            lone[0][s] += e23[s] - e123[s];
+            lone[1][s] += e13[s] - e123[s];
         }
     }
     if obs {
@@ -138,14 +170,10 @@ pub fn count_stars(graph: &TemporalGraph, delta: Time, out: &mut MotifCounts) {
     // leaf A; canonicalization makes the naming immaterial.
     const LEGS: [[u8; 3]; 3] = [[1, 0, 0], [0, 1, 0], [0, 0, 1]];
     for (pos, legs) in LEGS.iter().enumerate() {
-        for d1 in 0..2 {
-            for d2 in 0..2 {
-                for d3 in 0..2 {
-                    let n = lone[pos][d1][d2][d3];
-                    if n > 0 {
-                        out.add(star_signature(legs, &[d1 as u8, d2 as u8, d3 as u8]), n);
-                    }
-                }
+        for (slot, &n) in lone[pos].iter().enumerate() {
+            if n > 0 {
+                let dirs = [(slot >> 2) as u8 & 1, (slot >> 1) as u8 & 1, slot as u8 & 1];
+                out.add(star_signature(legs, &dirs), n);
             }
         }
     }
@@ -153,173 +181,220 @@ pub fn count_stars(graph: &TemporalGraph, delta: Time, out: &mut MotifCounts) {
 
 /// Counts every 2-event wedge (two events sharing exactly the center)
 /// into `out`.
-pub fn count_wedges(graph: &TemporalGraph, delta: Time, out: &mut MotifCounts) {
+pub(crate) fn count_wedges(
+    graph: &TemporalGraph,
+    delta: Time,
+    out: &mut MotifCounts,
+    arena: &mut DpArena,
+) {
     let mut scratch = CenterScratch::new(graph.num_nodes() as usize);
-    let mut acc = [[0u64; 2]; 2];
+    // acc[(d1 << 1) | d2].
+    let mut acc = [0u64; 4];
     let obs = tnm_obs::enabled();
     let (mut centers_swept, mut peak_events) = (0u64, 0u64);
+    let tie_free = !graph.columns().has_time_ties();
     for c in 0..graph.num_nodes() {
-        scratch.load(graph, NodeId(c));
-        if scratch.evs.len() < 2 {
+        load(graph, NodeId(c), arena);
+        if arena.times.len() < 2 {
             continue;
         }
         if obs {
             centers_swept += 1;
-            peak_events = peak_events.max(scratch.evs.len() as u64);
+            peak_events = peak_events.max(arena.times.len() as u64);
         }
-        let mut cnt_any = [0u64; 2];
-        let mut front = 0usize;
-        let mut i = 0usize;
-        while i < scratch.evs.len() {
-            let t = scratch.evs[i].time;
-            let group_end = scratch.group_end(i);
-            while front < i && scratch.evs[front].time < t - delta {
-                let expire_end = scratch.group_end(front);
-                for e in &scratch.evs[front..expire_end] {
-                    cnt_any[e.dir] -= 1;
-                    scratch.cnt_nbr[e.nbr as usize][e.dir] -= 1;
-                }
-                front = expire_end;
-            }
-            for e in &scratch.evs[i..group_end] {
-                for d1 in 0..2 {
-                    // Any in-window predecessor on a *different* leaf.
-                    acc[d1][e.dir] += cnt_any[d1] - scratch.cnt_nbr[e.nbr as usize][d1];
-                }
-            }
-            for e in &scratch.evs[i..group_end] {
-                cnt_any[e.dir] += 1;
-                scratch.cnt_nbr[e.nbr as usize][e.dir] += 1;
-            }
-            i = group_end;
+        if tie_free {
+            wedge_center_dp(&mut scratch, arena, delta, &DenseGroups(arena.times.len()), &mut acc);
+        } else {
+            arena.seal_groups();
+            let groups = SealedGroups(&arena.bounds);
+            wedge_center_dp(&mut scratch, arena, delta, &groups, &mut acc);
         }
-        scratch.wipe_nbr_tables();
     }
     if obs {
         let reg = tnm_obs::global();
         reg.counter("stream.star.centers_swept").add(centers_swept);
         reg.gauge("stream.star.center_events").set(peak_events);
     }
-    for d1 in 0..2 {
-        for d2 in 0..2 {
-            if acc[d1][d2] > 0 {
-                out.add(star_signature(&[0, 1], &[d1 as u8, d2 as u8]), acc[d1][d2]);
-            }
+    for (slot, &n) in acc.iter().enumerate() {
+        if n > 0 {
+            out.add(star_signature(&[0, 1], &[(slot >> 1) as u8 & 1, slot as u8 & 1]), n);
         }
     }
 }
 
+/// One center's wedge DP under the given group map.
+fn wedge_center_dp<B: GroupMap>(
+    scratch: &mut CenterScratch,
+    arena: &DpArena,
+    delta: Time,
+    groups: &B,
+    acc: &mut [u64; 4],
+) {
+    let (times, aux) = (&arena.times[..], &arena.aux[..]);
+    let mut cnt_any = [0u64; 2];
+    let mut front = 0usize;
+    for g in 0..groups.num_groups() {
+        let (start, end) = (groups.start(g), groups.start(g + 1));
+        let t = times[start];
+        let cut = expiry_cut(times, groups, front, g, t - delta);
+        while front < cut {
+            let (gs, ge) = (groups.start(front), groups.start(front + 1));
+            for &a in &aux[gs..ge] {
+                let (b2, _, dir) = unpack(a);
+                cnt_any[dir] -= 1;
+                scratch.cnt_nbr[b2 | dir] -= 1;
+            }
+            front += 1;
+        }
+        for &a in &aux[start..end] {
+            let (b2, _, dir) = unpack(a);
+            // Any in-window predecessor on a *different* leaf.
+            acc[dir] += cnt_any[0] - scratch.cnt_nbr[b2];
+            acc[2 | dir] += cnt_any[1] - scratch.cnt_nbr[b2 | 1];
+        }
+        for &a in &aux[start..end] {
+            let (b2, _, dir) = unpack(a);
+            cnt_any[dir] += 1;
+            scratch.cnt_nbr[b2 | dir] += 1;
+        }
+    }
+    scratch.wipe_nbr_tables(aux);
+}
+
 /// Past-window sweep: fills `pend` and returns `(E12, E123)`.
-fn forward_sweep(scratch: &mut CenterScratch, delta: Time) -> (Triples, Triples) {
+fn forward_sweep<B: GroupMap>(
+    scratch: &mut CenterScratch,
+    arena: &DpArena,
+    delta: Time,
+    groups: &B,
+) -> (Triples, Triples) {
+    let (times, aux) = (&arena.times[..], &arena.aux[..]);
     let mut e12 = Triples::default();
     let mut e123 = Triples::default();
-    let mut same_pair = [[0u64; 2]; 2];
+    // same_pair[(d1 << 1) | d2].
+    let mut same_pair = [0u64; 4];
     scratch.pend.clear();
-    scratch.pend.resize(scratch.evs.len(), [0; 2]);
+    scratch.pend.resize(times.len(), [0; 2]);
     let mut front = 0usize;
-    let mut i = 0usize;
-    while i < scratch.evs.len() {
-        let t = scratch.evs[i].time;
-        let group_end = scratch.group_end(i);
+    for g in 0..groups.num_groups() {
+        let (start, end) = (groups.start(g), groups.start(g + 1));
+        let t = times[start];
         // Expire whole timestamp groups below the window start.
-        while front < i && scratch.evs[front].time < t - delta {
-            let expire_end = scratch.group_end(front);
-            for e in &scratch.evs[front..expire_end] {
-                scratch.cnt_nbr[e.nbr as usize][e.dir] -= 1;
+        let cut = expiry_cut(times, groups, front, g, t - delta);
+        while front < cut {
+            let (gs, ge) = (groups.start(front), groups.start(front + 1));
+            for &a in &aux[gs..ge] {
+                let (b2, _, dir) = unpack(a);
+                scratch.cnt_nbr[b2 | dir] -= 1;
             }
-            for e in &scratch.evs[front..expire_end] {
-                let v = e.nbr as usize;
-                for d2 in 0..2 {
-                    // Retract the expired event's open pairs: everything
-                    // left on its leaf is strictly later.
-                    same_pair[e.dir][d2] -= scratch.cnt_nbr[v][d2];
-                    scratch.per_nbr_pair[v][e.dir][d2] -= scratch.cnt_nbr[v][d2];
-                }
+            for &a in &aux[gs..ge] {
+                let (b2, b4, dir) = unpack(a);
+                // Retract the expired event's open pairs: everything
+                // left on its leaf is strictly later.
+                let (c0, c1) = (scratch.cnt_nbr[b2], scratch.cnt_nbr[b2 | 1]);
+                let d = dir << 1;
+                same_pair[d] -= c0;
+                same_pair[d | 1] -= c1;
+                scratch.per_nbr_pair[b4 + d] -= c0;
+                scratch.per_nbr_pair[b4 + d + 1] -= c1;
             }
-            front = expire_end;
+            front += 1;
         }
         // Close each group member as the last event of a triple.
-        for (idx, e) in scratch.evs[i..group_end].iter().enumerate() {
-            let v = e.nbr as usize;
-            scratch.pend[i + idx] = scratch.cnt_nbr[v];
-            for d1 in 0..2 {
-                for d2 in 0..2 {
-                    e12[d1][d2][e.dir] += same_pair[d1][d2];
-                    e123[d1][d2][e.dir] += scratch.per_nbr_pair[v][d1][d2];
-                }
-            }
+        for (&a, slot) in aux[start..end].iter().zip(&mut scratch.pend[start..end]) {
+            let (b2, b4, dir) = unpack(a);
+            *slot = [scratch.cnt_nbr[b2], scratch.cnt_nbr[b2 | 1]];
+            e12[dir] += same_pair[0];
+            e12[2 | dir] += same_pair[1];
+            e12[4 | dir] += same_pair[2];
+            e12[6 | dir] += same_pair[3];
+            e123[dir] += scratch.per_nbr_pair[b4];
+            e123[2 | dir] += scratch.per_nbr_pair[b4 + 1];
+            e123[4 | dir] += scratch.per_nbr_pair[b4 + 2];
+            e123[6 | dir] += scratch.per_nbr_pair[b4 + 3];
         }
         // Push: pair against the pre-group snapshot, then admit.
-        for e in &scratch.evs[i..group_end] {
-            let v = e.nbr as usize;
-            for d1 in 0..2 {
-                same_pair[d1][e.dir] += scratch.cnt_nbr[v][d1];
-                scratch.per_nbr_pair[v][d1][e.dir] += scratch.cnt_nbr[v][d1];
-            }
+        for &a in &aux[start..end] {
+            let (b2, b4, dir) = unpack(a);
+            let (c0, c1) = (scratch.cnt_nbr[b2], scratch.cnt_nbr[b2 | 1]);
+            same_pair[dir] += c0;
+            same_pair[2 | dir] += c1;
+            scratch.per_nbr_pair[b4 + dir] += c0;
+            scratch.per_nbr_pair[b4 + 2 + dir] += c1;
         }
-        for e in &scratch.evs[i..group_end] {
-            scratch.cnt_nbr[e.nbr as usize][e.dir] += 1;
+        for &a in &aux[start..end] {
+            let (b2, _, dir) = unpack(a);
+            scratch.cnt_nbr[b2 | dir] += 1;
         }
-        i = group_end;
     }
-    scratch.wipe_nbr_tables();
+    scratch.wipe_nbr_tables(aux);
     (e12, e123)
 }
 
 /// Future-window sweep: fills `pstart` and returns `E23`.
-fn future_sweep(scratch: &mut CenterScratch, delta: Time) -> Triples {
+fn future_sweep<B: GroupMap>(
+    scratch: &mut CenterScratch,
+    arena: &DpArena,
+    delta: Time,
+    groups: &B,
+) -> Triples {
+    let (times, aux) = (&arena.times[..], &arena.aux[..]);
+    let num_groups = groups.num_groups();
     let mut e23 = Triples::default();
-    let mut same_pair = [[0u64; 2]; 2];
+    let mut same_pair = [0u64; 4];
     scratch.pstart.clear();
-    scratch.pstart.resize(scratch.evs.len(), [0; 2]);
-    let (mut wstart, mut wend) = (0usize, 0usize);
-    let mut i = 0usize;
-    while i < scratch.evs.len() {
-        let t = scratch.evs[i].time;
-        let group_end = scratch.group_end(i);
+    scratch.pstart.resize(times.len(), [0; 2]);
+    // Window edges as *group* indices over the shared group map.
+    let (mut ws, mut we) = (0usize, 0usize);
+    for g in 0..num_groups {
+        let (start, end) = (groups.start(g), groups.start(g + 1));
+        let t = times[start];
         // Drop everything at or before the current time: pop pushed
         // groups (retracting their open pairs), skip never-pushed ones.
-        while wstart < scratch.evs.len() && scratch.evs[wstart].time <= t {
-            let g_end = scratch.group_end(wstart);
-            if wstart < wend {
-                for e in &scratch.evs[wstart..g_end] {
-                    scratch.cnt_nbr[e.nbr as usize][e.dir] -= 1;
+        while ws < num_groups && times[groups.start(ws)] <= t {
+            if ws < we {
+                let (gs, ge) = (groups.start(ws), groups.start(ws + 1));
+                for &a in &aux[gs..ge] {
+                    let (b2, _, dir) = unpack(a);
+                    scratch.cnt_nbr[b2 | dir] -= 1;
                 }
-                for e in &scratch.evs[wstart..g_end] {
-                    for d2 in 0..2 {
-                        same_pair[e.dir][d2] -= scratch.cnt_nbr[e.nbr as usize][d2];
-                    }
+                for &a in &aux[gs..ge] {
+                    let (b2, _, dir) = unpack(a);
+                    let d = dir << 1;
+                    same_pair[d] -= scratch.cnt_nbr[b2];
+                    same_pair[d | 1] -= scratch.cnt_nbr[b2 | 1];
                 }
             } else {
-                wend = g_end;
+                we = ws + 1;
             }
-            wstart = g_end;
+            ws += 1;
         }
         // Admit groups within (t, t + ΔW], newest-last.
-        while wend < scratch.evs.len() && scratch.evs[wend].time <= t + delta {
-            let g_end = scratch.group_end(wend);
-            for e in &scratch.evs[wend..g_end] {
-                for d1 in 0..2 {
-                    same_pair[d1][e.dir] += scratch.cnt_nbr[e.nbr as usize][d1];
-                }
+        while we < num_groups && times[groups.start(we)] <= t + delta {
+            let (gs, ge) = (groups.start(we), groups.start(we + 1));
+            for &a in &aux[gs..ge] {
+                let (b2, _, dir) = unpack(a);
+                same_pair[dir] += scratch.cnt_nbr[b2];
+                same_pair[2 | dir] += scratch.cnt_nbr[b2 | 1];
             }
-            for e in &scratch.evs[wend..g_end] {
-                scratch.cnt_nbr[e.nbr as usize][e.dir] += 1;
+            for &a in &aux[gs..ge] {
+                let (b2, _, dir) = unpack(a);
+                scratch.cnt_nbr[b2 | dir] += 1;
             }
-            wend = g_end;
+            we += 1;
         }
         // Close each group member as the first event of a triple.
-        for (idx, e) in scratch.evs[i..group_end].iter().enumerate() {
-            scratch.pstart[i + idx] = scratch.cnt_nbr[e.nbr as usize];
-            for d2 in 0..2 {
-                for d3 in 0..2 {
-                    e23[e.dir][d2][d3] += same_pair[d2][d3];
-                }
-            }
+        for (&a, slot) in aux[start..end].iter().zip(&mut scratch.pstart[start..end]) {
+            let (b2, _, dir) = unpack(a);
+            *slot = [scratch.cnt_nbr[b2], scratch.cnt_nbr[b2 | 1]];
+            let d = dir << 2;
+            e23[d] += same_pair[0];
+            e23[d | 1] += same_pair[1];
+            e23[d | 2] += same_pair[2];
+            e23[d | 3] += same_pair[3];
         }
-        i = group_end;
     }
-    scratch.wipe_nbr_tables();
+    scratch.wipe_nbr_tables(aux);
     e23
 }
 
@@ -330,35 +405,36 @@ fn future_sweep(scratch: &mut CenterScratch, delta: Time) -> Triples {
 /// `pstart` over events with time < `t`) minus those fully finished by
 /// `t` (`G`, the running sum of `pend` over events with time ≤ `t` —
 /// a pair ending *at* `t` cannot straddle it under strict ordering).
-fn straddle_sweep(scratch: &CenterScratch) -> Triples {
+fn straddle_sweep<B: GroupMap>(scratch: &CenterScratch, arena: &DpArena, groups: &B) -> Triples {
+    let (times, aux) = (&arena.times[..], &arena.aux[..]);
     let mut e13 = Triples::default();
-    let mut f = [[0u64; 2]; 2];
-    let mut g = [[0u64; 2]; 2];
+    // f[(d1 << 1) | d3], g[(d1 << 1) | d3].
+    let mut f = [0u64; 4];
+    let mut gsum = [0u64; 4];
     let (mut fx, mut gy) = (0usize, 0usize);
-    let mut i = 0usize;
-    while i < scratch.evs.len() {
-        let t = scratch.evs[i].time;
-        let group_end = scratch.group_end(i);
-        while fx < scratch.evs.len() && scratch.evs[fx].time < t {
-            for d3 in 0..2 {
-                f[scratch.evs[fx].dir][d3] += scratch.pstart[fx][d3];
-            }
+    for g in 0..groups.num_groups() {
+        let (start, end) = (groups.start(g), groups.start(g + 1));
+        let t = times[start];
+        while fx < times.len() && times[fx] < t {
+            let d = (aux[fx] & 1) << 1;
+            f[d as usize] += scratch.pstart[fx][0];
+            f[(d | 1) as usize] += scratch.pstart[fx][1];
             fx += 1;
         }
-        while gy < scratch.evs.len() && scratch.evs[gy].time <= t {
-            for d1 in 0..2 {
-                g[d1][scratch.evs[gy].dir] += scratch.pend[gy][d1];
-            }
+        while gy < times.len() && times[gy] <= t {
+            let d = aux[gy] & 1;
+            gsum[d as usize] += scratch.pend[gy][0];
+            gsum[(2 | d) as usize] += scratch.pend[gy][1];
             gy += 1;
         }
-        for e in &scratch.evs[i..group_end] {
-            for d1 in 0..2 {
-                for d3 in 0..2 {
-                    e13[d1][e.dir][d3] += f[d1][d3] - g[d1][d3];
-                }
-            }
+        for &a in &aux[start..end] {
+            let dir = (a & 1) as usize;
+            let d = dir << 1;
+            e13[d] += f[0] - gsum[0];
+            e13[d | 1] += f[1] - gsum[1];
+            e13[4 | d] += f[2] - gsum[2];
+            e13[4 | d | 1] += f[3] - gsum[3];
         }
-        i = group_end;
     }
     e13
 }
@@ -377,24 +453,27 @@ mod tests {
         b.build().unwrap()
     }
 
+    fn stars(g: &TemporalGraph, delta: Time) -> MotifCounts {
+        let mut c = MotifCounts::new();
+        count_stars(g, delta, &mut c, &mut DpArena::default());
+        c
+    }
+
     #[test]
     fn out_star_pre_post_peri() {
         // Center 0 sends to leaves 1, 1, 2 — lone event last: 010102.
         let g = graph(&[(0, 1, 1), (0, 1, 2), (0, 2, 3)]);
-        let mut c = MotifCounts::new();
-        count_stars(&g, 10, &mut c);
+        let c = stars(&g, 10);
         assert_eq!(c.get(sig("010102")), 1);
         assert_eq!(c.total(), 1);
         // Lone event in the middle: 0→1, 0→2, 0→1 = 010201.
         let g = graph(&[(0, 1, 1), (0, 2, 2), (0, 1, 3)]);
-        let mut c = MotifCounts::new();
-        count_stars(&g, 10, &mut c);
+        let c = stars(&g, 10);
         assert_eq!(c.get(sig("010201")), 1);
         assert_eq!(c.total(), 1);
         // Lone event first: 0→2, 0→1, 0→1 = 010202.
         let g = graph(&[(0, 2, 1), (0, 1, 2), (0, 1, 3)]);
-        let mut c = MotifCounts::new();
-        count_stars(&g, 10, &mut c);
+        let c = stars(&g, 10);
         assert_eq!(c.get(sig("010202")), 1);
         assert_eq!(c.total(), 1);
     }
@@ -403,8 +482,7 @@ mod tests {
     fn two_node_triples_are_subtracted() {
         // All three events on one leaf: a 2-node sequence, not a star.
         let g = graph(&[(0, 1, 1), (0, 1, 2), (1, 0, 3)]);
-        let mut c = MotifCounts::new();
-        count_stars(&g, 10, &mut c);
+        let c = stars(&g, 10);
         assert!(c.is_empty(), "{c:?}");
     }
 
@@ -412,8 +490,7 @@ mod tests {
     fn three_distinct_leaves_are_excluded() {
         // A 4-node star: no exactly-2-leaf triple exists.
         let g = graph(&[(0, 1, 1), (0, 2, 2), (0, 3, 3)]);
-        let mut c = MotifCounts::new();
-        count_stars(&g, 10, &mut c);
+        let c = stars(&g, 10);
         assert!(c.is_empty(), "{c:?}");
     }
 
@@ -421,8 +498,7 @@ mod tests {
     fn window_bounds_the_whole_triple() {
         let g = graph(&[(0, 1, 0), (0, 1, 5), (0, 2, 10)]);
         for (delta, expect) in [(10i64, 1u64), (9, 0)] {
-            let mut c = MotifCounts::new();
-            count_stars(&g, delta, &mut c);
+            let c = stars(&g, delta);
             assert_eq!(c.total(), expect, "ΔW={delta}");
         }
     }
@@ -433,7 +509,7 @@ mod tests {
         // canonicalize to 01, 20 = "0120". A tie at t=1 contributes nothing.
         let g = graph(&[(0, 1, 1), (2, 0, 1), (2, 0, 3)]);
         let mut c = MotifCounts::new();
-        count_wedges(&g, 5, &mut c);
+        count_wedges(&g, 5, &mut c, &mut DpArena::default());
         assert_eq!(c.get(sig("0120")), 1);
         assert_eq!(c.total(), 1);
     }

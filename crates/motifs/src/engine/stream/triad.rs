@@ -15,45 +15,104 @@
 //! Cost: `O(Σ_triangles events-on-the-triangle · 6)` — the WSDM'17
 //! triangle bound — with a 48-entry label-triple → signature table
 //! computed once per count.
+//!
+//! Data layout (see [`super::arena`]): each triangle's merged list is
+//! built by a six-way cursor merge over its directed edge-event index
+//! lists (event indices are globally time-ordered, so no sort is
+//! needed) straight into the arena's SoA scratch — dense `times` plus
+//! the 6-valued label in `tags`. Triangles are processed in
+//! **footprint-sorted, cache-sized blocks**: work items carry their
+//! merged-list length, are sorted ascending, and run in blocks whose
+//! combined footprint fits [`BLOCK_EVENT_BUDGET`], so the arena and DP
+//! tables stay resident while the bulk of small triangles stream
+//! through, and the few giant lists are quarantined at the end instead
+//! of evicting the scratch mid-stream. Accumulation is commutative
+//! sums, so the reordering cannot change any count.
 
 // The DP tables are indexed by label/pair ids used across several
 // tables per loop body; iterator forms would obscure the recurrences.
 #![allow(clippy::needless_range_loop)]
 
-use super::group_end_by;
+use super::arena::{expiry_cut, DenseGroups, DpArena, GroupMap, SealedGroups};
 use crate::count::MotifCounts;
 use crate::notation::MotifSignature;
 use tnm_graph::static_proj::global_projection_cache;
-use tnm_graph::{Edge, NodeId, TemporalGraph, Time};
+use tnm_graph::{Edge, EventIdx, NodeId, TemporalGraph, Time};
 
 /// Labels: `pair * 2 + dir`, pairs 0 = {a,b}, 1 = {a,c}, 2 = {b,c} for
 /// the triangle's sorted nodes `a < b < c`; dir 0 = lower → higher id.
 const LABELS: usize = 6;
+
+/// Combined merged-event budget per processing block: 2^15 events ≈
+/// 0.75 MiB of arena scratch (8 B time + 1 B tag, doubled for slack) —
+/// comfortably L2-resident on the targeted cores.
+const BLOCK_EVENT_BUDGET: usize = 1 << 15;
 
 /// Counts every δ-window temporal triangle into `out`. The static
 /// projection comes from the shared
 /// [`global_projection_cache`], so a ΔW sweep over one graph builds it
 /// (and can re-list its triangles) once per graph instead of once per
 /// count.
-pub fn count_triads(graph: &TemporalGraph, delta: Time, out: &mut MotifCounts) {
+pub(crate) fn count_triads(
+    graph: &TemporalGraph,
+    delta: Time,
+    out: &mut MotifCounts,
+    arena: &mut DpArena,
+) {
     let proj = global_projection_cache().get_or_build(graph);
     let sig_table = label_triple_signatures();
     let combos = closing_combos();
     // One flat accumulator over label triples, shared by all triangles:
     // the signature of a label triple is triangle-independent.
     let mut acc = [0u64; LABELS * LABELS * LABELS];
-    let mut merged: Vec<(Time, u8)> = Vec::new(); // (timestamp, label)
     let obs = tnm_obs::enabled();
     let (mut triangles_swept, mut groups_advanced, mut peak_window) = (0u64, 0u64, 0u64);
+    let tie_free = !graph.columns().has_time_ties();
+    // Gather work items with their merged-list footprint, then sort so
+    // blocks hold triangles of similar size (see module docs).
+    let mut work: Vec<(u32, [NodeId; 3])> = Vec::new();
     proj.for_each_undirected_triangle(|nodes| {
-        collect_triangle_events(graph, nodes, &mut merged);
-        if obs {
-            triangles_swept += 1;
-            groups_advanced += super::distinct_groups(&merged, |e| e.0);
-            peak_window = peak_window.max(merged.len() as u64);
-        }
-        triangle_window_dp(&merged, delta, &combos, &mut acc);
+        work.push((triangle_footprint(graph, nodes), nodes));
     });
+    work.sort_unstable_by_key(|&(footprint, _)| footprint);
+    let mut i = 0usize;
+    while i < work.len() {
+        let start = i;
+        let mut block_events = 0usize;
+        // A block always advances (the first item is admitted even when
+        // it alone exceeds the budget).
+        while i < work.len()
+            && (i == start || block_events + work[i].0 as usize <= BLOCK_EVENT_BUDGET)
+        {
+            block_events += work[i].0 as usize;
+            i += 1;
+        }
+        // The block's largest footprint comes last (sorted order): one
+        // reserve covers every triangle in the block.
+        arena.times.reserve(work[i - 1].0 as usize);
+        arena.tags.reserve(work[i - 1].0 as usize);
+        for &(_, nodes) in &work[start..i] {
+            merge_triangle_events(graph, nodes, arena);
+            if tie_free {
+                let groups = DenseGroups(arena.times.len());
+                if obs {
+                    triangles_swept += 1;
+                    groups_advanced += groups.num_groups() as u64;
+                    peak_window = peak_window.max(arena.times.len() as u64);
+                }
+                triangle_window_dp(&arena.times, &arena.tags, &groups, delta, &combos, &mut acc);
+            } else {
+                arena.seal_groups();
+                if obs {
+                    triangles_swept += 1;
+                    groups_advanced += arena.num_groups() as u64;
+                    peak_window = peak_window.max(arena.times.len() as u64);
+                }
+                let groups = SealedGroups(&arena.bounds);
+                triangle_window_dp(&arena.times, &arena.tags, &groups, delta, &combos, &mut acc);
+            }
+        }
+    }
     if obs {
         let reg = tnm_obs::global();
         reg.counter("stream.triad.triangles_swept").add(triangles_swept);
@@ -68,23 +127,50 @@ pub fn count_triads(graph: &TemporalGraph, delta: Time, out: &mut MotifCounts) {
     }
 }
 
-/// Gathers the triangle's events as `(timestamp, label)`, time-sorted.
-/// The DP only needs timestamp *groups* — within-group order is
-/// immaterial under the ties-never-co-occur rule — so the inline
-/// timestamps both serve as the sort key and spare the DP a
-/// per-comparison event-table indirection.
-fn collect_triangle_events(graph: &TemporalGraph, nodes: [NodeId; 3], out: &mut Vec<(Time, u8)>) {
-    out.clear();
+/// The triangle's six directed edge-event lists, labels 0..=5 in the
+/// canonical (pair, dir) order.
+fn edge_lists(graph: &TemporalGraph, nodes: [NodeId; 3]) -> [&[EventIdx]; LABELS] {
     let [a, b, c] = nodes;
+    let mut lists: [&[EventIdx]; LABELS] = [&[]; LABELS];
     for (pair, (lo, hi)) in [(a, b), (a, c), (b, c)].into_iter().enumerate() {
-        for (dir, edge) in
-            [Edge { src: lo, dst: hi }, Edge { src: hi, dst: lo }].into_iter().enumerate()
-        {
-            let label = (pair * 2 + dir) as u8;
-            out.extend(graph.edge_events(edge).iter().map(|&idx| (graph.event(idx).time, label)));
-        }
+        lists[pair * 2] = graph.edge_events(Edge { src: lo, dst: hi });
+        lists[pair * 2 + 1] = graph.edge_events(Edge { src: hi, dst: lo });
     }
-    out.sort_unstable();
+    lists
+}
+
+/// Total merged-list length for a triangle — its work-item footprint.
+fn triangle_footprint(graph: &TemporalGraph, nodes: [NodeId; 3]) -> u32 {
+    edge_lists(graph, nodes).iter().map(|l| l.len() as u32).sum()
+}
+
+/// Merges the triangle's six directed edge-event lists into the arena
+/// as a time-ordered labeled list. Event indices are assigned in
+/// global time order, so a six-cursor min-merge on the indices
+/// replaces the old collect-then-sort; the DP only needs timestamp
+/// *groups* (within-group order is immaterial under the
+/// ties-never-co-occur rule), and timestamps come from the dense SoA
+/// time column. Callers seal the group boundaries only when the log
+/// has timestamp ties.
+fn merge_triangle_events(graph: &TemporalGraph, nodes: [NodeId; 3], arena: &mut DpArena) {
+    arena.clear();
+    let lists = edge_lists(graph, nodes);
+    let times = graph.times();
+    let mut cursor = [0usize; LABELS];
+    loop {
+        let mut best: Option<(u32, usize)> = None;
+        for l in 0..LABELS {
+            if let Some(&idx) = lists[l].get(cursor[l]) {
+                if best.is_none_or(|(min_idx, _)| idx < min_idx) {
+                    best = Some((idx, l));
+                }
+            }
+        }
+        let Some((idx, l)) = best else { break };
+        cursor[l] += 1;
+        arena.times.push(times[idx as usize]);
+        arena.tags.push(l as u8);
+    }
 }
 
 /// The label pairs `(l1, l2)` that close a triangle with a final event
@@ -112,51 +198,55 @@ fn closing_combos() -> [[(usize, usize); 8]; 3] {
 }
 
 /// The 6-label window DP: strictly-ordered in-window triples by label,
-/// accumulated only into all-three-pairs slots.
-fn triangle_window_dp(
-    evs: &[(Time, u8)],
+/// accumulated only into all-three-pairs slots. Runs over the arena's
+/// SoA slices, advancing by whole timestamp groups through the group
+/// map; `counts2` is a flat 36-slot table so every push, pop, and
+/// close is an unconditional indexed add.
+fn triangle_window_dp<B: GroupMap>(
+    times: &[Time],
+    labels: &[u8],
+    groups: &B,
     delta: Time,
     combos: &[[(usize, usize); 8]; 3],
     acc: &mut [u64; LABELS * LABELS * LABELS],
 ) {
-    let group_end = |i: usize| group_end_by(evs, i, |e| e.0);
     let mut counts1 = [0u64; LABELS];
-    let mut counts2 = [[0u64; LABELS]; LABELS];
+    let mut counts2 = [0u64; LABELS * LABELS]; // [l1 * LABELS + l2]
     let mut front = 0usize;
-    let mut i = 0usize;
-    while i < evs.len() {
-        let t = evs[i].0;
-        let g_end = group_end(i);
-        while front < i && evs[front].0 < t - delta {
-            let expire_end = group_end(front);
-            for &(_, l) in &evs[front..expire_end] {
+    for g in 0..groups.num_groups() {
+        let (start, end) = (groups.start(g), groups.start(g + 1));
+        let t = times[start];
+        let cut = expiry_cut(times, groups, front, g, t - delta);
+        while front < cut {
+            let (gs, ge) = (groups.start(front), groups.start(front + 1));
+            for &l in &labels[gs..ge] {
                 counts1[l as usize] -= 1;
             }
-            for &(_, l) in &evs[front..expire_end] {
+            for &l in &labels[gs..ge] {
+                let base = l as usize * LABELS;
                 for l2 in 0..LABELS {
-                    counts2[l as usize][l2] -= counts1[l2];
+                    counts2[base + l2] -= counts1[l2];
                 }
             }
-            front = expire_end;
+            front += 1;
         }
         // Close: only pair-disjoint (l1, l2) prefixes can complete a
         // triangle with this event's pair — the eight precomputed combos;
         // the other prefixes stay pure DP state.
-        for &(_, l3) in &evs[i..g_end] {
+        for &l3 in &labels[start..end] {
             for &(l1, l2) in &combos[(l3 / 2) as usize] {
-                acc[(l1 * LABELS + l2) * LABELS + l3 as usize] += counts2[l1][l2];
+                acc[(l1 * LABELS + l2) * LABELS + l3 as usize] += counts2[l1 * LABELS + l2];
             }
         }
         // Push against the pre-group snapshot, then admit the group.
-        for &(_, l) in &evs[i..g_end] {
+        for &l in &labels[start..end] {
             for l1 in 0..LABELS {
-                counts2[l1][l as usize] += counts1[l1];
+                counts2[l1 * LABELS + l as usize] += counts1[l1];
             }
         }
-        for &(_, l) in &evs[i..g_end] {
+        for &l in &labels[start..end] {
             counts1[l as usize] += 1;
         }
-        i = g_end;
     }
 }
 
@@ -198,11 +288,16 @@ mod tests {
         b.build().unwrap()
     }
 
+    fn triads(g: &TemporalGraph, delta: Time) -> MotifCounts {
+        let mut c = MotifCounts::new();
+        count_triads(g, delta, &mut c, &mut DpArena::default());
+        c
+    }
+
     #[test]
     fn single_triangle() {
         let g = graph(&[(0, 1, 1), (1, 2, 2), (0, 2, 3)]);
-        let mut c = MotifCounts::new();
-        count_triads(&g, 10, &mut c);
+        let c = triads(&g, 10);
         assert_eq!(c.get(sig("011202")), 1);
         assert_eq!(c.total(), 1);
     }
@@ -212,8 +307,7 @@ mod tests {
         // Extra events on one pair create star/2-node triples that must
         // not surface as triangles.
         let g = graph(&[(0, 1, 1), (0, 1, 2), (1, 2, 3), (0, 2, 4)]);
-        let mut c = MotifCounts::new();
-        count_triads(&g, 10, &mut c);
+        let c = triads(&g, 10);
         // Triangles: {e at 1 or 2} × (1→2) × (0→2) = 2 instances of 011202.
         assert_eq!(c.get(sig("011202")), 2);
         assert_eq!(c.total(), 2);
@@ -222,15 +316,37 @@ mod tests {
     #[test]
     fn window_and_ties_respected() {
         let g = graph(&[(0, 1, 0), (1, 2, 0), (0, 2, 5)]);
-        let mut c = MotifCounts::new();
-        count_triads(&g, 10, &mut c);
+        let c = triads(&g, 10);
         assert!(c.is_empty(), "tied first two events cannot chain: {c:?}");
         let g = graph(&[(0, 1, 0), (1, 2, 4), (0, 2, 9)]);
         for (delta, expect) in [(9i64, 1u64), (8, 0)] {
-            let mut c = MotifCounts::new();
-            count_triads(&g, delta, &mut c);
+            let c = triads(&g, delta);
             assert_eq!(c.total(), expect, "ΔW={delta}");
         }
+    }
+
+    #[test]
+    fn merge_matches_sort_order() {
+        // Interleaved events across all six directed edges: the cursor
+        // merge must produce the same time order a sort would.
+        let g = graph(&[
+            (0, 1, 1),
+            (1, 0, 2),
+            (0, 2, 3),
+            (2, 0, 4),
+            (1, 2, 5),
+            (2, 1, 6),
+            (0, 1, 7),
+            (2, 1, 7),
+        ]);
+        let mut arena = DpArena::default();
+        merge_triangle_events(&g, [NodeId(0), NodeId(1), NodeId(2)], &mut arena);
+        assert_eq!(arena.times, vec![1, 2, 3, 4, 5, 6, 7, 7]);
+        let mut sorted = arena.times.clone();
+        sorted.sort_unstable();
+        assert_eq!(arena.times, sorted);
+        arena.seal_groups();
+        assert_eq!(arena.num_groups(), 7);
     }
 
     #[test]

@@ -49,10 +49,11 @@ pub trait CandidateSource {
 }
 
 /// Candidate generation over [`TemporalGraph`]'s plain node index: one
-/// `partition_point` for the lower bound (chasing `events[i].time`
-/// through an indirection per probe), then a linear scan until the upper
-/// bound breaks, then a sort + dedup of the concatenation. This is the
-/// seed repo's original strategy.
+/// `partition_point` for the lower bound, then a linear scan until the
+/// upper bound breaks, then a sort + dedup of the concatenation. This is
+/// the seed repo's original strategy, with the per-probe time checks
+/// resolved against the dense SoA time column (8-byte rows) instead of
+/// chasing `events[i].time` through 24-byte structs.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NodeListCandidates;
 
@@ -65,12 +66,13 @@ impl CandidateSource for NodeListCandidates {
         bound: Option<Time>,
         out: &mut Vec<EventIdx>,
     ) {
+        let times = graph.times();
         for &node in nodes {
             let list = graph.node_events(node);
-            let start = list.partition_point(|&i| graph.event(i).time <= t_last);
+            let start = list.partition_point(|&i| times[i as usize] <= t_last);
             for &i in &list[start..] {
                 if let Some(b) = bound {
-                    if graph.event(i).time > b {
+                    if times[i as usize] > b {
                         break;
                     }
                 }

@@ -19,6 +19,10 @@
 //!   included, plus its fall-back on ineligible configurations
 //!   ([`stream_fast_path_matches_walkers`],
 //!   [`stream_rejects_ineligible_and_falls_back`]);
+//! * the data-oriented hot paths' worst cases — tie-saturated graphs
+//!   whose merged lists are all multi-event timestamp groups, and
+//!   duration-heavy graphs with duplicate timestamps
+//!   ([`tie_saturated_and_duration_heavy_corpus_agrees`]);
 //! * the distributed engine's **process boundary**: real `tnm worker`
 //!   children counting spilled shards over the framed wire protocol,
 //!   with a tiny shard target so every sweep ships many shards
@@ -321,6 +325,62 @@ fn stream_rejects_ineligible_and_falls_back() {
     // ...and it does route the eligible twin there.
     let eligible = EnumConfig::new(3, 3).with_timing(Timing::only_w(60));
     assert_eq!(tnm_motifs::engine::auto_select(&g, &eligible, 4), EngineKind::Stream);
+}
+
+/// Adversarial corpus for the data-oriented hot paths. Two regimes the
+/// SoA/arena rewrite is most sensitive to:
+///
+/// * **tie-saturated** — horizon ≪ events, so every merged list is
+///   dominated by multi-event timestamp groups and the group-boundary
+///   expiry (`partition_point` cuts landing exactly on group edges)
+///   carries the whole DP;
+/// * **duration-heavy** — every event has a nonzero duration comparable
+///   to the window, exercising the duration-aware walkers (whose gap
+///   base is `end_time`, read from the `Event` structs) against the
+///   SoA-probing candidate gathering on the same graphs.
+///
+/// Both regimes must stay bit-identical across every engine — the
+/// seven-engine matrix plus the registry and auto sweeps inside
+/// [`assert_all_engines_agree`].
+#[test]
+fn tie_saturated_and_duration_heavy_corpus_agrees() {
+    // ~12 events per timestamp on average; ΔW of 0/1/2 keeps whole
+    // groups entering and leaving the window every step.
+    for (seed, nodes, events, horizon) in [(950u64, 7u32, 140usize, 12i64), (951, 12, 180, 15)] {
+        let g = random_graph(seed, nodes, events, horizon);
+        for delta in [0i64, 2, horizon] {
+            let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(delta));
+            assert_all_engines_agree(&g, &cfg, &format!("tie-saturated seed={seed} ΔW={delta}"));
+        }
+        let wedge = EnumConfig::new(2, 3).with_timing(Timing::both(1, 3));
+        assert_all_engines_agree(&g, &wedge, &format!("tie-saturated seed={seed} wedges"));
+    }
+    // Duration-heavy: durations up to half the horizon, plus duplicate
+    // timestamps (sorting ties on duration exercises the 24-byte-struct
+    // total order the SoA columns mirror).
+    let mut rng = StdRng::seed_from_u64(960);
+    let mut batch = Vec::with_capacity(140);
+    while batch.len() < 140 {
+        let u: u32 = rng.gen_range(0..9);
+        let v: u32 = rng.gen_range(0..9);
+        if u == v {
+            continue;
+        }
+        batch.push(Event::with_duration(u, v, rng.gen_range(0i64..80), rng.gen_range(1u32..40)));
+    }
+    let g = TemporalGraph::from_events(batch).expect("non-empty batch");
+    for model in [MotifModel::hulovatyy(10), MotifModel::hulovatyy_constrained(50)] {
+        for k in [2usize, 3] {
+            let cfg = EnumConfig::for_model(&model, k, 3);
+            assert_all_engines_agree(&g, &cfg, &format!("duration-heavy {} k={k}", model.name));
+        }
+    }
+    // The stream-eligible shape on the same duration-heavy graph: the
+    // fast path must ignore durations exactly as the walkers do when
+    // the model is not duration-aware.
+    let only_w = EnumConfig::new(3, 3).with_timing(Timing::only_w(30));
+    assert!(StreamEngine::eligible(&only_w));
+    assert_all_engines_agree(&g, &only_w, "duration-heavy only-ΔW");
 }
 
 #[test]
