@@ -13,8 +13,9 @@
 //! the serve subsystem's incremental append path against a
 //! from-scratch recount, window-index cache reuse, signature-targeted
 //! counting, streaming matching, the observability tax (`obs_overhead`
-//! pins the metrics-disabled hot path against the BENCH history), and
-//! dataset generation.
+//! pins the metrics-disabled hot path against the BENCH history,
+//! `query_trace_overhead` does the same for the untraced `Query::run`
+//! path vs a request-scoped trace), and dataset generation.
 //!
 //! The harness prints a machine-readable JSON summary on exit (one
 //! object per benchmark; set `TNM_BENCH_JSON=path` to also write it to a
@@ -512,6 +513,56 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tracing tax on the query path. `trace_off` is the pinned id:
+/// with no request trace active, every span site under [`Query::run`]
+/// (the query root, walker workers, engine phases) must cost one
+/// relaxed atomic load and a branch — this id regressing against the
+/// BENCH history means overhead leaked into the untraced hot path,
+/// which every `tnm serve` request without the trace flag pays.
+/// `trace_on` runs the identical query under a request-scoped
+/// [`tnm_obs::TraceCtx`] — clock reads, span records, and the final
+/// tree collection — tracking the opt-in price of `tnm client
+/// --trace` / `--profile`. Expected within a few percent of
+/// `trace_off`, but not gated against it.
+fn bench_query_trace_overhead(c: &mut Criterion) {
+    // The obs_overhead LCG graph: 24 nodes, 20k events, ΔW=40 —
+    // instrumentation-heavy because pruning and cache checks fire per
+    // event, so leaked span overhead shows up immediately.
+    let mut b = tnm_graph::TemporalGraphBuilder::new();
+    let mut x = 0x9E3779B97F4A7C15u64;
+    for t in 0..20_000i64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let u = ((x >> 33) % 24) as u32;
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut v = ((x >> 33) % 24) as u32;
+        if v == u {
+            v = (v + 1) % 24;
+        }
+        b.push(tnm_graph::Event::new(u, v, t));
+    }
+    let g = b.build().unwrap();
+    let cfg = EnumConfig::new(3, 3).exact_nodes(3).with_timing(Timing::only_w(40));
+    let q = Query::Count { cfg, engine: EngineKind::Windowed, threads: 1 };
+    let mut group = c.benchmark_group("query_trace_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.num_events() as u64));
+    tnm_obs::set_enabled(false);
+    tnm_obs::set_trace(None);
+    group.bench_function("trace_off", |b| b.iter(|| black_box(q.run(&g).unwrap())));
+    group.bench_function("trace_on", |b| {
+        b.iter(|| {
+            let ctx = tnm_obs::TraceCtx::new();
+            tnm_obs::set_trace(Some(ctx));
+            let out = q.run(&g);
+            tnm_obs::set_trace(None);
+            let spans = tnm_obs::take_trace_spans(ctx.trace_id);
+            black_box((out.unwrap(), spans.len()))
+        })
+    });
+    tnm_obs::drain_spans();
+    group.finish();
+}
+
 /// The dense hub graph the hot-path groups share: 12 nodes, 20k events
 /// over 20k seconds — long per-pair/per-center/per-triangle merged
 /// lists, so the DP inner loops dominate and layout effects show.
@@ -688,6 +739,7 @@ criterion_group!(
     bench_signature_targeting,
     bench_streaming_matcher,
     bench_obs_overhead,
+    bench_query_trace_overhead,
     bench_hotpath_window_probe,
     bench_hotpath_pair_dp,
     bench_hotpath_star_dp,

@@ -55,6 +55,8 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "shutdown",
     "stats",
     "metrics",
+    "slow-queries",
+    "profile",
     "explain",
     "help",
 ];

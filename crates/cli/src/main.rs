@@ -77,7 +77,7 @@ Utility commands:
 
 Service commands:
   serve [--host H] [--port N] [--threads N] [--enumerate-cap K]
-                                         Start the resident counting daemon:
+        [--http-port N]                  Start the resident counting daemon:
                                          loaded graphs (and their window
                                          indexes) stay warm across queries,
                                          and subscription counts update
@@ -85,9 +85,16 @@ Service commands:
                                          live appends. Default 127.0.0.1:7878;
                                          --port 0 picks a free port. --threads
                                          caps any single request's budget.
-  client [--addr H:P] (--stats | --metrics | --shutdown |
+                                         --http-port N adds an HTTP scrape
+                                         surface on the same interface:
+                                         GET /metrics (Prometheus text),
+                                         /healthz, /timeseries (JSON ring of
+                                         windowed metric deltas, sampled every
+                                         second). N=0 picks a free port.
+  client [--addr H:P] (--stats | --metrics | --slow-queries | --shutdown |
          --dataset NAME count-flags [--name G]
-         [--hold-out K] [--append-batch B])
+         [--hold-out K] [--append-batch B]
+         [--trace FILE] [--profile])
                                          Scripted client for tnm serve. With a
                                          dataset: loads it (as G, default the
                                          dataset name) and counts through the
@@ -99,12 +106,32 @@ Service commands:
                                          appends of B events (default 512),
                                          and prints the final live counts —
                                          identical to counting the full graph.
-                                         --stats / --metrics / --shutdown
-                                         talk to a running daemon without
-                                         loading anything; --metrics prints
-                                         the server's serve.* counters and
-                                         latency histograms as Prometheus
-                                         text.
+                                         --trace FILE asks the server to trace
+                                         the request and writes its stitched
+                                         span tree (serve root, engine phases,
+                                         distributed worker spans — one trace
+                                         id) as Chrome-trace JSON. --profile
+                                         prints the same trace as per-phase
+                                         totals plus the request's metrics
+                                         delta (events scanned, cache hits).
+                                         --stats / --metrics / --slow-queries
+                                         / --shutdown talk to a running daemon
+                                         without loading anything; --metrics
+                                         prints the server's serve.* counters
+                                         and latency histograms as Prometheus
+                                         text; --slow-queries prints the
+                                         worst-latency query table and the
+                                         flight recorder of recent queries.
+  top [--addr H:P] [--interval MS] [--iters N]
+                                         Live terminal view of a daemon's
+                                         /timeseries feed (requires serve
+                                         --http-port): per-window query and
+                                         append rates, p50/p99 latency per
+                                         query kind, cache hit rates, resident
+                                         shard events. Default addr
+                                         127.0.0.1:9090, refresh every 1000 ms;
+                                         --iters N stops after N frames
+                                         (0 = run until interrupted).
 
 Flags:
   --scale F     Scale dataset event budgets by F (default 1.0)
@@ -322,6 +349,137 @@ fn print_report(name: &str, report: &EngineReport, timing: Timing, top: usize) {
             let e = report.estimate(sig);
             println!("  {sig:<12} {n:>10} ± {:<8.1} pairs {pairs}", e.half_width);
         }
+    }
+}
+
+/// Renders a nanosecond quantity at a human scale.
+fn format_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns} ns"),
+        10_000..=9_999_999 => format!("{:.1} µs", ns as f64 / 1_000.0),
+        10_000_000..=9_999_999_999 => format!("{:.1} ms", ns as f64 / 1_000_000.0),
+        _ => format!("{:.2} s", ns as f64 / 1_000_000_000.0),
+    }
+}
+
+/// Handles a traced serve request's telemetry: writes the span tree as
+/// Chrome-trace JSON (`--trace FILE`) and/or prints the per-phase
+/// profile with the request's metrics delta (`--profile`).
+fn report_trace(
+    trace: &TraceReply,
+    path: Option<&str>,
+    profile: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let trace_id = trace.spans.first().map_or(0, |s| s.trace_id);
+    if let Some(path) = path {
+        std::fs::write(path, tnm_obs::chrome_trace(&trace.spans))
+            .map_err(|e| format!("cannot write trace file `{path}`: {e}"))?;
+        println!(
+            "wrote {} span(s) to {path} (Chrome-trace JSON, trace id {trace_id:016x})",
+            trace.spans.len()
+        );
+    }
+    if profile {
+        println!("profile (trace id {trace_id:016x}, {} span(s)):", trace.spans.len());
+        // Per-phase totals: spans aggregated by name, slowest first.
+        let mut phases: std::collections::BTreeMap<&str, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for s in &trace.spans {
+            let e = phases.entry(s.name.as_str()).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += s.dur_ns;
+        }
+        let mut phases: Vec<_> = phases.into_iter().collect();
+        phases.sort_by_key(|&(_, (_, total))| std::cmp::Reverse(total));
+        for (name, (n, total)) in phases {
+            println!("  {name:<28} {n:>4} span(s) {:>12} total", format_ns(total));
+        }
+        if !trace.metrics.counters.is_empty() {
+            println!("  counters over this request:");
+            for (name, v) in &trace.metrics.counters {
+                println!("    {name:<30} {v}");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One blocking HTTP/1.1 GET against the daemon's scrape surface,
+/// returning the response body. Std-only on purpose — the scrape
+/// protocol is one request line and one `Connection: close` response.
+fn http_get(addr: &str, path: &str) -> Result<String, Box<dyn std::error::Error>> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| {
+        format!("cannot connect to http://{addr}: {e} (is `tnm serve` running with --http-port?)")
+    })?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed HTTP response from {addr}{path}"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(format!("{addr}{path} answered `{status}`").into());
+    }
+    Ok(body.to_string())
+}
+
+/// One `tnm top` frame: the latest time-series window rendered as
+/// rates, latency quantiles, cache hit rates, and residency.
+fn render_top(addr: &str, points: &[tnm_obs::TimePoint]) {
+    use std::io::IsTerminal;
+    if std::io::stdout().is_terminal() {
+        // Repaint in place only when attached to a terminal; piped
+        // output stays an appendable log.
+        print!("\x1b[2J\x1b[H");
+    }
+    let Some(last) = points.last() else {
+        println!("tnm top — {addr}: no samples yet (the daemon samples once per second)");
+        return;
+    };
+    let secs = last.interval_ms.max(1) as f64 / 1000.0;
+    println!("tnm top — {addr} — {} sample(s) retained, last window {:.1}s", points.len(), secs);
+    let d = &last.delta;
+    let rate = |name: &str| d.counters.get(name).copied().unwrap_or(0) as f64 / secs;
+    println!(
+        "  queries/s {:>9.2}    appended events/s {:>9.2}",
+        rate("serve.queries"),
+        rate("serve.appends")
+    );
+    for (kind, hist) in [
+        ("count", "serve.query.count_ns"),
+        ("report", "serve.query.report_ns"),
+        ("enumerate", "serve.query.enumerate_ns"),
+        ("batch", "serve.query.batch_ns"),
+    ] {
+        if let Some(h) = d.histograms.get(hist) {
+            if h.count > 0 {
+                println!(
+                    "  {kind:<10} {:>5} in window    p50 {:>10}    p99 {:>10}",
+                    h.count,
+                    format_ns(h.percentile(0.5)),
+                    format_ns(h.percentile(0.99))
+                );
+            }
+        }
+    }
+    for (label, hits, misses) in [
+        ("index cache", "cache.index.hits", "cache.index.misses"),
+        ("proj cache", "cache.proj.hits", "cache.proj.misses"),
+    ] {
+        let hits = d.counters.get(hits).copied().unwrap_or(0);
+        let misses = d.counters.get(misses).copied().unwrap_or(0);
+        if hits + misses > 0 {
+            println!(
+                "  {label:<12} {:>5.1}% hit rate ({hits} hits / {misses} misses)",
+                100.0 * hits as f64 / (hits + misses) as f64
+            );
+        }
+    }
+    if let Some(g) = d.gauges.get("shard.resident_events") {
+        println!("  resident shard events {} (peak {})", g.value, g.peak);
     }
 }
 
@@ -658,7 +816,7 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "serve" => {
-            args.ensure_known(&["host", "port", "threads", "enumerate-cap"])?;
+            args.ensure_known(&["host", "port", "threads", "enumerate-cap", "http-port"])?;
             let host = args.get("host").unwrap_or("127.0.0.1");
             let port: u16 = args.get_parsed("port", 7878)?;
             let mut options = ServeOptions::default();
@@ -667,8 +825,16 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 return Err("--threads must be at least 1".into());
             }
             options.enumerate_cap = args.get_parsed("enumerate-cap", options.enumerate_cap)?;
+            if args.has("http-port") {
+                options.http_port = Some(args.get_parsed("http-port", 9090)?);
+            }
             let server = MotifServer::bind_with((host, port), options)?;
             println!("tnm serve: listening on {}", server.local_addr());
+            if let Some(http) = server.http_addr() {
+                println!(
+                    "tnm serve: scrape surface on http://{http} (/metrics /healthz /timeseries)"
+                );
+            }
             server.run()?;
         }
         "client" => {
@@ -679,6 +845,7 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                     "name",
                     "stats",
                     "metrics",
+                    "slow-queries",
                     "shutdown",
                     "events",
                     "nodes",
@@ -690,6 +857,8 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                     "top",
                     "hold-out",
                     "append-batch",
+                    "trace",
+                    "profile",
                 ],
             ))?;
             let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
@@ -720,6 +889,29 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 }
                 return Ok(());
             }
+            if args.has("slow-queries") {
+                let s = client.stats()?;
+                println!("server at {addr}: slowest {} of {} queries", s.slow.len(), s.queries);
+                for e in &s.slow {
+                    println!(
+                        "  {:<10} {:<18} {:>12}  trace {}  {} span(s)",
+                        e.kind,
+                        e.graph,
+                        format_ns(e.latency_ns),
+                        if e.trace_id == 0 {
+                            "-".to_string()
+                        } else {
+                            format!("{:016x}", e.trace_id)
+                        },
+                        e.spans.len()
+                    );
+                }
+                println!("flight recorder ({} most recent):", s.flight.len());
+                for e in &s.flight {
+                    println!("  {:<10} {:<18} {:>12}", e.kind, e.graph, format_ns(e.latency_ns));
+                }
+                return Ok(());
+            }
             let corpus = corpus_from(args)?;
             let entry = corpus
                 .entries
@@ -738,12 +930,21 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 return Err("--append-batch must be at least 1".into());
             }
             let (base, tail) = all.split_at(all.len() - hold_out);
+            let trace_path = args.get("trace");
+            let wants_trace = trace_path.is_some() || args.has("profile");
             client.load_graph(name, base, entry.graph.num_nodes())?;
             if hold_out == 0 {
                 // The very query `count` runs locally, answered by the
                 // daemon — same validation, same dispatch, same report.
                 let query = Query::Report { cfg, engine: rc.engine, threads: rc.threads };
-                let QueryResponse::Report(report) = client.query(name, &query)? else {
+                let response = if wants_trace {
+                    let (response, trace) = client.query_traced(name, &query)?;
+                    report_trace(&trace, trace_path, args.has("profile"))?;
+                    response
+                } else {
+                    client.query(name, &query)?
+                };
+                let QueryResponse::Report(report) = response else {
                     return Err("server answered a Report query with the wrong shape".into());
                 };
                 print_report(name, &report, timing, top);
@@ -751,7 +952,14 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 // Live path: subscribe, then stream the held-out tail
                 // through incremental appends. The final counts are
                 // bit-identical to counting the full graph from scratch.
-                let (sub_id, mut live) = client.subscribe(name, &cfg)?;
+                // Tracing covers the subscription's initial count.
+                let (sub_id, mut live) = if wants_trace {
+                    let (sub_id, live, trace) = client.subscribe_traced(name, &cfg)?;
+                    report_trace(&trace, trace_path, args.has("profile"))?;
+                    (sub_id, live)
+                } else {
+                    client.subscribe(name, &cfg)?
+                };
                 for batch in tail.chunks(chunk) {
                     let ack = client.append_events(name, batch)?;
                     if let Some((_, c)) =
@@ -761,6 +969,24 @@ fn run(command: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                     }
                 }
                 print_report(name, &EngineReport::from_exact("serve", live), timing, top);
+            }
+        }
+        "top" => {
+            args.ensure_known(&["addr", "interval", "iters"])?;
+            let addr = args.get("addr").unwrap_or("127.0.0.1:9090");
+            let interval: u64 = args.get_parsed("interval", 1000)?;
+            let iters: usize = args.get_parsed("iters", 0)?;
+            let mut frame = 0usize;
+            loop {
+                let body = http_get(addr, "/timeseries")?;
+                let points = tnm_obs::parse_timeseries_json(&body)
+                    .map_err(|e| format!("bad /timeseries payload from {addr}: {e}"))?;
+                render_top(addr, &points);
+                frame += 1;
+                if iters != 0 && frame >= iters {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(interval.max(50)));
             }
         }
         "cycles" => {

@@ -243,9 +243,9 @@ enum StoreBacking {
 /// [`ShardStore::spill_to`] (out-of-core mode: every shard is serialized
 /// to disk up front and (re)loaded on demand). Eviction is
 /// least-recently-used; with budget `k` and a plan whose largest shard
-/// holds `s` events, peak residency never exceeds `k × s` events —
-/// [`ShardStore::peak_resident_events`] reports the observed peak so
-/// tests and benches can assert the bound.
+/// holds `s` events, peak residency never exceeds `k × s` events — the
+/// `shard.resident_events` gauge in the obs metrics registry tracks the
+/// observed peak so tests and benches can assert the bound.
 #[derive(Debug)]
 pub struct ShardStore<'g> {
     parent: &'g TemporalGraph,
@@ -257,7 +257,6 @@ pub struct ShardStore<'g> {
     /// Resident ids, least-recently-used first.
     lru: VecDeque<usize>,
     resident_events: usize,
-    peak_resident_events: usize,
     loads: u64,
     evictions: u64,
 }
@@ -278,7 +277,6 @@ impl<'g> ShardStore<'g> {
             resident: (0..n).map(|_| None).collect(),
             lru: VecDeque::new(),
             resident_events: 0,
-            peak_resident_events: 0,
             loads: 0,
             evictions: 0,
         }
@@ -378,17 +376,6 @@ impl<'g> ShardStore<'g> {
         self.resident_events
     }
 
-    /// The largest value [`ShardStore::resident_events`] has reached —
-    /// the store's observed memory high-water mark, in events.
-    #[deprecated(
-        since = "0.1.0",
-        note = "the canonical reading is the `shard.resident_events` gauge peak in the \
-                obs metrics registry; this per-store field is kept as a thin read"
-    )]
-    pub fn peak_resident_events(&self) -> usize {
-        self.peak_resident_events
-    }
-
     /// Shard loads performed (a shard accessed twice without eviction
     /// loads once).
     pub fn loads(&self) -> u64 {
@@ -441,7 +428,6 @@ impl<'g> ShardStore<'g> {
         };
         self.loads += 1;
         self.resident_events += shard.graph().num_events();
-        self.peak_resident_events = self.peak_resident_events.max(self.resident_events);
         tnm_obs::counter_add("shard.loads", 1);
         tnm_obs::gauge_set("shard.resident_events", self.resident_events as u64);
         self.lru.push_back(id);
@@ -564,8 +550,10 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // pins the thin per-store peak read
     fn bounded_store_evicts_lru() {
+        let _obs = tnm_obs::test_guard();
+        tnm_obs::set_enabled(true);
+        tnm_obs::global().reset();
         let g = tied_graph();
         let plan = plan_shards(&g, Some(2), ShardGoal::EventsPerShard(8));
         assert!(plan.len() >= 3, "need several shards");
@@ -578,7 +566,12 @@ mod tests {
         }
         assert_eq!(store.loads(), n as u64);
         assert_eq!(store.evictions(), (n - 2) as u64);
-        assert!(store.peak_resident_events() <= 2 * max_shard);
+        // The memory high-water mark is read from the obs registry: the
+        // `shard.resident_events` gauge peak must honor the `k × s`
+        // residency bound.
+        let snap = tnm_obs::global().snapshot();
+        tnm_obs::set_enabled(false);
+        assert!(snap.gauges["shard.resident_events"].peak as usize <= 2 * max_shard);
         // Re-access of a resident shard is not a load.
         store.get(n - 1).unwrap();
         assert_eq!(store.loads(), n as u64);
@@ -588,8 +581,10 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // pins the thin per-store peak read
     fn spill_store_roundtrips_shards() {
+        let _obs = tnm_obs::test_guard();
+        tnm_obs::set_enabled(true);
+        tnm_obs::global().reset();
         let mut b = TemporalGraphBuilder::new();
         for i in 0..30u32 {
             b.push(Event::with_duration(i % 9, (i % 9) + 3, (i / 3) as Time, i % 4));
@@ -606,7 +601,13 @@ mod tests {
             assert_eq!(a.as_slice(), b, "spilled shard {id} differs from direct materialization");
             assert!(spilled.resident_events() <= spilled.plan().max_shard_events());
         }
-        assert_eq!(spilled.peak_resident_events(), spilled.plan().max_shard_events());
+        // The gauge is process-global, so its peak is the unbounded
+        // in-memory mirror's full residency (every shard resident at
+        // once) — which dominates the spill store's one-shard budget.
+        let total: usize = direct.plan().shards.iter().map(|s| s.num_events()).sum();
+        let snap = tnm_obs::global().snapshot();
+        tnm_obs::set_enabled(false);
+        assert_eq!(snap.gauges["shard.resident_events"].peak as usize, total);
     }
 
     #[test]

@@ -534,6 +534,63 @@ pub fn get_obs_snapshot(r: &mut WireReader<'_>) -> Result<tnm_obs::Snapshot, Wir
     Ok(snap)
 }
 
+/// Appends a list of [`tnm_obs::SpanRecord`]s: a `u32` count, then per
+/// record `name ‖ args ‖ start_ns ‖ dur_ns ‖ tid ‖ depth ‖ trace_id ‖
+/// span_id ‖ parent_id`. This is how distributed workers ship their
+/// side of a request trace back to the coordinator, and how the serve
+/// daemon returns a stitched span tree to `tnm client --trace`.
+pub fn put_span_records(w: &mut WireWriter, spans: &[tnm_obs::SpanRecord]) {
+    w.put_u32(spans.len() as u32);
+    for s in spans {
+        w.put_str(&s.name);
+        w.put_u32(s.args.len() as u32);
+        for (k, v) in &s.args {
+            w.put_str(k);
+            w.put_str(v);
+        }
+        w.put_u64(s.start_ns);
+        w.put_u64(s.dur_ns);
+        w.put_u64(s.tid);
+        w.put_u32(s.depth);
+        w.put_u64(s.trace_id);
+        w.put_u64(s.span_id);
+        w.put_u64(s.parent_id);
+    }
+}
+
+/// Reads span records written by [`put_span_records`]. The vector is
+/// built incrementally, so a forged count header runs out of input
+/// instead of pre-allocating; a recorded span id of 0 is rejected (it
+/// is the "no parent" sentinel and can never be a real span).
+pub fn get_span_records(r: &mut WireReader<'_>) -> Result<Vec<tnm_obs::SpanRecord>, WireError> {
+    let count = r.u32()?;
+    let mut spans = Vec::new();
+    for _ in 0..count {
+        let name = r.str()?.to_string();
+        let num_args = r.u32()?;
+        let mut args = Vec::new();
+        for _ in 0..num_args {
+            args.push((r.str()?.to_string(), r.str()?.to_string()));
+        }
+        let span = tnm_obs::SpanRecord {
+            name,
+            args,
+            start_ns: r.u64()?,
+            dur_ns: r.u64()?,
+            tid: r.u64()?,
+            depth: r.u32()?,
+            trace_id: r.u64()?,
+            span_id: r.u64()?,
+            parent_id: r.u64()?,
+        };
+        if span.span_id == 0 {
+            return Err(WireError::Malformed("span id 0 is reserved".into()));
+        }
+        spans.push(span);
+    }
+    Ok(spans)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -759,6 +816,79 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = WireReader::new(&bytes);
         assert!(matches!(get_obs_snapshot(&mut r), Err(WireError::Malformed(_))));
+    }
+
+    fn sample_spans() -> Vec<tnm_obs::SpanRecord> {
+        vec![
+            tnm_obs::SpanRecord {
+                name: "walk.shard0".to_string(),
+                args: vec![("shard".to_string(), "0".to_string())],
+                start_ns: 0,
+                dur_ns: 1_000,
+                tid: 1,
+                depth: 0,
+                trace_id: 0xABCD,
+                span_id: 1,
+                parent_id: 0,
+            },
+            tnm_obs::SpanRecord {
+                name: "walk.worker1".to_string(),
+                args: vec![],
+                start_ns: 10,
+                dur_ns: 500,
+                tid: 2,
+                depth: 1,
+                trace_id: 0xABCD,
+                span_id: 2,
+                parent_id: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn span_records_roundtrip_exactly() {
+        let spans = sample_spans();
+        let mut w = WireWriter::new();
+        put_span_records(&mut w, &spans);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let decoded = get_span_records(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(decoded, spans);
+        // Empty lists work.
+        let mut w = WireWriter::new();
+        put_span_records(&mut w, &[]);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(get_span_records(&mut r).unwrap().is_empty());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn span_records_reject_corruption() {
+        let mut w = WireWriter::new();
+        put_span_records(&mut w, &sample_spans());
+        let bytes = w.into_bytes();
+        // Every strict prefix fails loudly.
+        for cut in 0..bytes.len() {
+            let mut r = WireReader::new(&bytes[..cut]);
+            let result = get_span_records(&mut r).and_then(|_| r.finish());
+            assert!(result.is_err(), "prefix of {cut} bytes must not decode");
+        }
+        // A forged count header must not pre-allocate or succeed.
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX);
+        let bomb = w.into_bytes();
+        let mut r = WireReader::new(&bomb);
+        assert!(matches!(get_span_records(&mut r), Err(WireError::Truncated { .. })));
+        // Span id 0 is the "no parent" sentinel — never a real record.
+        let mut bad = sample_spans();
+        bad[0].span_id = 0;
+        let mut w = WireWriter::new();
+        put_span_records(&mut w, &bad);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(get_span_records(&mut r), Err(WireError::Malformed(_))));
     }
 
     #[test]

@@ -107,7 +107,10 @@ pub struct DistributedConfig {
 }
 
 /// Observability of one distributed run, for the crash-rescheduling and
-/// smoke tests.
+/// smoke tests. Worker losses and job reschedules are read from the obs
+/// registry (`distributed.workers_lost` / `distributed.jobs_rescheduled`
+/// counters) — this struct carries only what the registry cannot: the
+/// run's plan geometry and spawn outcome.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DistributedRunStats {
     /// Shards the plan produced.
@@ -115,20 +118,6 @@ pub struct DistributedRunStats {
     /// Worker processes successfully spawned (0 = the run stayed
     /// in-process: degenerate single-shard plan or no worker binary).
     pub workers_spawned: usize,
-    /// Workers that died (or failed to spawn) before the queue drained.
-    #[deprecated(
-        since = "0.1.0",
-        note = "the canonical reading is the `distributed.workers_lost` counter in the obs \
-                metrics registry; this field is kept as a thin read"
-    )]
-    pub workers_lost: usize,
-    /// Shard jobs requeued after their worker was lost.
-    #[deprecated(
-        since = "0.1.0",
-        note = "the canonical reading is the `distributed.jobs_rescheduled` counter in the obs \
-                metrics registry; this field is kept as a thin read"
-    )]
-    pub jobs_rescheduled: usize,
 }
 
 /// Exact distributed counting engine. See the [module docs](self).
@@ -251,15 +240,7 @@ impl DistributedEngine {
             self.plan(graph, cfg)
         };
         let shards = plan.len();
-        // Thin compatibility fields; the canonical readings are the
-        // `distributed.*` counters in the obs registry.
-        #[allow(deprecated)]
-        let local_stats = DistributedRunStats {
-            shards: shards.max(1),
-            workers_spawned: 0,
-            workers_lost: 0,
-            jobs_rescheduled: 0,
-        };
+        let local_stats = DistributedRunStats { shards: shards.max(1), workers_spawned: 0 };
         // A one-shard plan (unbounded reach, or a shard target at or
         // above the graph) would ship the whole log to one worker for
         // nothing: count in-process, like the sharded engine's
@@ -290,6 +271,10 @@ impl DistributedEngine {
                 .expect("distributed engine: spilling shards to disk failed")
         };
         let plan = store.plan();
+        // The active request trace (if any) rides along in every job
+        // frame; workers collect their spans under it and ship them
+        // back for stitching.
+        let trace = tnm_obs::current_trace();
         let jobs: VecDeque<QueuedJob> = plan
             .shards
             .iter()
@@ -306,6 +291,7 @@ impl DistributedEngine {
                 threads: self.config.worker_threads as u32,
                 want_induced: cfg.static_induced,
                 cfg: cfg.clone(),
+                trace,
             })
             .map(|job| QueuedJob { job, attempts: 0, last_error: None })
             .collect();
@@ -318,8 +304,6 @@ impl DistributedEngine {
         let merged = Mutex::new(MotifCounts::new());
         let pending = AtomicUsize::new(shards);
         let spawned = AtomicUsize::new(0);
-        let lost = AtomicUsize::new(0);
-        let rescheduled = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for w in 0..n_workers {
                 let bin = &bin;
@@ -327,8 +311,6 @@ impl DistributedEngine {
                 let merged = &merged;
                 let pending = &pending;
                 let spawned = &spawned;
-                let lost = &lost;
-                let rescheduled = &rescheduled;
                 let projection = projection.as_deref();
                 let fault = self.config.fault_after.filter(|&(idx, _)| idx == w);
                 scope.spawn(move || {
@@ -337,7 +319,6 @@ impl DistributedEngine {
                         match spawn_worker(bin, fault.map(|(_, jobs)| jobs)) {
                             Ok(c) => c,
                             Err(_) => {
-                                lost.fetch_add(1, Ordering::Relaxed);
                                 tnm_obs::counter_add("distributed.workers_lost", 1);
                                 return;
                             }
@@ -372,10 +353,25 @@ impl DistributedEngine {
                                         "distributed.shard_wall_ns",
                                         metrics.wall_ns,
                                     );
+                                }
+                                if tnm_obs::enabled() || trace.is_some() {
                                     tnm_obs::record_span(
                                         "distributed.walk",
                                         metrics.wall_ns,
                                         &[("shard", shard_id.to_string())],
+                                    );
+                                }
+                                if let Some(ctx) = trace {
+                                    // Stitch the worker's shipped spans
+                                    // into this process's trace: re-mint
+                                    // ids, attach their roots under the
+                                    // request's parent span, and shift
+                                    // their zero-based clocks to "the
+                                    // walk started wall_ns ago".
+                                    tnm_obs::inject_spans(
+                                        metrics.spans,
+                                        ctx.parent_span,
+                                        tnm_obs::now_ns().saturating_sub(metrics.wall_ns),
                                     );
                                 }
                                 let _merge = tnm_obs::span!("distributed.merge", shard = shard_id);
@@ -392,8 +388,6 @@ impl DistributedEngine {
                                 queued.attempts += 1;
                                 queued.last_error = Some(e.to_string());
                                 queue.lock().expect("job queue poisoned").push_back(queued);
-                                lost.fetch_add(1, Ordering::Relaxed);
-                                rescheduled.fetch_add(1, Ordering::Relaxed);
                                 tnm_obs::counter_add("distributed.workers_lost", 1);
                                 tnm_obs::counter_add("distributed.jobs_rescheduled", 1);
                                 let _ = child.kill();
@@ -431,15 +425,8 @@ impl DistributedEngine {
                 leftovers.join("; ")
             );
         }
-        // Thin compatibility fields; the canonical readings are the
-        // `distributed.*` counters in the obs registry.
-        #[allow(deprecated)]
-        let stats = DistributedRunStats {
-            shards,
-            workers_spawned: spawned.load(Ordering::Relaxed),
-            workers_lost: lost.load(Ordering::Relaxed),
-            jobs_rescheduled: rescheduled.load(Ordering::Relaxed),
-        };
+        let stats =
+            DistributedRunStats { shards, workers_spawned: spawned.load(Ordering::Relaxed) };
         let counts = merged.into_inner().expect("merged counts poisoned");
         (counts, stats)
     }

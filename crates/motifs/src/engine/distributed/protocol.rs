@@ -80,6 +80,13 @@ pub(crate) struct WorkerJob {
     /// The full enumeration configuration, shipped verbatim; the worker
     /// strips `static_induced` itself.
     pub cfg: EnumConfig,
+    /// Request-scoped trace to run the job under, if the coordinator's
+    /// query is being traced. Encoded as a *versioned optional trailing
+    /// section* (length-prefixed, like the stats extension of the serve
+    /// protocol): absent for untraced jobs, so the legacy layout is
+    /// unchanged, and a decoder that sees bytes after the config reads
+    /// them as this section.
+    pub trace: Option<tnm_obs::TraceCtx>,
 }
 
 /// One aggregated induced-recheck unit: every owned instance of
@@ -142,6 +149,12 @@ pub(crate) struct ReplyMetrics {
     pub wall_ns: u64,
     /// The worker's per-job metrics delta.
     pub obs: tnm_obs::Snapshot,
+    /// The worker's side of the request trace (normalized: dense span
+    /// ids, start times zero-based at job start), shipped only when the
+    /// job carried a [`WorkerJob::trace`]. Encoded as a versioned
+    /// optional trailing section after the snapshot — absent when
+    /// empty, so untraced replies keep the legacy layout.
+    pub spans: Vec<tnm_obs::SpanRecord>,
 }
 
 pub(crate) fn put_signature(w: &mut WireWriter, sig: &MotifSignature) {
@@ -224,6 +237,12 @@ pub(crate) fn encode_job(job: &WorkerJob) -> Vec<u8> {
     w.put_u32(job.threads);
     w.put_bool(job.want_induced);
     put_config(&mut w, &job.cfg);
+    if let Some(ctx) = &job.trace {
+        let mut section = WireWriter::new();
+        section.put_u64(ctx.trace_id);
+        section.put_u64(ctx.parent_span);
+        w.put_bytes(&section.into_bytes());
+    }
     w.into_bytes()
 }
 
@@ -241,8 +260,33 @@ pub(crate) fn decode_job(payload: &[u8]) -> Result<WorkerJob, WireError> {
     let threads = r.u32()?;
     let want_induced = r.bool()?;
     let cfg = get_config(&mut r)?;
+    // Versioned optional trailing section: bytes after the legacy
+    // layout are the trace context.
+    let trace = if r.remaining() > 0 {
+        let section = r.bytes()?;
+        let mut sr = WireReader::new(section);
+        let trace_id = sr.u64()?;
+        let parent_span = sr.u64()?;
+        sr.finish()?;
+        if trace_id == 0 {
+            return Err(WireError::Malformed("trace section with trace id 0".into()));
+        }
+        Some(tnm_obs::TraceCtx { trace_id, parent_span })
+    } else {
+        None
+    };
     r.finish()?;
-    Ok(WorkerJob { shard_id, shard_path, num_nodes, own_lo, own_hi, threads, want_induced, cfg })
+    Ok(WorkerJob {
+        shard_id,
+        shard_path,
+        num_nodes,
+        own_lo,
+        own_hi,
+        threads,
+        want_induced,
+        cfg,
+        trace,
+    })
 }
 
 /// Encodes a [`WorkerReply`] as one or more frames. Count tables are
@@ -265,6 +309,13 @@ pub(crate) fn encode_reply_batched(
     let put_metrics = |w: &mut WireWriter| {
         w.put_u64(metrics.wall_ns);
         tnm_graph::wire::put_obs_snapshot(w, &metrics.obs);
+        // Versioned optional trailing section: the worker's trace
+        // spans, absent when the job was untraced.
+        if !metrics.spans.is_empty() {
+            let mut section = WireWriter::new();
+            tnm_graph::wire::put_span_records(&mut section, &metrics.spans);
+            w.put_bytes(&section.into_bytes());
+        }
     };
     match reply {
         WorkerReply::Counts { shard_id, counts } => {
@@ -329,7 +380,16 @@ fn decode_reply_frame(
     let get_metrics = |r: &mut WireReader<'_>| -> Result<ReplyMetrics, WireError> {
         let wall_ns = r.u64()?;
         let obs = tnm_graph::wire::get_obs_snapshot(r)?;
-        Ok(ReplyMetrics { wall_ns, obs })
+        let spans = if r.remaining() > 0 {
+            let section = r.bytes()?;
+            let mut sr = WireReader::new(section);
+            let spans = tnm_graph::wire::get_span_records(&mut sr)?;
+            sr.finish()?;
+            spans
+        } else {
+            Vec::new()
+        };
+        Ok(ReplyMetrics { wall_ns, obs, spans })
     };
     let out = match kind {
         KIND_COUNTS => {
@@ -433,6 +493,10 @@ mod tests {
     #[test]
     fn job_roundtrip_is_exhaustive_over_config_fields() {
         for (i, cfg) in sample_configs().into_iter().enumerate() {
+            let trace = (i % 2 == 0).then_some(tnm_obs::TraceCtx {
+                trace_id: 0xFACE + i as u64,
+                parent_span: i as u64,
+            });
             let job = WorkerJob {
                 shard_id: i as u32,
                 shard_path: format!("/tmp/spill/shard_{i}.events"),
@@ -442,10 +506,55 @@ mod tests {
                 threads: 1 + i as u32,
                 want_induced: cfg.static_induced,
                 cfg,
+                trace,
             };
             let payload = encode_job(&job);
             assert_eq!(decode_job(&payload).unwrap(), job, "config {i}");
         }
+    }
+
+    /// The trace context is a versioned optional trailing section: a
+    /// traceless job encodes to the exact legacy layout (no section at
+    /// all), and a traced job's payload rejects truncation at every
+    /// prefix except the legacy boundary (where it decodes as an
+    /// untraced job — exactly the old-decoder compatibility story).
+    #[test]
+    fn job_trace_section_is_versioned_and_truncation_safe() {
+        let untraced = WorkerJob {
+            shard_id: 7,
+            shard_path: "/tmp/s7".into(),
+            num_nodes: 9,
+            own_lo: 0,
+            own_hi: 10,
+            threads: 1,
+            want_induced: false,
+            cfg: EnumConfig::new(3, 3).with_timing(Timing::only_w(10)),
+            trace: None,
+        };
+        let legacy = encode_job(&untraced);
+        let traced = WorkerJob {
+            trace: Some(tnm_obs::TraceCtx { trace_id: 0xDEAD_BEEF, parent_span: 42 }),
+            ..untraced.clone()
+        };
+        let payload = encode_job(&traced);
+        assert_eq!(&payload[..legacy.len()], &legacy[..], "legacy prefix is unchanged");
+        for cut in 0..payload.len() {
+            if cut == legacy.len() {
+                assert_eq!(decode_job(&payload[..cut]).unwrap(), untraced);
+            } else {
+                assert!(decode_job(&payload[..cut]).is_err(), "prefix {cut} accepted");
+            }
+        }
+        // Trace id 0 cannot ride in a present section.
+        let mut forged = legacy.clone();
+        let mut section = WireWriter::new();
+        section.put_u64(0);
+        section.put_u64(5);
+        let section = section.into_bytes();
+        let mut w = WireWriter::new();
+        w.put_bytes(&section);
+        forged.extend_from_slice(&w.into_bytes());
+        assert!(matches!(decode_job(&forged), Err(WireError::Malformed(_))));
     }
 
     /// Every catalog signature — all 36 three-event motifs plus the
@@ -473,7 +582,35 @@ mod tests {
         reg.counter("engine.events_scanned").add(41);
         reg.gauge("shard.resident_events").set(7);
         reg.histogram("cache.index.verify_ns").record(1500);
-        ReplyMetrics { wall_ns: 987_654_321, obs: reg.snapshot() }
+        ReplyMetrics { wall_ns: 987_654_321, obs: reg.snapshot(), spans: Vec::new() }
+    }
+
+    fn sample_traced_metrics() -> ReplyMetrics {
+        let spans = vec![
+            tnm_obs::SpanRecord {
+                name: "walk.shard4".to_string(),
+                args: vec![("shard".to_string(), "4".to_string())],
+                start_ns: 0,
+                dur_ns: 9_000,
+                tid: 1,
+                depth: 0,
+                trace_id: 0xFACE,
+                span_id: 1,
+                parent_id: 0,
+            },
+            tnm_obs::SpanRecord {
+                name: "walk.worker0".to_string(),
+                args: vec![],
+                start_ns: 100,
+                dur_ns: 7_000,
+                tid: 1,
+                depth: 1,
+                trace_id: 0xFACE,
+                span_id: 2,
+                parent_id: 1,
+            },
+        ];
+        ReplyMetrics { spans, ..sample_metrics() }
     }
 
     #[test]
@@ -498,8 +635,43 @@ mod tests {
         // Empty induced replies still produce one (last) frame, and an
         // empty metrics section decodes back to the default.
         let empty = WorkerReply::Induced { shard_id: 3, groups: Vec::new() };
-        let wall_only = ReplyMetrics { wall_ns: 5, obs: Default::default() };
+        let wall_only = ReplyMetrics { wall_ns: 5, obs: Default::default(), spans: Vec::new() };
         assert_eq!(roundtrip(&encode_reply(&empty, &wall_only)).unwrap(), (empty, wall_only));
+    }
+
+    /// The span section of [`ReplyMetrics`] is a versioned optional
+    /// trailing section: span-free metrics keep the legacy byte layout,
+    /// spanful ones round-trip (on count replies and on the *last*
+    /// induced chunk), and truncation anywhere inside the section is
+    /// rejected — except at the legacy boundary, which decodes as the
+    /// span-free reply.
+    #[test]
+    fn reply_span_section_is_versioned_and_truncation_safe() {
+        let mut counts = MotifCounts::new();
+        counts.add(sig("010102"), 7);
+        let reply = WorkerReply::Counts { shard_id: 5, counts };
+        let plain = sample_metrics();
+        let traced = sample_traced_metrics();
+        let legacy = encode_reply(&reply, &plain);
+        let frames = encode_reply(&reply, &traced);
+        assert_eq!(roundtrip(&frames).unwrap(), (reply.clone(), traced.clone()));
+        let (payload, legacy_payload) = (&frames[0].1, &legacy[0].1);
+        assert_eq!(&payload[..legacy_payload.len()], &legacy_payload[..]);
+        for cut in 0..payload.len() {
+            let result = decode_reply_frame(KIND_COUNTS, &payload[..cut]);
+            if cut == legacy_payload.len() {
+                let (r, _, m) = result.unwrap();
+                assert_eq!((r, m), (reply.clone(), plain.clone()));
+            } else {
+                assert!(result.is_err(), "reply prefix {cut} accepted");
+            }
+        }
+        // Chunked induced replies carry the spans on the final frame
+        // only, and reassembly preserves them.
+        let induced = sample_induced_reply(4, 5);
+        let frames = encode_reply_batched(&induced, &traced, 2);
+        assert_eq!(frames.len(), 3);
+        assert_eq!(roundtrip(&frames).unwrap(), (induced, traced));
     }
 
     /// Writes the frames to a byte stream and reads them back through
@@ -584,16 +756,18 @@ mod tests {
             threads: 2,
             want_induced: false,
             cfg: EnumConfig::new(3, 3).with_timing(Timing::only_w(10)),
+            trace: None,
         };
         let payload = encode_job(&job);
         // Truncation at every prefix length must error, never panic.
         for cut in 0..payload.len() {
             assert!(decode_job(&payload[..cut]).is_err(), "prefix {cut} accepted");
         }
-        // Trailing bytes are rejected.
+        // Trailing bytes are rejected: a stray byte after the legacy
+        // prefix reads as a truncated optional trace section.
         let mut padded = payload.clone();
         padded.push(0);
-        assert!(matches!(decode_job(&padded), Err(WireError::TrailingBytes { .. })));
+        assert!(decode_job(&padded).is_err());
         // An inverted owned range is structural nonsense.
         let bad = WorkerJob { own_lo: 9, own_hi: 3, ..job.clone() };
         assert!(matches!(decode_job(&encode_job(&bad)), Err(WireError::Malformed(_))));

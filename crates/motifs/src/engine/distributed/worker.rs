@@ -60,7 +60,24 @@ pub fn run_worker<R: Read, W: Write>(
             KIND_JOB => {
                 let t0 = std::time::Instant::now();
                 let job = decode_job(&payload)?;
-                let reply = serve_job(&job)?;
+                // A traced job installs its context for the duration of
+                // the walk: every span the walk opens (on this thread or
+                // the work-stealing threads it spawns) carries the trace
+                // id and ships back for the coordinator to stitch.
+                if let Some(ctx) = job.trace {
+                    tnm_obs::set_trace(Some(ctx));
+                }
+                let reply = {
+                    let _span = tnm_obs::span!("walk.shard", shard = job.shard_id);
+                    serve_job(&job)?
+                };
+                let spans = match job.trace {
+                    Some(ctx) => {
+                        tnm_obs::set_trace(None);
+                        normalize_spans(tnm_obs::take_trace_spans(ctx.trace_id))
+                    }
+                    None => Vec::new(),
+                };
                 let metrics = ReplyMetrics {
                     wall_ns: t0.elapsed().as_nanos() as u64,
                     // Per-job delta: snapshot the worker's registry and
@@ -74,6 +91,7 @@ pub fn run_worker<R: Read, W: Write>(
                     } else {
                         Default::default()
                     },
+                    spans,
                 };
                 for (kind, body) in encode_reply(&reply, &metrics) {
                     wire::write_frame(&mut output, kind, &body)?;
@@ -89,6 +107,26 @@ pub fn run_worker<R: Read, W: Write>(
             }
         }
     }
+}
+
+/// Prepares captured trace spans for shipping: span ids become dense
+/// and 1-based (internal parent links follow; links to spans outside
+/// the capture drop to 0, for the coordinator to re-attach under the
+/// job's parent), and start times rebase to the earliest span so the
+/// coordinator can shift them into its own clock via the reply's wall
+/// time.
+fn normalize_spans(mut spans: Vec<tnm_obs::SpanRecord>) -> Vec<tnm_obs::SpanRecord> {
+    let Some(base) = spans.iter().map(|s| s.start_ns).min() else {
+        return spans;
+    };
+    let ids: HashMap<u64, u64> =
+        spans.iter().enumerate().map(|(i, s)| (s.span_id, i as u64 + 1)).collect();
+    for s in &mut spans {
+        s.span_id = ids[&s.span_id];
+        s.parent_id = ids.get(&s.parent_id).copied().unwrap_or(0);
+        s.start_ns -= base;
+    }
+    spans
 }
 
 /// Loads the job's shard and counts (or enumerates) its owned starts.
@@ -256,6 +294,7 @@ mod tests {
             threads: 1,
             want_induced: false,
             cfg: cfg.clone(),
+            trace: None,
         };
         let mut input = Vec::new();
         wire::write_frame(&mut input, KIND_JOB, &encode_job(&job)).unwrap();
@@ -274,7 +313,58 @@ mod tests {
         }
         assert!(metrics.wall_ns > 0, "wall time is always measured");
         assert!(metrics.obs.is_empty(), "no obs snapshot unless enabled");
+        assert!(metrics.spans.is_empty(), "no spans unless the job is traced");
         assert!(read_reply(&mut cursor, wire::MAX_FRAME_PAYLOAD).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A traced job collects the walk's spans (even with global obs
+    /// off), normalizes them for shipping — dense 1-based ids,
+    /// zero-based start times, roots with parent 0 — and clears the
+    /// trace before the next job.
+    #[test]
+    fn traced_jobs_ship_normalized_spans() {
+        let _guard = tnm_obs::test_guard();
+        tnm_obs::set_enabled(false);
+        tnm_obs::drain_spans();
+        let g = graph();
+        let dir = std::env::temp_dir().join(format!("tnm-worker-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = EnumConfig::new(3, 3).with_timing(Timing::both(4, 9));
+        let ctx = tnm_obs::TraceCtx { trace_id: 0xFACE, parent_span: 7 };
+        let job = WorkerJob {
+            shard_id: 5,
+            shard_path: spill(&g, &dir),
+            num_nodes: g.num_nodes(),
+            own_lo: 0,
+            own_hi: g.num_events() as u64,
+            threads: 2,
+            want_induced: false,
+            cfg,
+            trace: Some(ctx),
+        };
+        let mut input = Vec::new();
+        wire::write_frame(&mut input, KIND_JOB, &encode_job(&job)).unwrap();
+        let mut output = Vec::new();
+        run_worker(input.as_slice(), &mut output, None).unwrap();
+        let (_, metrics) =
+            read_reply(output.as_slice(), wire::MAX_FRAME_PAYLOAD).unwrap().expect("one reply");
+        let spans = &metrics.spans;
+        assert!(!spans.is_empty(), "the traced walk records spans with obs off");
+        assert!(spans.iter().all(|s| s.trace_id == ctx.trace_id));
+        assert!(spans.iter().any(|s| s.name == "walk.shard"));
+        assert_eq!(spans.iter().map(|s| s.start_ns).min(), Some(0), "times are rebased");
+        let mut ids: Vec<u64> = spans.iter().map(|s| s.span_id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (1..=spans.len() as u64).collect::<Vec<_>>(), "dense 1-based ids");
+        for s in spans {
+            assert!(
+                s.parent_id == 0 || ids.binary_search(&s.parent_id).is_ok(),
+                "parents resolve within the shipped set or drop to 0"
+            );
+        }
+        assert!(tnm_obs::current_trace().is_none(), "the trace is cleared after the job");
+        assert!(tnm_obs::drain_spans().is_empty(), "shipped spans leave the collector");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -296,6 +386,7 @@ mod tests {
             threads: 2,
             want_induced: true,
             cfg: cfg.clone(),
+            trace: None,
         };
         let mut input = Vec::new();
         wire::write_frame(&mut input, KIND_JOB, &encode_job(&job)).unwrap();
@@ -345,6 +436,7 @@ mod tests {
             threads: 1,
             want_induced: false,
             cfg,
+            trace: None,
         };
         let mut input = Vec::new();
         wire::write_frame(&mut input, KIND_JOB, &encode_job(&job)).unwrap();
@@ -377,6 +469,7 @@ mod tests {
             threads: 1,
             want_induced: false,
             cfg: cfg.clone(),
+            trace: None,
         };
         let mut input = Vec::new();
         wire::write_frame(&mut input, KIND_JOB, &encode_job(&missing)).unwrap();

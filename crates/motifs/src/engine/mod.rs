@@ -150,12 +150,21 @@
 //! | shard store | `walk.shard{shard}` | `shard.{loads,spills,evictions}`, `shard.resident_events` (peak = the canonical high-water mark) |
 //! | stream DPs | — | `stream.pair.{pairs_swept,groups_advanced,window_events}`, `stream.star.{centers_swept,center_events}`, `stream.triad.{triangles_swept,groups_advanced,window_events}` |
 //! | distributed | `distributed.{plan,spill,spawn,merge}` + synthetic `distributed.walk{shard}` from worker wall times | `distributed.shard_wall_ns`, `distributed.{workers_lost,jobs_rescheduled}` |
-//! | serve | — | `serve.{queries,appends}`, `serve.query.{count,report,enumerate,batch}_ns`, `serve.connection_frames`, `serve.subscription_advance_ns` |
+//! | query API | `query.{count,report,enumerate,batch}{engine,threads}` — the root of every [`Query::run`] | — |
+//! | serve | `serve.query{graph,kind}`, `serve.subscribe{graph}` — per-request roots when the trace flag is set | `serve.{queries,appends}`, `serve.query.{count,report,enumerate,batch}_ns`, `serve.connection_frames`, `serve.subscription_advance_ns` |
 //!
 //! Workers ship their per-job metrics snapshot (plus wall time) inside
 //! reply frames; the coordinator folds them into its own registry, so
 //! one trace and one snapshot describe a whole distributed run —
-//! per-shard wall times make stragglers visible. `tnm count --explain`
+//! per-shard wall times make stragglers visible. When a request-scoped
+//! trace is active ([`tnm_obs::TraceCtx`], set by the serve trace flag
+//! or `tnm client --trace`), workers additionally ship their **span
+//! trees**: the coordinator re-mints span ids and stitches them under
+//! the request's parent span, so one Chrome-trace document shows
+//! coordinator phases and per-shard worker walks on one timeline. The
+//! daemon's scrape surface (`/metrics`, `/healthz`, `/timeseries`),
+//! sample ring, and query logs are documented in the serve module's
+//! "Operating `tnm serve`" section. `tnm count --explain`
 //! prints [`explain_auto_select`]'s measured decision for the workload.
 
 mod backtrack;
@@ -183,8 +192,8 @@ pub use query::{Query, QueryError, QueryInstance, QueryResponse};
 pub use report::{t_critical_95, EngineReport, Estimate, Z_95};
 pub use sampling::{SamplingEngine, DEFAULT_SAMPLING_BUDGET, DEFAULT_SAMPLING_SEED};
 pub use serve::{
-    AppendAck, AppendError, ClientError, GraphStat, IncrementalStream, MotifServer, ServeClient,
-    ServeOptions, ServerHandle, ServerStats,
+    AppendAck, AppendError, ClientError, GraphStat, IncrementalStream, MotifServer, QueryLogEntry,
+    ServeClient, ServeOptions, ServerHandle, ServerStats, TraceReply,
 };
 pub use sharded::{ShardedConfig, ShardedEngine, ShardedRunStats, DEFAULT_SHARD_EVENTS};
 #[doc(hidden)]

@@ -236,6 +236,17 @@ impl Query {
     pub fn run(&self, graph: &TemporalGraph) -> Result<QueryResponse, QueryError> {
         self.validate()?;
         let threads = self.threads();
+        // One root span per query variant; inert unless obs is on or a
+        // request trace is active. Engine-internal spans (plan, spill,
+        // walk, merge) nest under it on this thread.
+        let _root = tnm_obs::Span::start(match self {
+            Query::Count { .. } => "query.count",
+            Query::Report { .. } => "query.report",
+            Query::Enumerate { .. } => "query.enumerate",
+            Query::Batch { .. } => "query.batch",
+        })
+        .arg("engine", self.engine())
+        .arg("threads", threads);
         Ok(match self {
             Query::Count { cfg, engine, .. } => {
                 QueryResponse::Counts(engine.count(graph, cfg, threads))

@@ -187,6 +187,31 @@ impl ServeClient {
         Ok(decode_response(&payload)?)
     }
 
+    /// Runs a [`Query`] with request tracing: the server executes it
+    /// under a fresh trace id and ships back the request's complete
+    /// span tree (serve root, engine phases, distributed worker spans)
+    /// plus the server-metrics delta it caused. Render the spans with
+    /// [`tnm_obs::chrome_trace`] — that is what `tnm client --trace`
+    /// writes.
+    pub fn query_traced(
+        &mut self,
+        name: &str,
+        query: &Query,
+    ) -> Result<(QueryResponse, TraceReply), ClientError> {
+        let mut w = WireWriter::new();
+        w.put_str(name);
+        put_query(&mut w, query);
+        put_request_flags(&mut w, REQ_FLAG_TRACE);
+        let payload = self.expect(KIND_REQ_QUERY, &w.into_bytes(), KIND_RESP_QUERY)?;
+        let (response, trace) = decode_query_reply(&payload)?;
+        let trace = trace.ok_or_else(|| {
+            ClientError::Wire(WireError::Malformed(
+                "server did not answer a traced query with a trace section".into(),
+            ))
+        })?;
+        Ok((response, trace))
+    }
+
     /// Registers an incremental subscription (stream-eligible configs
     /// only), returning its id and initial counts.
     pub fn subscribe(
@@ -203,6 +228,31 @@ impl ServeClient {
         let counts = get_counts(&mut r)?;
         r.finish()?;
         Ok((id, counts))
+    }
+
+    /// Registers a subscription with request tracing: like
+    /// [`subscribe`](Self::subscribe), plus the span tree and metrics
+    /// delta of the initial count.
+    pub fn subscribe_traced(
+        &mut self,
+        name: &str,
+        cfg: &EnumConfig,
+    ) -> Result<(u32, MotifCounts, TraceReply), ClientError> {
+        let mut w = WireWriter::new();
+        w.put_str(name);
+        put_config(&mut w, cfg);
+        put_request_flags(&mut w, REQ_FLAG_TRACE);
+        let payload = self.expect(KIND_REQ_SUBSCRIBE, &w.into_bytes(), KIND_RESP_SUBSCRIBED)?;
+        let mut r = WireReader::new(&payload);
+        let id = r.u32()?;
+        let counts = get_counts(&mut r)?;
+        let trace = get_trace_section(&mut r)?.ok_or_else(|| {
+            ClientError::Wire(WireError::Malformed(
+                "server did not answer a traced subscribe with a trace section".into(),
+            ))
+        })?;
+        r.finish()?;
+        Ok((id, counts, trace))
     }
 
     /// Server statistics.

@@ -1,0 +1,99 @@
+//! The daemon's HTTP scrape surface: a minimal std-only HTTP/1.1
+//! responder for pull-based observability, bound on its own port
+//! ([`ServeOptions::http_port`](super::ServeOptions)) so scrapers never
+//! speak the framed wire protocol and wire clients never share a
+//! listener with scrapers.
+//!
+//! | path | payload |
+//! |---|---|
+//! | `GET /metrics` | the merged metrics snapshot (server `serve.*` registry + process-global engine registry) as Prometheus text |
+//! | `GET /healthz` | `ok` — liveness only, no locks taken |
+//! | `GET /timeseries` | the sampler's ring of windowed metric deltas as JSON ([`tnm_obs::TimeSeries::to_json`]) |
+//!
+//! One request per connection (`Connection: close`): scrape cadences
+//! are seconds apart, so keep-alive buys nothing and connection state
+//! machines cost code. The accept loop polls non-blocking with a 50 ms
+//! sleep, checking the server's shutdown flag between polls — the
+//! thread exits within one poll of daemon shutdown, without needing a
+//! wake-up connection.
+
+use super::ServerState;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Largest accepted request head; a scrape request line is tiny, so
+/// anything bigger is garbage.
+const MAX_HEAD: usize = 8 * 1024;
+
+/// Serves `listener` on a background thread until the server's
+/// shutdown flag is set.
+pub(super) fn spawn(listener: TcpListener, state: Arc<ServerState>) -> thread::JoinHandle<()> {
+    thread::spawn(move || serve_http(listener, &state))
+}
+
+fn serve_http(listener: TcpListener, state: &ServerState) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = handle(stream, state);
+            }
+            Err(_) => thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// Answers one request and closes the connection. Any I/O or parse
+/// failure just drops the connection — a scraper retries on its next
+/// cadence, and a bad peer must not be able to wedge the thread (reads
+/// are bounded by a timeout and [`MAX_HEAD`]).
+fn handle(mut stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > MAX_HEAD {
+            return Ok(());
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain; charset=utf-8", "method not allowed\n".into())
+    } else {
+        match path {
+            "/metrics" => {
+                ("200 OK", "text/plain; version=0.0.4", state.merged_snapshot().to_prometheus())
+            }
+            "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".into()),
+            "/timeseries" => (
+                "200 OK",
+                "application/json",
+                state.timeseries.lock().expect("timeseries lock").to_json(),
+            ),
+            _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".into()),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}

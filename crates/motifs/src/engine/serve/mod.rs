@@ -35,6 +35,47 @@
 //! versioned optional section. Being per-request rather than per-event,
 //! these records bypass the process-global [`tnm_obs::enabled`] gate.
 //!
+//! ## Operating `tnm serve`
+//!
+//! The daemon's operational surface, end to end:
+//!
+//! * **HTTP scrape endpoint** — [`ServeOptions::http_port`] binds a
+//!   second, std-only HTTP/1.1 listener on the wire listener's
+//!   interface (0 picks a free port; read it back with
+//!   [`MotifServer::http_addr`]). `GET /metrics` serves the merged
+//!   process + server registry snapshot as Prometheus text
+//!   ([`tnm_obs::Snapshot::to_prometheus`]), `GET /healthz` answers
+//!   `ok`, and `GET /timeseries` serves the retained sample ring as
+//!   JSON. The listener never speaks the framed wire protocol, so a
+//!   scraper can't corrupt a session and a wire peer can't reach the
+//!   scrape surface.
+//! * **Time series** — a background sampler folds the merged metrics
+//!   snapshot into a [`tnm_obs::TimeSeries`] ring every
+//!   [`ServeOptions::sample_interval_ms`] (default 1 s), retaining
+//!   [`ServeOptions::timeseries_cap`] windows (default 120 ≈ the last
+//!   two minutes). Each retained [`tnm_obs::TimePoint`] is the *delta*
+//!   over its window, so rates and per-window latency quantiles fall
+//!   out directly — `tnm top` polls `/timeseries` and renders QPS,
+//!   p50/p99 per query kind, cache hit rates, and shard residency.
+//! * **Per-query tracing** — a client can set the trace request flag
+//!   ([`ServeClient::query_traced`] / `tnm client --trace FILE` /
+//!   `--profile`): the daemon runs that one query under a fresh
+//!   [`tnm_obs::TraceCtx`], collects the span tree (including spans
+//!   stitched back from distributed workers), and ships it in the
+//!   response as a versioned [`TraceReply`] section together with the
+//!   request's metrics delta. Untraced requests stay byte-identical to
+//!   the legacy encoding and pay one atomic load. Tracing is a
+//!   diagnostic: the trace context is process-global, so two
+//!   *concurrently traced* requests may cross-attach spans.
+//! * **Slow queries and the flight recorder** — every completed query
+//!   lands in two in-memory logs surfaced through [`ServerStats`]
+//!   (`tnm client --slow-queries`): a worst-latency table capped at
+//!   [`ServeOptions::slow_queries`] entries that *keeps span trees*
+//!   (traced entries stay inspectable after the fact), and a ring of
+//!   the last [`ServeOptions::flight_recorder`] queries with spans
+//!   dropped (constant-size, always on). Either log disables at
+//!   capacity 0.
+//!
 //! ## Concurrency and failure model
 //!
 //! One thread per connection; each query clones the entry's graph
@@ -49,23 +90,25 @@
 //! peer, which `tests/serve_loop.rs` pins.
 
 mod client;
+mod http;
 mod incremental;
 pub(crate) mod protocol;
 
 pub use client::{ClientError, ServeClient};
 pub use incremental::{AppendError, IncrementalStream};
-pub use protocol::{AppendAck, GraphStat, ServerStats};
+pub use protocol::{AppendAck, GraphStat, QueryLogEntry, ServerStats, TraceReply};
 
 use crate::engine::distributed::protocol::get_config;
 use crate::engine::query::Query;
 use crate::engine::serve::incremental::check_batch;
 use protocol::*;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread;
+use std::time::Duration;
 use tnm_graph::wire::{read_frame, write_frame, WireWriter, MAX_FRAME_PAYLOAD};
 use tnm_graph::{Event, TemporalGraph};
 
@@ -80,6 +123,22 @@ pub struct ServeOptions {
     pub enumerate_cap: usize,
     /// Maximum accepted request frame payload.
     pub max_frame: usize,
+    /// Port for the HTTP scrape surface (`/metrics`, `/healthz`,
+    /// `/timeseries`), bound on the same interface as the wire
+    /// listener. `None` (the default) disables it; 0 picks a free port
+    /// (read it back with [`MotifServer::http_addr`]).
+    pub http_port: Option<u16>,
+    /// How often the background sampler folds the merged metrics
+    /// snapshot into the time series.
+    pub sample_interval_ms: u64,
+    /// Retained [`tnm_obs::TimePoint`] samples (a ring: 120 × 1 s =
+    /// the last two minutes).
+    pub timeseries_cap: usize,
+    /// Capacity of the worst-latency query table in [`ServerStats`].
+    pub slow_queries: usize,
+    /// Capacity of the completed-query flight recorder in
+    /// [`ServerStats`].
+    pub flight_recorder: usize,
 }
 
 impl Default for ServeOptions {
@@ -88,8 +147,20 @@ impl Default for ServeOptions {
             max_threads: thread::available_parallelism().map_or(4, |n| n.get()),
             enumerate_cap: 100_000,
             max_frame: MAX_FRAME_PAYLOAD,
+            http_port: None,
+            sample_interval_ms: 1_000,
+            timeseries_cap: 120,
+            slow_queries: 8,
+            flight_recorder: 32,
         }
     }
+}
+
+/// Milliseconds since the Unix epoch (sample and query-log timestamps).
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64)
 }
 
 /// One live subscription: an id plus its incrementally-maintained
@@ -133,6 +204,16 @@ struct ServerState {
     /// recorded unconditionally — serve call sites are per-request, not
     /// per-event, so they bypass the process-global enabled gate.
     obs: tnm_obs::Registry,
+    /// Ring of periodic merged-metrics samples for `/timeseries` and
+    /// `tnm top`, fed by the background sampler thread.
+    timeseries: Mutex<tnm_obs::TimeSeries>,
+    /// Worst-latency completed queries, latency-descending, capped at
+    /// [`ServeOptions::slow_queries`]. Traced entries keep their span
+    /// tree.
+    slow: Mutex<Vec<QueryLogEntry>>,
+    /// Last [`ServeOptions::flight_recorder`] completed queries, oldest
+    /// first, span trees dropped.
+    flight: Mutex<VecDeque<QueryLogEntry>>,
     shutdown: AtomicBool,
     addr: SocketAddr,
 }
@@ -168,7 +249,45 @@ impl ServerState {
             appends: obs.counters.get("serve.appends").copied().unwrap_or(0),
             graphs,
             obs,
+            slow: self.slow.lock().expect("slow lock").clone(),
+            flight: self.flight.lock().expect("flight lock").iter().cloned().collect(),
         }
+    }
+
+    /// Folds one completed query into the flight recorder (span tree
+    /// dropped — the ring is a cheap recent-history view) and the
+    /// worst-N slow table (span tree kept, so a slow traced query can
+    /// be inspected after the fact).
+    fn record_query(&self, entry: QueryLogEntry) {
+        if self.options.flight_recorder > 0 {
+            let mut flight = self.flight.lock().expect("flight lock");
+            if flight.len() == self.options.flight_recorder {
+                flight.pop_front();
+            }
+            let mut light = entry.clone();
+            light.spans = Vec::new();
+            flight.push_back(light);
+        }
+        if self.options.slow_queries == 0 {
+            return;
+        }
+        let mut slow = self.slow.lock().expect("slow lock");
+        let pos = slow.partition_point(|e| e.latency_ns >= entry.latency_ns);
+        if pos < self.options.slow_queries {
+            slow.insert(pos, entry);
+            slow.truncate(self.options.slow_queries);
+        }
+    }
+
+    /// One snapshot spanning both metric domains: the server's private
+    /// `serve.*` registry and the process-global registry the engines
+    /// record into (when [`tnm_obs::enabled`]). This is what `/metrics`
+    /// renders and the sampler feeds into the time series.
+    fn merged_snapshot(&self) -> tnm_obs::Snapshot {
+        let merged = tnm_obs::Registry::new();
+        merged.apply(&tnm_obs::global().snapshot());
+        merged.apply(&self.obs.snapshot());
+        merged.snapshot()
     }
 }
 
@@ -178,12 +297,16 @@ impl ServerState {
 /// example).
 pub struct MotifServer {
     listener: TcpListener,
+    /// Bound HTTP scrape listener ([`ServeOptions::http_port`]); served
+    /// from a background thread once [`run`](Self::run) starts.
+    http: Option<TcpListener>,
     state: Arc<ServerState>,
 }
 
 /// Handle to a [`MotifServer::spawn`]ed accept loop.
 pub struct ServerHandle {
     addr: SocketAddr,
+    http_addr: Option<SocketAddr>,
     join: thread::JoinHandle<std::io::Result<()>>,
 }
 
@@ -191,6 +314,11 @@ impl ServerHandle {
     /// The bound address (connect clients here).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound HTTP scrape address, when enabled.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
     }
 
     /// Waits for the accept loop to exit (a client's Shutdown request
@@ -211,19 +339,33 @@ impl MotifServer {
     pub fn bind_with<A: ToSocketAddrs>(addr: A, options: ServeOptions) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let http = match options.http_port {
+            Some(port) => Some(TcpListener::bind((addr.ip(), port))?),
+            None => None,
+        };
+        let timeseries = tnm_obs::TimeSeries::new(options.timeseries_cap.max(1));
         let state = Arc::new(ServerState {
             registry: RwLock::new(HashMap::new()),
             options,
             obs: tnm_obs::Registry::new(),
+            timeseries: Mutex::new(timeseries),
+            slow: Mutex::new(Vec::new()),
+            flight: Mutex::new(VecDeque::new()),
             shutdown: AtomicBool::new(false),
             addr,
         });
-        Ok(MotifServer { listener, state })
+        Ok(MotifServer { listener, http, state })
     }
 
     /// The bound address.
     pub fn local_addr(&self) -> SocketAddr {
         self.state.addr
+    }
+
+    /// The bound HTTP scrape address, when
+    /// [`http_port`](ServeOptions::http_port) is set.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http.as_ref().and_then(|l| l.local_addr().ok())
     }
 
     /// Runs the accept loop until a client requests shutdown. Each
@@ -232,6 +374,8 @@ impl MotifServer {
     /// are unblocked (their sockets are shut down) so the loop never
     /// hangs on an idle client that forgot to disconnect.
     pub fn run(self) -> std::io::Result<()> {
+        let sampler = spawn_sampler(Arc::clone(&self.state));
+        let http = self.http.map(|listener| http::spawn(listener, Arc::clone(&self.state)));
         let mut workers: Vec<(thread::JoinHandle<()>, TcpStream)> = Vec::new();
         for conn in self.listener.incoming() {
             if self.state.shutdown.load(Ordering::SeqCst) {
@@ -251,15 +395,47 @@ impl MotifServer {
         for (handle, _) in workers {
             let _ = handle.join();
         }
+        // The sampler and HTTP threads poll the shutdown flag (set
+        // before the accept loop exits) and return within one poll
+        // interval.
+        let _ = sampler.join();
+        if let Some(handle) = http {
+            let _ = handle.join();
+        }
         Ok(())
     }
 
     /// Runs the accept loop on a background thread.
     pub fn spawn(self) -> ServerHandle {
         let addr = self.local_addr();
+        let http_addr = self.http_addr();
         let join = thread::spawn(move || self.run());
-        ServerHandle { addr, join }
+        ServerHandle { addr, http_addr, join }
     }
+}
+
+/// Spawns the time-series sampler: every
+/// [`sample_interval_ms`](ServeOptions::sample_interval_ms) it folds
+/// the merged metrics snapshot into the ring, polling the shutdown flag
+/// between short sleeps so daemon exit is never delayed by a full
+/// interval.
+fn spawn_sampler(state: Arc<ServerState>) -> thread::JoinHandle<()> {
+    thread::spawn(move || {
+        let interval = state.options.sample_interval_ms.max(10);
+        loop {
+            let mut waited = 0;
+            while waited < interval {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let step = 50.min(interval - waited);
+                thread::sleep(Duration::from_millis(step));
+                waited += step;
+            }
+            let snap = state.merged_snapshot();
+            state.timeseries.lock().expect("timeseries lock").record(unix_ms(), snap);
+        }
+    })
 }
 
 /// Answer for one request frame, plus whether this connection asked the
@@ -422,33 +598,71 @@ fn dispatch(state: &ServerState, kind: u8, payload: &[u8]) -> Outcome {
         KIND_REQ_QUERY => (|| {
             let name = r.str().map_err(|e| e.to_string())?.to_string();
             let query = get_query(&mut r).map_err(|e| e.to_string())?;
+            let flags = get_request_flags(&mut r).map_err(|e| e.to_string())?;
             r.finish().map_err(|e| e.to_string())?;
+            let traced = flags & REQ_FLAG_TRACE != 0;
             let entry = state.entry(&name)?;
             let graph = entry.lock().expect("entry lock").graph();
             // Count outside the locks: a slow query must not block
             // loads/appends (or other clients' queries).
             let query = clamp(query, &state.options);
-            let latency = match &query {
-                Query::Count { .. } => "serve.query.count_ns",
-                Query::Report { .. } => "serve.query.report_ns",
-                Query::Enumerate { .. } => "serve.query.enumerate_ns",
-                Query::Batch { .. } => "serve.query.batch_ns",
+            let (kind, latency) = match &query {
+                Query::Count { .. } => ("count", "serve.query.count_ns"),
+                Query::Report { .. } => ("report", "serve.query.report_ns"),
+                Query::Enumerate { .. } => ("enumerate", "serve.query.enumerate_ns"),
+                Query::Batch { .. } => ("batch", "serve.query.batch_ns"),
             };
+            // The merged baseline lets the trace's metrics delta cover
+            // engine counters (events scanned, cache hits) too when the
+            // process-global registry is enabled, not just `serve.*`.
+            let before = traced.then(|| state.merged_snapshot());
             let t0 = std::time::Instant::now();
-            let response = query.run(&graph).map_err(|e| e.to_string())?;
-            state.obs.histogram(latency).record(t0.elapsed().as_nanos() as u64);
+            let (run, spans, trace_id) = if traced {
+                run_traced("serve.query", &[("graph", &name), ("kind", kind)], || query.run(&graph))
+            } else {
+                (query.run(&graph), Vec::new(), 0)
+            };
+            let latency_ns = t0.elapsed().as_nanos() as u64;
+            let response = run.map_err(|e| e.to_string())?;
+            state.obs.histogram(latency).record(latency_ns);
             state.obs.counter("serve.queries").incr();
-            Ok(Outcome::Reply(KIND_RESP_QUERY, encode_response(&response)))
+            let trace = before.map(|before| TraceReply {
+                spans: spans.clone(),
+                metrics: state.merged_snapshot().delta(&before),
+            });
+            state.record_query(QueryLogEntry {
+                kind: kind.to_string(),
+                graph: name,
+                latency_ns,
+                trace_id,
+                at_unix_ms: unix_ms(),
+                spans,
+            });
+            Ok(Outcome::Reply(KIND_RESP_QUERY, encode_query_reply(&response, trace.as_ref())))
         })(),
         KIND_REQ_SUBSCRIBE => (|| {
             let name = r.str().map_err(|e| e.to_string())?.to_string();
             let cfg = get_config(&mut r).map_err(|e| e.to_string())?;
+            let flags = get_request_flags(&mut r).map_err(|e| e.to_string())?;
             r.finish().map_err(|e| e.to_string())?;
             cfg.validate().map_err(|e| e.to_string())?;
+            let traced = flags & REQ_FLAG_TRACE != 0;
             let entry = state.entry(&name)?;
             let mut entry = entry.lock().expect("entry lock");
             let graph = entry.graph();
-            let stream = IncrementalStream::new(&graph, &cfg)?;
+            let before = traced.then(|| state.merged_snapshot());
+            let (run, spans, _) = if traced {
+                run_traced("serve.subscribe", &[("graph", &name)], || {
+                    IncrementalStream::new(&graph, &cfg)
+                })
+            } else {
+                (IncrementalStream::new(&graph, &cfg), Vec::new(), 0)
+            };
+            let stream = run?;
+            let trace = before.map(|before| TraceReply {
+                spans,
+                metrics: state.merged_snapshot().delta(&before),
+            });
             let id = entry.next_sub_id;
             entry.next_sub_id += 1;
             let counts = stream.counts();
@@ -456,6 +670,7 @@ fn dispatch(state: &ServerState, kind: u8, payload: &[u8]) -> Outcome {
             let mut w = WireWriter::new();
             w.put_u32(id);
             put_counts(&mut w, &counts);
+            put_trace_section(&mut w, trace.as_ref());
             Ok(Outcome::Reply(KIND_RESP_SUBSCRIBED, w.into_bytes()))
         })(),
         KIND_REQ_STATS => (|| {
@@ -472,6 +687,35 @@ fn dispatch(state: &ServerState, kind: u8, payload: &[u8]) -> Outcome {
         other => Err(format!("unknown request kind {other}")),
     };
     result.unwrap_or_else(err_frame)
+}
+
+/// Runs `f` under a fresh request-scoped trace: mints a trace id, opens
+/// a root span, re-points the ambient [`tnm_obs::TraceCtx`] at the root
+/// so every child — engine phase spans on walker threads, and spans
+/// shipped back from distributed worker processes — attaches beneath
+/// it, then collects the request's complete span tree. Returns `f`'s
+/// result, the spans, and the trace id.
+///
+/// The trace context is process-global (that is what lets spawned
+/// threads and worker processes inherit it), so two concurrent traced
+/// requests can cross-attach spans; tracing is an opt-in diagnostic,
+/// and the last writer wins.
+fn run_traced<T>(
+    root: &'static str,
+    args: &[(&str, &str)],
+    f: impl FnOnce() -> T,
+) -> (T, Vec<tnm_obs::SpanRecord>, u64) {
+    let ctx = tnm_obs::TraceCtx::new();
+    tnm_obs::set_trace(Some(ctx));
+    let mut span = tnm_obs::Span::start(root);
+    for (key, value) in args {
+        span = span.arg(key, value);
+    }
+    tnm_obs::set_trace(Some(tnm_obs::TraceCtx { trace_id: ctx.trace_id, parent_span: span.id() }));
+    let out = f();
+    drop(span);
+    tnm_obs::set_trace(None);
+    (out, tnm_obs::take_trace_spans(ctx.trace_id), ctx.trace_id)
 }
 
 /// Applies the server's resource ceilings to a decoded query.

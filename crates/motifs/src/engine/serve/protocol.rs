@@ -12,14 +12,14 @@
 //! |---|---|---|
 //! | [`KIND_REQ_LOAD`] | client → server | graph name, node-id space, event block |
 //! | [`KIND_REQ_APPEND`] | client → server | graph name + event block (time-monotone batch) |
-//! | [`KIND_REQ_QUERY`] | client → server | graph name + a full [`Query`] |
-//! | [`KIND_REQ_SUBSCRIBE`] | client → server | graph name + a stream-eligible [`EnumConfig`](crate::engine::EnumConfig) |
+//! | [`KIND_REQ_QUERY`] | client → server | graph name + a full [`Query`] + optional request flags |
+//! | [`KIND_REQ_SUBSCRIBE`] | client → server | graph name + a stream-eligible [`EnumConfig`](crate::engine::EnumConfig) + optional request flags |
 //! | [`KIND_REQ_STATS`] | client → server | empty |
 //! | [`KIND_REQ_SHUTDOWN`] | client → server | empty: stop accepting, drain, exit |
 //! | [`KIND_REQ_METRICS`] | client → server | empty |
 //! | [`KIND_RESP_LOADED`] | server → client | echoed name + event/node totals |
 //! | [`KIND_RESP_APPENDED`] | server → client | new event total + every subscription's live counts |
-//! | [`KIND_RESP_QUERY`] | server → client | the [`QueryResponse`] |
+//! | [`KIND_RESP_QUERY`] | server → client | the [`QueryResponse`] + optional [`TraceReply`] section |
 //! | [`KIND_RESP_SUBSCRIBED`] | server → client | subscription id + initial counts |
 //! | [`KIND_RESP_STATS`] | server → client | [`ServerStats`] |
 //! | [`KIND_RESP_BYE`] | server → client | empty: shutdown acknowledged |
@@ -32,6 +32,25 @@
 //! signature order so identical tables are byte-identical. Every
 //! decoder ends with [`WireReader::finish`], making trailing bytes an
 //! error rather than slack.
+//!
+//! ## Versioned optional sections
+//!
+//! Three message schemas carry a trailing **length-prefixed optional
+//! section** after their fixed legacy prefix, following the same
+//! pattern as the worker protocol's trace/span sections:
+//!
+//! * Query and Subscribe **requests** may end with a request-flags
+//!   section (one `u32` bitset; bit 0 = [`REQ_FLAG_TRACE`]). Absent
+//!   flags read as 0, so legacy requests are untraced.
+//! * A Query (or Subscribe) **response** to a traced request ends with
+//!   a [`TraceReply`] section: the request's stitched span tree plus
+//!   the server-metrics delta it caused.
+//! * [`ServerStats`] payloads append a second optional section after
+//!   the metrics snapshot: the slow-query table and flight-recorder
+//!   ring, written only when non-empty.
+//!
+//! Every section length prefix is validated against its contents, so
+//! truncation anywhere errors instead of decoding short.
 
 use crate::count::MotifCounts;
 use crate::engine::distributed::protocol::{get_config, get_signature, put_config, put_signature};
@@ -74,6 +93,123 @@ pub(crate) const KIND_RESP_METRICS: u8 = 38;
 /// is a human-readable reason and the connection stays open.
 pub(crate) const KIND_RESP_ERR: u8 = 63;
 
+/// Request flag (bit 0): trace this request. The server runs it under a
+/// fresh [`tnm_obs::TraceCtx`] and appends a [`TraceReply`] section to
+/// the response.
+pub(crate) const REQ_FLAG_TRACE: u32 = 1;
+
+/// The telemetry a traced request ships back alongside its response:
+/// the request's complete span tree (serve root, engine phases, and —
+/// for distributed runs — spans stitched back from worker processes)
+/// plus the delta of the server's metrics registry over the request.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceReply {
+    /// Every span recorded under the request's trace id. All spans
+    /// share one `trace_id`; parent ids resolve within the tree or are
+    /// 0 (the request root).
+    pub spans: Vec<tnm_obs::SpanRecord>,
+    /// Server-registry delta attributable to this request (latency
+    /// histogram observation, `serve.queries` increment, ...).
+    pub metrics: tnm_obs::Snapshot,
+}
+
+/// One completed query in the server's slow-query table or flight
+/// recorder (see [`ServerStats::slow`] / [`ServerStats::flight`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryLogEntry {
+    /// Query kind: `count`, `report`, `enumerate`, or `batch`.
+    pub kind: String,
+    /// Registry name the query ran against.
+    pub graph: String,
+    /// Wall-clock latency of the run.
+    pub latency_ns: u64,
+    /// The request's trace id (0 when the client did not ask for a
+    /// trace).
+    pub trace_id: u64,
+    /// Completion time, milliseconds since the Unix epoch.
+    pub at_unix_ms: u64,
+    /// The request's span tree — retained for slow-table entries of
+    /// traced queries, empty for flight-recorder entries and untraced
+    /// queries.
+    pub spans: Vec<tnm_obs::SpanRecord>,
+}
+
+/// Writes the optional request-flags section. Zero flags write nothing,
+/// keeping untraced requests byte-identical to the legacy encoding.
+pub(crate) fn put_request_flags(w: &mut WireWriter, flags: u32) {
+    if flags != 0 {
+        let mut section = WireWriter::new();
+        section.put_u32(flags);
+        w.put_bytes(&section.into_bytes());
+    }
+}
+
+/// Reads the optional request-flags section; an absent section (a
+/// legacy client) reads as 0.
+pub(crate) fn get_request_flags(r: &mut WireReader<'_>) -> Result<u32, WireError> {
+    if r.remaining() == 0 {
+        return Ok(0);
+    }
+    let section = r.bytes()?;
+    let mut sr = WireReader::new(section);
+    let flags = sr.u32()?;
+    sr.finish()?;
+    Ok(flags)
+}
+
+/// Appends the optional [`TraceReply`] section to an open response
+/// writer (absent when the request was untraced).
+pub(crate) fn put_trace_section(w: &mut WireWriter, trace: Option<&TraceReply>) {
+    if let Some(t) = trace {
+        let mut section = WireWriter::new();
+        tnm_graph::wire::put_span_records(&mut section, &t.spans);
+        tnm_graph::wire::put_obs_snapshot(&mut section, &t.metrics);
+        w.put_bytes(&section.into_bytes());
+    }
+}
+
+/// Reads the optional [`TraceReply`] section (inverse of
+/// [`put_trace_section`]).
+pub(crate) fn get_trace_section(r: &mut WireReader<'_>) -> Result<Option<TraceReply>, WireError> {
+    if r.remaining() == 0 {
+        return Ok(None);
+    }
+    let section = r.bytes()?;
+    let mut sr = WireReader::new(section);
+    let spans = tnm_graph::wire::get_span_records(&mut sr)?;
+    let metrics = tnm_graph::wire::get_obs_snapshot(&mut sr)?;
+    sr.finish()?;
+    Ok(Some(TraceReply { spans, metrics }))
+}
+
+fn put_query_log(w: &mut WireWriter, entries: &[QueryLogEntry]) {
+    w.put_u32(entries.len() as u32);
+    for e in entries {
+        w.put_str(&e.kind);
+        w.put_str(&e.graph);
+        w.put_u64(e.latency_ns);
+        w.put_u64(e.trace_id);
+        w.put_u64(e.at_unix_ms);
+        tnm_graph::wire::put_span_records(w, &e.spans);
+    }
+}
+
+fn get_query_log(r: &mut WireReader<'_>) -> Result<Vec<QueryLogEntry>, WireError> {
+    let n = r.u32()?;
+    let mut entries = Vec::with_capacity(n.min(1 << 16) as usize);
+    for _ in 0..n {
+        entries.push(QueryLogEntry {
+            kind: r.str()?.to_string(),
+            graph: r.str()?.to_string(),
+            latency_ns: r.u64()?,
+            trace_id: r.u64()?,
+            at_unix_ms: r.u64()?,
+            spans: tnm_graph::wire::get_span_records(r)?,
+        });
+    }
+    Ok(entries)
+}
+
 /// Acknowledgement of an append: the graph's new size plus the live
 /// counts of every subscription on it, already updated incrementally.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,14 +239,15 @@ pub struct GraphStat {
 /// ## Wire versioning
 ///
 /// The legacy fields (`queries`, `appends`, `graphs`) form a fixed
-/// prefix of the [`KIND_RESP_STATS`] payload. Everything newer — today
-/// the [`obs`](Self::obs) metrics snapshot — travels in one trailing
-/// **length-prefixed optional section**: a decoder that only knows the
-/// legacy fields can skip it as an opaque byte run, and the current
-/// decoder treats an absent section (a legacy server's payload) as an
-/// empty snapshot. The section's length prefix is validated against
-/// its contents, so truncation anywhere still errors instead of
-/// decoding short.
+/// prefix of the [`KIND_RESP_STATS`] payload. Everything newer travels
+/// in trailing **length-prefixed optional sections**, oldest first: the
+/// [`obs`](Self::obs) metrics snapshot, then the query log
+/// ([`slow`](Self::slow) + [`flight`](Self::flight), written only when
+/// either is non-empty). A decoder that only knows the legacy fields
+/// can skip each section as an opaque byte run, and the current decoder
+/// treats absent sections (a legacy server's payload) as empty. Each
+/// section's length prefix is validated against its contents, so
+/// truncation anywhere still errors instead of decoding short.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServerStats {
     /// Queries served since start.
@@ -123,6 +260,14 @@ pub struct ServerStats {
     /// per-query-kind latency histograms. Empty when the payload came
     /// from a legacy server without the optional section.
     pub obs: tnm_obs::Snapshot,
+    /// The worst-latency queries since start, latency-descending, at
+    /// most [`ServeOptions::slow_queries`](super::ServeOptions)
+    /// entries. Traced entries keep their span tree.
+    pub slow: Vec<QueryLogEntry>,
+    /// Flight recorder: the last
+    /// [`ServeOptions::flight_recorder`](super::ServeOptions) completed
+    /// queries, oldest first, without span trees.
+    pub flight: Vec<QueryLogEntry>,
 }
 
 /// Maps an engine name that travelled the wire back to the `'static`
@@ -289,13 +434,14 @@ const RESP_TAG_REPORT: u8 = 2;
 const RESP_TAG_INSTANCES: u8 = 3;
 const RESP_TAG_BATCH: u8 = 4;
 
-/// Encodes a [`QueryResponse`] payload for a [`KIND_RESP_QUERY`] frame.
-pub(crate) fn encode_response(resp: &QueryResponse) -> Vec<u8> {
-    let mut w = WireWriter::new();
+/// Encodes a [`QueryResponse`] body into an open writer (the
+/// [`KIND_RESP_QUERY`] payload may append a [`TraceReply`] section
+/// after it).
+fn put_response(w: &mut WireWriter, resp: &QueryResponse) {
     match resp {
         QueryResponse::Counts(counts) => {
             w.put_u8(RESP_TAG_COUNTS);
-            put_counts(&mut w, counts);
+            put_counts(w, counts);
         }
         QueryResponse::Report(report) => {
             w.put_u8(RESP_TAG_REPORT);
@@ -308,17 +454,17 @@ pub(crate) fn encode_response(resp: &QueryResponse) -> Vec<u8> {
                 }
                 None => w.put_bool(false),
             }
-            put_counts(&mut w, &report.counts);
+            put_counts(w, &report.counts);
             let mut rows: Vec<_> = report.iter().collect();
             rows.sort_unstable_by_key(|(sig, _)| *sig);
             w.put_u32(rows.len() as u32);
             for (sig, est) in rows {
-                put_signature(&mut w, &sig);
-                put_f64(&mut w, est.point);
-                put_f64(&mut w, est.half_width);
+                put_signature(w, &sig);
+                put_f64(w, est.point);
+                put_f64(w, est.half_width);
             }
-            put_f64(&mut w, report.total.point);
-            put_f64(&mut w, report.total.half_width);
+            put_f64(w, report.total.point);
+            put_f64(w, report.total.half_width);
         }
         QueryResponse::Instances { total, instances, truncated } => {
             w.put_u8(RESP_TAG_INSTANCES);
@@ -326,7 +472,7 @@ pub(crate) fn encode_response(resp: &QueryResponse) -> Vec<u8> {
             w.put_bool(*truncated);
             w.put_u32(instances.len() as u32);
             for inst in instances {
-                put_signature(&mut w, &inst.signature);
+                put_signature(w, &inst.signature);
                 w.put_u8(inst.events.len() as u8);
                 for &e in &inst.events {
                     w.put_u32(e);
@@ -337,32 +483,63 @@ pub(crate) fn encode_response(resp: &QueryResponse) -> Vec<u8> {
             w.put_u8(RESP_TAG_BATCH);
             w.put_u32(tables.len() as u32);
             for t in tables {
-                put_counts(&mut w, t);
+                put_counts(w, t);
             }
         }
     }
+}
+
+/// Encodes a [`KIND_RESP_QUERY`] payload: the response body plus, for
+/// traced requests, the trailing [`TraceReply`] section.
+pub(crate) fn encode_query_reply(resp: &QueryResponse, trace: Option<&TraceReply>) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    put_response(&mut w, resp);
+    put_trace_section(&mut w, trace);
     w.into_bytes()
 }
 
-/// Decodes a [`KIND_RESP_QUERY`] payload.
+/// Encodes a [`KIND_RESP_QUERY`] payload without a trace section.
+#[cfg(test)]
+pub(crate) fn encode_response(resp: &QueryResponse) -> Vec<u8> {
+    encode_query_reply(resp, None)
+}
+
+/// Decodes a [`KIND_RESP_QUERY`] payload, dropping any trace section.
 pub(crate) fn decode_response(payload: &[u8]) -> Result<QueryResponse, WireError> {
+    Ok(decode_query_reply(payload)?.0)
+}
+
+/// Decodes a [`KIND_RESP_QUERY`] payload together with its optional
+/// [`TraceReply`] section (absent for untraced requests and legacy
+/// servers).
+pub(crate) fn decode_query_reply(
+    payload: &[u8],
+) -> Result<(QueryResponse, Option<TraceReply>), WireError> {
     let mut r = WireReader::new(payload);
+    let resp = get_response(&mut r)?;
+    let trace = get_trace_section(&mut r)?;
+    r.finish()?;
+    Ok((resp, trace))
+}
+
+/// Decodes a [`QueryResponse`] body (inverse of [`put_response`]).
+fn get_response(r: &mut WireReader<'_>) -> Result<QueryResponse, WireError> {
     let resp = match r.u8()? {
-        RESP_TAG_COUNTS => QueryResponse::Counts(get_counts(&mut r)?),
+        RESP_TAG_COUNTS => QueryResponse::Counts(get_counts(r)?),
         RESP_TAG_REPORT => {
             let engine = static_engine_name(r.str()?)?;
             let exact = r.bool()?;
             let samples = if r.bool()? { Some(r.u64()? as usize) } else { None };
-            let counts = get_counts(&mut r)?;
+            let counts = get_counts(r)?;
             let n = r.u32()?;
             let mut estimates = HashMap::new();
             for _ in 0..n {
-                let sig = get_signature(&mut r)?;
-                let point = get_f64(&mut r)?;
-                let half_width = get_f64(&mut r)?;
+                let sig = get_signature(r)?;
+                let point = get_f64(r)?;
+                let half_width = get_f64(r)?;
                 estimates.insert(sig, Estimate { point, half_width });
             }
-            let total = Estimate { point: get_f64(&mut r)?, half_width: get_f64(&mut r)? };
+            let total = Estimate { point: get_f64(r)?, half_width: get_f64(r)? };
             let report = if exact {
                 // Reconstruct through the exact constructor so the
                 // invariants (zero-width intervals, derived total)
@@ -379,7 +556,7 @@ pub(crate) fn decode_response(payload: &[u8]) -> Result<QueryResponse, WireError
             let n = r.u32()?;
             let mut instances = Vec::with_capacity(n.min(1 << 20) as usize);
             for _ in 0..n {
-                let signature = get_signature(&mut r)?;
+                let signature = get_signature(r)?;
                 let k = r.u8()? as usize;
                 let mut events = Vec::with_capacity(k);
                 for _ in 0..k {
@@ -393,13 +570,12 @@ pub(crate) fn decode_response(payload: &[u8]) -> Result<QueryResponse, WireError
             let n = r.u32()?;
             let mut tables = Vec::with_capacity(n.min(1 << 16) as usize);
             for _ in 0..n {
-                tables.push(get_counts(&mut r)?);
+                tables.push(get_counts(r)?);
             }
             QueryResponse::Batch(tables)
         }
         other => return Err(WireError::Malformed(format!("unknown response tag {other}"))),
     };
-    r.finish()?;
     Ok(resp)
 }
 
@@ -446,6 +622,15 @@ pub(crate) fn encode_stats(stats: &ServerStats) -> Vec<u8> {
     let mut section = WireWriter::new();
     tnm_graph::wire::put_obs_snapshot(&mut section, &stats.obs);
     w.put_bytes(&section.into_bytes());
+    // Second optional section — the query log — only when there is one,
+    // so a log-less payload is byte-identical to the previous wire
+    // version.
+    if !stats.slow.is_empty() || !stats.flight.is_empty() {
+        let mut section = WireWriter::new();
+        put_query_log(&mut section, &stats.slow);
+        put_query_log(&mut section, &stats.flight);
+        w.put_bytes(&section.into_bytes());
+    }
     w.into_bytes()
 }
 
@@ -476,8 +661,18 @@ pub(crate) fn decode_stats(payload: &[u8]) -> Result<ServerStats, WireError> {
     } else {
         Default::default()
     };
+    let (slow, flight) = if r.remaining() > 0 {
+        let section = r.bytes()?;
+        let mut sr = WireReader::new(section);
+        let slow = get_query_log(&mut sr)?;
+        let flight = get_query_log(&mut sr)?;
+        sr.finish()?;
+        (slow, flight)
+    } else {
+        (Vec::new(), Vec::new())
+    };
     r.finish()?;
-    Ok(ServerStats { queries, appends, graphs, obs })
+    Ok(ServerStats { queries, appends, graphs, obs, slow, flight })
 }
 
 #[cfg(test)]
@@ -646,6 +841,7 @@ mod tests {
                 r.histogram("serve.query.count_ns").record(90_000);
                 r.snapshot()
             },
+            ..Default::default()
         };
         assert_eq!(decode_stats(&encode_stats(&stats)).unwrap(), stats);
     }
@@ -676,6 +872,7 @@ mod tests {
                 r.gauge("shard.resident_events").set(512);
                 r.snapshot()
             },
+            ..Default::default()
         };
         let payload = encode_stats(&stats);
         let mut r = WireReader::new(&payload);
@@ -701,6 +898,7 @@ mod tests {
                 r.histogram("serve.query.batch_ns").record(4096);
                 r.snapshot()
             },
+            ..Default::default()
         };
         let payload = encode_stats(&stats);
         // The one legal short form is the exact legacy prefix (handled
@@ -754,5 +952,139 @@ mod tests {
         w.put_u8(RESP_TAG_REPORT);
         w.put_str("definitely-not-an-engine");
         assert!(matches!(decode_response(&w.into_bytes()), Err(WireError::Malformed(_))));
+    }
+
+    fn span(name: &str, span_id: u64, parent_id: u64) -> tnm_obs::SpanRecord {
+        tnm_obs::SpanRecord {
+            name: name.into(),
+            args: vec![("shard".into(), "3".into())],
+            start_ns: 10,
+            dur_ns: 1_000,
+            tid: 1,
+            depth: 0,
+            trace_id: 0xABCD,
+            span_id,
+            parent_id,
+        }
+    }
+
+    /// The request-flags section: absent reads as 0, present roundtrips,
+    /// and truncation anywhere inside it errors — the only legal short
+    /// form is the exact flag-less encoding.
+    #[test]
+    fn request_flags_are_versioned_and_reject_truncation() {
+        let query = Query::Count {
+            cfg: EnumConfig::new(3, 3).with_timing(Timing::only_w(10)),
+            engine: EngineKind::Backtrack,
+            threads: 2,
+        };
+        let mut w = WireWriter::new();
+        put_query(&mut w, &query);
+        put_request_flags(&mut w, 0);
+        let base = w.into_bytes();
+        let mut r = WireReader::new(&base);
+        get_query(&mut r).unwrap();
+        assert_eq!(get_request_flags(&mut r).unwrap(), 0, "absent flags read as 0");
+        r.finish().unwrap();
+
+        let mut w = WireWriter::new();
+        put_query(&mut w, &query);
+        put_request_flags(&mut w, REQ_FLAG_TRACE);
+        let payload = w.into_bytes();
+        assert!(payload.len() > base.len(), "nonzero flags write a section");
+        for cut in 0..=payload.len() {
+            let mut r = WireReader::new(&payload[..cut]);
+            let parsed = get_query(&mut r)
+                .and_then(|q| Ok((q, get_request_flags(&mut r)?)))
+                .and_then(|out| r.finish().map(|()| out));
+            if cut == base.len() {
+                assert_eq!(parsed.unwrap().1, 0, "flag-less boundary decodes untraced");
+            } else if cut == payload.len() {
+                assert_eq!(parsed.unwrap(), (query.clone(), REQ_FLAG_TRACE));
+            } else {
+                assert!(parsed.is_err(), "flags prefix {cut} accepted");
+            }
+        }
+    }
+
+    /// A traced query reply roundtrips its span tree + metrics delta;
+    /// an untraced reply stays byte-identical to the legacy encoding;
+    /// truncation inside the trace section is rejected at every prefix.
+    #[test]
+    fn query_reply_trace_section_is_versioned_and_rejects_truncation() {
+        let resp = QueryResponse::Counts(table(&[("010102", 7)]));
+        let trace = TraceReply {
+            spans: vec![span("serve.query", 1, 0), span("query.count", 2, 1)],
+            metrics: {
+                let r = tnm_obs::Registry::new();
+                r.counter("serve.queries").incr();
+                r.histogram("serve.query.count_ns").record(52_000);
+                r.snapshot()
+            },
+        };
+        let payload = encode_query_reply(&resp, Some(&trace));
+        let (back, back_trace) = decode_query_reply(&payload).unwrap();
+        let QueryResponse::Counts(counts) = back else { panic!("shape") };
+        assert_eq!(counts, table(&[("010102", 7)]));
+        assert_eq!(back_trace.as_ref(), Some(&trace));
+        // The legacy decoder skips the section.
+        let QueryResponse::Counts(counts) = decode_response(&payload).unwrap() else {
+            panic!("shape")
+        };
+        assert_eq!(counts, table(&[("010102", 7)]));
+
+        let bare = encode_query_reply(&resp, None);
+        assert!(decode_query_reply(&bare).unwrap().1.is_none());
+        for cut in 0..payload.len() {
+            if cut == bare.len() {
+                assert_eq!(decode_query_reply(&payload[..cut]).unwrap().1, None);
+                continue;
+            }
+            assert!(decode_query_reply(&payload[..cut]).is_err(), "reply prefix {cut} accepted");
+        }
+    }
+
+    /// The stats query-log section: roundtrips slow + flight tables,
+    /// absent section reads as empty, and the only legal short forms
+    /// are the legacy prefix and the log-less boundary.
+    #[test]
+    fn stats_query_log_section_is_versioned_and_rejects_truncation() {
+        let entry = QueryLogEntry {
+            kind: "count".into(),
+            graph: "CollegeMsg".into(),
+            latency_ns: 1_234_567,
+            trace_id: 0xABCD,
+            at_unix_ms: 1_700_000_000_123,
+            spans: vec![span("serve.query", 1, 0)],
+        };
+        let mut flight = entry.clone();
+        flight.spans = Vec::new();
+        flight.trace_id = 0;
+        let stats = ServerStats {
+            queries: 9,
+            appends: 0,
+            graphs: vec![],
+            obs: {
+                let r = tnm_obs::Registry::new();
+                r.counter("serve.queries").add(9);
+                r.snapshot()
+            },
+            slow: vec![entry],
+            flight: vec![flight],
+        };
+        let payload = encode_stats(&stats);
+        assert_eq!(decode_stats(&payload).unwrap(), stats);
+
+        let logless = encode_stats(&ServerStats { slow: vec![], flight: vec![], ..stats.clone() });
+        assert!(payload.len() > logless.len(), "a non-empty log writes a second section");
+        let legacy_len = 8 + 8 + 4;
+        for cut in 0..payload.len() {
+            if cut == legacy_len || cut == logless.len() {
+                let short = decode_stats(&payload[..cut]).unwrap();
+                assert!(short.slow.is_empty() && short.flight.is_empty());
+                continue;
+            }
+            assert!(decode_stats(&payload[..cut]).is_err(), "stats prefix {cut} accepted");
+        }
     }
 }

@@ -67,15 +67,15 @@ pub struct ShardedConfig {
 }
 
 /// Observability of one sharded run, for memory-bound assertions in
-/// tests and benches.
+/// tests and benches. The residency high-water mark is read from the
+/// obs registry (`shard.resident_events` gauge peak) — this struct
+/// carries only the run's plan geometry and backing mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardedRunStats {
     /// Shards the plan produced.
     pub shards: usize,
     /// Largest materialized shard (owned + pad + halo events).
     pub max_shard_events: usize,
-    /// High-water mark of simultaneously resident shard events.
-    pub peak_resident_events: usize,
     /// True when the run (re)loaded shards from disk.
     pub spilled: bool,
 }
@@ -160,12 +160,8 @@ impl ShardedEngine {
             } else {
                 WindowedEngine.count(graph, cfg)
             };
-            let stats = ShardedRunStats {
-                shards: 1,
-                max_shard_events: graph.num_events(),
-                peak_resident_events: 0,
-                spilled: false,
-            };
+            let stats =
+                ShardedRunStats { shards: 1, max_shard_events: graph.num_events(), spilled: false };
             return (counts, stats);
         }
         let mut store = self.store(graph, plan);
@@ -175,14 +171,9 @@ impl ShardedEngine {
             let shard = store.get(id).expect("sharded engine: loading a shard failed");
             counts.merge(&driver::count_shard(graph, shard, cfg, self.config.threads));
         }
-        // Thin compatibility read; the canonical peak is the
-        // `shard.resident_events` gauge in the obs registry.
-        #[allow(deprecated)]
-        let peak_resident_events = store.peak_resident_events();
         let stats = ShardedRunStats {
             shards: store.num_shards(),
             max_shard_events: store.plan().max_shard_events(),
-            peak_resident_events,
             spilled: store.is_spilled(),
         };
         (counts, stats)
@@ -293,15 +284,26 @@ mod tests {
 
     #[test]
     fn stats_expose_residency() {
+        let _obs = tnm_obs::test_guard();
+        tnm_obs::set_enabled(true);
+        tnm_obs::global().reset();
         let g = lcg_graph(400, 16, 600);
         let cfg = EnumConfig::new(2, 2).with_timing(Timing::only_w(15));
         let engine = ShardedEngine::new(50).with_max_resident(2);
         let (_, stats) = engine.count_with_stats(&g, &cfg);
+        let spill_snap = tnm_obs::global().snapshot();
         assert!(stats.spilled);
         assert!(stats.shards >= 8);
-        assert!(stats.peak_resident_events <= 2 * stats.max_shard_events);
+        // Residency high-water mark comes from the registry: with a
+        // two-shard budget the gauge peak honors `2 × max_shard`.
+        let peak = spill_snap.gauges["shard.resident_events"].peak as usize;
+        assert!(peak <= 2 * stats.max_shard_events);
+        tnm_obs::global().reset();
         let (_, in_mem) = ShardedEngine::new(50).count_with_stats(&g, &cfg);
+        let mem_snap = tnm_obs::global().snapshot();
+        tnm_obs::set_enabled(false);
         assert!(!in_mem.spilled);
-        assert!(in_mem.peak_resident_events <= in_mem.max_shard_events);
+        let peak = mem_snap.gauges["shard.resident_events"].peak as usize;
+        assert!(peak <= in_mem.max_shard_events);
     }
 }

@@ -190,8 +190,8 @@ pub mod prelude {
         count_batch, enumerate_batch, AppendAck, BacktrackEngine, BatchPlan, BatchPlanner,
         ConfigError, CountEngine, EngineCaps, EngineKind, EngineReport, Estimate,
         IncrementalStream, MotifServer, ParallelConfig, ParallelEngine, Query, QueryError,
-        QueryResponse, SamplingEngine, ServeClient, ServeOptions, ServerStats, ShardedEngine,
-        WindowedEngine,
+        QueryLogEntry, QueryResponse, SamplingEngine, ServeClient, ServeOptions, ServerStats,
+        ShardedEngine, TraceReply, WindowedEngine,
     };
     #[allow(deprecated)]
     pub use crate::enumerate::count_motifs_parallel;

@@ -40,12 +40,17 @@
 
 pub mod registry;
 pub mod span;
+pub mod timeseries;
 
 pub use registry::{
     bucket_index, bucket_upper_bound, Counter, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot,
     Registry, Snapshot, HISTOGRAM_BUCKETS,
 };
-pub use span::{chrome_trace, drain_spans, now_ns, record_span, Span, SpanRecord};
+pub use span::{
+    chrome_trace, current_trace, drain_spans, inject_spans, now_ns, record_span, set_trace,
+    take_trace_spans, Span, SpanRecord, TraceCtx,
+};
+pub use timeseries::{parse_timeseries_json, TimePoint, TimeSeries};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};

@@ -198,6 +198,44 @@ impl HistogramSnapshot {
         }
         self.buckets = merged.into_iter().collect();
     }
+
+    /// The approximate `q`-quantile (`0.0 ..= 1.0`): the upper bound of
+    /// the bucket holding the ⌈q·count⌉-th observation, so within the
+    /// 2× bucket resolution. Returns 0 with no data.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i as usize);
+            }
+        }
+        self.max_bound()
+    }
+
+    /// What happened since `baseline` (an earlier snapshot of the same
+    /// histogram): counts and bucket tallies subtract saturating, so a
+    /// reset between the two degrades to "everything is new".
+    pub fn delta(&self, baseline: &HistogramSnapshot) -> HistogramSnapshot {
+        let base: BTreeMap<u8, u64> = baseline.buckets.iter().copied().collect();
+        let buckets: Vec<(u8, u64)> = self
+            .buckets
+            .iter()
+            .filter_map(|&(i, n)| {
+                let d = n.saturating_sub(base.get(&i).copied().unwrap_or(0));
+                (d != 0).then_some((i, d))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.saturating_sub(baseline.count),
+            sum: self.sum.saturating_sub(baseline.sum),
+            buckets,
+        }
+    }
 }
 
 /// A deterministic frozen view of a [`Registry`]: sorted maps, so
@@ -235,25 +273,65 @@ impl Snapshot {
         }
     }
 
-    /// Renders Prometheus-style text exposition: `.`/`-` in names
-    /// become `_`; gauges emit a `_peak` companion; histograms emit
-    /// cumulative `_bucket{le="…"}` series plus `_sum`/`_count`.
-    pub fn to_prometheus(&self) -> String {
-        fn sanitize(name: &str) -> String {
-            name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+    /// What happened since `baseline` (an earlier snapshot of the same
+    /// registry): counters and histograms subtract saturating (zero
+    /// deltas are dropped), gauges keep their current value/peak — they
+    /// are levels, not flows. The serve time-series sampler and the
+    /// per-query `--profile` summary are both built on this.
+    pub fn delta(&self, baseline: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(name, &v)| {
+                let d = v.saturating_sub(baseline.counters.get(name).copied().unwrap_or(0));
+                (d != 0).then(|| (name.clone(), d))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter_map(|(name, h)| {
+                let d = h.delta(baseline.histograms.get(name).unwrap_or(&Default::default()));
+                (d.count != 0).then(|| (name.clone(), d))
+            })
+            .collect();
+        Snapshot { counters, gauges: self.gauges.clone(), histograms }
+    }
+
+    /// The Prometheus metric name for a dotted tnm name: `.`/`-` (and
+    /// any other non-alphanumeric byte) become `_`, with a leading `_`
+    /// when the name would otherwise start with a digit.
+    pub fn prometheus_name(name: &str) -> String {
+        let mut out = String::with_capacity(name.len() + 1);
+        if name.starts_with(|c: char| c.is_ascii_digit()) {
+            out.push('_');
         }
+        out.extend(name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }));
+        out
+    }
+
+    /// Renders Prometheus text exposition: every family carries
+    /// `# HELP` (the original dotted tnm name) and `# TYPE` lines;
+    /// names are escaped via [`Snapshot::prometheus_name`]; gauges emit
+    /// a `_peak` companion; histograms emit cumulative
+    /// `_bucket{le="…"}` series plus `_sum`/`_count`.
+    pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, v) in &self.counters {
-            let n = sanitize(name);
+            let n = Snapshot::prometheus_name(name);
+            out.push_str(&format!("# HELP {n} tnm counter {name}\n"));
             out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
         }
         for (name, g) in &self.gauges {
-            let n = sanitize(name);
+            let n = Snapshot::prometheus_name(name);
+            out.push_str(&format!("# HELP {n} tnm gauge {name}\n"));
             out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", g.value));
+            out.push_str(&format!("# HELP {n}_peak tnm gauge {name} high-water mark\n"));
             out.push_str(&format!("# TYPE {n}_peak gauge\n{n}_peak {}\n", g.peak));
         }
         for (name, h) in &self.histograms {
-            let n = sanitize(name);
+            let n = Snapshot::prometheus_name(name);
+            out.push_str(&format!("# HELP {n} tnm histogram {name}\n"));
             out.push_str(&format!("# TYPE {n} histogram\n"));
             let mut cumulative = 0u64;
             for &(i, count) in &h.buckets {
@@ -451,6 +529,82 @@ mod tests {
         assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 3"), "{text}");
         assert!(text.contains("lat_ns_sum 6"), "{text}");
         assert!(text.contains("lat_ns_count 3"), "{text}");
+    }
+
+    /// Golden test for the exposition format: exact output, including
+    /// `# HELP`/`# TYPE` lines, dot escaping, and the digit-prefix
+    /// guard. Dashboards scrape this text — any change here is a
+    /// contract change.
+    #[test]
+    fn prometheus_exposition_matches_golden() {
+        let r = Registry::new();
+        r.counter("serve.queries").add(3);
+        r.gauge("shard.resident-events").set(9);
+        let h = r.histogram("2fast.lat.ns");
+        h.record(1);
+        h.record(3);
+        let text = r.snapshot().to_prometheus();
+        let golden = "\
+# HELP serve_queries tnm counter serve.queries
+# TYPE serve_queries counter
+serve_queries 3
+# HELP shard_resident_events tnm gauge shard.resident-events
+# TYPE shard_resident_events gauge
+shard_resident_events 9
+# HELP shard_resident_events_peak tnm gauge shard.resident-events high-water mark
+# TYPE shard_resident_events_peak gauge
+shard_resident_events_peak 9
+# HELP _2fast_lat_ns tnm histogram 2fast.lat.ns
+# TYPE _2fast_lat_ns histogram
+_2fast_lat_ns_bucket{le=\"1\"} 1
+_2fast_lat_ns_bucket{le=\"3\"} 2
+_2fast_lat_ns_bucket{le=\"+Inf\"} 2
+_2fast_lat_ns_sum 4
+_2fast_lat_ns_count 2
+";
+        assert_eq!(text, golden);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_flows_and_keeps_levels() {
+        let r = Registry::new();
+        r.counter("c.flow").add(5);
+        r.counter("c.idle").add(2);
+        r.gauge("g.level").set(10);
+        r.histogram("h.lat").record(2);
+        let base = r.snapshot();
+        r.counter("c.flow").add(3);
+        r.gauge("g.level").set(4);
+        r.histogram("h.lat").record(2);
+        r.histogram("h.lat").record(1000);
+        let d = r.snapshot().delta(&base);
+        assert_eq!(d.counters.get("c.flow"), Some(&3));
+        assert_eq!(d.counters.get("c.idle"), None, "zero deltas are dropped");
+        assert_eq!(d.gauges["g.level"].value, 4, "gauges keep the current level");
+        assert_eq!(d.gauges["g.level"].peak, 10);
+        let h = &d.histograms["h.lat"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 1002);
+        assert_eq!(h.buckets, vec![(2, 1), (10, 1)]);
+        // A reset between snapshots saturates instead of wrapping.
+        let shrunk = Snapshot::default().delta(&base);
+        assert!(shrunk.counters.is_empty());
+    }
+
+    #[test]
+    fn percentiles_resolve_to_bucket_upper_bounds() {
+        let h = Histogram::default();
+        assert_eq!(h.snapshot().percentile(0.5), 0);
+        for _ in 0..98 {
+            h.record(3); // bucket 2, le=3
+        }
+        h.record(1000); // bucket 10, le=1023
+        h.record(1001);
+        let snap = h.snapshot();
+        assert_eq!(snap.percentile(0.5), 3);
+        assert_eq!(snap.percentile(0.99), 1023);
+        assert_eq!(snap.percentile(1.0), 1023);
+        assert_eq!(snap.percentile(0.0), 3, "q=0 clamps to the first observation");
     }
 
     #[test]

@@ -38,6 +38,78 @@ pub struct SpanRecord {
     pub tid: u64,
     /// Nesting depth on its thread at start time (0 = top level).
     pub depth: u32,
+    /// Trace this span belongs to (0 = no request-scoped trace).
+    pub trace_id: u64,
+    /// Process-unique span id (never 0 for a recorded span).
+    pub span_id: u64,
+    /// `span_id` of the enclosing span (0 = root of its trace/thread).
+    pub parent_id: u64,
+}
+
+/// Request-scoped trace identity: a trace id plus the span the next
+/// recorded root should attach under. Flows from `tnm serve` through
+/// `Query::run` into distributed worker processes (as an optional
+/// section of the job frame), so one served query stitches into a
+/// single cross-process span tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Nonzero trace identifier shared by every span of the request.
+    pub trace_id: u64,
+    /// Span id new thread-root spans attach under (0 = none).
+    pub parent_span: u64,
+}
+
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+impl TraceCtx {
+    /// Mints a fresh trace context (nonzero id, no parent yet). Ids mix
+    /// a process counter with the obs clock so traces from different
+    /// processes are unlikely to collide.
+    pub fn new() -> TraceCtx {
+        let seq = NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed);
+        let mut id = (seq << 20) ^ now_ns() ^ (std::process::id() as u64).rotate_left(40);
+        if id == 0 {
+            id = 1;
+        }
+        TraceCtx { trace_id: id, parent_span: 0 }
+    }
+}
+
+impl Default for TraceCtx {
+    fn default() -> Self {
+        TraceCtx::new()
+    }
+}
+
+// The active trace, as two relaxed atomics (trace id 0 = none). A
+// process-global rather than a thread-local: walker/worker threads
+// spawned mid-query must inherit it. Concurrent traced queries in one
+// process are therefore best-effort — spans are filtered by trace id
+// after draining, so an overlap loses spans rather than corrupting a
+// tree.
+static TRACE_ID: AtomicU64 = AtomicU64::new(0);
+static TRACE_PARENT: AtomicU64 = AtomicU64::new(0);
+
+/// Installs (or clears, with `None`) the process-global active trace.
+pub fn set_trace(ctx: Option<TraceCtx>) {
+    let ctx = ctx.unwrap_or(TraceCtx { trace_id: 0, parent_span: 0 });
+    TRACE_ID.store(ctx.trace_id, Ordering::Relaxed);
+    TRACE_PARENT.store(ctx.parent_span, Ordering::Relaxed);
+}
+
+/// The active trace installed by [`set_trace`], if any.
+pub fn current_trace() -> Option<TraceCtx> {
+    let trace_id = TRACE_ID.load(Ordering::Relaxed);
+    (trace_id != 0)
+        .then(|| TraceCtx { trace_id, parent_span: TRACE_PARENT.load(Ordering::Relaxed) })
+}
+
+/// Whether spans should be collected: either instrumentation is on
+/// globally or a request-scoped trace is active. Two relaxed loads on
+/// the off path.
+#[inline]
+pub(crate) fn spans_active() -> bool {
+    crate::enabled() || TRACE_ID.load(Ordering::Relaxed) != 0
 }
 
 fn epoch() -> &'static Instant {
@@ -51,10 +123,28 @@ pub fn now_ns() -> u64 {
 }
 
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
     static TID: Cell<u64> = const { Cell::new(0) };
     static DEPTH: Cell<u32> = const { Cell::new(0) };
+    static CURRENT_PARENT: Cell<u64> = const { Cell::new(0) };
+}
+
+fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The parent a new span on this thread attaches under: the innermost
+/// open span, else the active trace's attach point (so spans on worker
+/// threads spawned mid-query still join the request tree).
+fn inherited_parent() -> u64 {
+    let local = CURRENT_PARENT.with(|p| p.get());
+    if local != 0 {
+        local
+    } else {
+        TRACE_PARENT.load(Ordering::Relaxed)
+    }
 }
 
 fn thread_id() -> u64 {
@@ -82,11 +172,55 @@ pub fn drain_spans() -> Vec<SpanRecord> {
     std::mem::take(&mut *collector().lock().unwrap_or_else(|p| p.into_inner()))
 }
 
+/// Removes and returns exactly the spans belonging to `trace_id`,
+/// leaving every other record (globally-enabled instrumentation,
+/// concurrent traces) in the collector.
+pub fn take_trace_spans(trace_id: u64) -> Vec<SpanRecord> {
+    let mut guard = collector().lock().unwrap_or_else(|p| p.into_inner());
+    let mut taken = Vec::new();
+    guard.retain(|s| {
+        if s.trace_id == trace_id {
+            taken.push(s.clone());
+            false
+        } else {
+            true
+        }
+    });
+    taken
+}
+
+/// Appends externally captured spans (a worker's shipped trace) to the
+/// collector, re-minting their ids in this process's id space: span ids
+/// found *within* `spans` get fresh ids (and internal parent links
+/// follow), parents pointing outside the set are rewired to
+/// `attach_parent`, thread ids are re-minted per distinct incoming tid,
+/// and every start is shifted by `offset_ns` (the coordinator-clock
+/// time the remote capture began).
+pub fn inject_spans(spans: Vec<SpanRecord>, attach_parent: u64, offset_ns: u64) {
+    use std::collections::HashMap;
+    let mut id_map: HashMap<u64, u64> = HashMap::with_capacity(spans.len());
+    for s in &spans {
+        id_map.entry(s.span_id).or_insert_with(next_span_id);
+    }
+    let mut tid_map: HashMap<u64, u64> = HashMap::new();
+    let mut guard = collector().lock().unwrap_or_else(|p| p.into_inner());
+    for mut s in spans {
+        s.span_id = id_map[&s.span_id];
+        s.parent_id = match id_map.get(&s.parent_id) {
+            Some(&mapped) if s.parent_id != 0 => mapped,
+            _ => attach_parent,
+        };
+        s.tid = *tid_map.entry(s.tid).or_insert_with(|| NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        s.start_ns = s.start_ns.saturating_add(offset_ns);
+        guard.push(s);
+    }
+}
+
 /// Records a span that was measured externally (e.g. a worker-reported
 /// wall time the coordinator re-emits): it ends now and lasted
-/// `dur_ns`. No-op while disabled.
+/// `dur_ns`. No-op while disabled and no trace is active.
 pub fn record_span(name: &str, dur_ns: u64, args: &[(&str, String)]) {
-    if !crate::enabled() {
+    if !spans_active() {
         return;
     }
     let end = now_ns();
@@ -97,6 +231,9 @@ pub fn record_span(name: &str, dur_ns: u64, args: &[(&str, String)]) {
         dur_ns,
         tid: thread_id(),
         depth: DEPTH.with(|d| d.get()),
+        trace_id: TRACE_ID.load(Ordering::Relaxed),
+        span_id: next_span_id(),
+        parent_id: inherited_parent(),
     });
 }
 
@@ -111,12 +248,17 @@ struct ActiveSpan {
     args: Vec<(String, String)>,
     start_ns: u64,
     depth: u32,
+    span_id: u64,
+    parent_id: u64,
+    prev_parent: u64,
+    trace_id: u64,
 }
 
 impl Span {
-    /// Starts a span (inert when disabled — one branch, nothing else).
+    /// Starts a span (inert when disabled and untraced — two relaxed
+    /// loads, nothing else).
     pub fn start(name: &'static str) -> Span {
-        if !crate::enabled() {
+        if !spans_active() {
             return Span { inner: None };
         }
         let depth = DEPTH.with(|d| {
@@ -124,7 +266,26 @@ impl Span {
             d.set(depth + 1);
             depth
         });
-        Span { inner: Some(ActiveSpan { name, args: Vec::new(), start_ns: now_ns(), depth }) }
+        let span_id = next_span_id();
+        let prev_parent = CURRENT_PARENT.with(|p| {
+            let prev = p.get();
+            p.set(span_id);
+            prev
+        });
+        let parent_id =
+            if prev_parent != 0 { prev_parent } else { TRACE_PARENT.load(Ordering::Relaxed) };
+        Span {
+            inner: Some(ActiveSpan {
+                name,
+                args: Vec::new(),
+                start_ns: now_ns(),
+                depth,
+                span_id,
+                parent_id,
+                prev_parent,
+                trace_id: TRACE_ID.load(Ordering::Relaxed),
+            }),
+        }
     }
 
     /// Attaches a key/value annotation (formatted only when live).
@@ -134,12 +295,22 @@ impl Span {
         }
         self
     }
+
+    /// This span's process-unique id (0 when the guard is inert), for
+    /// threading into a [`TraceCtx`] so downstream work attaches here.
+    pub fn id(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |a| a.span_id)
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(active) = self.inner.take() {
             DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            // Restore the enclosing *local* span as the thread's parent
+            // (the recorded parent_id may instead be the trace attach
+            // point when this span was a thread root).
+            CURRENT_PARENT.with(|p| p.set(active.prev_parent));
             push(SpanRecord {
                 name: active.name.to_string(),
                 args: active.args,
@@ -147,6 +318,9 @@ impl Drop for Span {
                 dur_ns: now_ns().saturating_sub(active.start_ns),
                 tid: thread_id(),
                 depth: active.depth,
+                trace_id: active.trace_id,
+                span_id: active.span_id,
+                parent_id: active.parent_id,
             });
         }
     }
@@ -165,7 +339,7 @@ macro_rules! span {
     };
 }
 
-fn escape_json(s: &str, out: &mut String) {
+pub(crate) fn escape_json(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -207,6 +381,12 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> String {
             out.push_str("\":\"");
             escape_json(v, &mut out);
             out.push_str("\",");
+        }
+        if s.trace_id != 0 {
+            out.push_str(&format!(
+                "\"trace\":\"{:016x}\",\"span\":\"{}\",\"parent\":\"{}\",",
+                s.trace_id, s.span_id, s.parent_id
+            ));
         }
         out.push_str(&format!("\"depth\":\"{}\"}}}}", s.depth));
     }
@@ -303,6 +483,9 @@ mod tests {
             dur_ns: 89_001,
             tid: 2,
             depth: 0,
+            trace_id: 0,
+            span_id: 1,
+            parent_id: 0,
         }];
         let json = chrome_trace(&spans);
         assert!(json.starts_with("{\"traceEvents\":["));
@@ -314,5 +497,136 @@ mod tests {
         // Balanced braces/brackets outside strings — cheap well-formedness
         // proxy exercised properly by the CI python json.load step.
         assert_eq!(chrome_trace(&[]), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn spans_nest_by_id_and_carry_the_trace() {
+        let _guard = test_guard();
+        set_enabled(false);
+        drain_spans();
+        // An active trace collects spans even with metrics disabled.
+        let ctx = TraceCtx::new();
+        set_trace(Some(ctx));
+        {
+            let _outer = crate::span!("outer");
+            {
+                let _inner = crate::span!("inner");
+            }
+        }
+        set_trace(None);
+        {
+            let _after = crate::span!("after"); // trace gone, obs off: dropped
+        }
+        let spans = drain_spans();
+        assert_eq!(spans.len(), 2);
+        let (inner, outer) = (&spans[0], &spans[1]);
+        assert_eq!(outer.trace_id, ctx.trace_id);
+        assert_eq!(inner.trace_id, ctx.trace_id);
+        assert_ne!(outer.span_id, 0);
+        assert_eq!(inner.parent_id, outer.span_id, "nesting is recorded by id");
+        assert_eq!(outer.parent_id, 0, "no attach point: outer is a root");
+    }
+
+    #[test]
+    fn thread_roots_attach_under_the_trace_parent() {
+        let _guard = test_guard();
+        set_enabled(false);
+        drain_spans();
+        let mut ctx = TraceCtx::new();
+        ctx.parent_span = 77;
+        set_trace(Some(ctx));
+        std::thread::spawn(|| {
+            let _s = crate::span!("worker.root");
+        })
+        .join()
+        .unwrap();
+        set_trace(None);
+        let spans = drain_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].parent_id, 77, "thread roots join the request tree");
+        assert_eq!(current_trace(), None);
+    }
+
+    #[test]
+    fn take_trace_spans_leaves_other_records() {
+        let _guard = test_guard();
+        set_enabled(true);
+        drain_spans();
+        {
+            let _plain = crate::span!("plain");
+        }
+        let ctx = TraceCtx::new();
+        set_trace(Some(ctx));
+        {
+            let _traced = crate::span!("traced");
+        }
+        set_trace(None);
+        let traced = take_trace_spans(ctx.trace_id);
+        let rest = drain_spans();
+        set_enabled(false);
+        assert_eq!(traced.len(), 1);
+        assert_eq!(traced[0].name, "traced");
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].name, "plain");
+        assert_eq!(rest[0].trace_id, 0);
+    }
+
+    #[test]
+    fn inject_spans_remints_ids_and_rebases_time() {
+        let _guard = test_guard();
+        set_enabled(true);
+        drain_spans();
+        // Burn local ids so the re-minted ids cannot collide with the
+        // shipped fragment's dense 1-based ids.
+        for _ in 0..4 {
+            let _s = crate::span!("local.warmup");
+        }
+        drain_spans();
+        // A "worker-shipped" fragment: dense local ids, zero-based time.
+        let shipped = vec![
+            SpanRecord {
+                name: "walk.shard0".to_string(),
+                args: vec![],
+                start_ns: 0,
+                dur_ns: 50,
+                tid: 1,
+                depth: 0,
+                trace_id: 9,
+                span_id: 1,
+                parent_id: 0,
+            },
+            SpanRecord {
+                name: "walk.inner".to_string(),
+                args: vec![],
+                start_ns: 10,
+                dur_ns: 20,
+                tid: 1,
+                depth: 1,
+                trace_id: 9,
+                span_id: 2,
+                parent_id: 1,
+            },
+        ];
+        inject_spans(shipped, 42, 1_000);
+        let spans = drain_spans();
+        set_enabled(false);
+        assert_eq!(spans.len(), 2);
+        let root = spans.iter().find(|s| s.name == "walk.shard0").unwrap();
+        let inner = spans.iter().find(|s| s.name == "walk.inner").unwrap();
+        assert_eq!(root.parent_id, 42, "external parents rewire to the attach point");
+        assert_eq!(inner.parent_id, root.span_id, "internal links follow the remap");
+        assert_ne!(root.span_id, 1, "ids are re-minted in this process");
+        assert_eq!(root.start_ns, 1_000);
+        assert_eq!(inner.start_ns, 1_010);
+        assert_eq!(root.tid, inner.tid, "one incoming tid stays one lane");
+    }
+
+    #[test]
+    fn trace_ids_are_nonzero_and_distinct() {
+        let a = TraceCtx::new();
+        let b = TraceCtx::new();
+        assert_ne!(a.trace_id, 0);
+        assert_ne!(b.trace_id, 0);
+        assert_ne!(a.trace_id, b.trace_id);
     }
 }

@@ -1,0 +1,521 @@
+//! Windowed metric time series: a fixed-capacity ring of periodic
+//! [`Snapshot`] deltas.
+//!
+//! The registry is cumulative — perfect for Prometheus scrapes, useless
+//! for "what is the QPS *right now*". [`TimeSeries::record`] takes a
+//! fresh snapshot plus a wall-clock stamp, diffs it against the
+//! previous sample ([`Snapshot::delta`]), and keeps the last `cap`
+//! windows: counters become per-window flows (rates after dividing by
+//! the interval), gauges stay levels, histograms carry only the
+//! window's observations (so [`HistogramSnapshot::percentile`] yields
+//! p50/p99 *over the window*).
+//!
+//! [`TimeSeries::to_json`] renders the ring for the serve HTTP
+//! `/timeseries` endpoint, and [`parse_timeseries_json`] reads it back
+//! — `tnm top` polls exactly this pair, so the round-trip is pinned by
+//! test rather than by an external JSON dependency.
+
+use crate::registry::{GaugeSnapshot, HistogramSnapshot, Snapshot};
+use std::collections::VecDeque;
+
+/// One sampled window: what happened between this sample and the
+/// previous one, stamped with the sample time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TimePoint {
+    /// Sample wall-clock time, milliseconds since the Unix epoch.
+    pub at_unix_ms: u64,
+    /// Window length in milliseconds (time since the previous sample;
+    /// 0 for the first sample, whose flows are since process start).
+    pub interval_ms: u64,
+    /// The window's metric deltas: counter flows, gauge levels,
+    /// histogram window observations.
+    pub delta: Snapshot,
+}
+
+/// A bounded ring of [`TimePoint`]s; see the [module docs](self).
+#[derive(Debug)]
+pub struct TimeSeries {
+    cap: usize,
+    last: Option<(u64, Snapshot)>,
+    points: VecDeque<TimePoint>,
+}
+
+impl TimeSeries {
+    /// An empty series retaining at most `cap` windows (min 1).
+    pub fn new(cap: usize) -> TimeSeries {
+        TimeSeries { cap: cap.max(1), last: None, points: VecDeque::new() }
+    }
+
+    /// Ingests a cumulative snapshot taken at `at_unix_ms`, storing the
+    /// delta window against the previous sample and evicting the
+    /// oldest window beyond capacity.
+    pub fn record(&mut self, at_unix_ms: u64, snap: Snapshot) {
+        let (interval_ms, delta) = match &self.last {
+            Some((prev_ms, prev)) => (at_unix_ms.saturating_sub(*prev_ms), snap.delta(prev)),
+            None => (0, snap.clone()),
+        };
+        self.last = Some((at_unix_ms, snap));
+        if self.points.len() == self.cap {
+            self.points.pop_front();
+        }
+        self.points.push_back(TimePoint { at_unix_ms, interval_ms, delta });
+    }
+
+    /// The retained windows, oldest first.
+    pub fn points(&self) -> impl Iterator<Item = &TimePoint> {
+        self.points.iter()
+    }
+
+    /// Number of retained windows.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing has been sampled yet.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Renders the ring as JSON:
+    /// `{"points":[{"at_ms":…,"interval_ms":…,"counters":{…},
+    /// "gauges":{"name":{"value":…,"peak":…}},
+    /// "histograms":{"name":{"count":…,"sum":…,"buckets":[[i,n],…]}}},…]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"points\":[");
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"at_ms\":{},\"interval_ms\":{},\"counters\":{{",
+                p.at_unix_ms, p.interval_ms
+            ));
+            push_entries(&mut out, p.delta.counters.iter(), |out, v| {
+                out.push_str(&v.to_string());
+            });
+            out.push_str("},\"gauges\":{");
+            push_entries(&mut out, p.delta.gauges.iter(), |out, g| {
+                out.push_str(&format!("{{\"value\":{},\"peak\":{}}}", g.value, g.peak));
+            });
+            out.push_str("},\"histograms\":{");
+            push_entries(&mut out, p.delta.histograms.iter(), |out, h| {
+                out.push_str(&format!("{{\"count\":{},\"sum\":{},\"buckets\":[", h.count, h.sum));
+                for (j, (b, n)) in h.buckets.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("[{b},{n}]"));
+                }
+                out.push_str("]}");
+            });
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_entries<'a, V: 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a String, &'a V)>,
+    mut render: impl FnMut(&mut String, &V),
+) {
+    for (i, (name, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        crate::span::escape_json(name, out);
+        out.push_str("\":");
+        render(out, v);
+    }
+}
+
+// ---------------------------------------------------------------------
+// A minimal JSON reader for the subset `to_json` emits. The workspace
+// is dependency-free by construction (vendored stubs only), so `tnm
+// top` parses the `/timeseries` payload through this instead of serde.
+
+/// Parses [`TimeSeries::to_json`] output back into points. Tolerates
+/// whitespace and unknown keys (skipped structurally) so the format can
+/// grow; returns a descriptive error for malformed input.
+pub fn parse_timeseries_json(text: &str) -> Result<Vec<TimePoint>, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut points = Vec::new();
+    p.expect(b'{')?;
+    loop {
+        let key = p.string()?;
+        p.expect(b':')?;
+        if key == "points" {
+            p.expect(b'[')?;
+            if !p.try_expect(b']') {
+                loop {
+                    points.push(p.point()?);
+                    if !p.try_expect(b',') {
+                        p.expect(b']')?;
+                        break;
+                    }
+                }
+            }
+        } else {
+            p.skip_value()?;
+        }
+        if !p.try_expect(b',') {
+            break;
+        }
+    }
+    p.expect(b'}')?;
+    Ok(points)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.try_expect(b) {
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn try_expect(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through untouched:
+                    // advance one char, not one byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8 in string")?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    /// Skips any well-formed JSON value (for unknown keys).
+    fn skip_value(&mut self) -> Result<(), String> {
+        match self.peek().ok_or("unexpected end of input")? {
+            b'"' => {
+                self.string()?;
+            }
+            b'{' => {
+                self.pos += 1;
+                if !self.try_expect(b'}') {
+                    loop {
+                        self.string()?;
+                        self.expect(b':')?;
+                        self.skip_value()?;
+                        if !self.try_expect(b',') {
+                            self.expect(b'}')?;
+                            break;
+                        }
+                    }
+                }
+            }
+            b'[' => {
+                self.pos += 1;
+                if !self.try_expect(b']') {
+                    loop {
+                        self.skip_value()?;
+                        if !self.try_expect(b',') {
+                            self.expect(b']')?;
+                            break;
+                        }
+                    }
+                }
+            }
+            b't' | b'f' | b'n' => {
+                while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_alphabetic()) {
+                    self.pos += 1;
+                }
+            }
+            _ => {
+                // Number (possibly signed/fractional — skipped, the
+                // emitter only writes u64s we care about).
+                if self.peek() == Some(b'-') {
+                    self.pos += 1;
+                }
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-')
+                }) {
+                    self.pos += 1;
+                }
+                if start == self.pos {
+                    return Err(format!("unexpected byte at {}", self.pos));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn point(&mut self) -> Result<TimePoint, String> {
+        let mut point = TimePoint::default();
+        self.expect(b'{')?;
+        if self.try_expect(b'}') {
+            return Ok(point);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "at_ms" => point.at_unix_ms = self.u64()?,
+                "interval_ms" => point.interval_ms = self.u64()?,
+                "counters" => {
+                    self.object(
+                        |p, name, point| {
+                            let v = p.u64()?;
+                            point.delta.counters.insert(name, v);
+                            Ok(())
+                        },
+                        &mut point,
+                    )?;
+                }
+                "gauges" => {
+                    self.object(
+                        |p, name, point| {
+                            let mut g = GaugeSnapshot::default();
+                            p.expect(b'{')?;
+                            loop {
+                                let k = p.string()?;
+                                p.expect(b':')?;
+                                let v = p.u64()?;
+                                match k.as_str() {
+                                    "value" => g.value = v,
+                                    "peak" => g.peak = v,
+                                    other => return Err(format!("unknown gauge field `{other}`")),
+                                }
+                                if !p.try_expect(b',') {
+                                    p.expect(b'}')?;
+                                    break;
+                                }
+                            }
+                            point.delta.gauges.insert(name, g);
+                            Ok(())
+                        },
+                        &mut point,
+                    )?;
+                }
+                "histograms" => {
+                    self.object(
+                        |p, name, point| {
+                            let mut h = HistogramSnapshot::default();
+                            p.expect(b'{')?;
+                            loop {
+                                let k = p.string()?;
+                                p.expect(b':')?;
+                                match k.as_str() {
+                                    "count" => h.count = p.u64()?,
+                                    "sum" => h.sum = p.u64()?,
+                                    "buckets" => {
+                                        p.expect(b'[')?;
+                                        if !p.try_expect(b']') {
+                                            loop {
+                                                p.expect(b'[')?;
+                                                let i = p.u64()?;
+                                                p.expect(b',')?;
+                                                let n = p.u64()?;
+                                                p.expect(b']')?;
+                                                let i = u8::try_from(i)
+                                                    .map_err(|_| "bucket index out of range")?;
+                                                h.buckets.push((i, n));
+                                                if !p.try_expect(b',') {
+                                                    p.expect(b']')?;
+                                                    break;
+                                                }
+                                            }
+                                        }
+                                    }
+                                    other => {
+                                        return Err(format!("unknown histogram field `{other}`"))
+                                    }
+                                }
+                                if !p.try_expect(b',') {
+                                    p.expect(b'}')?;
+                                    break;
+                                }
+                            }
+                            point.delta.histograms.insert(name, h);
+                            Ok(())
+                        },
+                        &mut point,
+                    )?;
+                }
+                _ => self.skip_value()?,
+            }
+            if !self.try_expect(b',') {
+                self.expect(b'}')?;
+                return Ok(point);
+            }
+        }
+    }
+
+    /// Parses `{"name": <value>, …}` with `f` consuming each value.
+    fn object(
+        &mut self,
+        mut f: impl FnMut(&mut Parser<'a>, String, &mut TimePoint) -> Result<(), String>,
+        point: &mut TimePoint,
+    ) -> Result<(), String> {
+        self.expect(b'{')?;
+        if self.try_expect(b'}') {
+            return Ok(());
+        }
+        loop {
+            let name = self.string()?;
+            self.expect(b':')?;
+            f(self, name, point)?;
+            if !self.try_expect(b',') {
+                return self.expect(b'}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn ring_keeps_the_last_cap_windows_of_deltas() {
+        let r = Registry::new();
+        let mut ts = TimeSeries::new(2);
+        r.counter("q").add(10);
+        ts.record(1_000, r.snapshot());
+        r.counter("q").add(5);
+        r.gauge("level").set(3);
+        ts.record(2_000, r.snapshot());
+        r.counter("q").add(7);
+        r.histogram("lat").record(100);
+        ts.record(3_500, r.snapshot());
+        assert_eq!(ts.len(), 2, "capacity 2 evicts the first window");
+        let points: Vec<_> = ts.points().collect();
+        assert_eq!(points[0].at_unix_ms, 2_000);
+        assert_eq!(points[0].interval_ms, 1_000);
+        assert_eq!(points[0].delta.counters["q"], 5);
+        assert_eq!(points[1].interval_ms, 1_500);
+        assert_eq!(points[1].delta.counters["q"], 7);
+        assert_eq!(points[1].delta.gauges["level"].value, 3, "levels pass through");
+        assert_eq!(points[1].delta.histograms["lat"].count, 1);
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let r = Registry::new();
+        let mut ts = TimeSeries::new(8);
+        r.counter("serve.queries").add(3);
+        r.gauge("shard.resident_events").set(42);
+        let h = r.histogram("serve.query.report_ns");
+        h.record(1_000);
+        h.record(2_000_000);
+        ts.record(1_700_000_000_123, r.snapshot());
+        r.counter("serve.queries").add(9);
+        h.record(3);
+        ts.record(1_700_000_001_123, r.snapshot());
+        let json = ts.to_json();
+        let parsed = parse_timeseries_json(&json).expect("emitted JSON parses");
+        let expected: Vec<TimePoint> = ts.points().cloned().collect();
+        assert_eq!(parsed, expected);
+    }
+
+    #[test]
+    fn empty_series_round_trips() {
+        let ts = TimeSeries::new(4);
+        assert_eq!(ts.to_json(), "{\"points\":[]}");
+        assert_eq!(parse_timeseries_json(&ts.to_json()).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn parser_tolerates_unknown_keys_and_rejects_garbage() {
+        let json = "{\"version\":7,\"points\":[{\"at_ms\":5,\"interval_ms\":2,\
+                     \"future\":[1,{\"x\":null}],\"counters\":{\"a\":1},\
+                     \"gauges\":{},\"histograms\":{}}]}";
+        let points = parse_timeseries_json(json).expect("unknown keys are skipped");
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].at_unix_ms, 5);
+        assert_eq!(points[0].delta.counters["a"], 1);
+        for bad in [
+            "",
+            "{",
+            "{\"points\":",
+            "{\"points\":[{]}",
+            "{\"points\":[{\"at_ms\":\"x\"}]}",
+            "{\"points\":[{\"histograms\":{\"h\":{\"buckets\":[[500,1]]}}}]}",
+        ] {
+            assert!(parse_timeseries_json(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+}

@@ -51,8 +51,10 @@ fn worker_binary_resolves() {
 }
 
 #[test]
-#[allow(deprecated)] // pins the thin workers_lost/jobs_rescheduled reads
 fn matches_windowed_across_shard_sizes_and_workers() {
+    let _obs = tnm_obs::test_guard();
+    tnm_obs::set_enabled(true);
+    tnm_obs::global().reset();
     let g = random_graph(501, 12, 260, 300);
     let cfg = EnumConfig::new(3, 3).with_timing(Timing::both(20, 45));
     let reference = WindowedEngine.count(&g, &cfg);
@@ -67,10 +69,14 @@ fn matches_windowed_across_shard_sizes_and_workers() {
                 workers.min(stats.shards),
                 "every configured worker must actually spawn"
             );
-            assert_eq!(stats.workers_lost, 0);
-            assert_eq!(stats.jobs_rescheduled, 0);
         }
     }
+    // Healthy runs: the registry's loss/reschedule counters stay
+    // untouched across the whole sweep.
+    let snap = tnm_obs::global().snapshot();
+    tnm_obs::set_enabled(false);
+    assert_eq!(snap.counters.get("distributed.workers_lost"), None);
+    assert_eq!(snap.counters.get("distributed.jobs_rescheduled"), None);
 }
 
 /// Within-worker threading: the job descriptor carries a thread budget
@@ -127,40 +133,56 @@ fn coordinator_recheck_keeps_induced_models_exact() {
 /// job, the coordinator detects the dead pipes, requeues the in-flight
 /// shard onto the survivor, and the totals come out bit-identical.
 #[test]
-#[allow(deprecated)] // pins the thin workers_lost/jobs_rescheduled reads
 fn worker_crash_mid_run_is_rescheduled_exactly() {
+    let _obs = tnm_obs::test_guard();
+    tnm_obs::set_enabled(true);
     let g = random_graph(503, 11, 300, 260);
     for cfg in [
         EnumConfig::new(3, 3).with_timing(Timing::both(18, 40)),
         // Induced variant: the crash interleaves with instance replies.
         EnumConfig::new(3, 3).with_timing(Timing::only_w(35)).with_static_induced(true),
     ] {
+        tnm_obs::global().reset();
         let reference = WindowedEngine.count(&g, &cfg);
         let engine = DistributedEngine::new(2).with_shard_events(12).with_fault_after(0, 1);
         let (counts, stats) = engine.count_with_stats(&g, &cfg);
+        let snap = tnm_obs::global().snapshot();
         assert_eq!(counts, reference, "counts must survive the crash bit-identically");
         assert!(stats.shards >= 4, "need enough shards for a mid-run crash");
         assert_eq!(stats.workers_spawned, 2);
-        assert_eq!(stats.workers_lost, 1, "the faulted worker must be detected as dead");
-        assert!(stats.jobs_rescheduled >= 1, "its in-flight shard must be requeued");
+        // Loss and reschedule are read from the obs registry.
+        assert_eq!(
+            snap.counters.get("distributed.workers_lost"),
+            Some(&1),
+            "the faulted worker must be detected as dead"
+        );
+        assert!(
+            snap.counters.get("distributed.jobs_rescheduled").copied().unwrap_or(0) >= 1,
+            "its in-flight shard must be requeued"
+        );
     }
+    tnm_obs::set_enabled(false);
 }
 
 /// The crash path is not a lucky accident: repeated faulted runs all
 /// detect the loss and all produce the same exact counts (merging is
 /// commutative, so rescheduling order can never leak into totals).
 #[test]
-#[allow(deprecated)] // pins the thin workers_lost/jobs_rescheduled reads
 fn rescheduling_is_deterministic_across_runs() {
+    let _obs = tnm_obs::test_guard();
+    tnm_obs::set_enabled(true);
     let g = random_graph(504, 8, 180, 120);
     let cfg = EnumConfig::new(2, 3).with_timing(Timing::only_w(25));
     let reference = WindowedEngine.count(&g, &cfg);
     for run in 0..3 {
+        tnm_obs::global().reset();
         let engine = DistributedEngine::new(2).with_shard_events(10).with_fault_after(0, 2);
-        let (counts, stats) = engine.count_with_stats(&g, &cfg);
+        let (counts, _) = engine.count_with_stats(&g, &cfg);
+        let snap = tnm_obs::global().snapshot();
         assert_eq!(counts, reference, "run {run}");
-        assert_eq!(stats.workers_lost, 1, "run {run}");
+        assert_eq!(snap.counters.get("distributed.workers_lost"), Some(&1), "run {run}");
     }
+    tnm_obs::set_enabled(false);
 }
 
 /// A generator corpus run: realistic burstiness, 2 workers, tiny
@@ -238,4 +260,67 @@ fn shard_file_corruption_is_detected() {
     let mut padded = block.clone();
     padded.extend_from_slice(&[1, 2, 3]);
     assert!(read_events_raw(padded.as_slice()).is_err());
+}
+
+/// Trace propagation across the process boundary, under fault
+/// injection: with a request trace active, kill worker 0 after one job
+/// and the coordinator must still hand back one *well-formed* stitched
+/// span tree — a single trace id, unique span ids (worker ids are
+/// re-minted on injection), every coordinator phase present, shipped
+/// `walk.shard` spans from the survivor stitched in, and every parent
+/// edge resolving inside the tree. The crashed worker's unsent spans
+/// are allowed to be lost; a dangling parent is not.
+#[test]
+fn traces_stitch_into_one_well_formed_tree_even_under_worker_crashes() {
+    let _obs = tnm_obs::test_guard();
+    tnm_obs::set_enabled(false);
+    tnm_obs::drain_spans();
+    let g = random_graph(507, 11, 300, 260);
+    let cfg = EnumConfig::new(3, 3).with_timing(Timing::both(18, 40));
+    let reference = WindowedEngine.count(&g, &cfg);
+
+    // Open a request-scoped trace the way `tnm serve` does: mint a
+    // context, start the root span, re-point the ambient parent at it.
+    let ctx = tnm_obs::TraceCtx::new();
+    tnm_obs::set_trace(Some(ctx));
+    let root = tnm_obs::Span::start("test.distributed");
+    tnm_obs::set_trace(Some(tnm_obs::TraceCtx { trace_id: ctx.trace_id, parent_span: root.id() }));
+    let engine = DistributedEngine::new(2).with_shard_events(12).with_fault_after(0, 1);
+    let counts = engine.count(&g, &cfg);
+    drop(root);
+    tnm_obs::set_trace(None);
+    let spans = tnm_obs::take_trace_spans(ctx.trace_id);
+
+    assert_eq!(counts, reference, "counts must survive the crash bit-identically");
+    assert!(spans.iter().all(|s| s.trace_id == ctx.trace_id), "one trace id across the tree");
+    for phase in [
+        "distributed.plan",
+        "distributed.spill",
+        "distributed.spawn",
+        "distributed.walk",
+        "distributed.merge",
+    ] {
+        assert!(spans.iter().any(|s| s.name == phase), "coordinator phase `{phase}` missing");
+    }
+    assert!(
+        spans.iter().any(|s| s.name == "walk.shard"),
+        "surviving worker's shipped spans must stitch into the coordinator trace"
+    );
+    let ids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.span_id).collect();
+    assert_eq!(ids.len(), spans.len(), "span ids must stay unique after re-minting");
+    assert_eq!(
+        spans.iter().filter(|s| s.parent_id == 0).count(),
+        1,
+        "exactly one root span in the stitched tree"
+    );
+    for s in &spans {
+        assert!(
+            s.parent_id == 0 || ids.contains(&s.parent_id),
+            "span `{}` has a dangling parent id",
+            s.name
+        );
+    }
+    // The stitched tree exports as one Chrome-trace JSON document.
+    let json = tnm_obs::chrome_trace(&spans);
+    assert!(json.starts_with("{\"traceEvents\":[") && json.ends_with("]}"));
 }

@@ -343,3 +343,155 @@ fn concurrent_clients_are_isolated() {
     client.shutdown().unwrap();
     server.join().unwrap();
 }
+
+/// Opt-in query tracing over the wire: a traced count answers with a
+/// well-formed span tree (one trace id, a `serve.query` root, the
+/// engine's `query.count` phase beneath it, every parent resolving)
+/// plus a per-request metrics delta — and the daemon's slow-query
+/// table and flight recorder both log the request. Untraced queries on
+/// the same connection stay trace-free.
+#[test]
+fn traced_queries_ship_span_trees_and_populate_query_logs() {
+    let events = random_events(31, 30, 800, 2500);
+    let graph = TemporalGraph::from_events(events.clone()).unwrap();
+    let server = MotifServer::bind_with(
+        "127.0.0.1:0",
+        ServeOptions { slow_queries: 4, flight_recorder: 8, ..ServeOptions::default() },
+    )
+    .unwrap()
+    .spawn();
+    let addr = server.addr();
+    let mut client = ServeClient::connect(addr).unwrap();
+    client.load_graph("g", &events, 0).unwrap();
+
+    let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(200));
+    let q = Query::Count { cfg: cfg.clone(), engine: EngineKind::Windowed, threads: 1 };
+
+    // Untraced baseline: same answer, no trace section.
+    let QueryResponse::Counts(plain) = client.query("g", &q).unwrap() else { panic!("shape") };
+    assert_eq!(plain, EngineKind::Windowed.count(&graph, &cfg, 1));
+
+    let (resp, trace) = client.query_traced("g", &q).unwrap();
+    let QueryResponse::Counts(counts) = resp else { panic!("shape") };
+    assert_eq!(counts, plain, "tracing must not change the answer");
+    assert!(!trace.spans.is_empty(), "a traced query must ship spans");
+    let trace_id = trace.spans[0].trace_id;
+    assert_ne!(trace_id, 0);
+    assert!(trace.spans.iter().all(|s| s.trace_id == trace_id), "one trace id");
+    let roots: Vec<_> = trace.spans.iter().filter(|s| s.parent_id == 0).collect();
+    assert_eq!(roots.len(), 1, "exactly one root span");
+    assert_eq!(roots[0].name, "serve.query");
+    assert!(
+        roots[0].args.iter().any(|(k, v)| k == "graph" && v == "g"),
+        "the root span carries the graph name"
+    );
+    assert!(
+        trace.spans.iter().any(|s| s.name == "query.count"),
+        "the engine's root phase must appear under the serve root"
+    );
+    let ids: std::collections::BTreeSet<u64> = trace.spans.iter().map(|s| s.span_id).collect();
+    for s in &trace.spans {
+        assert!(s.parent_id == 0 || ids.contains(&s.parent_id), "dangling parent on {}", s.name);
+    }
+    // The per-request metrics delta counts this query (serve registry
+    // metrics are always on, independent of TNM_OBS).
+    assert_eq!(trace.metrics.counters.get("serve.queries"), Some(&1));
+
+    // Traced subscriptions ship the same section shape.
+    let (_id, counts, sub_trace) = client.subscribe_traced("g", &cfg).unwrap();
+    assert_eq!(counts, plain);
+    assert!(!sub_trace.spans.is_empty());
+    assert!(sub_trace.spans.iter().any(|s| s.name == "serve.subscribe"));
+
+    // Both query logs saw the traced and untraced queries; the slow
+    // table is latency-descending and retains spans, the flight
+    // recorder drops them (it is a cheap ring).
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.flight.len(), 2, "both count queries in the flight recorder");
+    assert!(stats.flight.iter().all(|e| e.spans.is_empty()));
+    assert_eq!(stats.slow.len(), 2);
+    assert!(stats.slow.windows(2).all(|w| w[0].latency_ns >= w[1].latency_ns));
+    let traced_entry = stats.slow.iter().find(|e| e.trace_id == trace_id).unwrap();
+    assert_eq!(traced_entry.kind, "count");
+    assert_eq!(traced_entry.graph, "g");
+    assert!(!traced_entry.spans.is_empty(), "slow-table entries keep their span trees");
+    assert!(stats.slow.iter().any(|e| e.trace_id == 0), "the untraced query logs too");
+
+    client.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+/// Minimal std-only HTTP GET against the daemon's scrape surface.
+fn scrape(addr: SocketAddr, path: &str) -> (String, String) {
+    use std::io::Read;
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: tnm\r\nConnection: close\r\n\r\n").unwrap();
+    stream.flush().unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").expect("malformed HTTP response");
+    (head.lines().next().unwrap_or("").to_string(), body.to_string())
+}
+
+/// The HTTP scrape surface: `/metrics` serves Prometheus text,
+/// `/healthz` answers while wire clients are mid-session, and
+/// `/timeseries` serves JSON the `tnm top` parser accepts — all on a
+/// separate listener that never speaks the framed wire protocol.
+#[test]
+fn http_scrape_surface_serves_metrics_health_and_timeseries() {
+    let events = random_events(37, 25, 600, 2000);
+    let server = MotifServer::bind_with(
+        "127.0.0.1:0",
+        ServeOptions { http_port: Some(0), sample_interval_ms: 25, ..ServeOptions::default() },
+    )
+    .unwrap()
+    .spawn();
+    let addr = server.addr();
+    let http = server.http_addr().expect("http_port requested, so the listener must exist");
+
+    // A wire client stays mid-session while every scrape runs.
+    let mut client = ServeClient::connect(addr).unwrap();
+    client.load_graph("g", &events, 0).unwrap();
+    let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(150));
+    let q = Query::Count { cfg, engine: EngineKind::Windowed, threads: 1 };
+    let QueryResponse::Counts(_) = client.query("g", &q).unwrap() else { panic!("shape") };
+
+    let (status, body) = scrape(http, "/metrics");
+    assert!(status.contains(" 200 "), "/metrics answered `{status}`");
+    assert!(
+        body.lines().any(|l| l == "serve_queries 1"),
+        "Prometheus text must carry the serve counters:\n{body}"
+    );
+    assert!(body.contains("# TYPE serve_queries counter"));
+
+    let (status, body) = scrape(http, "/healthz");
+    assert!(status.contains(" 200 "));
+    assert_eq!(body, "ok\n");
+
+    // Wait for the background sampler to fold at least one window,
+    // then the JSON must parse with the `tnm top` parser.
+    let mut points = Vec::new();
+    for _ in 0..200 {
+        let (status, body) = scrape(http, "/timeseries");
+        assert!(status.contains(" 200 "));
+        points = tnm_obs::parse_timeseries_json(&body).expect("valid /timeseries JSON");
+        if !points.is_empty() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(!points.is_empty(), "the sampler must record within 2 s");
+    assert!(points.iter().all(|p| p.at_unix_ms > 0));
+    let total_queries: u64 =
+        points.iter().filter_map(|p| p.delta.counters.get("serve.queries")).sum();
+    assert_eq!(total_queries, 1, "the windows' deltas must sum to the one query");
+
+    let (status, _) = scrape(http, "/nope");
+    assert!(status.contains(" 404 "));
+
+    // The wire connection survived all of it.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.queries, 1);
+    client.shutdown().unwrap();
+    server.join().unwrap();
+}

@@ -32,19 +32,27 @@ fn random_graph(seed: u64, nodes: u32, events: usize, horizon: i64) -> TemporalG
 /// its owned target plus pad and halo — while still counting exactly.
 #[test]
 fn spill_mode_bounds_peak_memory() {
+    let _obs = tnm_obs::test_guard();
+    tnm_obs::set_enabled(true);
+    tnm_obs::global().reset();
     let g = random_graph(99, 40, 8_000, 60_000);
     let cfg = EnumConfig::new(3, 3).with_timing(Timing::only_w(120));
     let (shard_events, max_resident) = (500usize, 2usize);
     let engine = ShardedEngine::new(shard_events).with_max_resident(max_resident);
     let (counts, stats) = engine.count_with_stats(&g, &cfg);
+    let snap = tnm_obs::global().snapshot();
+    tnm_obs::set_enabled(false);
 
     assert!(stats.spilled, "a max_resident budget must engage spill mode");
     assert!(stats.shards >= 16, "plan too coarse for the bound to mean anything");
-    // The bound itself, in both the observed and the planned form.
+    // The bound itself, in both the observed and the planned form. The
+    // observed peak is the `shard.resident_events` gauge high-water
+    // mark in the obs registry.
+    let peak = snap.gauges["shard.resident_events"].peak as usize;
     assert!(
-        stats.peak_resident_events <= max_resident * stats.max_shard_events,
+        peak <= max_resident * stats.max_shard_events,
         "peak {} exceeds {} × {}",
-        stats.peak_resident_events,
+        peak,
         max_resident,
         stats.max_shard_events
     );
@@ -117,12 +125,13 @@ fn spilled_counts_match_with_global_restrictions() {
 }
 
 /// The store itself: loads, evictions, and residency counters behave
-/// under a sequential pass, spilled and not. The deprecated
-/// `peak_resident_events` thin read stays covered until it is removed —
-/// the canonical reading is now the `shard.resident_events` gauge peak.
+/// under a sequential pass, spilled and not. The residency peak is the
+/// `shard.resident_events` gauge high-water mark in the obs registry.
 #[test]
-#[allow(deprecated)]
 fn store_counters_through_public_api() {
+    let _obs = tnm_obs::test_guard();
+    tnm_obs::set_enabled(true);
+    tnm_obs::global().reset();
     let g = random_graph(3, 20, 1_000, 4_000);
     let plan = plan_shards(&g, Some(50), ShardGoal::EventsPerShard(100));
     let n = plan.len();
@@ -133,10 +142,13 @@ fn store_counters_through_public_api() {
         let shard = spilled.get(id).unwrap();
         assert_eq!(shard.graph().events(), &g.events()[shard.spec().range.clone()]);
     }
+    let snap = tnm_obs::global().snapshot();
+    tnm_obs::set_enabled(false);
     assert!(spilled.is_spilled());
     assert_eq!(spilled.loads(), n as u64);
     assert_eq!(spilled.evictions(), (n - 2) as u64);
-    assert!(spilled.peak_resident_events() <= 2 * spilled.plan().max_shard_events());
+    let peak = snap.gauges["shard.resident_events"].peak as usize;
+    assert!(peak <= 2 * spilled.plan().max_shard_events());
 
     let mut unbounded = ShardStore::in_memory(&g, plan);
     for id in 0..n {
